@@ -1,0 +1,199 @@
+//! The Bayesian exclusion-attack adversary.
+//!
+//! Definition 3.4: a mechanism is `φ`-free from exclusion attacks if, for all
+//! sensitive values `x`, all values `y`, all outputs `O` and all product
+//! priors `θ` with positive mass on both values,
+//!
+//! ```text
+//! Pr[r = x | M(D) ∈ O] / Pr[r = y | M(D) ∈ O]
+//!     ≤ e^φ · Pr[r = x] / Pr[r = y].
+//! ```
+//!
+//! Because the posterior odds factor as prior odds × likelihood ratio, the
+//! smallest φ that satisfies the definition is the log of the worst-case
+//! likelihood ratio `Pr[o | x] / Pr[o | y]` over outputs `o` and pairs
+//! `(x sensitive, y)` — a quantity this module computes exactly from a
+//! [`ReleaseModel`]'s finite output distributions.
+
+use crate::prior::ProductPrior;
+use crate::release_models::{Outcome, ReleaseModel};
+use osdp_core::policy::Policy;
+use std::collections::BTreeMap;
+
+/// Probability of each outcome for a given value, as a map.
+fn distribution_map(
+    model: &dyn ReleaseModel,
+    value: u32,
+    policy: &dyn Policy<u32>,
+) -> BTreeMap<Outcome, f64> {
+    let mut map = BTreeMap::new();
+    for (o, p) in model.output_distribution(value, policy) {
+        *map.entry(o).or_insert(0.0) += p;
+    }
+    map
+}
+
+/// The exact posterior-to-prior odds ratio
+/// `(Pr[x|o]/Pr[y|o]) / (Pr[x]/Pr[y]) = Pr[o|x] / Pr[o|y]`
+/// for a specific output `o`, or `None` when the output has zero probability
+/// under both values (the output can never be observed for this pair) or the
+/// prior excludes one of the values.
+pub fn posterior_odds_ratio(
+    model: &dyn ReleaseModel,
+    policy: &dyn Policy<u32>,
+    prior: &ProductPrior,
+    output: Outcome,
+    x: u32,
+    y: u32,
+) -> Option<f64> {
+    prior.odds(x, y)?;
+    let px = distribution_map(model, x, policy).get(&output).copied().unwrap_or(0.0);
+    let py = distribution_map(model, y, policy).get(&output).copied().unwrap_or(0.0);
+    if px == 0.0 && py == 0.0 {
+        None
+    } else if py == 0.0 {
+        Some(f64::INFINITY)
+    } else {
+        Some(px / py)
+    }
+}
+
+/// The tightest exclusion-attack exponent `φ` the mechanism satisfies over a
+/// finite value domain `0..domain`: the supremum over outputs, sensitive `x`
+/// and arbitrary `y` of `ln(Pr[o|x] / Pr[o|y])`.
+///
+/// Returns `f64::INFINITY` when some output certifies that a value is
+/// impossible (the truthful-release / Truman situation), and `0.0` when the
+/// policy has no sensitive values in the domain (the definition quantifies
+/// over nothing).
+pub fn exclusion_attack_phi(
+    model: &dyn ReleaseModel,
+    policy: &dyn Policy<u32>,
+    domain: u32,
+) -> f64 {
+    let distributions: Vec<BTreeMap<Outcome, f64>> =
+        (0..domain).map(|v| distribution_map(model, v, policy)).collect();
+    let mut worst_ratio: f64 = 1.0;
+    let mut any_sensitive = false;
+    for x in 0..domain {
+        if !policy.is_sensitive(&x) {
+            continue;
+        }
+        any_sensitive = true;
+        for y in 0..domain {
+            if y == x {
+                continue;
+            }
+            for (outcome, &px) in &distributions[x as usize] {
+                if px == 0.0 {
+                    continue;
+                }
+                let py = distributions[y as usize].get(outcome).copied().unwrap_or(0.0);
+                if py == 0.0 {
+                    return f64::INFINITY;
+                }
+                worst_ratio = worst_ratio.max(px / py);
+            }
+        }
+    }
+    if any_sensitive {
+        worst_ratio.ln()
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::release_models::{DpGeometricModel, OsdpRrModel, SuppressModel, TruthfulModel};
+    use osdp_core::policy::ClosurePolicy;
+
+    fn policy() -> ClosurePolicy<u32> {
+        ClosurePolicy::new("hi-sensitive", |&v: &u32| v >= 4)
+    }
+
+    const DOMAIN: u32 = 8;
+
+    #[test]
+    fn osdp_rr_achieves_phi_equal_to_epsilon() {
+        for eps in [0.1, 0.5, 1.0, 2.0] {
+            let phi = exclusion_attack_phi(&OsdpRrModel { epsilon: eps }, &policy(), DOMAIN);
+            assert!(
+                (phi - eps).abs() < 1e-9,
+                "OsdpRR at eps={eps} should give phi={eps}, got {phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_mechanism_achieves_phi_at_most_epsilon_for_any_policy() {
+        let eps = 0.8;
+        let phi = exclusion_attack_phi(&DpGeometricModel { epsilon: eps }, &policy(), DOMAIN);
+        assert!(phi <= eps + 1e-9, "DP mechanism phi {phi} must be ≤ eps {eps}");
+        // …and also under a completely different policy.
+        let other = ClosurePolicy::new("even-sensitive", |&v: &u32| v % 2 == 0);
+        let phi2 = exclusion_attack_phi(&DpGeometricModel { epsilon: eps }, &other, DOMAIN);
+        assert!(phi2 <= eps + 1e-9);
+    }
+
+    #[test]
+    fn suppress_only_achieves_phi_equal_to_tau() {
+        // Theorem 3.4: Suppress with threshold tau is tau-free from exclusion
+        // attacks — no better.
+        for tau in [1.0, 3.0] {
+            let phi = exclusion_attack_phi(&SuppressModel { tau }, &policy(), DOMAIN);
+            assert!((phi - tau).abs() < 1e-6, "Suppress tau={tau} gives phi {phi}");
+        }
+        // In particular, at tau = 100 the protection is 100x weaker than an
+        // OSDP mechanism run at eps = 1 (Figure 10's caveat).
+        let suppress100 = exclusion_attack_phi(&SuppressModel { tau: 100.0 }, &policy(), DOMAIN);
+        let osdp = exclusion_attack_phi(&OsdpRrModel { epsilon: 1.0 }, &policy(), DOMAIN);
+        assert!(suppress100 > 99.0 * osdp);
+    }
+
+    #[test]
+    fn truthful_release_is_unboundedly_exposed() {
+        let phi = exclusion_attack_phi(&TruthfulModel, &policy(), DOMAIN);
+        assert!(phi.is_infinite(), "Truman-style release admits a certain exclusion attack");
+    }
+
+    #[test]
+    fn phi_is_zero_when_nothing_is_sensitive() {
+        let none = ClosurePolicy::new("nothing-sensitive", |_: &u32| false);
+        assert_eq!(exclusion_attack_phi(&TruthfulModel, &none, DOMAIN), 0.0);
+    }
+
+    #[test]
+    fn posterior_odds_match_the_phi_bound_for_osdp_rr() {
+        use crate::release_models::Outcome;
+        let model = OsdpRrModel { epsilon: 1.0 };
+        let p = policy();
+        let prior = ProductPrior::uniform(DOMAIN as usize).unwrap();
+        // Observing a suppression: sensitive value 5 vs non-sensitive value 1.
+        let ratio =
+            posterior_odds_ratio(&model, &p, &prior, Outcome::Suppressed, 5, 1).unwrap();
+        assert!((ratio - 1.0f64.exp()).abs() < 1e-9, "ratio {ratio} should be e^eps");
+        // Observing a released non-sensitive value is impossible for the
+        // sensitive value: the ratio collapses to zero.
+        let zero = posterior_odds_ratio(&model, &p, &prior, Outcome::Released(1), 5, 1).unwrap();
+        assert_eq!(zero, 0.0);
+        // Outputs impossible under both values yield None.
+        assert!(posterior_odds_ratio(&model, &p, &prior, Outcome::Released(2), 5, 1).is_none());
+        // Values outside the prior's support yield None.
+        assert!(posterior_odds_ratio(&model, &p, &prior, Outcome::Suppressed, 200, 1).is_none());
+    }
+
+    #[test]
+    fn posterior_odds_are_infinite_for_truthful_release() {
+        use crate::release_models::Outcome;
+        let prior = ProductPrior::uniform(DOMAIN as usize).unwrap();
+        // Observing "suppressed" under truthful release: only sensitive values
+        // are possible, so against a non-sensitive alternative the odds ratio
+        // is unbounded — the formalised exclusion attack.
+        let ratio =
+            posterior_odds_ratio(&TruthfulModel, &policy(), &prior, Outcome::Suppressed, 5, 1)
+                .unwrap();
+        assert!(ratio.is_infinite());
+    }
+}

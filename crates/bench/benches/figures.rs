@@ -1,0 +1,95 @@
+//! One benchmark per table / figure of the paper's evaluation.
+//!
+//! Each bench runs the corresponding `osdp-experiments` runner end to end on
+//! the reduced [`osdp_bench::bench_config`]. The printed figure values come
+//! from the experiment binaries (`cargo run -p osdp-experiments --bin run_all`);
+//! these benches track the cost of regenerating them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osdp_bench::{bench_config, criterion_for_figures};
+use osdp_experiments::{
+    attack_table, classification, crossover, dpbench_regret, ngrams, pdp_comparison, table1,
+    table2, tippers_hist,
+};
+use std::hint::black_box;
+
+fn bench_table1_osdp_rr(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("table1_released_fraction", |b| {
+        b.iter(|| black_box(table1::run(&config)))
+    });
+}
+
+fn bench_table2_datasets(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("table2_benchmark_datasets", |b| {
+        b.iter(|| black_box(table2::run(&config)))
+    });
+}
+
+fn bench_fig1_classification(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig1_classification", |b| {
+        b.iter(|| black_box(classification::run(&config)))
+    });
+}
+
+fn bench_fig2_ngrams4(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig2_ngrams_4", |b| b.iter(|| black_box(ngrams::run(&config, 4))));
+}
+
+fn bench_fig3_ngrams5(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig3_ngrams_5", |b| b.iter(|| black_box(ngrams::run(&config, 5))));
+}
+
+fn bench_fig4_5_tippers(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig4_5_tippers_histogram", |b| {
+        b.iter(|| black_box(tippers_hist::run(&config)))
+    });
+}
+
+fn bench_fig6_9_dpbench_regret(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig6_9_dpbench_regret", |b| {
+        b.iter(|| black_box(dpbench_regret::run(&config)))
+    });
+}
+
+fn bench_fig10_pdp(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("fig10_pdp_comparison", |b| {
+        b.iter(|| black_box(pdp_comparison::run(&config)))
+    });
+}
+
+fn bench_crossover_thm51(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("crossover_theorem_5_1", |b| b.iter(|| black_box(crossover::run(&config))));
+}
+
+fn bench_exclusion_attack(c: &mut Criterion) {
+    let config = bench_config();
+    c.bench_function("exclusion_attack_table", |b| {
+        b.iter(|| black_box(attack_table::run(&config)))
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = criterion_for_figures();
+    targets =
+        bench_table1_osdp_rr,
+        bench_table2_datasets,
+        bench_fig1_classification,
+        bench_fig2_ngrams4,
+        bench_fig3_ngrams5,
+        bench_fig4_5_tippers,
+        bench_fig6_9_dpbench_regret,
+        bench_fig10_pdp,
+        bench_crossover_thm51,
+        bench_exclusion_attack,
+}
+criterion_main!(figures);

@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the individual release mechanisms on a 4096-bin
+//! histogram task (the benchmark domain size of Table 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osdp_bench::criterion_for_figures;
+use osdp_data::sampling::{sample_policy, PolicyKind};
+use osdp_data::BenchmarkDataset;
+use osdp_mechanisms::{
+    Dawaz, DawaHistogram, DpLaplaceHistogram, HistogramMechanism, HistogramTask, OsdpLaplace,
+    OsdpLaplaceL1, OsdpRrHistogram, Suppress,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn task() -> HistogramTask {
+    let mut rng = ChaCha12Rng::seed_from_u64(77);
+    let full = BenchmarkDataset::Medcost.generate(&mut rng);
+    let policy = sample_policy(PolicyKind::Close, &full, 0.75, &mut rng).expect("valid parameters");
+    HistogramTask::new(full, policy.non_sensitive).expect("sampled sub-histogram")
+}
+
+fn bench_mechanism_release(c: &mut Criterion) {
+    let task = task();
+    let eps = 1.0;
+    let pool: Vec<Box<dyn HistogramMechanism>> = vec![
+        Box::new(OsdpRrHistogram::new(eps).unwrap()),
+        Box::new(OsdpLaplace::new(eps).unwrap()),
+        Box::new(OsdpLaplaceL1::new(eps).unwrap()),
+        Box::new(Dawaz::new(eps).unwrap()),
+        Box::new(DpLaplaceHistogram::new(eps).unwrap()),
+        Box::new(DawaHistogram::new(eps).unwrap()),
+        Box::new(Suppress::new(100.0).unwrap()),
+    ];
+    let mut group = c.benchmark_group("mechanism_release_4096_bins");
+    for mechanism in &pool {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mechanism.name()),
+            mechanism,
+            |b, mechanism| {
+                let mut rng = ChaCha12Rng::seed_from_u64(1);
+                b.iter(|| black_box(mechanism.release(&task, &mut rng)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_epsilon_sensitivity(c: &mut Criterion) {
+    // DAWA's partitioning work is data- and epsilon-dependent; track it across
+    // budgets so regressions in the partition stage show up.
+    let task = task();
+    let mut group = c.benchmark_group("dawa_release_by_epsilon");
+    for eps in [0.01, 0.1, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let mechanism = DawaHistogram::new(eps).unwrap();
+            let mut rng = ChaCha12Rng::seed_from_u64(2);
+            b.iter(|| black_box(mechanism.release(&task, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = criterion_for_figures();
+    targets = bench_mechanism_release, bench_epsilon_sensitivity,
+}
+criterion_main!(micro);

@@ -1,0 +1,46 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! The benches regenerate every table and figure of the paper on a reduced
+//! configuration (so `cargo bench` completes in minutes) and additionally
+//! time the individual mechanisms and the design-choice ablations listed in
+//! DESIGN.md. The figure *values* are produced by the `osdp-experiments`
+//! binaries; the benches exist to (a) exercise exactly the same code paths
+//! under measurement and (b) track performance regressions of the mechanisms.
+
+use osdp_data::tippers::TippersConfig;
+use osdp_experiments::ExperimentConfig;
+
+/// An experiment configuration small enough that each figure regenerates in
+/// well under a second per iteration, while preserving every structural
+/// property the paper's conclusions rely on.
+pub fn bench_config() -> ExperimentConfig {
+    let mut config = ExperimentConfig::quick();
+    config.trials = 1;
+    config.epsilons = vec![1.0];
+    config.ns_ratios = vec![0.9, 0.25];
+    config.cv_folds = 3;
+    config.scale_divisor = 50;
+    config.tippers = TippersConfig { users: 100, days: 4, ..TippersConfig::small() };
+    config
+}
+
+/// A Criterion instance tuned for coarse-grained, end-to-end benchmarks.
+pub fn criterion_for_figures() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_config_is_small_but_valid() {
+        let c = bench_config();
+        assert_eq!(c.trials, 1);
+        assert!(c.tippers.users <= 150);
+        assert!(!c.epsilons.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Privacy-budget accounting and composition.
+//!
+//! OSDP composes like differential privacy: running a `(P1, ε1)`-OSDP
+//! mechanism followed by a `(P2, ε2)`-OSDP mechanism yields a
+//! `(P_mr, ε1 + ε2)`-OSDP mechanism, where `P_mr` is the *minimum relaxation*
+//! of the two policies (Theorem 3.3). The appendix additionally proves a
+//! parallel composition theorem for the extended definition (Theorem 10.2):
+//! mechanisms run on disjoint partitions of the data compose with `max(εᵢ)`.
+//!
+//! [`BudgetAccountant`] is a small, thread-safe ledger that mechanisms and
+//! experiment harnesses use to (a) enforce a total budget and (b) report how a
+//! composite release breaks down. It tracks epsilons and guarantee kinds; the
+//! minimum relaxation of the *policies* involved is represented symbolically
+//! by the recorded policy labels (composing the actual policy objects is done
+//! with [`crate::policy::MinimumRelaxation`]).
+
+use crate::error::{validate_epsilon, OsdpError, Result};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// The privacy parameter of a single mechanism invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyBudget {
+    epsilon: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget, validating that epsilon is finite and positive.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        Ok(Self { epsilon: validate_epsilon(epsilon)? })
+    }
+
+    /// The epsilon value.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Splits the budget into `(rho * ε, (1 - rho) * ε)`, the split used by the
+    /// OSDP recipe / `DAWAz` (Algorithm 3).
+    pub fn split(&self, rho: f64) -> Result<(PrivacyBudget, PrivacyBudget)> {
+        crate::error::validate_fraction("rho", rho)?;
+        Ok((
+            PrivacyBudget { epsilon: self.epsilon * rho },
+            PrivacyBudget { epsilon: self.epsilon * (1.0 - rho) },
+        ))
+    }
+}
+
+/// The kind of guarantee a mechanism invocation provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrivacyGuarantee {
+    /// Plain ε-differential privacy — also `(P, ε)`-OSDP for every policy `P`
+    /// (Lemma 3.1).
+    DifferentialPrivacy,
+    /// `(P, ε)`-one-sided differential privacy for the labelled policy.
+    OneSided,
+    /// `(P, ε)`-extended OSDP (appendix definition); implies `(P, 2ε)`-OSDP
+    /// (Theorem 10.1).
+    ExtendedOneSided,
+}
+
+/// One entry of the composition ledger.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Human-readable mechanism label (e.g. `"OsdpRR"`, `"DAWA stage 1"`).
+    pub label: String,
+    /// Policy label the guarantee refers to (e.g. `"P99"`, `"Pall"`).
+    pub policy: String,
+    /// Epsilon spent by this invocation.
+    pub epsilon: f64,
+    /// Kind of guarantee.
+    pub guarantee: PrivacyGuarantee,
+}
+
+#[derive(Debug, Default)]
+struct AccountantState {
+    entries: Vec<LedgerEntry>,
+    spent: f64,
+}
+
+/// A thread-safe sequential-composition accountant with an optional cap.
+///
+/// ```
+/// use osdp_core::{BudgetAccountant, PrivacyGuarantee};
+/// let acc = BudgetAccountant::with_limit(1.0).unwrap();
+/// acc.spend("OsdpRR", "P99", 0.4, PrivacyGuarantee::OneSided).unwrap();
+/// acc.spend("DAWA", "Pall", 0.6, PrivacyGuarantee::DifferentialPrivacy).unwrap();
+/// assert!(acc.spend("extra", "P99", 0.1, PrivacyGuarantee::OneSided).is_err());
+/// assert_eq!(acc.total_spent(), 1.0);
+/// ```
+#[derive(Debug)]
+pub struct BudgetAccountant {
+    limit: Option<f64>,
+    state: Mutex<AccountantState>,
+}
+
+impl BudgetAccountant {
+    /// An accountant with no cap: it only records what is spent.
+    pub fn unlimited() -> Self {
+        Self { limit: None, state: Mutex::new(AccountantState::default()) }
+    }
+
+    /// An accountant that refuses to exceed `limit` total epsilon under
+    /// sequential composition.
+    pub fn with_limit(limit: f64) -> Result<Self> {
+        validate_epsilon(limit)?;
+        Ok(Self { limit: Some(limit), state: Mutex::new(AccountantState::default()) })
+    }
+
+    /// The configured cap, if any.
+    pub fn limit(&self) -> Option<f64> {
+        self.limit
+    }
+
+    /// Records an ε expenditure under sequential composition.
+    ///
+    /// Fails (and records nothing) if the cap would be exceeded.
+    pub fn spend(
+        &self,
+        label: impl Into<String>,
+        policy: impl Into<String>,
+        epsilon: f64,
+        guarantee: PrivacyGuarantee,
+    ) -> Result<()> {
+        validate_epsilon(epsilon)?;
+        let mut state = self.state.lock();
+        if let Some(limit) = self.limit {
+            let remaining = limit - state.spent;
+            // Small tolerance so that spending "the rest of the budget"
+            // computed with floating point does not spuriously fail.
+            if epsilon > remaining + 1e-12 {
+                return Err(OsdpError::BudgetExhausted { requested: epsilon, remaining });
+            }
+        }
+        state.spent += epsilon;
+        state.entries.push(LedgerEntry {
+            label: label.into(),
+            policy: policy.into(),
+            epsilon,
+            guarantee,
+        });
+        Ok(())
+    }
+
+    /// Records a **parallel** block: mechanisms applied to disjoint partitions
+    /// of the data. Under Theorem 10.2 the block costs `max(εᵢ)` rather than
+    /// the sum.
+    ///
+    /// `parts` is a list of `(label, policy, epsilon)` triples; the whole block
+    /// is recorded as one ledger entry labelled `block_label`.
+    pub fn spend_parallel(
+        &self,
+        block_label: impl Into<String>,
+        guarantee: PrivacyGuarantee,
+        parts: &[(&str, &str, f64)],
+    ) -> Result<()> {
+        if parts.is_empty() {
+            return Err(OsdpError::InvalidInput("parallel block with no parts".into()));
+        }
+        let mut max_eps: f64 = 0.0;
+        for &(_, _, eps) in parts {
+            validate_epsilon(eps)?;
+            max_eps = max_eps.max(eps);
+        }
+        let policies: Vec<&str> = parts.iter().map(|&(_, p, _)| p).collect();
+        self.spend(
+            format!("{} [parallel: {}]", block_label.into(), parts.len()),
+            format!("min-relaxation({})", policies.join(", ")),
+            max_eps,
+            guarantee,
+        )
+    }
+
+    /// Total epsilon spent so far (sequential composition).
+    pub fn total_spent(&self) -> f64 {
+        self.state.lock().spent
+    }
+
+    /// Remaining budget, or `None` for an unlimited accountant.
+    pub fn remaining(&self) -> Option<f64> {
+        self.limit.map(|l| (l - self.state.lock().spent).max(0.0))
+    }
+
+    /// A snapshot of the ledger.
+    pub fn ledger(&self) -> Vec<LedgerEntry> {
+        self.state.lock().entries.clone()
+    }
+
+    /// True if every recorded entry is plain differential privacy — in which
+    /// case the composite release is ε-DP for ε = [`Self::total_spent`].
+    pub fn is_pure_dp(&self) -> bool {
+        self.state
+            .lock()
+            .entries
+            .iter()
+            .all(|e| e.guarantee == PrivacyGuarantee::DifferentialPrivacy)
+    }
+
+    /// Summarises the OSDP guarantee of the composed release: the total ε and
+    /// the list of policy labels whose minimum relaxation the guarantee refers
+    /// to (Theorem 3.3).
+    pub fn composed_guarantee(&self) -> (f64, Vec<String>) {
+        let state = self.state.lock();
+        let mut policies: Vec<String> = state.entries.iter().map(|e| e.policy.clone()).collect();
+        policies.dedup();
+        (state.spent, policies)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_budget_validates_and_splits() {
+        let b = PrivacyBudget::new(1.0).unwrap();
+        assert_eq!(b.epsilon(), 1.0);
+        assert!(PrivacyBudget::new(0.0).is_err());
+        assert!(PrivacyBudget::new(f64::NAN).is_err());
+
+        let (a, rest) = b.split(0.1).unwrap();
+        assert!((a.epsilon() - 0.1).abs() < 1e-12);
+        assert!((rest.epsilon() - 0.9).abs() < 1e-12);
+        assert!(b.split(0.0).is_err());
+        assert!(b.split(1.0).is_err());
+    }
+
+    #[test]
+    fn sequential_composition_adds_up() {
+        let acc = BudgetAccountant::unlimited();
+        acc.spend("m1", "P99", 0.3, PrivacyGuarantee::OneSided).unwrap();
+        acc.spend("m2", "P90", 0.7, PrivacyGuarantee::OneSided).unwrap();
+        assert!((acc.total_spent() - 1.0).abs() < 1e-12);
+        assert_eq!(acc.ledger().len(), 2);
+        assert_eq!(acc.remaining(), None);
+        assert!(!acc.is_pure_dp());
+
+        let (eps, policies) = acc.composed_guarantee();
+        assert!((eps - 1.0).abs() < 1e-12);
+        assert_eq!(policies, vec!["P99".to_string(), "P90".to_string()]);
+    }
+
+    #[test]
+    fn limit_is_enforced() {
+        let acc = BudgetAccountant::with_limit(1.0).unwrap();
+        assert_eq!(acc.limit(), Some(1.0));
+        acc.spend("a", "P", 0.6, PrivacyGuarantee::DifferentialPrivacy).unwrap();
+        assert!((acc.remaining().unwrap() - 0.4).abs() < 1e-12);
+        let err = acc.spend("b", "P", 0.5, PrivacyGuarantee::DifferentialPrivacy).unwrap_err();
+        assert!(matches!(err, OsdpError::BudgetExhausted { .. }));
+        // Failed spends must not be recorded.
+        assert_eq!(acc.ledger().len(), 1);
+        // Spending exactly the remainder is fine (floating point tolerance).
+        acc.spend("c", "P", 0.4, PrivacyGuarantee::DifferentialPrivacy).unwrap();
+        assert!(acc.remaining().unwrap().abs() < 1e-9);
+        assert!(acc.is_pure_dp());
+    }
+
+    #[test]
+    fn invalid_epsilons_are_rejected() {
+        let acc = BudgetAccountant::unlimited();
+        assert!(acc.spend("a", "P", -1.0, PrivacyGuarantee::OneSided).is_err());
+        assert!(acc.spend("a", "P", f64::INFINITY, PrivacyGuarantee::OneSided).is_err());
+        assert!(BudgetAccountant::with_limit(-3.0).is_err());
+    }
+
+    #[test]
+    fn parallel_composition_costs_the_max() {
+        let acc = BudgetAccountant::unlimited();
+        acc.spend_parallel(
+            "per-partition release",
+            PrivacyGuarantee::ExtendedOneSided,
+            &[("p0", "P1", 0.2), ("p1", "P2", 0.5), ("p2", "P1", 0.3)],
+        )
+        .unwrap();
+        assert!((acc.total_spent() - 0.5).abs() < 1e-12);
+        let ledger = acc.ledger();
+        assert_eq!(ledger.len(), 1);
+        assert!(ledger[0].label.contains("parallel"));
+        assert!(ledger[0].policy.contains("P1"));
+        assert!(ledger[0].policy.contains("P2"));
+
+        assert!(acc
+            .spend_parallel("empty", PrivacyGuarantee::OneSided, &[])
+            .is_err());
+        assert!(acc
+            .spend_parallel("bad", PrivacyGuarantee::OneSided, &[("x", "P", -0.1)])
+            .is_err());
+    }
+
+    #[test]
+    fn accountant_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let acc = Arc::new(BudgetAccountant::unlimited());
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let acc = Arc::clone(&acc);
+                std::thread::spawn(move || {
+                    acc.spend(format!("m{i}"), "P", 0.125, PrivacyGuarantee::OneSided).unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!((acc.total_spent() - 1.0).abs() < 1e-9);
+        assert_eq!(acc.ledger().len(), 8);
+    }
+}

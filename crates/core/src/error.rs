@@ -1,0 +1,147 @@
+//! Error types shared across the OSDP workspace.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, OsdpError>;
+
+/// Errors raised by OSDP core data structures and mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsdpError {
+    /// The privacy parameter epsilon must be strictly positive and finite.
+    InvalidEpsilon {
+        /// The offending value.
+        epsilon: f64,
+    },
+    /// A budget split (e.g. the `rho` fraction of `DAWAz`) must lie in `(0, 1)`.
+    InvalidFraction {
+        /// Name of the parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The requested privacy budget exceeds what remains in the accountant.
+    BudgetExhausted {
+        /// Budget requested by the caller.
+        requested: f64,
+        /// Budget still available.
+        remaining: f64,
+    },
+    /// Two histograms (or a histogram and a domain) have mismatched sizes.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A record is missing a field required by a policy or a query.
+    MissingField {
+        /// Name of the missing field.
+        field: String,
+    },
+    /// A field held a value of an unexpected type.
+    TypeMismatch {
+        /// Name of the field.
+        field: String,
+        /// Expected type name.
+        expected: &'static str,
+    },
+    /// The database violates a precondition of an algorithm (e.g. empty input).
+    InvalidInput(String),
+    /// A policy was found to be trivial (all sensitive or all non-sensitive)
+    /// where a non-trivial policy is required.
+    TrivialPolicy,
+}
+
+impl fmt::Display for OsdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsdpError::InvalidEpsilon { epsilon } => {
+                write!(f, "invalid privacy parameter epsilon = {epsilon}; must be finite and > 0")
+            }
+            OsdpError::InvalidFraction { name, value } => {
+                write!(f, "invalid fraction {name} = {value}; must lie strictly between 0 and 1")
+            }
+            OsdpError::BudgetExhausted { requested, remaining } => write!(
+                f,
+                "privacy budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+            OsdpError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            OsdpError::MissingField { field } => write!(f, "record is missing field `{field}`"),
+            OsdpError::TypeMismatch { field, expected } => {
+                write!(f, "field `{field}` does not hold a value of type {expected}")
+            }
+            OsdpError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            OsdpError::TrivialPolicy => write!(
+                f,
+                "policy is trivial (classifies every record identically); OSDP requires at least \
+                 one sensitive and one non-sensitive record"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OsdpError {}
+
+/// Validates a privacy parameter.
+///
+/// Epsilon must be finite and strictly positive; this is used by every
+/// mechanism constructor in the workspace.
+pub fn validate_epsilon(epsilon: f64) -> Result<f64> {
+    if epsilon.is_finite() && epsilon > 0.0 {
+        Ok(epsilon)
+    } else {
+        Err(OsdpError::InvalidEpsilon { epsilon })
+    }
+}
+
+/// Validates that a value lies strictly inside `(0, 1)`.
+pub fn validate_fraction(name: &'static str, value: f64) -> Result<f64> {
+    if value.is_finite() && value > 0.0 && value < 1.0 {
+        Ok(value)
+    } else {
+        Err(OsdpError::InvalidFraction { name, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_must_be_positive() {
+        assert!(validate_epsilon(1.0).is_ok());
+        assert!(validate_epsilon(0.01).is_ok());
+        assert!(validate_epsilon(0.0).is_err());
+        assert!(validate_epsilon(-1.0).is_err());
+        assert!(validate_epsilon(f64::NAN).is_err());
+        assert!(validate_epsilon(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn fraction_must_be_open_interval() {
+        assert!(validate_fraction("rho", 0.1).is_ok());
+        assert!(validate_fraction("rho", 0.0).is_err());
+        assert!(validate_fraction("rho", 1.0).is_err());
+        assert!(validate_fraction("rho", f64::NAN).is_err());
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = OsdpError::BudgetExhausted { requested: 1.0, remaining: 0.5 };
+        assert!(e.to_string().contains("exhausted"));
+        let e = OsdpError::MissingField { field: "age".into() };
+        assert!(e.to_string().contains("age"));
+        let e = OsdpError::TypeMismatch { field: "age".into(), expected: "Int" };
+        assert!(e.to_string().contains("Int"));
+        assert!(OsdpError::TrivialPolicy.to_string().contains("trivial"));
+        assert!(OsdpError::InvalidEpsilon { epsilon: -1.0 }.to_string().contains("-1"));
+        assert!(
+            OsdpError::DimensionMismatch { expected: 3, actual: 4 }.to_string().contains("3")
+        );
+        assert!(OsdpError::InvalidInput("x".into()).to_string().contains('x'));
+        assert!(OsdpError::InvalidFraction { name: "rho", value: 2.0 }.to_string().contains("rho"));
+    }
+}

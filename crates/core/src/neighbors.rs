@@ -1,0 +1,234 @@
+//! Neighboring-database relations.
+//!
+//! Differential privacy and its variants are defined through a relation on
+//! databases:
+//!
+//! * **DP neighbors** (Definition 2.1, bounded model): `D'` replaces the value
+//!   of at most one record of `D` — symmetric.
+//! * **One-sided `P`-neighbors** (Definition 3.2): `D'` replaces one
+//!   *sensitive* record of `D` with any other record — asymmetric. A database
+//!   with no sensitive records has no one-sided neighbors.
+//! * **Extended one-sided `P`-neighbors** (Definition 10.1): `D'` removes one
+//!   sensitive record of `D`, or adds a record different from some sensitive
+//!   record of `D` — neighbors may differ in size.
+//!
+//! These generators materialise the neighbor sets for *small* databases and
+//! universes. They are not used by mechanisms at run time; they exist so that
+//! the privacy guarantees can be verified empirically (the `osdp-attack` crate
+//! and the test suites enumerate output distributions over all neighbors).
+
+use crate::database::Database;
+use crate::policy::Policy;
+
+/// All DP neighbors of `db` under the bounded model: every database obtained
+/// by replacing the value of exactly one record with a different value from
+/// `universe`.
+pub fn dp_neighbors<R>(db: &Database<R>, universe: &[R]) -> Vec<Database<R>>
+where
+    R: Clone + PartialEq,
+{
+    let mut out = Vec::new();
+    for idx in 0..db.len() {
+        let current = db.get(idx).expect("index in range");
+        for candidate in universe {
+            if candidate != current {
+                let mut neighbor = db.clone();
+                neighbor.replace(idx, candidate.clone());
+                out.push(neighbor);
+            }
+        }
+    }
+    out
+}
+
+/// All one-sided `P`-neighbors of `db` (Definition 3.2): every database
+/// obtained by replacing one **sensitive** record with a different value from
+/// `universe`.
+///
+/// The relation is asymmetric: if `db` has no sensitive records the result is
+/// empty, yet `db` itself may well be a neighbor of other databases.
+pub fn one_sided_neighbors<R, P>(db: &Database<R>, universe: &[R], policy: &P) -> Vec<Database<R>>
+where
+    R: Clone + PartialEq,
+    P: Policy<R> + ?Sized,
+{
+    let mut out = Vec::new();
+    for idx in 0..db.len() {
+        let current = db.get(idx).expect("index in range");
+        if !policy.is_sensitive(current) {
+            continue;
+        }
+        for candidate in universe {
+            if candidate != current {
+                let mut neighbor = db.clone();
+                neighbor.replace(idx, candidate.clone());
+                out.push(neighbor);
+            }
+        }
+    }
+    out
+}
+
+/// All extended one-sided `P`-neighbors of `db` (Definition 10.1): for every
+/// sensitive record `r ∈ D`, the database `D − {r}` and every database
+/// `D ∪ {r'}` with `r' ≠ r`.
+pub fn extended_one_sided_neighbors<R, P>(
+    db: &Database<R>,
+    universe: &[R],
+    policy: &P,
+) -> Vec<Database<R>>
+where
+    R: Clone + PartialEq,
+    P: Policy<R> + ?Sized,
+{
+    let mut out = Vec::new();
+    for idx in 0..db.len() {
+        let current = db.get(idx).expect("index in range");
+        if !policy.is_sensitive(current) {
+            continue;
+        }
+        // D - {r}
+        let mut removed = db.clone();
+        removed.remove(idx);
+        out.push(removed);
+        // D ∪ {r'} for r' != r
+        for candidate in universe {
+            if candidate != current {
+                let mut added = db.clone();
+                added.push(candidate.clone());
+                out.push(added);
+            }
+        }
+    }
+    out
+}
+
+/// Checks whether `candidate` is a one-sided `P`-neighbor of `db`, by
+/// definition (both databases must have the same size and differ in exactly
+/// one position, which holds a sensitive record in `db`).
+///
+/// Positions are compared pairwise, which matches how the generators above
+/// construct neighbors; multiset equality up to permutation is not required
+/// for verifying mechanisms because all mechanisms in this workspace are
+/// record-exchangeable.
+pub fn is_one_sided_neighbor<R, P>(db: &Database<R>, candidate: &Database<R>, policy: &P) -> bool
+where
+    R: Clone + PartialEq,
+    P: Policy<R> + ?Sized,
+{
+    if db.len() != candidate.len() {
+        return false;
+    }
+    let mut differing = Vec::new();
+    for idx in 0..db.len() {
+        if db.get(idx) != candidate.get(idx) {
+            differing.push(idx);
+        }
+    }
+    match differing.as_slice() {
+        [idx] => policy.is_sensitive(db.get(*idx).expect("index in range")),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{AllSensitive, ClosurePolicy, NoneSensitive};
+
+    /// Tiny record universe: codes 0..4, where codes >= 2 are sensitive.
+    fn universe() -> Vec<u32> {
+        vec![0, 1, 2, 3]
+    }
+
+    fn policy() -> ClosurePolicy<u32> {
+        ClosurePolicy::new("hi-codes-sensitive", |&c: &u32| c >= 2)
+    }
+
+    #[test]
+    fn dp_neighbors_replace_any_record() {
+        let db: Database<u32> = vec![0u32, 2].into_iter().collect();
+        let neighbors = dp_neighbors(&db, &universe());
+        // each of the 2 records can be swapped to 3 other values
+        assert_eq!(neighbors.len(), 6);
+        for n in &neighbors {
+            assert_eq!(n.len(), 2);
+            let diffs = (0..2).filter(|&i| n.get(i) != db.get(i)).count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn one_sided_neighbors_only_touch_sensitive_records() {
+        let db: Database<u32> = vec![0u32, 2].into_iter().collect();
+        let neighbors = one_sided_neighbors(&db, &universe(), &policy());
+        // only the sensitive record (value 2) may be replaced, by 3 candidates
+        assert_eq!(neighbors.len(), 3);
+        for n in &neighbors {
+            assert_eq!(n.get(0), Some(&0), "non-sensitive record untouched");
+            assert_ne!(n.get(1), Some(&2));
+            assert!(is_one_sided_neighbor(&db, n, &policy()));
+        }
+    }
+
+    #[test]
+    fn database_with_no_sensitive_records_has_no_one_sided_neighbors() {
+        let db: Database<u32> = vec![0u32, 1, 1].into_iter().collect();
+        assert!(one_sided_neighbors(&db, &universe(), &policy()).is_empty());
+        assert!(extended_one_sided_neighbors(&db, &universe(), &policy()).is_empty());
+    }
+
+    #[test]
+    fn one_sided_relation_is_asymmetric() {
+        let p = policy();
+        // D has a sensitive record 2; D' replaces it with non-sensitive 0.
+        let d: Database<u32> = vec![2u32].into_iter().collect();
+        let d_prime: Database<u32> = vec![0u32].into_iter().collect();
+        assert!(is_one_sided_neighbor(&d, &d_prime, &p));
+        // The reverse does not hold: the differing record in D' is non-sensitive.
+        assert!(!is_one_sided_neighbor(&d_prime, &d, &p));
+    }
+
+    #[test]
+    fn under_all_sensitive_policy_one_sided_equals_dp() {
+        let db: Database<u32> = vec![0u32, 2, 3].into_iter().collect();
+        let dp = dp_neighbors(&db, &universe());
+        let osdp = one_sided_neighbors(&db, &universe(), &AllSensitive);
+        assert_eq!(dp, osdp, "Lemma 3.2: P_all one-sided neighbors are DP neighbors");
+    }
+
+    #[test]
+    fn under_none_sensitive_policy_there_are_no_neighbors() {
+        let db: Database<u32> = vec![0u32, 2, 3].into_iter().collect();
+        assert!(one_sided_neighbors(&db, &universe(), &NoneSensitive).is_empty());
+    }
+
+    #[test]
+    fn extended_neighbors_add_or_remove_one_record() {
+        let db: Database<u32> = vec![1u32, 3].into_iter().collect();
+        let p = policy();
+        let neighbors = extended_one_sided_neighbors(&db, &universe(), &p);
+        // sensitive record 3: one removal + 3 additions (0, 1, 2)
+        assert_eq!(neighbors.len(), 4);
+        let removals: Vec<_> = neighbors.iter().filter(|n| n.len() == 1).collect();
+        let additions: Vec<_> = neighbors.iter().filter(|n| n.len() == 3).collect();
+        assert_eq!(removals.len(), 1);
+        assert_eq!(additions.len(), 3);
+        assert_eq!(removals[0].records(), &[1u32]);
+        for a in additions {
+            assert_ne!(*a.records().last().unwrap(), 3u32, "added record differs from r");
+        }
+    }
+
+    #[test]
+    fn neighbor_checker_rejects_wrong_shapes() {
+        let p = policy();
+        let d: Database<u32> = vec![2u32, 2].into_iter().collect();
+        let same = d.clone();
+        assert!(!is_one_sided_neighbor(&d, &same, &p), "identical databases are not neighbors");
+        let shorter: Database<u32> = vec![2u32].into_iter().collect();
+        assert!(!is_one_sided_neighbor(&d, &shorter, &p));
+        let two_diffs: Database<u32> = vec![0u32, 1].into_iter().collect();
+        assert!(!is_one_sided_neighbor(&d, &two_diffs, &p));
+    }
+}

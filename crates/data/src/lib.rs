@@ -1,0 +1,31 @@
+//! # osdp-data
+//!
+//! Data substrate for the OSDP reproduction. The paper evaluates on two data
+//! sources that are not redistributable (a 9-month Wi-Fi trace from the
+//! TIPPERS IoT testbed at UC Irvine, and the DPBench collection of real 1-D
+//! histograms). This crate provides faithful synthetic stand-ins:
+//!
+//! * [`dpbench`] — seven 1-D histograms over a 4096-bin domain whose
+//!   **sparsity**, **scale** and qualitative **shape** match the benchmark
+//!   characteristics published in Table 2 of the paper.
+//! * [`sampling`] — the `MSampling` ("Close" policy) and `HiLoSampling`
+//!   ("Far" policy) procedures of Section 6.1.2 that simulate opt-in/opt-out
+//!   behaviour by drawing a non-sensitive sub-histogram from a full histogram.
+//! * [`tippers`] — a generative smart-building simulator (64 access points,
+//!   residents vs. visitors, 10-minute time slots) producing daily
+//!   trajectories with the structural properties the experiments rely on:
+//!   residents have longer and more regular trajectories, n-gram histograms
+//!   are high-dimensional and sparse, and sensitivity is value-correlated
+//!   (a trajectory is sensitive exactly when it passes a sensitive access
+//!   point).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dpbench;
+pub mod sampling;
+pub mod shapes;
+pub mod tippers;
+
+pub use dpbench::{BenchmarkDataset, DatasetSpec, ALL_DATASETS};
+pub use sampling::{hilo_sampling, m_sampling, PolicyKind, SampledPolicy};

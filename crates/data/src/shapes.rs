@@ -1,0 +1,160 @@
+//! Histogram shape primitives used by the DPBench-style dataset generators.
+//!
+//! Each generator produces a vector of non-negative *weights* over a domain;
+//! [`crate::dpbench`] then selects which bins stay non-zero (to hit a target
+//! sparsity) and rescales the weights to a target total count (scale).
+
+use rand::Rng;
+
+/// A smooth mixture of Gaussian bumps over `domain` bins.
+///
+/// `bumps` is a list of `(center_fraction, width_fraction, height)` triples.
+pub fn gaussian_mixture(domain: usize, bumps: &[(f64, f64, f64)]) -> Vec<f64> {
+    let mut weights = vec![0.0; domain];
+    for &(center, width, height) in bumps {
+        let mu = center * domain as f64;
+        let sigma = (width * domain as f64).max(1.0);
+        for (i, w) in weights.iter_mut().enumerate() {
+            let z = (i as f64 - mu) / sigma;
+            *w += height * (-0.5 * z * z).exp();
+        }
+    }
+    weights
+}
+
+/// Zipfian (power-law) weights: bin `i` gets weight `1 / (i + 1)^exponent`,
+/// optionally shuffled so the heavy bins are not all at the left edge.
+pub fn zipfian<R: Rng + ?Sized>(domain: usize, exponent: f64, shuffle: bool, rng: &mut R) -> Vec<f64> {
+    let mut weights: Vec<f64> =
+        (0..domain).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+    if shuffle {
+        // Fisher–Yates so the generator stays dependency-free.
+        for i in (1..weights.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            weights.swap(i, j);
+        }
+    }
+    weights
+}
+
+/// A monotone (sorted, non-increasing) profile with geometric decay.
+///
+/// Mirrors "Nettrace is a sorted histogram" (Section 6.3.3.2): sorted inputs
+/// strongly favour partition-based DP algorithms such as DAWA.
+pub fn sorted_decay(domain: usize, half_life_fraction: f64) -> Vec<f64> {
+    let half_life = (half_life_fraction * domain as f64).max(1.0);
+    (0..domain).map(|i| 0.5f64.powf(i as f64 / half_life)).collect()
+}
+
+/// Spiky weights: mostly tiny values with a few large spikes at random
+/// positions (`spikes` of them, each `spike_height` times the base level).
+pub fn spiky<R: Rng + ?Sized>(
+    domain: usize,
+    spikes: usize,
+    spike_height: f64,
+    rng: &mut R,
+) -> Vec<f64> {
+    let mut weights = vec![1.0; domain];
+    for _ in 0..spikes {
+        let pos = rng.gen_range(0..domain);
+        weights[pos] += spike_height * (0.5 + rng.gen::<f64>());
+    }
+    weights
+}
+
+/// Piecewise-constant clustered weights: `clusters` runs of random length,
+/// each with its own level. Produces the kind of locally-uniform structure
+/// DAWA's partitioning stage is designed to exploit.
+pub fn clustered<R: Rng + ?Sized>(domain: usize, clusters: usize, rng: &mut R) -> Vec<f64> {
+    let mut weights = vec![0.0; domain];
+    let mut start = 0usize;
+    let avg_len = (domain / clusters.max(1)).max(1);
+    while start < domain {
+        let len = rng.gen_range(1..=2 * avg_len).min(domain - start);
+        let level = rng.gen_range(0.0..1.0f64).powi(2) * 100.0;
+        for w in weights.iter_mut().skip(start).take(len) {
+            *w = level;
+        }
+        start += len;
+    }
+    weights
+}
+
+/// Bimodal smooth shape: two broad bumps of different heights.
+pub fn bimodal(domain: usize) -> Vec<f64> {
+    gaussian_mixture(domain, &[(0.25, 0.08, 1.0), (0.7, 0.12, 0.6)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn gaussian_mixture_peaks_at_centers() {
+        let w = gaussian_mixture(100, &[(0.5, 0.05, 1.0)]);
+        assert_eq!(w.len(), 100);
+        let max_idx = w.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert!((max_idx as i64 - 50).abs() <= 1);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn zipfian_is_heavy_tailed_and_shuffles() {
+        let mut r = rng();
+        let w = zipfian(1000, 1.2, false, &mut r);
+        assert!(w[0] > w[10]);
+        assert!(w[10] > w[500]);
+        let shuffled = zipfian(1000, 1.2, true, &mut r);
+        assert_ne!(w, shuffled, "shuffling must change the order");
+        let mut sorted = shuffled.clone();
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        assert_eq!(sorted, w, "shuffling must preserve the multiset of weights");
+    }
+
+    #[test]
+    fn sorted_decay_is_monotone() {
+        let w = sorted_decay(512, 0.1);
+        for i in 1..w.len() {
+            assert!(w[i] <= w[i - 1]);
+        }
+        assert!(w[0] > w[511]);
+    }
+
+    #[test]
+    fn spiky_has_the_requested_number_of_heavy_bins() {
+        let mut r = rng();
+        let w = spiky(4096, 20, 1000.0, &mut r);
+        let heavy = w.iter().filter(|&&x| x > 100.0).count();
+        assert!(heavy >= 15 && heavy <= 20, "got {heavy} heavy bins");
+    }
+
+    #[test]
+    fn clustered_produces_constant_runs() {
+        let mut r = rng();
+        let w = clustered(1000, 20, &mut r);
+        assert_eq!(w.len(), 1000);
+        // Count positions where the value changes; should be far fewer than
+        // the domain size.
+        let changes = w.windows(2).filter(|p| p[0] != p[1]).count();
+        assert!(changes < 100, "got {changes} changes");
+    }
+
+    #[test]
+    fn bimodal_has_two_peaks() {
+        let w = bimodal(400);
+        // local maxima search with a coarse stride
+        let mut peaks = 0;
+        for i in (10..390).step_by(5) {
+            if w[i] > w[i - 10] && w[i] > w[i + 10] && w[i] > 0.1 {
+                peaks += 1;
+            }
+        }
+        assert!(peaks >= 2, "expected at least two coarse peaks, got {peaks}");
+    }
+}

@@ -1,0 +1,155 @@
+//! n-gram histograms over trajectories (Section 6.3.2).
+//!
+//! The high-dimensional histogram task counts, for every sequence of `n`
+//! consecutive access points, the number of **distinct users** whose daily
+//! trajectory contains that sequence. The domain has `64ⁿ` bins (over a
+//! billion for n = 5), so the counts are kept sparse: only non-zero bins are
+//! materialised and the contribution of the all-zero remainder to error
+//! metrics is handled analytically.
+
+use super::trajectory::Trajectory;
+use std::collections::{BTreeMap, BTreeSet};
+
+pub use osdp_core::SparseHistogram;
+
+/// Distinct-user n-gram counts for a set of trajectories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NgramCounts {
+    n: usize,
+    ap_count: usize,
+    counts: SparseHistogram,
+}
+
+impl NgramCounts {
+    /// Encodes an n-gram (sequence of access points) as a dense integer key,
+    /// interpreting the sequence as a base-`ap_count` number.
+    pub fn encode(ngram: &[u8], ap_count: usize) -> u64 {
+        let mut key: u64 = 0;
+        for &ap in ngram {
+            key = key * ap_count as u64 + ap as u64;
+        }
+        key
+    }
+
+    /// Counts distinct users per n-gram over the trajectories accepted by the
+    /// iterator, considering at most `truncation` n-grams per trajectory
+    /// (`None` = no truncation).
+    ///
+    /// Truncation is the standard sensitivity-control trick for DP release of
+    /// user-level counts (Section 6.3.2): keeping at most `k` n-grams per
+    /// trajectory bounds the sensitivity of the histogram by `2k`.
+    pub fn from_trajectories<'a, I>(
+        trajectories: I,
+        n: usize,
+        ap_count: usize,
+        truncation: Option<usize>,
+    ) -> Self
+    where
+        I: IntoIterator<Item = &'a Trajectory>,
+    {
+        let mut users_per_ngram: BTreeMap<u64, BTreeSet<u32>> = BTreeMap::new();
+        for t in trajectories {
+            let mut grams = t.ngrams(n);
+            // Deduplicate the n-grams of a single trajectory first so that
+            // truncation keeps *distinct* n-grams, then apply the cap.
+            let mut seen: BTreeSet<u64> = BTreeSet::new();
+            grams.retain(|g| seen.insert(Self::encode(g, ap_count)));
+            if let Some(k) = truncation {
+                grams.truncate(k);
+            }
+            for g in grams {
+                users_per_ngram.entry(Self::encode(&g, ap_count)).or_default().insert(t.user);
+            }
+        }
+        let domain_size = (ap_count as f64).powi(n as i32);
+        let mut counts = SparseHistogram::new(domain_size);
+        for (key, users) in users_per_ngram {
+            counts.set(key, users.len() as f64);
+        }
+        Self { n, ap_count, counts }
+    }
+
+    /// The n-gram length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The sparse distinct-user counts.
+    pub fn counts(&self) -> &SparseHistogram {
+        &self.counts
+    }
+
+    /// Consumes the counts.
+    pub fn into_counts(self) -> SparseHistogram {
+        self.counts
+    }
+
+    /// The number of access points (the base of the n-gram domain).
+    pub fn ap_count(&self) -> usize {
+        self.ap_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tippers::{generate_dataset, TippersConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn traj(user: u32, aps: &[u8]) -> Trajectory {
+        let mut slots = vec![None; 40];
+        for (i, &ap) in aps.iter().enumerate() {
+            slots[i + 1] = Some(ap);
+        }
+        Trajectory::new(user, 0, slots)
+    }
+
+    #[test]
+    fn encoding_is_injective_for_fixed_length() {
+        let a = NgramCounts::encode(&[1, 2, 3], 64);
+        let b = NgramCounts::encode(&[1, 2, 4], 64);
+        let c = NgramCounts::encode(&[3, 2, 1], 64);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(NgramCounts::encode(&[0, 0, 1], 64), 1);
+        assert_eq!(NgramCounts::encode(&[1, 0, 0], 64), 64 * 64);
+    }
+
+    #[test]
+    fn distinct_user_counting() {
+        // Two users share the bigram (1,2); one of them repeats it.
+        let t1 = traj(1, &[1, 2, 1, 2]);
+        let t2 = traj(2, &[1, 2, 3]);
+        let counts = NgramCounts::from_trajectories([&t1, &t2], 2, 64, None);
+        assert_eq!(counts.n(), 2);
+        assert_eq!(counts.ap_count(), 64);
+        let key12 = NgramCounts::encode(&[1, 2], 64);
+        let key23 = NgramCounts::encode(&[2, 3], 64);
+        assert_eq!(counts.counts().get(key12), 2.0, "distinct users, not occurrences");
+        assert_eq!(counts.counts().get(key23), 1.0);
+        assert_eq!(counts.counts().domain_size(), 64.0 * 64.0);
+    }
+
+    #[test]
+    fn truncation_limits_ngrams_per_trajectory() {
+        let t1 = traj(1, &[1, 2, 3, 4, 5]); // bigrams: 12, 23, 34, 45
+        let full = NgramCounts::from_trajectories([&t1], 2, 64, None);
+        let trunc = NgramCounts::from_trajectories([&t1], 2, 64, Some(1));
+        assert_eq!(full.counts().support_size(), 4);
+        assert_eq!(trunc.counts().support_size(), 1);
+        assert_eq!(trunc.counts().total(), 1.0);
+    }
+
+    #[test]
+    fn simulated_dataset_ngrams_are_sparse_but_nonempty() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let ds = generate_dataset(&TippersConfig::small(), &mut rng);
+        let counts =
+            NgramCounts::from_trajectories(ds.trajectories(), 4, ds.building().ap_count(), None);
+        assert!(counts.counts().support_size() > 10);
+        // The support must be a vanishing fraction of the 64^4 domain.
+        assert!((counts.counts().support_size() as f64) < 0.01 * counts.counts().domain_size());
+        assert_eq!(counts.counts().domain_size(), 64f64.powi(4));
+    }
+}

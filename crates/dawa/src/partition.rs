@@ -1,0 +1,247 @@
+//! Stage 1 of DAWA: ε₁-private, data-aware partitioning of the domain.
+//!
+//! The partitioner searches for a partition of the domain into buckets that
+//! minimises the estimated total error of the second stage:
+//!
+//! ```text
+//! cost(partition) = Σ_B [ dev(B) + c ]
+//! ```
+//!
+//! where `dev(B)` is the L1 deviation of bucket `B` from its mean
+//! (approximation error of uniform expansion) and `c` is the expected L1
+//! error of the noisy bucket total added in stage 2 (`c = 2/ε₂`).
+//!
+//! The search follows DAWA's dyadic strategy: candidate buckets are intervals
+//! of a binary tree over the domain and the optimal dyadic partition is found
+//! by a bottom-up merge. To make the stage ε₁-differentially private every
+//! deviation is evaluated with Laplace noise whose scale accounts for the
+//! number of tree levels a single record can influence.
+
+use crate::cost::CostEvaluator;
+use osdp_core::error::{validate_epsilon, Result};
+use osdp_core::Histogram;
+use osdp_noise::Laplace;
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A partition of `0..domain` into consecutive, non-overlapping buckets
+/// (half-open intervals), in increasing order.
+pub type Partition = Vec<(usize, usize)>;
+
+/// The ε₁-private dyadic partitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Partitioner {
+    epsilon1: f64,
+    bucket_constant: f64,
+}
+
+impl Partitioner {
+    /// Creates a partitioner.
+    ///
+    /// * `epsilon1` — privacy budget of the partitioning stage.
+    /// * `epsilon2` — budget that stage 2 will use; it only enters the cost
+    ///   model (per-bucket constant `2/ε₂`), not the privacy accounting of
+    ///   this stage.
+    pub fn new(epsilon1: f64, epsilon2: f64) -> Result<Self> {
+        validate_epsilon(epsilon1)?;
+        validate_epsilon(epsilon2)?;
+        Ok(Self { epsilon1, bucket_constant: 2.0 / epsilon2 })
+    }
+
+    /// The per-bucket noise constant `c` of the cost model.
+    pub fn bucket_constant(&self) -> f64 {
+        self.bucket_constant
+    }
+
+    /// Computes an ε₁-private partition of the histogram's domain.
+    ///
+    /// A single record influences at most two bins (bounded DP), each bin
+    /// belongs to one candidate interval per tree level, and a unit change of
+    /// a count changes an interval's deviation by at most 2 — so the total L1
+    /// sensitivity of all evaluated costs is `4·levels` and each cost is
+    /// perturbed with `Lap(4·levels / ε₁)`.
+    pub fn partition<R: Rng + ?Sized>(&self, hist: &Histogram, rng: &mut R) -> Partition {
+        let n = hist.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![(0, 1)];
+        }
+        let ev = CostEvaluator::new(hist);
+        let levels = (n as f64).log2().ceil().max(1.0);
+        let noise = Laplace::centered(4.0 * levels / self.epsilon1)
+            .expect("scale is positive by construction");
+
+        // Bottom-up merge. Each node carries (start, end, cost of the best
+        // dyadic partition inside it, that partition).
+        struct Node {
+            start: usize,
+            end: usize,
+            cost: f64,
+            partition: Partition,
+        }
+
+        let mut level: Vec<Node> = (0..n)
+            .map(|i| Node {
+                start: i,
+                end: i + 1,
+                cost: self.bucket_constant + noise.sample(rng),
+                partition: vec![(i, i + 1)],
+            })
+            .collect();
+
+        while level.len() > 1 {
+            let mut next: Vec<Node> = Vec::with_capacity(level.len() / 2 + 1);
+            let mut iter = level.into_iter();
+            loop {
+                let Some(left) = iter.next() else { break };
+                let Some(right) = iter.next() else {
+                    // Odd node carries straight up.
+                    next.push(left);
+                    break;
+                };
+                let merged_cost = ev.bucket_cost(left.start, right.end)
+                    + self.bucket_constant
+                    + noise.sample(rng);
+                let split_cost = left.cost + right.cost;
+                if merged_cost <= split_cost {
+                    next.push(Node {
+                        start: left.start,
+                        end: right.end,
+                        cost: merged_cost,
+                        partition: vec![(left.start, right.end)],
+                    });
+                } else {
+                    let mut partition = left.partition;
+                    partition.extend(right.partition);
+                    next.push(Node {
+                        start: left.start,
+                        end: right.end,
+                        cost: split_cost,
+                        partition,
+                    });
+                }
+            }
+            level = next;
+        }
+        level.pop().map(|n| n.partition).unwrap_or_default()
+    }
+}
+
+/// Checks that a partition covers `0..domain` with consecutive, non-empty,
+/// non-overlapping buckets. Used by tests and by `DAWAz`'s post-processing.
+pub fn is_valid_partition(partition: &Partition, domain: usize) -> bool {
+    if domain == 0 {
+        return partition.is_empty();
+    }
+    let mut expected_start = 0usize;
+    for &(start, end) in partition {
+        if start != expected_start || end <= start {
+            return false;
+        }
+        expected_start = end;
+    }
+    expected_start == domain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(10)
+    }
+
+    #[test]
+    fn construction_validates_budgets() {
+        assert!(Partitioner::new(0.1, 0.9).is_ok());
+        assert!(Partitioner::new(0.0, 0.9).is_err());
+        assert!(Partitioner::new(0.1, -0.1).is_err());
+        let p = Partitioner::new(0.5, 0.5).unwrap();
+        assert_eq!(p.bucket_constant(), 4.0);
+    }
+
+    #[test]
+    fn partition_is_always_valid() {
+        let p = Partitioner::new(0.1, 0.9).unwrap();
+        let mut r = rng();
+        for n in [1usize, 2, 3, 7, 16, 100, 257] {
+            let hist = Histogram::from_counts((0..n).map(|i| (i % 5) as f64).collect());
+            let partition = p.partition(&hist, &mut r);
+            assert!(is_valid_partition(&partition, n), "n={n}: {partition:?}");
+        }
+        assert!(p.partition(&Histogram::zeros(0), &mut r).is_empty());
+    }
+
+    #[test]
+    fn uniform_data_gets_merged_into_few_buckets() {
+        // With a generous stage-1 budget the cost comparisons are essentially
+        // exact, so the dyadic DP must collapse perfectly uniform data into a
+        // handful of buckets (each merge saves one per-bucket noise constant).
+        let p = Partitioner::new(50.0, 1.0).unwrap();
+        let mut r = rng();
+        let hist = Histogram::from_counts(vec![50.0; 256]);
+        let partition = p.partition(&hist, &mut r);
+        assert!(
+            partition.len() <= 8,
+            "uniform data should collapse to a handful of buckets, got {}",
+            partition.len()
+        );
+    }
+
+    #[test]
+    fn uniform_data_merges_more_than_spiky_data_at_moderate_budget() {
+        let p = Partitioner::new(1.0, 1.0).unwrap();
+        let mut r = rng();
+        let uniform = Histogram::from_counts(vec![50.0; 256]);
+        let mut spiky_counts = vec![0.0; 256];
+        for i in (0..256).step_by(8) {
+            spiky_counts[i] = 10_000.0;
+        }
+        let spiky = Histogram::from_counts(spiky_counts);
+        let avg_buckets = |h: &Histogram, r: &mut ChaCha12Rng| {
+            (0..5).map(|_| p.partition(h, r).len()).sum::<usize>() as f64 / 5.0
+        };
+        let uniform_buckets = avg_buckets(&uniform, &mut r);
+        let spiky_buckets = avg_buckets(&spiky, &mut r);
+        assert!(
+            uniform_buckets < spiky_buckets,
+            "uniform ({uniform_buckets}) should merge more than spiky ({spiky_buckets})"
+        );
+    }
+
+    #[test]
+    fn spiky_data_isolates_the_spikes() {
+        let p = Partitioner::new(2.0, 2.0).unwrap();
+        let mut r = rng();
+        let mut counts = vec![0.0; 256];
+        counts[40] = 5_000.0;
+        counts[200] = 8_000.0;
+        let hist = Histogram::from_counts(counts);
+        let partition = p.partition(&hist, &mut r);
+        assert!(is_valid_partition(&partition, 256));
+        // The buckets containing the spikes should be small (the spike is not
+        // averaged into a huge uniform region).
+        for &(start, end) in &partition {
+            if (start..end).contains(&40) || (start..end).contains(&200) {
+                assert!(end - start <= 64, "spike bucket too large: {start}..{end}");
+            }
+        }
+        assert!(partition.len() > 2);
+    }
+
+    #[test]
+    fn validity_checker_rejects_bad_partitions() {
+        assert!(is_valid_partition(&vec![(0, 3), (3, 5)], 5));
+        assert!(!is_valid_partition(&vec![(0, 3), (4, 5)], 5), "gap");
+        assert!(!is_valid_partition(&vec![(0, 3), (2, 5)], 5), "overlap");
+        assert!(!is_valid_partition(&vec![(0, 3)], 5), "does not cover");
+        assert!(!is_valid_partition(&vec![(0, 0), (0, 5)], 5), "empty bucket");
+        assert!(is_valid_partition(&vec![], 0));
+        assert!(!is_valid_partition(&vec![], 3));
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Theorem 5.1 crossover analysis.
+use osdp_experiments::{crossover, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    println!("{}", crossover::run(&config).to_text());
+}

@@ -1,0 +1,7 @@
+//! Regenerates the exclusion-attack exponent table (Sections 3.2 and 3.4).
+use osdp_experiments::{attack_table, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    println!("{}", attack_table::run(&config).to_text());
+}

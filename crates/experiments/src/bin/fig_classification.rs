@@ -1,0 +1,9 @@
+//! Regenerates Figure 1 (classification error) of the paper.
+use osdp_experiments::{classification, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    for table in classification::run(&config) {
+        println!("{}", table.to_text());
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figures 6-9 (DPBench regret analysis) of the paper.
+use osdp_experiments::{dpbench_regret, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    let outputs = dpbench_regret::run(&config);
+    for table in &outputs.tables {
+        println!("{}", table.to_text());
+    }
+}

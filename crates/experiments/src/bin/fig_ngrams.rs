@@ -1,0 +1,18 @@
+//! Regenerates Figures 2-3 (n-gram MRE) of the paper.
+//!
+//! Pass `-n 4` or `-n 5` to choose the n-gram length (default: both).
+use osdp_experiments::{ngrams, ExperimentConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ExperimentConfig::from_args(args.iter().cloned());
+    let ns: Vec<usize> = match args.iter().position(|a| a == "-n") {
+        Some(i) => vec![args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(4)],
+        None => vec![4, 5],
+    };
+    for n in ns {
+        for table in ngrams::run(&config, n) {
+            println!("{}", table.to_text());
+        }
+    }
+}

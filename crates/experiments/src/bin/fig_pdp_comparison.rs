@@ -1,0 +1,7 @@
+//! Regenerates Figure 10 (comparison with the PDP Suppress algorithm).
+use osdp_experiments::{pdp_comparison, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    println!("{}", pdp_comparison::run(&config).to_text());
+}

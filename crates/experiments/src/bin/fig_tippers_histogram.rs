@@ -1,0 +1,9 @@
+//! Regenerates Figures 4-5 (TIPPERS AP x hour histogram) of the paper.
+use osdp_experiments::{tippers_hist, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    for table in tippers_hist::run(&config) {
+        println!("{}", table.to_text());
+    }
+}

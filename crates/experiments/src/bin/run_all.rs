@@ -1,0 +1,48 @@
+//! Runs every experiment and assembles a single report.
+//!
+//! Usage: `run_all [--full] [--out DIR]`
+//! With `--out DIR` the report is also written as `DIR/experiments.md` and
+//! `DIR/experiments.json`.
+use osdp_experiments::*;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = ExperimentConfig::from_args(args.iter().cloned());
+    let out_dir: Option<PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from);
+
+    let mut report = Report::new(format!(
+        "One-sided Differential Privacy — measured reproduction ({} configuration, seed {:#x})",
+        if args.iter().any(|a| a == "--full") { "full" } else { "quick" },
+        config.seed
+    ));
+    eprintln!("[1/9] Table 1 ...");
+    report.push(table1::run(&config));
+    eprintln!("[2/9] Table 2 ...");
+    report.push(table2::run(&config));
+    eprintln!("[3/9] Figure 1 (classification) ...");
+    report.extend(classification::run(&config));
+    eprintln!("[4/9] Figures 2-3 (n-grams) ...");
+    report.extend(ngrams::run(&config, 4));
+    report.extend(ngrams::run(&config, 5));
+    eprintln!("[5/9] Figures 4-5 (TIPPERS histogram) ...");
+    report.extend(tippers_hist::run(&config));
+    eprintln!("[6/9] Figures 6-9 (DPBench regret) ...");
+    report.extend(dpbench_regret::run(&config).tables);
+    eprintln!("[7/9] Figure 10 (PDP comparison) ...");
+    report.push(pdp_comparison::run(&config));
+    eprintln!("[8/9] Theorem 5.1 crossover ...");
+    report.push(crossover::run(&config));
+    eprintln!("[9/9] Exclusion-attack table ...");
+    report.push(attack_table::run(&config));
+
+    println!("{}", report.to_text());
+    if let Some(dir) = out_dir {
+        report.save(&dir, "experiments").expect("failed to write report");
+        eprintln!("report written to {}", dir.display());
+    }
+}

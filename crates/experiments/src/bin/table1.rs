@@ -1,0 +1,7 @@
+//! Regenerates Table 1 of the paper.
+use osdp_experiments::{table1, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    println!("{}", table1::run(&config).to_text());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2 of the paper.
+use osdp_experiments::{table2, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::from_args(std::env::args().skip(1));
+    println!("{}", table2::run(&config).to_text());
+}

@@ -1,0 +1,289 @@
+//! Figure 1: resident-vs-visitor classification under different release
+//! strategies.
+//!
+//! For every policy `Pρ` and privacy budget ε the experiment trains a
+//! logistic-regression classifier on the data each strategy is allowed to
+//! see and reports `1 − AUC` over stratified k-fold cross-validation:
+//!
+//! * **All NS** — a non-private classifier trained on all non-sensitive
+//!   trajectories (the PDP threshold strategy; vulnerable to exclusion
+//!   attacks).
+//! * **OsdpRR** — trained on the true sample released by `OsdpRR` (OSDP).
+//! * **ObjDP** — ε-DP objective-perturbation training on *all* trajectories
+//!   (treats everything as sensitive).
+//! * **Random** — scores drawn independently of the features.
+
+use crate::config::ExperimentConfig;
+use osdp_core::policy::Policy;
+use osdp_data::tippers::{
+    generate_dataset, policy_for_ratio, FeatureExtractor, SensitiveApPolicy, Trajectory,
+    TrajectoryDataset,
+};
+use osdp_mechanisms::OsdpRr;
+use osdp_metrics::{AucSummary, ResultRow, ResultTable};
+use osdp_ml::{
+    auc, stratified_folds, LogisticRegression, ObjectivePerturbation, RandomClassifier,
+    Standardizer, TrainConfig,
+};
+use osdp_noise::bernoulli::sample_bernoulli;
+use rand_chacha::ChaCha12Rng;
+
+/// The trained-model view each strategy is allowed to see.
+enum Strategy<'a> {
+    AllNonSensitive(&'a SensitiveApPolicy),
+    OsdpRr(&'a SensitiveApPolicy, f64),
+    ObjDp(f64),
+    Random,
+}
+
+impl Strategy<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            Strategy::AllNonSensitive(_) => "All NS",
+            Strategy::OsdpRr(..) => "OsdpRR",
+            Strategy::ObjDp(_) => "ObjDP",
+            Strategy::Random => "Random",
+        }
+    }
+}
+
+/// Runs the Figure 1 experiment; one table per ε.
+pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
+    let seeds = config.seeds().child("classification");
+    let mut data_rng = seeds.rng_for("dataset", 0);
+    let dataset = generate_dataset(&config.tippers, &mut data_rng);
+    // Scale the frequent-pattern support threshold with the dataset size so
+    // the quick configuration still finds patterns (paper: 50 on 553K
+    // trajectories).
+    let min_support = (dataset.len() / 40).max(5);
+    let extractor =
+        FeatureExtractor::fit(dataset.trajectories(), dataset.building().ap_count(), min_support);
+
+    let labels: Vec<bool> =
+        dataset.trajectories().iter().map(|t| dataset.is_resident(t.user)).collect();
+    let features: Vec<Vec<f64>> =
+        dataset.trajectories().iter().map(|t| extractor.features(t)).collect();
+
+    let policies: Vec<SensitiveApPolicy> =
+        config.ns_ratios.iter().map(|&r| policy_for_ratio(&dataset, r)).collect();
+
+    let mut tables = Vec::new();
+    for &eps in &config.epsilons {
+        let mut table = ResultTable::new(format!(
+            "Figure 1: residents classification error (1 - AUC), eps = {eps}"
+        ));
+        // Policy-independent baselines.
+        let mut fold_rng = seeds.rng_for("folds", eps.to_bits());
+        let objdp_error = evaluate(
+            &dataset,
+            &features,
+            &labels,
+            config,
+            &Strategy::ObjDp(eps),
+            &mut fold_rng,
+        );
+        let mut fold_rng = seeds.rng_for("folds-random", eps.to_bits());
+        let random_error = evaluate(
+            &dataset,
+            &features,
+            &labels,
+            config,
+            &Strategy::Random,
+            &mut fold_rng,
+        );
+
+        for policy in &policies {
+            for strategy in
+                [Strategy::AllNonSensitive(policy), Strategy::OsdpRr(policy, eps)]
+            {
+                let mut fold_rng =
+                    seeds.rng_for(policy.label(), eps.to_bits() ^ strategy.name().len() as u64);
+                let error = evaluate(
+                    &dataset,
+                    &features,
+                    &labels,
+                    config,
+                    &strategy,
+                    &mut fold_rng,
+                );
+                table.push(
+                    ResultRow::new()
+                        .dim("policy", policy.label())
+                        .dim("algorithm", strategy.name())
+                        .measure("error_1_minus_auc", error),
+                );
+            }
+            table.push(
+                ResultRow::new()
+                    .dim("policy", policy.label())
+                    .dim("algorithm", "ObjDP")
+                    .measure("error_1_minus_auc", objdp_error),
+            );
+            table.push(
+                ResultRow::new()
+                    .dim("policy", policy.label())
+                    .dim("algorithm", "Random")
+                    .measure("error_1_minus_auc", random_error),
+            );
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+/// Cross-validates one strategy and returns `1 − mean AUC`.
+fn evaluate(
+    dataset: &TrajectoryDataset,
+    features: &[Vec<f64>],
+    labels: &[bool],
+    config: &ExperimentConfig,
+    strategy: &Strategy<'_>,
+    rng: &mut ChaCha12Rng,
+) -> f64 {
+    let folds = match stratified_folds(labels, config.cv_folds, rng) {
+        Ok(folds) => folds,
+        Err(_) => return RandomClassifier::EXPECTED_ERROR,
+    };
+    let mut fold_aucs = Vec::with_capacity(folds.len());
+    for fold in &folds {
+        let in_test: std::collections::BTreeSet<usize> = fold.iter().copied().collect();
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for i in 0..labels.len() {
+            if in_test.contains(&i) {
+                test_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+        }
+        let test_x: Vec<Vec<f64>> = test_idx.iter().map(|&i| features[i].clone()).collect();
+        let test_y: Vec<bool> = test_idx.iter().map(|&i| labels[i]).collect();
+
+        let scores = match score_fold(dataset, features, labels, &train_idx, &test_x, strategy, rng)
+        {
+            Some(scores) => scores,
+            None => {
+                fold_aucs.push(0.5);
+                continue;
+            }
+        };
+        fold_aucs.push(auc(&scores, &test_y).unwrap_or(0.5));
+    }
+    AucSummary::new(fold_aucs).map(|s| s.error()).unwrap_or(RandomClassifier::EXPECTED_ERROR)
+}
+
+/// Trains on the strategy's view of the training fold and scores the test
+/// fold; `None` when the view degenerates (no examples or a single class).
+fn score_fold(
+    dataset: &TrajectoryDataset,
+    features: &[Vec<f64>],
+    labels: &[bool],
+    train_idx: &[usize],
+    test_x: &[Vec<f64>],
+    strategy: &Strategy<'_>,
+    rng: &mut ChaCha12Rng,
+) -> Option<Vec<f64>> {
+    let trajectory_of = |i: usize| -> &Trajectory { &dataset.trajectories()[i] };
+    let visible: Vec<usize> = match strategy {
+        Strategy::AllNonSensitive(policy) => train_idx
+            .iter()
+            .copied()
+            .filter(|&i| policy.is_non_sensitive(trajectory_of(i)))
+            .collect(),
+        Strategy::OsdpRr(policy, eps) => {
+            let mechanism = OsdpRr::new(*eps).expect("validated upstream");
+            train_idx
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    policy.is_non_sensitive(trajectory_of(i))
+                        && sample_bernoulli(mechanism.keep_probability(), rng).expect("valid p")
+                })
+                .collect()
+        }
+        Strategy::ObjDp(_) | Strategy::Random => train_idx.to_vec(),
+    };
+
+    if let Strategy::Random = strategy {
+        let baseline = RandomClassifier::fit(labels);
+        return Some(baseline.predict_proba_all(test_x.len(), rng));
+    }
+
+    if visible.is_empty() {
+        return None;
+    }
+    let train_x: Vec<Vec<f64>> = visible.iter().map(|&i| features[i].clone()).collect();
+    let train_y: Vec<bool> = visible.iter().map(|&i| labels[i]).collect();
+    let positives = train_y.iter().filter(|&&l| l).count();
+    if positives == 0 || positives == train_y.len() {
+        return None;
+    }
+
+    let scaler = Standardizer::fit(&train_x);
+    let train_x = scaler.transform_all(&train_x);
+    let test_x = scaler.transform_all(test_x);
+
+    match strategy {
+        Strategy::ObjDp(eps) => {
+            let model = ObjectivePerturbation::new(*eps)
+                .expect("validated upstream")
+                .train(&train_x, &train_y, rng)
+                .ok()?;
+            Some(model.predict_proba_all(&test_x))
+        }
+        _ => {
+            let model =
+                LogisticRegression::train(&train_x, &train_y, &TrainConfig::default()).ok()?;
+            Some(model.predict_proba_all(&test_x))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::quick();
+        c.epsilons = vec![1.0];
+        c.ns_ratios = vec![0.9, 0.25];
+        c.cv_folds = 3;
+        c
+    }
+
+    #[test]
+    fn produces_one_row_per_policy_and_algorithm() {
+        let tables = run(&tiny_config());
+        assert_eq!(tables.len(), 1);
+        let t = &tables[0];
+        assert_eq!(t.len(), 2 * 4, "2 policies x 4 algorithms");
+        for policy in ["P90", "P25"] {
+            for alg in ["All NS", "OsdpRR", "ObjDP", "Random"] {
+                let v = t
+                    .lookup(&[("policy", policy), ("algorithm", alg)], "error_1_minus_auc")
+                    .unwrap();
+                assert!((0.0..=1.0).contains(&v), "{policy}/{alg}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn osdp_rr_tracks_all_ns_and_beats_objdp_at_eps_1() {
+        // The Figure 1 qualitative claim, on the quick configuration and a
+        // permissive policy.
+        let tables = run(&tiny_config());
+        let t = &tables[0];
+        let all_ns =
+            t.lookup(&[("policy", "P90"), ("algorithm", "All NS")], "error_1_minus_auc").unwrap();
+        let osdp =
+            t.lookup(&[("policy", "P90"), ("algorithm", "OsdpRR")], "error_1_minus_auc").unwrap();
+        let objdp =
+            t.lookup(&[("policy", "P90"), ("algorithm", "ObjDP")], "error_1_minus_auc").unwrap();
+        let random =
+            t.lookup(&[("policy", "P90"), ("algorithm", "Random")], "error_1_minus_auc").unwrap();
+        assert!(all_ns < 0.25, "non-private baseline should classify well, got {all_ns}");
+        assert!(osdp < objdp, "OsdpRR ({osdp}) should beat ObjDP ({objdp})");
+        assert!((random - 0.5).abs() < 0.15, "random baseline error {random}");
+        assert!(osdp < all_ns + 0.15, "OsdpRR should track the non-private baseline");
+    }
+}

@@ -1,0 +1,266 @@
+//! Figures 6–9: regret analysis on the DPBench-style benchmark histograms
+//! (Section 6.3.3.2).
+//!
+//! For every benchmark dataset, policy generator (Close / Far), non-sensitive
+//! ratio ρx and budget ε, the full pool of 4 OSDP + 2 DP algorithms is run and
+//! each algorithm's error is divided by the per-input optimum of the pool
+//! (its *regret*). The figures aggregate regret along different axes:
+//!
+//! * Figure 6 — average MRE regret per ρx, both policies, per ε;
+//! * Figure 7 — average MRE regret per ρx for each policy, ε = 1;
+//! * Figure 8 — the same with Rel95;
+//! * Figure 9 — per-dataset MRE regret for the Close policy at ρx ∈ {0.99, 0.5}.
+
+use crate::config::ExperimentConfig;
+use osdp_core::Histogram;
+use osdp_data::sampling::{sample_policy, PolicyKind};
+use osdp_data::BenchmarkDataset;
+use osdp_mechanisms::{
+    Dawaz, DawaHistogram, DpLaplaceHistogram, HistogramMechanism, HistogramTask, OsdpLaplace,
+    OsdpLaplaceL1, OsdpRrHistogram,
+};
+use osdp_metrics::{
+    mean_relative_error, relative_error_percentile, RegretTable, ResultRow, ResultTable, REL95,
+};
+
+/// The raw per-input error tables, kept so callers (benches, tests) can slice
+/// them differently from the pre-built figure tables.
+#[derive(Debug, Clone, Default)]
+pub struct RegretOutputs {
+    /// MRE per (input, algorithm).
+    pub mre: RegretTable,
+    /// Rel95 per (input, algorithm).
+    pub rel95: RegretTable,
+    /// The rendered figure tables (Figures 6–9).
+    pub tables: Vec<ResultTable>,
+}
+
+/// The algorithm pool of Section 6.3.3 (4 OSDP + 2 DP algorithms).
+pub fn algorithm_pool(eps: f64) -> Vec<Box<dyn HistogramMechanism>> {
+    vec![
+        Box::new(OsdpRrHistogram::new(eps).expect("validated")),
+        Box::new(OsdpLaplace::new(eps).expect("validated")),
+        Box::new(OsdpLaplaceL1::new(eps).expect("validated")),
+        Box::new(Dawaz::new(eps).expect("validated")),
+        Box::new(DpLaplaceHistogram::new(eps).expect("validated")),
+        Box::new(DawaHistogram::new(eps).expect("validated")),
+    ]
+}
+
+/// Input key used in the regret tables: `eps/policy/rho/dataset`.
+fn input_key(eps: f64, kind: PolicyKind, rho: f64, dataset: BenchmarkDataset) -> String {
+    format!("{eps}/{}/{rho}/{}", kind.name(), dataset.name())
+}
+
+/// Runs the full sweep and assembles the figure tables.
+pub fn run(config: &ExperimentConfig) -> RegretOutputs {
+    let seeds = config.seeds().child("dpbench");
+    let mut outputs = RegretOutputs::default();
+
+    // Generate each dataset once (deterministically), then scale if requested.
+    let mut gen_rng = seeds.rng_for("datasets", 0);
+    let datasets: Vec<(BenchmarkDataset, Histogram)> = osdp_data::ALL_DATASETS
+        .iter()
+        .map(|d| {
+            let hist = d.generate(&mut gen_rng);
+            let scaled = if config.scale_divisor > 1 {
+                Histogram::from_counts(
+                    hist.counts()
+                        .iter()
+                        .map(|c| (c / config.scale_divisor as f64).round())
+                        .collect(),
+                )
+            } else {
+                hist
+            };
+            (*d, scaled)
+        })
+        .collect();
+
+    for &eps in &config.epsilons {
+        let pool = algorithm_pool(eps);
+        for (dataset, full) in &datasets {
+            for kind in [PolicyKind::Close, PolicyKind::Far] {
+                for &rho in &config.ns_ratios {
+                    let mut policy_rng = seeds.rng_for(
+                        &format!("policy-{}-{}-{rho}", dataset.name(), kind.name()),
+                        eps.to_bits(),
+                    );
+                    let Ok(policy) = sample_policy(kind, full, rho, &mut policy_rng) else {
+                        continue;
+                    };
+                    let Ok(task) = HistogramTask::new(full.clone(), policy.non_sensitive) else {
+                        continue;
+                    };
+                    let key = input_key(eps, kind, rho, *dataset);
+                    for mechanism in &pool {
+                        let mut mre = 0.0;
+                        let mut rel95 = 0.0;
+                        for trial in 0..config.trials {
+                            let mut rng = seeds.rng_for(
+                                &format!("{key}/{}", mechanism.name()),
+                                trial as u64,
+                            );
+                            let estimate = mechanism.release(&task, &mut rng);
+                            mre +=
+                                mean_relative_error(task.full(), &estimate).expect("same domain");
+                            rel95 += relative_error_percentile(task.full(), &estimate, REL95)
+                                .expect("same domain");
+                        }
+                        outputs.mre.record(&key, mechanism.name(), mre / config.trials as f64);
+                        outputs
+                            .rel95
+                            .record(&key, mechanism.name(), rel95 / config.trials as f64);
+                    }
+                }
+            }
+        }
+    }
+
+    outputs.tables = build_figure_tables(config, &outputs.mre, &outputs.rel95);
+    outputs
+}
+
+/// The algorithms highlighted in the paper's regret figures.
+const HIGHLIGHTED: [&str; 3] = ["OsdpLaplaceL1", "DAWAz", "DAWA"];
+
+fn build_figure_tables(
+    config: &ExperimentConfig,
+    mre: &RegretTable,
+    rel95: &RegretTable,
+) -> Vec<ResultTable> {
+    let mut tables = Vec::new();
+
+    // Figure 6: avg MRE regret per rho, both policies, one table per eps.
+    for &eps in &config.epsilons {
+        let mut table = ResultTable::new(format!(
+            "Figure 6: average regret (MRE) across non-sensitive ratios, both policies, eps = {eps}"
+        ));
+        for &rho in &config.ns_ratios {
+            let slice = mre.filter_inputs(|k| {
+                k.starts_with(&format!("{eps}/")) && k.contains(&format!("/{rho}/"))
+            });
+            for algorithm in HIGHLIGHTED {
+                if let Ok(regret) = slice.average_regret(algorithm) {
+                    table.push(
+                        ResultRow::new()
+                            .dim("ns_ratio", rho)
+                            .dim("algorithm", algorithm)
+                            .measure("avg_regret_mre", regret),
+                    );
+                }
+            }
+        }
+        tables.push(table);
+    }
+
+    // Figures 7 and 8: per policy kind at the headline epsilon.
+    let eps = config.epsilons.first().copied().unwrap_or(1.0);
+    for (measure_name, source, title) in [
+        ("avg_regret_mre", mre, "Figure 7: regret (MRE) per policy"),
+        ("avg_regret_rel95", rel95, "Figure 8: regret (Rel95) per policy"),
+    ] {
+        let mut table = ResultTable::new(format!("{title}, eps = {eps}"));
+        for kind in [PolicyKind::Close, PolicyKind::Far] {
+            for &rho in &config.ns_ratios {
+                if rho < 0.25 {
+                    continue;
+                }
+                let slice = source.filter_inputs(|k| {
+                    k.starts_with(&format!("{eps}/{}/", kind.name()))
+                        && k.contains(&format!("/{rho}/"))
+                });
+                for algorithm in HIGHLIGHTED {
+                    if let Ok(regret) = slice.average_regret(algorithm) {
+                        table.push(
+                            ResultRow::new()
+                                .dim("policy", kind.name())
+                                .dim("ns_ratio", rho)
+                                .dim("algorithm", algorithm)
+                                .measure(measure_name, regret),
+                        );
+                    }
+                }
+            }
+        }
+        tables.push(table);
+    }
+
+    // Figure 9: per-dataset regret for the Close policy at rho in {0.99, 0.5}.
+    let mut table = ResultTable::new(format!(
+        "Figure 9: per-dataset regret (MRE), Close policy, eps = {eps}"
+    ));
+    for &rho in &[0.99, 0.5] {
+        if !config.ns_ratios.contains(&rho) {
+            continue;
+        }
+        for dataset in osdp_data::ALL_DATASETS {
+            let key = input_key(eps, PolicyKind::Close, rho, dataset);
+            for algorithm in HIGHLIGHTED {
+                if let Some(regret) = mre.regret_on(&key, algorithm) {
+                    table.push(
+                        ResultRow::new()
+                            .dim("ns_ratio", rho)
+                            .dim("dataset", dataset.name())
+                            .dim("algorithm", algorithm)
+                            .measure("regret_mre", regret),
+                    );
+                }
+            }
+        }
+    }
+    tables.push(table);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::quick();
+        c.epsilons = vec![1.0];
+        c.ns_ratios = vec![0.99, 0.5];
+        c.trials = 1;
+        c.scale_divisor = 50;
+        c
+    }
+
+    #[test]
+    fn produces_all_figure_tables_and_regrets_are_at_least_one() {
+        let outputs = run(&tiny_config());
+        // fig6 (1 eps) + fig7 + fig8 + fig9
+        assert_eq!(outputs.tables.len(), 4);
+        assert!(outputs.mre.num_inputs() > 0);
+        assert_eq!(outputs.mre.algorithms().len(), 6, "4 OSDP + 2 DP algorithms");
+        for (_, regret) in outputs.mre.average_regrets() {
+            assert!(regret >= 1.0 - 1e-9);
+        }
+        // Every highlighted algorithm appears in Figure 6.
+        let fig6 = &outputs.tables[0];
+        for algorithm in HIGHLIGHTED {
+            assert!(
+                fig6.lookup(&[("ns_ratio", "0.99"), ("algorithm", algorithm)], "avg_regret_mre")
+                    .is_some(),
+                "{algorithm} missing from Figure 6"
+            );
+        }
+    }
+
+    #[test]
+    fn osdp_algorithms_beat_dawa_at_high_non_sensitive_ratios() {
+        // Figure 7a claim: for the Close policy and rho = 0.99, the OSDP side
+        // of the pool has lower regret than DAWA.
+        let outputs = run(&tiny_config());
+        let slice = outputs
+            .mre
+            .filter_inputs(|k| k.starts_with("1/Close/0.99/"));
+        let dawa = slice.average_regret("DAWA").unwrap();
+        let osdp = slice.average_regret("OsdpLaplaceL1").unwrap();
+        let dawaz = slice.average_regret("DAWAz").unwrap();
+        assert!(
+            osdp < dawa || dawaz < dawa,
+            "at rho=0.99 an OSDP algorithm should beat DAWA (OsdpLaplaceL1 {osdp}, DAWAz {dawaz}, DAWA {dawa})"
+        );
+    }
+}

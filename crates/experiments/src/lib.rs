@@ -1,0 +1,39 @@
+//! # osdp-experiments
+//!
+//! The evaluation harness: one runner per table/figure of the paper, each
+//! producing the same rows/series the paper reports.
+//!
+//! | Runner | Paper artefact |
+//! |--------|----------------|
+//! | [`table1`] | Table 1 — % of released non-sensitive records vs ε |
+//! | [`table2`] | Table 2 — benchmark dataset characteristics |
+//! | [`classification`] | Figure 1 — resident classification error (1 − AUC) |
+//! | [`ngrams`] | Figures 2–3 — MRE of 4-/5-gram release |
+//! | [`tippers_hist`] | Figures 4–5 — MRE / Rel50 / Rel95 on the AP × hour histogram |
+//! | [`dpbench_regret`] | Figures 6–9 — regret across DPBench datasets, policies, ρx |
+//! | [`pdp_comparison`] | Figure 10 — comparison with the PDP `Suppress` algorithm |
+//! | [`crossover`] | Theorem 5.1 — OsdpRR vs Laplace L1-error crossover |
+//! | [`attack_table`] | §3.2/3.4 — exclusion-attack exponents φ per mechanism |
+//!
+//! Every runner takes an [`ExperimentConfig`] (with `quick()` and `full()`
+//! presets), is deterministic for a fixed seed, and returns
+//! [`osdp_metrics::ResultTable`]s that the binaries print as text and the
+//! `run_all` binary assembles into `EXPERIMENTS.md`.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod attack_table;
+pub mod classification;
+pub mod config;
+pub mod crossover;
+pub mod dpbench_regret;
+pub mod ngrams;
+pub mod pdp_comparison;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod tippers_hist;
+
+pub use config::ExperimentConfig;
+pub use report::Report;

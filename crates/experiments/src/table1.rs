@@ -1,0 +1,56 @@
+//! Table 1: percentage of released non-sensitive records vs ε.
+
+use crate::config::ExperimentConfig;
+use osdp_core::Database;
+use osdp_mechanisms::OsdpRr;
+use osdp_metrics::{ResultRow, ResultTable};
+
+/// The ε values listed in Table 1 of the paper.
+pub const TABLE1_EPSILONS: [f64; 3] = [1.0, 0.5, 0.1];
+
+/// Reproduces Table 1: the analytic release probability `1 − e^{−ε}` next to
+/// the empirical release rate of `OsdpRR` on a database of non-sensitive
+/// records.
+pub fn run(config: &ExperimentConfig) -> ResultTable {
+    let mut table =
+        ResultTable::new("Table 1: percentage of released non-sensitive records vs epsilon");
+    let records: Database<u32> = (0..50_000u32).collect();
+    let policy = osdp_core::policy::NoneSensitive;
+    let seeds = config.seeds().child("table1");
+    for (i, &eps) in TABLE1_EPSILONS.iter().enumerate() {
+        let mechanism = OsdpRr::new(eps).expect("table epsilons are valid");
+        let mut total_rate = 0.0;
+        for trial in 0..config.trials {
+            let mut rng = seeds.rng_for("trial", (i * config.trials + trial) as u64);
+            let sample = mechanism.release(&records, &policy, &mut rng);
+            total_rate += sample.len() as f64 / records.len() as f64;
+        }
+        let empirical = total_rate / config.trials as f64;
+        table.push(
+            ResultRow::new()
+                .dim("epsilon", eps)
+                .measure("analytic_released_pct", 100.0 * mechanism.keep_probability())
+                .measure("empirical_released_pct", 100.0 * empirical),
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper_within_a_percentage_point() {
+        let table = run(&ExperimentConfig::quick());
+        assert_eq!(table.len(), 3);
+        // Paper: ~63%, ~39%, ~9.5%.
+        let expected = [("1", 63.2), ("0.5", 39.3), ("0.1", 9.5)];
+        for (eps, pct) in expected {
+            let analytic = table.lookup(&[("epsilon", eps)], "analytic_released_pct").unwrap();
+            let empirical = table.lookup(&[("epsilon", eps)], "empirical_released_pct").unwrap();
+            assert!((analytic - pct).abs() < 0.5, "analytic {analytic} vs {pct}");
+            assert!((empirical - pct).abs() < 1.0, "empirical {empirical} vs {pct}");
+        }
+    }
+}

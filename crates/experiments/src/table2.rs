@@ -1,0 +1,44 @@
+//! Table 2: characteristics of the histogram benchmark datasets.
+
+use crate::config::ExperimentConfig;
+use osdp_metrics::{ResultRow, ResultTable};
+
+/// Reproduces Table 2: for each synthetic benchmark dataset, the published
+/// (target) sparsity and scale next to what the generator actually produced.
+pub fn run(config: &ExperimentConfig) -> ResultTable {
+    let mut table = ResultTable::new("Table 2: histogram benchmark characteristics");
+    let seeds = config.seeds().child("table2");
+    let mut rng = seeds.rng(0);
+    for dataset in osdp_data::ALL_DATASETS {
+        let spec = dataset.spec();
+        let hist = dataset.generate(&mut rng);
+        table.push(
+            ResultRow::new()
+                .dim("dataset", dataset.name())
+                .measure("target_sparsity", spec.sparsity)
+                .measure("generated_sparsity", hist.sparsity())
+                .measure("target_scale", spec.scale as f64)
+                .measure("generated_scale", hist.total()),
+        );
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_dataset_appears_and_matches_its_spec() {
+        let table = run(&ExperimentConfig::quick());
+        assert_eq!(table.len(), 7);
+        for dataset in osdp_data::ALL_DATASETS {
+            let name = dataset.name();
+            let target = table.lookup(&[("dataset", name)], "target_sparsity").unwrap();
+            let generated = table.lookup(&[("dataset", name)], "generated_sparsity").unwrap();
+            assert!((target - generated).abs() < 0.01, "{name}: {target} vs {generated}");
+            let scale = table.lookup(&[("dataset", name)], "generated_scale").unwrap();
+            assert_eq!(scale as u64, dataset.spec().scale);
+        }
+    }
+}

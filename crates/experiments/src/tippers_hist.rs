@@ -1,0 +1,154 @@
+//! Figures 4 and 5: the 2-D access-point × hour histogram on the simulated
+//! TIPPERS deployment (Section 6.3.3.1).
+//!
+//! The policies here are *value based* (a trajectory is sensitive exactly when
+//! it visits a sensitive access point), so many histogram bins contain only
+//! non-sensitive records. Following the paper's description of how
+//! `OsdpLaplaceL1` behaves on this dataset, the mechanism evaluated under
+//! that label is the per-bin hybrid ([`osdp_mechanisms::HybridLaplace`]):
+//! one-sided noise on purely non-sensitive bins, ordinary Laplace on mixed
+//! bins.
+
+use crate::config::ExperimentConfig;
+use osdp_core::policy::Policy;
+use osdp_data::tippers::{generate_dataset, policy_for_ratio, SensitiveApPolicy};
+use osdp_mechanisms::{
+    Dawaz, DawaHistogram, HistogramMechanism, HistogramTask, HybridLaplace,
+};
+use osdp_metrics::{
+    mean_relative_error, relative_error_percentile, ResultRow, ResultTable, REL50, REL95,
+};
+
+/// Runs the TIPPERS histogram experiment: one MRE table per ε (Figure 4) and
+/// one Rel50/Rel95 table at the first ε (Figure 5).
+pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
+    let seeds = config.seeds().child("tippers-hist");
+    let mut data_rng = seeds.rng_for("dataset", 0);
+    let dataset = generate_dataset(&config.tippers, &mut data_rng);
+    let full = dataset.ap_hour_histogram(|_| true).into_flat();
+
+    let policies: Vec<SensitiveApPolicy> =
+        config.ns_ratios.iter().map(|&r| policy_for_ratio(&dataset, r)).collect();
+    let tasks: Vec<(String, HistogramTask)> = policies
+        .iter()
+        .map(|policy| {
+            let ns = dataset.ap_hour_histogram(|t| policy.is_non_sensitive(t)).into_flat();
+            (
+                policy.label().to_string(),
+                HistogramTask::new(full.clone(), ns).expect("x_ns is a sub-histogram by construction"),
+            )
+        })
+        .collect();
+
+    let mut tables = Vec::new();
+    for &eps in &config.epsilons {
+        let mechanisms: Vec<Box<dyn HistogramMechanism>> = vec![
+            Box::new(HybridLaplace::new(eps).expect("validated")),
+            Box::new(Dawaz::new(eps).expect("validated")),
+            Box::new(DawaHistogram::new(eps).expect("validated")),
+        ];
+        let mut table = ResultTable::new(format!(
+            "Figure 4: mean relative error on the TIPPERS AP x hour histogram, eps = {eps}"
+        ));
+        for (label, task) in &tasks {
+            for mechanism in &mechanisms {
+                let mut mre = 0.0;
+                for trial in 0..config.trials {
+                    let mut rng = seeds.rng_for(
+                        &format!("{label}-{}", mechanism.name()),
+                        eps.to_bits() ^ trial as u64,
+                    );
+                    let estimate = mechanism.release(task, &mut rng);
+                    mre += mean_relative_error(task.full(), &estimate).expect("same domain");
+                }
+                table.push(
+                    ResultRow::new()
+                        .dim("policy", label)
+                        .dim("algorithm", mechanism.name())
+                        .measure("mre", mre / config.trials as f64),
+                );
+            }
+        }
+        tables.push(table);
+    }
+
+    // Figure 5: per-bin relative error percentiles at the headline epsilon,
+    // for the policies with at least 25% non-sensitive records.
+    let eps = config.epsilons.first().copied().unwrap_or(1.0);
+    let mechanisms: Vec<Box<dyn HistogramMechanism>> = vec![
+        Box::new(HybridLaplace::new(eps).expect("validated")),
+        Box::new(Dawaz::new(eps).expect("validated")),
+        Box::new(DawaHistogram::new(eps).expect("validated")),
+    ];
+    let mut rel_table = ResultTable::new(format!(
+        "Figure 5: per-bin relative error percentiles (Rel50 / Rel95) on the TIPPERS histogram, eps = {eps}"
+    ));
+    for ((label, task), &ratio) in tasks.iter().zip(config.ns_ratios.iter()) {
+        if ratio < 0.25 {
+            continue;
+        }
+        for mechanism in &mechanisms {
+            let mut rel50 = 0.0;
+            let mut rel95 = 0.0;
+            for trial in 0..config.trials {
+                let mut rng = seeds.rng_for(
+                    &format!("rel-{label}-{}", mechanism.name()),
+                    eps.to_bits() ^ trial as u64,
+                );
+                let estimate = mechanism.release(task, &mut rng);
+                rel50 += relative_error_percentile(task.full(), &estimate, REL50)
+                    .expect("same domain");
+                rel95 += relative_error_percentile(task.full(), &estimate, REL95)
+                    .expect("same domain");
+            }
+            rel_table.push(
+                ResultRow::new()
+                    .dim("policy", label)
+                    .dim("algorithm", mechanism.name())
+                    .measure("rel50", rel50 / config.trials as f64)
+                    .measure("rel95", rel95 / config.trials as f64),
+            );
+        }
+    }
+    tables.push(rel_table);
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        let mut c = ExperimentConfig::quick();
+        c.epsilons = vec![1.0];
+        c.ns_ratios = vec![0.9, 0.25];
+        c.trials = 2;
+        c
+    }
+
+    #[test]
+    fn produces_mre_and_percentile_tables() {
+        let tables = run(&tiny_config());
+        assert_eq!(tables.len(), 2, "one MRE table and one percentile table");
+        let mre = &tables[0];
+        assert_eq!(mre.len(), 2 * 3, "2 policies x 3 algorithms");
+        let rel = &tables[1];
+        assert!(rel.len() >= 3, "percentile rows for ratios >= 0.25");
+        assert!(rel.measure_keys().contains(&"rel50".to_string()));
+        assert!(rel.measure_keys().contains(&"rel95".to_string()));
+    }
+
+    #[test]
+    fn osdp_algorithms_beat_dawa_on_mostly_non_sensitive_policies() {
+        // Figure 4a/5 claim at eps = 1 with >= 75% non-sensitive records.
+        let tables = run(&tiny_config());
+        let t = &tables[0];
+        let hybrid =
+            t.lookup(&[("policy", "P90"), ("algorithm", "OsdpLaplaceL1")], "mre").unwrap();
+        let dawa = t.lookup(&[("policy", "P90"), ("algorithm", "DAWA")], "mre").unwrap();
+        assert!(
+            hybrid < dawa,
+            "the hybrid one-sided mechanism ({hybrid}) should beat DAWA ({dawa}) at P90"
+        );
+    }
+}

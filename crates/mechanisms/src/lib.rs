@@ -1,0 +1,62 @@
+//! # osdp-mechanisms
+//!
+//! Every release mechanism studied in *"One-sided Differential Privacy"*:
+//!
+//! **OSDP mechanisms** (the paper's contribution):
+//!
+//! * [`OsdpRr`] — Algorithm 1: releases each non-sensitive record truthfully
+//!   with probability `1 − e^{−ε}` and suppresses everything else. The only
+//!   mechanism in the privacy literature that can publish *true* records
+//!   (trajectories, training examples) under a formal guarantee.
+//! * [`OsdpLaplace`] — Definition 5.2: answers histogram queries on the
+//!   non-sensitive records with one-sided (non-positive) Laplace noise.
+//! * [`OsdpLaplaceL1`] — Algorithm 2: the de-biased variant that clamps
+//!   negatives and re-centres positive counts by the one-sided median.
+//! * [`HybridLaplace`] — the per-bin composition used on value-based policies
+//!   (Section 6.3.3.1): one-sided noise for bins containing only
+//!   non-sensitive records, ordinary Laplace for bins that mix in sensitive
+//!   records.
+//! * [`ZeroBinRecipe`] / [`Dawaz`] — Section 5.2 / Algorithm 3: the general
+//!   recipe that upgrades a two-phase DP algorithm (DAWA) with OSDP-derived
+//!   zero-bin knowledge.
+//!
+//! **Baselines**:
+//!
+//! * [`LaplaceMechanism`] / [`DpLaplaceHistogram`] — the ε-DP Laplace
+//!   mechanism (Definition 2.5), including the truncated variant for
+//!   user-level n-gram counts ([`TruncatedNgramLaplace`]).
+//! * [`DawaHistogram`] — the DAWA DP baseline wrapped in the common
+//!   histogram-mechanism interface.
+//! * [`Suppress`] — the personalized-DP threshold algorithm of Section 3.4,
+//!   which satisfies PDP but *not* OSDP and is vulnerable to exclusion
+//!   attacks (Theorem 3.4).
+//!
+//! All histogram mechanisms implement [`HistogramMechanism`] over a
+//! [`HistogramTask`] (the full histogram plus its non-sensitive
+//! sub-histogram), so that the evaluation harness can run DP and OSDP
+//! algorithms side by side.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod dawaz;
+pub mod hybrid;
+pub mod laplace;
+pub mod osdp_laplace;
+pub mod osdp_laplace_l1;
+pub mod osdp_rr;
+pub mod recipe;
+pub mod suppress;
+pub mod traits;
+pub mod truncation;
+
+pub use dawaz::Dawaz;
+pub use hybrid::HybridLaplace;
+pub use laplace::{DpLaplaceHistogram, LaplaceMechanism};
+pub use osdp_laplace::OsdpLaplace;
+pub use osdp_laplace_l1::OsdpLaplaceL1;
+pub use osdp_rr::{OsdpRr, OsdpRrHistogram};
+pub use recipe::{DawaHistogram, ZeroBinRecipe};
+pub use suppress::Suppress;
+pub use traits::{HistogramMechanism, HistogramTask};
+pub use truncation::TruncatedNgramLaplace;

@@ -1,0 +1,291 @@
+//! `OsdpRR` (Algorithm 1): truthful release of a sample of the non-sensitive
+//! records.
+//!
+//! For every record `r` in the database, if `P(r) = 1` (non-sensitive) the
+//! record is added to the output **unchanged** with probability `1 − e^{−ε}`;
+//! sensitive records are never released. The resulting release satisfies
+//! `(P, ε)`-OSDP (Theorem 4.1): an adversary observing that a record was *not*
+//! released cannot tell (beyond a factor `e^ε`) whether it was a suppressed
+//! non-sensitive record or a sensitive one.
+
+use crate::traits::{HistogramMechanism, HistogramTask};
+use osdp_core::error::{validate_epsilon, Result};
+use osdp_core::policy::Policy;
+use osdp_core::{Database, Histogram};
+use osdp_noise::bernoulli::{bernoulli_keep_probability, sample_bernoulli};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The randomized-response release mechanism for true records.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OsdpRr {
+    epsilon: f64,
+    keep_probability: f64,
+}
+
+impl OsdpRr {
+    /// Creates the mechanism for a budget ε.
+    pub fn new(epsilon: f64) -> Result<Self> {
+        validate_epsilon(epsilon)?;
+        Ok(Self { epsilon, keep_probability: bernoulli_keep_probability(epsilon)? })
+    }
+
+    /// The privacy budget ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The probability `1 − e^{−ε}` with which each non-sensitive record is
+    /// released (Table 1: ≈63% at ε=1, ≈39% at ε=0.5, ≈9.5% at ε=0.1).
+    pub fn keep_probability(&self) -> f64 {
+        self.keep_probability
+    }
+
+    /// Releases a true sample of the non-sensitive records of `db`.
+    pub fn release<R, P, G>(&self, db: &Database<R>, policy: &P, rng: &mut G) -> Database<R>
+    where
+        R: Clone,
+        P: Policy<R> + ?Sized,
+        G: Rng + ?Sized,
+    {
+        let mut out = Database::with_capacity(
+            (db.len() as f64 * self.keep_probability) as usize + 1,
+        );
+        for record in db.iter() {
+            if policy.is_non_sensitive(record)
+                && sample_bernoulli(self.keep_probability, rng).expect("validated probability")
+            {
+                out.push(record.clone());
+            }
+        }
+        out
+    }
+
+    /// Applies the record-level mechanism to a histogram of non-sensitive
+    /// counts: each of the `x_ns[i]` records survives independently with the
+    /// keep probability (binomial thinning). This is exactly what running
+    /// Algorithm 1 and then computing the histogram on its output would do.
+    pub fn thin_histogram<G: Rng + ?Sized>(&self, non_sensitive: &Histogram, rng: &mut G) -> Histogram {
+        let mut out = Histogram::zeros(non_sensitive.len());
+        for (i, &count) in non_sensitive.counts().iter().enumerate() {
+            let n = count.round().max(0.0) as u64;
+            out.set(i, sample_binomial(n, self.keep_probability, rng) as f64);
+        }
+        out
+    }
+}
+
+/// `OsdpRR` packaged as a histogram mechanism.
+///
+/// The estimate is the histogram of the released sample; when `rescale` is
+/// enabled the counts are divided by the keep probability `1 − e^{−ε}`
+/// (inverse-propensity post-processing, which does not affect the privacy
+/// guarantee). The paper's error analysis (Theorem 5.1) considers the
+/// unrescaled variant, so that is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OsdpRrHistogram {
+    inner: OsdpRr,
+    rescale: bool,
+}
+
+impl OsdpRrHistogram {
+    /// Creates the histogram wrapper (no rescaling, as analysed in the paper).
+    pub fn new(epsilon: f64) -> Result<Self> {
+        Ok(Self { inner: OsdpRr::new(epsilon)?, rescale: false })
+    }
+
+    /// Enables inverse-propensity rescaling of the sampled counts.
+    pub fn with_rescaling(mut self) -> Self {
+        self.rescale = true;
+        self
+    }
+
+    /// The underlying record-level mechanism.
+    pub fn inner(&self) -> &OsdpRr {
+        &self.inner
+    }
+}
+
+impl HistogramMechanism for OsdpRrHistogram {
+    fn name(&self) -> &str {
+        if self.rescale {
+            "OsdpRR (rescaled)"
+        } else {
+            "OsdpRR"
+        }
+    }
+
+    fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
+        let thinned = self.inner.thin_histogram(task.non_sensitive(), rng);
+        if self.rescale {
+            thinned.scale(1.0 / self.inner.keep_probability())
+        } else {
+            thinned
+        }
+    }
+}
+
+/// Samples `Binomial(n, p)` by direct simulation for small `n` and via a
+/// normal approximation for large `n` (the counts in the benchmark histograms
+/// go up to tens of millions, where exact simulation would dominate the
+/// experiment run time).
+fn sample_binomial<G: Rng + ?Sized>(n: u64, p: f64, rng: &mut G) -> u64 {
+    if n == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    let mean = n as f64 * p;
+    let variance = n as f64 * p * (1.0 - p);
+    if n <= 1024 || variance < 25.0 {
+        let mut hits = 0u64;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                hits += 1;
+            }
+        }
+        hits
+    } else {
+        // Box–Muller normal approximation with continuity clamping.
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let sample = mean + variance.sqrt() * z;
+        sample.round().clamp(0.0, n as f64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::task_from_counts;
+    use osdp_core::policy::{AllSensitive, ClosurePolicy, NoneSensitive};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn construction_and_keep_probability_table_1() {
+        assert!(OsdpRr::new(0.0).is_err());
+        assert!(OsdpRr::new(-1.0).is_err());
+        let m = OsdpRr::new(1.0).unwrap();
+        assert_eq!(m.epsilon(), 1.0);
+        assert!((m.keep_probability() - 0.632).abs() < 0.001);
+        assert!((OsdpRr::new(0.5).unwrap().keep_probability() - 0.393).abs() < 0.001);
+        assert!((OsdpRr::new(0.1).unwrap().keep_probability() - 0.095).abs() < 0.001);
+    }
+
+    #[test]
+    fn sensitive_records_are_never_released() {
+        let db: Database<u32> = (0..1000u32).collect();
+        let policy = ClosurePolicy::new("odd-sensitive", |&v: &u32| v % 2 == 1);
+        let m = OsdpRr::new(1.0).unwrap();
+        let mut r = rng();
+        let sample = m.release(&db, &policy, &mut r);
+        assert!(sample.iter().all(|v| v % 2 == 0), "only non-sensitive records may appear");
+        assert!(!sample.is_empty());
+        // All released values are true values from the database.
+        assert!(sample.iter().all(|v| *v < 1000));
+    }
+
+    #[test]
+    fn release_rate_matches_expected_fraction() {
+        let db: Database<u32> = (0..20_000u32).collect();
+        let mut r = rng();
+        for eps in [1.0, 0.5, 0.1] {
+            let m = OsdpRr::new(eps).unwrap();
+            let sample = m.release(&db, &NoneSensitive, &mut r);
+            let rate = sample.len() as f64 / db.len() as f64;
+            assert!(
+                (rate - m.keep_probability()).abs() < 0.02,
+                "eps {eps}: rate {rate} vs expected {}",
+                m.keep_probability()
+            );
+        }
+    }
+
+    #[test]
+    fn all_sensitive_policy_suppresses_everything() {
+        let db: Database<u32> = (0..100u32).collect();
+        let m = OsdpRr::new(2.0).unwrap();
+        let mut r = rng();
+        assert!(m.release(&db, &AllSensitive, &mut r).is_empty());
+    }
+
+    #[test]
+    fn histogram_thinning_matches_record_level_semantics() {
+        let m = OsdpRr::new(1.0).unwrap();
+        let mut r = rng();
+        let ns = Histogram::from_counts(vec![10_000.0, 0.0, 500.0]);
+        let thinned = m.thin_histogram(&ns, &mut r);
+        assert_eq!(thinned.len(), 3);
+        assert_eq!(thinned.get(1), 0.0, "empty bins stay empty");
+        assert!(thinned.dominated_by(&ns).unwrap(), "a sample never exceeds the population");
+        let rate0 = thinned.get(0) / 10_000.0;
+        assert!((rate0 - m.keep_probability()).abs() < 0.03);
+    }
+
+    #[test]
+    fn histogram_mechanism_uses_only_non_sensitive_counts() {
+        let task = task_from_counts(&[100.0, 50.0], &[0.0, 50.0]).unwrap();
+        let m = OsdpRrHistogram::new(1.0).unwrap();
+        let mut r = rng();
+        let est = m.release(&task, &mut r);
+        assert_eq!(est.get(0), 0.0, "a fully sensitive bin yields zero");
+        assert!(est.get(1) <= 50.0);
+        assert_eq!(m.name(), "OsdpRR");
+        assert!(!m.is_differentially_private());
+        assert_eq!(m.inner().epsilon(), 1.0);
+    }
+
+    #[test]
+    fn rescaled_estimates_are_approximately_unbiased() {
+        let task = task_from_counts(&[20_000.0], &[20_000.0]).unwrap();
+        let m = OsdpRrHistogram::new(0.5).unwrap().with_rescaling();
+        assert_eq!(m.name(), "OsdpRR (rescaled)");
+        let mut r = rng();
+        let mut total = 0.0;
+        for _ in 0..20 {
+            total += m.release(&task, &mut r).get(0);
+        }
+        let mean = total / 20.0;
+        assert!((mean - 20_000.0).abs() < 500.0, "rescaled mean {mean}");
+    }
+
+    #[test]
+    fn binomial_sampler_handles_edge_cases_and_large_n() {
+        let mut r = rng();
+        assert_eq!(sample_binomial(0, 0.5, &mut r), 0);
+        assert_eq!(sample_binomial(100, 0.0, &mut r), 0);
+        assert_eq!(sample_binomial(100, 1.0, &mut r), 100);
+        // Large n uses the normal approximation; the mean should be close.
+        let n = 1_000_000u64;
+        let p = 0.37;
+        let samples: Vec<u64> = (0..50).map(|_| sample_binomial(n, p, &mut r)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / 50.0;
+        assert!((mean - n as f64 * p).abs() < 0.005 * n as f64);
+        assert!(samples.iter().all(|&s| s <= n));
+    }
+
+    #[test]
+    fn empirical_epsilon_bound_on_suppression_probabilities() {
+        // Theorem 4.1, case 2.2: the probability of suppression for a
+        // sensitive record (1.0) vs a non-sensitive record (e^{-eps}) differs
+        // by exactly e^eps. Check the empirical suppression rate of
+        // non-sensitive records against e^{-eps}.
+        let m = OsdpRr::new(0.7).unwrap();
+        let db: Database<u32> = (0..50_000u32).collect();
+        let mut r = rng();
+        let sample = m.release(&db, &NoneSensitive, &mut r);
+        let suppressed_rate = 1.0 - sample.len() as f64 / db.len() as f64;
+        let expected = (-0.7f64).exp();
+        assert!((suppressed_rate - expected).abs() < 0.01);
+        // ratio of suppression probabilities ≈ e^eps
+        let ratio = 1.0 / suppressed_rate;
+        assert!((ratio - 0.7f64.exp()).abs() < 0.05);
+    }
+}

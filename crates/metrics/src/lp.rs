@@ -1,0 +1,59 @@
+//! L1 / L2 / scale-normalised histogram error.
+
+use osdp_core::error::Result;
+use osdp_core::Histogram;
+
+/// Total absolute error `‖x − x̃‖₁`.
+///
+/// Theorem 5.1 of the paper compares expected L1 errors: `2d/ε` for the
+/// Laplace mechanism vs. at least `n·e^{−ε}` for an `OsdpRR`-based histogram.
+pub fn l1_error(truth: &Histogram, estimate: &Histogram) -> Result<f64> {
+    truth.l1_distance(estimate)
+}
+
+/// Euclidean error `‖x − x̃‖₂`.
+pub fn l2_error(truth: &Histogram, estimate: &Histogram) -> Result<f64> {
+    truth.l2_distance(estimate)
+}
+
+/// L1 error divided by the scale (total count) of the true histogram; a
+/// scale-free variant convenient when aggregating across datasets of very
+/// different sizes.
+///
+/// Returns the plain L1 error if the true histogram is empty (scale 0).
+pub fn scaled_l1_error(truth: &Histogram, estimate: &Histogram) -> Result<f64> {
+    let l1 = truth.l1_distance(estimate)?;
+    let scale = truth.total();
+    Ok(if scale > 0.0 { l1 / scale } else { l1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_and_l2_match_hand_values() {
+        let x = Histogram::from_counts(vec![1.0, 2.0, 3.0]);
+        let e = Histogram::from_counts(vec![0.0, 2.0, 5.0]);
+        assert_eq!(l1_error(&x, &e).unwrap(), 3.0);
+        assert!((l2_error(&x, &e).unwrap() - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_error_divides_by_scale() {
+        let x = Histogram::from_counts(vec![6.0, 4.0]);
+        let e = Histogram::from_counts(vec![5.0, 6.0]);
+        assert!((scaled_l1_error(&x, &e).unwrap() - 0.3).abs() < 1e-12);
+        let zero = Histogram::zeros(2);
+        assert!((scaled_l1_error(&zero, &e).unwrap() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_lengths_error() {
+        let x = Histogram::zeros(2);
+        let e = Histogram::zeros(3);
+        assert!(l1_error(&x, &e).is_err());
+        assert!(l2_error(&x, &e).is_err());
+        assert!(scaled_l1_error(&x, &e).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Mean relative error (MRE), the paper's headline histogram error measure.
+//!
+//! For a true histogram `x` of size `d` and its private estimate `x̃`
+//! (Section 6.2):
+//!
+//! ```text
+//! MRE(x, x̃) = (1/d) · Σᵢ |xᵢ − x̃ᵢ| / max(xᵢ, δ)
+//! ```
+//!
+//! The paper uses `δ = 1` so that empty bins do not blow up the measure.
+
+use osdp_core::error::{OsdpError, Result};
+use osdp_core::{Histogram, SparseHistogram};
+
+/// Default `δ` used by the paper.
+pub const DEFAULT_DELTA: f64 = 1.0;
+
+/// Mean relative error with the paper's default `δ = 1`.
+pub fn mean_relative_error(truth: &Histogram, estimate: &Histogram) -> Result<f64> {
+    mean_relative_error_with_delta(truth, estimate, DEFAULT_DELTA)
+}
+
+/// Mean relative error with an explicit `δ` floor.
+pub fn mean_relative_error_with_delta(
+    truth: &Histogram,
+    estimate: &Histogram,
+    delta: f64,
+) -> Result<f64> {
+    if truth.len() != estimate.len() {
+        return Err(OsdpError::DimensionMismatch { expected: truth.len(), actual: estimate.len() });
+    }
+    if truth.is_empty() {
+        return Err(OsdpError::InvalidInput("MRE of an empty histogram".into()));
+    }
+    if !(delta > 0.0) {
+        return Err(OsdpError::InvalidInput(format!("MRE delta must be positive, got {delta}")));
+    }
+    let d = truth.len() as f64;
+    let sum: f64 = truth
+        .counts()
+        .iter()
+        .zip(estimate.counts().iter())
+        .map(|(&t, &e)| (t - e).abs() / t.max(delta))
+        .sum();
+    Ok(sum / d)
+}
+
+/// Mean relative error computed only over the bins listed in `bins`.
+///
+/// Used by the n-gram experiments, where the full domain (64⁴, 64⁵ cells) is
+/// never materialised: the error over the non-zero support is computed
+/// exactly and the contribution of the all-zero remainder is added
+/// analytically by the caller.
+pub fn mean_relative_error_over_bins(
+    truth: &Histogram,
+    estimate: &Histogram,
+    bins: &[usize],
+    delta: f64,
+) -> Result<f64> {
+    if truth.len() != estimate.len() {
+        return Err(OsdpError::DimensionMismatch { expected: truth.len(), actual: estimate.len() });
+    }
+    if bins.is_empty() {
+        return Err(OsdpError::InvalidInput("MRE over an empty bin set".into()));
+    }
+    let mut sum = 0.0;
+    for &b in bins {
+        if b >= truth.len() {
+            return Err(OsdpError::InvalidInput(format!("bin {b} out of range")));
+        }
+        let t = truth.get(b);
+        let e = estimate.get(b);
+        sum += (t - e).abs() / t.max(delta);
+    }
+    Ok(sum / bins.len() as f64)
+}
+
+/// Mean relative error for sparse histograms whose estimator adds noise to
+/// **every** bin of an astronomically large domain, of which only the support
+/// is materialised (the n-gram experiments of Section 6.3.2).
+///
+/// The error over the union of the materialised supports is computed exactly;
+/// every unmaterialised bin is zero in the truth but carries (in expectation)
+/// `background_abs_error` of estimator noise, so it contributes
+/// `background_abs_error / max(0, 1) = background_abs_error` to the sum.
+/// Pass `background_abs_error = 0` for estimators (like `OsdpRR`) that leave
+/// unobserved bins exactly zero.
+pub fn sparse_mre_with_background(
+    truth: &SparseHistogram,
+    estimate: &SparseHistogram,
+    background_abs_error: f64,
+) -> f64 {
+    let union = truth.support_union(estimate);
+    let mut sum = 0.0;
+    for &bin in &union {
+        let t = truth.get(bin);
+        let e = estimate.get(bin);
+        sum += (t - e).abs() / t.max(1.0);
+    }
+    let unmaterialised = (truth.domain_size() - union.len() as f64).max(0.0);
+    (sum + unmaterialised * background_abs_error) / truth.domain_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_estimate_has_zero_error() {
+        let x = Histogram::from_counts(vec![5.0, 0.0, 3.0]);
+        assert_eq!(mean_relative_error(&x, &x).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn matches_hand_computed_value() {
+        let x = Histogram::from_counts(vec![10.0, 0.0, 4.0]);
+        let e = Histogram::from_counts(vec![8.0, 2.0, 4.0]);
+        // |10-8|/10 + |0-2|/1 + |4-4|/4 = 0.2 + 2 + 0 = 2.2; / 3 bins
+        let mre = mean_relative_error(&x, &e).unwrap();
+        assert!((mre - 2.2 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_floors_small_true_counts() {
+        let x = Histogram::from_counts(vec![0.5]);
+        let e = Histogram::from_counts(vec![1.5]);
+        // with delta=1 the denominator is max(0.5, 1) = 1
+        assert!((mean_relative_error(&x, &e).unwrap() - 1.0).abs() < 1e-12);
+        // with delta=0.25 the denominator is 0.5
+        assert!(
+            (mean_relative_error_with_delta(&x, &e, 0.25).unwrap() - 2.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn dimension_and_parameter_validation() {
+        let x = Histogram::from_counts(vec![1.0, 2.0]);
+        let e = Histogram::from_counts(vec![1.0]);
+        assert!(mean_relative_error(&x, &e).is_err());
+        assert!(mean_relative_error(&Histogram::zeros(0), &Histogram::zeros(0)).is_err());
+        assert!(mean_relative_error_with_delta(&x, &x, 0.0).is_err());
+        assert!(mean_relative_error_with_delta(&x, &x, -1.0).is_err());
+    }
+
+    #[test]
+    fn over_bins_restricts_the_average() {
+        let x = Histogram::from_counts(vec![10.0, 0.0, 4.0, 0.0]);
+        let e = Histogram::from_counts(vec![8.0, 2.0, 4.0, 0.0]);
+        let mre = mean_relative_error_over_bins(&x, &e, &[0, 2], 1.0).unwrap();
+        assert!((mre - 0.1).abs() < 1e-12);
+        assert!(mean_relative_error_over_bins(&x, &e, &[], 1.0).is_err());
+        assert!(mean_relative_error_over_bins(&x, &e, &[9], 1.0).is_err());
+        let short = Histogram::zeros(2);
+        assert!(mean_relative_error_over_bins(&x, &short, &[0], 1.0).is_err());
+    }
+
+    #[test]
+    fn sparse_background_mre_accounts_for_unmaterialised_noise() {
+        let mut truth = SparseHistogram::new(1_000_000.0);
+        truth.set(1, 10.0);
+        let mut est = SparseHistogram::new(1_000_000.0);
+        est.set(1, 12.0);
+        // Exact part: |10-12|/10 = 0.2 over 1 bin; background: the remaining
+        // 999,999 bins each contribute 0.5 expected absolute noise.
+        let mre = sparse_mre_with_background(&truth, &est, 0.5);
+        let expected = (0.2 + 999_999.0 * 0.5) / 1_000_000.0;
+        assert!((mre - expected).abs() < 1e-12);
+        // Zero background reduces to the plain sparse MRE.
+        let plain = sparse_mre_with_background(&truth, &est, 0.0);
+        assert!((plain - truth.mean_relative_error(&est)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn error_scales_linearly_with_deviation() {
+        let x = Histogram::from_counts(vec![100.0; 10]);
+        let e1 = Histogram::from_counts(vec![110.0; 10]);
+        let e2 = Histogram::from_counts(vec![120.0; 10]);
+        let m1 = mean_relative_error(&x, &e1).unwrap();
+        let m2 = mean_relative_error(&x, &e2).unwrap();
+        assert!((m2 / m1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,124 @@
+//! Per-bin relative error and its percentiles (Rel50, Rel95).
+//!
+//! Section 6.2 of the paper: *"Per-bin relative error is defined as a vector
+//! with the same size as the input histogram, and contains one relative error
+//! value per bin"*; the paper reports the median (Rel50) and the 95th
+//! percentile (Rel95) of this vector.
+
+use crate::mre::DEFAULT_DELTA;
+use osdp_core::error::{OsdpError, Result};
+use osdp_core::Histogram;
+
+/// The 0.5 quantile level (median), the paper's `Rel50`.
+pub const REL50: f64 = 0.50;
+/// The 0.95 quantile level, the paper's `Rel95`.
+pub const REL95: f64 = 0.95;
+
+/// The per-bin relative error vector `[|xᵢ − x̃ᵢ| / max(xᵢ, δ)]ᵢ` with the
+/// paper's `δ = 1`.
+pub fn per_bin_relative_error(truth: &Histogram, estimate: &Histogram) -> Result<Vec<f64>> {
+    per_bin_relative_error_with_delta(truth, estimate, DEFAULT_DELTA)
+}
+
+/// The per-bin relative error vector with an explicit `δ`.
+pub fn per_bin_relative_error_with_delta(
+    truth: &Histogram,
+    estimate: &Histogram,
+    delta: f64,
+) -> Result<Vec<f64>> {
+    if truth.len() != estimate.len() {
+        return Err(OsdpError::DimensionMismatch { expected: truth.len(), actual: estimate.len() });
+    }
+    if !(delta > 0.0) {
+        return Err(OsdpError::InvalidInput(format!(
+            "relative error delta must be positive, got {delta}"
+        )));
+    }
+    Ok(truth
+        .counts()
+        .iter()
+        .zip(estimate.counts().iter())
+        .map(|(&t, &e)| (t - e).abs() / t.max(delta))
+        .collect())
+}
+
+/// The `q`-quantile (via linear interpolation) of the per-bin relative error.
+///
+/// `relative_error_percentile(x, x̃, REL95)` is the paper's Rel95.
+pub fn relative_error_percentile(
+    truth: &Histogram,
+    estimate: &Histogram,
+    q: f64,
+) -> Result<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return Err(OsdpError::InvalidInput(format!("quantile level {q} outside [0,1]")));
+    }
+    let mut errors = per_bin_relative_error(truth, estimate)?;
+    if errors.is_empty() {
+        return Err(OsdpError::InvalidInput("relative error of an empty histogram".into()));
+    }
+    errors.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (errors.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    Ok(if lo == hi {
+        errors[lo]
+    } else {
+        let frac = pos - lo as f64;
+        errors[lo] * (1.0 - frac) + errors[hi] * frac
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_bin_vector_matches_hand_computation() {
+        let x = Histogram::from_counts(vec![10.0, 0.0, 4.0]);
+        let e = Histogram::from_counts(vec![8.0, 2.0, 5.0]);
+        let v = per_bin_relative_error(&x, &e).unwrap();
+        assert_eq!(v.len(), 3);
+        assert!((v[0] - 0.2).abs() < 1e-12);
+        assert!((v[1] - 2.0).abs() < 1e-12);
+        assert!((v[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_bracket_the_distribution() {
+        let x = Histogram::from_counts(vec![10.0; 100]);
+        // 95 perfect bins, 5 bins off by 10 (relative error 1.0)
+        let mut est = vec![10.0; 100];
+        for v in est.iter_mut().take(5) {
+            *v = 20.0;
+        }
+        let e = Histogram::from_counts(est);
+        let rel50 = relative_error_percentile(&x, &e, REL50).unwrap();
+        let rel95 = relative_error_percentile(&x, &e, REL95).unwrap();
+        let rel99 = relative_error_percentile(&x, &e, 0.99).unwrap();
+        assert_eq!(rel50, 0.0);
+        assert!(rel95 <= rel99);
+        assert!(rel99 > 0.9, "the bad bins show up in the upper tail, got {rel99}");
+    }
+
+    #[test]
+    fn validation_errors() {
+        let x = Histogram::from_counts(vec![1.0, 2.0]);
+        let short = Histogram::zeros(1);
+        assert!(per_bin_relative_error(&x, &short).is_err());
+        assert!(per_bin_relative_error_with_delta(&x, &x, 0.0).is_err());
+        assert!(relative_error_percentile(&x, &x, -0.1).is_err());
+        assert!(relative_error_percentile(&x, &x, 1.1).is_err());
+        assert!(relative_error_percentile(&Histogram::zeros(0), &Histogram::zeros(0), 0.5).is_err());
+    }
+
+    #[test]
+    fn median_of_constant_errors_is_that_constant() {
+        let x = Histogram::from_counts(vec![4.0; 7]);
+        let e = Histogram::from_counts(vec![6.0; 7]);
+        let rel50 = relative_error_percentile(&x, &e, REL50).unwrap();
+        assert!((rel50 - 0.5).abs() < 1e-12);
+        let rel95 = relative_error_percentile(&x, &e, REL95).unwrap();
+        assert!((rel95 - 0.5).abs() < 1e-12);
+    }
+}

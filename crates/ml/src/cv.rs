@@ -1,0 +1,160 @@
+//! Stratified k-fold cross-validation.
+//!
+//! The paper reports the average AUC over 10-fold cross-validation
+//! (Section 6.2). Folds are stratified so each keeps roughly the overall
+//! positive rate — important here because residents account for a small
+//! share of the daily trajectories.
+
+use crate::roc::auc;
+use osdp_core::error::{OsdpError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Splits example indices into `k` stratified folds.
+pub fn stratified_folds<G: Rng + ?Sized>(
+    labels: &[bool],
+    k: usize,
+    rng: &mut G,
+) -> Result<Vec<Vec<usize>>> {
+    if k < 2 {
+        return Err(OsdpError::InvalidInput("need at least 2 folds".into()));
+    }
+    if labels.len() < k {
+        return Err(OsdpError::InvalidInput(format!(
+            "cannot split {} examples into {k} folds",
+            labels.len()
+        )));
+    }
+    let mut positives: Vec<usize> =
+        labels.iter().enumerate().filter_map(|(i, &l)| l.then_some(i)).collect();
+    let mut negatives: Vec<usize> =
+        labels.iter().enumerate().filter_map(|(i, &l)| (!l).then_some(i)).collect();
+    positives.shuffle(rng);
+    negatives.shuffle(rng);
+
+    let mut folds = vec![Vec::new(); k];
+    for (i, idx) in positives.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    for (i, idx) in negatives.into_iter().enumerate() {
+        folds[i % k].push(idx);
+    }
+    Ok(folds)
+}
+
+/// Runs k-fold cross-validation of a train-and-score procedure and returns
+/// the per-fold AUCs.
+///
+/// `train_and_score` receives the training features/labels and the test
+/// features, and must return one score per test example.
+pub fn cross_validate_auc<G, F>(
+    features: &[Vec<f64>],
+    labels: &[bool],
+    k: usize,
+    rng: &mut G,
+    mut train_and_score: F,
+) -> Result<Vec<f64>>
+where
+    G: Rng + ?Sized,
+    F: FnMut(&[Vec<f64>], &[bool], &[Vec<f64>]) -> Vec<f64>,
+{
+    if features.len() != labels.len() {
+        return Err(OsdpError::DimensionMismatch {
+            expected: features.len(),
+            actual: labels.len(),
+        });
+    }
+    let folds = stratified_folds(labels, k, rng)?;
+    let mut aucs = Vec::with_capacity(k);
+    for fold in &folds {
+        let test_set: std::collections::BTreeSet<usize> = fold.iter().copied().collect();
+        let mut train_x = Vec::with_capacity(features.len() - fold.len());
+        let mut train_y = Vec::with_capacity(features.len() - fold.len());
+        let mut test_x = Vec::with_capacity(fold.len());
+        let mut test_y = Vec::with_capacity(fold.len());
+        for i in 0..features.len() {
+            if test_set.contains(&i) {
+                test_x.push(features[i].clone());
+                test_y.push(labels[i]);
+            } else {
+                train_x.push(features[i].clone());
+                train_y.push(labels[i]);
+            }
+        }
+        let scores = train_and_score(&train_x, &train_y, &test_x);
+        if scores.len() != test_x.len() {
+            return Err(OsdpError::DimensionMismatch {
+                expected: test_x.len(),
+                actual: scores.len(),
+            });
+        }
+        aucs.push(auc(&scores, &test_y)?);
+    }
+    Ok(aucs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::{LogisticRegression, TrainConfig};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn folds_partition_all_indices_and_stratify() {
+        let labels: Vec<bool> = (0..100).map(|i| i % 4 == 0).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let folds = stratified_folds(&labels, 10, &mut rng).unwrap();
+        assert_eq!(folds.len(), 10);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // Each fold has 9-11 examples (round-robin remainder), 2-3 of which
+        // are positive.
+        for fold in &folds {
+            assert!((9..=11).contains(&fold.len()), "fold size {}", fold.len());
+            let pos = fold.iter().filter(|&&i| labels[i]).count();
+            assert!((2..=3).contains(&pos), "fold positives {pos}");
+        }
+    }
+
+    #[test]
+    fn fold_validation_errors() {
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        assert!(stratified_folds(&[true, false], 1, &mut rng).is_err());
+        assert!(stratified_folds(&[true, false], 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn cross_validation_of_a_real_model_scores_well_on_separable_data() {
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..400 {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            xs.push(vec![a, b]);
+            ys.push(a - b > 0.0);
+        }
+        let aucs = cross_validate_auc(&xs, &ys, 10, &mut rng, |tx, ty, test| {
+            let model = LogisticRegression::train(tx, ty, &TrainConfig::default()).unwrap();
+            model.predict_proba_all(test)
+        })
+        .unwrap();
+        assert_eq!(aucs.len(), 10);
+        let mean = aucs.iter().sum::<f64>() / 10.0;
+        assert!(mean > 0.95, "mean AUC {mean}");
+    }
+
+    #[test]
+    fn cross_validation_validates_scorer_output() {
+        let labels: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let features: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let result = cross_validate_auc(&features, &labels, 5, &mut rng, |_, _, _| vec![0.5]);
+        assert!(result.is_err(), "scorer returning the wrong number of scores must error");
+        let mismatched =
+            cross_validate_auc(&features, &labels[..10], 5, &mut rng, |_, _, t| vec![0.5; t.len()]);
+        assert!(mismatched.is_err());
+    }
+}

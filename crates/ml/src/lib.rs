@@ -1,0 +1,33 @@
+//! # osdp-ml
+//!
+//! The classification substrate of the Section 6.3.1 experiment (Figure 1):
+//! predicting whether a daily trajectory belongs to a building resident.
+//!
+//! * [`scale`] — feature standardisation and the unit-L2-norm clipping
+//!   required by objective perturbation.
+//! * [`logistic`] — dense L2-regularised logistic regression trained by
+//!   batch gradient descent.
+//! * [`objdp`] — `ObjDP`: the Chaudhuri–Monteleoni–Sarwate objective
+//!   perturbation mechanism for ε-DP empirical risk minimisation, the DP
+//!   baseline of Figure 1.
+//! * [`roc`] — ROC curves and AUC (the paper reports `1 − AUC` as error).
+//! * [`cv`] — stratified k-fold cross-validation (the paper uses 10 folds).
+//! * [`baseline`] — the `Random` baseline that predicts from the label prior
+//!   alone.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod baseline;
+pub mod cv;
+pub mod logistic;
+pub mod objdp;
+pub mod roc;
+pub mod scale;
+
+pub use baseline::RandomClassifier;
+pub use cv::{cross_validate_auc, stratified_folds};
+pub use logistic::{LogisticRegression, TrainConfig};
+pub use objdp::ObjectivePerturbation;
+pub use roc::{auc, roc_curve};
+pub use scale::{clip_to_unit_norm, Standardizer};

@@ -1,0 +1,167 @@
+//! ROC curves and AUC.
+//!
+//! The paper evaluates classifiers with the receiver operating characteristic
+//! curve and reports `1 − AUC` as the error measure (Section 6.2).
+
+use osdp_core::error::{OsdpError, Result};
+
+/// A point on the ROC curve: (false positive rate, true positive rate).
+pub type RocPoint = (f64, f64);
+
+/// Computes the ROC curve by sweeping a threshold over the scores, from the
+/// most permissive to the most restrictive. The returned curve starts at
+/// `(0, 0)` and ends at `(1, 1)`.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Result<Vec<RocPoint>> {
+    validate(scores, labels)?;
+    let positives = labels.iter().filter(|&&l| l).count() as f64;
+    let negatives = labels.len() as f64 - positives;
+    if positives == 0.0 || negatives == 0.0 {
+        return Err(OsdpError::InvalidInput(
+            "ROC requires at least one positive and one negative example".into(),
+        ));
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+
+    let mut curve = vec![(0.0, 0.0)];
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        // Process ties together so the curve is threshold-consistent.
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        curve.push((fp / negatives, tp / positives));
+    }
+    Ok(curve)
+}
+
+/// The area under the ROC curve, computed via the Mann–Whitney U statistic
+/// (equivalent to trapezoidal integration of [`roc_curve`], but handles ties
+/// exactly).
+pub fn auc(scores: &[f64], labels: &[bool]) -> Result<f64> {
+    validate(scores, labels)?;
+    let positives = labels.iter().filter(|&&l| l).count();
+    let negatives = labels.len() - positives;
+    if positives == 0 || negatives == 0 {
+        return Err(OsdpError::InvalidInput(
+            "AUC requires at least one positive and one negative example".into(),
+        ));
+    }
+    // Rank the scores (average ranks for ties).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let average_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = average_rank;
+        }
+        i = j + 1;
+    }
+    let positive_rank_sum: f64 =
+        ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(r, _)| r).sum();
+    let p = positives as f64;
+    let n = negatives as f64;
+    let u = positive_rank_sum - p * (p + 1.0) / 2.0;
+    Ok(u / (p * n))
+}
+
+fn validate(scores: &[f64], labels: &[bool]) -> Result<()> {
+    if scores.len() != labels.len() {
+        return Err(OsdpError::DimensionMismatch { expected: scores.len(), actual: labels.len() });
+    }
+    if scores.is_empty() {
+        return Err(OsdpError::InvalidInput("empty score vector".into()));
+    }
+    if scores.iter().any(|s| s.is_nan()) {
+        return Err(OsdpError::InvalidInput("NaN score".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_errors() {
+        assert!(auc(&[], &[]).is_err());
+        assert!(auc(&[0.5], &[true, false]).is_err());
+        assert!(auc(&[f64::NAN, 0.2], &[true, false]).is_err());
+        assert!(auc(&[0.1, 0.2], &[true, true]).is_err());
+        assert!(roc_curve(&[0.1, 0.2], &[false, false]).is_err());
+    }
+
+    #[test]
+    fn perfect_classifier_has_auc_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+        let inverted = auc(&scores, &[false, false, true, true]).unwrap();
+        assert!(inverted.abs() < 1e-12, "anti-correlated scores give AUC 0");
+    }
+
+    #[test]
+    fn random_scores_give_auc_about_half() {
+        // Constant scores are fully tied: AUC must be exactly 0.5.
+        let scores = vec![0.7; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_matches_hand_computed_example() {
+        // scores: pos {0.9, 0.4}, neg {0.6, 0.1}
+        // pairs: (0.9>0.6), (0.9>0.1), (0.4<0.6)=0, (0.4>0.1) -> 3/4
+        let scores = [0.9, 0.4, 0.6, 0.1];
+        let labels = [true, true, false, false];
+        assert!((auc(&scores, &labels).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_count_half() {
+        // one positive and one negative with the same score: AUC 0.5
+        let scores = [0.5, 0.5];
+        let labels = [true, false];
+        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roc_curve_is_monotone_and_anchored() {
+        let scores = [0.9, 0.8, 0.7, 0.55, 0.4, 0.2];
+        let labels = [true, false, true, true, false, false];
+        let curve = roc_curve(&scores, &labels).unwrap();
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        for window in curve.windows(2) {
+            assert!(window[1].0 >= window[0].0);
+            assert!(window[1].1 >= window[0].1);
+        }
+    }
+
+    #[test]
+    fn trapezoidal_area_of_roc_matches_auc() {
+        let scores = [0.9, 0.8, 0.7, 0.55, 0.4, 0.2, 0.15, 0.05];
+        let labels = [true, false, true, true, false, true, false, false];
+        let curve = roc_curve(&scores, &labels).unwrap();
+        let area: f64 = curve
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0)
+            .sum();
+        let direct = auc(&scores, &labels).unwrap();
+        assert!((area - direct).abs() < 1e-9, "trapezoid {area} vs rank {direct}");
+    }
+}

@@ -1,0 +1,65 @@
+//! The `1 − e^{−ε}` Bernoulli coin used by `OsdpRR` (Algorithm 1).
+
+use osdp_core::error::{validate_epsilon, OsdpError, Result};
+use rand::Rng;
+
+/// The keep probability of `OsdpRR`: a non-sensitive record is released with
+/// probability `1 − e^{−ε}`.
+///
+/// Table 1 of the paper: ε = 1.0 → ≈ 63%, ε = 0.5 → ≈ 39%, ε = 0.1 → ≈ 9.5%.
+pub fn bernoulli_keep_probability(epsilon: f64) -> Result<f64> {
+    validate_epsilon(epsilon)?;
+    Ok(1.0 - (-epsilon).exp())
+}
+
+/// Samples a Bernoulli trial with success probability `p ∈ [0, 1]`.
+pub fn sample_bernoulli<R: Rng + ?Sized>(p: f64, rng: &mut R) -> Result<bool> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(OsdpError::InvalidInput(format!("Bernoulli probability out of range: {p}")));
+    }
+    Ok(rng.gen::<f64>() < p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn keep_probability_matches_table_1() {
+        // Table 1 of the paper.
+        assert!((bernoulli_keep_probability(1.0).unwrap() - 0.632).abs() < 0.001);
+        assert!((bernoulli_keep_probability(0.5).unwrap() - 0.393).abs() < 0.001);
+        assert!((bernoulli_keep_probability(0.1).unwrap() - 0.095).abs() < 0.001);
+        assert!(bernoulli_keep_probability(0.0).is_err());
+        assert!(bernoulli_keep_probability(-1.0).is_err());
+    }
+
+    #[test]
+    fn keep_probability_is_monotone_in_epsilon() {
+        let mut prev = 0.0;
+        for eps in [0.01, 0.1, 0.5, 1.0, 2.0, 5.0] {
+            let p = bernoulli_keep_probability(eps).unwrap();
+            assert!(p > prev);
+            assert!(p < 1.0);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn bernoulli_sampling_respects_probability() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 100_000;
+        let p = 0.37;
+        let hits = (0..n).filter(|_| sample_bernoulli(p, &mut rng).unwrap()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - p).abs() < 0.01, "rate {rate}");
+        // Degenerate probabilities behave deterministically.
+        assert!(!sample_bernoulli(0.0, &mut rng).unwrap());
+        assert!(sample_bernoulli(1.0, &mut rng).unwrap());
+        assert!(sample_bernoulli(-0.1, &mut rng).is_err());
+        assert!(sample_bernoulli(1.1, &mut rng).is_err());
+        assert!(sample_bernoulli(f64::NAN, &mut rng).is_err());
+    }
+}

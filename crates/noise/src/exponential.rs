@@ -1,0 +1,115 @@
+//! The exponential distribution, the building block of one-sided noise.
+
+use osdp_core::error::{OsdpError, Result};
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Exponential distribution with scale `lambda` (mean `lambda`).
+///
+/// Density: `f(x; λ) = exp(−x/λ) / λ` for `x ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution with the given scale (mean).
+    pub fn new(lambda: f64) -> Result<Self> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(OsdpError::InvalidInput(format!(
+                "Exponential scale must be finite and positive, got {lambda}"
+            )));
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The scale parameter λ (which equals the mean).
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Probability density at `x` (0 for negative `x`).
+    pub fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            (-x / self.lambda).exp() / self.lambda
+        }
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            1.0 - (-x / self.lambda).exp()
+        }
+    }
+
+    /// Theoretical mean (= λ).
+    pub fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Theoretical variance (= λ²).
+    pub fn variance(&self) -> f64 {
+        self.lambda * self.lambda
+    }
+
+    /// Median `λ · ln 2`.
+    pub fn median(&self) -> f64 {
+        self.lambda * std::f64::consts::LN_2
+    }
+}
+
+impl Distribution<f64> for Exponential {
+    /// Inverse-CDF sampling: `−λ · ln(1 − U)` with `U ~ Uniform[0, 1)`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen::<f64>();
+        -self.lambda * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn construction_validates_scale() {
+        assert!(Exponential::new(1.0).is_ok());
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-2.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn analytic_quantities() {
+        let d = Exponential::new(2.0).unwrap();
+        assert_eq!(d.lambda(), 2.0);
+        assert_eq!(d.mean(), 2.0);
+        assert_eq!(d.variance(), 4.0);
+        assert!((d.median() - 2.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert!((d.pdf(0.0) - 0.5).abs() < 1e-12);
+        assert_eq!(d.cdf(-1.0), 0.0);
+        assert!((d.cdf(d.median()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_are_non_negative_with_correct_mean() {
+        let d = Exponential::new(1.5).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = d.sample(&mut rng);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.5).abs() < 0.02, "sample mean {mean}");
+    }
+}

@@ -1,0 +1,39 @@
+//! # osdp-noise
+//!
+//! Random-variate substrate for the OSDP workspace. There is no
+//! differential-privacy ecosystem crate to lean on, so every distribution the
+//! paper uses is implemented here directly from `rand` uniforms:
+//!
+//! * [`Laplace`] — the two-sided Laplace distribution of Definition 2.3, used
+//!   by the DP Laplace mechanism (Definition 2.5) and by DAWA's second stage.
+//! * [`OneSidedLaplace`] — the mirrored exponential of Definition 5.1 whose
+//!   mass lies entirely on the non-positive reals; the noise of
+//!   `OsdpLaplace` / `OsdpLaplaceL1`.
+//! * [`Exponential`] — standard exponential, building block of the above.
+//! * [`TwoSidedGeometric`] — the discrete analogue of the Laplace mechanism,
+//!   provided for integer-valued extensions.
+//! * [`bernoulli_keep_probability`] and [`sample_bernoulli`] — the
+//!   `1 − e^{−ε}` coin used by `OsdpRR` (Algorithm 1).
+//!
+//! All samplers implement [`rand::distributions::Distribution<f64>`], so they
+//! compose with any `rand`-compatible RNG. Experiments use the portable,
+//! seedable [`seeded::SeedSequence`] so every table in the paper reproduction
+//! is deterministic.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod bernoulli;
+pub mod exponential;
+pub mod geometric;
+pub mod laplace;
+pub mod one_sided;
+pub mod seeded;
+pub mod stats;
+
+pub use bernoulli::{bernoulli_keep_probability, sample_bernoulli};
+pub use exponential::Exponential;
+pub use geometric::TwoSidedGeometric;
+pub use laplace::Laplace;
+pub use one_sided::OneSidedLaplace;
+pub use seeded::SeedSequence;

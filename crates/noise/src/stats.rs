@@ -1,0 +1,108 @@
+//! Small statistical helpers used by tests and benches to validate samplers.
+
+/// Sample mean; 0 for an empty slice.
+pub fn mean(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        samples.iter().sum::<f64>() / samples.len() as f64
+    }
+}
+
+/// Population variance (biased, divides by `n`); 0 for an empty slice.
+pub fn variance(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let m = mean(samples);
+    samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / samples.len() as f64
+}
+
+/// Empirical quantile via linear interpolation; `q` is clamped to `[0, 1]`.
+///
+/// Returns 0 for an empty slice.
+pub fn quantile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// One-sample Kolmogorov–Smirnov statistic against a CDF.
+///
+/// Used by distribution tests: for a correct sampler with `n` samples the
+/// statistic should be on the order of `1/√n`.
+pub fn ks_statistic<F: Fn(f64) -> f64>(samples: &[f64], cdf: F) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len() as f64;
+    let mut max_dev: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let empirical_hi = (i + 1) as f64 / n;
+        let empirical_lo = i as f64 / n;
+        let theoretical = cdf(x);
+        max_dev = max_dev.max((empirical_hi - theoretical).abs());
+        max_dev = max_dev.max((theoretical - empirical_lo).abs());
+    }
+    max_dev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplace::Laplace;
+    use crate::one_sided::OneSidedLaplace;
+    use rand::distributions::Distribution;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn mean_variance_quantile_on_known_data() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((mean(&xs) - 2.5).abs() < 1e-12);
+        assert!((variance(&xs) - 1.25).abs() < 1e-12);
+        assert!((quantile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((quantile(&xs, 1.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+        // quantile clamps q
+        assert!((quantile(&xs, 2.0) - 4.0).abs() < 1e-12);
+        assert!((quantile(&xs, -1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_statistic_small_for_correct_sampler() {
+        let d = Laplace::centered(1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(17);
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let ks = ks_statistic(&samples, |x| d.cdf(x));
+        assert!(ks < 0.02, "KS statistic {ks} unexpectedly large");
+    }
+
+    #[test]
+    fn ks_statistic_large_for_wrong_distribution() {
+        let d = OneSidedLaplace::new(1.0).unwrap();
+        let wrong = Laplace::centered(1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(18);
+        let samples: Vec<f64> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        let ks = ks_statistic(&samples, |x| wrong.cdf(x));
+        assert!(ks > 0.2, "KS statistic {ks} should flag the mismatch");
+        assert_eq!(ks_statistic(&[], |_| 0.5), 0.0);
+    }
+}

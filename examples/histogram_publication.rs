@@ -1,0 +1,76 @@
+//! Publishing a 1-D histogram under OSDP: compares the whole algorithm pool
+//! of the paper (4 OSDP + 2 DP mechanisms) on a benchmark dataset, under both
+//! a "Close" and a "Far" opt-in/opt-out policy.
+//!
+//! Run with: `cargo run --release --example histogram_publication`
+
+use osdp::data::sampling::{sample_policy, PolicyKind};
+use osdp::data::BenchmarkDataset;
+use osdp::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    let mut rng = ChaCha12Rng::seed_from_u64(7);
+    let epsilon = 1.0;
+    let dataset = BenchmarkDataset::Adult;
+    let full = dataset.generate(&mut rng);
+    println!(
+        "dataset {}: {} bins, scale {}, sparsity {:.2}",
+        dataset.name(),
+        full.len(),
+        full.total(),
+        full.sparsity()
+    );
+
+    let pool: Vec<Box<dyn HistogramMechanism>> = vec![
+        Box::new(OsdpRrHistogram::new(epsilon).unwrap()),
+        Box::new(OsdpLaplace::new(epsilon).unwrap()),
+        Box::new(OsdpLaplaceL1::new(epsilon).unwrap()),
+        Box::new(Dawaz::new(epsilon).unwrap()),
+        Box::new(DpLaplaceHistogram::new(epsilon).unwrap()),
+        Box::new(DawaHistogram::new(epsilon).unwrap()),
+    ];
+
+    for kind in [PolicyKind::Close, PolicyKind::Far] {
+        for rho in [0.9, 0.5] {
+            let policy = sample_policy(kind, &full, rho, &mut rng).expect("valid parameters");
+            let task = HistogramTask::new(full.clone(), policy.non_sensitive)
+                .expect("sampled sub-histogram");
+            println!(
+                "\npolicy = {:>5}, non-sensitive ratio = {:.0}% (achieved {:.1}%)",
+                kind.name(),
+                rho * 100.0,
+                100.0 * task.non_sensitive_ratio()
+            );
+            println!("  {:<16} {:>10} {:>10} {:>10}", "algorithm", "MRE", "Rel50", "Rel95");
+            for mechanism in &pool {
+                // Average a few runs so the ranking is stable.
+                let mut mre = 0.0;
+                let mut rel50 = 0.0;
+                let mut rel95 = 0.0;
+                let trials = 5;
+                for _ in 0..trials {
+                    let estimate = mechanism.release(&task, &mut rng);
+                    mre += mean_relative_error(task.full(), &estimate).unwrap();
+                    rel50 += relative_error_percentile(task.full(), &estimate, REL50).unwrap();
+                    rel95 += relative_error_percentile(task.full(), &estimate, REL95).unwrap();
+                }
+                println!(
+                    "  {:<16} {:>10.4} {:>10.4} {:>10.4}",
+                    mechanism.name(),
+                    mre / trials as f64,
+                    rel50 / trials as f64,
+                    rel95 / trials as f64
+                );
+            }
+        }
+    }
+
+    println!(
+        "\nTakeaway: with mostly non-sensitive records the one-sided mechanisms dominate the \
+         DP baselines; as the sensitive share grows (or the policy becomes value-correlated) \
+         DAWAz — which uses both the non-sensitive records and a DP pass over everything — \
+         is the safest choice."
+    );
+}

@@ -1,0 +1,108 @@
+//! # osdp — One-sided Differential Privacy
+//!
+//! A from-scratch Rust implementation of **one-sided differential privacy**
+//! (OSDP) as introduced by Doudalis, Kotsogiannis, Haney, Machanavajjhala and
+//! Mehrotra in *"One-sided Differential Privacy"*, together with every
+//! mechanism, baseline, data substrate and experiment needed to reproduce the
+//! paper's evaluation.
+//!
+//! OSDP targets data sharing when only *part* of the data is sensitive, as
+//! declared by an explicit **policy function**. It gives the sensitive
+//! records a differential-privacy-style guarantee while still protecting the
+//! *fact* that a record is sensitive — ruling out the *exclusion attacks*
+//! that plague access control and personalized DP — and it lets mechanisms
+//! exploit the non-sensitive records for large accuracy gains, including the
+//! release of exact, true records.
+//!
+//! ## Crate map
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`core`](osdp_core) — policies, records, databases, neighbors,
+//!   histograms, budget accounting.
+//! * [`noise`](osdp_noise) — Laplace, one-sided Laplace, exponential,
+//!   geometric samplers.
+//! * [`mechanisms`](osdp_mechanisms) — `OsdpRR`, `OsdpLaplace`,
+//!   `OsdpLaplaceL1`, `DAWAz`, the DP Laplace/DAWA baselines and the PDP
+//!   `Suppress` baseline.
+//! * [`dawa`](osdp_dawa) — the DAWA two-phase DP histogram algorithm.
+//! * [`data`](osdp_data) — DPBench-style benchmark histograms, opt-in/opt-out
+//!   samplers, and the TIPPERS-like smart-building trajectory simulator.
+//! * [`ml`](osdp_ml) — logistic regression, ε-DP objective perturbation,
+//!   ROC/AUC, cross-validation.
+//! * [`metrics`](osdp_metrics) — MRE, per-bin relative error percentiles,
+//!   regret.
+//! * [`attack`](osdp_attack) — the exclusion-attack adversary and OSDP
+//!   verification tools.
+//! * [`experiments`](osdp_experiments) — one runner per table/figure of the
+//!   paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use osdp::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A database in which records of minors are sensitive.
+//! let db: Database = (0..1000)
+//!     .map(|i| Record::builder().field("age", Value::Int(10 + (i % 60))).build())
+//!     .collect();
+//! let policy = AttributePolicy::sensitive_when("age", |v| v.as_int().unwrap_or(0) <= 17);
+//!
+//! // Release a true sample of the non-sensitive records under (P, 1.0)-OSDP.
+//! let mechanism = OsdpRr::new(1.0).unwrap();
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+//! let sample = mechanism.release(&db, &policy, &mut rng);
+//!
+//! assert!(sample.iter().all(|r| r.int("age").unwrap() > 17));
+//! assert!(!sample.is_empty());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub use osdp_attack as attack;
+pub use osdp_core as core;
+pub use osdp_data as data;
+pub use osdp_dawa as dawa;
+pub use osdp_experiments as experiments;
+pub use osdp_mechanisms as mechanisms;
+pub use osdp_metrics as metrics;
+pub use osdp_ml as ml;
+pub use osdp_noise as noise;
+
+/// The most commonly used items, re-exported flat for convenience.
+pub mod prelude {
+    pub use osdp_core::{
+        budget::{BudgetAccountant, PrivacyBudget, PrivacyGuarantee},
+        policy::{AllSensitive, AttributePolicy, ClosurePolicy, MinimumRelaxation, NoneSensitive, Policy, Sensitivity},
+        Database, Histogram, Histogram2D, OsdpError, Record, SparseHistogram, Value,
+    };
+    pub use osdp_mechanisms::{
+        Dawaz, DawaHistogram, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,
+        OsdpLaplace, OsdpLaplaceL1, OsdpRr, OsdpRrHistogram, Suppress, TruncatedNgramLaplace,
+    };
+    pub use osdp_metrics::{
+        l1_error, mean_relative_error, relative_error_percentile, RegretTable, ResultRow,
+        ResultTable, REL50, REL95,
+    };
+    pub use osdp_noise::{Laplace, OneSidedLaplace, SeedSequence};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_are_usable_together() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+        let task = HistogramTask::all_non_sensitive(Histogram::from_counts(vec![50.0; 16]));
+        let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+        let estimate = mechanism.release(&task, &mut rng);
+        let mre = mean_relative_error(task.full(), &estimate).unwrap();
+        assert!(mre < 1.0);
+        let budget = PrivacyBudget::new(1.0).unwrap();
+        assert_eq!(budget.epsilon(), 1.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) of the core invariants.
+
+use osdp::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Strategy: a histogram with up to 64 bins of bounded non-negative counts.
+fn histogram_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0u32..500, 1..64).prop_map(|v| v.into_iter().map(f64::from).collect())
+}
+
+/// Strategy: a (full, non-sensitive) pair with the domination invariant.
+fn task_strategy() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    prop::collection::vec((0u32..500, 0.0f64..=1.0), 1..64).prop_map(|v| {
+        let full: Vec<f64> = v.iter().map(|(c, _)| f64::from(*c)).collect();
+        let ns: Vec<f64> = v.iter().map(|(c, frac)| (f64::from(*c) * frac).floor()).collect();
+        (full, ns)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn osdp_laplace_l1_output_is_non_negative_and_preserves_zero_bins(
+        (full, ns) in task_strategy(), seed in 0u64..1000, eps in 0.05f64..4.0
+    ) {
+        let task = HistogramTask::new(
+            Histogram::from_counts(full),
+            Histogram::from_counts(ns.clone()),
+        ).unwrap();
+        let mechanism = OsdpLaplaceL1::new(eps).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let estimate = mechanism.release(&task, &mut rng);
+        prop_assert_eq!(estimate.len(), task.bins());
+        prop_assert!(estimate.is_non_negative());
+        for (i, &count) in ns.iter().enumerate() {
+            if count == 0.0 {
+                prop_assert_eq!(estimate.get(i), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn osdp_laplace_never_exceeds_the_non_sensitive_counts(
+        (full, ns) in task_strategy(), seed in 0u64..1000
+    ) {
+        let task = HistogramTask::new(
+            Histogram::from_counts(full),
+            Histogram::from_counts(ns),
+        ).unwrap();
+        let mechanism = OsdpLaplace::new(1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let estimate = mechanism.release(&task, &mut rng);
+        prop_assert!(estimate.dominated_by(task.non_sensitive()).unwrap());
+    }
+
+    #[test]
+    fn osdp_rr_histogram_is_a_sub_histogram_of_the_non_sensitive_part(
+        (full, ns) in task_strategy(), seed in 0u64..1000, eps in 0.05f64..4.0
+    ) {
+        let task = HistogramTask::new(
+            Histogram::from_counts(full),
+            Histogram::from_counts(ns),
+        ).unwrap();
+        let mechanism = OsdpRrHistogram::new(eps).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let estimate = mechanism.release(&task, &mut rng);
+        prop_assert!(estimate.dominated_by(task.non_sensitive()).unwrap());
+        prop_assert!(estimate.is_non_negative());
+    }
+
+    #[test]
+    fn dawaz_zeroes_every_truly_empty_bin(counts in histogram_strategy(), seed in 0u64..1000) {
+        let full = Histogram::from_counts(counts.clone());
+        let task = HistogramTask::all_non_sensitive(full);
+        let mechanism = Dawaz::new(1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let estimate = mechanism.release(&task, &mut rng);
+        for (i, &count) in counts.iter().enumerate() {
+            if count == 0.0 {
+                prop_assert_eq!(estimate.get(i), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mre_is_zero_iff_estimates_match(counts in histogram_strategy()) {
+        let hist = Histogram::from_counts(counts.clone());
+        prop_assert_eq!(mean_relative_error(&hist, &hist).unwrap(), 0.0);
+        // Perturbing any single bin by 1 produces strictly positive error.
+        let mut perturbed = counts;
+        perturbed[0] += 1.0;
+        let other = Histogram::from_counts(perturbed);
+        prop_assert!(mean_relative_error(&hist, &other).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn laplace_noise_is_symmetric_in_distribution(scale in 0.1f64..10.0, seed in 0u64..1000) {
+        let noise = Laplace::centered(scale).unwrap();
+        prop_assert!((noise.cdf(0.0) - 0.5).abs() < 1e-12);
+        // pdf symmetry at a few points
+        for x in [0.3, 1.0, 2.5] {
+            prop_assert!((noise.pdf(x) - noise.pdf(-x)).abs() < 1e-12);
+        }
+        // sampling stays finite
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let v: f64 = rand::distributions::Distribution::sample(&noise, &mut rng);
+        prop_assert!(v.is_finite());
+    }
+
+    #[test]
+    fn one_sided_noise_is_never_positive(scale in 0.05f64..10.0, seed in 0u64..1000) {
+        let noise = OneSidedLaplace::new(scale).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let v: f64 = rand::distributions::Distribution::sample(&noise, &mut rng);
+            prop_assert!(v <= 0.0);
+        }
+    }
+
+    #[test]
+    fn regret_table_minimum_is_always_one(errors in prop::collection::vec(0.01f64..100.0, 2..6)) {
+        let mut table = RegretTable::new();
+        for (i, e) in errors.iter().enumerate() {
+            table.record("input", format!("alg{i}"), *e);
+        }
+        let best = table
+            .average_regrets()
+            .into_iter()
+            .map(|(_, r)| r)
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((best - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_accountant_never_overspends(spends in prop::collection::vec(0.01f64..0.5, 1..10)) {
+        let accountant = BudgetAccountant::with_limit(1.0).unwrap();
+        let mut accepted = 0.0;
+        for (i, eps) in spends.iter().enumerate() {
+            if accountant
+                .spend(format!("m{i}"), "P", *eps, PrivacyGuarantee::OneSided)
+                .is_ok()
+            {
+                accepted += eps;
+            }
+        }
+        prop_assert!(accepted <= 1.0 + 1e-9);
+        prop_assert!((accountant.total_spent() - accepted).abs() < 1e-9);
+    }
+}
