@@ -171,8 +171,7 @@ mod tests {
         let p = policy();
         let prior = ProductPrior::uniform(DOMAIN as usize).unwrap();
         // Observing a suppression: sensitive value 5 vs non-sensitive value 1.
-        let ratio =
-            posterior_odds_ratio(&model, &p, &prior, Outcome::Suppressed, 5, 1).unwrap();
+        let ratio = posterior_odds_ratio(&model, &p, &prior, Outcome::Suppressed, 5, 1).unwrap();
         assert!((ratio - 1.0f64.exp()).abs() < 1e-9, "ratio {ratio} should be e^eps");
         // Observing a released non-sensitive value is impossible for the
         // sensitive value: the ratio collapses to zero.

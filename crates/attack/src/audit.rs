@@ -1,0 +1,125 @@
+//! Verifying session audit logs against the composition theorems.
+//!
+//! `osdp-engine` sessions append every release to an audit log whose ledger
+//! view (`Vec<osdp_core::budget::LedgerEntry>`) this module consumes: it
+//! recomputes the composed guarantee under sequential composition
+//! (Theorem 3.3), checks a claimed budget cap, and flags the entries whose
+//! guarantee kind leaves them exposed to exclusion attacks — PDP entries
+//! only enjoy φ = τ freedom (Theorem 3.4), while DP/OSDP entries enjoy
+//! φ = ε (Theorems 3.1, 3.2).
+
+use osdp_core::budget::{LedgerEntry, PrivacyGuarantee};
+
+/// The outcome of verifying a release ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerVerdict {
+    /// Total ε under sequential composition (Theorem 3.3).
+    pub total_epsilon: f64,
+    /// Labels of the policies the composed guarantee refers to (their
+    /// minimum relaxation, Definition 3.6), deduplicated in first-use order.
+    pub policies: Vec<String>,
+    /// Whether every entry is plain ε-DP (then the composite is ε-DP too).
+    pub is_pure_dp: bool,
+    /// Whether the total respects the claimed cap (vacuously true without
+    /// one).
+    pub within_limit: bool,
+    /// The worst exclusion-attack exponent φ across entries: for DP/OSDP
+    /// entries φ equals their ε; PDP entries pay their full threshold τ.
+    pub worst_exclusion_phi: f64,
+    /// Labels of the PDP entries — releases that satisfy personalized DP but
+    /// **not** OSDP, and are therefore the ledger's exclusion-attack surface.
+    pub pdp_entries: Vec<String>,
+}
+
+impl LedgerVerdict {
+    /// Whether the ledger as a whole upholds the OSDP contract: within its
+    /// cap and free of PDP entries.
+    pub fn upholds_osdp(&self) -> bool {
+        self.within_limit && self.pdp_entries.is_empty()
+    }
+}
+
+/// Verifies a release ledger (see module docs). `limit` is the budget cap
+/// the ledger claims to respect, if any.
+pub fn verify_ledger(entries: &[LedgerEntry], limit: Option<f64>) -> LedgerVerdict {
+    let total_epsilon: f64 = entries.iter().map(|e| e.epsilon).sum();
+    let mut policies: Vec<String> = Vec::new();
+    for e in entries {
+        if !policies.contains(&e.policy) {
+            policies.push(e.policy.clone());
+        }
+    }
+    let is_pure_dp = !entries.is_empty()
+        && entries.iter().all(|e| e.guarantee == PrivacyGuarantee::DifferentialPrivacy);
+    let within_limit = limit.is_none_or(|l| total_epsilon <= l + 1e-9);
+    let worst_exclusion_phi = entries.iter().map(|e| e.epsilon).fold(0.0f64, f64::max);
+    let pdp_entries = entries
+        .iter()
+        .filter(|e| e.guarantee == PrivacyGuarantee::Personalized)
+        .map(|e| e.label.clone())
+        .collect();
+    LedgerVerdict {
+        total_epsilon,
+        policies,
+        is_pure_dp,
+        within_limit,
+        worst_exclusion_phi,
+        pdp_entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: &str, policy: &str, epsilon: f64, guarantee: PrivacyGuarantee) -> LedgerEntry {
+        LedgerEntry { label: label.into(), policy: policy.into(), epsilon, guarantee }
+    }
+
+    #[test]
+    fn sequential_composition_sums_and_dedups_policies() {
+        let ledger = vec![
+            entry("OsdpRR", "P99", 0.4, PrivacyGuarantee::OneSided),
+            entry("DAWA", "Pall", 0.5, PrivacyGuarantee::DifferentialPrivacy),
+            entry("OsdpLaplaceL1", "P99", 0.1, PrivacyGuarantee::OneSided),
+        ];
+        let verdict = verify_ledger(&ledger, Some(1.0));
+        assert!((verdict.total_epsilon - 1.0).abs() < 1e-12);
+        assert_eq!(verdict.policies, vec!["P99".to_string(), "Pall".to_string()]);
+        assert!(verdict.within_limit);
+        assert!(!verdict.is_pure_dp);
+        assert!(verdict.upholds_osdp());
+        assert!((verdict.worst_exclusion_phi - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_limit_ledgers_fail() {
+        let ledger = vec![entry("m", "P", 1.5, PrivacyGuarantee::OneSided)];
+        let verdict = verify_ledger(&ledger, Some(1.0));
+        assert!(!verdict.within_limit);
+        assert!(!verdict.upholds_osdp());
+        assert!(verify_ledger(&ledger, None).within_limit, "no cap, no violation");
+    }
+
+    #[test]
+    fn pdp_entries_are_the_exclusion_attack_surface() {
+        let ledger = vec![
+            entry("OsdpLaplaceL1", "P90", 1.0, PrivacyGuarantee::OneSided),
+            entry("Suppress100", "P90", 100.0, PrivacyGuarantee::Personalized),
+        ];
+        let verdict = verify_ledger(&ledger, None);
+        assert_eq!(verdict.pdp_entries, vec!["Suppress100".to_string()]);
+        assert!(!verdict.upholds_osdp());
+        assert!((verdict.worst_exclusion_phi - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_dp_ledgers_are_recognised() {
+        let ledger = vec![
+            entry("Laplace", "Pall", 0.3, PrivacyGuarantee::DifferentialPrivacy),
+            entry("DAWA", "Pall", 0.3, PrivacyGuarantee::DifferentialPrivacy),
+        ];
+        assert!(verify_ledger(&ledger, None).is_pure_dp);
+        assert!(!verify_ledger(&[], None).is_pure_dp, "empty ledger proves nothing");
+    }
+}

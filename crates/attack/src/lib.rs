@@ -34,11 +34,15 @@
 #![warn(clippy::all)]
 
 pub mod adversary;
+pub mod audit;
 pub mod prior;
 pub mod release_models;
 pub mod verify;
 
 pub use adversary::{exclusion_attack_phi, posterior_odds_ratio};
+pub use audit::{verify_ledger, LedgerVerdict};
 pub use prior::ProductPrior;
-pub use release_models::{DpGeometricModel, OsdpRrModel, ReleaseModel, SuppressModel, TruthfulModel};
+pub use release_models::{
+    DpGeometricModel, OsdpRrModel, ReleaseModel, SuppressModel, TruthfulModel,
+};
 pub use verify::{verify_osdp_on_singletons, OsdpCheckOutcome};

@@ -27,7 +27,11 @@ fn task(rho: f64) -> HistogramTask {
     let mut rng = ChaCha12Rng::seed_from_u64(3);
     let full = BenchmarkDataset::Adult.generate(&mut rng);
     let policy = sample_policy(PolicyKind::Close, &full, rho, &mut rng).expect("valid parameters");
-    HistogramTask::new(full, policy.non_sensitive).expect("sampled sub-histogram")
+    osdp_engine::histogram_session(full, policy.non_sensitive)
+        .build()
+        .expect("sampled sub-histogram")
+        .derive_task(&osdp_engine::SessionQuery::bound())
+        .expect("bound task")
 }
 
 fn average_mre(mechanism: &dyn HistogramMechanism, task: &HistogramTask, trials: usize) -> f64 {

@@ -15,23 +15,17 @@ use std::hint::black_box;
 
 fn bench_table1_osdp_rr(c: &mut Criterion) {
     let config = bench_config();
-    c.bench_function("table1_released_fraction", |b| {
-        b.iter(|| black_box(table1::run(&config)))
-    });
+    c.bench_function("table1_released_fraction", |b| b.iter(|| black_box(table1::run(&config))));
 }
 
 fn bench_table2_datasets(c: &mut Criterion) {
     let config = bench_config();
-    c.bench_function("table2_benchmark_datasets", |b| {
-        b.iter(|| black_box(table2::run(&config)))
-    });
+    c.bench_function("table2_benchmark_datasets", |b| b.iter(|| black_box(table2::run(&config))));
 }
 
 fn bench_fig1_classification(c: &mut Criterion) {
     let config = bench_config();
-    c.bench_function("fig1_classification", |b| {
-        b.iter(|| black_box(classification::run(&config)))
-    });
+    c.bench_function("fig1_classification", |b| b.iter(|| black_box(classification::run(&config))));
 }
 
 fn bench_fig2_ngrams4(c: &mut Criterion) {

@@ -6,7 +6,7 @@ use osdp_bench::criterion_for_figures;
 use osdp_data::sampling::{sample_policy, PolicyKind};
 use osdp_data::BenchmarkDataset;
 use osdp_mechanisms::{
-    Dawaz, DawaHistogram, DpLaplaceHistogram, HistogramMechanism, HistogramTask, OsdpLaplace,
+    DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, OsdpLaplace,
     OsdpLaplaceL1, OsdpRrHistogram, Suppress,
 };
 use rand::SeedableRng;
@@ -17,7 +17,11 @@ fn task() -> HistogramTask {
     let mut rng = ChaCha12Rng::seed_from_u64(77);
     let full = BenchmarkDataset::Medcost.generate(&mut rng);
     let policy = sample_policy(PolicyKind::Close, &full, 0.75, &mut rng).expect("valid parameters");
-    HistogramTask::new(full, policy.non_sensitive).expect("sampled sub-histogram")
+    osdp_engine::histogram_session(full, policy.non_sensitive)
+        .build()
+        .expect("sampled sub-histogram")
+        .derive_task(&osdp_engine::SessionQuery::bound())
+        .expect("bound task")
 }
 
 fn bench_mechanism_release(c: &mut Criterion) {

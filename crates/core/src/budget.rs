@@ -17,6 +17,7 @@
 use crate::error::{validate_epsilon, OsdpError, Result};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// The privacy parameter of a single mechanism invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -57,6 +58,82 @@ pub enum PrivacyGuarantee {
     /// `(P, ε)`-extended OSDP (appendix definition); implies `(P, 2ε)`-OSDP
     /// (Theorem 10.1).
     ExtendedOneSided,
+    /// Personalized differential privacy (the `Suppress` baseline of
+    /// Section 3.4): per-record budgets, **not** OSDP, and only τ-freedom from
+    /// exclusion attacks (Theorem 3.4).
+    Personalized,
+}
+
+/// The quantified privacy guarantee of a single mechanism, replacing the old
+/// `is_differentially_private() -> bool` flag: the kind of definition *and*
+/// its budget travel together through sessions, ledgers and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Guarantee {
+    /// ε-differential privacy (Definition 2.4).
+    Dp {
+        /// The privacy budget ε.
+        eps: f64,
+    },
+    /// `(P, ε)`-one-sided differential privacy (Definition 3.3) for the
+    /// policy the release is evaluated under.
+    Osdp {
+        /// The privacy budget ε.
+        eps: f64,
+    },
+    /// Personalized DP with threshold budget τ (recorded as `eps`). Satisfies
+    /// PDP but **not** OSDP; exclusion-attack protection is only φ = τ.
+    Pdp {
+        /// The threshold budget τ.
+        eps: f64,
+    },
+}
+
+impl Guarantee {
+    /// The budget (ε, or τ for [`Guarantee::Pdp`]).
+    pub fn epsilon(&self) -> f64 {
+        match self {
+            Guarantee::Dp { eps } | Guarantee::Osdp { eps } | Guarantee::Pdp { eps } => *eps,
+        }
+    }
+
+    /// Whether the mechanism satisfies plain ε-differential privacy.
+    pub fn is_differentially_private(&self) -> bool {
+        matches!(self, Guarantee::Dp { .. })
+    }
+
+    /// The matching ledger [`PrivacyGuarantee`] kind.
+    pub fn kind(&self) -> PrivacyGuarantee {
+        match self {
+            Guarantee::Dp { .. } => PrivacyGuarantee::DifferentialPrivacy,
+            Guarantee::Osdp { .. } => PrivacyGuarantee::OneSided,
+            Guarantee::Pdp { .. } => PrivacyGuarantee::Personalized,
+        }
+    }
+
+    /// Short label used in reports (`"DP"`, `"OSDP"`, `"PDP"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Guarantee::Dp { .. } => "DP",
+            Guarantee::Osdp { .. } => "OSDP",
+            Guarantee::Pdp { .. } => "PDP",
+        }
+    }
+
+    /// The exclusion-attack exponent φ this guarantee implies: φ = ε for DP
+    /// and OSDP mechanisms (Theorem 3.2), φ = τ for PDP (Theorem 3.4).
+    pub fn exclusion_attack_phi(&self) -> f64 {
+        self.epsilon()
+    }
+}
+
+impl fmt::Display for Guarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Guarantee::Dp { eps } => write!(f, "{eps}-DP"),
+            Guarantee::Osdp { eps } => write!(f, "(P, {eps})-OSDP"),
+            Guarantee::Pdp { eps } => write!(f, "PDP(tau = {eps})"),
+        }
+    }
 }
 
 /// One entry of the composition ledger.
@@ -201,8 +278,12 @@ impl BudgetAccountant {
     /// to (Theorem 3.3).
     pub fn composed_guarantee(&self) -> (f64, Vec<String>) {
         let state = self.state.lock();
-        let mut policies: Vec<String> = state.entries.iter().map(|e| e.policy.clone()).collect();
-        policies.dedup();
+        let mut policies: Vec<String> = Vec::new();
+        for entry in &state.entries {
+            if !policies.contains(&entry.policy) {
+                policies.push(entry.policy.clone());
+            }
+        }
         (state.spent, policies)
     }
 }
@@ -280,9 +361,7 @@ mod tests {
         assert!(ledger[0].policy.contains("P1"));
         assert!(ledger[0].policy.contains("P2"));
 
-        assert!(acc
-            .spend_parallel("empty", PrivacyGuarantee::OneSided, &[])
-            .is_err());
+        assert!(acc.spend_parallel("empty", PrivacyGuarantee::OneSided, &[]).is_err());
         assert!(acc
             .spend_parallel("bad", PrivacyGuarantee::OneSided, &[("x", "P", -0.1)])
             .is_err());

@@ -157,7 +157,10 @@ impl<R> Database<R> {
 impl<R: Clone> Database<R> {
     /// Splits the database into its sensitive and non-sensitive parts
     /// (`D_s`, `D_ns` in Section 5.1).
-    pub fn partition_by_policy<P: Policy<R> + ?Sized>(&self, policy: &P) -> (Database<R>, Database<R>) {
+    pub fn partition_by_policy<P: Policy<R> + ?Sized>(
+        &self,
+        policy: &P,
+    ) -> (Database<R>, Database<R>) {
         let mut sensitive = Database::new();
         let mut non_sensitive = Database::new();
         for r in &self.records {

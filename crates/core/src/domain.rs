@@ -140,7 +140,8 @@ mod tests {
 
     #[test]
     fn grid_flatten_roundtrips() {
-        let g = GridDomain::new(CategoricalDomain::new("ap", 64), CategoricalDomain::new("hour", 24));
+        let g =
+            GridDomain::new(CategoricalDomain::new("ap", 64), CategoricalDomain::new("hour", 24));
         assert_eq!(g.size(), 64 * 24);
         for row in [0usize, 1, 13, 63] {
             for col in [0usize, 5, 23] {

@@ -62,10 +62,9 @@ impl fmt::Display for OsdpError {
             OsdpError::InvalidFraction { name, value } => {
                 write!(f, "invalid fraction {name} = {value}; must lie strictly between 0 and 1")
             }
-            OsdpError::BudgetExhausted { requested, remaining } => write!(
-                f,
-                "privacy budget exhausted: requested {requested}, remaining {remaining}"
-            ),
+            OsdpError::BudgetExhausted { requested, remaining } => {
+                write!(f, "privacy budget exhausted: requested {requested}, remaining {remaining}")
+            }
             OsdpError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
@@ -138,9 +137,7 @@ mod tests {
         assert!(e.to_string().contains("Int"));
         assert!(OsdpError::TrivialPolicy.to_string().contains("trivial"));
         assert!(OsdpError::InvalidEpsilon { epsilon: -1.0 }.to_string().contains("-1"));
-        assert!(
-            OsdpError::DimensionMismatch { expected: 3, actual: 4 }.to_string().contains("3")
-        );
+        assert!(OsdpError::DimensionMismatch { expected: 3, actual: 4 }.to_string().contains("3"));
         assert!(OsdpError::InvalidInput("x".into()).to_string().contains('x'));
         assert!(OsdpError::InvalidFraction { name: "rho", value: 2.0 }.to_string().contains("rho"));
     }

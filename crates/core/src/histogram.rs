@@ -110,12 +110,7 @@ impl Histogram {
     /// L1 distance to another histogram.
     pub fn l1_distance(&self, other: &Histogram) -> Result<f64> {
         self.check_same_len(other)?;
-        Ok(self
-            .counts
-            .iter()
-            .zip(other.counts.iter())
-            .map(|(a, b)| (a - b).abs())
-            .sum())
+        Ok(self.counts.iter().zip(other.counts.iter()).map(|(a, b)| (a - b).abs()).sum())
     }
 
     /// L2 distance to another histogram.
@@ -343,7 +338,7 @@ mod tests {
         assert_eq!(ps, vec![0.0, 1.0, 3.0, 6.0, 10.0]);
         // range_sum(i..j) == ps[j] - ps[i]
         for i in 0..4 {
-            for j in i..=4.min(4) {
+            for j in i..=4 {
                 assert!((h.range_sum(i..j) - (ps[j] - ps[i])).abs() < 1e-12);
             }
         }

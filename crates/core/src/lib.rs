@@ -64,7 +64,7 @@ pub mod record;
 pub mod sparse;
 pub mod value;
 
-pub use budget::{BudgetAccountant, PrivacyBudget, PrivacyGuarantee};
+pub use budget::{BudgetAccountant, Guarantee, PrivacyBudget, PrivacyGuarantee};
 pub use database::Database;
 pub use domain::{CategoricalDomain, GridDomain};
 pub use error::{OsdpError, Result};

@@ -145,7 +145,10 @@ pub struct ClosurePolicy<R: ?Sized> {
 impl<R: ?Sized> ClosurePolicy<R> {
     /// Creates a policy from a predicate returning `true` for sensitive
     /// records.
-    pub fn new(name: impl Into<String>, sensitive_when: impl Fn(&R) -> bool + Send + Sync + 'static) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        sensitive_when: impl Fn(&R) -> bool + Send + Sync + 'static,
+    ) -> Self {
         Self { name: name.into(), predicate: Arc::new(sensitive_when) }
     }
 
@@ -398,19 +401,16 @@ mod tests {
     #[test]
     fn minimum_relaxation_takes_max() {
         // P1: minors sensitive. P2: opted-out sensitive.
-        let p1: Arc<dyn Policy<Record>> = Arc::new(AttributePolicy::sensitive_when("age", |v| {
-            v.as_int().unwrap_or(0) <= 17
-        }));
+        let p1: Arc<dyn Policy<Record>> =
+            Arc::new(AttributePolicy::sensitive_when("age", |v| v.as_int().unwrap_or(0) <= 17));
         let p2: Arc<dyn Policy<Record>> = Arc::new(AttributePolicy::opt_in("opt_in"));
         let pmr = MinimumRelaxation::new(vec![p1.clone(), p2.clone()]);
         assert_eq!(pmr.len(), 2);
         assert!(!pmr.is_empty());
 
-        let minor_opted_out =
-            Record::builder().field("age", 10i64).field("opt_in", false).build();
+        let minor_opted_out = Record::builder().field("age", 10i64).field("opt_in", false).build();
         let minor_opted_in = Record::builder().field("age", 10i64).field("opt_in", true).build();
-        let adult_opted_out =
-            Record::builder().field("age", 40i64).field("opt_in", false).build();
+        let adult_opted_out = Record::builder().field("age", 40i64).field("opt_in", false).build();
         let adult_opted_in = Record::builder().field("age", 40i64).field("opt_in", true).build();
 
         // Sensitive only when sensitive under *both* policies.
@@ -459,12 +459,13 @@ mod tests {
         let r = Record::builder().field("opt_in", false).build();
         assert!(boxed.is_sensitive(&r));
         assert!(arced.is_sensitive(&r));
-        assert!((&p).is_sensitive(&r));
+        assert!(p.is_sensitive(&r));
     }
 
     #[test]
     fn push_extends_minimum_relaxation() {
-        let mut pmr: MinimumRelaxation<Record> = MinimumRelaxation::new(vec![Arc::new(AllSensitive)]);
+        let mut pmr: MinimumRelaxation<Record> =
+            MinimumRelaxation::new(vec![Arc::new(AllSensitive)]);
         let r = age_record(30);
         assert!(pmr.is_sensitive(&r));
         pmr.push(Arc::new(NoneSensitive));

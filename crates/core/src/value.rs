@@ -226,7 +226,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut vals = vec![
+        let mut vals = [
             Value::Text("b".into()),
             Value::Int(2),
             Value::Null,

@@ -250,15 +250,8 @@ mod tests {
             assert_eq!(policy.kind, PolicyKind::Close);
             assert!(policy.non_sensitive.dominated_by(&x).unwrap(), "x_ns must be a sub-histogram");
             let achieved = policy.achieved_ratio(&x);
-            assert!(
-                (achieved - rho).abs() < 0.02,
-                "rho {rho} achieved {achieved}"
-            );
-            assert!(policy
-                .non_sensitive
-                .counts()
-                .iter()
-                .all(|c| (c.round() - c).abs() < 1e-9));
+            assert!((achieved - rho).abs() < 0.02, "rho {rho} achieved {achieved}");
+            assert!(policy.non_sensitive.counts().iter().all(|c| (c.round() - c).abs() < 1e-9));
         }
     }
 
@@ -334,11 +327,8 @@ mod tests {
 
     #[test]
     fn achieved_ratio_of_empty_histogram_is_zero() {
-        let p = SampledPolicy {
-            kind: PolicyKind::Close,
-            rho: 0.5,
-            non_sensitive: Histogram::zeros(4),
-        };
+        let p =
+            SampledPolicy { kind: PolicyKind::Close, rho: 0.5, non_sensitive: Histogram::zeros(4) };
         assert_eq!(p.achieved_ratio(&Histogram::zeros(4)), 0.0);
     }
 }

@@ -24,7 +24,12 @@ pub fn gaussian_mixture(domain: usize, bumps: &[(f64, f64, f64)]) -> Vec<f64> {
 
 /// Zipfian (power-law) weights: bin `i` gets weight `1 / (i + 1)^exponent`,
 /// optionally shuffled so the heavy bins are not all at the left edge.
-pub fn zipfian<R: Rng + ?Sized>(domain: usize, exponent: f64, shuffle: bool, rng: &mut R) -> Vec<f64> {
+pub fn zipfian<R: Rng + ?Sized>(
+    domain: usize,
+    exponent: f64,
+    shuffle: bool,
+    rng: &mut R,
+) -> Vec<f64> {
     let mut weights: Vec<f64> =
         (0..domain).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
     if shuffle {
@@ -131,7 +136,7 @@ mod tests {
         let mut r = rng();
         let w = spiky(4096, 20, 1000.0, &mut r);
         let heavy = w.iter().filter(|&&x| x > 100.0).count();
-        assert!(heavy >= 15 && heavy <= 20, "got {heavy} heavy bins");
+        assert!((15..=20).contains(&heavy), "got {heavy} heavy bins");
     }
 
     #[test]

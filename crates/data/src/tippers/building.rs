@@ -148,7 +148,8 @@ mod tests {
 
     #[test]
     fn custom_building_from_zones() {
-        let b = Building::from_zones(vec![ZoneType::Entrance, ZoneType::Office, ZoneType::Restroom]);
+        let b =
+            Building::from_zones(vec![ZoneType::Entrance, ZoneType::Office, ZoneType::Restroom]);
         assert_eq!(b.ap_count(), 3);
         assert_eq!(b.zone_of(2), ZoneType::Restroom);
         assert_eq!(b.typically_sensitive_aps(), vec![2]);

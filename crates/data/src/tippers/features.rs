@@ -45,10 +45,8 @@ impl FeatureExtractor {
                 }
             }
         }
-        let mut frequent: Vec<(Vec<u8>, usize)> = support
-            .into_values()
-            .filter(|(_, count)| *count >= min_support)
-            .collect();
+        let mut frequent: Vec<(Vec<u8>, usize)> =
+            support.into_values().filter(|(_, count)| *count >= min_support).collect();
         // Most frequent first; deterministic tie-break on the pattern itself.
         frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         frequent.truncate(Self::MAX_PATTERNS);
@@ -160,8 +158,7 @@ mod tests {
     #[test]
     fn extractor_dimension_and_names_are_consistent() {
         let ds = dataset();
-        let extractor =
-            FeatureExtractor::fit(ds.trajectories(), ds.building().ap_count(), 10);
+        let extractor = FeatureExtractor::fit(ds.trajectories(), ds.building().ap_count(), 10);
         assert_eq!(extractor.dimension(), extractor.feature_names().len());
         assert_eq!(extractor.dimension(), 2 + 64 + extractor.patterns().len());
         // Feature vectors have the advertised dimension.

@@ -60,8 +60,7 @@ impl Population {
         rng: &mut R,
     ) -> Self {
         let offices = building.aps_of_zone(ZoneType::Office);
-        let resident_count =
-            ((config.users as f64) * config.resident_fraction).round() as usize;
+        let resident_count = ((config.users as f64) * config.resident_fraction).round() as usize;
         let mut people = Vec::with_capacity(config.users);
         for id in 0..config.users {
             let person = if id < resident_count {

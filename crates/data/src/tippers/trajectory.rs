@@ -93,9 +93,9 @@ impl Trajectory {
         if pattern.is_empty() {
             return false;
         }
-        self.slots.windows(pattern.len()).any(|w| {
-            w.iter().zip(pattern.iter()).all(|(slot, p)| *slot == Some(*p))
-        })
+        self.slots
+            .windows(pattern.len())
+            .any(|w| w.iter().zip(pattern.iter()).all(|(slot, p)| *slot == Some(*p)))
     }
 
     /// Number of occurrences of the consecutive pattern — the frequent-pattern
@@ -227,10 +227,12 @@ pub fn simulate_day<R: Rng + ?Sized>(
     day: u16,
     rng: &mut R,
 ) -> Option<Trajectory> {
-    let arrival = normal(person.arrival_mean_slot, 3.0, rng).round().clamp(0.0, (SLOTS_PER_DAY - 4) as f64)
-        as usize;
-    let mut stay =
-        normal(person.stay_mean_slots, 0.15 * person.stay_mean_slots, rng).round().max(2.0) as usize;
+    let arrival = normal(person.arrival_mean_slot, 3.0, rng)
+        .round()
+        .clamp(0.0, (SLOTS_PER_DAY - 4) as f64) as usize;
+    let mut stay = normal(person.stay_mean_slots, 0.15 * person.stay_mean_slots, rng)
+        .round()
+        .max(2.0) as usize;
 
     // Some residents habitually work past 19:00 (slot 114).
     if let Role::Resident { works_late: true, .. } = person.role {
@@ -264,7 +266,7 @@ pub fn simulate_day<R: Rng + ?Sized>(
     slots[arrival] = Some(entrance);
     let mut excursion: Option<(u8, usize)> = None; // (ap, remaining slots)
 
-    for slot in (arrival + 1)..departure {
+    for (slot, entry) in slots.iter_mut().enumerate().take(departure).skip(arrival + 1) {
         let ap = if let Some((ap, remaining)) = excursion {
             if remaining > 1 {
                 excursion = Some((ap, remaining - 1));
@@ -285,7 +287,7 @@ pub fn simulate_day<R: Rng + ?Sized>(
         } else {
             anchor
         };
-        slots[slot] = Some(ap);
+        *entry = Some(ap);
     }
     // Leave through an entrance.
     if departure < SLOTS_PER_DAY {
@@ -422,8 +424,7 @@ mod tests {
     fn some_trajectories_visit_sensitive_zones_but_not_all() {
         let ds = dataset();
         let sensitive = ds.building().typically_sensitive_aps();
-        let visiting =
-            ds.trajectories().iter().filter(|t| t.visits_any(&sensitive)).count();
+        let visiting = ds.trajectories().iter().filter(|t| t.visits_any(&sensitive)).count();
         assert!(visiting > 0, "nobody ever visits a lounge/restroom?");
         assert!(visiting < ds.len(), "everyone visits a sensitive AP — policies would be trivial");
     }

@@ -84,8 +84,7 @@ impl Dawa {
     ) -> DawaResult {
         // Bounded-DP histogram sensitivity is 2: one record changing value
         // moves one unit of count between two buckets.
-        let noise = Laplace::for_epsilon(2.0, self.epsilon2())
-            .expect("validated at construction");
+        let noise = Laplace::for_epsilon(2.0, self.epsilon2()).expect("validated at construction");
         let mut estimate = Histogram::zeros(hist.len());
         let mut bucket_totals = Vec::with_capacity(partition.len());
         for &(start, end) in &partition {
@@ -148,9 +147,8 @@ mod tests {
     #[test]
     fn accuracy_improves_with_larger_epsilon() {
         let mut r = rng();
-        let hist = Histogram::from_counts(
-            (0..512).map(|i| if i < 256 { 100.0 } else { 5.0 }).collect(),
-        );
+        let hist =
+            Histogram::from_counts((0..512).map(|i| if i < 256 { 100.0 } else { 5.0 }).collect());
         let mre_of = |eps: f64, r: &mut ChaCha12Rng| {
             let d = Dawa::new(eps).unwrap();
             let mut total = 0.0;
@@ -173,7 +171,7 @@ mod tests {
         let counts: Vec<f64> = (0..1024)
             .map(|i| match i / 128 {
                 0 | 1 => 40.0,
-                2 | 3 | 4 => 200.0,
+                2..=4 => 200.0,
                 _ => 3.0,
             })
             .collect();

@@ -55,7 +55,8 @@ impl Hierarchical {
             for node in 0..nodes {
                 let start = node * width;
                 let end = ((node + 1) * width).min(n);
-                let true_count = if start < n { hist.range_sum(start..end.max(start)) } else { 0.0 };
+                let true_count =
+                    if start < n { hist.range_sum(start..end.max(start)) } else { 0.0 };
                 values.push(true_count + noise.sample(rng));
             }
             noisy.push(values);
@@ -78,8 +79,7 @@ impl Hierarchical {
                 let height = (levels - 1 - level) as i32;
                 let pow = 2f64.powi(height);
                 let alpha = (pow - pow / 2.0) / (pow - 1.0);
-                averaged[level][node] =
-                    alpha * noisy[level][node] + (1.0 - alpha) * (left + right);
+                averaged[level][node] = alpha * noisy[level][node] + (1.0 - alpha) * (left + right);
             }
         }
 

@@ -43,7 +43,11 @@ impl Identity {
     }
 
     /// Releases and clamps negative counts to zero (common post-processing).
-    pub fn release_non_negative<R: Rng + ?Sized>(&self, hist: &Histogram, rng: &mut R) -> Histogram {
+    pub fn release_non_negative<R: Rng + ?Sized>(
+        &self,
+        hist: &Histogram,
+        rng: &mut R,
+    ) -> Histogram {
         let mut estimate = self.release(hist, rng);
         estimate.clamp_non_negative();
         estimate
@@ -78,10 +82,7 @@ mod tests {
                 *s += v;
             }
         }
-        let worst = sums
-            .iter()
-            .map(|s| (s / trials as f64 - 10.0).abs())
-            .fold(0.0f64, f64::max);
+        let worst = sums.iter().map(|s| (s / trials as f64 - 10.0).abs()).fold(0.0f64, f64::max);
         assert!(worst < 0.5, "per-bin mean deviates by {worst}");
     }
 

@@ -95,8 +95,7 @@ impl Partitioner {
         while level.len() > 1 {
             let mut next: Vec<Node> = Vec::with_capacity(level.len() / 2 + 1);
             let mut iter = level.into_iter();
-            loop {
-                let Some(left) = iter.next() else { break };
+            while let Some(left) = iter.next() {
                 let Some(right) = iter.next() else {
                     // Odd node carries straight up.
                     next.push(left);

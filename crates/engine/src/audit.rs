@@ -1,0 +1,175 @@
+//! The session audit log: one record per release, with a ledger view
+//! consumable by `osdp_attack::verify_ledger`.
+
+use osdp_core::budget::LedgerEntry;
+use osdp_core::Guarantee;
+use osdp_metrics::{json_number, json_string};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One audited release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    /// Monotone release index within the session.
+    pub index: u64,
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// Label of the policy the release was evaluated under.
+    pub policy: String,
+    /// Label of the query answered.
+    pub query: String,
+    /// Number of histogram bins released (0 for record-sample releases).
+    pub bins: usize,
+    /// Number of trials in the batch (1 for single releases).
+    pub trials: usize,
+    /// The guarantee of **one** trial; the batch costs
+    /// `trials × guarantee.epsilon()` under sequential composition.
+    pub guarantee: Guarantee,
+}
+
+impl AuditRecord {
+    /// Total epsilon debited for this record (sequential composition over the
+    /// batch, Theorem 3.3).
+    pub fn total_epsilon(&self) -> f64 {
+        self.guarantee.epsilon() * self.trials as f64
+    }
+
+    /// The ledger view of this record, in the shape
+    /// `osdp_attack::verify_ledger` consumes.
+    pub fn to_ledger_entry(&self) -> LedgerEntry {
+        LedgerEntry {
+            label: if self.trials > 1 {
+                format!("{} x{}", self.mechanism, self.trials)
+            } else {
+                self.mechanism.clone()
+            },
+            policy: self.policy.clone(),
+            epsilon: self.total_epsilon(),
+            guarantee: self.guarantee.kind(),
+        }
+    }
+
+    /// One JSON object describing the record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"index\": {}, \"mechanism\": {}, \"policy\": {}, \"query\": {}, \
+             \"bins\": {}, \"trials\": {}, \"guarantee\": {}, \"epsilon\": {}}}",
+            self.index,
+            json_string(&self.mechanism),
+            json_string(&self.policy),
+            json_string(&self.query),
+            self.bins,
+            self.trials,
+            json_string(self.guarantee.label()),
+            json_number(self.guarantee.epsilon()),
+        )
+    }
+}
+
+/// A thread-safe, append-only log of audited releases.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    records: Mutex<Vec<AuditRecord>>,
+}
+
+impl AuditLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn append(&self, record: AuditRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// Allocates the next monotone release index and appends the record built
+    /// from it, atomically: concurrent sessions threads can never interleave
+    /// index allocation and append, so the log stays in release order.
+    pub fn append_next(&self, make: impl FnOnce(u64) -> AuditRecord) -> u64 {
+        let mut records = self.records.lock();
+        let index = records.len() as u64;
+        records.push(make(index));
+        index
+    }
+
+    /// A snapshot of all records, in release order.
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of audited releases.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// The ledger view of the whole log (one entry per audited release),
+    /// consumable by `osdp_attack::verify_ledger`.
+    pub fn ledger(&self) -> Vec<LedgerEntry> {
+        self.records.lock().iter().map(AuditRecord::to_ledger_entry).collect()
+    }
+
+    /// The log as a JSON array.
+    pub fn to_json(&self) -> String {
+        let records = self.records.lock();
+        let mut out = String::from("[\n");
+        for (i, r) in records.iter().enumerate() {
+            out.push_str("  ");
+            out.push_str(&r.to_json());
+            out.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+        }
+        out.push(']');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osdp_core::PrivacyGuarantee;
+
+    fn record(index: u64, trials: usize) -> AuditRecord {
+        AuditRecord {
+            index,
+            mechanism: "OsdpLaplaceL1".into(),
+            policy: "P90".into(),
+            query: "bound".into(),
+            bins: 16,
+            trials,
+            guarantee: Guarantee::Osdp { eps: 0.5 },
+        }
+    }
+
+    #[test]
+    fn ledger_view_scales_epsilon_by_trials() {
+        let single = record(0, 1).to_ledger_entry();
+        assert_eq!(single.label, "OsdpLaplaceL1");
+        assert_eq!(single.epsilon, 0.5);
+        assert_eq!(single.guarantee, PrivacyGuarantee::OneSided);
+
+        let batch = record(1, 10).to_ledger_entry();
+        assert_eq!(batch.label, "OsdpLaplaceL1 x10");
+        assert!((batch.epsilon - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_appends_and_snapshots() {
+        let log = AuditLog::new();
+        assert!(log.is_empty());
+        log.append(record(0, 1));
+        log.append(record(1, 3));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[1].trials, 3);
+        assert_eq!(log.ledger().len(), 2);
+        let json = log.to_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"OsdpLaplaceL1\""));
+        assert!(json.contains("\"trials\": 3"));
+        assert!(json.ends_with(']'));
+    }
+}

@@ -1,0 +1,79 @@
+//! # osdp-engine
+//!
+//! The **audited front door** of the OSDP workspace: every release goes
+//! through an [`OsdpSession`], which binds together the three things the
+//! paper's contract `(P, ε)`-OSDP needs to be *enforced* rather than merely
+//! claimed:
+//!
+//! 1. **the data** — either a record-level [`osdp_core::Database`] or a
+//!    pre-aggregated histogram pair;
+//! 2. **the policy function** `P` — so the non-sensitive sub-histogram
+//!    `x_ns` is always derived from the bound policy and can never drift
+//!    from it;
+//! 3. **a [`osdp_core::BudgetAccountant`]** — debited *before* any noise is
+//!    sampled, so an exhausted budget refuses the release instead of leaking
+//!    it ([`osdp_core::OsdpError::BudgetExhausted`]).
+//!
+//! On top of that contract the session provides:
+//!
+//! * **minimum-relaxation bookkeeping** (Theorem 3.3): releases under
+//!   different policies accumulate into a
+//!   [`osdp_core::policy::MinimumRelaxation`], and
+//!   [`OsdpSession::composed_guarantee`] reports the total ε together with
+//!   the policy labels the composite guarantee refers to;
+//! * an **audit log** ([`AuditLog`]) of every release — mechanism, policy,
+//!   query, guarantee — whose ledger view is consumable by
+//!   `osdp_attack::verify_ledger`;
+//! * a **parallel batch path** ([`OsdpSession::release_trials`]): the
+//!   10-trial × ε-grid loops of the evaluation harness run one trial per
+//!   core via rayon, with per-trial RNG streams derived deterministically
+//!   from the session seed (the parallel and serial paths produce identical
+//!   output);
+//! * a serde-friendly **mechanism registry** ([`MechanismSpec`]): pools are
+//!   constructed by name from experiment configurations instead of being
+//!   hard-wired at each call site.
+//!
+//! ## Example
+//!
+//! ```
+//! use osdp_core::policy::AttributePolicy;
+//! use osdp_core::{Database, Record, Value};
+//! use osdp_engine::{SessionBuilder, SessionQuery};
+//! use osdp_mechanisms::OsdpLaplaceL1;
+//!
+//! let db: Database = (0..1000)
+//!     .map(|i| Record::builder().field("age", Value::Int(10 + (i % 60))).build())
+//!     .collect();
+//! let policy = AttributePolicy::sensitive_when("age", |v| v.as_int().unwrap_or(0) <= 17);
+//!
+//! let session = SessionBuilder::new(db)
+//!     .policy(policy, "minors")
+//!     .budget(2.0)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//!
+//! // Histogram of ages 10..70 in 6 decade bins, derived under the policy.
+//! let query = SessionQuery::count_by("age-decades", 6, |r: &Record| {
+//!     r.int("age").ok().map(|a| ((a - 10) / 10) as usize)
+//! });
+//! let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+//! let release = session.release(&query, &mechanism).unwrap();
+//! assert_eq!(release.estimate.len(), 6);
+//! assert_eq!(session.total_spent(), 1.0);
+//!
+//! // A second release exhausts the 2.0 budget; a third is refused.
+//! session.release(&query, &mechanism).unwrap();
+//! assert!(session.release(&query, &mechanism).is_err());
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod audit;
+pub mod registry;
+pub mod session;
+
+pub use audit::{AuditLog, AuditRecord};
+pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
+pub use session::{histogram_session, OsdpSession, Release, SessionBuilder, SessionQuery};

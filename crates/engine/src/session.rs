@@ -1,0 +1,769 @@
+//! [`OsdpSession`]: the budget-enforced, policy-aware release path.
+
+use crate::audit::{AuditLog, AuditRecord};
+use osdp_core::error::{OsdpError, Result};
+use osdp_core::policy::{MinimumRelaxation, Policy};
+use osdp_core::{BudgetAccountant, Database, Guarantee, Histogram, Record};
+use osdp_mechanisms::{HistogramMechanism, HistogramTask, OsdpRr};
+use osdp_noise::SeedSequence;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// The labelled policies a session's record-level releases have used, in
+/// first-use order.
+type UsedPolicies<R> = Vec<(String, Arc<dyn Policy<R>>)>;
+
+/// What a session releases against: a record-level database bound to a
+/// policy function, or a pre-aggregated histogram pair (the shape the
+/// DPBench-style experiment harness produces with sampled policies).
+enum Source<R> {
+    Records { db: Database<R>, policy: Arc<dyn Policy<R>> },
+    Bound { task: HistogramTask },
+}
+
+/// A histogram query answered by a session.
+///
+/// Record-backed sessions evaluate [`SessionQuery::CountBy`] queries by
+/// binning every record; histogram-backed sessions answer the single
+/// [`SessionQuery::Bound`] query (the histogram fixed at construction).
+pub enum SessionQuery<R: ?Sized = Record> {
+    /// The histogram pair bound at construction
+    /// ([`SessionBuilder::from_histograms`] sessions).
+    Bound,
+    /// `SELECT bin, COUNT(*) GROUP BY bin` over the bound database: every
+    /// record is assigned a bin by the closure (records mapping to `None` or
+    /// out of range are ignored).
+    CountBy {
+        /// Label used in the audit log.
+        label: String,
+        /// Number of bins.
+        bins: usize,
+        /// Bin assignment.
+        #[allow(clippy::type_complexity)]
+        bin_of: Arc<dyn Fn(&R) -> Option<usize> + Send + Sync>,
+    },
+}
+
+impl<R: ?Sized> SessionQuery<R> {
+    /// The bound-histogram query.
+    pub fn bound() -> Self {
+        SessionQuery::Bound
+    }
+
+    /// A grouping query: count records per bin of `bin_of`.
+    pub fn count_by(
+        label: impl Into<String>,
+        bins: usize,
+        bin_of: impl Fn(&R) -> Option<usize> + Send + Sync + 'static,
+    ) -> Self {
+        SessionQuery::CountBy { label: label.into(), bins, bin_of: Arc::new(bin_of) }
+    }
+
+    /// The audit-log label of this query.
+    pub fn label(&self) -> &str {
+        match self {
+            SessionQuery::Bound => "bound",
+            SessionQuery::CountBy { label, .. } => label,
+        }
+    }
+}
+
+impl<R: ?Sized> Clone for SessionQuery<R> {
+    fn clone(&self) -> Self {
+        match self {
+            SessionQuery::Bound => SessionQuery::Bound,
+            SessionQuery::CountBy { label, bins, bin_of } => SessionQuery::CountBy {
+                label: label.clone(),
+                bins: *bins,
+                bin_of: Arc::clone(bin_of),
+            },
+        }
+    }
+}
+
+impl<R: ?Sized> std::fmt::Debug for SessionQuery<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionQuery::Bound => f.write_str("SessionQuery::Bound"),
+            SessionQuery::CountBy { label, bins, .. } => f
+                .debug_struct("SessionQuery::CountBy")
+                .field("label", label)
+                .field("bins", bins)
+                .finish(),
+        }
+    }
+}
+
+/// The outcome of one audited histogram release.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Release {
+    /// The noisy estimate.
+    pub estimate: Histogram,
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// Label of the policy the release was evaluated under.
+    pub policy: String,
+    /// The guarantee of this single release.
+    pub guarantee: Guarantee,
+    /// The session release index (audit-log key).
+    pub index: u64,
+}
+
+/// Starts a histogram-backed session (see
+/// [`SessionBuilder::from_histograms`]) with the record type pinned to
+/// [`Record`] — histogram-backed sessions never touch records, so the
+/// parameter is irrelevant and this saves callers a turbofish.
+pub fn histogram_session(full: Histogram, non_sensitive: Histogram) -> SessionBuilder<Record> {
+    SessionBuilder::from_histograms(full, non_sensitive)
+}
+
+/// Builder for [`OsdpSession`].
+///
+/// ```
+/// use osdp_core::policy::NoneSensitive;
+/// use osdp_core::Database;
+/// use osdp_engine::SessionBuilder;
+///
+/// let db: Database<u32> = (0..100u32).collect();
+/// let session = SessionBuilder::new(db)
+///     .policy(NoneSensitive, "Pnone")
+///     .budget(1.0)
+///     .seed(42)
+///     .build()
+///     .unwrap();
+/// assert_eq!(session.remaining_budget(), Some(1.0));
+/// ```
+pub struct SessionBuilder<R = Record> {
+    db: Option<Database<R>>,
+    bound: Option<(Histogram, Histogram)>,
+    policy: Option<Arc<dyn Policy<R>>>,
+    policy_label: Option<String>,
+    budget: Option<f64>,
+    seed: u64,
+}
+
+impl<R> SessionBuilder<R> {
+    /// Starts a session over a record-level database. A policy **must** be
+    /// bound with [`SessionBuilder::policy`] before [`SessionBuilder::build`].
+    pub fn new(db: Database<R>) -> Self {
+        Self { db: Some(db), bound: None, policy: None, policy_label: None, budget: None, seed: 0 }
+    }
+
+    /// Starts a session over a pre-aggregated histogram pair: the full
+    /// histogram and its non-sensitive sub-histogram (as produced by a policy
+    /// sampler). Validated at build time: the two must have the same domain
+    /// and `x_ns` must be dominated by `x`.
+    pub fn from_histograms(full: Histogram, non_sensitive: Histogram) -> Self {
+        Self {
+            db: None,
+            bound: Some((full, non_sensitive)),
+            policy: None,
+            policy_label: None,
+            budget: None,
+            seed: 0,
+        }
+    }
+
+    /// Binds the policy function and its report label.
+    pub fn policy(mut self, policy: impl Policy<R> + 'static, label: impl Into<String>) -> Self {
+        self.policy = Some(Arc::new(policy));
+        self.policy_label = Some(label.into());
+        self
+    }
+
+    /// Binds an already-shared policy function.
+    pub fn policy_arc(mut self, policy: Arc<dyn Policy<R>>, label: impl Into<String>) -> Self {
+        self.policy = Some(policy);
+        self.policy_label = Some(label.into());
+        self
+    }
+
+    /// Overrides the policy label without changing the policy (useful for
+    /// histogram-backed sessions, whose policy only exists as the sampled
+    /// `x_ns`).
+    pub fn policy_label(mut self, label: impl Into<String>) -> Self {
+        self.policy_label = Some(label.into());
+        self
+    }
+
+    /// Caps the total privacy budget of the session. Without a cap the
+    /// session only records what is spent (the evaluation-harness mode).
+    pub fn budget(mut self, epsilon: f64) -> Self {
+        self.budget = Some(epsilon);
+        self
+    }
+
+    /// Sets the root seed of the session's deterministic RNG streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the session, validating the source.
+    pub fn build(self) -> Result<OsdpSession<R>> {
+        let accountant = match self.budget {
+            Some(limit) => BudgetAccountant::with_limit(limit)?,
+            None => BudgetAccountant::unlimited(),
+        };
+        let policy_label = self.policy_label.unwrap_or_else(|| "P".to_string());
+        let (source, policies) = match (self.db, self.bound) {
+            (Some(db), None) => {
+                let policy = self.policy.ok_or_else(|| {
+                    OsdpError::InvalidInput(
+                        "a record-backed session needs a policy: call SessionBuilder::policy"
+                            .into(),
+                    )
+                })?;
+                let policies = vec![(policy_label.clone(), Arc::clone(&policy))];
+                (Source::Records { db, policy }, policies)
+            }
+            (None, Some((full, non_sensitive))) => {
+                if self.policy.is_some() {
+                    return Err(OsdpError::InvalidInput(
+                        "histogram-backed sessions carry their policy as the sampled x_ns; \
+                         use policy_label to name it instead of binding a policy function"
+                            .into(),
+                    ));
+                }
+                let task = HistogramTask::new(full, non_sensitive)?;
+                (Source::Bound { task }, Vec::new())
+            }
+            _ => unreachable!("builder constructors set exactly one source"),
+        };
+        Ok(OsdpSession {
+            source,
+            policy_label,
+            accountant,
+            seeds: SeedSequence::new(self.seed),
+            audit: AuditLog::new(),
+            policies: Mutex::new(policies),
+            grant_lock: Mutex::new(()),
+        })
+    }
+}
+
+/// A release session: the single audited path from data + policy + budget to
+/// noisy histograms. See the crate docs for the full contract.
+pub struct OsdpSession<R = Record> {
+    source: Source<R>,
+    policy_label: String,
+    accountant: BudgetAccountant,
+    seeds: SeedSequence,
+    audit: AuditLog,
+    /// Distinct (label, policy) pairs used by record-level releases, in first
+    /// use order — the components of the composed minimum relaxation.
+    policies: Mutex<UsedPolicies<R>>,
+    /// Serialises debit + audit append so the accountant ledger and the
+    /// audit log agree on release order even under concurrent callers.
+    grant_lock: Mutex<()>,
+}
+
+impl<R> std::fmt::Debug for OsdpSession<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OsdpSession")
+            .field("policy_label", &self.policy_label)
+            .field("spent", &self.accountant.total_spent())
+            .field("limit", &self.accountant.limit())
+            .field("releases", &self.audit.len())
+            .finish()
+    }
+}
+
+impl<R> OsdpSession<R> {
+    /// Shorthand for [`SessionBuilder::new`].
+    pub fn builder(db: Database<R>) -> SessionBuilder<R> {
+        SessionBuilder::new(db)
+    }
+
+    /// The label of the bound policy.
+    pub fn policy_label(&self) -> &str {
+        &self.policy_label
+    }
+
+    /// The session's budget accountant.
+    pub fn accountant(&self) -> &BudgetAccountant {
+        &self.accountant
+    }
+
+    /// Total ε spent so far.
+    pub fn total_spent(&self) -> f64 {
+        self.accountant.total_spent()
+    }
+
+    /// Remaining budget, or `None` for an uncapped session.
+    pub fn remaining_budget(&self) -> Option<f64> {
+        self.accountant.remaining()
+    }
+
+    /// The composed guarantee of everything released so far (Theorem 3.3):
+    /// total ε and the labels of the policies whose minimum relaxation the
+    /// guarantee refers to.
+    pub fn composed_guarantee(&self) -> (f64, Vec<String>) {
+        self.accountant.composed_guarantee()
+    }
+
+    /// The minimum relaxation of every policy used by record-level releases
+    /// in this session (Definition 3.6) — the policy the composed guarantee
+    /// of Theorem 3.3 refers to. Empty (all-sensitive) for histogram-backed
+    /// sessions, whose policies exist only as sampled sub-histograms.
+    pub fn composed_policy(&self) -> MinimumRelaxation<R> {
+        MinimumRelaxation::new(self.policies.lock().iter().map(|(_, p)| Arc::clone(p)).collect())
+    }
+
+    /// A snapshot of the audit log.
+    pub fn audit_records(&self) -> Vec<AuditRecord> {
+        self.audit.records()
+    }
+
+    /// The audit log's ledger view, consumable by
+    /// `osdp_attack::verify_ledger`.
+    pub fn audit_ledger(&self) -> Vec<osdp_core::budget::LedgerEntry> {
+        self.audit.ledger()
+    }
+
+    /// The audit log as JSON.
+    pub fn audit_json(&self) -> String {
+        self.audit.to_json()
+    }
+
+    /// Derives the [`HistogramTask`] for `query` under the bound policy: the
+    /// full histogram and the sub-histogram of records the policy classifies
+    /// as non-sensitive. This is the **only** place outside mechanism tests
+    /// where tasks are constructed, which is what keeps `x_ns` consistent
+    /// with `P` across the workspace.
+    pub fn derive_task(&self, query: &SessionQuery<R>) -> Result<HistogramTask> {
+        self.derive_task_under(query, None)
+    }
+
+    fn derive_task_under(
+        &self,
+        query: &SessionQuery<R>,
+        policy_override: Option<&Arc<dyn Policy<R>>>,
+    ) -> Result<HistogramTask> {
+        match (&self.source, query) {
+            (Source::Bound { task }, SessionQuery::Bound) => Ok(task.clone()),
+            (Source::Bound { .. }, SessionQuery::CountBy { .. }) => Err(OsdpError::InvalidInput(
+                "histogram-backed sessions only answer SessionQuery::Bound".into(),
+            )),
+            (Source::Records { .. }, SessionQuery::Bound) => Err(OsdpError::InvalidInput(
+                "record-backed sessions need a SessionQuery::CountBy query".into(),
+            )),
+            (Source::Records { db, policy }, SessionQuery::CountBy { bins, bin_of, .. }) => {
+                let policy = policy_override.unwrap_or(policy);
+                // One pass: bin each record once, adding it to the
+                // non-sensitive histogram only when the policy clears it.
+                let mut full = Histogram::zeros(*bins);
+                let mut non_sensitive = Histogram::zeros(*bins);
+                for record in db.iter() {
+                    if let Some(bin) = bin_of(record) {
+                        if bin < *bins {
+                            full.increment(bin, 1.0);
+                            if policy.is_non_sensitive(record) {
+                                non_sensitive.increment(bin, 1.0);
+                            }
+                        }
+                    }
+                }
+                HistogramTask::new(full, non_sensitive)
+            }
+        }
+    }
+
+    /// Releases one noisy histogram through `mechanism`.
+    ///
+    /// The accountant is debited **before** sampling; on
+    /// [`OsdpError::BudgetExhausted`] nothing is sampled, nothing is logged,
+    /// and nothing may be published.
+    pub fn release(
+        &self,
+        query: &SessionQuery<R>,
+        mechanism: &dyn HistogramMechanism,
+    ) -> Result<Release> {
+        self.release_inner(query, mechanism, None, self.policy_label.clone())
+    }
+
+    /// Releases under a *different* policy than the one bound at
+    /// construction. The session tracks the minimum relaxation of every
+    /// policy used (Theorem 3.3); see [`OsdpSession::composed_policy`].
+    /// Record-backed sessions only.
+    pub fn release_with_policy(
+        &self,
+        query: &SessionQuery<R>,
+        mechanism: &dyn HistogramMechanism,
+        policy: Arc<dyn Policy<R>>,
+        label: impl Into<String>,
+    ) -> Result<Release> {
+        if matches!(self.source, Source::Bound { .. }) {
+            return Err(OsdpError::InvalidInput(
+                "histogram-backed sessions have a fixed sampled policy".into(),
+            ));
+        }
+        self.release_inner(query, mechanism, Some(policy), label.into())
+    }
+
+    fn release_inner(
+        &self,
+        query: &SessionQuery<R>,
+        mechanism: &dyn HistogramMechanism,
+        policy_override: Option<Arc<dyn Policy<R>>>,
+        policy_label: String,
+    ) -> Result<Release> {
+        let task = self.derive_task_under(query, policy_override.as_ref())?;
+        let guarantee = mechanism.guarantee();
+        // Debit before sampling: a refused spend must not leak a sample. The
+        // grant lock makes debit + audit append one atomic step, so ledger
+        // order and audit order agree even under concurrent callers; the
+        // expensive part (sampling) stays outside the critical section.
+        let grant = self.grant_lock.lock();
+        self.accountant.spend(
+            mechanism.name(),
+            policy_label.clone(),
+            guarantee.epsilon(),
+            guarantee.kind(),
+        )?;
+        if let Some(policy) = policy_override {
+            self.remember_policy(&policy_label, policy);
+        }
+        let index = self.audit.append_next(|index| AuditRecord {
+            index,
+            mechanism: mechanism.name().to_string(),
+            policy: policy_label.clone(),
+            query: query.label().to_string(),
+            bins: task.bins(),
+            trials: 1,
+            guarantee,
+        });
+        drop(grant);
+        let mut rng = self.seeds.rng_for(&format!("release/{}", mechanism.name()), index);
+        let estimate = mechanism.release(&task, &mut rng);
+        Ok(Release {
+            estimate,
+            mechanism: mechanism.name().to_string(),
+            policy: policy_label,
+            guarantee,
+            index,
+        })
+    }
+
+    /// Releases `trials` independent estimates of the same query, one trial
+    /// per core (rayon). The batch costs `trials × ε` under sequential
+    /// composition (Theorem 3.3) and is debited **up front**: either the
+    /// whole batch is granted or none of it is.
+    ///
+    /// Per-trial RNG streams are derived from `(session seed, release index,
+    /// trial index)`, so the output is identical to
+    /// [`OsdpSession::release_trials_serial`] regardless of thread schedule.
+    pub fn release_trials(
+        &self,
+        query: &SessionQuery<R>,
+        mechanism: &dyn HistogramMechanism,
+        trials: usize,
+    ) -> Result<Vec<Histogram>> {
+        let (task, index) = self.begin_trials(query, mechanism, trials)?;
+        let seeds = &self.seeds;
+        let estimates: Vec<Histogram> = (0..trials as u64)
+            .into_par_iter()
+            .map(|trial| {
+                let mut rng = seeds.rng_for(&format!("trials/{index}/{}", mechanism.name()), trial);
+                mechanism.release(&task, &mut rng)
+            })
+            .collect();
+        Ok(estimates)
+    }
+
+    /// The sequential reference path for [`OsdpSession::release_trials`]:
+    /// identical accounting, audit record and output, one trial at a time.
+    /// Kept for benchmarking and for debugging parallel-execution issues.
+    pub fn release_trials_serial(
+        &self,
+        query: &SessionQuery<R>,
+        mechanism: &dyn HistogramMechanism,
+        trials: usize,
+    ) -> Result<Vec<Histogram>> {
+        let (task, index) = self.begin_trials(query, mechanism, trials)?;
+        Ok((0..trials as u64)
+            .map(|trial| {
+                let mut rng =
+                    self.seeds.rng_for(&format!("trials/{index}/{}", mechanism.name()), trial);
+                mechanism.release(&task, &mut rng)
+            })
+            .collect())
+    }
+
+    /// Shared preamble of the two batch paths: derive the task, debit the
+    /// whole batch, append the audit record, allocate the release index.
+    fn begin_trials(
+        &self,
+        query: &SessionQuery<R>,
+        mechanism: &dyn HistogramMechanism,
+        trials: usize,
+    ) -> Result<(HistogramTask, u64)> {
+        if trials == 0 {
+            return Err(OsdpError::InvalidInput("release_trials needs trials >= 1".into()));
+        }
+        let task = self.derive_task(query)?;
+        let guarantee = mechanism.guarantee();
+        let _grant = self.grant_lock.lock();
+        self.accountant.spend(
+            format!("{} x{}", mechanism.name(), trials),
+            self.policy_label.clone(),
+            guarantee.epsilon() * trials as f64,
+            guarantee.kind(),
+        )?;
+        let index = self.audit.append_next(|index| AuditRecord {
+            index,
+            mechanism: mechanism.name().to_string(),
+            policy: self.policy_label.clone(),
+            query: query.label().to_string(),
+            bins: task.bins(),
+            trials,
+            guarantee,
+        });
+        Ok((task, index))
+    }
+
+    fn remember_policy(&self, label: &str, policy: Arc<dyn Policy<R>>) {
+        let mut policies = self.policies.lock();
+        // Dedup by policy *identity*: two distinct policies registered under
+        // one label must both enter the composed minimum relaxation
+        // (dropping either would over-claim protection).
+        if !policies.iter().any(|(_, p)| Arc::ptr_eq(p, &policy)) {
+            policies.push((label.to_string(), policy));
+        }
+    }
+}
+
+impl<R: Clone> OsdpSession<R> {
+    /// Releases a **true sample** of the non-sensitive records through
+    /// `OsdpRR` (Algorithm 1) — the record-level front door. Debits ε and
+    /// audits like every other release. Record-backed sessions only.
+    pub fn release_records(&self, mechanism: &OsdpRr) -> Result<Database<R>> {
+        let Source::Records { db, policy } = &self.source else {
+            return Err(OsdpError::InvalidInput(
+                "release_records needs a record-backed session".into(),
+            ));
+        };
+        let guarantee = Guarantee::Osdp { eps: mechanism.epsilon() };
+        let grant = self.grant_lock.lock();
+        self.accountant.spend(
+            "OsdpRR (records)",
+            self.policy_label.clone(),
+            guarantee.epsilon(),
+            guarantee.kind(),
+        )?;
+        let index = self.audit.append_next(|index| AuditRecord {
+            index,
+            mechanism: "OsdpRR (records)".to_string(),
+            policy: self.policy_label.clone(),
+            query: "record-sample".to_string(),
+            bins: 0,
+            trials: 1,
+            guarantee,
+        });
+        drop(grant);
+        let mut rng = self.seeds.rng_for("release-records/OsdpRR", index);
+        let sample = mechanism.release(db, policy.as_ref(), &mut rng);
+        Ok(sample)
+    }
+
+    /// Number of records in a record-backed session's database.
+    pub fn database_len(&self) -> Option<usize> {
+        match &self.source {
+            Source::Records { db, .. } => Some(db.len()),
+            Source::Bound { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osdp_core::policy::ClosurePolicy;
+    use osdp_core::OsdpError;
+    use osdp_mechanisms::{DpLaplaceHistogram, OsdpLaplace, OsdpLaplaceL1, Suppress};
+
+    fn codes_db(n: u32) -> Database<u32> {
+        (0..n).collect()
+    }
+
+    /// Values >= 50 are sensitive.
+    fn upper_half() -> ClosurePolicy<u32> {
+        ClosurePolicy::new("upper-half", |&v: &u32| v >= 50)
+    }
+
+    fn mod8_query() -> SessionQuery<u32> {
+        SessionQuery::count_by("mod8", 8, |&v: &u32| Some((v % 8) as usize))
+    }
+
+    fn records_session(budget: Option<f64>) -> OsdpSession<u32> {
+        let mut b = SessionBuilder::new(codes_db(100)).policy(upper_half(), "P50").seed(7);
+        if let Some(eps) = budget {
+            b = b.budget(eps);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_requires_a_policy_for_record_sessions() {
+        let err = SessionBuilder::new(codes_db(10)).build().unwrap_err();
+        assert!(matches!(err, OsdpError::InvalidInput(_)));
+    }
+
+    #[test]
+    fn builder_validates_bound_histograms() {
+        let full = Histogram::from_counts(vec![1.0, 2.0]);
+        let bad_ns = Histogram::from_counts(vec![5.0, 0.0]);
+        assert!(SessionBuilder::<Record>::from_histograms(full.clone(), bad_ns).build().is_err());
+        let short = Histogram::zeros(1);
+        assert!(SessionBuilder::<Record>::from_histograms(full, short).build().is_err());
+    }
+
+    #[test]
+    fn task_derivation_matches_the_bound_policy() {
+        let session = records_session(None);
+        let task = session.derive_task(&mod8_query()).unwrap();
+        // 100 codes over 8 bins; values < 50 are non-sensitive.
+        assert_eq!(task.full().total(), 100.0);
+        assert_eq!(task.non_sensitive().total(), 50.0);
+        assert!(task.non_sensitive().dominated_by(task.full()).unwrap());
+    }
+
+    #[test]
+    fn release_debits_before_sampling_and_audits() {
+        let session = records_session(Some(1.0));
+        let mechanism = OsdpLaplaceL1::new(0.75).unwrap();
+        let release = session.release(&mod8_query(), &mechanism).unwrap();
+        assert_eq!(release.estimate.len(), 8);
+        assert_eq!(release.policy, "P50");
+        assert!((session.total_spent() - 0.75).abs() < 1e-12);
+        assert_eq!(session.audit_records().len(), 1);
+        assert_eq!(session.audit_records()[0].query, "mod8");
+
+        // The second release would need 0.75 > 0.25 remaining: refused, not
+        // sampled, not logged.
+        let err = session.release(&mod8_query(), &mechanism).unwrap_err();
+        assert!(matches!(err, OsdpError::BudgetExhausted { .. }));
+        assert_eq!(session.audit_records().len(), 1);
+        assert!((session.total_spent() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trials_are_debited_up_front_and_deterministic_across_schedules() {
+        let session = records_session(None);
+        let mechanism = OsdpLaplace::new(0.5).unwrap();
+        let par = session.release_trials(&mod8_query(), &mechanism, 8).unwrap();
+        // A fresh session with the same seed: the serial path must reproduce
+        // the parallel output exactly (streams keyed by trial index).
+        let session2 = records_session(None);
+        let serial = session2.release_trials_serial(&mod8_query(), &mechanism, 8).unwrap();
+        assert_eq!(par, serial);
+        assert!((session.total_spent() - 8.0 * 0.5).abs() < 1e-12);
+        let audit = session.audit_records();
+        assert_eq!(audit.len(), 1);
+        assert_eq!(audit[0].trials, 8);
+        assert!((audit[0].total_epsilon() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausted_budget_refuses_the_whole_batch() {
+        let session = records_session(Some(1.0));
+        let mechanism = OsdpLaplace::new(0.3).unwrap();
+        let err = session.release_trials(&mod8_query(), &mechanism, 4).unwrap_err();
+        assert!(matches!(err, OsdpError::BudgetExhausted { .. }));
+        assert_eq!(session.total_spent(), 0.0, "all-or-nothing batches");
+        assert!(session.audit_records().is_empty());
+        assert!(session.release_trials(&mod8_query(), &mechanism, 3).is_ok());
+        assert!(session.release_trials(&mod8_query(), &mechanism, 0).is_err());
+    }
+
+    #[test]
+    fn bound_sessions_answer_only_the_bound_query() {
+        let full = Histogram::from_counts(vec![10.0, 20.0, 30.0]);
+        let ns = Histogram::from_counts(vec![10.0, 10.0, 0.0]);
+        let session = SessionBuilder::<u32>::from_histograms(full, ns)
+            .policy_label("P-sampled")
+            .seed(3)
+            .build()
+            .unwrap();
+        let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+        let release = session.release(&SessionQuery::bound(), &mechanism).unwrap();
+        assert_eq!(release.estimate.len(), 3);
+        assert!(session.release(&mod8_query(), &mechanism).is_err());
+        assert_eq!(session.audit_records()[0].policy, "P-sampled");
+    }
+
+    #[test]
+    fn record_sessions_reject_the_bound_query() {
+        let session = records_session(None);
+        let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+        assert!(session.release(&SessionQuery::bound(), &mechanism).is_err());
+    }
+
+    #[test]
+    fn composed_guarantee_tracks_policies_and_minimum_relaxation() {
+        let session = records_session(None);
+        let l1 = OsdpLaplaceL1::new(0.5).unwrap();
+        let dp = DpLaplaceHistogram::new(0.25).unwrap();
+        session.release(&mod8_query(), &l1).unwrap();
+        // A second release under a relaxed policy: only values >= 80 stay
+        // sensitive.
+        let relaxed: Arc<dyn Policy<u32>> =
+            Arc::new(ClosurePolicy::new("upper-fifth", |&v: &u32| v >= 80));
+        session.release_with_policy(&mod8_query(), &dp, Arc::clone(&relaxed), "P80").unwrap();
+
+        let (eps, policies) = session.composed_guarantee();
+        assert!((eps - 0.75).abs() < 1e-12);
+        assert_eq!(policies, vec!["P50".to_string(), "P80".to_string()]);
+
+        // The composed (minimum-relaxation) policy classifies a record as
+        // sensitive only when *every* component does (Definition 3.6).
+        let composed = session.composed_policy();
+        assert_eq!(composed.len(), 2);
+        assert!(composed.is_non_sensitive(&60), "non-sensitive under P80");
+        assert!(composed.is_sensitive(&90), "sensitive under both");
+        assert!(composed.is_non_sensitive(&10));
+    }
+
+    #[test]
+    fn pdp_releases_are_flagged_in_the_ledger() {
+        let session = records_session(None);
+        let suppress = Suppress::new(10.0).unwrap();
+        session.release(&mod8_query(), &suppress).unwrap();
+        let ledger = session.audit_ledger();
+        assert_eq!(ledger.len(), 1);
+        assert_eq!(ledger[0].guarantee, osdp_core::PrivacyGuarantee::Personalized);
+        assert_eq!(ledger[0].epsilon, 10.0);
+    }
+
+    #[test]
+    fn release_records_samples_only_non_sensitive_records() {
+        let session = records_session(Some(2.0));
+        let rr = OsdpRr::new(1.0).unwrap();
+        let sample = session.release_records(&rr).unwrap();
+        assert!(sample.iter().all(|&v| v < 50), "sensitive codes never leave");
+        assert!(!sample.is_empty(), "at ~63% keep rate, 50 candidates");
+        assert!((session.total_spent() - 1.0).abs() < 1e-12);
+        assert_eq!(session.database_len(), Some(100));
+
+        // Histogram-backed sessions cannot release records.
+        let bound = SessionBuilder::<u32>::from_histograms(
+            Histogram::from_counts(vec![5.0]),
+            Histogram::from_counts(vec![5.0]),
+        )
+        .build()
+        .unwrap();
+        assert!(bound.release_records(&rr).is_err());
+        assert_eq!(bound.database_len(), None);
+    }
+
+    #[test]
+    fn same_seed_reproduces_same_estimates() {
+        let a = records_session(None);
+        let b = records_session(None);
+        let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+        let ra = a.release(&mod8_query(), &mechanism).unwrap();
+        let rb = b.release(&mod8_query(), &mechanism).unwrap();
+        assert_eq!(ra.estimate, rb.estimate);
+    }
+}

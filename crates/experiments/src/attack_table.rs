@@ -68,9 +68,8 @@ mod tests {
         assert!((phi("Suppress100") - 100.0).abs() < 1e-4);
         assert!(phi("All NS (truthful)").is_infinite());
 
-        let ok = |m: &str| {
-            table.lookup(&[("mechanism", m)], "satisfies_nominal_epsilon").unwrap() > 0.5
-        };
+        let ok =
+            |m: &str| table.lookup(&[("mechanism", m)], "satisfies_nominal_epsilon").unwrap() > 0.5;
         assert!(ok("OsdpRR"));
         assert!(ok("DP (geometric)"));
         assert!(!ok("Suppress10"));

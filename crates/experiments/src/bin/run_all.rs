@@ -9,11 +9,8 @@ use std::path::PathBuf;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let config = ExperimentConfig::from_args(args.iter().cloned());
-    let out_dir: Option<PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from);
+    let out_dir: Option<PathBuf> =
+        args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).map(PathBuf::from);
 
     let mut report = Report::new(format!(
         "One-sided Differential Privacy — measured reproduction ({} configuration, seed {:#x})",

@@ -74,38 +74,18 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
         ));
         // Policy-independent baselines.
         let mut fold_rng = seeds.rng_for("folds", eps.to_bits());
-        let objdp_error = evaluate(
-            &dataset,
-            &features,
-            &labels,
-            config,
-            &Strategy::ObjDp(eps),
-            &mut fold_rng,
-        );
+        let objdp_error =
+            evaluate(&dataset, &features, &labels, config, &Strategy::ObjDp(eps), &mut fold_rng);
         let mut fold_rng = seeds.rng_for("folds-random", eps.to_bits());
-        let random_error = evaluate(
-            &dataset,
-            &features,
-            &labels,
-            config,
-            &Strategy::Random,
-            &mut fold_rng,
-        );
+        let random_error =
+            evaluate(&dataset, &features, &labels, config, &Strategy::Random, &mut fold_rng);
 
         for policy in &policies {
-            for strategy in
-                [Strategy::AllNonSensitive(policy), Strategy::OsdpRr(policy, eps)]
-            {
+            for strategy in [Strategy::AllNonSensitive(policy), Strategy::OsdpRr(policy, eps)] {
                 let mut fold_rng =
                     seeds.rng_for(policy.label(), eps.to_bits() ^ strategy.name().len() as u64);
-                let error = evaluate(
-                    &dataset,
-                    &features,
-                    &labels,
-                    config,
-                    &strategy,
-                    &mut fold_rng,
-                );
+                let error =
+                    evaluate(&dataset, &features, &labels, config, &strategy, &mut fold_rng);
                 table.push(
                     ResultRow::new()
                         .dim("policy", policy.label())

@@ -24,6 +24,17 @@ pub struct ExperimentConfig {
     /// the published scales, larger values shrink the datasets for quick runs
     /// (the domain size is never changed).
     pub scale_divisor: u64,
+    /// The algorithm pool evaluated by the regret experiments, as mechanism
+    /// names resolved through `osdp_engine::MechanismSpec` (4 OSDP + 2 DP
+    /// algorithms in the paper's Section 6.3.3 pool).
+    pub pool: Vec<String>,
+}
+
+/// The paper's Section 6.3.3 algorithm pool (4 OSDP + 2 DP algorithms).
+pub fn default_pool() -> Vec<String> {
+    ["OsdpRR", "OsdpLaplace", "OsdpLaplaceL1", "DAWAz", "Laplace", "DAWA"]
+        .map(String::from)
+        .to_vec()
 }
 
 impl ExperimentConfig {
@@ -38,6 +49,7 @@ impl ExperimentConfig {
             tippers: TippersConfig::small(),
             ns_ratios: vec![0.99, 0.75, 0.5, 0.25, 0.1],
             scale_divisor: 20,
+            pool: default_pool(),
         }
     }
 
@@ -51,6 +63,7 @@ impl ExperimentConfig {
             tippers: TippersConfig::experiment(),
             ns_ratios: vec![0.99, 0.90, 0.75, 0.50, 0.25, 0.10, 0.01],
             scale_divisor: 1,
+            pool: default_pool(),
         }
     }
 
@@ -102,6 +115,16 @@ mod tests {
             ExperimentConfig::from_args(vec!["--other".to_string()]),
             ExperimentConfig::quick()
         );
+    }
+
+    #[test]
+    fn pool_resolves_through_the_registry() {
+        use osdp_mechanisms::HistogramMechanism;
+        let c = ExperimentConfig::quick();
+        assert_eq!(c.pool.len(), 6, "4 OSDP + 2 DP algorithms");
+        let pool = osdp_engine::pool_from_names(&c.pool, 1.0).unwrap();
+        let osdp = pool.iter().filter(|m| !m.guarantee().is_differentially_private()).count();
+        assert_eq!(osdp, 4);
     }
 
     #[test]

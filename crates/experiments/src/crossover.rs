@@ -9,9 +9,8 @@
 
 use crate::config::ExperimentConfig;
 use osdp_core::Histogram;
-use osdp_mechanisms::{
-    DpLaplaceHistogram, HistogramMechanism, HistogramTask, OsdpRrHistogram,
-};
+use osdp_engine::{histogram_session, SessionQuery};
+use osdp_mechanisms::{DpLaplaceHistogram, HistogramMechanism, OsdpRrHistogram};
 use osdp_metrics::{l1_error, ResultRow, ResultTable};
 
 /// Domain size used by the sweep (the paper's example uses d = 10⁴; a smaller
@@ -35,20 +34,25 @@ pub fn run(config: &ExperimentConfig) -> ResultTable {
     for (i, &n) in SCALES.iter().enumerate() {
         // A uniform histogram of n records over the domain; every record is
         // non-sensitive (the regime the theorem considers: suppression error
-        // comes from sampling alone).
+        // comes from sampling alone), so x_ns = x.
         let per_bin = n as f64 / DOMAIN as f64;
         let full = Histogram::from_counts(vec![per_bin; DOMAIN]);
-        let task = HistogramTask::all_non_sensitive(full);
-        let mut rr_err = 0.0;
-        let mut lap_err = 0.0;
-        for trial in 0..config.trials {
-            let mut rng = seeds.rng_for("sweep", (i * config.trials + trial) as u64);
-            rr_err += l1_error(task.full(), &rr.release(&task, &mut rng)).expect("same domain");
-            lap_err +=
-                l1_error(task.full(), &laplace.release(&task, &mut rng)).expect("same domain");
-        }
-        rr_err /= config.trials as f64;
-        lap_err /= config.trials as f64;
+        let session = histogram_session(full.clone(), full.clone())
+            .policy_label("Pnone")
+            .seed(seeds.child("sweep").root() ^ i as u64)
+            .build()
+            .expect("x_ns = x is always dominated");
+        let error_of = |mechanism: &dyn HistogramMechanism| -> f64 {
+            session
+                .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                .expect("uncapped measurement session")
+                .iter()
+                .map(|e| l1_error(&full, e).expect("same domain"))
+                .sum::<f64>()
+                / config.trials as f64
+        };
+        let rr_err = error_of(&rr);
+        let lap_err = error_of(&laplace);
         table.push(
             ResultRow::new()
                 .dim("n", n)

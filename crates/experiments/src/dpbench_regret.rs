@@ -15,10 +15,8 @@ use crate::config::ExperimentConfig;
 use osdp_core::Histogram;
 use osdp_data::sampling::{sample_policy, PolicyKind};
 use osdp_data::BenchmarkDataset;
-use osdp_mechanisms::{
-    Dawaz, DawaHistogram, DpLaplaceHistogram, HistogramMechanism, HistogramTask, OsdpLaplace,
-    OsdpLaplaceL1, OsdpRrHistogram,
-};
+use osdp_engine::{histogram_session, pool_from_names, SessionQuery};
+use osdp_mechanisms::HistogramMechanism;
 use osdp_metrics::{
     mean_relative_error, relative_error_percentile, RegretTable, ResultRow, ResultTable, REL95,
 };
@@ -35,16 +33,11 @@ pub struct RegretOutputs {
     pub tables: Vec<ResultTable>,
 }
 
-/// The algorithm pool of Section 6.3.3 (4 OSDP + 2 DP algorithms).
-pub fn algorithm_pool(eps: f64) -> Vec<Box<dyn HistogramMechanism>> {
-    vec![
-        Box::new(OsdpRrHistogram::new(eps).expect("validated")),
-        Box::new(OsdpLaplace::new(eps).expect("validated")),
-        Box::new(OsdpLaplaceL1::new(eps).expect("validated")),
-        Box::new(Dawaz::new(eps).expect("validated")),
-        Box::new(DpLaplaceHistogram::new(eps).expect("validated")),
-        Box::new(DawaHistogram::new(eps).expect("validated")),
-    ]
+/// The algorithm pool of Section 6.3.3, resolved by name through the
+/// `osdp_engine::MechanismSpec` registry (4 OSDP + 2 DP algorithms in the
+/// default configuration).
+pub fn algorithm_pool(config: &ExperimentConfig, eps: f64) -> Vec<Box<dyn HistogramMechanism>> {
+    pool_from_names(&config.pool, eps).expect("configured pool resolves")
 }
 
 /// Input key used in the regret tables: `eps/policy/rho/dataset`.
@@ -78,7 +71,7 @@ pub fn run(config: &ExperimentConfig) -> RegretOutputs {
         .collect();
 
     for &eps in &config.epsilons {
-        let pool = algorithm_pool(eps);
+        let pool = algorithm_pool(config, eps);
         for (dataset, full) in &datasets {
             for kind in [PolicyKind::Close, PolicyKind::Far] {
                 for &rho in &config.ns_ratios {
@@ -89,28 +82,31 @@ pub fn run(config: &ExperimentConfig) -> RegretOutputs {
                     let Ok(policy) = sample_policy(kind, full, rho, &mut policy_rng) else {
                         continue;
                     };
-                    let Ok(task) = HistogramTask::new(full.clone(), policy.non_sensitive) else {
+                    let key = input_key(eps, kind, rho, *dataset);
+                    // One audited session per (dataset, policy, rho, eps)
+                    // input; the sampled policy exists only as its
+                    // non-sensitive sub-histogram, so the session is
+                    // histogram-backed.
+                    let Ok(session) = histogram_session(full.clone(), policy.non_sensitive)
+                        .policy_label(format!("{}-{rho}", kind.name()))
+                        .seed(seeds.child(&key).root())
+                        .build()
+                    else {
                         continue;
                     };
-                    let key = input_key(eps, kind, rho, *dataset);
                     for mechanism in &pool {
+                        let estimates = session
+                            .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                            .expect("uncapped measurement session");
                         let mut mre = 0.0;
                         let mut rel95 = 0.0;
-                        for trial in 0..config.trials {
-                            let mut rng = seeds.rng_for(
-                                &format!("{key}/{}", mechanism.name()),
-                                trial as u64,
-                            );
-                            let estimate = mechanism.release(&task, &mut rng);
-                            mre +=
-                                mean_relative_error(task.full(), &estimate).expect("same domain");
-                            rel95 += relative_error_percentile(task.full(), &estimate, REL95)
+                        for estimate in &estimates {
+                            mre += mean_relative_error(full, estimate).expect("same domain");
+                            rel95 += relative_error_percentile(full, estimate, REL95)
                                 .expect("same domain");
                         }
                         outputs.mre.record(&key, mechanism.name(), mre / config.trials as f64);
-                        outputs
-                            .rel95
-                            .record(&key, mechanism.name(), rel95 / config.trials as f64);
+                        outputs.rel95.record(&key, mechanism.name(), rel95 / config.trials as f64);
                     }
                 }
             }
@@ -187,9 +183,8 @@ fn build_figure_tables(
     }
 
     // Figure 9: per-dataset regret for the Close policy at rho in {0.99, 0.5}.
-    let mut table = ResultTable::new(format!(
-        "Figure 9: per-dataset regret (MRE), Close policy, eps = {eps}"
-    ));
+    let mut table =
+        ResultTable::new(format!("Figure 9: per-dataset regret (MRE), Close policy, eps = {eps}"));
     for &rho in &[0.99, 0.5] {
         if !config.ns_ratios.contains(&rho) {
             continue;
@@ -252,9 +247,7 @@ mod tests {
         // Figure 7a claim: for the Close policy and rho = 0.99, the OSDP side
         // of the pool has lower regret than DAWA.
         let outputs = run(&tiny_config());
-        let slice = outputs
-            .mre
-            .filter_inputs(|k| k.starts_with("1/Close/0.99/"));
+        let slice = outputs.mre.filter_inputs(|k| k.starts_with("1/Close/0.99/"));
         let dawa = slice.average_regret("DAWA").unwrap();
         let osdp = slice.average_regret("OsdpLaplaceL1").unwrap();
         let dawaz = slice.average_regret("DAWAz").unwrap();

@@ -35,5 +35,5 @@ pub mod table1;
 pub mod table2;
 pub mod tippers_hist;
 
-pub use config::ExperimentConfig;
+pub use config::{default_pool, ExperimentConfig};
 pub use report::Report;

@@ -43,22 +43,16 @@ pub fn run(config: &ExperimentConfig, n: usize) -> Vec<ResultTable> {
         ));
 
         // Policy-independent DP baselines.
-        let (lm_t1, lm_tstar) = laplace_baselines(config, &seeds, &dataset.trajectories(), n, ap_count, &truth, eps);
+        let (lm_t1, lm_tstar) =
+            laplace_baselines(config, &seeds, dataset.trajectories(), n, ap_count, &truth, eps);
 
         for policy in &policies {
             // All NS: exact counts over the non-sensitive trajectories.
-            let non_sensitive: Vec<&Trajectory> = dataset
-                .trajectories()
-                .iter()
-                .filter(|t| policy.is_non_sensitive(*t))
-                .collect();
-            let all_ns_counts = NgramCounts::from_trajectories(
-                non_sensitive.iter().copied(),
-                n,
-                ap_count,
-                None,
-            )
-            .into_counts();
+            let non_sensitive: Vec<&Trajectory> =
+                dataset.trajectories().iter().filter(|t| policy.is_non_sensitive(*t)).collect();
+            let all_ns_counts =
+                NgramCounts::from_trajectories(non_sensitive.iter().copied(), n, ap_count, None)
+                    .into_counts();
             let all_ns_mre = truth.mean_relative_error(&all_ns_counts);
 
             // OsdpRR: counts over the released sample, averaged over trials.
@@ -69,9 +63,7 @@ pub fn run(config: &ExperimentConfig, n: usize) -> Vec<ResultTable> {
                 let sample: Vec<&Trajectory> = non_sensitive
                     .iter()
                     .copied()
-                    .filter(|_| {
-                        sample_bernoulli(rr.keep_probability(), &mut rng).expect("valid p")
-                    })
+                    .filter(|_| sample_bernoulli(rr.keep_probability(), &mut rng).expect("valid p"))
                     .collect();
                 let counts =
                     NgramCounts::from_trajectories(sample, n, ap_count, None).into_counts();
@@ -79,12 +71,9 @@ pub fn run(config: &ExperimentConfig, n: usize) -> Vec<ResultTable> {
             }
             rr_mre /= config.trials as f64;
 
-            for (algorithm, mre) in [
-                ("All NS", all_ns_mre),
-                ("OsdpRR", rr_mre),
-                ("LM T1", lm_t1),
-                ("LM T*", lm_tstar),
-            ] {
+            for (algorithm, mre) in
+                [("All NS", all_ns_mre), ("OsdpRR", rr_mre), ("LM T1", lm_t1), ("LM T*", lm_tstar)]
+            {
                 table.push(
                     ResultRow::new()
                         .dim("policy", policy.label())
@@ -111,12 +100,12 @@ fn laplace_baselines(
     let mut by_k = Vec::new();
     for &k in &TRUNCATION_CANDIDATES {
         let truncated =
-            NgramCounts::from_trajectories(trajectories.iter(), n, ap_count, Some(k))
-                .into_counts();
+            NgramCounts::from_trajectories(trajectories.iter(), n, ap_count, Some(k)).into_counts();
         let mechanism = TruncatedNgramLaplace::new(eps, k).expect("validated");
         let mut mre = 0.0;
         for trial in 0..config.trials {
-            let mut rng = seeds.rng_for("lm", (k as u64) << 32 | eps.to_bits() >> 32 | trial as u64);
+            let mut rng =
+                seeds.rng_for("lm", (k as u64) << 32 | eps.to_bits() >> 32 | trial as u64);
             let estimate = mechanism.release(&truncated, &mut rng);
             mre += sparse_mre_with_background(
                 truth,

@@ -10,7 +10,8 @@
 use crate::config::ExperimentConfig;
 use osdp_core::Histogram;
 use osdp_data::sampling::{sample_policy, PolicyKind};
-use osdp_mechanisms::{HistogramMechanism, HistogramTask, OsdpLaplaceL1, Suppress};
+use osdp_engine::{histogram_session, pool_from_names, SessionQuery};
+use osdp_mechanisms::HistogramMechanism;
 use osdp_metrics::{mean_relative_error, RegretTable, ResultRow, ResultTable};
 
 /// The `Suppress` thresholds shown in Figure 10.
@@ -20,14 +21,10 @@ pub const SUPPRESS_TAUS: [f64; 2] = [10.0, 100.0];
 pub fn run(config: &ExperimentConfig) -> ResultTable {
     let eps = config.epsilons.first().copied().unwrap_or(1.0);
     let seeds = config.seeds().child("pdp");
-    let pool: Vec<Box<dyn HistogramMechanism>> = {
-        let mut v: Vec<Box<dyn HistogramMechanism>> =
-            vec![Box::new(OsdpLaplaceL1::new(eps).expect("validated"))];
-        for tau in SUPPRESS_TAUS {
-            v.push(Box::new(Suppress::new(tau).expect("validated")));
-        }
-        v
-    };
+    let names: Vec<String> = std::iter::once("OsdpLaplaceL1".to_string())
+        .chain(SUPPRESS_TAUS.iter().map(|tau| format!("Suppress{}", *tau as i64)))
+        .collect();
+    let pool = pool_from_names(&names, eps).expect("registry pool");
 
     let mut gen_rng = seeds.rng_for("datasets", 0);
     let mut regrets = RegretTable::new();
@@ -47,18 +44,22 @@ pub fn run(config: &ExperimentConfig) -> ResultTable {
                 let Ok(policy) = sample_policy(kind, &full, rho, &mut policy_rng) else {
                     continue;
                 };
-                let Ok(task) = HistogramTask::new(full.clone(), policy.non_sensitive) else {
+                let key = format!("{}/{rho}/{}", kind.name(), dataset.name());
+                let Ok(session) = histogram_session(full.clone(), policy.non_sensitive)
+                    .policy_label(format!("{}-{rho}", kind.name()))
+                    .seed(seeds.child(&key).root())
+                    .build()
+                else {
                     continue;
                 };
-                let key = format!("{}/{rho}/{}", kind.name(), dataset.name());
                 for mechanism in &pool {
-                    let mut mre = 0.0;
-                    for trial in 0..config.trials {
-                        let mut rng =
-                            seeds.rng_for(&format!("{key}/{}", mechanism.name()), trial as u64);
-                        let estimate = mechanism.release(&task, &mut rng);
-                        mre += mean_relative_error(task.full(), &estimate).expect("same domain");
-                    }
+                    let estimates = session
+                        .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                        .expect("uncapped measurement session");
+                    let mre: f64 = estimates
+                        .iter()
+                        .map(|e| mean_relative_error(&full, e).expect("same domain"))
+                        .sum();
                     regrets.record(&key, mechanism.name(), mre / config.trials as f64);
                 }
             }

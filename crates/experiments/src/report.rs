@@ -50,9 +50,25 @@ impl Report {
         out
     }
 
-    /// Serialises the report to pretty JSON.
+    /// Serialises the report to pretty JSON (hand-rolled; the vendored
+    /// `serde` is a marker-only stand-in).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serialisation cannot fail")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", osdp_metrics::json_string(&self.title)));
+        out.push_str("  \"tables\": [\n");
+        for (i, table) in self.tables.iter().enumerate() {
+            for line in table.to_json().lines() {
+                out.push_str("    ");
+                out.push_str(line);
+                out.push('\n');
+            }
+            if i + 1 < self.tables.len() {
+                out.truncate(out.trim_end().len());
+                out.push_str(",\n");
+            }
+        }
+        out.push_str("  ]\n}");
+        out
     }
 
     /// Writes the JSON and Markdown renderings next to each other under

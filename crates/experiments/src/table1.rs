@@ -2,6 +2,7 @@
 
 use crate::config::ExperimentConfig;
 use osdp_core::Database;
+use osdp_engine::SessionBuilder;
 use osdp_mechanisms::OsdpRr;
 use osdp_metrics::{ResultRow, ResultTable};
 
@@ -15,14 +16,19 @@ pub fn run(config: &ExperimentConfig) -> ResultTable {
     let mut table =
         ResultTable::new("Table 1: percentage of released non-sensitive records vs epsilon");
     let records: Database<u32> = (0..50_000u32).collect();
-    let policy = osdp_core::policy::NoneSensitive;
     let seeds = config.seeds().child("table1");
     for (i, &eps) in TABLE1_EPSILONS.iter().enumerate() {
         let mechanism = OsdpRr::new(eps).expect("table epsilons are valid");
+        // A record-backed session per epsilon: the true-record releases of
+        // Table 1 go through the audited record front door.
+        let session = SessionBuilder::new(records.clone())
+            .policy(osdp_core::policy::NoneSensitive, "Pnone")
+            .seed(seeds.child("trial").root() ^ i as u64)
+            .build()
+            .expect("valid session");
         let mut total_rate = 0.0;
-        for trial in 0..config.trials {
-            let mut rng = seeds.rng_for("trial", (i * config.trials + trial) as u64);
-            let sample = mechanism.release(&records, &policy, &mut rng);
+        for _trial in 0..config.trials {
+            let sample = session.release_records(&mechanism).expect("uncapped session");
             total_rate += sample.len() as f64 / records.len() as f64;
         }
         let empirical = total_rate / config.trials as f64;

@@ -11,13 +11,18 @@
 
 use crate::config::ExperimentConfig;
 use osdp_core::policy::Policy;
+use osdp_core::Record;
 use osdp_data::tippers::{generate_dataset, policy_for_ratio, SensitiveApPolicy};
-use osdp_mechanisms::{
-    Dawaz, DawaHistogram, HistogramMechanism, HistogramTask, HybridLaplace,
-};
+use osdp_engine::{histogram_session, pool_from_names, OsdpSession, SessionQuery};
+use osdp_mechanisms::HistogramMechanism;
 use osdp_metrics::{
     mean_relative_error, relative_error_percentile, ResultRow, ResultTable, REL50, REL95,
 };
+
+/// The mechanism names of Figures 4–5, resolved through the registry: the
+/// per-bin hybrid (reported under the `OsdpLaplaceL1` label, as in the
+/// paper), `DAWAz`, and the `DAWA` DP baseline.
+const TIPPERS_POOL: [&str; 3] = ["Hybrid", "DAWAz", "DAWA"];
 
 /// Runs the TIPPERS histogram experiment: one MRE table per ε (Figure 4) and
 /// one Rel50/Rel95 table at the first ε (Figure 5).
@@ -29,42 +34,43 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
 
     let policies: Vec<SensitiveApPolicy> =
         config.ns_ratios.iter().map(|&r| policy_for_ratio(&dataset, r)).collect();
-    let tasks: Vec<(String, HistogramTask)> = policies
+    // One audited session per policy: the session owns the (full, x_ns) pair
+    // so every mechanism in every figure releases against the same bound
+    // input.
+    let sessions: Vec<(String, OsdpSession<Record>)> = policies
         .iter()
         .map(|policy| {
             let ns = dataset.ap_hour_histogram(|t| policy.is_non_sensitive(t)).into_flat();
-            (
-                policy.label().to_string(),
-                HistogramTask::new(full.clone(), ns).expect("x_ns is a sub-histogram by construction"),
-            )
+            let label = policy.label().to_string();
+            let session = histogram_session(full.clone(), ns)
+                .policy_label(&*label)
+                .seed(seeds.child(&label).root())
+                .build()
+                .expect("x_ns is a sub-histogram by construction");
+            (label, session)
         })
         .collect();
 
     let mut tables = Vec::new();
     for &eps in &config.epsilons {
-        let mechanisms: Vec<Box<dyn HistogramMechanism>> = vec![
-            Box::new(HybridLaplace::new(eps).expect("validated")),
-            Box::new(Dawaz::new(eps).expect("validated")),
-            Box::new(DawaHistogram::new(eps).expect("validated")),
-        ];
+        let mechanisms = pool_from_names(&TIPPERS_POOL, eps).expect("registry pool");
         let mut table = ResultTable::new(format!(
             "Figure 4: mean relative error on the TIPPERS AP x hour histogram, eps = {eps}"
         ));
-        for (label, task) in &tasks {
+        for (label, session) in &sessions {
             for mechanism in &mechanisms {
-                let mut mre = 0.0;
-                for trial in 0..config.trials {
-                    let mut rng = seeds.rng_for(
-                        &format!("{label}-{}", mechanism.name()),
-                        eps.to_bits() ^ trial as u64,
-                    );
-                    let estimate = mechanism.release(task, &mut rng);
-                    mre += mean_relative_error(task.full(), &estimate).expect("same domain");
-                }
+                let estimates = session
+                    .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                    .expect("uncapped measurement session");
+                let mre: f64 = estimates
+                    .iter()
+                    .map(|e| mean_relative_error(&full, e).expect("same domain"))
+                    .sum();
                 table.push(
                     ResultRow::new()
                         .dim("policy", label)
                         .dim("algorithm", mechanism.name())
+                        .dim("guarantee", mechanism.guarantee().label())
                         .measure("mre", mre / config.trials as f64),
                 );
             }
@@ -75,36 +81,29 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
     // Figure 5: per-bin relative error percentiles at the headline epsilon,
     // for the policies with at least 25% non-sensitive records.
     let eps = config.epsilons.first().copied().unwrap_or(1.0);
-    let mechanisms: Vec<Box<dyn HistogramMechanism>> = vec![
-        Box::new(HybridLaplace::new(eps).expect("validated")),
-        Box::new(Dawaz::new(eps).expect("validated")),
-        Box::new(DawaHistogram::new(eps).expect("validated")),
-    ];
+    let mechanisms = pool_from_names(&TIPPERS_POOL, eps).expect("registry pool");
     let mut rel_table = ResultTable::new(format!(
         "Figure 5: per-bin relative error percentiles (Rel50 / Rel95) on the TIPPERS histogram, eps = {eps}"
     ));
-    for ((label, task), &ratio) in tasks.iter().zip(config.ns_ratios.iter()) {
+    for ((label, session), &ratio) in sessions.iter().zip(config.ns_ratios.iter()) {
         if ratio < 0.25 {
             continue;
         }
         for mechanism in &mechanisms {
+            let estimates = session
+                .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                .expect("uncapped measurement session");
             let mut rel50 = 0.0;
             let mut rel95 = 0.0;
-            for trial in 0..config.trials {
-                let mut rng = seeds.rng_for(
-                    &format!("rel-{label}-{}", mechanism.name()),
-                    eps.to_bits() ^ trial as u64,
-                );
-                let estimate = mechanism.release(task, &mut rng);
-                rel50 += relative_error_percentile(task.full(), &estimate, REL50)
-                    .expect("same domain");
-                rel95 += relative_error_percentile(task.full(), &estimate, REL95)
-                    .expect("same domain");
+            for estimate in &estimates {
+                rel50 += relative_error_percentile(&full, estimate, REL50).expect("same domain");
+                rel95 += relative_error_percentile(&full, estimate, REL95).expect("same domain");
             }
             rel_table.push(
                 ResultRow::new()
                     .dim("policy", label)
                     .dim("algorithm", mechanism.name())
+                    .dim("guarantee", mechanism.guarantee().label())
                     .measure("rel50", rel50 / config.trials as f64)
                     .measure("rel95", rel95 / config.trials as f64),
             );
@@ -143,8 +142,7 @@ mod tests {
         // Figure 4a/5 claim at eps = 1 with >= 75% non-sensitive records.
         let tables = run(&tiny_config());
         let t = &tables[0];
-        let hybrid =
-            t.lookup(&[("policy", "P90"), ("algorithm", "OsdpLaplaceL1")], "mre").unwrap();
+        let hybrid = t.lookup(&[("policy", "P90"), ("algorithm", "OsdpLaplaceL1")], "mre").unwrap();
         let dawa = t.lookup(&[("policy", "P90"), ("algorithm", "DAWA")], "mre").unwrap();
         assert!(
             hybrid < dawa,

@@ -8,7 +8,7 @@
 use crate::recipe::{DawaTwoPhase, ZeroBinRecipe, ZeroDetector, DEFAULT_RHO};
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::Result;
-use osdp_core::Histogram;
+use osdp_core::{Guarantee, Histogram};
 use serde::{Deserialize, Serialize};
 
 /// The `DAWAz` hybrid OSDP histogram algorithm.
@@ -62,6 +62,10 @@ impl HistogramMechanism for Dawaz {
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         self.inner.release(task, rng)
     }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Osdp { eps: self.epsilon() }
+    }
 }
 
 #[cfg(test)]
@@ -85,7 +89,7 @@ mod tests {
         assert_eq!(d.epsilon(), 1.0);
         assert!((d.rho() - 0.1).abs() < 1e-12);
         assert_eq!(d.name(), "DAWAz");
-        assert!(!d.is_differentially_private());
+        assert!(matches!(d.guarantee(), Guarantee::Osdp { eps } if eps == 1.0));
         assert!(Dawaz::with_laplace_detector(1.0, 0.2).is_ok());
     }
 
@@ -100,8 +104,8 @@ mod tests {
         let mut r = rng();
         let est = d.release(&task, &mut r);
         assert_eq!(est.len(), 128);
-        for i in 0..128 {
-            if full[i] == 0.0 {
+        for (i, &count) in full.iter().enumerate() {
+            if count == 0.0 {
                 assert_eq!(est.get(i), 0.0);
             }
         }

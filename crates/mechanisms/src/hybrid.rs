@@ -25,7 +25,7 @@
 use crate::osdp_laplace_l1::OsdpLaplaceL1;
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::{validate_epsilon, Result};
-use osdp_core::Histogram;
+use osdp_core::{Guarantee, Histogram};
 use osdp_noise::Laplace;
 use rand::distributions::Distribution;
 use serde::{Deserialize, Serialize};
@@ -100,6 +100,10 @@ impl HistogramMechanism for HybridLaplace {
             out.set(i, value);
         }
         out
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Osdp { eps: self.epsilon() }
     }
 }
 

@@ -2,7 +2,7 @@
 
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::{validate_epsilon, OsdpError, Result};
-use osdp_core::Histogram;
+use osdp_core::{Guarantee, Histogram};
 use osdp_noise::Laplace;
 use rand::distributions::Distribution;
 use rand::Rng;
@@ -113,8 +113,8 @@ impl HistogramMechanism for DpLaplaceHistogram {
         estimate
     }
 
-    fn is_differentially_private(&self) -> bool {
-        true
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Dp { eps: self.epsilon() }
     }
 }
 
@@ -162,7 +162,7 @@ mod tests {
         assert_eq!(m.epsilon(), 0.5);
         assert_eq!(m.expected_l1_error(100), 400.0);
         assert_eq!(m.name(), "Laplace");
-        assert!(m.is_differentially_private());
+        assert!(matches!(m.guarantee(), Guarantee::Dp { eps } if eps == 0.5));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::{validate_epsilon, Result};
-use osdp_core::Histogram;
+use osdp_core::{Guarantee, Histogram};
 use osdp_noise::OneSidedLaplace;
 use rand::distributions::Distribution;
 use rand::Rng;
@@ -56,6 +56,10 @@ impl HistogramMechanism for OsdpLaplace {
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         self.perturb(task.non_sensitive(), rng)
     }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Osdp { eps: self.epsilon() }
+    }
 }
 
 #[cfg(test)]
@@ -76,7 +80,7 @@ mod tests {
         assert_eq!(m.epsilon(), 0.5);
         assert_eq!(m.noise().lambda(), 2.0);
         assert_eq!(m.name(), "OsdpLaplace");
-        assert!(!m.is_differentially_private());
+        assert!(!m.guarantee().is_differentially_private());
     }
 
     #[test]
@@ -118,13 +122,11 @@ mod tests {
             estimates.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / estimates.len() as f64
         };
         let trials = 3000;
-        let osdp_samples: Vec<f64> = (0..trials).map(|_| osdp.release(&task, &mut r).get(0)).collect();
+        let osdp_samples: Vec<f64> =
+            (0..trials).map(|_| osdp.release(&task, &mut r).get(0)).collect();
         let dp_samples: Vec<f64> = (0..trials).map(|_| dp.release(&task, &mut r).get(0)).collect();
         let ratio = sample_var(osdp_samples) / sample_var(dp_samples);
-        assert!(
-            (ratio - 0.125).abs() < 0.05,
-            "variance ratio {ratio} should be about 1/8"
-        );
+        assert!((ratio - 0.125).abs() < 0.05, "variance ratio {ratio} should be about 1/8");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use crate::osdp_laplace::OsdpLaplace;
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::Result;
-use osdp_core::Histogram;
+use osdp_core::{Guarantee, Histogram};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +65,10 @@ impl HistogramMechanism for OsdpLaplaceL1 {
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         self.perturb(task.non_sensitive(), rng)
     }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Osdp { eps: self.epsilon() }
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +91,7 @@ mod tests {
         assert_eq!(m.epsilon(), 0.5);
         assert!((m.median_correction() - std::f64::consts::LN_2 / 0.5).abs() < 1e-12);
         assert_eq!(m.name(), "OsdpLaplaceL1");
-        assert!(!m.is_differentially_private());
+        assert!(!m.guarantee().is_differentially_private());
     }
 
     #[test]

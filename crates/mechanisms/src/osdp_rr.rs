@@ -11,7 +11,7 @@
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::{validate_epsilon, Result};
 use osdp_core::policy::Policy;
-use osdp_core::{Database, Histogram};
+use osdp_core::{Database, Guarantee, Histogram};
 use osdp_noise::bernoulli::{bernoulli_keep_probability, sample_bernoulli};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -48,9 +48,8 @@ impl OsdpRr {
         P: Policy<R> + ?Sized,
         G: Rng + ?Sized,
     {
-        let mut out = Database::with_capacity(
-            (db.len() as f64 * self.keep_probability) as usize + 1,
-        );
+        let mut out =
+            Database::with_capacity((db.len() as f64 * self.keep_probability) as usize + 1);
         for record in db.iter() {
             if policy.is_non_sensitive(record)
                 && sample_bernoulli(self.keep_probability, rng).expect("validated probability")
@@ -65,7 +64,11 @@ impl OsdpRr {
     /// counts: each of the `x_ns[i]` records survives independently with the
     /// keep probability (binomial thinning). This is exactly what running
     /// Algorithm 1 and then computing the histogram on its output would do.
-    pub fn thin_histogram<G: Rng + ?Sized>(&self, non_sensitive: &Histogram, rng: &mut G) -> Histogram {
+    pub fn thin_histogram<G: Rng + ?Sized>(
+        &self,
+        non_sensitive: &Histogram,
+        rng: &mut G,
+    ) -> Histogram {
         let mut out = Histogram::zeros(non_sensitive.len());
         for (i, &count) in non_sensitive.counts().iter().enumerate() {
             let n = count.round().max(0.0) as u64;
@@ -122,6 +125,10 @@ impl HistogramMechanism for OsdpRrHistogram {
         } else {
             thinned
         }
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Osdp { eps: self.inner.epsilon() }
     }
 }
 
@@ -238,7 +245,7 @@ mod tests {
         assert_eq!(est.get(0), 0.0, "a fully sensitive bin yields zero");
         assert!(est.get(1) <= 50.0);
         assert_eq!(m.name(), "OsdpRR");
-        assert!(!m.is_differentially_private());
+        assert!(matches!(m.guarantee(), Guarantee::Osdp { .. }));
         assert_eq!(m.inner().epsilon(), 1.0);
     }
 

@@ -18,7 +18,7 @@ use crate::osdp_laplace_l1::OsdpLaplaceL1;
 use crate::osdp_rr::OsdpRr;
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::{validate_epsilon, validate_fraction, Result};
-use osdp_core::Histogram;
+use osdp_core::{Guarantee, Histogram};
 use osdp_dawa::{Dawa, Hierarchical, Identity};
 use rand::RngCore;
 use serde::{Deserialize, Serialize};
@@ -212,8 +212,8 @@ impl<M: TwoPhaseDp> HistogramMechanism for ZeroBinRecipe<M> {
                 continue;
             }
             let rescale = width as f64 / (width - zeroed) as f64;
-            for i in start..end {
-                if is_zero[i] {
+            for (i, &zero) in is_zero.iter().enumerate().take(end).skip(start) {
+                if zero {
                     estimate.set(i, 0.0);
                 } else {
                     estimate.set(i, estimate.get(i) * rescale);
@@ -221,6 +221,10 @@ impl<M: TwoPhaseDp> HistogramMechanism for ZeroBinRecipe<M> {
             }
         }
         estimate
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Osdp { eps: self.epsilon() }
     }
 }
 
@@ -253,8 +257,8 @@ impl HistogramMechanism for DawaHistogram {
         dawa.release(task.full(), rng).estimate
     }
 
-    fn is_differentially_private(&self) -> bool {
-        true
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::Dp { eps: self.epsilon() }
     }
 }
 
@@ -272,25 +276,33 @@ mod tests {
     #[test]
     fn construction_validates_parameters() {
         assert!(ZeroBinRecipe::new(1.0, 0.1, ZeroDetector::OsdpRr, DawaTwoPhase::default()).is_ok());
-        assert!(ZeroBinRecipe::new(0.0, 0.1, ZeroDetector::OsdpRr, DawaTwoPhase::default()).is_err());
-        assert!(ZeroBinRecipe::new(1.0, 0.0, ZeroDetector::OsdpRr, DawaTwoPhase::default()).is_err());
-        assert!(ZeroBinRecipe::new(1.0, 1.0, ZeroDetector::OsdpRr, DawaTwoPhase::default()).is_err());
-        let r = ZeroBinRecipe::new(1.0, 0.1, ZeroDetector::OsdpRr, DawaTwoPhase::default()).unwrap();
+        assert!(
+            ZeroBinRecipe::new(0.0, 0.1, ZeroDetector::OsdpRr, DawaTwoPhase::default()).is_err()
+        );
+        assert!(
+            ZeroBinRecipe::new(1.0, 0.0, ZeroDetector::OsdpRr, DawaTwoPhase::default()).is_err()
+        );
+        assert!(
+            ZeroBinRecipe::new(1.0, 1.0, ZeroDetector::OsdpRr, DawaTwoPhase::default()).is_err()
+        );
+        let r =
+            ZeroBinRecipe::new(1.0, 0.1, ZeroDetector::OsdpRr, DawaTwoPhase::default()).unwrap();
         assert_eq!(r.name(), "DAWAz");
         assert_eq!(r.epsilon(), 1.0);
         assert_eq!(r.rho(), 0.1);
         assert_eq!(r.detector(), ZeroDetector::OsdpRr);
-        assert!(!r.is_differentially_private());
+        assert!(matches!(r.guarantee(), Guarantee::Osdp { .. }));
         assert!(DawaHistogram::new(0.0).is_err());
         assert_eq!(DawaHistogram::new(1.0).unwrap().name(), "DAWA");
-        assert!(DawaHistogram::new(1.0).unwrap().is_differentially_private());
+        assert!(DawaHistogram::new(1.0).unwrap().guarantee().is_differentially_private());
     }
 
     #[test]
     fn recipe_names_follow_the_dp_algorithm() {
         let id = ZeroBinRecipe::new(1.0, 0.1, ZeroDetector::OsdpRr, IdentityTwoPhase).unwrap();
         assert_eq!(id.name(), "Identityz");
-        let h2 = ZeroBinRecipe::new(1.0, 0.1, ZeroDetector::OsdpLaplaceL1, HierarchicalTwoPhase).unwrap();
+        let h2 = ZeroBinRecipe::new(1.0, 0.1, ZeroDetector::OsdpLaplaceL1, HierarchicalTwoPhase)
+            .unwrap();
         assert_eq!(h2.name(), "H2z");
     }
 
@@ -307,8 +319,8 @@ mod tests {
             ZeroBinRecipe::new(1.0, 0.1, ZeroDetector::OsdpRr, DawaTwoPhase::default()).unwrap();
         let mut r = rng();
         let est = recipe.release(&task, &mut r);
-        for i in 0..64 {
-            if full[i] == 0.0 {
+        for (i, &count) in full.iter().enumerate() {
+            if count == 0.0 {
                 assert_eq!(est.get(i), 0.0, "bin {i} should be zeroed");
             }
         }
@@ -364,10 +376,7 @@ mod tests {
                 // Perfect uniform-expansion estimate over a single bucket.
                 let total = hist.total();
                 let per_bin = total / hist.len() as f64;
-                (
-                    Histogram::from_counts(vec![per_bin; hist.len()]),
-                    vec![(0, hist.len())],
-                )
+                (Histogram::from_counts(vec![per_bin; hist.len()]), vec![(0, hist.len())])
             }
         }
         // Bins 0,1 carry all the data; bins 2,3 are empty and will be detected

@@ -11,7 +11,7 @@
 
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::{validate_epsilon, Result};
-use osdp_core::Histogram;
+use osdp_core::{Guarantee, Histogram};
 use osdp_noise::Laplace;
 use rand::distributions::Distribution;
 use serde::{Deserialize, Serialize};
@@ -56,6 +56,11 @@ impl HistogramMechanism for Suppress {
             task.non_sensitive().counts().iter().map(|&c| c + noise.sample(rng)).collect(),
         )
     }
+
+    fn guarantee(&self) -> Guarantee {
+        // PDP with threshold tau: *not* OSDP (Theorem 3.4).
+        Guarantee::Pdp { eps: self.tau }
+    }
 }
 
 #[cfg(test)]
@@ -78,7 +83,7 @@ mod tests {
         assert_eq!(s.tau(), 100.0);
         assert_eq!(s.name(), "Suppress100");
         assert_eq!(s.exclusion_attack_phi(), 100.0);
-        assert!(!s.is_differentially_private());
+        assert!(matches!(s.guarantee(), Guarantee::Pdp { eps } if eps == 100.0));
         assert_eq!(Suppress::new(10.0).unwrap().name(), "Suppress10");
     }
 
@@ -108,7 +113,10 @@ mod tests {
         };
         let noisy = err(1.0, &mut r);
         let crisp = err(100.0, &mut r);
-        assert!(crisp < noisy / 10.0, "tau=100 ({crisp}) should be far less noisy than tau=1 ({noisy})");
+        assert!(
+            crisp < noisy / 10.0,
+            "tau=100 ({crisp}) should be far less noisy than tau=1 ({noisy})"
+        );
     }
 
     #[test]

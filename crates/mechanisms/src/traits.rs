@@ -5,9 +5,14 @@
 //! a [`HistogramTask`] lets the evaluation harness run the whole algorithm
 //! pool over identical inputs, which is what the regret analysis of
 //! Section 6.3.3.2 requires.
+//!
+//! Outside of mechanism-internal tests, [`HistogramTask`]s are derived by
+//! `osdp_engine::OsdpSession` (which binds the database and policy and debits
+//! the budget) rather than constructed by hand — the session is the audited
+//! front door of the workspace.
 
 use osdp_core::error::{OsdpError, Result};
-use osdp_core::Histogram;
+use osdp_core::{Guarantee, Histogram};
 use serde::{Deserialize, Serialize};
 
 /// A histogram-release task: the true histogram and its non-sensitive part.
@@ -58,8 +63,12 @@ impl HistogramTask {
     }
 
     /// The sensitive part `x − x_ns` (non-negative by construction).
-    pub fn sensitive(&self) -> Histogram {
-        self.full.sub(&self.non_sensitive).expect("same length by construction")
+    ///
+    /// Returns an error instead of panicking if the task invariant was
+    /// violated (e.g. a task deserialised from untrusted data whose histogram
+    /// lengths disagree).
+    pub fn sensitive(&self) -> Result<Histogram> {
+        self.full.sub(&self.non_sensitive)
     }
 
     /// Number of bins.
@@ -68,12 +77,24 @@ impl HistogramTask {
     }
 
     /// Fraction of records that are non-sensitive (`ρx` in the paper).
+    ///
+    /// For an **empty task** (total count 0) the ratio is undefined; this
+    /// convenience accessor returns `0.0` for it — the conservative reading
+    /// ("nothing is known to be non-sensitive"). Use
+    /// [`HistogramTask::checked_non_sensitive_ratio`] to distinguish the
+    /// empty case explicitly.
     pub fn non_sensitive_ratio(&self) -> f64 {
+        self.checked_non_sensitive_ratio().unwrap_or(0.0)
+    }
+
+    /// Fraction of records that are non-sensitive, or `None` when the task is
+    /// empty (total count 0) and the ratio is undefined.
+    pub fn checked_non_sensitive_ratio(&self) -> Option<f64> {
         let total = self.full.total();
         if total > 0.0 {
-            self.non_sensitive.total() / total
+            Some(self.non_sensitive.total() / total)
         } else {
-            0.0
+            None
         }
     }
 }
@@ -86,11 +107,11 @@ pub trait HistogramMechanism: Send + Sync {
     /// Releases an estimate of the task's full histogram.
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram;
 
-    /// Whether the mechanism satisfies plain ε-differential privacy (`true`)
-    /// or only `(P, ε)`-OSDP (`false`). Used by reports.
-    fn is_differentially_private(&self) -> bool {
-        false
-    }
+    /// The quantified privacy guarantee one invocation provides: the kind of
+    /// definition (DP / OSDP / PDP) together with its budget. Sessions debit
+    /// [`Guarantee::epsilon`] from the bound accountant *before* sampling,
+    /// and reports thread [`Guarantee::label`] through their rows.
+    fn guarantee(&self) -> Guarantee;
 }
 
 /// Blanket impl so `&M`, `Box<M>` and `Arc<M>` can be used in mechanism pools.
@@ -101,8 +122,8 @@ impl<M: HistogramMechanism + ?Sized> HistogramMechanism for &M {
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         (**self).release(task, rng)
     }
-    fn is_differentially_private(&self) -> bool {
-        (**self).is_differentially_private()
+    fn guarantee(&self) -> Guarantee {
+        (**self).guarantee()
     }
 }
 
@@ -113,8 +134,8 @@ impl<M: HistogramMechanism + ?Sized> HistogramMechanism for Box<M> {
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         (**self).release(task, rng)
     }
-    fn is_differentially_private(&self) -> bool {
-        (**self).is_differentially_private()
+    fn guarantee(&self) -> Guarantee {
+        (**self).guarantee()
     }
 }
 
@@ -125,8 +146,8 @@ impl<M: HistogramMechanism + ?Sized> HistogramMechanism for std::sync::Arc<M> {
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         (**self).release(task, rng)
     }
-    fn is_differentially_private(&self) -> bool {
-        (**self).is_differentially_private()
+    fn guarantee(&self) -> Guarantee {
+        (**self).guarantee()
     }
 }
 
@@ -148,8 +169,9 @@ mod tests {
         assert_eq!(ok.bins(), 3);
         assert_eq!(ok.full().total(), 8.0);
         assert_eq!(ok.non_sensitive().total(), 5.0);
-        assert_eq!(ok.sensitive().counts(), &[3.0, 0.0, 0.0]);
+        assert_eq!(ok.sensitive().unwrap().counts(), &[3.0, 0.0, 0.0]);
         assert!((ok.non_sensitive_ratio() - 5.0 / 8.0).abs() < 1e-12);
+        assert!((ok.checked_non_sensitive_ratio().unwrap() - 5.0 / 8.0).abs() < 1e-12);
 
         assert!(task_from_counts(&[1.0, 2.0], &[1.0]).is_err(), "length mismatch");
         assert!(task_from_counts(&[1.0, 2.0], &[1.0, 3.0]).is_err(), "x_ns exceeds x");
@@ -160,13 +182,18 @@ mod tests {
         let full = Histogram::from_counts(vec![4.0, 2.0]);
         let all_ns = HistogramTask::all_non_sensitive(full.clone());
         assert_eq!(all_ns.non_sensitive_ratio(), 1.0);
-        assert_eq!(all_ns.sensitive().total(), 0.0);
+        assert_eq!(all_ns.sensitive().unwrap().total(), 0.0);
         let all_s = HistogramTask::all_sensitive(full);
         assert_eq!(all_s.non_sensitive_ratio(), 0.0);
-        assert_eq!(all_s.sensitive().total(), 6.0);
+        assert_eq!(all_s.sensitive().unwrap().total(), 6.0);
 
+        // An empty task has no defined ratio: the unchecked accessor reports
+        // the conservative 0.0, the checked accessor reports None.
         let empty = HistogramTask::all_sensitive(Histogram::zeros(3));
         assert_eq!(empty.non_sensitive_ratio(), 0.0);
+        assert_eq!(empty.checked_non_sensitive_ratio(), None);
+        let empty_ns = HistogramTask::all_non_sensitive(Histogram::zeros(3));
+        assert_eq!(empty_ns.checked_non_sensitive_ratio(), None);
     }
 
     struct Echo;
@@ -176,6 +203,9 @@ mod tests {
         }
         fn release(&self, task: &HistogramTask, _rng: &mut dyn rand::RngCore) -> Histogram {
             task.full().clone()
+        }
+        fn guarantee(&self) -> Guarantee {
+            Guarantee::Osdp { eps: 1.0 }
         }
     }
 
@@ -187,15 +217,17 @@ mod tests {
 
         let echo = Echo;
         assert_eq!(echo.name(), "Echo");
-        assert!(!echo.is_differentially_private());
-        assert_eq!((&echo).release(&task, &mut rng).counts(), &[1.0, 2.0]);
+        assert!(!echo.guarantee().is_differentially_private());
+        assert_eq!(echo.release(&task, &mut rng).counts(), &[1.0, 2.0]);
 
         let boxed: Box<dyn HistogramMechanism> = Box::new(Echo);
         assert_eq!(boxed.name(), "Echo");
         assert_eq!(boxed.release(&task, &mut rng).counts(), &[1.0, 2.0]);
+        assert_eq!(boxed.guarantee().epsilon(), 1.0);
 
         let arced: std::sync::Arc<dyn HistogramMechanism> = std::sync::Arc::new(Echo);
         assert_eq!(arced.name(), "Echo");
-        assert!(!arced.is_differentially_private());
+        assert!(!arced.guarantee().is_differentially_private());
+        assert_eq!(arced.guarantee().label(), "OSDP");
     }
 }

@@ -32,7 +32,7 @@ pub fn mean_relative_error_with_delta(
     if truth.is_empty() {
         return Err(OsdpError::InvalidInput("MRE of an empty histogram".into()));
     }
-    if !(delta > 0.0) {
+    if delta <= 0.0 || delta.is_nan() {
         return Err(OsdpError::InvalidInput(format!("MRE delta must be positive, got {delta}")));
     }
     let d = truth.len() as f64;
@@ -127,9 +127,7 @@ mod tests {
         // with delta=1 the denominator is max(0.5, 1) = 1
         assert!((mean_relative_error(&x, &e).unwrap() - 1.0).abs() < 1e-12);
         // with delta=0.25 the denominator is 0.5
-        assert!(
-            (mean_relative_error_with_delta(&x, &e, 0.25).unwrap() - 2.0).abs() < 1e-12
-        );
+        assert!((mean_relative_error_with_delta(&x, &e, 0.25).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -56,8 +56,7 @@ impl RegretTable {
 
     /// The names of all algorithms that appear on at least one input.
     pub fn algorithms(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.errors.values().flat_map(|m| m.keys().cloned()).collect();
+        let mut names: Vec<String> = self.errors.values().flat_map(|m| m.keys().cloned()).collect();
         names.sort();
         names.dedup();
         names
@@ -65,9 +64,7 @@ impl RegretTable {
 
     /// The optimum (minimum error over the pool) on a given input.
     pub fn optimum(&self, input: &str) -> Option<f64> {
-        self.errors
-            .get(input)
-            .and_then(|m| m.values().copied().min_by(|a, b| a.total_cmp(b)))
+        self.errors.get(input).and_then(|m| m.values().copied().min_by(|a, b| a.total_cmp(b)))
     }
 
     /// The regret of `algorithm` on `input`, if both are recorded.

@@ -29,7 +29,7 @@ pub fn per_bin_relative_error_with_delta(
     if truth.len() != estimate.len() {
         return Err(OsdpError::DimensionMismatch { expected: truth.len(), actual: estimate.len() });
     }
-    if !(delta > 0.0) {
+    if delta <= 0.0 || delta.is_nan() {
         return Err(OsdpError::InvalidInput(format!(
             "relative error delta must be positive, got {delta}"
         )));
@@ -45,11 +45,7 @@ pub fn per_bin_relative_error_with_delta(
 /// The `q`-quantile (via linear interpolation) of the per-bin relative error.
 ///
 /// `relative_error_percentile(x, x̃, REL95)` is the paper's Rel95.
-pub fn relative_error_percentile(
-    truth: &Histogram,
-    estimate: &Histogram,
-    q: f64,
-) -> Result<f64> {
+pub fn relative_error_percentile(truth: &Histogram, estimate: &Histogram, q: f64) -> Result<f64> {
     if !(0.0..=1.0).contains(&q) {
         return Err(OsdpError::InvalidInput(format!("quantile level {q} outside [0,1]")));
     }

@@ -69,8 +69,7 @@ impl ResultTable {
 
     /// All dimension keys appearing in the table, sorted.
     pub fn dimension_keys(&self) -> Vec<String> {
-        let mut keys: Vec<String> =
-            self.rows.iter().flat_map(|r| r.dims.keys().cloned()).collect();
+        let mut keys: Vec<String> = self.rows.iter().flat_map(|r| r.dims.keys().cloned()).collect();
         keys.sort();
         keys.dedup();
         keys
@@ -111,9 +110,7 @@ impl ResultTable {
                 cells.push(row.dims.get(d).cloned().unwrap_or_default());
             }
             for m in &measures {
-                cells.push(
-                    row.measures.get(m).map(|v| format!("{v:.6}")).unwrap_or_default(),
-                );
+                cells.push(row.measures.get(m).map(|v| format!("{v:.6}")).unwrap_or_default());
             }
             body.push(cells);
         }
@@ -138,12 +135,42 @@ impl ResultTable {
         out.push_str(&format!("# {}\n", self.title));
         out.push_str(&render_row(&header));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))),
+        );
         out.push('\n');
         for row in &body {
             out.push_str(&render_row(row));
             out.push('\n');
         }
+        out
+    }
+
+    /// Serialises the table to a JSON object (hand-rolled; the vendored
+    /// `serde` is a marker-only stand-in, see `vendor/serde`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("    {\"dims\": {");
+            let dims: Vec<String> = row
+                .dims
+                .iter()
+                .map(|(k, v)| format!("{}: {}", json_string(k), json_string(v)))
+                .collect();
+            out.push_str(&dims.join(", "));
+            out.push_str("}, \"measures\": {");
+            let measures: Vec<String> = row
+                .measures
+                .iter()
+                .map(|(k, v)| format!("{}: {}", json_string(k), json_number(*v)))
+                .collect();
+            out.push_str(&measures.join(", "));
+            out.push_str("}}");
+            out.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n}");
         out
     }
 
@@ -168,6 +195,37 @@ impl ResultTable {
             out.push_str(&format!("| {} |\n", cells.join(" | ")));
         }
         out
+    }
+}
+
+/// Escapes a string as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Ensure integral floats stay valid JSON numbers (they do: `42`).
+        s
+    } else {
+        "null".to_string()
     }
 }
 

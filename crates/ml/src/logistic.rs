@@ -223,12 +223,9 @@ mod tests {
             &TrainConfig { l2: 1e-4, ..TrainConfig::default() },
         )
         .unwrap();
-        let strong = LogisticRegression::train(
-            &xs,
-            &ys,
-            &TrainConfig { l2: 1.0, ..TrainConfig::default() },
-        )
-        .unwrap();
+        let strong =
+            LogisticRegression::train(&xs, &ys, &TrainConfig { l2: 1.0, ..TrainConfig::default() })
+                .unwrap();
         let norm = |m: &LogisticRegression| m.weights().iter().map(|w| w * w).sum::<f64>().sqrt();
         assert!(norm(&strong) < norm(&weak));
     }

@@ -190,16 +190,23 @@ mod tests {
 
     #[test]
     fn tiny_budget_training_is_near_random() {
+        // A single run's AUC is dominated by one random perturbation
+        // direction, so average a handful of runs: the *expected* AUC at a
+        // tiny budget must be visibly degraded vs the separable optimum
+        // (which sits at ~1.0).
         let (xs, ys) = toy(1500, 8);
         let (tx, ty) = toy(600, 9);
         let mut rng = ChaCha12Rng::seed_from_u64(3);
-        let dp =
-            ObjectivePerturbation::new(0.001).unwrap().train(&xs, &ys, &mut rng).unwrap();
-        let scores = dp.predict_proba_all(&tx);
-        let a = auc(&scores, &ty).unwrap();
+        let mut total = 0.0;
+        let runs = 9;
+        for _ in 0..runs {
+            let dp = ObjectivePerturbation::new(0.001).unwrap().train(&xs, &ys, &mut rng).unwrap();
+            total += auc(&dp.predict_proba_all(&tx), &ty).unwrap();
+        }
+        let a = total / runs as f64;
         assert!(
             a < 0.85,
-            "AUC at eps=0.001 should be visibly degraded vs the clean separable optimum, got {a}"
+            "mean AUC at eps=0.001 should be visibly degraded vs the clean separable optimum, got {a}"
         );
     }
 
@@ -213,10 +220,7 @@ mod tests {
         let avg_auc = |eps: f64, rng: &mut ChaCha12Rng| {
             let mut total = 0.0;
             for _ in 0..5 {
-                let model = ObjectivePerturbation::new(eps)
-                    .unwrap()
-                    .train(&xs, &ys, rng)
-                    .unwrap();
+                let model = ObjectivePerturbation::new(eps).unwrap().train(&xs, &ys, rng).unwrap();
                 total += auc(&model.predict_proba_all(&tx), &ty).unwrap();
             }
             total / 5.0

@@ -71,8 +71,7 @@ pub fn auc(scores: &[f64], labels: &[bool]) -> Result<f64> {
         }
         i = j + 1;
     }
-    let positive_rank_sum: f64 =
-        ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(r, _)| r).sum();
+    let positive_rank_sum: f64 = ranks.iter().zip(labels).filter(|(_, &l)| l).map(|(r, _)| r).sum();
     let p = positives as f64;
     let n = negatives as f64;
     let u = positive_rank_sum - p * (p + 1.0) / 2.0;
@@ -157,10 +156,7 @@ mod tests {
         let scores = [0.9, 0.8, 0.7, 0.55, 0.4, 0.2, 0.15, 0.05];
         let labels = [true, false, true, true, false, true, false, false];
         let curve = roc_curve(&scores, &labels).unwrap();
-        let area: f64 = curve
-            .windows(2)
-            .map(|w| (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0)
-            .sum();
+        let area: f64 = curve.windows(2).map(|w| (w[1].0 - w[0].0) * (w[1].1 + w[0].1) / 2.0).sum();
         let direct = auc(&scores, &labels).unwrap();
         assert!((area - direct).abs() < 1e-9, "trapezoid {area} vs rank {direct}");
     }

@@ -47,10 +47,7 @@ impl Standardizer {
 
     /// Transforms a single feature vector.
     pub fn transform(&self, row: &[f64]) -> Vec<f64> {
-        row.iter()
-            .zip(self.means.iter().zip(&self.stds))
-            .map(|(v, (m, s))| (v - m) / s)
-            .collect()
+        row.iter().zip(self.means.iter().zip(&self.stds)).map(|(v, (m, s))| (v - m) / s).collect()
     }
 
     /// Transforms a whole matrix.

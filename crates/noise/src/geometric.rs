@@ -120,8 +120,7 @@ mod tests {
         let n = 200_000;
         let samples: Vec<i64> = (0..n).map(|_| d.sample(&mut rng)).collect();
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var =
-            samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var - d.variance()).abs() < 0.1, "var {var} vs {}", d.variance());
     }

@@ -163,8 +163,7 @@ mod tests {
         let d = Laplace::centered(1.0).unwrap();
         let mut rng = ChaCha12Rng::seed_from_u64(11);
         let n = 100_000;
-        let below_zero =
-            (0..n).filter(|_| d.sample(&mut rng) < 0.0).count() as f64 / n as f64;
+        let below_zero = (0..n).filter(|_| d.sample(&mut rng) < 0.0).count() as f64 / n as f64;
         assert!((below_zero - 0.5).abs() < 0.01, "median should be 0, got fraction {below_zero}");
     }
 

@@ -74,8 +74,10 @@ mod tests {
     #[test]
     fn same_labels_give_same_streams() {
         let s = SeedSequence::new(7);
-        let a: Vec<u64> = (0..5).map(|_| 0).scan(s.rng_for("x", 3), |r, _| Some(r.next_u64())).collect();
-        let b: Vec<u64> = (0..5).map(|_| 0).scan(s.rng_for("x", 3), |r, _| Some(r.next_u64())).collect();
+        let a: Vec<u64> =
+            (0..5).map(|_| 0).scan(s.rng_for("x", 3), |r, _| Some(r.next_u64())).collect();
+        let b: Vec<u64> =
+            (0..5).map(|_| 0).scan(s.rng_for("x", 3), |r, _| Some(r.next_u64())).collect();
         assert_eq!(a, b);
     }
 

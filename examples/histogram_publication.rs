@@ -23,42 +23,54 @@ fn main() {
         full.sparsity()
     );
 
-    let pool: Vec<Box<dyn HistogramMechanism>> = vec![
-        Box::new(OsdpRrHistogram::new(epsilon).unwrap()),
-        Box::new(OsdpLaplace::new(epsilon).unwrap()),
-        Box::new(OsdpLaplaceL1::new(epsilon).unwrap()),
-        Box::new(Dawaz::new(epsilon).unwrap()),
-        Box::new(DpLaplaceHistogram::new(epsilon).unwrap()),
-        Box::new(DawaHistogram::new(epsilon).unwrap()),
-    ];
+    // The Section 6.3.3 pool (4 OSDP + 2 DP algorithms), resolved by name
+    // through the MechanismSpec registry.
+    let pool = pool_from_names(
+        &["OsdpRR", "OsdpLaplace", "OsdpLaplaceL1", "DAWAz", "Laplace", "DAWA"],
+        epsilon,
+    )
+    .expect("registry pool");
 
     for kind in [PolicyKind::Close, PolicyKind::Far] {
         for rho in [0.9, 0.5] {
             let policy = sample_policy(kind, &full, rho, &mut rng).expect("valid parameters");
-            let task = HistogramTask::new(full.clone(), policy.non_sensitive)
+            let achieved = policy.non_sensitive.total() / full.total();
+            // One audited session per sampled policy; every mechanism
+            // releases against the session-held (x, x_ns) pair.
+            let session = histogram_session(full.clone(), policy.non_sensitive)
+                .policy_label(format!("{}-{rho}", kind.name()))
+                .seed(7 ^ (rho * 100.0) as u64 ^ kind.name().len() as u64)
+                .build()
                 .expect("sampled sub-histogram");
             println!(
                 "\npolicy = {:>5}, non-sensitive ratio = {:.0}% (achieved {:.1}%)",
                 kind.name(),
                 rho * 100.0,
-                100.0 * task.non_sensitive_ratio()
+                100.0 * achieved
             );
-            println!("  {:<16} {:>10} {:>10} {:>10}", "algorithm", "MRE", "Rel50", "Rel95");
+            println!(
+                "  {:<16} {:<5} {:>10} {:>10} {:>10}",
+                "algorithm", "kind", "MRE", "Rel50", "Rel95"
+            );
             for mechanism in &pool {
-                // Average a few runs so the ranking is stable.
+                // Average a few runs so the ranking is stable; the session
+                // runs the trials one per core.
+                let trials = 5;
+                let estimates = session
+                    .release_trials(&SessionQuery::bound(), mechanism, trials)
+                    .expect("uncapped session");
                 let mut mre = 0.0;
                 let mut rel50 = 0.0;
                 let mut rel95 = 0.0;
-                let trials = 5;
-                for _ in 0..trials {
-                    let estimate = mechanism.release(&task, &mut rng);
-                    mre += mean_relative_error(task.full(), &estimate).unwrap();
-                    rel50 += relative_error_percentile(task.full(), &estimate, REL50).unwrap();
-                    rel95 += relative_error_percentile(task.full(), &estimate, REL95).unwrap();
+                for estimate in &estimates {
+                    mre += mean_relative_error(&full, estimate).unwrap();
+                    rel50 += relative_error_percentile(&full, estimate, REL50).unwrap();
+                    rel95 += relative_error_percentile(&full, estimate, REL95).unwrap();
                 }
                 println!(
-                    "  {:<16} {:>10.4} {:>10.4} {:>10.4}",
+                    "  {:<16} {:<5} {:>10.4} {:>10.4} {:>10.4}",
                     mechanism.name(),
+                    mechanism.guarantee().label(),
                     mre / trials as f64,
                     rel50 / trials as f64,
                     rel95 / trials as f64

@@ -1,15 +1,13 @@
-//! Quickstart: define a policy, release true records with `OsdpRR`, answer a
-//! histogram query with one-sided noise, and keep the budget accounted.
+//! Quickstart: open an `OsdpSession` — the audited front door that binds
+//! database, policy and budget — then release true records with `OsdpRR`,
+//! answer a histogram query with one-sided noise, and let the session refuse
+//! anything the budget cannot cover.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use osdp::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 
 fn main() {
-    let mut rng = ChaCha12Rng::seed_from_u64(2024);
-
     // ------------------------------------------------------------------
     // 1. A database in which some records are sensitive by policy.
     //    Here: people who opted out of data sharing, plus all minors.
@@ -26,9 +24,7 @@ fn main() {
 
     let minors = AttributePolicy::sensitive_when("age", |v| v.as_int().unwrap_or(0) <= 17);
     let opt_outs = AttributePolicy::opt_in("opt_in");
-    // A record is protected if *either* policy marks it sensitive, i.e. it is
-    // non-sensitive only when both agree it is — the minimum relaxation is the
-    // policy under which a composed release is accounted.
+    // A record is protected if *either* policy marks it sensitive.
     let policy = ClosurePolicy::new("minors-or-opt-outs", move |r: &Record| {
         minors.is_sensitive(r) || opt_outs.is_sensitive(r)
     });
@@ -36,56 +32,70 @@ fn main() {
     println!("database size          : {}", db.len());
     println!("sensitive records      : {}", db.count_sensitive(&policy));
     println!("non-sensitive records  : {}", db.count_non_sensitive(&policy));
+    let non_sensitive = db.count_non_sensitive(&policy);
 
     // ------------------------------------------------------------------
-    // 2. Release TRUE records with OsdpRR under (P, 1.0)-OSDP.
+    // 2. Open the session: database + policy + a 2.0 budget cap. Every
+    //    release below debits this budget *before* sampling and lands in
+    //    the audit log.
     // ------------------------------------------------------------------
-    let accountant = BudgetAccountant::with_limit(2.0).expect("valid budget");
+    let session = SessionBuilder::new(db)
+        .policy(policy, "minors-or-opt-outs")
+        .budget(2.0)
+        .seed(2024)
+        .build()
+        .expect("valid session");
+
+    // ------------------------------------------------------------------
+    // 3. Release TRUE records with OsdpRR under (P, 1.0)-OSDP.
+    // ------------------------------------------------------------------
     let rr = OsdpRr::new(1.0).expect("valid epsilon");
-    let sample = rr.release(&db, &policy, &mut rng);
-    accountant
-        .spend("OsdpRR", "minors-or-opt-outs", rr.epsilon(), PrivacyGuarantee::OneSided)
-        .expect("within budget");
+    let sample = session.release_records(&rr).expect("within budget");
     println!(
         "\nOsdpRR released {} true records ({:.1}% of the non-sensitive ones; expected {:.1}%)",
         sample.len(),
-        100.0 * sample.len() as f64 / db.count_non_sensitive(&policy) as f64,
+        100.0 * sample.len() as f64 / non_sensitive as f64,
         100.0 * rr.keep_probability(),
     );
 
     // ------------------------------------------------------------------
-    // 3. Answer a 16-bin histogram query (count per zone) with one-sided
-    //    Laplace noise on the non-sensitive records.
+    // 4. Answer a 16-bin histogram query (count per zone) with one-sided
+    //    Laplace noise. The session derives x and x_ns from the bound
+    //    policy — callers never assemble the task by hand.
     // ------------------------------------------------------------------
-    let full = db.histogram_by(16, |r| r.categorical("zone").ok().map(|z| z as usize));
-    let non_sensitive = db
-        .non_sensitive_subset(&policy)
-        .histogram_by(16, |r| r.categorical("zone").ok().map(|z| z as usize));
-    let task = HistogramTask::new(full.clone(), non_sensitive).expect("x_ns is a sub-histogram");
-
+    let zones = SessionQuery::count_by("zone-histogram", 16, |r: &Record| {
+        r.categorical("zone").ok().map(|z| z as usize)
+    });
     let one_sided = OsdpLaplaceL1::new(1.0).expect("valid epsilon");
-    let estimate = one_sided.release(&task, &mut rng);
-    accountant
-        .spend("OsdpLaplaceL1", "minors-or-opt-outs", 1.0, PrivacyGuarantee::OneSided)
-        .expect("within budget");
-
-    let dp_baseline = DpLaplaceHistogram::new(1.0).expect("valid epsilon");
-    let dp_estimate = dp_baseline.release(&task, &mut rng);
-
-    println!("\nzone histogram (first 8 bins):");
-    println!("  true        : {:?}", &full.counts()[..8].iter().map(|c| *c as i64).collect::<Vec<_>>());
-    println!("  OSDP        : {:?}", &estimate.counts()[..8].iter().map(|c| c.round() as i64).collect::<Vec<_>>());
-    println!("  DP Laplace  : {:?}", &dp_estimate.counts()[..8].iter().map(|c| c.round() as i64).collect::<Vec<_>>());
+    let release = session.release(&zones, &one_sided).expect("within budget");
     println!(
-        "  MRE: OSDP = {:.4}, DP = {:.4}",
-        mean_relative_error(&full, &estimate).unwrap(),
-        mean_relative_error(&full, &dp_estimate).unwrap(),
+        "\nzone histogram (first 8 bins, {}):",
+        release.guarantee // e.g. "(P, 1)-OSDP"
+    );
+    println!(
+        "  OSDP estimate : {:?}",
+        &release.estimate.counts()[..8].iter().map(|c| c.round() as i64).collect::<Vec<_>>()
     );
 
     // ------------------------------------------------------------------
-    // 4. The accountant has tracked the composition (Theorem 3.3).
+    // 5. The budget is exhausted: the session REFUSES the next release.
+    //    Nothing is sampled, nothing can leak.
     // ------------------------------------------------------------------
-    let (total, policies) = accountant.composed_guarantee();
+    let refused = session.release(&zones, &one_sided);
+    println!("\nthird release: {refused:?}");
+    assert!(matches!(refused, Err(OsdpError::BudgetExhausted { .. })));
+
+    // ------------------------------------------------------------------
+    // 6. The audit trail: composition (Theorem 3.3) + the attack-side
+    //    verifier agree the session upheld its contract.
+    // ------------------------------------------------------------------
+    let (total, policies) = session.composed_guarantee();
     println!("\ntotal budget spent: {total} under the minimum relaxation of {policies:?}");
-    println!("remaining         : {:?}", accountant.remaining());
+    println!("remaining         : {:?}", session.remaining_budget());
+    let verdict = osdp::attack::verify_ledger(&session.audit_ledger(), Some(2.0));
+    println!(
+        "audit verdict     : within_limit = {}, exclusion-attack surface = {:?}",
+        verdict.within_limit, verdict.pdp_entries
+    );
+    println!("\naudit log:\n{}", session.audit_json());
 }

@@ -10,9 +10,7 @@
 //!
 //! Run with: `cargo run --release --example smart_building_release`
 
-use osdp::data::tippers::{
-    generate_dataset, policy_for_ratio, NgramCounts, TippersConfig,
-};
+use osdp::data::tippers::{generate_dataset, policy_for_ratio, NgramCounts, TippersConfig};
 use osdp::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -53,15 +51,26 @@ fn main() {
         "\ntruthful release of non-sensitive data: exclusion-attack exponent phi = {phi_truthful} (unbounded!)"
     );
 
-    // OsdpRR instead releases a true sample under (P, eps)-OSDP.
+    // OsdpRR instead releases a true sample under (P, eps)-OSDP, through an
+    // audited session that binds the trajectory database to the AP policy
+    // and enforces the building's release budget.
     let epsilon = 1.0;
+    let db_len = db.len();
+    let session = SessionBuilder::new(db)
+        .policy(policy.clone(), policy.label())
+        .budget(epsilon)
+        .seed(42)
+        .build()
+        .expect("valid session");
     let rr = OsdpRr::new(epsilon).expect("valid epsilon");
-    let released = rr.release(&db, &policy, &mut rng);
+    let released = session.release_records(&rr).expect("within the building budget");
     println!(
         "OsdpRR(eps = {epsilon}) released {} true trajectories ({:.1}% of the database), phi = {epsilon}",
         released.len(),
-        100.0 * released.len() as f64 / db.len() as f64
+        100.0 * released.len() as f64 / db_len as f64
     );
+    // The budget is spent: a second sample is refused outright.
+    assert!(session.release_records(&rr).is_err());
 
     // The released sample supports real analyses: 3-gram mobility statistics.
     let ap_count = dataset.building().ap_count();

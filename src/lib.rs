@@ -20,6 +20,10 @@
 //!
 //! * [`core`](osdp_core) — policies, records, databases, neighbors,
 //!   histograms, budget accounting.
+//! * [`engine`](osdp_engine) — **the audited front door**: `OsdpSession`
+//!   binds database + policy + budget, derives every histogram task from the
+//!   bound policy, debits the accountant *before* sampling, logs every
+//!   release, and batch-releases trials one-per-core.
 //! * [`noise`](osdp_noise) — Laplace, one-sided Laplace, exponential,
 //!   geometric samplers.
 //! * [`mechanisms`](osdp_mechanisms) — `OsdpRR`, `OsdpLaplace`,
@@ -39,9 +43,13 @@
 //!
 //! ## Quickstart
 //!
+//! Everything is released through an [`OsdpSession`](osdp_engine::OsdpSession)
+//! — the audited path that binds database, policy and budget, derives `x_ns`
+//! from the bound policy, debits the accountant **before** sampling, and
+//! refuses releases the budget cannot cover:
+//!
 //! ```
 //! use osdp::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! // A database in which records of minors are sensitive.
 //! let db: Database = (0..1000)
@@ -49,13 +57,35 @@
 //!     .collect();
 //! let policy = AttributePolicy::sensitive_when("age", |v| v.as_int().unwrap_or(0) <= 17);
 //!
-//! // Release a true sample of the non-sensitive records under (P, 1.0)-OSDP.
-//! let mechanism = OsdpRr::new(1.0).unwrap();
-//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
-//! let sample = mechanism.release(&db, &policy, &mut rng);
+//! let session = SessionBuilder::new(db)
+//!     .policy(policy, "minors")
+//!     .budget(2.0)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
 //!
+//! // Release a true sample of the non-sensitive records under (P, 1.0)-OSDP.
+//! let sample = session.release_records(&OsdpRr::new(1.0).unwrap()).unwrap();
 //! assert!(sample.iter().all(|r| r.int("age").unwrap() > 17));
 //! assert!(!sample.is_empty());
+//!
+//! // Answer a histogram query with one-sided noise; the session derives the
+//! // task from the bound policy.
+//! let ages = SessionQuery::count_by("age-decades", 6, |r: &Record| {
+//!     r.int("age").ok().map(|a| ((a - 10) / 10) as usize)
+//! });
+//! let release = session.release(&ages, &OsdpLaplaceL1::new(1.0).unwrap()).unwrap();
+//! assert_eq!(release.estimate.len(), 6);
+//!
+//! // The 2.0 budget is now spent: further releases are refused up front.
+//! assert!(matches!(
+//!     session.release(&ages, &OsdpLaplaceL1::new(1.0).unwrap()),
+//!     Err(OsdpError::BudgetExhausted { .. })
+//! ));
+//!
+//! // ...and the audit ledger verifies against the composition theorems.
+//! let verdict = osdp::attack::verify_ledger(&session.audit_ledger(), Some(2.0));
+//! assert!(verdict.upholds_osdp());
 //! ```
 
 #![deny(missing_docs)]
@@ -65,6 +95,7 @@ pub use osdp_attack as attack;
 pub use osdp_core as core;
 pub use osdp_data as data;
 pub use osdp_dawa as dawa;
+pub use osdp_engine as engine;
 pub use osdp_experiments as experiments;
 pub use osdp_mechanisms as mechanisms;
 pub use osdp_metrics as metrics;
@@ -74,12 +105,19 @@ pub use osdp_noise as noise;
 /// The most commonly used items, re-exported flat for convenience.
 pub mod prelude {
     pub use osdp_core::{
-        budget::{BudgetAccountant, PrivacyBudget, PrivacyGuarantee},
-        policy::{AllSensitive, AttributePolicy, ClosurePolicy, MinimumRelaxation, NoneSensitive, Policy, Sensitivity},
+        budget::{BudgetAccountant, Guarantee, PrivacyBudget, PrivacyGuarantee},
+        policy::{
+            AllSensitive, AttributePolicy, ClosurePolicy, MinimumRelaxation, NoneSensitive, Policy,
+            Sensitivity,
+        },
         Database, Histogram, Histogram2D, OsdpError, Record, SparseHistogram, Value,
     };
+    pub use osdp_engine::{
+        histogram_session, pool_from_names, pool_from_specs, AuditLog, AuditRecord, MechanismSpec,
+        OsdpSession, Release, SessionBuilder, SessionQuery,
+    };
     pub use osdp_mechanisms::{
-        Dawaz, DawaHistogram, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,
+        DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,
         OsdpLaplace, OsdpLaplaceL1, OsdpRr, OsdpRrHistogram, Suppress, TruncatedNgramLaplace,
     };
     pub use osdp_metrics::{

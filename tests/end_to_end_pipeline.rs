@@ -2,7 +2,9 @@
 //! metrics and experiment runners.
 
 use osdp::data::sampling::{sample_policy, PolicyKind};
-use osdp::data::tippers::{generate_dataset, policy_for_ratio, FeatureExtractor, LabeledDataset, TippersConfig};
+use osdp::data::tippers::{
+    generate_dataset, policy_for_ratio, FeatureExtractor, LabeledDataset, TippersConfig,
+};
 use osdp::data::BenchmarkDataset;
 use osdp::experiments::{table1, ExperimentConfig};
 use osdp::ml::{auc, LogisticRegression, Standardizer, TrainConfig};
@@ -15,26 +17,32 @@ fn dpbench_policy_mechanism_metric_pipeline() {
     let mut rng = ChaCha12Rng::seed_from_u64(11);
     let full = BenchmarkDataset::Medcost.generate(&mut rng);
     let policy = sample_policy(PolicyKind::Close, &full, 0.9, &mut rng).unwrap();
-    let task = HistogramTask::new(full.clone(), policy.non_sensitive).unwrap();
-    assert!((task.non_sensitive_ratio() - 0.9).abs() < 0.02);
 
     let eps = 1.0;
-    let pool: Vec<Box<dyn HistogramMechanism>> = vec![
-        Box::new(OsdpLaplaceL1::new(eps).unwrap()),
-        Box::new(Dawaz::new(eps).unwrap()),
-        Box::new(DpLaplaceHistogram::new(eps).unwrap()),
-        Box::new(DawaHistogram::new(eps).unwrap()),
-    ];
+    let session = histogram_session(full.clone(), policy.non_sensitive)
+        .policy_label("Close-0.9")
+        .seed(11)
+        .build()
+        .unwrap();
+    let task = session.derive_task(&SessionQuery::bound()).unwrap();
+    assert!((task.non_sensitive_ratio() - 0.9).abs() < 0.02);
+
+    let pool = pool_from_names(&["OsdpLaplaceL1", "DAWAz", "Laplace", "DAWA"], eps).unwrap();
     let mut regrets = RegretTable::new();
     for mechanism in &pool {
+        let estimates = session.release_trials(&SessionQuery::bound(), mechanism, 3).unwrap();
         let mut error = 0.0;
-        for _ in 0..3 {
-            let estimate = mechanism.release(&task, &mut rng);
+        for estimate in &estimates {
             assert_eq!(estimate.len(), task.bins());
-            error += mean_relative_error(task.full(), &estimate).unwrap();
+            error += mean_relative_error(&full, estimate).unwrap();
         }
         regrets.record("medcost/close/0.9", mechanism.name(), error / 3.0);
     }
+    // The session audited one batch per mechanism, 3 trials each, all OSDP
+    // or DP — the ledger verifies under the composition theorems.
+    let verdict = osdp::attack::verify_ledger(&session.audit_ledger(), None);
+    assert!((verdict.total_epsilon - 4.0 * 3.0 * eps).abs() < 1e-9);
+    assert!(verdict.upholds_osdp());
     // Every algorithm has a regret >= 1 and at least one achieves exactly 1.
     let averages = regrets.average_regrets();
     assert_eq!(averages.len(), 4);
@@ -56,10 +64,12 @@ fn tippers_classification_pipeline_learns_residents() {
     let dataset = generate_dataset(&TippersConfig::small(), &mut rng);
     let policy = policy_for_ratio(&dataset, 0.75);
 
-    // Release a true sample under OSDP and train on it.
+    // Release a true sample under OSDP — through an audited session — and
+    // train on it.
     let db: Database<_> = dataset.trajectories().to_vec().into_iter().collect();
-    let rr = OsdpRr::new(1.0).unwrap();
-    let released = rr.release(&db, &policy, &mut rng);
+    let session =
+        SessionBuilder::new(db).policy(policy.clone(), policy.label()).seed(12).build().unwrap();
+    let released = session.release_records(&OsdpRr::new(1.0).unwrap()).unwrap();
     assert!(!released.is_empty());
 
     let extractor = FeatureExtractor::fit(dataset.trajectories(), 64, 10);
@@ -97,26 +107,30 @@ fn experiment_runner_is_deterministic_for_a_fixed_seed() {
 }
 
 #[test]
-fn budget_accountant_guards_a_full_release_workflow() {
+fn session_budget_guards_a_full_release_workflow() {
     let mut rng = ChaCha12Rng::seed_from_u64(13);
-    let accountant = BudgetAccountant::with_limit(1.0).unwrap();
     let full = BenchmarkDataset::Adult.generate(&mut rng);
+    let bins = full.len();
     let policy = sample_policy(PolicyKind::Close, &full, 0.5, &mut rng).unwrap();
-    let task = HistogramTask::new(full, policy.non_sensitive).unwrap();
-
-    // Spend 0.1 on zero detection, 0.9 on DAWA — a DAWAz-style split.
-    accountant.spend("zero detection", "Close-0.5", 0.1, PrivacyGuarantee::OneSided).unwrap();
-    accountant
-        .spend("DAWA", "Pall", 0.9, PrivacyGuarantee::DifferentialPrivacy)
+    let session = histogram_session(full, policy.non_sensitive)
+        .policy_label("Close-0.5")
+        .budget(1.0)
+        .seed(13)
+        .build()
         .unwrap();
-    assert!(accountant.remaining().unwrap() < 1e-9);
-    // Attempting to release anything more is rejected.
-    assert!(accountant
-        .spend("OsdpRR", "Close-0.5", 0.05, PrivacyGuarantee::OneSided)
-        .is_err());
 
-    // The mechanism with exactly that split still runs fine.
+    // A DAWAz release with the 0.1/0.9 split spends exactly the budget...
     let dawaz = Dawaz::with_rho(1.0, 0.1).unwrap();
-    let estimate = dawaz.release(&task, &mut rng);
-    assert_eq!(estimate.len(), task.bins());
+    let release = session.release(&SessionQuery::bound(), &dawaz).unwrap();
+    assert_eq!(release.estimate.len(), bins);
+    assert!(session.remaining_budget().unwrap() < 1e-9);
+
+    // ...and any further release is refused before sampling.
+    let err = session.release(&SessionQuery::bound(), &OsdpLaplaceL1::new(0.05).unwrap());
+    assert!(matches!(err, Err(OsdpError::BudgetExhausted { .. })));
+    assert_eq!(session.audit_records().len(), 1, "the refused release is not logged");
+
+    // The attack-side verifier agrees the ledger respected its cap.
+    let verdict = osdp::attack::verify_ledger(&session.audit_ledger(), Some(1.0));
+    assert!(verdict.upholds_osdp());
 }

@@ -108,9 +108,7 @@ fn composition_of_osdp_mechanisms_is_tracked_with_minimum_relaxation() {
     let (eps, policies) = accountant.composed_guarantee();
     assert!((eps - 1.0).abs() < 1e-12);
     assert_eq!(policies, vec!["P_minors".to_string(), "P_optout".to_string()]);
-    assert!(accountant
-        .spend("extra", "P_minors", 0.2, PrivacyGuarantee::OneSided)
-        .is_err());
+    assert!(accountant.spend("extra", "P_minors", 0.2, PrivacyGuarantee::OneSided).is_err());
 
     // The actual minimum-relaxation policy object behaves as Definition 3.6
     // dictates.
@@ -144,8 +142,15 @@ fn exclusion_attack_ordering_matches_the_paper() {
 fn dp_mechanisms_ignore_the_policy_split_and_osdp_mechanisms_use_it() {
     let mut rng = ChaCha12Rng::seed_from_u64(5);
     let full = Histogram::from_counts(vec![40.0, 10.0, 0.0, 25.0]);
-    let all_ns = HistogramTask::all_non_sensitive(full.clone());
-    let all_sens = HistogramTask::all_sensitive(full);
+    let derive = |non_sensitive: Histogram| {
+        histogram_session(full.clone(), non_sensitive)
+            .build()
+            .unwrap()
+            .derive_task(&SessionQuery::bound())
+            .unwrap()
+    };
+    let all_ns = derive(full.clone());
+    let all_sens = derive(Histogram::zeros(full.len()));
 
     // Identical seeds: the DP Laplace release must not change with the policy.
     let dp = DpLaplaceHistogram::new(1.0).unwrap();

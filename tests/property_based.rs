@@ -26,10 +26,11 @@ proptest! {
     fn osdp_laplace_l1_output_is_non_negative_and_preserves_zero_bins(
         (full, ns) in task_strategy(), seed in 0u64..1000, eps in 0.05f64..4.0
     ) {
-        let task = HistogramTask::new(
-            Histogram::from_counts(full),
-            Histogram::from_counts(ns.clone()),
-        ).unwrap();
+        let task = histogram_session(Histogram::from_counts(full), Histogram::from_counts(ns.clone()))
+            .build()
+            .unwrap()
+            .derive_task(&SessionQuery::bound())
+            .unwrap();
         let mechanism = OsdpLaplaceL1::new(eps).unwrap();
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let estimate = mechanism.release(&task, &mut rng);
@@ -46,10 +47,11 @@ proptest! {
     fn osdp_laplace_never_exceeds_the_non_sensitive_counts(
         (full, ns) in task_strategy(), seed in 0u64..1000
     ) {
-        let task = HistogramTask::new(
-            Histogram::from_counts(full),
-            Histogram::from_counts(ns),
-        ).unwrap();
+        let task = histogram_session(Histogram::from_counts(full), Histogram::from_counts(ns))
+            .build()
+            .unwrap()
+            .derive_task(&SessionQuery::bound())
+            .unwrap();
         let mechanism = OsdpLaplace::new(1.0).unwrap();
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let estimate = mechanism.release(&task, &mut rng);
@@ -60,10 +62,11 @@ proptest! {
     fn osdp_rr_histogram_is_a_sub_histogram_of_the_non_sensitive_part(
         (full, ns) in task_strategy(), seed in 0u64..1000, eps in 0.05f64..4.0
     ) {
-        let task = HistogramTask::new(
-            Histogram::from_counts(full),
-            Histogram::from_counts(ns),
-        ).unwrap();
+        let task = histogram_session(Histogram::from_counts(full), Histogram::from_counts(ns))
+            .build()
+            .unwrap()
+            .derive_task(&SessionQuery::bound())
+            .unwrap();
         let mechanism = OsdpRrHistogram::new(eps).unwrap();
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let estimate = mechanism.release(&task, &mut rng);
@@ -74,7 +77,11 @@ proptest! {
     #[test]
     fn dawaz_zeroes_every_truly_empty_bin(counts in histogram_strategy(), seed in 0u64..1000) {
         let full = Histogram::from_counts(counts.clone());
-        let task = HistogramTask::all_non_sensitive(full);
+        let task = histogram_session(full.clone(), full)
+            .build()
+            .unwrap()
+            .derive_task(&SessionQuery::bound())
+            .unwrap();
         let mechanism = Dawaz::new(1.0).unwrap();
         let mut rng = ChaCha12Rng::seed_from_u64(seed);
         let estimate = mechanism.release(&task, &mut rng);

@@ -1,0 +1,280 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmarking harness exposing the criterion API shape
+//! used by the workspace benches: `Criterion` with
+//! `sample_size`/`warm_up_time`/`measurement_time`, `bench_function`,
+//! `benchmark_group` + `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros. Results
+//! (mean iteration time over the measurement window) are printed to stdout in
+//! a `name ... time: <mean>` format.
+
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Returns the argument, opaque to the optimiser.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// No-op for CLI compatibility with the real crate.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher::new(
+            self.criterion.sample_size,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+        );
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher::new(
+            self.criterion.sample_size,
+            self.criterion.warm_up,
+            self.criterion.measurement,
+        );
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (mirror of `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self(s)
+    }
+}
+
+/// Times closures (mirror of `criterion::Bencher`).
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up: Duration, measurement: Duration) -> Self {
+        Self { sample_size, warm_up, measurement, mean_ns: None, iters: 0 }
+    }
+
+    /// Times `f`, storing the mean wall-clock nanoseconds per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size the samples so the measurement window is roughly respected.
+        let budget = self.measurement.as_secs_f64();
+        let total_iters = ((budget / per_iter.max(1e-9)) as u64).max(self.sample_size as u64);
+        let iters_per_sample = (total_iters / self.sample_size as u64).max(1);
+
+        let mut total = Duration::ZERO;
+        let mut timed_iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            total += start.elapsed();
+            timed_iters += iters_per_sample;
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / timed_iters as f64);
+        self.iters = timed_iters;
+    }
+
+    /// Times `f` with per-batch setup, like `criterion::Bencher::iter_batched`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut f: F,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        let mut timed_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(f(setup()));
+        }
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(f(input));
+            total += start.elapsed();
+            timed_iters += 1;
+        }
+        self.mean_ns = Some(total.as_nanos() as f64 / timed_iters as f64);
+        self.iters = timed_iters;
+    }
+
+    fn report(&self, name: &str) {
+        match self.mean_ns {
+            Some(ns) => println!("{name:<60} time: {:>12} ({} iters)", format_ns(ns), self.iters),
+            None => println!("{name:<60} time: <no measurement>"),
+        }
+    }
+}
+
+/// Batch sizing hint (accepted for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// Inputs of one element.
+    PerIteration,
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions (mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` (mirror of criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,315 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: range and tuple [`Strategy`]s, `prop_map`, `prop::collection::vec`,
+//! `Just`, the [`proptest!`] macro with optional
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`, and
+//! `prop_assert!`/`prop_assert_eq!`. Unlike the real crate there is no input
+//! shrinking — failing cases report the generated inputs via the panic
+//! message instead — which keeps the vendored dependency tiny while
+//! preserving the tests' coverage.
+
+#![allow(clippy::all)]
+
+/// Re-exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    /// Mirror of `proptest::prelude::prop` (the crate itself).
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestRng,
+    };
+}
+
+/// Mirror of `proptest::collection`.
+pub mod collection {
+    use crate::{SizeRange, Strategy, TestRng};
+
+    /// Strategy for vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-runner configuration (mirror of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The deterministic RNG driving value generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Derives a deterministic generator from a label (the test name).
+    pub fn deterministic(label: &str) -> Self {
+        let mut state = 0xcbf2_9ce4_8422_2325u64;
+        for b in label.as_bytes() {
+            state ^= u64::from(*b);
+            state = state.wrapping_mul(0x1000_0000_01b3);
+        }
+        Self { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A generation strategy for one input of a property.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    let span = (end as i128 - start as i128 + 1) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (start as i128 + v as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty strategy range");
+                    start + (rng.unit_f64() as $t) * (end - start)
+                }
+            }
+        )*
+    };
+}
+
+float_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+
+/// The size specification accepted by [`collection::vec`].
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let span = (self.max_exclusive - self.min).max(1);
+        self.min + (rng.next_u64() as usize) % span
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { min: n, max_exclusive: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self { min: r.start, max_exclusive: r.end }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        Self { min: *r.start(), max_exclusive: *r.end() + 1 }
+    }
+}
+
+/// Defines property tests (mirror of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property (mirror of `prop_assert!`; panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality (mirror of `prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality (mirror of `prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..10, y in 0.0f64..=1.0, (a, b) in (0u64..5, 1i64..4)) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+            prop_assert!(a < 5 && (1..4).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec(0u32..100, 1..16).prop_map(|v| v.len())) {
+            prop_assert!((1..16).contains(&v));
+        }
+    }
+}

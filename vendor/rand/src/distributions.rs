@@ -1,0 +1,108 @@
+//! The `rand::distributions` subset: [`Distribution`] and [`Standard`].
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T` (mirror of
+/// `rand::distributions::Distribution`).
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+
+    /// Draws an infinite iterator of samples.
+    fn sample_iter<R>(self, rng: R) -> DistIter<Self, R, T>
+    where
+        Self: Sized,
+        R: RngCore,
+    {
+        DistIter { distr: self, rng, _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Iterator over samples, returned by [`Distribution::sample_iter`].
+pub struct DistIter<D, R, T> {
+    distr: D,
+    rng: R,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        Some(self.distr.sample(&mut self.rng))
+    }
+}
+
+/// The "natural" uniform distribution of a type: uniform bits for integers,
+/// uniform `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        crate::unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $m:ident),*) => {
+        $(
+            impl Distribution<$t> for Standard {
+                fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$m() as $t
+                }
+            }
+        )*
+    };
+}
+
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32, i64 => next_u64,
+    isize => next_u64);
+
+/// Uniform distribution over a range (mirror of
+/// `rand::distributions::Uniform`; `new` is half-open, `new_inclusive`
+/// includes the upper bound).
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: Copy + PartialOrd> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new requires low < high");
+        Self { low, high, inclusive: false }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        assert!(low <= high, "Uniform::new_inclusive requires low <= high");
+        Self { low, high, inclusive: true }
+    }
+}
+
+impl<T: crate::SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_uniform(self.low, self.high, self.inclusive, rng)
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crates.io registry is unreachable in this build environment, so
+//! the workspace vendors a minimal derive that emits **marker** impls of the
+//! vendored `serde::Serialize` / `serde::Deserialize` traits. The derives are
+//! hand-rolled on top of `proc_macro` (no `syn`/`quote`) and support structs
+//! and enums with lifetimes, type parameters (including defaults and bounds)
+//! and const generics — everything the OSDP workspace derives on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, Trait::Serialize)
+}
+
+/// Derives the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, Trait::Deserialize)
+}
+
+enum Trait {
+    Serialize,
+    Deserialize,
+}
+
+/// One parsed generic parameter of the deriving type.
+struct Param {
+    /// The parameter as usable in `impl<...>`: bounds kept, default stripped.
+    decl: String,
+    /// The bare name as usable in `Type<...>` (`'a`, `T`, `N`).
+    name: String,
+}
+
+fn derive_marker(input: TokenStream, which: Trait) -> TokenStream {
+    let (name, params) = parse_type_header(input);
+    let impl_params: Vec<&str> = params.iter().map(|p| p.decl.as_str()).collect();
+    let type_args: Vec<&str> = params.iter().map(|p| p.name.as_str()).collect();
+    let type_for = if type_args.is_empty() {
+        name.clone()
+    } else {
+        format!("{}<{}>", name, type_args.join(", "))
+    };
+    let output = match which {
+        Trait::Serialize => {
+            let generics = if impl_params.is_empty() {
+                String::new()
+            } else {
+                format!("<{}>", impl_params.join(", "))
+            };
+            format!("impl{generics} ::serde::Serialize for {type_for} {{}}")
+        }
+        Trait::Deserialize => {
+            let mut all = vec!["'de".to_string()];
+            all.extend(impl_params.iter().map(|s| s.to_string()));
+            format!("impl<{}> ::serde::Deserialize<'de> for {type_for} {{}}", all.join(", "))
+        }
+    };
+    output.parse().expect("generated impl must parse")
+}
+
+/// Extracts the type name and generic parameter list from a
+/// `struct`/`enum`/`union` item.
+fn parse_type_header(input: TokenStream) -> (String, Vec<Param>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the struct/enum/union keyword.
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("derive input must be a struct, enum or union");
+
+    // If the next token is `<`, collect the generic parameter tokens.
+    let mut params = Vec::new();
+    let opens_generics = matches!(
+        tokens.peek(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<'
+    );
+    if opens_generics {
+        tokens.next();
+        let mut depth = 1usize;
+        let mut prev_dash = false;
+        let mut current: Vec<TokenTree> = Vec::new();
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if !prev_dash => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        params.push(parse_param(&current));
+                        current.clear();
+                        prev_dash = false;
+                        continue;
+                    }
+                    _ => {}
+                }
+                prev_dash = p.as_char() == '-';
+            } else {
+                prev_dash = false;
+            }
+            current.push(tt);
+        }
+        if !current.is_empty() {
+            params.push(parse_param(&current));
+        }
+    }
+    (name, params)
+}
+
+/// Parses one generic parameter: strips a trailing `= default` and extracts
+/// the bare name (`'a`, `T`, `N`).
+fn parse_param(tokens: &[TokenTree]) -> Param {
+    // Strip the default value: truncate at the first depth-0 `=` that is not
+    // part of a `==`/`>=`/`<=` (which cannot occur at depth 0 here anyway).
+    let mut depth = 0usize;
+    let mut end = tokens.len();
+    for (i, tt) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                '=' if depth == 0 => {
+                    end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let kept = &tokens[..end];
+    let decl = render_tokens(kept);
+
+    // The name: for lifetimes, the leading `'ident`; for `const N: usize`,
+    // the ident after `const`; otherwise the first ident.
+    let mut name = String::new();
+    let mut iter = kept.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                if let Some(TokenTree::Ident(id)) = iter.next() {
+                    name = format!("'{id}");
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = n.to_string();
+                }
+                break;
+            }
+            TokenTree::Ident(id) => {
+                name = id.to_string();
+                break;
+            }
+            _ => {}
+        }
+    }
+    Param { decl, name }
+}
+
+/// Renders tokens back to source, honouring `Joint` punct spacing so that
+/// multi-character tokens like lifetimes (`'a`) and `::` survive round-trips.
+fn render_tokens(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    let mut glue_next = false;
+    for tt in tokens {
+        if !out.is_empty() && !glue_next {
+            out.push(' ');
+        }
+        glue_next = false;
+        match tt {
+            TokenTree::Group(g) => {
+                let inner_tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                let inner = render_tokens(&inner_tokens);
+                match g.delimiter() {
+                    Delimiter::Parenthesis => out.push_str(&format!("({inner})")),
+                    Delimiter::Brace => out.push_str(&format!("{{{inner}}}")),
+                    Delimiter::Bracket => out.push_str(&format!("[{inner}]")),
+                    Delimiter::None => out.push_str(&inner),
+                }
+            }
+            TokenTree::Punct(p) => {
+                out.push(p.as_char());
+                glue_next = p.spacing() == proc_macro::Spacing::Joint;
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+    out
+}
