@@ -6,6 +6,7 @@
 //! records (`osdp_core::Record`), trajectories (in `osdp-data`) and plain
 //! categorical codes can all reuse the same machinery.
 
+use crate::frame::PolicyMask;
 use crate::histogram::Histogram;
 use crate::policy::Policy;
 use serde::{Deserialize, Serialize};
@@ -137,20 +138,59 @@ impl<R> Database<R> {
     }
 
     /// Builds a histogram with `bins` bins by applying `bin_of` to every
-    /// record. Records binned outside `0..bins` are ignored.
-    pub fn histogram_by<F>(&self, bins: usize, mut bin_of: F) -> Histogram
+    /// record. Records binned outside `0..bins` (or mapped to `None`) are
+    /// silently ignored; use [`Database::histogram_by_counted`] when the
+    /// number of dropped records matters.
+    pub fn histogram_by<F>(&self, bins: usize, bin_of: F) -> Histogram
+    where
+        F: FnMut(&R) -> Option<usize>,
+    {
+        self.histogram_by_counted(bins, bin_of).0
+    }
+
+    /// Like [`Database::histogram_by`], but also returns how many records
+    /// were **not** counted — either because `bin_of` mapped them to `None`
+    /// or because their bin fell outside `0..bins`. Loaders surface this
+    /// count so silently truncated domains are visible instead of being
+    /// absorbed into the histogram totals.
+    pub fn histogram_by_counted<F>(&self, bins: usize, mut bin_of: F) -> (Histogram, usize)
     where
         F: FnMut(&R) -> Option<usize>,
     {
         let mut hist = Histogram::zeros(bins);
+        let mut dropped = 0usize;
         for r in &self.records {
-            if let Some(b) = bin_of(r) {
-                if b < bins {
-                    hist.increment(b, 1.0);
-                }
+            match bin_of(r) {
+                Some(b) if b < bins => hist.increment(b, 1.0),
+                _ => dropped += 1,
             }
         }
-        hist
+        (hist, dropped)
+    }
+
+    /// Splits the records into sensitive and non-sensitive **index** lists
+    /// (`D_s`, `D_ns` as positions into [`Database::records`]) without
+    /// cloning a single record. This is what backends cache per policy:
+    /// repeated releases under the same policy reuse the partition instead of
+    /// re-classifying the database.
+    pub fn partition_indices<P: Policy<R> + ?Sized>(&self, policy: &P) -> (Vec<usize>, Vec<usize>) {
+        let mut sensitive = Vec::new();
+        let mut non_sensitive = Vec::new();
+        for (i, r) in self.records.iter().enumerate() {
+            if policy.is_sensitive(r) {
+                sensitive.push(i);
+            } else {
+                non_sensitive.push(i);
+            }
+        }
+        (sensitive, non_sensitive)
+    }
+
+    /// The per-record classification under `policy` as a packed bitmask (bit
+    /// set ⇔ non-sensitive), the row-path analog of a vectorized policy
+    /// evaluation.
+    pub fn policy_mask<P: Policy<R> + ?Sized>(&self, policy: &P) -> PolicyMask {
+        PolicyMask::from_fn(self.records.len(), |i| policy.is_non_sensitive(&self.records[i]))
     }
 }
 
@@ -161,16 +201,11 @@ impl<R: Clone> Database<R> {
         &self,
         policy: &P,
     ) -> (Database<R>, Database<R>) {
-        let mut sensitive = Database::new();
-        let mut non_sensitive = Database::new();
-        for r in &self.records {
-            if policy.is_sensitive(r) {
-                sensitive.push(r.clone());
-            } else {
-                non_sensitive.push(r.clone());
-            }
-        }
-        (sensitive, non_sensitive)
+        let (sensitive, non_sensitive) = self.partition_indices(policy);
+        (
+            sensitive.into_iter().map(|i| self.records[i].clone()).collect(),
+            non_sensitive.into_iter().map(|i| self.records[i].clone()).collect(),
+        )
     }
 
     /// The non-sensitive subset `D_ns = {r ∈ D | P(r) = 1}`.
@@ -291,6 +326,37 @@ mod tests {
         let hist = db.histogram_by(3, |r| r.int("age").ok().map(|a| a as usize));
         assert_eq!(hist.counts(), &[1.0, 2.0, 3.0]); // the `9` falls outside and is ignored
         assert_eq!(hist.total(), 6.0);
+    }
+
+    #[test]
+    fn histogram_by_counted_reports_dropped_records() {
+        let db = age_db(&[0, 1, 1, 2, 2, 2, 9]);
+        let (hist, dropped) = db.histogram_by_counted(3, |r| {
+            r.int("age").ok().and_then(|a| if a == 1 { None } else { Some(a as usize) })
+        });
+        assert_eq!(hist.counts(), &[1.0, 0.0, 3.0]);
+        assert_eq!(dropped, 3, "two filtered to None plus one out of range");
+        let (full, none_dropped) =
+            db.histogram_by_counted(10, |r| r.int("age").ok().map(|a| a as usize));
+        assert_eq!(none_dropped, 0);
+        assert_eq!(full.total(), db.len() as f64);
+    }
+
+    #[test]
+    fn partition_indices_agree_with_the_cloning_partition() {
+        let db = age_db(&[5, 10, 17, 18, 40, 65]);
+        let p = minors();
+        let (sens_idx, nons_idx) = db.partition_indices(&p);
+        assert_eq!(sens_idx, vec![0, 1, 2]);
+        assert_eq!(nons_idx, vec![3, 4, 5]);
+        let (sens, nons) = db.partition_by_policy(&p);
+        let by_index: Vec<_> = sens_idx.iter().map(|&i| db.get(i).unwrap().clone()).collect();
+        assert_eq!(sens.records(), &by_index[..]);
+        assert_eq!(sens.len() + nons.len(), db.len());
+
+        let mask = db.policy_mask(&p);
+        assert_eq!(mask.set_indices(), nons_idx, "mask bit set == non-sensitive");
+        assert_eq!(mask.count_clear(), sens_idx.len());
     }
 
     #[test]

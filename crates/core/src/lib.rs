@@ -29,6 +29,12 @@
 //!   composition (Theorem 3.3) and parallel composition (Theorem 10.2),
 //!   including the policy bookkeeping (minimum relaxation of the composed
 //!   policies).
+//! * [`frame`] — the columnar data plane: [`ColumnarFrame`] snapshots of
+//!   record databases (typed columns, optional row weights), [`PolicyMask`]
+//!   bitmasks, and the compiled, vectorized forms of policies
+//!   ([`CompiledPolicy`]) and bin assignments ([`BinSpec`]) that the
+//!   `osdp-engine` backends evaluate in one pass per column instead of one
+//!   virtual call per record.
 //!
 //! Mechanisms themselves live in the `osdp-mechanisms` crate; this crate is
 //! deliberately free of randomness so that its invariants can be tested
@@ -57,6 +63,7 @@ pub mod budget;
 pub mod database;
 pub mod domain;
 pub mod error;
+pub mod frame;
 pub mod histogram;
 pub mod neighbors;
 pub mod policy;
@@ -68,6 +75,9 @@ pub use budget::{BudgetAccountant, Guarantee, PrivacyBudget, PrivacyGuarantee};
 pub use database::Database;
 pub use domain::{CategoricalDomain, GridDomain};
 pub use error::{OsdpError, Result};
+pub use frame::{
+    BinSpec, Column, ColumnarFrame, CompiledPolicy, FrameBuilder, FrameColumn, PolicyMask,
+};
 pub use histogram::{Histogram, Histogram2D};
 pub use neighbors::{dp_neighbors, extended_one_sided_neighbors, one_sided_neighbors};
 pub use policy::{

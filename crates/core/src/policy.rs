@@ -17,6 +17,7 @@
 //! * helpers to check the relaxation relation (Definition 3.5) over a finite
 //!   domain sample.
 
+use crate::frame::CompiledPolicy;
 use crate::record::Record;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,20 @@ pub trait Policy<R: ?Sized>: Send + Sync {
     fn value(&self, record: &R) -> u8 {
         self.classify(record).as_bit()
     }
+
+    /// The vectorized compilation of this policy over columnar frames, when
+    /// one exists.
+    ///
+    /// Policies that can be expressed as a single-column predicate return a
+    /// [`CompiledPolicy`] whose [`CompiledPolicy::evaluate`] classifies every
+    /// row of a [`crate::frame::ColumnarFrame`] in one pass — the columnar
+    /// backend uses it instead of a virtual `classify` call per record. The
+    /// compiled form **must** agree with [`Policy::classify`] on every record
+    /// (the backends' equivalence rests on it). The default is `None`:
+    /// opaque closures fall back to the row-at-a-time path.
+    fn compiled(&self) -> Option<CompiledPolicy> {
+        None
+    }
 }
 
 // Allow `&P`, `Box<P>` and `Arc<P>` to be used wherever a policy is expected.
@@ -82,17 +97,29 @@ impl<R: ?Sized, P: Policy<R> + ?Sized> Policy<R> for &P {
     fn classify(&self, record: &R) -> Sensitivity {
         (**self).classify(record)
     }
+
+    fn compiled(&self) -> Option<CompiledPolicy> {
+        (**self).compiled()
+    }
 }
 
 impl<R: ?Sized, P: Policy<R> + ?Sized> Policy<R> for Box<P> {
     fn classify(&self, record: &R) -> Sensitivity {
         (**self).classify(record)
     }
+
+    fn compiled(&self) -> Option<CompiledPolicy> {
+        (**self).compiled()
+    }
 }
 
 impl<R: ?Sized, P: Policy<R> + ?Sized> Policy<R> for Arc<P> {
     fn classify(&self, record: &R) -> Sensitivity {
         (**self).classify(record)
+    }
+
+    fn compiled(&self) -> Option<CompiledPolicy> {
+        (**self).compiled()
     }
 }
 
@@ -107,6 +134,10 @@ impl<R: ?Sized> Policy<R> for AllSensitive {
     fn classify(&self, _record: &R) -> Sensitivity {
         Sensitivity::Sensitive
     }
+
+    fn compiled(&self) -> Option<CompiledPolicy> {
+        Some(CompiledPolicy::AllSensitive)
+    }
 }
 
 /// The degenerate policy under which no record is sensitive.
@@ -120,6 +151,10 @@ pub struct NoneSensitive;
 impl<R: ?Sized> Policy<R> for NoneSensitive {
     fn classify(&self, _record: &R) -> Sensitivity {
         Sensitivity::NonSensitive
+    }
+
+    fn compiled(&self) -> Option<CompiledPolicy> {
+        Some(CompiledPolicy::NoneSensitive)
     }
 }
 
@@ -186,6 +221,21 @@ pub struct AttributePolicy {
     missing_is_sensitive: bool,
     #[allow(clippy::type_complexity)]
     sensitive_when: Arc<dyn Fn(&Value) -> bool + Send + Sync>,
+    /// The structured form of the predicate, when the constructor knows it —
+    /// what lets [`Policy::compiled`] emit a branch-free vectorized plan
+    /// instead of an indirect predicate call per row.
+    atom: Option<AttributeAtom>,
+}
+
+/// The structured predicate forms [`AttributePolicy`] can vectorize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AttributeAtom {
+    /// Sensitive when the integer value is `≤` the threshold.
+    IntAtMost(i64),
+    /// Sensitive when the boolean value is `false` (or not a boolean).
+    OptIn,
+    /// Sensitive when the 64-bit membership mask intersects these bits.
+    MaskIntersects(u64),
 }
 
 impl AttributePolicy {
@@ -199,13 +249,40 @@ impl AttributePolicy {
             field: field.into(),
             missing_is_sensitive: true,
             sensitive_when: Arc::new(predicate),
+            atom: None,
         }
     }
 
     /// Convenience constructor for opt-in / opt-out policies: a record is
     /// sensitive when the boolean field is `false` (the user did not opt in).
     pub fn opt_in(field: impl Into<String>) -> Self {
-        Self::sensitive_when(field, |v| !v.as_bool().unwrap_or(false))
+        let mut policy = Self::sensitive_when(field, |v| !v.as_bool().unwrap_or(false));
+        policy.atom = Some(AttributeAtom::OptIn);
+        policy
+    }
+
+    /// The paper's threshold form (`λr.if(r.Age ≤ 17): 0; else: 1`): a record
+    /// is sensitive when the integer field is at most `threshold`.
+    /// Non-integer values are non-sensitive; missing fields fail closed (see
+    /// [`AttributePolicy::with_missing_sensitive`]). Compiles to a branch-free
+    /// columnar comparison.
+    pub fn int_at_most(field: impl Into<String>, threshold: i64) -> Self {
+        let mut policy =
+            Self::sensitive_when(field, move |v| v.as_int().is_some_and(|x| x <= threshold));
+        policy.atom = Some(AttributeAtom::IntAtMost(threshold));
+        policy
+    }
+
+    /// Set-membership form: a record is sensitive when its 64-bit membership
+    /// mask (stored as an integer field, e.g. the access points a trajectory
+    /// visits) intersects `sensitive_bits`. Compiles to a columnar bitwise
+    /// test.
+    pub fn mask_intersects(field: impl Into<String>, sensitive_bits: u64) -> Self {
+        let mut policy = Self::sensitive_when(field, move |v| {
+            v.as_int().is_some_and(|x| (x as u64) & sensitive_bits != 0)
+        });
+        policy.atom = Some(AttributeAtom::MaskIntersects(sensitive_bits));
+        policy
     }
 
     /// Changes how records missing the attribute are classified.
@@ -247,6 +324,30 @@ impl Policy<Record> for AttributePolicy {
                 }
             }
         }
+    }
+
+    fn compiled(&self) -> Option<CompiledPolicy> {
+        Some(match self.atom {
+            Some(AttributeAtom::IntAtMost(threshold)) => CompiledPolicy::IntAtMost {
+                field: self.field.clone(),
+                threshold,
+                missing_is_sensitive: self.missing_is_sensitive,
+            },
+            Some(AttributeAtom::OptIn) => CompiledPolicy::OptIn {
+                field: self.field.clone(),
+                missing_is_sensitive: self.missing_is_sensitive,
+            },
+            Some(AttributeAtom::MaskIntersects(sensitive_bits)) => CompiledPolicy::MaskIntersects {
+                field: self.field.clone(),
+                sensitive_bits,
+                missing_is_sensitive: self.missing_is_sensitive,
+            },
+            None => CompiledPolicy::Attribute {
+                field: self.field.clone(),
+                missing_is_sensitive: self.missing_is_sensitive,
+                sensitive_when: Arc::clone(&self.sensitive_when),
+            },
+        })
     }
 }
 
@@ -460,6 +561,63 @@ mod tests {
         assert!(boxed.is_sensitive(&r));
         assert!(arced.is_sensitive(&r));
         assert!(p.is_sensitive(&r));
+    }
+
+    #[test]
+    fn int_at_most_matches_the_threshold_example() {
+        let minors = AttributePolicy::int_at_most("age", 17);
+        assert!(minors.is_sensitive(&age_record(17)));
+        assert!(minors.is_non_sensitive(&age_record(18)));
+        assert!(minors.is_sensitive(&Record::new()), "missing fails closed");
+        // Non-integer ages are non-sensitive (as_int is None).
+        let float_age = Record::builder().field("age", 3.0f64).build();
+        assert!(minors.is_non_sensitive(&float_age));
+    }
+
+    #[test]
+    fn mask_intersects_matches_bitwise_membership() {
+        let p = AttributePolicy::mask_intersects("aps", 0b0110);
+        let hit = Record::builder().field("aps", 0b0100i64).build();
+        let miss = Record::builder().field("aps", 0b1001i64).build();
+        assert!(p.is_sensitive(&hit));
+        assert!(p.is_non_sensitive(&miss));
+        assert!(p.is_sensitive(&Record::new()), "missing fails closed");
+    }
+
+    #[test]
+    fn compiled_forms_exist_and_match_the_constructors() {
+        use crate::frame::CompiledPolicy;
+        assert!(matches!(
+            Policy::<Record>::compiled(&AllSensitive),
+            Some(CompiledPolicy::AllSensitive)
+        ));
+        assert!(matches!(
+            Policy::<Record>::compiled(&NoneSensitive),
+            Some(CompiledPolicy::NoneSensitive)
+        ));
+        assert!(matches!(
+            AttributePolicy::int_at_most("age", 17).compiled(),
+            Some(CompiledPolicy::IntAtMost { threshold: 17, missing_is_sensitive: true, .. })
+        ));
+        assert!(matches!(
+            AttributePolicy::opt_in("opt").with_missing_sensitive(false).compiled(),
+            Some(CompiledPolicy::OptIn { missing_is_sensitive: false, .. })
+        ));
+        assert!(matches!(
+            AttributePolicy::mask_intersects("aps", 0b11).compiled(),
+            Some(CompiledPolicy::MaskIntersects { sensitive_bits: 0b11, .. })
+        ));
+        assert!(matches!(
+            AttributePolicy::sensitive_when("x", |_| true).compiled(),
+            Some(CompiledPolicy::Attribute { .. })
+        ));
+        // Closure policies stay opaque; smart pointers forward.
+        let closure = ClosurePolicy::new("opaque", |_: &Record| true);
+        assert!(closure.compiled().is_none());
+        let arced: Arc<dyn Policy<Record>> = Arc::new(AttributePolicy::opt_in("opt"));
+        assert!(arced.compiled().is_some());
+        let boxed: Box<dyn Policy<Record>> = Box::new(ClosurePolicy::new("o", |_: &Record| true));
+        assert!(boxed.compiled().is_none());
     }
 
     #[test]

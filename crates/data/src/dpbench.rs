@@ -23,7 +23,7 @@
 //! that Nettrace is sorted (which favours DAWA).
 
 use crate::shapes;
-use osdp_core::Histogram;
+use osdp_core::{ColumnarFrame, Histogram};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -146,6 +146,17 @@ impl BenchmarkDataset {
             }
         };
         realize(&weights, spec, rng)
+    }
+
+    /// Generates the synthetic dataset directly as a weighted columnar frame
+    /// (every record non-sensitive), the form the engine's columnar backend
+    /// scans: one row per non-empty bin with the bin's count as its weight,
+    /// instead of one row per record. Policy samplers produce frames for
+    /// their own `(x, x_ns)` pairs via
+    /// [`crate::sampling::SampledPolicy::to_frame`].
+    pub fn generate_frame<R: Rng + ?Sized>(&self, rng: &mut R) -> ColumnarFrame {
+        let hist = self.generate(rng);
+        ColumnarFrame::from_histogram_pair(&hist, &hist).expect("x_ns = x is always a valid pair")
     }
 }
 
@@ -272,6 +283,17 @@ mod tests {
         // And the zero bins are all at the tail.
         let first_zero = counts.iter().position(|&c| c == 0.0).unwrap();
         assert!(counts[first_zero..].iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn generate_frame_matches_the_histogram() {
+        let hist = BenchmarkDataset::Medcost.generate(&mut rng());
+        let frame = BenchmarkDataset::Medcost.generate_frame(&mut rng());
+        assert_eq!(frame.len(), hist.non_zero_bins(), "one weighted row per non-empty bin");
+        assert_eq!(frame.total_weight(), hist.total());
+        // Every row is flagged non-sensitive (x_ns = x).
+        let flags = frame.column(osdp_core::frame::PAIR_FLAG_FIELD).unwrap();
+        assert!((0..frame.len()).all(|i| flags.value_at(i) == Some(osdp_core::Value::Bool(true))));
     }
 
     #[test]

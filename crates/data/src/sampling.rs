@@ -19,7 +19,7 @@
 //! one-sided-noise mechanisms rely on.
 
 use osdp_core::error::{validate_fraction, OsdpError, Result};
-use osdp_core::Histogram;
+use osdp_core::{ColumnarFrame, Histogram};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -63,6 +63,15 @@ impl SampledPolicy {
         } else {
             0.0
         }
+    }
+
+    /// Expands the `(x, x_ns)` pair into a weighted columnar frame
+    /// ([`ColumnarFrame::from_histogram_pair`]): the form the engine's
+    /// columnar backend scans directly, so sampled policies ride the same
+    /// vectorized pipeline as record-level databases. Fails when `x_ns` is
+    /// not a sub-histogram of `full`.
+    pub fn to_frame(&self, full: &Histogram) -> Result<ColumnarFrame> {
+        ColumnarFrame::from_histogram_pair(full, &self.non_sensitive)
     }
 }
 
@@ -239,6 +248,16 @@ mod tests {
     fn policy_kind_names() {
         assert_eq!(PolicyKind::Close.name(), "Close");
         assert_eq!(PolicyKind::Far.name(), "Far");
+    }
+
+    #[test]
+    fn to_frame_expands_the_sampled_pair() {
+        let full = test_histogram();
+        let policy = sample_policy(PolicyKind::Close, &full, 0.75, &mut rng()).unwrap();
+        let frame = policy.to_frame(&full).unwrap();
+        assert_eq!(frame.total_weight(), full.total());
+        // The pair is not expandable against a mismatched full histogram.
+        assert!(policy.to_frame(&Histogram::zeros(full.len())).is_err());
     }
 
     #[test]

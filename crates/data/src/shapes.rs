@@ -90,6 +90,26 @@ pub fn bimodal(domain: usize) -> Vec<f64> {
     gaussian_mixture(domain, &[(0.25, 0.08, 1.0), (0.7, 0.12, 0.6)])
 }
 
+/// Realises a weight vector as a weighted single-column frame: one row per
+/// bin with a positive weight (`bin` categorical, weight = the bin's mass),
+/// the columnar form of a shape. Negative and zero weights are omitted, like
+/// the empty bins of a sparse histogram.
+pub fn frame_from_weights(weights: &[f64]) -> osdp_core::ColumnarFrame {
+    let mut bins: Vec<u32> = Vec::new();
+    let mut mass: Vec<f64> = Vec::new();
+    for (bin, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            bins.push(bin as u32);
+            mass.push(w);
+        }
+    }
+    osdp_core::ColumnarFrame::builder(bins.len())
+        .column_categorical("bin", bins)
+        .weights(mass)
+        .build()
+        .expect("columns and weights share one length by construction")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +157,17 @@ mod tests {
         let w = spiky(4096, 20, 1000.0, &mut r);
         let heavy = w.iter().filter(|&&x| x > 100.0).count();
         assert!((15..=20).contains(&heavy), "got {heavy} heavy bins");
+    }
+
+    #[test]
+    fn frame_from_weights_keeps_positive_mass_only() {
+        let frame = frame_from_weights(&[0.0, 2.5, -1.0, 4.0]);
+        assert_eq!(frame.len(), 2, "zero and negative weights are omitted");
+        assert_eq!(frame.total_weight(), 6.5);
+        let bins = frame.column("bin").unwrap();
+        assert_eq!(bins.value_at(0), Some(osdp_core::Value::Categorical(1)));
+        assert_eq!(bins.value_at(1), Some(osdp_core::Value::Categorical(3)));
+        assert!(frame_from_weights(&[]).is_empty());
     }
 
     #[test]

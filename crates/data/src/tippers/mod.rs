@@ -20,11 +20,16 @@
 //! * n-gram (consecutive access-point sequence) counting over the 64ⁿ domain
 //!   ([`ngram`]) and the 64 × 24 access-point × hour histogram used in
 //!   Section 6.3.3.1;
-//! * the classification features of Section 6.2 ([`features`]).
+//! * the classification features of Section 6.2 ([`features`]);
+//! * flat per-trajectory **occupancy records/frames** ([`occupancy`]): the
+//!   workload in the engine's record and columnar data models, with visited
+//!   access points packed into a 64-bit mask so access-point policies
+//!   evaluate as one vectorized bitwise test.
 
 pub mod building;
 pub mod features;
 pub mod ngram;
+pub mod occupancy;
 pub mod policy;
 pub mod population;
 pub mod trajectory;

@@ -1,0 +1,164 @@
+//! Per-trajectory occupancy records: the TIPPERS workload in the engine's
+//! record/frame data model.
+//!
+//! Each daily [`Trajectory`] projects onto one flat record with the features
+//! occupancy queries group by (arrival slot, duration) plus the visited
+//! access points packed into a 64-bit membership mask — the vectorizable
+//! form of the access-point-level policies
+//! ([`super::policy::SensitiveApPolicy::record_policy`]). The same rows are
+//! available both as a [`Database<Record>`] (for the row backend and
+//! `OsdpRR`-style record releases) and as a column-built [`ColumnarFrame`]
+//! (for the columnar backend), and the two classifications/binnings agree
+//! exactly.
+
+use super::trajectory::{Trajectory, TrajectoryDataset};
+use osdp_core::{ColumnarFrame, Database, Histogram, Record, Value};
+
+/// Field holding the device identifier.
+pub const USER_FIELD: &str = "user";
+/// Field holding the simulation day.
+pub const DAY_FIELD: &str = "day";
+/// Field holding the number of present slots (duration of stay).
+pub const DURATION_FIELD: &str = "duration_slots";
+/// Field holding the first present slot (arrival time), `-1` when the
+/// trajectory never enters the building.
+pub const ARRIVAL_FIELD: &str = "arrival_slot";
+/// Field holding the visited access points as a 64-bit membership mask.
+pub const AP_MASK_FIELD: &str = "ap_mask";
+
+/// Projects one trajectory onto its occupancy record.
+pub fn occupancy_record(trajectory: &Trajectory) -> Record {
+    Record::builder()
+        .field(USER_FIELD, Value::Int(i64::from(trajectory.user)))
+        .field(DAY_FIELD, Value::Int(i64::from(trajectory.day)))
+        .field(DURATION_FIELD, Value::Int(trajectory.present_slots() as i64))
+        .field(ARRIVAL_FIELD, Value::Int(trajectory.first_present_slot().map_or(-1, |s| s as i64)))
+        .field(AP_MASK_FIELD, Value::Int(trajectory.ap_bitmask() as i64))
+        .build()
+}
+
+impl TrajectoryDataset {
+    /// The dataset's occupancy rows as a record database (one row per daily
+    /// trajectory), for the row backend and record-level releases.
+    pub fn occupancy_records(&self) -> Database<Record> {
+        self.trajectories().iter().map(occupancy_record).collect()
+    }
+
+    /// The dataset's occupancy rows built **directly as columns** — no
+    /// intermediate records — with the access-point sets stored in a
+    /// `Mask64` column. Scans identically to
+    /// [`TrajectoryDataset::occupancy_records`] under any record policy or
+    /// bin spec over the shared field names.
+    pub fn occupancy_frame(&self) -> ColumnarFrame {
+        let trajectories = self.trajectories();
+        let n = trajectories.len();
+        let mut users = Vec::with_capacity(n);
+        let mut days = Vec::with_capacity(n);
+        let mut durations = Vec::with_capacity(n);
+        let mut arrivals = Vec::with_capacity(n);
+        let mut ap_masks = Vec::with_capacity(n);
+        for t in trajectories {
+            users.push(i64::from(t.user));
+            days.push(i64::from(t.day));
+            durations.push(t.present_slots() as i64);
+            arrivals.push(t.first_present_slot().map_or(-1, |s| s as i64));
+            ap_masks.push(t.ap_bitmask());
+        }
+        ColumnarFrame::builder(n)
+            .column_int(USER_FIELD, users)
+            .column_int(DAY_FIELD, days)
+            .column_int(DURATION_FIELD, durations)
+            .column_int(ARRIVAL_FIELD, arrivals)
+            .column_mask64(AP_MASK_FIELD, ap_masks)
+            .build()
+            .expect("all columns share the trajectory count")
+    }
+
+    /// The duration-of-stay histogram over `bins` slot-count buckets,
+    /// **surfacing the dropped count**: trajectories whose duration falls at
+    /// or beyond `bins` slots are not absorbed silently — the second
+    /// component reports how many the domain truncated
+    /// (via [`Database::histogram_by_counted`]).
+    pub fn duration_histogram(&self, bins: usize) -> (Histogram, usize) {
+        self.occupancy_records()
+            .histogram_by_counted(bins, |r| r.int(DURATION_FIELD).ok().map(|d| d as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tippers::{generate_dataset, policy_for_ratio, TippersConfig};
+    use osdp_core::policy::Policy;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn dataset() -> TrajectoryDataset {
+        let mut rng = ChaCha12Rng::seed_from_u64(11);
+        generate_dataset(&TippersConfig::small(), &mut rng)
+    }
+
+    #[test]
+    fn records_and_frame_carry_the_same_rows() {
+        let ds = dataset();
+        let records = ds.occupancy_records();
+        let frame = ds.occupancy_frame();
+        assert_eq!(records.len(), ds.len());
+        assert_eq!(frame.len(), ds.len());
+        // Spot-check full equality of reconstructed values: Mask64 columns
+        // surface as Int, exactly how the records store the mask.
+        for (i, r) in records.iter().enumerate() {
+            for field in [USER_FIELD, DAY_FIELD, DURATION_FIELD, ARRIVAL_FIELD, AP_MASK_FIELD] {
+                assert_eq!(
+                    frame.column(field).unwrap().value_at(i).as_ref(),
+                    r.get(field),
+                    "row {i} field {field}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_policy_matches_the_trajectory_policy() {
+        let ds = dataset();
+        let policy = policy_for_ratio(&ds, 0.75);
+        let record_policy = policy.record_policy();
+        for (t, r) in ds.trajectories().iter().zip(ds.occupancy_records().iter()) {
+            assert_eq!(
+                policy.is_sensitive(t),
+                record_policy.is_sensitive(r),
+                "trajectory and occupancy-record classification must agree"
+            );
+        }
+        // And the bitmask matches the explicit AP set.
+        for &ap in policy.sensitive_aps() {
+            assert_ne!(policy.sensitive_bitmask() & (1 << (ap & 63)), 0);
+        }
+    }
+
+    #[test]
+    fn out_of_range_ap_codes_never_alias_onto_real_access_points() {
+        use crate::tippers::{SensitiveApPolicy, Trajectory};
+        // A (hypothetical) code 64 must not fold onto AP 0 on either side.
+        let p = SensitiveApPolicy::new("oob", vec![64]);
+        assert_eq!(p.sensitive_bitmask(), 0);
+        let mut slots = vec![None; 10];
+        slots[0] = Some(64);
+        slots[1] = Some(3);
+        let t = Trajectory::new(0, 0, slots);
+        assert_eq!(t.ap_bitmask(), 1 << 3, "code 64 is ignored, not folded");
+    }
+
+    #[test]
+    fn duration_histogram_surfaces_truncation() {
+        let ds = dataset();
+        let (unbounded, dropped_none) = ds.duration_histogram(200);
+        assert_eq!(dropped_none, 0, "200 bins cover every possible duration");
+        assert_eq!(unbounded.total(), ds.len() as f64);
+        // Narrow domain: residents' long stays get truncated, and the loader
+        // says so instead of silently shrinking the histogram.
+        let (narrow, dropped) = ds.duration_histogram(10);
+        assert!(dropped > 0, "some stays last 10+ slots");
+        assert_eq!(narrow.total() + dropped as f64, ds.len() as f64);
+    }
+}

@@ -38,6 +38,29 @@ impl SensitiveApPolicy {
     pub fn sensitive_aps(&self) -> &[u8] {
         &self.sensitive_aps
     }
+
+    /// The sensitive access-point set as a 64-bit membership mask (the
+    /// counterpart of [`super::trajectory::Trajectory::ap_bitmask`]).
+    /// Codes outside the building's `0..64` universe are ignored, matching
+    /// the bitmask on the trajectory side.
+    pub fn sensitive_bitmask(&self) -> u64 {
+        self.sensitive_aps.iter().filter(|&&ap| ap < 64).fold(0u64, |mask, &ap| mask | (1u64 << ap))
+    }
+
+    /// The record-level projection of this policy over occupancy records
+    /// (see [`super::occupancy`]): a trajectory row is sensitive exactly when
+    /// its `ap_mask` field intersects the sensitive set. Compiles to a
+    /// vectorized bitwise test on the columnar backend, and classifies
+    /// occupancy rows identically to how `self` classifies the trajectories
+    /// they were derived from — for the building's `0..64` access-point
+    /// universe, which is everything the simulator generates (both bitmask
+    /// sides drop out-of-range codes rather than aliasing them).
+    pub fn record_policy(&self) -> osdp_core::AttributePolicy {
+        osdp_core::AttributePolicy::mask_intersects(
+            super::occupancy::AP_MASK_FIELD,
+            self.sensitive_bitmask(),
+        )
+    }
 }
 
 impl Policy<Trajectory> for SensitiveApPolicy {

@@ -52,9 +52,29 @@ impl Trajectory {
         self.slots.iter().filter(|s| s.is_some()).count()
     }
 
+    /// The first slot at which the person was present, if any.
+    pub fn first_present_slot(&self) -> Option<usize> {
+        self.slots.iter().position(|s| s.is_some())
+    }
+
     /// The last slot at which the person was present, if any.
     pub fn last_present_slot(&self) -> Option<usize> {
         self.slots.iter().rposition(|s| s.is_some())
+    }
+
+    /// The visited access points as a 64-bit membership mask (bit `ap` set ⇔
+    /// the trajectory passes access point `ap`). The building has exactly 64
+    /// access points (codes `0..64`), so the mask is exact for every
+    /// simulator-produced trajectory; out-of-range codes are **ignored**
+    /// (never folded onto another access point's bit). This is the
+    /// vectorizable form of [`Trajectory::visits_any`] used by the occupancy
+    /// frame and [`super::policy::SensitiveApPolicy::record_policy`].
+    pub fn ap_bitmask(&self) -> u64 {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|&&ap| ap < 64)
+            .fold(0u64, |mask, &ap| mask | (1u64 << ap))
     }
 
     /// Distinct access points visited during the day.

@@ -16,6 +16,16 @@
 //!
 //! On top of that contract the session provides:
 //!
+//! * a **pluggable scan plane** ([`Backend`]): the session never touches
+//!   records directly — it compiles every query + policy into a
+//!   [`QueryPlan`] and asks the bound backend to [`Backend::scan`] it into
+//!   the `(x, x_ns)` histogram pair. [`RowBackend`] is the row-at-a-time
+//!   reference; [`ColumnarBackend`] evaluates compiled policies and bin
+//!   specs vectorized over an [`osdp_core::ColumnarFrame`] and caches the
+//!   policy partition per `(backend, policy label)`, so repeated releases
+//!   under one policy perform **zero** policy evaluations. Both produce
+//!   bit-for-bit identical output; future stores (sharded, streaming, SQL)
+//!   implement the same trait;
 //! * **minimum-relaxation bookkeeping** (Theorem 3.3): releases under
 //!   different policies accumulate into a
 //!   [`osdp_core::policy::MinimumRelaxation`], and
@@ -33,7 +43,11 @@
 //!   constructed by name from experiment configurations instead of being
 //!   hard-wired at each call site.
 //!
-//! ## Example
+//! ## Quickstart
+//!
+//! Open a session on the columnar backend, bind a compiled policy, and
+//! release through a pushdown query — the hot path never makes a virtual
+//! policy call per record:
 //!
 //! ```
 //! use osdp_core::policy::AttributePolicy;
@@ -44,36 +58,48 @@
 //! let db: Database = (0..1000)
 //!     .map(|i| Record::builder().field("age", Value::Int(10 + (i % 60))).build())
 //!     .collect();
-//! let policy = AttributePolicy::sensitive_when("age", |v| v.as_int().unwrap_or(0) <= 17);
+//! // `int_at_most` compiles to a branch-free columnar comparison.
+//! let policy = AttributePolicy::int_at_most("age", 17);
 //!
 //! let session = SessionBuilder::new(db)
+//!     .columnar() // snapshot into a ColumnarFrame; RowBackend otherwise
 //!     .policy(policy, "minors")
 //!     .budget(2.0)
 //!     .seed(7)
 //!     .build()
 //!     .unwrap();
+//! assert_eq!(session.backend_name(), Some("columnar"));
 //!
-//! // Histogram of ages 10..70 in 6 decade bins, derived under the policy.
-//! let query = SessionQuery::count_by("age-decades", 6, |r: &Record| {
-//!     r.int("age").ok().map(|a| ((a - 10) / 10) as usize)
-//! });
+//! // Histogram of ages 10..70 in 6 decade bins: a compiled GROUP BY that
+//! // the backend evaluates column-at-a-time.
+//! let query = SessionQuery::count_by_int_linear("age-decades", "age", 10, 10, 6);
 //! let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
 //! let release = session.release(&query, &mechanism).unwrap();
 //! assert_eq!(release.estimate.len(), 6);
 //! assert_eq!(session.total_spent(), 1.0);
 //!
-//! // A second release exhausts the 2.0 budget; a third is refused.
+//! // A second release exhausts the 2.0 budget; a third is refused. The
+//! // second scan reuses the cached policy partition.
 //! session.release(&query, &mechanism).unwrap();
 //! assert!(session.release(&query, &mechanism).is_err());
 //! ```
+//!
+//! Opaque closure policies and `count_by` closures still work on either
+//! backend — the columnar backend falls back to its retained rows — and
+//! pre-aggregated `(x, x_ns)` pairs ride the same pipeline as weighted
+//! frames via [`pair_session`] / [`pair_query`].
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod audit;
+pub mod backend;
 pub mod registry;
 pub mod session;
 
 pub use audit::{AuditLog, AuditRecord};
+pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
 pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
-pub use session::{histogram_session, OsdpSession, Release, SessionBuilder, SessionQuery};
+pub use session::{
+    histogram_session, pair_query, pair_session, OsdpSession, Release, SessionBuilder, SessionQuery,
+};

@@ -1,8 +1,10 @@
 //! [`OsdpSession`]: the budget-enforced, policy-aware release path.
 
 use crate::audit::{AuditLog, AuditRecord};
+use crate::backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
 use osdp_core::error::{OsdpError, Result};
-use osdp_core::policy::{MinimumRelaxation, Policy};
+use osdp_core::frame::{BinSpec, ColumnarFrame, PAIR_BIN_FIELD, PAIR_FLAG_FIELD};
+use osdp_core::policy::{AttributePolicy, MinimumRelaxation, Policy};
 use osdp_core::{BudgetAccountant, Database, Guarantee, Histogram, Record};
 use osdp_mechanisms::{HistogramMechanism, HistogramTask, OsdpRr};
 use osdp_noise::SeedSequence;
@@ -14,11 +16,11 @@ use std::sync::Arc;
 /// first-use order.
 type UsedPolicies<R> = Vec<(String, Arc<dyn Policy<R>>)>;
 
-/// What a session releases against: a record-level database bound to a
+/// What a session releases against: a record-level [`Backend`] bound to a
 /// policy function, or a pre-aggregated histogram pair (the shape the
 /// DPBench-style experiment harness produces with sampled policies).
 enum Source<R> {
-    Records { db: Database<R>, policy: Arc<dyn Policy<R>> },
+    Records { backend: Arc<dyn Backend<R>>, policy: Arc<dyn Policy<R>> },
     Bound { task: HistogramTask },
 }
 
@@ -33,15 +35,19 @@ pub enum SessionQuery<R: ?Sized = Record> {
     Bound,
     /// `SELECT bin, COUNT(*) GROUP BY bin` over the bound database: every
     /// record is assigned a bin by the closure (records mapping to `None` or
-    /// out of range are ignored).
+    /// out of range are ignored). Queries built from a [`BinSpec`]
+    /// additionally carry the compiled assignment, which columnar backends
+    /// evaluate vectorized instead of calling the closure per record.
     CountBy {
         /// Label used in the audit log.
         label: String,
         /// Number of bins.
         bins: usize,
-        /// Bin assignment.
+        /// Bin assignment (the row-at-a-time reference semantics).
         #[allow(clippy::type_complexity)]
         bin_of: Arc<dyn Fn(&R) -> Option<usize> + Send + Sync>,
+        /// The compiled bin assignment, when the query was built from one.
+        spec: Option<BinSpec>,
     },
 }
 
@@ -51,13 +57,16 @@ impl<R: ?Sized> SessionQuery<R> {
         SessionQuery::Bound
     }
 
-    /// A grouping query: count records per bin of `bin_of`.
+    /// A grouping query: count records per bin of `bin_of`. The closure is
+    /// opaque, so columnar backends answer it from their retained rows; use
+    /// [`SessionQuery::count_by_categorical`] /
+    /// [`SessionQuery::count_by_int_linear`] for queries that push down.
     pub fn count_by(
         label: impl Into<String>,
         bins: usize,
         bin_of: impl Fn(&R) -> Option<usize> + Send + Sync + 'static,
     ) -> Self {
-        SessionQuery::CountBy { label: label.into(), bins, bin_of: Arc::new(bin_of) }
+        SessionQuery::CountBy { label: label.into(), bins, bin_of: Arc::new(bin_of), spec: None }
     }
 
     /// The audit-log label of this query.
@@ -69,14 +78,54 @@ impl<R: ?Sized> SessionQuery<R> {
     }
 }
 
+impl SessionQuery<Record> {
+    /// A grouping query over a categorical field: the bin is the field's
+    /// categorical code. Carries both the compiled [`BinSpec`] (vectorized on
+    /// columnar backends) and the equivalent row closure (derived from the
+    /// same spec, so the two paths cannot drift).
+    pub fn count_by_categorical(
+        label: impl Into<String>,
+        field: impl Into<String>,
+        bins: usize,
+    ) -> Self {
+        Self::from_spec(label, bins, BinSpec::Categorical { field: field.into() })
+    }
+
+    /// A grouping query over an integer field: the bin is
+    /// `(value − origin) / width`. See
+    /// [`SessionQuery::count_by_categorical`] for the pushdown semantics.
+    pub fn count_by_int_linear(
+        label: impl Into<String>,
+        field: impl Into<String>,
+        origin: i64,
+        width: i64,
+        bins: usize,
+    ) -> Self {
+        Self::from_spec(label, bins, BinSpec::IntLinear { field: field.into(), origin, width })
+    }
+
+    /// Builds the query from a compiled spec, deriving the row closure from
+    /// the same spec.
+    pub fn from_spec(label: impl Into<String>, bins: usize, spec: BinSpec) -> Self {
+        let closure_spec = spec.clone();
+        SessionQuery::CountBy {
+            label: label.into(),
+            bins,
+            bin_of: Arc::new(move |r: &Record| closure_spec.bin_of_record(r)),
+            spec: Some(spec),
+        }
+    }
+}
+
 impl<R: ?Sized> Clone for SessionQuery<R> {
     fn clone(&self) -> Self {
         match self {
             SessionQuery::Bound => SessionQuery::Bound,
-            SessionQuery::CountBy { label, bins, bin_of } => SessionQuery::CountBy {
+            SessionQuery::CountBy { label, bins, bin_of, spec } => SessionQuery::CountBy {
                 label: label.clone(),
                 bins: *bins,
                 bin_of: Arc::clone(bin_of),
+                spec: spec.clone(),
             },
         }
     }
@@ -86,10 +135,11 @@ impl<R: ?Sized> std::fmt::Debug for SessionQuery<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SessionQuery::Bound => f.write_str("SessionQuery::Bound"),
-            SessionQuery::CountBy { label, bins, .. } => f
+            SessionQuery::CountBy { label, bins, spec, .. } => f
                 .debug_struct("SessionQuery::CountBy")
                 .field("label", label)
                 .field("bins", bins)
+                .field("spec", spec)
                 .finish(),
         }
     }
@@ -136,18 +186,56 @@ pub fn histogram_session(full: Histogram, non_sensitive: Histogram) -> SessionBu
 /// ```
 pub struct SessionBuilder<R = Record> {
     db: Option<Database<R>>,
+    backend: Option<Arc<dyn Backend<R>>>,
     bound: Option<(Histogram, Histogram)>,
     policy: Option<Arc<dyn Policy<R>>>,
     policy_label: Option<String>,
     budget: Option<f64>,
     seed: u64,
+    /// Set once [`SessionBuilder::columnar`] has converted the database, so
+    /// repeated calls stay no-ops.
+    columnar_applied: bool,
+    /// Set when [`SessionBuilder::columnar`] is called on a builder with no
+    /// database to convert; surfaced as an error by `build` instead of
+    /// silently keeping the original source.
+    columnar_misuse: bool,
 }
 
 impl<R> SessionBuilder<R> {
-    /// Starts a session over a record-level database. A policy **must** be
-    /// bound with [`SessionBuilder::policy`] before [`SessionBuilder::build`].
+    /// Starts a session over a record-level database, scanned by the
+    /// row-at-a-time [`RowBackend`] (see [`SessionBuilder::columnar`] and
+    /// [`SessionBuilder::with_backend`] for the alternatives). A policy **must**
+    /// be bound with [`SessionBuilder::policy`] before
+    /// [`SessionBuilder::build`].
     pub fn new(db: Database<R>) -> Self {
-        Self { db: Some(db), bound: None, policy: None, policy_label: None, budget: None, seed: 0 }
+        Self {
+            db: Some(db),
+            backend: None,
+            bound: None,
+            policy: None,
+            policy_label: None,
+            budget: None,
+            seed: 0,
+            columnar_applied: false,
+            columnar_misuse: false,
+        }
+    }
+
+    /// Starts a session over an explicit scan [`Backend`] — the extension
+    /// point for external stores (sharded, streaming, SQL). A policy must
+    /// still be bound.
+    pub fn with_backend(backend: Arc<dyn Backend<R>>) -> Self {
+        Self {
+            db: None,
+            backend: Some(backend),
+            bound: None,
+            policy: None,
+            policy_label: None,
+            budget: None,
+            seed: 0,
+            columnar_applied: false,
+            columnar_misuse: false,
+        }
     }
 
     /// Starts a session over a pre-aggregated histogram pair: the full
@@ -157,11 +245,14 @@ impl<R> SessionBuilder<R> {
     pub fn from_histograms(full: Histogram, non_sensitive: Histogram) -> Self {
         Self {
             db: None,
+            backend: None,
             bound: Some((full, non_sensitive)),
             policy: None,
             policy_label: None,
             budget: None,
             seed: 0,
+            columnar_applied: false,
+            columnar_misuse: false,
         }
     }
 
@@ -201,14 +292,30 @@ impl<R> SessionBuilder<R> {
     }
 
     /// Builds the session, validating the source.
-    pub fn build(self) -> Result<OsdpSession<R>> {
+    pub fn build(self) -> Result<OsdpSession<R>>
+    where
+        R: Send + Sync + 'static,
+    {
+        if self.columnar_misuse {
+            return Err(OsdpError::InvalidInput(
+                "SessionBuilder::columnar only applies to record-backed builders \
+                 (SessionBuilder::new); histogram-backed and explicit-backend \
+                 sessions have no database to convert"
+                    .into(),
+            ));
+        }
         let accountant = match self.budget {
             Some(limit) => BudgetAccountant::with_limit(limit)?,
             None => BudgetAccountant::unlimited(),
         };
         let policy_label = self.policy_label.unwrap_or_else(|| "P".to_string());
-        let (source, policies) = match (self.db, self.bound) {
-            (Some(db), None) => {
+        let backend = match (self.db, self.backend) {
+            (Some(db), None) => Some(Arc::new(RowBackend::new(db)) as Arc<dyn Backend<R>>),
+            (None, Some(backend)) => Some(backend),
+            _ => None,
+        };
+        let (source, policies) = match (backend, self.bound) {
+            (Some(backend), None) => {
                 let policy = self.policy.ok_or_else(|| {
                     OsdpError::InvalidInput(
                         "a record-backed session needs a policy: call SessionBuilder::policy"
@@ -216,7 +323,7 @@ impl<R> SessionBuilder<R> {
                     )
                 })?;
                 let policies = vec![(policy_label.clone(), Arc::clone(&policy))];
-                (Source::Records { db, policy }, policies)
+                (Source::Records { backend, policy }, policies)
             }
             (None, Some((full, non_sensitive))) => {
                 if self.policy.is_some() {
@@ -241,6 +348,61 @@ impl<R> SessionBuilder<R> {
             grant_lock: Mutex::new(()),
         })
     }
+}
+
+impl SessionBuilder<Record> {
+    /// Switches a record-backed session onto the vectorized
+    /// [`ColumnarBackend`]: the database is snapshotted into a
+    /// [`ColumnarFrame`] (rows retained for opaque policies/queries) and
+    /// every scan evaluates column-at-a-time with the policy partition
+    /// cached per policy. Output is bit-for-bit identical to the row
+    /// backend's.
+    pub fn columnar(mut self) -> Self {
+        match self.db.take() {
+            Some(db) => {
+                self.backend = Some(Arc::new(ColumnarBackend::from_database(db)));
+                self.columnar_applied = true;
+            }
+            // Already converted: a repeated call is a harmless no-op.
+            None if self.columnar_applied => {}
+            // Nothing to convert (histogram-backed or explicit-backend
+            // builder): flag it so `build` errors instead of silently
+            // running on the original source.
+            None => self.columnar_misuse = true,
+        }
+        self
+    }
+
+    /// Starts a session over a pre-built (possibly weighted) columnar frame.
+    /// No rows are retained: the bound policy must compile
+    /// ([`Policy::compiled`]) and queries must carry a
+    /// [`BinSpec`].
+    pub fn from_frame(frame: ColumnarFrame) -> Self {
+        Self::with_backend(Arc::new(ColumnarBackend::from_frame(frame)))
+    }
+}
+
+/// Opens a columnar session over a pre-aggregated `(x, x_ns)` histogram pair
+/// by expanding it into a weighted two-column frame
+/// ([`ColumnarFrame::from_histogram_pair`]): one row per (bin, sensitivity
+/// flag) with the count as its weight. Scanning the frame with
+/// [`pair_query`] reproduces the pair exactly, so histogram-level workloads
+/// (DPBench, sampled policies) ride the same [`Backend`] pipeline as
+/// record-level databases — same audit, budget and cache machinery.
+///
+/// The bound policy is *sensitive when the flag is false*
+/// (vectorized); override the report label with
+/// [`SessionBuilder::policy_label`].
+pub fn pair_session(full: &Histogram, non_sensitive: &Histogram) -> Result<SessionBuilder<Record>> {
+    let frame = ColumnarFrame::from_histogram_pair(full, non_sensitive)?;
+    Ok(SessionBuilder::from_frame(frame).policy(AttributePolicy::opt_in(PAIR_FLAG_FIELD), "P-pair"))
+}
+
+/// The query matching [`pair_session`] frames: `GROUP BY bin` over the
+/// expansion's categorical bin column, with `bins` equal to the original
+/// histogram domain.
+pub fn pair_query(bins: usize) -> SessionQuery<Record> {
+    SessionQuery::count_by_categorical("pair", PAIR_BIN_FIELD, bins)
 }
 
 /// A release session: the single audited path from data + policy + budget to
@@ -329,43 +491,64 @@ impl<R> OsdpSession<R> {
 
     /// Derives the [`HistogramTask`] for `query` under the bound policy: the
     /// full histogram and the sub-histogram of records the policy classifies
-    /// as non-sensitive. This is the **only** place outside mechanism tests
-    /// where tasks are constructed, which is what keeps `x_ns` consistent
-    /// with `P` across the workspace.
+    /// as non-sensitive, computed by the bound [`Backend`]. This is the
+    /// **only** place outside mechanism tests where tasks are constructed,
+    /// which is what keeps `x_ns` consistent with `P` across the workspace.
     pub fn derive_task(&self, query: &SessionQuery<R>) -> Result<HistogramTask> {
-        self.derive_task_under(query, None)
+        self.derive_task_under(query, None, &self.policy_label)
+    }
+
+    /// Runs the backend scan for `query` under the bound policy, returning
+    /// the raw [`HistogramPair`] — including the weight of records the query
+    /// dropped, which [`OsdpSession::derive_task`] discards.
+    pub fn scan(&self, query: &SessionQuery<R>) -> Result<HistogramPair> {
+        self.scan_under(query, None, &self.policy_label)
     }
 
     fn derive_task_under(
         &self,
         query: &SessionQuery<R>,
         policy_override: Option<&Arc<dyn Policy<R>>>,
+        policy_label: &str,
     ) -> Result<HistogramTask> {
         match (&self.source, query) {
             (Source::Bound { task }, SessionQuery::Bound) => Ok(task.clone()),
+            _ => self.scan_under(query, policy_override, policy_label)?.into_task(),
+        }
+    }
+
+    fn scan_under(
+        &self,
+        query: &SessionQuery<R>,
+        policy_override: Option<&Arc<dyn Policy<R>>>,
+        policy_label: &str,
+    ) -> Result<HistogramPair> {
+        match (&self.source, query) {
+            (Source::Bound { task }, SessionQuery::Bound) => Ok(HistogramPair {
+                full: task.full().clone(),
+                non_sensitive: task.non_sensitive().clone(),
+                dropped: 0.0,
+            }),
             (Source::Bound { .. }, SessionQuery::CountBy { .. }) => Err(OsdpError::InvalidInput(
                 "histogram-backed sessions only answer SessionQuery::Bound".into(),
             )),
             (Source::Records { .. }, SessionQuery::Bound) => Err(OsdpError::InvalidInput(
                 "record-backed sessions need a SessionQuery::CountBy query".into(),
             )),
-            (Source::Records { db, policy }, SessionQuery::CountBy { bins, bin_of, .. }) => {
+            (
+                Source::Records { backend, policy },
+                SessionQuery::CountBy { label, bins, bin_of, spec },
+            ) => {
                 let policy = policy_override.unwrap_or(policy);
-                // One pass: bin each record once, adding it to the
-                // non-sensitive histogram only when the policy clears it.
-                let mut full = Histogram::zeros(*bins);
-                let mut non_sensitive = Histogram::zeros(*bins);
-                for record in db.iter() {
-                    if let Some(bin) = bin_of(record) {
-                        if bin < *bins {
-                            full.increment(bin, 1.0);
-                            if policy.is_non_sensitive(record) {
-                                non_sensitive.increment(bin, 1.0);
-                            }
-                        }
-                    }
-                }
-                HistogramTask::new(full, non_sensitive)
+                let plan = QueryPlan {
+                    label: label.clone(),
+                    bins: *bins,
+                    bin_of: Arc::clone(bin_of),
+                    bin_spec: spec.clone(),
+                    policy: Arc::clone(policy),
+                    policy_label: policy_label.to_string(),
+                };
+                backend.scan(&plan)
             }
         }
     }
@@ -409,7 +592,7 @@ impl<R> OsdpSession<R> {
         policy_override: Option<Arc<dyn Policy<R>>>,
         policy_label: String,
     ) -> Result<Release> {
-        let task = self.derive_task_under(query, policy_override.as_ref())?;
+        let task = self.derive_task_under(query, policy_override.as_ref(), &policy_label)?;
         let guarantee = mechanism.guarantee();
         // Debit before sampling: a refused spend must not leak a sample. The
         // grant lock makes debit + audit append one atomic step, so ledger
@@ -539,9 +722,16 @@ impl<R: Clone> OsdpSession<R> {
     /// `OsdpRR` (Algorithm 1) — the record-level front door. Debits ε and
     /// audits like every other release. Record-backed sessions only.
     pub fn release_records(&self, mechanism: &OsdpRr) -> Result<Database<R>> {
-        let Source::Records { db, policy } = &self.source else {
+        let Source::Records { backend, policy } = &self.source else {
             return Err(OsdpError::InvalidInput(
                 "release_records needs a record-backed session".into(),
+            ));
+        };
+        let Some(db) = backend.database() else {
+            return Err(OsdpError::InvalidInput(
+                "this backend retains no records (frame-backed sessions answer \
+                 histogram queries only)"
+                    .into(),
             ));
         };
         let guarantee = Guarantee::Osdp { eps: mechanism.epsilon() };
@@ -567,10 +757,19 @@ impl<R: Clone> OsdpSession<R> {
         Ok(sample)
     }
 
-    /// Number of records in a record-backed session's database.
+    /// Number of records in a record-backed session's backend.
     pub fn database_len(&self) -> Option<usize> {
         match &self.source {
-            Source::Records { db, .. } => Some(db.len()),
+            Source::Records { backend, .. } => Some(backend.len()),
+            Source::Bound { .. } => None,
+        }
+    }
+
+    /// The name of the bound scan backend (`"row"`, `"columnar"`, …), or
+    /// `None` for histogram-backed sessions.
+    pub fn backend_name(&self) -> Option<&'static str> {
+        match &self.source {
+            Source::Records { backend, .. } => Some(backend.name()),
             Source::Bound { .. } => None,
         }
     }
@@ -755,6 +954,94 @@ mod tests {
         .unwrap();
         assert!(bound.release_records(&rr).is_err());
         assert_eq!(bound.database_len(), None);
+    }
+
+    #[test]
+    fn columnar_sessions_match_row_sessions_exactly() {
+        use osdp_core::policy::AttributePolicy;
+        use osdp_core::Value;
+        let db: Database<Record> =
+            (0..500).map(|i| Record::builder().field("age", Value::Int(i % 90)).build()).collect();
+        let query = SessionQuery::count_by_int_linear("age-decades", "age", 0, 10, 9);
+        let build = |columnar: bool| {
+            let mut b = SessionBuilder::new(db.clone());
+            if columnar {
+                b = b.columnar();
+            }
+            b.policy(AttributePolicy::int_at_most("age", 17), "minors").seed(99).build().unwrap()
+        };
+        let row = build(false);
+        let col = build(true);
+        assert_eq!(row.backend_name(), Some("row"));
+        assert_eq!(col.backend_name(), Some("columnar"));
+        assert_eq!(row.derive_task(&query).unwrap(), col.derive_task(&query).unwrap());
+        let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+        let a = row.release(&query, &mechanism).unwrap();
+        let b = col.release(&query, &mechanism).unwrap();
+        assert_eq!(a.estimate, b.estimate, "same seed, same backend-independent stream");
+        assert_eq!(
+            row.release_trials(&query, &mechanism, 4).unwrap(),
+            col.release_trials(&query, &mechanism, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn pair_sessions_reproduce_histogram_sessions() {
+        let full = Histogram::from_counts(vec![10.0, 0.0, 25.0, 7.0]);
+        let ns = Histogram::from_counts(vec![10.0, 0.0, 5.0, 0.0]);
+        let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+
+        let bound = histogram_session(full.clone(), ns.clone())
+            .policy_label("P-sampled")
+            .seed(5)
+            .build()
+            .unwrap();
+        let pair =
+            pair_session(&full, &ns).unwrap().policy_label("P-sampled").seed(5).build().unwrap();
+        assert_eq!(pair.backend_name(), Some("columnar"));
+
+        let query = pair_query(full.len());
+        // The derived task is the exact pair...
+        let task = pair.derive_task(&query).unwrap();
+        assert_eq!(task.full(), &full);
+        assert_eq!(task.non_sensitive(), &ns);
+        assert_eq!(pair.scan(&query).unwrap().dropped, 0.0);
+        // ...so same seed + label -> identical estimates to the bound path.
+        let a = bound.release(&SessionQuery::bound(), &mechanism).unwrap();
+        let b = pair.release(&query, &mechanism).unwrap();
+        assert_eq!(a.estimate, b.estimate);
+        // Frame-backed sessions cannot release records; their "length" is
+        // the number of weighted frame rows (two bins split, two pure).
+        assert!(pair.release_records(&OsdpRr::new(1.0).unwrap()).is_err());
+        assert_eq!(pair.database_len(), Some(4));
+    }
+
+    #[test]
+    fn columnar_on_a_histogram_backed_builder_is_an_error() {
+        let full = Histogram::from_counts(vec![1.0, 2.0]);
+        let err = histogram_session(full.clone(), full).columnar().build().unwrap_err();
+        assert!(matches!(err, OsdpError::InvalidInput(_)));
+        // ...but repeating it on a record-backed builder is a no-op.
+        let db: Database<Record> = (0..4i64)
+            .map(|i| Record::builder().field("v", osdp_core::Value::Int(i)).build())
+            .collect();
+        let session = SessionBuilder::new(db)
+            .columnar()
+            .columnar()
+            .policy(osdp_core::policy::NoneSensitive, "Pnone")
+            .build()
+            .unwrap();
+        assert_eq!(session.backend_name(), Some("columnar"));
+    }
+
+    #[test]
+    fn scan_surfaces_dropped_records() {
+        let session = records_session(None);
+        // Only 4 bins: codes with v % 8 >= 4 drop out of range.
+        let narrow = SessionQuery::count_by("narrow", 4, |&v: &u32| Some((v % 8) as usize));
+        let pair = session.scan(&narrow).unwrap();
+        assert_eq!(pair.full.total() + pair.dropped, 100.0);
+        assert_eq!(pair.dropped, 48.0, "codes with v % 8 >= 4 fall outside the 4 bins");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use crate::config::ExperimentConfig;
 use osdp_core::Histogram;
-use osdp_engine::{histogram_session, SessionQuery};
+use osdp_engine::{pair_query, pair_session};
 use osdp_mechanisms::{DpLaplaceHistogram, HistogramMechanism, OsdpRrHistogram};
 use osdp_metrics::{l1_error, ResultRow, ResultTable};
 
@@ -37,14 +37,18 @@ pub fn run(config: &ExperimentConfig) -> ResultTable {
         // comes from sampling alone), so x_ns = x.
         let per_bin = n as f64 / DOMAIN as f64;
         let full = Histogram::from_counts(vec![per_bin; DOMAIN]);
-        let session = histogram_session(full.clone(), full.clone())
+        // x_ns = x expands into a weighted all-non-sensitive frame on the
+        // columnar backend.
+        let session = pair_session(&full, &full)
+            .expect("x_ns = x is always dominated")
             .policy_label("Pnone")
             .seed(seeds.child("sweep").root() ^ i as u64)
             .build()
-            .expect("x_ns = x is always dominated");
+            .expect("pair frames validate at expansion time");
+        let query = pair_query(DOMAIN);
         let error_of = |mechanism: &dyn HistogramMechanism| -> f64 {
             session
-                .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                .release_trials(&query, mechanism, config.trials)
                 .expect("uncapped measurement session")
                 .iter()
                 .map(|e| l1_error(&full, e).expect("same domain"))

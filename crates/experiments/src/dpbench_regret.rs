@@ -15,7 +15,7 @@ use crate::config::ExperimentConfig;
 use osdp_core::Histogram;
 use osdp_data::sampling::{sample_policy, PolicyKind};
 use osdp_data::BenchmarkDataset;
-use osdp_engine::{histogram_session, pool_from_names, SessionQuery};
+use osdp_engine::{pair_query, pair_session, pool_from_names};
 use osdp_mechanisms::HistogramMechanism;
 use osdp_metrics::{
     mean_relative_error, relative_error_percentile, RegretTable, ResultRow, ResultTable, REL95,
@@ -85,18 +85,23 @@ pub fn run(config: &ExperimentConfig) -> RegretOutputs {
                     let key = input_key(eps, kind, rho, *dataset);
                     // One audited session per (dataset, policy, rho, eps)
                     // input; the sampled policy exists only as its
-                    // non-sensitive sub-histogram, so the session is
-                    // histogram-backed.
-                    let Ok(session) = histogram_session(full.clone(), policy.non_sensitive)
+                    // non-sensitive sub-histogram, so the (x, x_ns) pair is
+                    // expanded into a weighted frame and scanned by the
+                    // columnar backend.
+                    let Ok(builder) = pair_session(full, &policy.non_sensitive) else {
+                        continue;
+                    };
+                    let Ok(session) = builder
                         .policy_label(format!("{}-{rho}", kind.name()))
                         .seed(seeds.child(&key).root())
                         .build()
                     else {
                         continue;
                     };
+                    let query = pair_query(full.len());
                     for mechanism in &pool {
                         let estimates = session
-                            .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                            .release_trials(&query, mechanism, config.trials)
                             .expect("uncapped measurement session");
                         let mut mre = 0.0;
                         let mut rel95 = 0.0;

@@ -10,7 +10,7 @@
 use crate::config::ExperimentConfig;
 use osdp_core::Histogram;
 use osdp_data::sampling::{sample_policy, PolicyKind};
-use osdp_engine::{histogram_session, pool_from_names, SessionQuery};
+use osdp_engine::{pair_query, pair_session, pool_from_names};
 use osdp_mechanisms::HistogramMechanism;
 use osdp_metrics::{mean_relative_error, RegretTable, ResultRow, ResultTable};
 
@@ -45,16 +45,21 @@ pub fn run(config: &ExperimentConfig) -> ResultTable {
                     continue;
                 };
                 let key = format!("{}/{rho}/{}", kind.name(), dataset.name());
-                let Ok(session) = histogram_session(full.clone(), policy.non_sensitive)
+                // Pair expanded into a weighted frame, scanned columnar.
+                let Ok(builder) = pair_session(&full, &policy.non_sensitive) else {
+                    continue;
+                };
+                let Ok(session) = builder
                     .policy_label(format!("{}-{rho}", kind.name()))
                     .seed(seeds.child(&key).root())
                     .build()
                 else {
                     continue;
                 };
+                let query = pair_query(full.len());
                 for mechanism in &pool {
                     let estimates = session
-                        .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                        .release_trials(&query, mechanism, config.trials)
                         .expect("uncapped measurement session");
                     let mre: f64 = estimates
                         .iter()

@@ -13,7 +13,7 @@ use crate::config::ExperimentConfig;
 use osdp_core::policy::Policy;
 use osdp_core::Record;
 use osdp_data::tippers::{generate_dataset, policy_for_ratio, SensitiveApPolicy};
-use osdp_engine::{histogram_session, pool_from_names, OsdpSession, SessionQuery};
+use osdp_engine::{pair_query, pair_session, pool_from_names, OsdpSession};
 use osdp_mechanisms::HistogramMechanism;
 use osdp_metrics::{
     mean_relative_error, relative_error_percentile, ResultRow, ResultTable, REL50, REL95,
@@ -34,19 +34,22 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
 
     let policies: Vec<SensitiveApPolicy> =
         config.ns_ratios.iter().map(|&r| policy_for_ratio(&dataset, r)).collect();
-    // One audited session per policy: the session owns the (full, x_ns) pair
-    // so every mechanism in every figure releases against the same bound
-    // input.
+    // One audited session per policy, on the columnar backend: the (full,
+    // x_ns) pair expands into a weighted frame, so every mechanism in every
+    // figure releases against the same bound input through the same
+    // vectorized scan path as record-level workloads.
+    let query = pair_query(full.len());
     let sessions: Vec<(String, OsdpSession<Record>)> = policies
         .iter()
         .map(|policy| {
             let ns = dataset.ap_hour_histogram(|t| policy.is_non_sensitive(t)).into_flat();
             let label = policy.label().to_string();
-            let session = histogram_session(full.clone(), ns)
+            let session = pair_session(&full, &ns)
+                .expect("x_ns is a sub-histogram by construction")
                 .policy_label(&*label)
                 .seed(seeds.child(&label).root())
                 .build()
-                .expect("x_ns is a sub-histogram by construction");
+                .expect("pair frames validate at expansion time");
             (label, session)
         })
         .collect();
@@ -60,7 +63,7 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
         for (label, session) in &sessions {
             for mechanism in &mechanisms {
                 let estimates = session
-                    .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                    .release_trials(&query, mechanism, config.trials)
                     .expect("uncapped measurement session");
                 let mre: f64 = estimates
                     .iter()
@@ -91,7 +94,7 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
         }
         for mechanism in &mechanisms {
             let estimates = session
-                .release_trials(&SessionQuery::bound(), mechanism, config.trials)
+                .release_trials(&query, mechanism, config.trials)
                 .expect("uncapped measurement session");
             let mut rel50 = 0.0;
             let mut rel95 = 0.0;

@@ -6,7 +6,7 @@
 //! * [`mre`] — mean relative error, the paper's headline histogram metric.
 //! * [`relative`] — per-bin relative error and its percentiles (Rel50, Rel95).
 //! * [`lp`] — L1 / L2 / scale-normalised error.
-//! * [`regret`] — the regret of an algorithm against the per-input optimum of
+//! * [`mod@regret`] — the regret of an algorithm against the per-input optimum of
 //!   an algorithm pool, used throughout Section 6.3.3.2.
 //! * [`auc_summary`] — classification error summaries (1 − AUC) for Figure 1.
 //! * [`table`] — a small labelled result table used by the experiment

@@ -37,9 +37,13 @@ fn main() {
     // ------------------------------------------------------------------
     // 2. Open the session: database + policy + a 2.0 budget cap. Every
     //    release below debits this budget *before* sampling and lands in
-    //    the audit log.
+    //    the audit log. `.columnar()` snapshots the records into a
+    //    ColumnarFrame; the closure policy above has no compiled form, so
+    //    scans transparently fall back to the retained rows (and cache the
+    //    policy partition) — the output is identical to the row backend.
     // ------------------------------------------------------------------
     let session = SessionBuilder::new(db)
+        .columnar()
         .policy(policy, "minors-or-opt-outs")
         .budget(2.0)
         .seed(2024)

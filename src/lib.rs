@@ -18,27 +18,27 @@
 //!
 //! This crate is a facade re-exporting the workspace members:
 //!
-//! * [`core`](osdp_core) — policies, records, databases, neighbors,
+//! * [`core`] — policies, records, databases, neighbors,
 //!   histograms, budget accounting.
-//! * [`engine`](osdp_engine) — **the audited front door**: `OsdpSession`
+//! * [`engine`] — **the audited front door**: `OsdpSession`
 //!   binds database + policy + budget, derives every histogram task from the
 //!   bound policy, debits the accountant *before* sampling, logs every
 //!   release, and batch-releases trials one-per-core.
-//! * [`noise`](osdp_noise) — Laplace, one-sided Laplace, exponential,
+//! * [`noise`] — Laplace, one-sided Laplace, exponential,
 //!   geometric samplers.
-//! * [`mechanisms`](osdp_mechanisms) — `OsdpRR`, `OsdpLaplace`,
+//! * [`mechanisms`] — `OsdpRR`, `OsdpLaplace`,
 //!   `OsdpLaplaceL1`, `DAWAz`, the DP Laplace/DAWA baselines and the PDP
 //!   `Suppress` baseline.
-//! * [`dawa`](osdp_dawa) — the DAWA two-phase DP histogram algorithm.
-//! * [`data`](osdp_data) — DPBench-style benchmark histograms, opt-in/opt-out
+//! * [`dawa`] — the DAWA two-phase DP histogram algorithm.
+//! * [`data`] — DPBench-style benchmark histograms, opt-in/opt-out
 //!   samplers, and the TIPPERS-like smart-building trajectory simulator.
-//! * [`ml`](osdp_ml) — logistic regression, ε-DP objective perturbation,
+//! * [`ml`] — logistic regression, ε-DP objective perturbation,
 //!   ROC/AUC, cross-validation.
-//! * [`metrics`](osdp_metrics) — MRE, per-bin relative error percentiles,
+//! * [`metrics`] — MRE, per-bin relative error percentiles,
 //!   regret.
-//! * [`attack`](osdp_attack) — the exclusion-attack adversary and OSDP
+//! * [`attack`] — the exclusion-attack adversary and OSDP
 //!   verification tools.
-//! * [`experiments`](osdp_experiments) — one runner per table/figure of the
+//! * [`experiments`] — one runner per table/figure of the
 //!   paper.
 //!
 //! ## Quickstart
@@ -110,11 +110,13 @@ pub mod prelude {
             AllSensitive, AttributePolicy, ClosurePolicy, MinimumRelaxation, NoneSensitive, Policy,
             Sensitivity,
         },
-        Database, Histogram, Histogram2D, OsdpError, Record, SparseHistogram, Value,
+        BinSpec, ColumnarFrame, Database, Histogram, Histogram2D, OsdpError, PolicyMask, Record,
+        SparseHistogram, Value,
     };
     pub use osdp_engine::{
-        histogram_session, pool_from_names, pool_from_specs, AuditLog, AuditRecord, MechanismSpec,
-        OsdpSession, Release, SessionBuilder, SessionQuery,
+        histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs, AuditLog,
+        AuditRecord, Backend, ColumnarBackend, HistogramPair, MechanismSpec, OsdpSession, Release,
+        RowBackend, SessionBuilder, SessionQuery,
     };
     pub use osdp_mechanisms::{
         DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,

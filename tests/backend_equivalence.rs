@@ -1,0 +1,135 @@
+//! Integration: every workload shape the experiment runners use produces
+//! identical numerical output on `RowBackend` and `ColumnarBackend` — same
+//! seeds, same histograms, same audit trail.
+
+use osdp::prelude::*;
+use osdp_data::sampling::{sample_policy, PolicyKind};
+use osdp_data::tippers::occupancy::{ARRIVAL_FIELD, DURATION_FIELD};
+use osdp_data::tippers::{generate_dataset, policy_for_ratio, TippersConfig};
+use osdp_data::BenchmarkDataset;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Record-level sessions: a database released through both backends with the
+/// same seed yields identical tasks, estimates, batches and audit logs.
+#[test]
+fn record_sessions_agree_across_backends() {
+    let db: Database<Record> = (0..2_000)
+        .map(|i| {
+            Record::builder()
+                .field("age", Value::Int(i % 95))
+                .field("zone", Value::Categorical((i % 13) as u32))
+                .build()
+        })
+        .collect();
+    let policy = || AttributePolicy::int_at_most("age", 17);
+    let build = |columnar: bool| {
+        let mut b = SessionBuilder::new(db.clone());
+        if columnar {
+            b = b.columnar();
+        }
+        b.policy(policy(), "minors").seed(4242).build().unwrap()
+    };
+    let row = build(false);
+    let col = build(true);
+    assert_eq!(row.backend_name(), Some("row"));
+    assert_eq!(col.backend_name(), Some("columnar"));
+
+    let queries = [
+        SessionQuery::count_by_categorical("by-zone", "zone", 13),
+        SessionQuery::count_by_int_linear("by-decade", "age", 0, 10, 10),
+        SessionQuery::count_by("by-closure", 5, |r: &Record| {
+            r.int("age").ok().map(|a| (a % 5) as usize)
+        }),
+    ];
+    let mechanism = OsdpLaplaceL1::new(0.8).unwrap();
+    for query in &queries {
+        assert_eq!(row.derive_task(query).unwrap(), col.derive_task(query).unwrap());
+        assert_eq!(row.scan(query).unwrap(), col.scan(query).unwrap());
+        let a = row.release(query, &mechanism).unwrap();
+        let b = col.release(query, &mechanism).unwrap();
+        assert_eq!(a.estimate, b.estimate, "query {:?}", query.label());
+        assert_eq!(
+            row.release_trials(query, &mechanism, 5).unwrap(),
+            col.release_trials(query, &mechanism, 5).unwrap()
+        );
+    }
+    assert_eq!(row.total_spent(), col.total_spent());
+    assert_eq!(row.audit_records().len(), col.audit_records().len());
+}
+
+/// The DPBench runner path: a sampled `(x, x_ns)` pair released through the
+/// weighted-frame columnar session equals the legacy histogram-backed
+/// session bin for bin, mechanism for mechanism.
+#[test]
+fn pair_frame_sessions_reproduce_histogram_sessions_on_dpbench() {
+    let mut rng = ChaCha12Rng::seed_from_u64(2020);
+    let full = BenchmarkDataset::Medcost.generate(&mut rng);
+    for kind in [PolicyKind::Close, PolicyKind::Far] {
+        let policy = sample_policy(kind, &full, 0.75, &mut rng).unwrap();
+        let bound = histogram_session(full.clone(), policy.non_sensitive.clone())
+            .policy_label("P-sampled")
+            .seed(7)
+            .build()
+            .unwrap();
+        let columnar = pair_session(&full, &policy.non_sensitive)
+            .unwrap()
+            .policy_label("P-sampled")
+            .seed(7)
+            .build()
+            .unwrap();
+        let query = pair_query(full.len());
+        // Exact pair reconstruction (integer counts -> exact f64 sums)...
+        let task = columnar.derive_task(&query).unwrap();
+        assert_eq!(task.full(), &full);
+        assert_eq!(task.non_sensitive(), &policy.non_sensitive);
+        // ...hence identical estimates for the whole pool.
+        for name in ["OsdpLaplaceL1", "DAWAz", "DAWA", "Laplace"] {
+            let pool = pool_from_names(&[name], 1.0).unwrap();
+            let a = bound.release_trials(&SessionQuery::bound(), &pool[0], 3).unwrap();
+            let b = columnar.release_trials(&query, &pool[0], 3).unwrap();
+            assert_eq!(a, b, "{name} under the {} policy", kind.name());
+        }
+    }
+}
+
+/// The TIPPERS occupancy workload: the same trajectories scanned as a row
+/// database of occupancy records and as a directly-built Mask64 frame give
+/// identical releases under an access-point policy.
+#[test]
+fn tippers_occupancy_agrees_across_representations() {
+    let mut rng = ChaCha12Rng::seed_from_u64(31);
+    let dataset = generate_dataset(&TippersConfig::small(), &mut rng);
+    let ap_policy = policy_for_ratio(&dataset, 0.75);
+
+    let row = SessionBuilder::new(dataset.occupancy_records())
+        .policy(ap_policy.record_policy(), ap_policy.label())
+        .seed(55)
+        .build()
+        .unwrap();
+    let frame = SessionBuilder::from_frame(dataset.occupancy_frame())
+        .policy(ap_policy.record_policy(), ap_policy.label())
+        .seed(55)
+        .build()
+        .unwrap();
+
+    let arrival_hours = SessionQuery::count_by_int_linear("arrival-hour", ARRIVAL_FIELD, 0, 6, 24);
+    let durations = SessionQuery::count_by_int_linear("duration", DURATION_FIELD, 0, 12, 12);
+    let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+    for query in [&arrival_hours, &durations] {
+        assert_eq!(row.scan(query).unwrap(), frame.scan(query).unwrap());
+        assert_eq!(
+            row.release(query, &mechanism).unwrap().estimate,
+            frame.release(query, &mechanism).unwrap().estimate
+        );
+    }
+
+    // The record-level policy classifies exactly like the trajectory-level
+    // policy it projects: the non-sensitive mass equals the trajectory count
+    // the original policy clears (durations always fit the 12 × 12 domain,
+    // so nothing drops).
+    let cleared = dataset.trajectories().iter().filter(|t| ap_policy.is_non_sensitive(t)).count();
+    let pair = row.scan(&durations).unwrap();
+    assert_eq!(pair.dropped, 0.0);
+    assert_eq!(pair.non_sensitive.total(), cleared as f64);
+}

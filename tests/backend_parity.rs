@@ -1,0 +1,141 @@
+//! Property tests: the columnar backend is an exact drop-in for the row
+//! backend.
+//!
+//! For arbitrary record databases (random field values, random missing
+//! fields), arbitrary query domains and arbitrary attribute policies, the
+//! `HistogramPair` produced by `ColumnarBackend` must be **bitwise
+//! identical** to `RowBackend`'s — full histogram, non-sensitive
+//! sub-histogram and dropped mass — and the per-policy partition cache must
+//! never change results across repeated releases.
+
+use osdp::prelude::*;
+use osdp_engine::QueryPlan;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Builds a database of records with an `age` int field (sometimes missing),
+/// a `zone` categorical field and an `opt` bool field (sometimes missing).
+fn build_db(rows: &[(i64, u32, bool, u8)]) -> Database<Record> {
+    rows.iter()
+        .map(|&(age, zone, opt, missing)| {
+            let mut b = Record::builder();
+            // `missing` bits 0/1 knock out the age/opt fields.
+            if missing & 1 == 0 {
+                b = b.field("age", Value::Int(age));
+            }
+            if missing & 2 == 0 {
+                b = b.field("opt", Value::Bool(opt));
+            }
+            b.field("zone", Value::Categorical(zone)).build()
+        })
+        .collect()
+}
+
+fn plan_for(
+    query: &SessionQuery<Record>,
+    policy: Arc<dyn Policy<Record>>,
+    policy_label: &str,
+) -> QueryPlan<Record> {
+    let SessionQuery::CountBy { label, bins, bin_of, spec } = query.clone() else {
+        panic!("parity plans are CountBy queries");
+    };
+    QueryPlan {
+        label,
+        bins,
+        bin_of,
+        bin_spec: spec,
+        policy,
+        policy_label: policy_label.to_string(),
+    }
+}
+
+fn assert_backends_agree(db: &Database<Record>, plan: &QueryPlan<Record>) {
+    let row = RowBackend::new(db.clone());
+    let col = ColumnarBackend::from_database(db.clone());
+    let a = row.scan(plan).expect("row scan");
+    let b = col.scan(plan).expect("columnar scan");
+    assert_eq!(a, b, "row and columnar scans must be bitwise identical");
+    // Conservation: every record is either binned or dropped.
+    assert_eq!(a.full.total() + a.dropped, db.len() as f64);
+    // Cache stability: scanning again (cache hit) changes nothing, on either
+    // backend.
+    assert_eq!(row.scan(plan).expect("row rescan"), a);
+    assert_eq!(col.scan(plan).expect("columnar rescan"), b);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn columnar_matches_row_for_int_threshold_policies(
+        rows in prop::collection::vec(((-40i64..120), (0u32..16), (0u64..2).prop_map(|b| b == 1), (0u8..4)), 0..80),
+        threshold in -10i64..60,
+        bins in 1usize..12,
+        width in 1i64..25,
+        origin in -20i64..20,
+    ) {
+        let db = build_db(&rows);
+        let policy: Arc<dyn Policy<Record>> =
+            Arc::new(AttributePolicy::int_at_most("age", threshold));
+        let query = SessionQuery::count_by_int_linear("by-age", "age", origin, width, bins);
+        assert_backends_agree(&db, &plan_for(&query, policy, "P-age"));
+    }
+
+    #[test]
+    fn columnar_matches_row_for_categorical_domains(
+        rows in prop::collection::vec(((-40i64..120), (0u32..32), (0u64..2).prop_map(|b| b == 1), (0u8..4)), 0..80),
+        bins in 1usize..40,
+    ) {
+        let db = build_db(&rows);
+        // Opt-in policy with missing fields failing closed (the default).
+        let policy: Arc<dyn Policy<Record>> = Arc::new(AttributePolicy::opt_in("opt"));
+        let query = SessionQuery::count_by_categorical("by-zone", "zone", bins);
+        assert_backends_agree(&db, &plan_for(&query, policy, "P-opt"));
+    }
+
+    #[test]
+    fn columnar_matches_row_for_opaque_policies_and_closure_queries(
+        rows in prop::collection::vec(((-40i64..120), (0u32..16), (0u64..2).prop_map(|b| b == 1), (0u8..4)), 0..60),
+        modulus in 2i64..9,
+        bins in 1usize..10,
+    ) {
+        let db = build_db(&rows);
+        // An opaque closure policy: no compiled form, columnar falls back to
+        // its retained rows — results must still match exactly.
+        let policy: Arc<dyn Policy<Record>> = Arc::new(ClosurePolicy::new(
+            "opaque",
+            move |r: &Record| r.int("age").map(|a| a.rem_euclid(modulus) == 0).unwrap_or(true),
+        ));
+        let query = SessionQuery::count_by("by-zone-closure", bins, move |r: &Record| {
+            r.categorical("zone").ok().map(|z| z as usize)
+        });
+        assert_backends_agree(&db, &plan_for(&query, policy, "P-opaque"));
+    }
+
+    #[test]
+    fn partition_cache_never_changes_results_across_policies(
+        rows in prop::collection::vec(((-40i64..120), (0u32..16), (0u64..2).prop_map(|b| b == 1), (0u8..4)), 0..60),
+        t1 in -10i64..40,
+        t2 in -10i64..40,
+        bins in 1usize..10,
+    ) {
+        // Interleave scans under two policies on ONE backend instance: each
+        // cache entry must keep answering for its own policy.
+        let db = build_db(&rows);
+        let col = ColumnarBackend::from_database(db.clone());
+        let row = RowBackend::new(db);
+        let p1: Arc<dyn Policy<Record>> = Arc::new(AttributePolicy::int_at_most("age", t1));
+        let p2: Arc<dyn Policy<Record>> = Arc::new(AttributePolicy::int_at_most("age", t2));
+        let query = SessionQuery::count_by_int_linear("by-age", "age", 0, 10, bins);
+        let plan1 = plan_for(&query, p1, "P1");
+        let plan2 = plan_for(&query, p2, "P2");
+        let first1 = col.scan(&plan1).unwrap();
+        let first2 = col.scan(&plan2).unwrap();
+        for _ in 0..3 {
+            prop_assert_eq!(&col.scan(&plan1).unwrap(), &first1);
+            prop_assert_eq!(&col.scan(&plan2).unwrap(), &first2);
+        }
+        prop_assert_eq!(&row.scan(&plan1).unwrap(), &first1);
+        prop_assert_eq!(&row.scan(&plan2).unwrap(), &first2);
+    }
+}
