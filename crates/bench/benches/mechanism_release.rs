@@ -1,0 +1,219 @@
+//! Perf trajectory entry 3: the zero-allocation release plane.
+//!
+//! Three comparisons on the DPBench Medcost task (4096 bins, Close policy at
+//! ρx = 0.75):
+//!
+//! 1. **`release_into` vs the scalar `release` oracle**, per mechanism: the
+//!    buffer-reuse path draws noise through monomorphized block fill kernels
+//!    and reuses per-thread scratch (DAWA's merge-tree arena), while the
+//!    scalar path allocates its output and samples through `&mut dyn
+//!    RngCore`. Outputs are bitwise identical (asserted below and
+//!    property-tested in `tests/release_parity.rs`), so the comparison is
+//!    pure wall-clock.
+//! 2. **Trial batches**: the arena-based `release_trials` vs the serial
+//!    scalar loop (single-core numbers; the rayon speedup rides on top on
+//!    multi-core runners).
+//! 3. **Pool amortization**: `release_pool` over the full 8-mechanism pool
+//!    vs the sequential per-mechanism `release_trials` loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osdp_bench::criterion_for_figures;
+use osdp_data::sampling::{sample_policy, PolicyKind};
+use osdp_data::BenchmarkDataset;
+use osdp_engine::{histogram_session, pool_from_names, OsdpSession, SessionQuery};
+use osdp_mechanisms::{HistogramMechanism, HistogramTask};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The paper's repetition count for the DPBench figures.
+const TRIALS: usize = 10;
+
+fn medcost_session() -> OsdpSession {
+    let mut rng = ChaCha12Rng::seed_from_u64(77);
+    let full = BenchmarkDataset::Medcost.generate(&mut rng);
+    let policy = sample_policy(PolicyKind::Close, &full, 0.75, &mut rng).expect("valid parameters");
+    histogram_session(full, policy.non_sensitive)
+        .policy_label("Close-0.75")
+        .seed(77)
+        .build()
+        .expect("sampled sub-histogram")
+}
+
+fn medcost_task() -> HistogramTask {
+    medcost_session().derive_task(&SessionQuery::bound()).expect("bound task")
+}
+
+fn full_pool() -> Vec<Box<dyn HistogramMechanism>> {
+    pool_from_names(
+        &[
+            "OsdpRR",
+            "OsdpLaplace",
+            "OsdpLaplaceL1",
+            "Hybrid",
+            "DAWAz",
+            "Laplace",
+            "DAWA",
+            "Suppress100",
+        ],
+        1.0,
+    )
+    .expect("registry pool")
+}
+
+fn wall_clock<F: FnMut()>(mut f: F, reps: usize) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn bench_release_into(c: &mut Criterion) {
+    let task = medcost_task();
+    let pool = full_pool();
+
+    // Correctness precondition: bitwise-identical output on this exact task.
+    let mut out = osdp_core::Histogram::zeros(0);
+    for mechanism in &pool {
+        let reference = mechanism.release(&task, &mut ChaCha12Rng::seed_from_u64(3));
+        mechanism.release_into(&task, &mut ChaCha12Rng::seed_from_u64(3), &mut out);
+        assert_eq!(reference, out, "{} release_into must match release", mechanism.name());
+    }
+
+    // Headline numbers for the perf-trajectory log: per-mechanism speedup of
+    // the buffer-reuse path over the scalar oracle.
+    eprintln!("[perf-trajectory #3] release_into vs scalar release, Medcost/4096 bins:");
+    for mechanism in &pool {
+        let reps = 120;
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let scalar = wall_clock(
+            || {
+                black_box(mechanism.release(&task, &mut rng));
+            },
+            reps,
+        );
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let reused = wall_clock(
+            || {
+                mechanism.release_into(&task, &mut rng, &mut out);
+                black_box(out.len());
+            },
+            reps,
+        );
+        eprintln!(
+            "  {:<14} scalar {:>8.1} us, release_into {:>8.1} us, speedup {:.2}x",
+            mechanism.name(),
+            scalar * 1e6,
+            reused * 1e6,
+            scalar / reused,
+        );
+    }
+
+    let mut group = c.benchmark_group("mechanism_release_into_4096_bins");
+    for mechanism in &pool {
+        group.bench_with_input(
+            BenchmarkId::new("scalar", mechanism.name()),
+            mechanism,
+            |b, mechanism| {
+                let mut rng = ChaCha12Rng::seed_from_u64(1);
+                b.iter(|| black_box(mechanism.release(&task, &mut rng)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("reuse", mechanism.name()),
+            mechanism,
+            |b, mechanism| {
+                let mut rng = ChaCha12Rng::seed_from_u64(1);
+                let mut out = osdp_core::Histogram::zeros(0);
+                b.iter(|| {
+                    mechanism.release_into(&task, &mut rng, &mut out);
+                    black_box(out.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_trials_batch(c: &mut Criterion) {
+    let session = medcost_session();
+    let dawaz = osdp_mechanisms::Dawaz::new(1.0).unwrap();
+    let mut group = c.benchmark_group("session_trials_batch_medcost_4096");
+    group.bench_function(format!("DAWAz_serial_scalar_x{TRIALS}"), |b| {
+        b.iter(|| {
+            black_box(
+                session.release_trials_serial(&SessionQuery::bound(), &dawaz, TRIALS).unwrap(),
+            )
+        });
+    });
+    group.bench_function(format!("DAWAz_arena_x{TRIALS}"), |b| {
+        b.iter(|| {
+            black_box(session.release_trials(&SessionQuery::bound(), &dawaz, TRIALS).unwrap())
+        });
+    });
+    group.finish();
+}
+
+fn bench_pool_amortization(c: &mut Criterion) {
+    let mechanisms = full_pool();
+    let pool: Vec<&dyn HistogramMechanism> = mechanisms.iter().map(|m| m.as_ref()).collect();
+
+    // Headline number: one pool batch vs the sequential per-mechanism loop
+    // (fresh sessions each rep, so the task cache cannot hide the scans).
+    let reps = 3;
+    let sequential = wall_clock(
+        || {
+            let session = medcost_session();
+            for mechanism in &pool {
+                black_box(
+                    session.release_trials(&SessionQuery::bound(), mechanism, TRIALS).unwrap(),
+                );
+            }
+        },
+        reps,
+    );
+    let batched = wall_clock(
+        || {
+            let session = medcost_session();
+            black_box(session.release_pool(&SessionQuery::bound(), &pool, TRIALS).unwrap());
+        },
+        reps,
+    );
+    eprintln!(
+        "[perf-trajectory #3] 8-mechanism pool x{TRIALS} trials on Medcost/4096: \
+         sequential release_trials {:.1} ms, release_pool {:.1} ms, speedup {:.2}x \
+         on {} threads",
+        sequential * 1e3,
+        batched * 1e3,
+        sequential / batched,
+        rayon::current_num_threads(),
+    );
+
+    let mut group = c.benchmark_group("pool_amortization_medcost_4096");
+    group.bench_function(format!("sequential_release_trials_x{TRIALS}"), |b| {
+        b.iter(|| {
+            let session = medcost_session();
+            for mechanism in &pool {
+                black_box(
+                    session.release_trials(&SessionQuery::bound(), mechanism, TRIALS).unwrap(),
+                );
+            }
+        });
+    });
+    group.bench_function(format!("release_pool_x{TRIALS}"), |b| {
+        b.iter(|| {
+            let session = medcost_session();
+            black_box(session.release_pool(&SessionQuery::bound(), &pool, TRIALS).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = mechanism_release;
+    config = criterion_for_figures();
+    targets = bench_release_into, bench_trials_batch, bench_pool_amortization,
+}
+criterion_main!(mechanism_release);

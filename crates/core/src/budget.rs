@@ -219,6 +219,43 @@ impl BudgetAccountant {
         Ok(())
     }
 
+    /// Records a batch of sequential-composition expenditures **atomically**:
+    /// either every entry is admitted (one ledger entry each, in order) or —
+    /// when the cap cannot cover the batch total, judged by the same
+    /// tolerance rule as [`BudgetAccountant::spend`] — none is, and the
+    /// ledger is untouched.
+    ///
+    /// This is the all-or-nothing primitive behind pool releases: checking
+    /// the total and debiting entry-by-entry at a higher layer would race
+    /// its own tolerance arithmetic against this accountant's and could
+    /// strand a half-debited batch.
+    ///
+    /// `entries` is a list of `(label, policy, epsilon, guarantee)` tuples.
+    pub fn spend_batch(&self, entries: &[(String, String, f64, PrivacyGuarantee)]) -> Result<()> {
+        let mut total = 0.0;
+        for &(_, _, epsilon, _) in entries {
+            validate_epsilon(epsilon)?;
+            total += epsilon;
+        }
+        let mut state = self.state.lock();
+        if let Some(limit) = self.limit {
+            let remaining = limit - state.spent;
+            if total > remaining + 1e-12 {
+                return Err(OsdpError::BudgetExhausted { requested: total, remaining });
+            }
+        }
+        for (label, policy, epsilon, guarantee) in entries {
+            state.spent += epsilon;
+            state.entries.push(LedgerEntry {
+                label: label.clone(),
+                policy: policy.clone(),
+                epsilon: *epsilon,
+                guarantee: *guarantee,
+            });
+        }
+        Ok(())
+    }
+
     /// Records a **parallel** block: mechanisms applied to disjoint partitions
     /// of the data. Under Theorem 10.2 the block costs `max(εᵢ)` rather than
     /// the sum.
@@ -291,6 +328,35 @@ impl BudgetAccountant {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn batch_spend_is_atomic() {
+        let acc = BudgetAccountant::with_limit(1.0).unwrap();
+        let entry = |label: &str, eps: f64| {
+            (label.to_string(), "P".to_string(), eps, PrivacyGuarantee::OneSided)
+        };
+        // A batch exceeding the cap is refused whole: nothing spent, nothing
+        // in the ledger.
+        let too_big = [entry("a", 0.6), entry("b", 0.6)];
+        assert!(matches!(acc.spend_batch(&too_big), Err(OsdpError::BudgetExhausted { .. })));
+        assert_eq!(acc.total_spent(), 0.0);
+        assert!(acc.ledger().is_empty());
+        // A fitting batch is admitted in order, one ledger entry each.
+        let fits = [entry("a", 0.6), entry("b", 0.4)];
+        acc.spend_batch(&fits).unwrap();
+        assert!((acc.total_spent() - 1.0).abs() < 1e-12);
+        let ledger = acc.ledger();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger[0].label, "a");
+        assert_eq!(ledger[1].label, "b");
+        // The accountant is now exhausted for any further batch.
+        assert!(acc.spend_batch(&[entry("c", 0.1)]).is_err());
+        // Invalid epsilons are rejected before anything is admitted.
+        let invalid = [entry("ok", 0.1), entry("bad", -1.0)];
+        let fresh = BudgetAccountant::with_limit(1.0).unwrap();
+        assert!(fresh.spend_batch(&invalid).is_err());
+        assert_eq!(fresh.total_spent(), 0.0);
+    }
 
     #[test]
     fn privacy_budget_validates_and_splits() {

@@ -757,7 +757,7 @@ impl CompiledPolicy {
 /// [`BinSpec::bin_of_record`] is the row-at-a-time reference semantics;
 /// [`BinSpec::assign`] is the vectorized evaluation over a frame. The two
 /// agree exactly, including which rows are dropped.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum BinSpec {
     /// The bin is the categorical code of `field` (non-categorical or missing
     /// values are dropped).

@@ -58,6 +58,24 @@ impl Histogram {
         self.counts
     }
 
+    /// Resizes the histogram to `bins` bins, all zero, **reusing** the
+    /// existing allocation when it is large enough. This is the reset step of
+    /// the buffer-reuse release path (`HistogramMechanism::release_into`):
+    /// callers hand the same output histogram to release after release and
+    /// pay for its allocation once.
+    pub fn reset_zeroed(&mut self, bins: usize) {
+        self.counts.clear();
+        self.counts.resize(bins, 0.0);
+    }
+
+    /// Overwrites this histogram with a copy of `counts`, reusing the
+    /// existing allocation when possible (the buffer-reuse analogue of
+    /// [`Histogram::from_counts`]).
+    pub fn assign(&mut self, counts: &[f64]) {
+        self.counts.clear();
+        self.counts.extend_from_slice(counts);
+    }
+
     /// The count in bin `i` (panics if out of range).
     pub fn get(&self, i: usize) -> f64 {
         self.counts[i]
@@ -276,6 +294,18 @@ mod tests {
         assert_eq!(h.get(2), 3.0);
         assert_eq!(h.clone().into_counts(), vec![1.0, 2.0, 3.0]);
         assert!(Histogram::zeros(0).is_empty());
+    }
+
+    #[test]
+    fn reset_and_assign_reuse_the_buffer() {
+        let mut h = Histogram::from_counts(vec![1.0, 2.0, 3.0, 4.0]);
+        h.reset_zeroed(2);
+        assert_eq!(h.counts(), &[0.0, 0.0]);
+        h.reset_zeroed(5);
+        assert_eq!(h.counts(), &[0.0; 5]);
+        h.assign(&[7.0, 8.0]);
+        assert_eq!(h.counts(), &[7.0, 8.0]);
+        assert_eq!(h, Histogram::from_counts(vec![7.0, 8.0]));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! composes the ε₁ partitioning stage with the ε₂ estimation stage:
 //! `ε = ε₁ + ε₂`.
 
-use crate::partition::{Partition, Partitioner};
+use crate::partition::{Partition, PartitionScratch, Partitioner};
 use osdp_core::error::{validate_epsilon, validate_fraction, Result};
 use osdp_core::Histogram;
 use osdp_noise::Laplace;
@@ -35,6 +35,28 @@ pub struct DawaResult {
     pub partition: Partition,
     /// The noisy bucket totals, aligned with `partition`.
     pub bucket_totals: Vec<f64>,
+}
+
+/// Reusable buffers for [`Dawa::release_into`], the allocation-free release
+/// path. After a call, [`DawaScratch::partition`] and
+/// [`DawaScratch::bucket_totals`] hold the same data a [`DawaResult`] would —
+/// borrowed instead of owned, so a caller running release after release
+/// (trial batches, `DAWAz`'s DP stage) stops paying DAWA's per-release
+/// allocation bill.
+#[derive(Debug, Default)]
+pub struct DawaScratch {
+    partitioner: PartitionScratch,
+    /// The partition chosen by stage 1 of the most recent release.
+    pub partition: Partition,
+    /// The noisy bucket totals of stage 2, aligned with `partition`.
+    pub bucket_totals: Vec<f64>,
+}
+
+impl DawaScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 impl Dawa {
@@ -98,6 +120,49 @@ impl Dawa {
         }
         DawaResult { estimate, partition, bucket_totals }
     }
+
+    /// The allocation-free equivalent of [`Dawa::release`], writing the
+    /// estimate into `out` (resized and overwritten) and leaving the chosen
+    /// partition and noisy bucket totals in `scratch`.
+    ///
+    /// **Contract**: bitwise-identical output and RNG consumption to
+    /// [`Dawa::release`], which stays the oracle (property-tested). The win
+    /// is mechanical: the arena partitioner plus reused buffers remove every
+    /// per-release allocation except the cost evaluator's prefix sums.
+    pub fn release_into<R: Rng + ?Sized>(
+        &self,
+        hist: &Histogram,
+        rng: &mut R,
+        scratch: &mut DawaScratch,
+        out: &mut Histogram,
+    ) {
+        let partitioner = Partitioner::new(self.epsilon1(), self.epsilon2())
+            .expect("budgets validated at construction");
+        let DawaScratch { partitioner: partition_scratch, partition, bucket_totals } = scratch;
+        partitioner.partition_into(hist, rng, partition_scratch, partition);
+
+        // Stage 2 noise, one draw per bucket, pre-drawn as a block through
+        // the fill kernel (the reference path draws the identical sequence
+        // one bucket at a time).
+        let noise = Laplace::for_epsilon(2.0, self.epsilon2()).expect("validated at construction");
+        let noise_buf = partition_scratch.noise_buffer();
+        noise_buf.resize(partition.len(), 0.0);
+        noise.fill(noise_buf, rng);
+
+        out.reset_zeroed(hist.len());
+        let counts = out.counts_mut();
+        bucket_totals.clear();
+        bucket_totals.reserve(partition.len());
+        for (&(start, end), &z) in partition.iter().zip(noise_buf.iter()) {
+            let true_total = hist.range_sum(start..end);
+            let noisy_total = (true_total + z).max(0.0);
+            bucket_totals.push(noisy_total);
+            let per_bin = noisy_total / (end - start) as f64;
+            for slot in &mut counts[start..end] {
+                *slot = per_bin;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,6 +206,22 @@ mod tests {
             for i in start..end {
                 assert!((result.estimate.get(i) - per_bin).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn release_into_matches_release_bitwise() {
+        let d = Dawa::new(0.7).unwrap();
+        let hist = Histogram::from_counts((0..512).map(|i| ((i / 32) * 7) as f64).collect());
+        let mut scratch = DawaScratch::new();
+        let mut out = Histogram::zeros(0);
+        for seed in [1u64, 44, 901] {
+            let reference = d.release(&hist, &mut ChaCha12Rng::seed_from_u64(seed));
+            // Scratch and output buffer reused across seeds.
+            d.release_into(&hist, &mut ChaCha12Rng::seed_from_u64(seed), &mut scratch, &mut out);
+            assert_eq!(reference.estimate, out);
+            assert_eq!(reference.partition, scratch.partition);
+            assert_eq!(reference.bucket_totals, scratch.bucket_totals);
         }
     }
 

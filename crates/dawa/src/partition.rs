@@ -29,6 +29,66 @@ use serde::{Deserialize, Serialize};
 /// (half-open intervals), in increasing order.
 pub type Partition = Vec<(usize, usize)>;
 
+/// Reusable buffers for the allocation-free partitioning path.
+///
+/// The reference [`Partitioner::partition`] allocates one `Vec` per tree node
+/// (≈ 2·domain small allocations per release) and carries 32-byte node
+/// structs through every merge. The arena path exploits a structural fact of
+/// the dyadic merge (including its odd-node carry rule): the node at
+/// `(level, index)` always covers exactly
+/// `[index << level, min(index << level + 2^level, domain))`, so the only
+/// per-node state worth storing is the best cost and one decision bit. A
+/// scratch amortizes to zero allocations once it has been through one
+/// release of the same domain size.
+#[derive(Debug, Default)]
+pub struct PartitionScratch {
+    /// `costs[l][j]`: best cost of node `j` at tree level `l` (0 = leaves).
+    costs: Vec<Vec<f64>>,
+    /// `merged[l][j]`: whether node `j`'s best solution is the single merged
+    /// bucket (`true`) or its children's concatenated partitions.
+    merged: Vec<Vec<bool>>,
+    /// Per-level noise block (leaf costs, then one draw per attempted merge).
+    noise: Vec<f64>,
+    /// DFS stack of `(level, index)` used by partition reconstruction.
+    stack: Vec<(usize, usize)>,
+}
+
+impl PartitionScratch {
+    /// An empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The noise block, free for reuse between partitioning runs (stage 2 of
+    /// `Dawa::release_into` borrows it for the bucket-total draws).
+    pub(crate) fn noise_buffer(&mut self) -> &mut Vec<f64> {
+        &mut self.noise
+    }
+
+    /// Clears and returns handles to level `depth`'s buffers, growing the
+    /// per-level vectors on first use.
+    fn level_mut(&mut self, depth: usize) -> (&mut Vec<f64>, &mut Vec<bool>) {
+        while self.costs.len() <= depth {
+            self.costs.push(Vec::new());
+            self.merged.push(Vec::new());
+        }
+        let costs = &mut self.costs[depth];
+        let merged = &mut self.merged[depth];
+        costs.clear();
+        merged.clear();
+        (costs, merged)
+    }
+}
+
+/// The interval covered by dyadic-tree node `(level, index)` over a domain
+/// of `n` bins (the odd-carry rule preserves this invariant: a carried node
+/// keeps its index scaled by 2 and always sits at the ragged right edge).
+#[inline]
+fn node_interval(level: usize, index: usize, n: usize) -> (usize, usize) {
+    let start = index << level;
+    (start, (start + (1usize << level)).min(n))
+}
+
 /// The ε₁-private dyadic partitioner.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Partitioner {
@@ -127,6 +187,112 @@ impl Partitioner {
         }
         level.pop().map(|n| n.partition).unwrap_or_default()
     }
+
+    /// The allocation-free equivalent of [`Partitioner::partition`], writing
+    /// the chosen partition into `out` and reusing `scratch` across calls.
+    ///
+    /// **Contract**: consumes the RNG draw-for-draw like the reference path
+    /// (one leaf cost per bin, one noise draw per attempted merge, in the
+    /// same order) and produces the bitwise-identical partition — the
+    /// reference `partition` stays the oracle, and the parity is
+    /// property-tested. What changes is purely mechanical: tree levels live
+    /// in flat arena buffers and each merge stores a decision bit instead of
+    /// cloning bucket lists, so the ≈ `2·domain` per-node `Vec` allocations
+    /// of the reference path disappear from the hot loop.
+    pub fn partition_into<R: Rng + ?Sized>(
+        &self,
+        hist: &Histogram,
+        rng: &mut R,
+        scratch: &mut PartitionScratch,
+        out: &mut Partition,
+    ) {
+        out.clear();
+        let n = hist.len();
+        if n == 0 {
+            return;
+        }
+        if n == 1 {
+            out.push((0, 1));
+            return;
+        }
+        let ev = CostEvaluator::new(hist);
+        let levels = (n as f64).log2().ceil().max(1.0);
+        let noise = Laplace::centered(4.0 * levels / self.epsilon1)
+            .expect("scale is positive by construction");
+
+        // Level 0: one leaf per bin, its noise drawn through the block fill
+        // kernel (bitwise-identical to the reference path's per-leaf
+        // sampling). A leaf's best solution is itself, so its merged bit is
+        // set.
+        let mut depth = 0usize;
+        scratch.noise.resize(n, 0.0);
+        noise.fill(&mut scratch.noise, rng);
+        {
+            let noise_buf = std::mem::take(&mut scratch.noise);
+            let (costs, merged) = scratch.level_mut(0);
+            costs.extend(noise_buf.iter().map(|z| self.bucket_constant + z));
+            merged.resize(n, true);
+            scratch.noise = noise_buf;
+        }
+
+        // Bottom-up merge, identical pairing and draw order to the reference
+        // path: each level's merge noise is pre-drawn as one block (the
+        // reference draws the same variates one pair at a time, in the same
+        // order), and the odd trailing node is carried up verbatim (its
+        // child mapping stays `2·j` because `2·⌊len/2⌋ = len − 1` for odd
+        // lengths).
+        while scratch.costs[depth].len() > 1 {
+            let len = scratch.costs[depth].len();
+            let pairs = len / 2;
+            scratch.noise.resize(pairs, 0.0);
+            noise.fill(&mut scratch.noise[..pairs], rng);
+
+            // The next level is built into buffers temporarily moved out of
+            // the scratch, so the current level can be read in peace.
+            let (next_costs_slot, next_merged_slot) = scratch.level_mut(depth + 1);
+            let mut next_costs = std::mem::take(next_costs_slot);
+            let mut next_merged = std::mem::take(next_merged_slot);
+            next_costs.reserve(pairs + 1);
+            next_merged.reserve(pairs + 1);
+            let cur_costs = &scratch.costs[depth];
+            let cur_merged = &scratch.merged[depth];
+            for (j, z) in scratch.noise[..pairs].iter().enumerate() {
+                let (start, end) = node_interval(depth + 1, j, n);
+                let merged_cost = ev.bucket_cost(start, end) + self.bucket_constant + z;
+                let split_cost = cur_costs[2 * j] + cur_costs[2 * j + 1];
+                if merged_cost <= split_cost {
+                    next_costs.push(merged_cost);
+                    next_merged.push(true);
+                } else {
+                    next_costs.push(split_cost);
+                    next_merged.push(false);
+                }
+            }
+            if len % 2 == 1 {
+                next_costs.push(cur_costs[len - 1]);
+                next_merged.push(cur_merged[len - 1]);
+            }
+            scratch.costs[depth + 1] = next_costs;
+            scratch.merged[depth + 1] = next_merged;
+            depth += 1;
+        }
+
+        // Reconstruct the winning partition left-to-right by following the
+        // decision bits (right child pushed first so the left pops first).
+        scratch.stack.clear();
+        scratch.stack.push((depth, 0));
+        while let Some((lvl, j)) = scratch.stack.pop() {
+            if lvl == 0 || scratch.merged[lvl][j] {
+                out.push(node_interval(lvl, j, n));
+            } else {
+                let child_len = scratch.costs[lvl - 1].len();
+                if 2 * j + 1 < child_len {
+                    scratch.stack.push((lvl - 1, 2 * j + 1));
+                }
+                scratch.stack.push((lvl - 1, 2 * j));
+            }
+        }
+    }
 }
 
 /// Checks that a partition covers `0..domain` with consecutive, non-empty,
@@ -174,6 +340,30 @@ mod tests {
             assert!(is_valid_partition(&partition, n), "n={n}: {partition:?}");
         }
         assert!(p.partition(&Histogram::zeros(0), &mut r).is_empty());
+    }
+
+    #[test]
+    fn arena_partitioner_matches_the_reference_bitwise() {
+        use rand::RngCore;
+        let p = Partitioner::new(0.4, 0.8).unwrap();
+        let mut scratch = PartitionScratch::new();
+        let mut out = Partition::new();
+        for n in [0usize, 1, 2, 3, 5, 7, 16, 100, 257, 1024] {
+            for seed in [0u64, 3, 91] {
+                let hist =
+                    Histogram::from_counts((0..n).map(|i| ((i * 7) % 13) as f64 * 10.0).collect());
+                let mut reference_rng = ChaCha12Rng::seed_from_u64(seed);
+                let reference = p.partition(&hist, &mut reference_rng);
+                // The scratch is deliberately reused across domain sizes.
+                let mut arena_rng = ChaCha12Rng::seed_from_u64(seed);
+                p.partition_into(&hist, &mut arena_rng, &mut scratch, &mut out);
+                assert_eq!(reference, out, "n={n}, seed={seed}");
+                if n > 1 {
+                    // Same residual RNG state: draw-for-draw consumption.
+                    assert_eq!(reference_rng.next_u64(), arena_rng.next_u64());
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,18 +6,23 @@ use osdp_core::Guarantee;
 use osdp_metrics::{json_number, json_string};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One audited release.
+///
+/// The three label fields are shared `Arc<str>`s interned by the session:
+/// appending a record to the log costs three reference-count increments, not
+/// three string allocations, which matters in the trial-batch hot path.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AuditRecord {
     /// Monotone release index within the session.
     pub index: u64,
     /// Mechanism display name.
-    pub mechanism: String,
+    pub mechanism: Arc<str>,
     /// Label of the policy the release was evaluated under.
-    pub policy: String,
+    pub policy: Arc<str>,
     /// Label of the query answered.
-    pub query: String,
+    pub query: Arc<str>,
     /// Number of histogram bins released (0 for record-sample releases).
     pub bins: usize,
     /// Number of trials in the batch (1 for single releases).
@@ -41,9 +46,9 @@ impl AuditRecord {
             label: if self.trials > 1 {
                 format!("{} x{}", self.mechanism, self.trials)
             } else {
-                self.mechanism.clone()
+                self.mechanism.to_string()
             },
-            policy: self.policy.clone(),
+            policy: self.policy.to_string(),
             epsilon: self.total_epsilon(),
             guarantee: self.guarantee.kind(),
         }

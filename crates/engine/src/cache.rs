@@ -1,0 +1,112 @@
+//! The session task cache: derive each [`HistogramTask`] once, serve it to
+//! every release that asks the same question.
+//!
+//! Pool runners (the regret and crossover experiments of Section 6.3.3.2)
+//! release the *same query under the same policy* through every mechanism of
+//! a pool; before this cache each `release_trials` call re-ran the backend
+//! scan, so an 8-mechanism pool paid for 8 identical scans. The cache keys a
+//! derived task by the **identities** that determine the scan's result —
+//! query (bin count + bin-closure allocation), policy allocation, and backend
+//! allocation; the human-readable query/policy labels are projections of
+//! those identities and never influence a scan's output. Each entry retains
+//! the `Arc`s whose addresses key it, so an address can never be recycled
+//! into a colliding key while the entry lives (the same no-ABA argument as
+//! the backend partition cache).
+//!
+//! Data behind a backend is immutable for the backend's lifetime, so entries
+//! never go stale; the cache is capacity-bounded and cleared when full (a
+//! pure cache: results are recomputed, never wrong).
+
+use crate::backend::Backend;
+use osdp_core::error::Result;
+use osdp_core::frame::BinSpec;
+use osdp_core::policy::Policy;
+use osdp_mechanisms::HistogramTask;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cap on cached tasks per session (a pool experiment uses one entry per
+/// bound query; 64 covers any realistic workload with room to spare).
+const TASK_CACHE_CAP: usize = 64;
+
+/// Identity key: `(bins, bin-closure, policy, backend)` allocations, plus
+/// the query's compiled bin spec **by value** — a hand-built query can pair
+/// an existing closure `Arc` with a different spec, and columnar backends
+/// scan through the spec, so spec-divergent queries must not share an entry.
+type TaskKey = (usize, usize, usize, usize, Option<BinSpec>);
+
+/// The row-level bin assignment closure, as stored by queries and plans.
+type BinOf<R> = Arc<dyn Fn(&R) -> Option<usize> + Send + Sync>;
+
+/// A cached derivation plus the pinned allocations that key it.
+struct TaskEntry<R> {
+    /// Pinned so the closure allocation outlives the entry (no ABA).
+    _bin_of: BinOf<R>,
+    /// Pinned so the policy allocation outlives the entry (no ABA).
+    _policy: Arc<dyn Policy<R>>,
+    /// Pinned so the backend allocation outlives the entry (no ABA).
+    _backend: Arc<dyn Backend<R>>,
+    task: Arc<HistogramTask>,
+}
+
+/// The per-session task cache.
+pub(crate) struct TaskCache<R> {
+    entries: Mutex<HashMap<TaskKey, TaskEntry<R>>>,
+}
+
+impl<R> TaskCache<R> {
+    /// An empty cache.
+    pub(crate) fn new() -> Self {
+        Self { entries: Mutex::new(HashMap::new()) }
+    }
+
+    /// Number of live entries (test probe).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Returns the cached task for the identity key, deriving it with
+    /// `derive` (the backend scan) on a miss. The scan runs outside the
+    /// cache lock; two racing derivations of one key produce equal tasks, so
+    /// keeping the first inserted is safe.
+    pub(crate) fn get_or_derive(
+        &self,
+        bins: usize,
+        bin_of: &BinOf<R>,
+        spec: Option<&BinSpec>,
+        policy: &Arc<dyn Policy<R>>,
+        backend: &Arc<dyn Backend<R>>,
+        derive: impl FnOnce() -> Result<HistogramTask>,
+    ) -> Result<Arc<HistogramTask>> {
+        let key: TaskKey = (
+            bins,
+            Arc::as_ptr(bin_of) as *const () as usize,
+            Arc::as_ptr(policy) as *const () as usize,
+            Arc::as_ptr(backend) as *const () as usize,
+            spec.cloned(),
+        );
+        if let Some(entry) = self.entries.lock().get(&key) {
+            return Ok(Arc::clone(&entry.task));
+        }
+        let task = Arc::new(derive()?);
+        let mut entries = self.entries.lock();
+        if entries.len() >= TASK_CACHE_CAP {
+            entries.clear();
+        }
+        let entry = entries.entry(key).or_insert_with(|| TaskEntry {
+            _bin_of: Arc::clone(bin_of),
+            _policy: Arc::clone(policy),
+            _backend: Arc::clone(backend),
+            task,
+        });
+        Ok(Arc::clone(&entry.task))
+    }
+}
+
+impl<R> std::fmt::Debug for TaskCache<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskCache").field("entries", &self.entries.lock().len()).finish()
+    }
+}

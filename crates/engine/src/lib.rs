@@ -34,11 +34,18 @@
 //! * an **audit log** ([`AuditLog`]) of every release — mechanism, policy,
 //!   query, guarantee — whose ledger view is consumable by
 //!   `osdp_attack::verify_ledger`;
-//! * a **parallel batch path** ([`OsdpSession::release_trials`]): the
-//!   10-trial × ε-grid loops of the evaluation harness run one trial per
-//!   core via rayon, with per-trial RNG streams derived deterministically
-//!   from the session seed (the parallel and serial paths produce identical
-//!   output);
+//! * a **zero-allocation batch plane**: [`OsdpSession::release_trials`]
+//!   runs one trial per core via rayon, writing into a preallocated output
+//!   arena through the buffer-reuse
+//!   [`HistogramMechanism::release_into`](osdp_mechanisms::HistogramMechanism::release_into)
+//!   path (block noise kernels, per-thread mechanism scratch), with
+//!   per-trial RNG streams derived deterministically from the session seed —
+//!   [`OsdpSession::release_trials_serial`] is the scalar oracle the batch
+//!   path must (and is property-tested to) reproduce bitwise;
+//! * a **task cache** keyed by query/policy/backend identity: repeated
+//!   releases of one question run one backend scan, and
+//!   [`OsdpSession::release_pool`] amortizes that single scan plus a single
+//!   grant-lock debit across a whole mechanism pool;
 //! * a serde-friendly **mechanism registry** ([`MechanismSpec`]): pools are
 //!   constructed by name from experiment configurations instead of being
 //!   hard-wired at each call site.
@@ -88,12 +95,44 @@
 //! backend — the columnar backend falls back to its retained rows — and
 //! pre-aggregated `(x, x_ns)` pairs ride the same pipeline as weighted
 //! frames via [`pair_session`] / [`pair_query`].
+//!
+//! ## Pool experiments
+//!
+//! Pool runners (the regret analysis of Section 6.3.3.2) release the same
+//! query through every mechanism of a pool. [`OsdpSession::release_pool`]
+//! batches the whole pool: **one** backend scan (served by the task cache),
+//! **one** grant-lock critical section debiting every mechanism
+//! all-or-nothing, and one rayon fan-out over every `(mechanism, trial)`
+//! pair. Accounting and estimates are identical — bitwise, for the
+//! estimates — to calling [`OsdpSession::release_trials`] once per mechanism
+//! in pool order:
+//!
+//! ```
+//! use osdp_core::Histogram;
+//! use osdp_engine::{histogram_session, pool_from_names, SessionQuery};
+//! use osdp_mechanisms::HistogramMechanism;
+//!
+//! let full = Histogram::from_counts(vec![120.0, 45.0, 0.0, 80.0]);
+//! let ns = Histogram::from_counts(vec![100.0, 40.0, 0.0, 0.0]);
+//! let session =
+//!     histogram_session(full, ns).policy_label("P-sampled").seed(7).build().unwrap();
+//!
+//! let mechanisms = pool_from_names(&["OsdpLaplaceL1", "DAWAz", "DAWA"], 1.0).unwrap();
+//! let pool: Vec<&dyn HistogramMechanism> = mechanisms.iter().map(|m| m.as_ref()).collect();
+//! // 3 mechanisms × 10 trials: one scan, one grant batch, one fan-out.
+//! let releases = session.release_pool(&SessionQuery::bound(), &pool, 10).unwrap();
+//! assert_eq!(releases.len(), 3);
+//! assert!(releases.iter().all(|r| r.estimates.len() == 10));
+//! assert_eq!(session.total_spent(), 30.0);
+//! ```
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod audit;
 pub mod backend;
+pub(crate) mod cache;
+pub(crate) mod intern;
 pub mod registry;
 pub mod session;
 
@@ -101,5 +140,6 @@ pub use audit::{AuditLog, AuditRecord};
 pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
 pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
 pub use session::{
-    histogram_session, pair_query, pair_session, OsdpSession, Release, SessionBuilder, SessionQuery,
+    histogram_session, pair_query, pair_session, OsdpSession, PoolRelease, Release, SessionBuilder,
+    SessionQuery,
 };

@@ -2,6 +2,8 @@
 
 use crate::audit::{AuditLog, AuditRecord};
 use crate::backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
+use crate::cache::TaskCache;
+use crate::intern::Interner;
 use osdp_core::error::{OsdpError, Result};
 use osdp_core::frame::{BinSpec, ColumnarFrame, PAIR_BIN_FIELD, PAIR_FLAG_FIELD};
 use osdp_core::policy::{AttributePolicy, MinimumRelaxation, Policy};
@@ -21,7 +23,7 @@ type UsedPolicies<R> = Vec<(String, Arc<dyn Policy<R>>)>;
 /// DPBench-style experiment harness produces with sampled policies).
 enum Source<R> {
     Records { backend: Arc<dyn Backend<R>>, policy: Arc<dyn Policy<R>> },
-    Bound { task: HistogramTask },
+    Bound { task: Arc<HistogramTask> },
 }
 
 /// A histogram query answered by a session.
@@ -158,6 +160,21 @@ pub struct Release {
     pub guarantee: Guarantee,
     /// The session release index (audit-log key).
     pub index: u64,
+}
+
+/// One mechanism's slice of an [`OsdpSession::release_pool`] batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolRelease {
+    /// Mechanism display name.
+    pub mechanism: String,
+    /// The audit-log release index of this mechanism's trial batch.
+    pub index: u64,
+    /// The guarantee of **one** trial (the batch cost `trials × ε`).
+    pub guarantee: Guarantee,
+    /// The per-trial estimates, identical to what
+    /// [`OsdpSession::release_trials`] would have produced for this
+    /// mechanism.
+    pub estimates: Vec<Histogram>,
 }
 
 /// Starts a histogram-backed session (see
@@ -333,19 +350,22 @@ impl<R> SessionBuilder<R> {
                             .into(),
                     ));
                 }
-                let task = HistogramTask::new(full, non_sensitive)?;
+                let task = Arc::new(HistogramTask::new(full, non_sensitive)?);
                 (Source::Bound { task }, Vec::new())
             }
             _ => unreachable!("builder constructors set exactly one source"),
         };
         Ok(OsdpSession {
             source,
-            policy_label,
+            policy_label: policy_label.into(),
             accountant,
             seeds: SeedSequence::new(self.seed),
             audit: AuditLog::new(),
             policies: Mutex::new(policies),
             grant_lock: Mutex::new(()),
+            tasks: TaskCache::new(),
+            labels: Interner::new(),
+            stream_labels: Interner::new(),
         })
     }
 }
@@ -409,7 +429,7 @@ pub fn pair_query(bins: usize) -> SessionQuery<Record> {
 /// noisy histograms. See the crate docs for the full contract.
 pub struct OsdpSession<R = Record> {
     source: Source<R>,
-    policy_label: String,
+    policy_label: Arc<str>,
     accountant: BudgetAccountant,
     seeds: SeedSequence,
     audit: AuditLog,
@@ -419,6 +439,14 @@ pub struct OsdpSession<R = Record> {
     /// Serialises debit + audit append so the accountant ledger and the
     /// audit log agree on release order even under concurrent callers.
     grant_lock: Mutex<()>,
+    /// Derived-task cache: one backend scan per distinct (query, policy,
+    /// backend) identity, shared by every release path.
+    tasks: TaskCache<R>,
+    /// Interned audit labels (mechanism / policy / query).
+    labels: Interner,
+    /// Interned RNG stream labels (`release/<mechanism>`), so single
+    /// releases stop paying a `format!` each.
+    stream_labels: Interner,
 }
 
 impl<R> std::fmt::Debug for OsdpSession<R> {
@@ -494,8 +522,28 @@ impl<R> OsdpSession<R> {
     /// as non-sensitive, computed by the bound [`Backend`]. This is the
     /// **only** place outside mechanism tests where tasks are constructed,
     /// which is what keeps `x_ns` consistent with `P` across the workspace.
+    ///
+    /// Served through the session's task cache: repeated derivations of the
+    /// same query under the bound policy run **one** backend scan.
     pub fn derive_task(&self, query: &SessionQuery<R>) -> Result<HistogramTask> {
-        self.derive_task_under(query, None, &self.policy_label)
+        Ok((*self.cached_task(query)?).clone())
+    }
+
+    /// The cache-aware task derivation behind every release path. Keyed by
+    /// the identities that determine the scan result (query closure, policy,
+    /// backend); mismatched source/query combinations fall through to the
+    /// scan path, which reports the precise error.
+    fn cached_task(&self, query: &SessionQuery<R>) -> Result<Arc<HistogramTask>> {
+        match (&self.source, query) {
+            (Source::Bound { task }, SessionQuery::Bound) => Ok(Arc::clone(task)),
+            (
+                Source::Records { backend, policy },
+                SessionQuery::CountBy { bins, bin_of, spec, .. },
+            ) => self.tasks.get_or_derive(*bins, bin_of, spec.as_ref(), policy, backend, || {
+                self.scan_under(query, None, &self.policy_label)?.into_task()
+            }),
+            _ => Ok(Arc::new(self.derive_task_under(query, None, &self.policy_label)?)),
+        }
     }
 
     /// Runs the backend scan for `query` under the bound policy, returning
@@ -512,7 +560,7 @@ impl<R> OsdpSession<R> {
         policy_label: &str,
     ) -> Result<HistogramTask> {
         match (&self.source, query) {
-            (Source::Bound { task }, SessionQuery::Bound) => Ok(task.clone()),
+            (Source::Bound { task }, SessionQuery::Bound) => Ok((**task).clone()),
             _ => self.scan_under(query, policy_override, policy_label)?.into_task(),
         }
     }
@@ -563,7 +611,7 @@ impl<R> OsdpSession<R> {
         query: &SessionQuery<R>,
         mechanism: &dyn HistogramMechanism,
     ) -> Result<Release> {
-        self.release_inner(query, mechanism, None, self.policy_label.clone())
+        self.release_inner(query, mechanism, None, Arc::clone(&self.policy_label))
     }
 
     /// Releases under a *different* policy than the one bound at
@@ -582,7 +630,8 @@ impl<R> OsdpSession<R> {
                 "histogram-backed sessions have a fixed sampled policy".into(),
             ));
         }
-        self.release_inner(query, mechanism, Some(policy), label.into())
+        let label = self.labels.get(&label.into());
+        self.release_inner(query, mechanism, Some(policy), label)
     }
 
     fn release_inner(
@@ -590,10 +639,19 @@ impl<R> OsdpSession<R> {
         query: &SessionQuery<R>,
         mechanism: &dyn HistogramMechanism,
         policy_override: Option<Arc<dyn Policy<R>>>,
-        policy_label: String,
+        policy_label: Arc<str>,
     ) -> Result<Release> {
-        let task = self.derive_task_under(query, policy_override.as_ref(), &policy_label)?;
+        // Policy overrides bypass the task cache (the cache key is the bound
+        // policy's identity); the default path is served from it.
+        let task = match &policy_override {
+            None => self.cached_task(query)?,
+            Some(_) => {
+                Arc::new(self.derive_task_under(query, policy_override.as_ref(), &policy_label)?)
+            }
+        };
         let guarantee = mechanism.guarantee();
+        let mechanism_label = self.labels.get(mechanism.name());
+        let query_label = self.labels.get(query.label());
         // Debit before sampling: a refused spend must not leak a sample. The
         // grant lock makes debit + audit append one atomic step, so ledger
         // order and audit order agree even under concurrent callers; the
@@ -601,7 +659,7 @@ impl<R> OsdpSession<R> {
         let grant = self.grant_lock.lock();
         self.accountant.spend(
             mechanism.name(),
-            policy_label.clone(),
+            &*policy_label,
             guarantee.epsilon(),
             guarantee.kind(),
         )?;
@@ -610,20 +668,25 @@ impl<R> OsdpSession<R> {
         }
         let index = self.audit.append_next(|index| AuditRecord {
             index,
-            mechanism: mechanism.name().to_string(),
-            policy: policy_label.clone(),
-            query: query.label().to_string(),
+            mechanism: Arc::clone(&mechanism_label),
+            policy: Arc::clone(&policy_label),
+            query: query_label,
             bins: task.bins(),
             trials: 1,
             guarantee,
         });
         drop(grant);
-        let mut rng = self.seeds.rng_for(&format!("release/{}", mechanism.name()), index);
-        let estimate = mechanism.release(&task, &mut rng);
+        // Interned stream label: same content as the historical
+        // `format!("release/{name}")`, built once per mechanism name.
+        let stream =
+            self.stream_labels.get_with(mechanism.name(), |name| format!("release/{name}"));
+        let mut rng = self.seeds.rng_for(&stream, index);
+        let mut estimate = Histogram::zeros(0);
+        mechanism.release_into(&task, &mut rng, &mut estimate);
         Ok(Release {
             estimate,
             mechanism: mechanism.name().to_string(),
-            policy: policy_label,
+            policy: policy_label.to_string(),
             guarantee,
             index,
         })
@@ -644,20 +707,29 @@ impl<R> OsdpSession<R> {
         trials: usize,
     ) -> Result<Vec<Histogram>> {
         let (task, index) = self.begin_trials(query, mechanism, trials)?;
+        // One stream-label format per batch (not per trial); the label
+        // content is unchanged, so streams are stable across versions.
+        let stream = format!("trials/{index}/{}", mechanism.name());
+        // Preallocated output arena: every estimate's buffer exists before
+        // the first worker runs, and each worker fills its slot through the
+        // buffer-reuse path (per-thread mechanism scratch included).
+        let mut arena: Vec<Histogram> = vec![Histogram::zeros(task.bins()); trials];
+        let slots: Vec<(u64, &mut Histogram)> =
+            arena.iter_mut().enumerate().map(|(trial, slot)| (trial as u64, slot)).collect();
         let seeds = &self.seeds;
-        let estimates: Vec<Histogram> = (0..trials as u64)
-            .into_par_iter()
-            .map(|trial| {
-                let mut rng = seeds.rng_for(&format!("trials/{index}/{}", mechanism.name()), trial);
-                mechanism.release(&task, &mut rng)
-            })
-            .collect();
-        Ok(estimates)
+        let task = &*task;
+        slots.into_par_iter().for_each(|(trial, slot)| {
+            let mut rng = seeds.rng_for(&stream, trial);
+            mechanism.release_into(task, &mut rng, slot);
+        });
+        Ok(arena)
     }
 
     /// The sequential reference path for [`OsdpSession::release_trials`]:
-    /// identical accounting, audit record and output, one trial at a time.
-    /// Kept for benchmarking and for debugging parallel-execution issues.
+    /// identical accounting, audit record and output, one trial at a time
+    /// through the scalar [`HistogramMechanism::release`] oracle. Kept for
+    /// benchmarking and as the bitwise-parity baseline of the buffer-reuse
+    /// batch path.
     pub fn release_trials_serial(
         &self,
         query: &SessionQuery<R>,
@@ -665,40 +737,148 @@ impl<R> OsdpSession<R> {
         trials: usize,
     ) -> Result<Vec<Histogram>> {
         let (task, index) = self.begin_trials(query, mechanism, trials)?;
+        let stream = format!("trials/{index}/{}", mechanism.name());
         Ok((0..trials as u64)
             .map(|trial| {
-                let mut rng =
-                    self.seeds.rng_for(&format!("trials/{index}/{}", mechanism.name()), trial);
+                let mut rng = self.seeds.rng_for(&stream, trial);
                 mechanism.release(&task, &mut rng)
             })
             .collect())
     }
 
-    /// Shared preamble of the two batch paths: derive the task, debit the
-    /// whole batch, append the audit record, allocate the release index.
+    /// Releases `trials` estimates of the same query through **every**
+    /// mechanism of a pool, amortizing the per-mechanism fixed costs across
+    /// the whole pool:
+    ///
+    /// * **one backend scan** — the task is derived once (served by the task
+    ///   cache) and shared by all `pool.len() × trials` releases;
+    /// * **one grant-lock batch** — a single critical section debits every
+    ///   mechanism and appends every audit record, all-or-nothing: if the
+    ///   remaining budget cannot cover the entire pool batch, nothing is
+    ///   spent, logged or sampled;
+    /// * one rayon fan-out over all `(mechanism, trial)` pairs, writing into
+    ///   a preallocated arena.
+    ///
+    /// Accounting, audit records and estimates are identical (bitwise, for
+    /// the estimates) to calling [`OsdpSession::release_trials`] once per
+    /// mechanism in pool order — this is the batch form pool experiments
+    /// (Section 6.3.3.2's regret analysis) should use.
+    pub fn release_pool(
+        &self,
+        query: &SessionQuery<R>,
+        pool: &[&dyn HistogramMechanism],
+        trials: usize,
+    ) -> Result<Vec<PoolRelease>> {
+        if trials == 0 {
+            return Err(OsdpError::InvalidInput("release_pool needs trials >= 1".into()));
+        }
+        if pool.is_empty() {
+            return Err(OsdpError::InvalidInput("release_pool needs a non-empty pool".into()));
+        }
+        // One scan for the whole pool.
+        let task = self.cached_task(query)?;
+        let query_label = self.labels.get(query.label());
+        let guarantees: Vec<Guarantee> = pool.iter().map(|m| m.guarantee()).collect();
+
+        // One grant-lock batch: the accountant's atomic batch spend admits
+        // or refuses the whole pool (all-or-nothing), and the audit records
+        // are appended under the same critical section so ledger order and
+        // audit order agree. The debit entries are identical to what a
+        // sequential per-mechanism release_trials loop would record.
+        let debits: Vec<_> = pool
+            .iter()
+            .zip(&guarantees)
+            .map(|(mechanism, guarantee)| {
+                (
+                    format!("{} x{}", mechanism.name(), trials),
+                    self.policy_label.to_string(),
+                    guarantee.epsilon() * trials as f64,
+                    guarantee.kind(),
+                )
+            })
+            .collect();
+        let grant = self.grant_lock.lock();
+        self.accountant.spend_batch(&debits)?;
+        let mut indices = Vec::with_capacity(pool.len());
+        for (mechanism, guarantee) in pool.iter().zip(&guarantees) {
+            let mechanism_label = self.labels.get(mechanism.name());
+            let index = self.audit.append_next(|index| AuditRecord {
+                index,
+                mechanism: mechanism_label,
+                policy: Arc::clone(&self.policy_label),
+                query: Arc::clone(&query_label),
+                bins: task.bins(),
+                trials,
+                guarantee: *guarantee,
+            });
+            indices.push(index);
+        }
+        drop(grant);
+
+        // Streams are keyed exactly as release_trials keys them, so the pool
+        // batch reproduces the sequential per-mechanism loop bitwise.
+        let streams: Vec<String> = pool
+            .iter()
+            .zip(&indices)
+            .map(|(mechanism, index)| format!("trials/{index}/{}", mechanism.name()))
+            .collect();
+        let mut arenas: Vec<Vec<Histogram>> =
+            (0..pool.len()).map(|_| vec![Histogram::zeros(task.bins()); trials]).collect();
+        let slots: Vec<(usize, u64, &mut Histogram)> = arenas
+            .iter_mut()
+            .enumerate()
+            .flat_map(|(mech, arena)| {
+                arena.iter_mut().enumerate().map(move |(trial, slot)| (mech, trial as u64, slot))
+            })
+            .collect();
+        let seeds = &self.seeds;
+        let task_ref = &*task;
+        slots.into_par_iter().for_each(|(mech, trial, slot)| {
+            let mut rng = seeds.rng_for(&streams[mech], trial);
+            pool[mech].release_into(task_ref, &mut rng, slot);
+        });
+
+        Ok(pool
+            .iter()
+            .zip(indices)
+            .zip(guarantees)
+            .zip(arenas)
+            .map(|(((mechanism, index), guarantee), estimates)| PoolRelease {
+                mechanism: mechanism.name().to_string(),
+                index,
+                guarantee,
+                estimates,
+            })
+            .collect())
+    }
+
+    /// Shared preamble of the batch paths: derive the task (cached), debit
+    /// the whole batch, append the audit record, allocate the release index.
     fn begin_trials(
         &self,
         query: &SessionQuery<R>,
         mechanism: &dyn HistogramMechanism,
         trials: usize,
-    ) -> Result<(HistogramTask, u64)> {
+    ) -> Result<(Arc<HistogramTask>, u64)> {
         if trials == 0 {
             return Err(OsdpError::InvalidInput("release_trials needs trials >= 1".into()));
         }
-        let task = self.derive_task(query)?;
+        let task = self.cached_task(query)?;
         let guarantee = mechanism.guarantee();
+        let mechanism_label = self.labels.get(mechanism.name());
+        let query_label = self.labels.get(query.label());
         let _grant = self.grant_lock.lock();
         self.accountant.spend(
             format!("{} x{}", mechanism.name(), trials),
-            self.policy_label.clone(),
+            &*self.policy_label,
             guarantee.epsilon() * trials as f64,
             guarantee.kind(),
         )?;
         let index = self.audit.append_next(|index| AuditRecord {
             index,
-            mechanism: mechanism.name().to_string(),
-            policy: self.policy_label.clone(),
-            query: query.label().to_string(),
+            mechanism: mechanism_label,
+            policy: Arc::clone(&self.policy_label),
+            query: query_label,
             bins: task.bins(),
             trials,
             guarantee,
@@ -735,18 +915,20 @@ impl<R: Clone> OsdpSession<R> {
             ));
         };
         let guarantee = Guarantee::Osdp { eps: mechanism.epsilon() };
+        let mechanism_label = self.labels.get("OsdpRR (records)");
+        let query_label = self.labels.get("record-sample");
         let grant = self.grant_lock.lock();
         self.accountant.spend(
             "OsdpRR (records)",
-            self.policy_label.clone(),
+            &*self.policy_label,
             guarantee.epsilon(),
             guarantee.kind(),
         )?;
         let index = self.audit.append_next(|index| AuditRecord {
             index,
-            mechanism: "OsdpRR (records)".to_string(),
-            policy: self.policy_label.clone(),
-            query: "record-sample".to_string(),
+            mechanism: mechanism_label,
+            policy: Arc::clone(&self.policy_label),
+            query: query_label,
             bins: 0,
             trials: 1,
             guarantee,
@@ -837,7 +1019,7 @@ mod tests {
         assert_eq!(release.policy, "P50");
         assert!((session.total_spent() - 0.75).abs() < 1e-12);
         assert_eq!(session.audit_records().len(), 1);
-        assert_eq!(session.audit_records()[0].query, "mod8");
+        assert_eq!(&*session.audit_records()[0].query, "mod8");
 
         // The second release would need 0.75 > 0.25 remaining: refused, not
         // sampled, not logged.
@@ -865,6 +1047,104 @@ mod tests {
     }
 
     #[test]
+    fn release_pool_matches_the_sequential_trials_loop() {
+        let pool_mechs: Vec<Box<dyn HistogramMechanism>> = vec![
+            Box::new(OsdpLaplace::new(0.5).unwrap()),
+            Box::new(OsdpLaplaceL1::new(1.0).unwrap()),
+            Box::new(DpLaplaceHistogram::new(0.25).unwrap()),
+        ];
+        let pool: Vec<&dyn HistogramMechanism> = pool_mechs.iter().map(|b| b.as_ref()).collect();
+
+        let batched = records_session(None);
+        let releases = batched.release_pool(&mod8_query(), &pool, 4).unwrap();
+
+        let sequential = records_session(None);
+        for (mechanism, release) in pool.iter().zip(&releases) {
+            let expected = sequential.release_trials(&mod8_query(), mechanism, 4).unwrap();
+            assert_eq!(release.estimates, expected, "{}", release.mechanism);
+            assert_eq!(release.mechanism, mechanism.name());
+        }
+        // Same accounting: identical spend, identical ledger and audit shape.
+        assert_eq!(batched.total_spent(), sequential.total_spent());
+        assert_eq!(batched.audit_ledger(), sequential.audit_ledger());
+        assert_eq!(batched.audit_records(), sequential.audit_records());
+        assert_eq!(releases[2].index, 2);
+        assert_eq!(releases[1].guarantee.epsilon(), 1.0);
+    }
+
+    #[test]
+    fn release_pool_is_all_or_nothing() {
+        // Pool batch cost: (0.3 + 0.2) * 2 = 1.0 > 0.9 -> refused whole.
+        let session = records_session(Some(0.9));
+        let a = OsdpLaplace::new(0.3).unwrap();
+        let b = OsdpLaplaceL1::new(0.2).unwrap();
+        let pool: Vec<&dyn HistogramMechanism> = vec![&a, &b];
+        let err = session.release_pool(&mod8_query(), &pool, 2).unwrap_err();
+        assert!(matches!(err, OsdpError::BudgetExhausted { .. }));
+        assert_eq!(session.total_spent(), 0.0, "nothing debited");
+        assert!(session.audit_records().is_empty(), "nothing logged");
+        // A fitting batch is granted in full.
+        assert!(session.release_pool(&mod8_query(), &pool, 1).is_ok());
+        assert!((session.total_spent() - 0.5).abs() < 1e-12);
+        // Degenerate arguments are rejected.
+        assert!(session.release_pool(&mod8_query(), &pool, 0).is_err());
+        assert!(session.release_pool(&mod8_query(), &[], 1).is_err());
+    }
+
+    #[test]
+    fn task_cache_derives_each_query_once() {
+        let session = records_session(None);
+        let query = mod8_query();
+        let first = session.derive_task(&query).unwrap();
+        assert_eq!(session.tasks.len(), 1);
+        // Same query value (shared closure Arc): served from cache.
+        assert_eq!(session.derive_task(&query.clone()).unwrap(), first);
+        assert_eq!(session.tasks.len(), 1);
+        // A release through the same query reuses the entry too.
+        session.release(&query, &OsdpLaplaceL1::new(1.0).unwrap()).unwrap();
+        assert_eq!(session.tasks.len(), 1);
+        // A distinct closure allocation is a distinct identity.
+        let other = mod8_query();
+        assert_eq!(session.derive_task(&other).unwrap(), first);
+        assert_eq!(session.tasks.len(), 2);
+    }
+
+    #[test]
+    fn task_cache_distinguishes_spec_divergent_queries() {
+        // A hand-built query can pair an existing bin closure Arc with a
+        // *different* compiled spec; columnar backends scan through the spec,
+        // so the cache must not serve one query the other's task.
+        use osdp_core::frame::BinSpec;
+        use osdp_core::policy::AttributePolicy;
+        use osdp_core::Value;
+        let db: Database<Record> =
+            (0..100).map(|i| Record::builder().field("v", Value::Int(i)).build()).collect();
+        let session = SessionBuilder::new(db)
+            .columnar()
+            .policy(AttributePolicy::int_at_most("v", 49), "lower")
+            .seed(1)
+            .build()
+            .unwrap();
+        let narrow = SessionQuery::count_by_int_linear("q", "v", 0, 50, 2);
+        let SessionQuery::CountBy { label, bins, bin_of, .. } = narrow.clone() else {
+            unreachable!()
+        };
+        // Same closure allocation, different spec: bins 0..99 all land in
+        // bin 0 under width 100 instead of splitting 50/50.
+        let divergent = SessionQuery::CountBy {
+            label,
+            bins,
+            bin_of,
+            spec: Some(BinSpec::IntLinear { field: "v".into(), origin: 0, width: 100 }),
+        };
+        let a = session.derive_task(&narrow).unwrap();
+        let b = session.derive_task(&divergent).unwrap();
+        assert_eq!(a.full().counts(), &[50.0, 50.0]);
+        assert_eq!(b.full().counts(), &[100.0, 0.0]);
+        assert_eq!(session.tasks.len(), 2, "one entry per spec identity");
+    }
+
+    #[test]
     fn exhausted_budget_refuses_the_whole_batch() {
         let session = records_session(Some(1.0));
         let mechanism = OsdpLaplace::new(0.3).unwrap();
@@ -889,7 +1169,7 @@ mod tests {
         let release = session.release(&SessionQuery::bound(), &mechanism).unwrap();
         assert_eq!(release.estimate.len(), 3);
         assert!(session.release(&mod8_query(), &mechanism).is_err());
-        assert_eq!(session.audit_records()[0].policy, "P-sampled");
+        assert_eq!(&*session.audit_records()[0].policy, "P-sampled");
     }
 
     #[test]

@@ -46,17 +46,19 @@ pub fn run(config: &ExperimentConfig) -> ResultTable {
             .build()
             .expect("pair frames validate at expansion time");
         let query = pair_query(DOMAIN);
-        let error_of = |mechanism: &dyn HistogramMechanism| -> f64 {
-            session
-                .release_trials(&query, mechanism, config.trials)
-                .expect("uncapped measurement session")
-                .iter()
-                .map(|e| l1_error(&full, e).expect("same domain"))
-                .sum::<f64>()
+        // Both mechanisms in one pool batch: a single scan of the expanded
+        // pair frame serves the whole sweep point, and the per-mechanism
+        // streams match the old sequential release_trials calls exactly.
+        let pool: Vec<&dyn HistogramMechanism> = vec![&rr, &laplace];
+        let releases = session
+            .release_pool(&query, &pool, config.trials)
+            .expect("uncapped measurement session");
+        let error_of = |estimates: &[Histogram]| -> f64 {
+            estimates.iter().map(|e| l1_error(&full, e).expect("same domain")).sum::<f64>()
                 / config.trials as f64
         };
-        let rr_err = error_of(&rr);
-        let lap_err = error_of(&laplace);
+        let rr_err = error_of(&releases[0].estimates);
+        let lap_err = error_of(&releases[1].estimates);
         table.push(
             ResultRow::new()
                 .dim("n", n)

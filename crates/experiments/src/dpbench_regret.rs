@@ -99,19 +99,29 @@ pub fn run(config: &ExperimentConfig) -> RegretOutputs {
                         continue;
                     };
                     let query = pair_query(full.len());
-                    for mechanism in &pool {
-                        let estimates = session
-                            .release_trials(&query, mechanism, config.trials)
-                            .expect("uncapped measurement session");
+                    // One pool batch: a single backend scan and grant-lock
+                    // critical section amortized across all 6 mechanisms,
+                    // with per-mechanism trial streams identical to the old
+                    // sequential release_trials loop.
+                    let pool_refs: Vec<&dyn HistogramMechanism> =
+                        pool.iter().map(|m| m.as_ref()).collect();
+                    let releases = session
+                        .release_pool(&query, &pool_refs, config.trials)
+                        .expect("uncapped measurement session");
+                    for release in &releases {
                         let mut mre = 0.0;
                         let mut rel95 = 0.0;
-                        for estimate in &estimates {
+                        for estimate in &release.estimates {
                             mre += mean_relative_error(full, estimate).expect("same domain");
                             rel95 += relative_error_percentile(full, estimate, REL95)
                                 .expect("same domain");
                         }
-                        outputs.mre.record(&key, mechanism.name(), mre / config.trials as f64);
-                        outputs.rel95.record(&key, mechanism.name(), rel95 / config.trials as f64);
+                        outputs.mre.record(&key, &release.mechanism, mre / config.trials as f64);
+                        outputs.rel95.record(
+                            &key,
+                            &release.mechanism,
+                            rel95 / config.trials as f64,
+                        );
                     }
                 }
             }

@@ -57,15 +57,19 @@ pub fn run(config: &ExperimentConfig) -> ResultTable {
                     continue;
                 };
                 let query = pair_query(full.len());
-                for mechanism in &pool {
-                    let estimates = session
-                        .release_trials(&query, mechanism, config.trials)
-                        .expect("uncapped measurement session");
-                    let mre: f64 = estimates
+                // One pool batch per input (single scan + grant batch).
+                let pool_refs: Vec<&dyn HistogramMechanism> =
+                    pool.iter().map(|m| m.as_ref()).collect();
+                let releases = session
+                    .release_pool(&query, &pool_refs, config.trials)
+                    .expect("uncapped measurement session");
+                for release in &releases {
+                    let mre: f64 = release
+                        .estimates
                         .iter()
                         .map(|e| mean_relative_error(&full, e).expect("same domain"))
                         .sum();
-                    regrets.record(&key, mechanism.name(), mre / config.trials as f64);
+                    regrets.record(&key, &release.mechanism, mre / config.trials as f64);
                 }
             }
         }

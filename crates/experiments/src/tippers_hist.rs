@@ -60,20 +60,23 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
         let mut table = ResultTable::new(format!(
             "Figure 4: mean relative error on the TIPPERS AP x hour histogram, eps = {eps}"
         ));
+        let pool: Vec<&dyn HistogramMechanism> = mechanisms.iter().map(|m| m.as_ref()).collect();
         for (label, session) in &sessions {
-            for mechanism in &mechanisms {
-                let estimates = session
-                    .release_trials(&query, mechanism, config.trials)
-                    .expect("uncapped measurement session");
-                let mre: f64 = estimates
+            // One scan + one grant batch for the whole pool per session.
+            let releases = session
+                .release_pool(&query, &pool, config.trials)
+                .expect("uncapped measurement session");
+            for release in &releases {
+                let mre: f64 = release
+                    .estimates
                     .iter()
                     .map(|e| mean_relative_error(&full, e).expect("same domain"))
                     .sum();
                 table.push(
                     ResultRow::new()
                         .dim("policy", label)
-                        .dim("algorithm", mechanism.name())
-                        .dim("guarantee", mechanism.guarantee().label())
+                        .dim("algorithm", &release.mechanism)
+                        .dim("guarantee", release.guarantee.label())
                         .measure("mre", mre / config.trials as f64),
                 );
             }
@@ -88,25 +91,26 @@ pub fn run(config: &ExperimentConfig) -> Vec<ResultTable> {
     let mut rel_table = ResultTable::new(format!(
         "Figure 5: per-bin relative error percentiles (Rel50 / Rel95) on the TIPPERS histogram, eps = {eps}"
     ));
+    let pool: Vec<&dyn HistogramMechanism> = mechanisms.iter().map(|m| m.as_ref()).collect();
     for ((label, session), &ratio) in sessions.iter().zip(config.ns_ratios.iter()) {
         if ratio < 0.25 {
             continue;
         }
-        for mechanism in &mechanisms {
-            let estimates = session
-                .release_trials(&query, mechanism, config.trials)
-                .expect("uncapped measurement session");
+        let releases = session
+            .release_pool(&query, &pool, config.trials)
+            .expect("uncapped measurement session");
+        for release in &releases {
             let mut rel50 = 0.0;
             let mut rel95 = 0.0;
-            for estimate in &estimates {
+            for estimate in &release.estimates {
                 rel50 += relative_error_percentile(&full, estimate, REL50).expect("same domain");
                 rel95 += relative_error_percentile(&full, estimate, REL95).expect("same domain");
             }
             rel_table.push(
                 ResultRow::new()
                     .dim("policy", label)
-                    .dim("algorithm", mechanism.name())
-                    .dim("guarantee", mechanism.guarantee().label())
+                    .dim("algorithm", &release.mechanism)
+                    .dim("guarantee", release.guarantee.label())
                     .measure("rel50", rel50 / config.trials as f64)
                     .measure("rel95", rel95 / config.trials as f64),
             );

@@ -63,6 +63,17 @@ impl HistogramMechanism for Dawaz {
         self.inner.release(task, rng)
     }
 
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        // Delegates to the recipe's override, which owns the thread-local
+        // scratch acquisition (exactly one `with_scratch` per release).
+        self.inner.release_into(task, rng, out)
+    }
+
     fn guarantee(&self) -> Guarantee {
         Guarantee::Osdp { eps: self.epsilon() }
     }

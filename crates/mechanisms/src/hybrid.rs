@@ -69,23 +69,33 @@ impl HybridLaplace {
     }
 }
 
-impl HistogramMechanism for HybridLaplace {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
+impl HybridLaplace {
+    /// The per-bin composition shared by both release paths: one noise draw
+    /// per bin, branch chosen by the policy split first. Generic over the
+    /// RNG, so the scalar trait path (instantiated at `dyn RngCore`) and the
+    /// buffer-reuse path (monomorphized over the concrete ChaCha RNG) run
+    /// the **same** code and can never drift apart. The per-bin branch rules
+    /// out a straight slice kernel.
+    fn release_generic<G: rand::Rng + ?Sized>(
+        &self,
+        task: &HistogramTask,
+        rng: &mut G,
+        out: &mut Histogram,
+    ) {
         let eps = self.per_part_epsilon();
         let one_sided = OsdpLaplaceL1::new(eps).expect("validated");
         let dp_noise = Laplace::for_epsilon(2.0, eps).expect("validated");
         let correction_noise = one_sided.median_correction();
-
-        let mut out = Histogram::zeros(task.bins());
         let one_sided_dist = osdp_noise::OneSidedLaplace::for_epsilon(eps).expect("validated");
-        for i in 0..task.bins() {
-            let full = task.full().get(i);
-            let ns = task.non_sensitive().get(i);
-            let value = if (full - ns).abs() < f64::EPSILON {
+
+        out.reset_zeroed(task.bins());
+        let counts = out.counts_mut();
+        let full_counts = task.full().counts();
+        let ns_counts = task.non_sensitive().counts();
+        for i in 0..full_counts.len() {
+            let full = full_counts[i];
+            let ns = ns_counts[i];
+            counts[i] = if (full - ns).abs() < f64::EPSILON {
                 // Purely non-sensitive bin: Algorithm 2 on the single count.
                 let noisy = ns + one_sided_dist.sample(rng);
                 if noisy <= 0.0 {
@@ -97,9 +107,28 @@ impl HistogramMechanism for HybridLaplace {
                 // Bin containing sensitive records: ordinary DP Laplace.
                 full + dp_noise.sample(rng)
             };
-            out.set(i, value);
         }
+    }
+}
+
+impl HistogramMechanism for HybridLaplace {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
+        let mut out = Histogram::zeros(0);
+        self.release_generic(task, rng, &mut out);
         out
+    }
+
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        self.release_generic(task, rng, out)
     }
 
     fn guarantee(&self) -> Guarantee {

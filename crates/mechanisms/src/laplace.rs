@@ -113,6 +113,20 @@ impl HistogramMechanism for DpLaplaceHistogram {
         estimate
     }
 
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        let noise = Laplace::centered(self.inner.scale()).expect("validated");
+        out.assign(task.full().counts());
+        noise.add_assign(out.counts_mut(), rng);
+        if self.clamp_non_negative {
+            out.clamp_non_negative();
+        }
+    }
+
     fn guarantee(&self) -> Guarantee {
         Guarantee::Dp { eps: self.epsilon() }
     }

@@ -46,6 +46,7 @@ pub mod osdp_laplace;
 pub mod osdp_laplace_l1;
 pub mod osdp_rr;
 pub mod recipe;
+pub mod scratch;
 pub mod suppress;
 pub mod traits;
 pub mod truncation;
@@ -57,6 +58,7 @@ pub use osdp_laplace::OsdpLaplace;
 pub use osdp_laplace_l1::OsdpLaplaceL1;
 pub use osdp_rr::{OsdpRr, OsdpRrHistogram};
 pub use recipe::{DawaHistogram, ZeroBinRecipe};
+pub use scratch::{with_scratch, ReleaseScratch};
 pub use suppress::Suppress;
 pub use traits::{HistogramMechanism, HistogramTask};
 pub use truncation::TruncatedNgramLaplace;

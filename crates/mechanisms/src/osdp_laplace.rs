@@ -46,6 +46,20 @@ impl OsdpLaplace {
             non_sensitive.counts().iter().map(|&c| c + noise.sample(rng)).collect(),
         )
     }
+
+    /// The buffer-reuse form of [`OsdpLaplace::perturb`]: overwrites `out`
+    /// with the noisy counts through the block fill kernel
+    /// ([`OneSidedLaplace::add_assign`]), bitwise-identical to the
+    /// allocating form.
+    pub fn perturb_into<G: Rng + ?Sized>(
+        &self,
+        non_sensitive: &Histogram,
+        rng: &mut G,
+        out: &mut Histogram,
+    ) {
+        out.assign(non_sensitive.counts());
+        self.noise().add_assign(out.counts_mut(), rng);
+    }
 }
 
 impl HistogramMechanism for OsdpLaplace {
@@ -55,6 +69,15 @@ impl HistogramMechanism for OsdpLaplace {
 
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         self.perturb(task.non_sensitive(), rng)
+    }
+
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        self.perturb_into(task.non_sensitive(), rng, out);
     }
 
     fn guarantee(&self) -> Guarantee {

@@ -40,7 +40,8 @@ impl OsdpLaplaceL1 {
         std::f64::consts::LN_2 / self.epsilon()
     }
 
-    /// Runs Algorithm 2 on a non-sensitive histogram.
+    /// Runs Algorithm 2 on a non-sensitive histogram (the scalar reference
+    /// path; [`OsdpLaplaceL1::perturb_into`] is the buffer-reuse equivalent).
     pub fn perturb<G: Rng + ?Sized>(&self, non_sensitive: &Histogram, rng: &mut G) -> Histogram {
         // Step 1: one-sided noise.
         let mut noisy = self.inner.perturb(non_sensitive, rng);
@@ -55,6 +56,27 @@ impl OsdpLaplaceL1 {
         }
         noisy
     }
+
+    /// The buffer-reuse form of [`OsdpLaplaceL1::perturb`]: Algorithm 2
+    /// written into `out` through the block fill kernel.
+    pub fn perturb_into<G: Rng + ?Sized>(
+        &self,
+        non_sensitive: &Histogram,
+        rng: &mut G,
+        out: &mut Histogram,
+    ) {
+        // Step 1: one-sided noise.
+        self.inner.perturb_into(non_sensitive, rng, out);
+        // Step 2: clamp negative counts to zero.
+        out.clamp_non_negative();
+        // Steps 3–4: de-bias the surviving positive counts by the median.
+        let correction = self.median_correction();
+        for value in out.counts_mut() {
+            if *value > 0.0 {
+                *value += correction;
+            }
+        }
+    }
 }
 
 impl HistogramMechanism for OsdpLaplaceL1 {
@@ -64,6 +86,15 @@ impl HistogramMechanism for OsdpLaplaceL1 {
 
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         self.perturb(task.non_sensitive(), rng)
+    }
+
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        self.perturb_into(task.non_sensitive(), rng, out);
     }
 
     fn guarantee(&self) -> Guarantee {

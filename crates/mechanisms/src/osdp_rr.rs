@@ -70,11 +70,25 @@ impl OsdpRr {
         rng: &mut G,
     ) -> Histogram {
         let mut out = Histogram::zeros(non_sensitive.len());
-        for (i, &count) in non_sensitive.counts().iter().enumerate() {
-            let n = count.round().max(0.0) as u64;
-            out.set(i, sample_binomial(n, self.keep_probability, rng) as f64);
-        }
+        self.thin_histogram_into(non_sensitive, rng, &mut out);
         out
+    }
+
+    /// The buffer-reuse form of [`OsdpRr::thin_histogram`]: writes the
+    /// thinned counts into `out` (resized and fully overwritten), drawing
+    /// identically to the allocating form.
+    pub fn thin_histogram_into<G: Rng + ?Sized>(
+        &self,
+        non_sensitive: &Histogram,
+        rng: &mut G,
+        out: &mut Histogram,
+    ) {
+        out.reset_zeroed(non_sensitive.len());
+        let counts = out.counts_mut();
+        for (slot, &count) in counts.iter_mut().zip(non_sensitive.counts()) {
+            let n = count.round().max(0.0) as u64;
+            *slot = sample_binomial(n, self.keep_probability, rng) as f64;
+        }
     }
 }
 
@@ -127,39 +141,114 @@ impl HistogramMechanism for OsdpRrHistogram {
         }
     }
 
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        self.inner.thin_histogram_into(task.non_sensitive(), rng, out);
+        if self.rescale {
+            let factor = 1.0 / self.inner.keep_probability();
+            for count in out.counts_mut() {
+                *count *= factor;
+            }
+        }
+    }
+
     fn guarantee(&self) -> Guarantee {
         Guarantee::Osdp { eps: self.inner.epsilon() }
     }
 }
 
-/// Samples `Binomial(n, p)` by direct simulation for small `n` and via a
-/// normal approximation for large `n` (the counts in the benchmark histograms
-/// go up to tens of millions, where exact simulation would dominate the
-/// experiment run time).
-fn sample_binomial<G: Rng + ?Sized>(n: u64, p: f64, rng: &mut G) -> u64 {
+/// Samples `Binomial(n, p)`: exactly (CDF inversion) in the small / low
+/// variance regime, via a normal approximation for large `n` (the counts in
+/// the benchmark histograms go up to tens of millions, where exact sampling
+/// is unnecessary).
+///
+/// The exact branch used to simulate all `n` Bernoulli trials — one uniform
+/// draw per trial, so a 1024-count bin cost 1024 RNG draws (and a
+/// huge-`n`/tiny-`p` bin cost `n` of them). Inversion draws **one** uniform
+/// and walks the CDF through the pmf recurrence
+/// `P[k] = P[k−1] · (n−k+1)/k · p/(1−p)`, which terminates after about
+/// `n·p + O(√(n·p))` cheap floating-point steps while still sampling the
+/// exact binomial law.
+pub(crate) fn sample_binomial<G: Rng + ?Sized>(n: u64, p: f64, rng: &mut G) -> u64 {
     if n == 0 || p <= 0.0 {
         return 0;
     }
     if p >= 1.0 {
         return n;
     }
-    let mean = n as f64 * p;
     let variance = n as f64 * p * (1.0 - p);
     if n <= 1024 || variance < 25.0 {
-        let mut hits = 0u64;
-        for _ in 0..n {
-            if rng.gen::<f64>() < p {
-                hits += 1;
-            }
-        }
-        hits
+        sample_binomial_inversion(n, p, rng)
     } else {
         // Box–Muller normal approximation with continuity clamping.
+        let mean = n as f64 * p;
         let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
         let u2: f64 = rng.gen();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let sample = mean + variance.sqrt() * z;
         sample.round().clamp(0.0, n as f64) as u64
+    }
+}
+
+/// Tests `sample_binomial(n, p, rng) == 0` while consuming the RNG exactly
+/// as the sampler would — the zero-detection fast path of `DAWAz`'s recipe,
+/// which only needs the flag, never the count.
+///
+/// On the non-mirrored exact branch the full CDF walk is unnecessary: the
+/// sampled count is zero iff the single uniform lands below the starting
+/// mass `(1 − p)^n` (the walk's very first comparison), computed by the
+/// bit-identical expression the sampler uses. The mirrored and
+/// normal-approximation branches fall back to the sampler itself, so the
+/// returned flag is always bit-for-bit the sampler's `== 0` verdict.
+pub(crate) fn sample_binomial_is_zero<G: Rng + ?Sized>(n: u64, p: f64, rng: &mut G) -> bool {
+    if n == 0 || p <= 0.0 {
+        return true;
+    }
+    if p >= 1.0 {
+        return false;
+    }
+    let variance = n as f64 * p * (1.0 - p);
+    if (n <= 1024 || variance < 25.0) && p <= 0.5 {
+        let pmf0 = (n as f64 * (1.0 - p).ln()).exp();
+        let u: f64 = rng.gen::<f64>();
+        u < pmf0
+    } else {
+        sample_binomial(n, p, rng) == 0
+    }
+}
+
+/// Exact binomial sampling by CDF inversion (the BINV algorithm).
+///
+/// The success probability is mirrored to `min(p, 1 − p)` (sampling
+/// `n − Binomial(n, 1 − p)` when `p > 1/2`), which keeps the starting mass
+/// `(1 − p)^n` away from zero: with `1 − p ≥ 1/2` and `n ≤ 1024` it is at
+/// least `2⁻¹⁰²⁴` (subnormal but nonzero), and on the low-variance branch
+/// `n·p ≲ 50` keeps it no smaller than `≈ e⁻⁵⁰`. The walk is capped at `n`,
+/// so floating-point rounding in the CDF accumulation can never loop forever
+/// or return an out-of-range count.
+fn sample_binomial_inversion<G: Rng + ?Sized>(n: u64, p: f64, rng: &mut G) -> u64 {
+    debug_assert!(n > 0 && p > 0.0 && p < 1.0);
+    let mirrored = p > 0.5;
+    let ps = if mirrored { 1.0 - p } else { p };
+    let q = 1.0 - ps;
+    let ratio = ps / q;
+    let mut pmf = (n as f64 * q.ln()).exp();
+    let u: f64 = rng.gen::<f64>();
+    let mut cdf = pmf;
+    let mut k = 0u64;
+    while u >= cdf && k < n {
+        k += 1;
+        pmf *= ratio * (n - k + 1) as f64 / k as f64;
+        cdf += pmf;
+    }
+    if mirrored {
+        n - k
+    } else {
+        k
     }
 }
 
@@ -276,6 +365,63 @@ mod tests {
         let mean = samples.iter().sum::<u64>() as f64 / 50.0;
         assert!((mean - n as f64 * p).abs() < 0.005 * n as f64);
         assert!(samples.iter().all(|&s| s <= n));
+    }
+
+    #[test]
+    fn inversion_sampler_matches_the_exact_binomial_pmf() {
+        // n = 6 has only 7 outcomes: compare empirical frequencies against
+        // the analytic pmf on both sides of the p = 1/2 mirror.
+        let mut r = rng();
+        for p in [0.3, 0.72] {
+            let n = 6u64;
+            let trials = 120_000;
+            let mut freq = [0u64; 7];
+            for _ in 0..trials {
+                freq[sample_binomial(n, p, &mut r) as usize] += 1;
+            }
+            let choose =
+                |k: u64| -> f64 { (1..=k).map(|i| (n - k + i) as f64 / i as f64).product() };
+            for k in 0..=n {
+                let pmf = choose(k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32);
+                let observed = freq[k as usize] as f64 / trials as f64;
+                assert!(
+                    (observed - pmf).abs() < 0.01,
+                    "p={p}, k={k}: observed {observed} vs pmf {pmf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inversion_sampler_handles_huge_n_with_tiny_variance() {
+        // The old Bernoulli loop ran n iterations here (10^7 draws per
+        // sample); inversion walks ~n·p ≈ 10 CDF steps. Mean must match.
+        let mut r = rng();
+        let n = 10_000_000u64;
+        let p = 1e-6;
+        let trials = 2_000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            let s = sample_binomial(n, p, &mut r);
+            assert!(s <= n);
+            sum += s;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 10.0).abs() < 0.5, "mean {mean} should be near n·p = 10");
+        // And the mirrored extreme: huge n, p near 1, tiny variance.
+        let p = 1.0 - 1e-6;
+        let sample = sample_binomial(n, p, &mut r);
+        assert!(n - sample < 100, "mirrored sample should sit near n");
+    }
+
+    #[test]
+    fn thin_histogram_into_matches_the_allocating_form_bitwise() {
+        let m = OsdpRr::new(0.8).unwrap();
+        let ns = Histogram::from_counts(vec![512.0, 0.0, 3.0, 90_000.0, 7.0]);
+        let reference = m.thin_histogram(&ns, &mut ChaCha12Rng::seed_from_u64(40));
+        let mut out = Histogram::zeros(1);
+        m.thin_histogram_into(&ns, &mut ChaCha12Rng::seed_from_u64(40), &mut out);
+        assert_eq!(reference, out);
     }
 
     #[test]

@@ -14,13 +14,15 @@
 //! `(1−ρ)·ε`-DP (hence also OSDP for any policy by Lemma 3.1), and everything
 //! afterwards is post-processing.
 
+use crate::osdp_laplace::OsdpLaplace;
 use crate::osdp_laplace_l1::OsdpLaplaceL1;
 use crate::osdp_rr::OsdpRr;
+use crate::scratch::with_scratch;
 use crate::traits::{HistogramMechanism, HistogramTask};
 use osdp_core::error::{validate_epsilon, validate_fraction, Result};
 use osdp_core::{Guarantee, Histogram};
-use osdp_dawa::{Dawa, Hierarchical, Identity};
-use rand::RngCore;
+use osdp_dawa::{Dawa, DawaScratch, Hierarchical, Identity};
+use rand::{Rng, RngCore};
 use serde::{Deserialize, Serialize};
 
 /// A two-phase DP histogram algorithm usable inside the recipe: it releases an
@@ -37,6 +39,27 @@ pub trait TwoPhaseDp: Send + Sync {
         epsilon: f64,
         rng: &mut dyn RngCore,
     ) -> (Histogram, Vec<(usize, usize)>);
+
+    /// The buffer-reuse form of [`TwoPhaseDp::release_partitioned`]: writes
+    /// the estimate into `out` and leaves the partition in
+    /// `scratch.partition`, drawing over a concrete RNG. The default
+    /// implementation delegates to the allocating form (always correct);
+    /// algorithms with a real scratch path — DAWA — override it. Same
+    /// bitwise-parity contract as
+    /// [`HistogramMechanism::release_into`].
+    fn release_partitioned_into<R: Rng>(
+        &self,
+        hist: &Histogram,
+        epsilon: f64,
+        rng: &mut R,
+        scratch: &mut DawaScratch,
+        out: &mut Histogram,
+    ) {
+        let (estimate, partition) = self.release_partitioned(hist, epsilon, rng);
+        *out = estimate;
+        scratch.partition.clear();
+        scratch.partition.extend_from_slice(&partition);
+    }
 }
 
 /// DAWA as a two-phase DP algorithm (its natural form).
@@ -67,6 +90,19 @@ impl TwoPhaseDp for DawaTwoPhase {
             .expect("validated by the recipe");
         let result = dawa.release(hist, rng);
         (result.estimate, result.partition)
+    }
+
+    fn release_partitioned_into<R: Rng>(
+        &self,
+        hist: &Histogram,
+        epsilon: f64,
+        rng: &mut R,
+        scratch: &mut DawaScratch,
+        out: &mut Histogram,
+    ) {
+        let dawa = Dawa::with_partition_share(epsilon, self.partition_share)
+            .expect("validated by the recipe");
+        dawa.release_into(hist, rng, scratch, out);
     }
 }
 
@@ -182,6 +218,76 @@ impl<M: TwoPhaseDp> ZeroBinRecipe<M> {
             }
         }
     }
+
+    /// The flags form of [`ZeroBinRecipe::detect_zero_bins`]: writes the
+    /// per-bin zero verdicts into `flags` without materialising the noisy
+    /// histogram, drawing identically to the reference form (one variate per
+    /// bin for either detector — a thinned count is zero iff the binomial
+    /// sample is zero, and a clamped-and-corrected noisy count is zero iff
+    /// the raw noisy count is non-positive).
+    fn detect_zero_bins_into<R: Rng + ?Sized>(
+        &self,
+        task: &HistogramTask,
+        rng: &mut R,
+        flags: &mut Vec<bool>,
+    ) {
+        use rand::distributions::Distribution;
+        let eps1 = self.epsilon * self.rho;
+        flags.clear();
+        match self.detector {
+            ZeroDetector::OsdpRr => {
+                let rr = OsdpRr::new(eps1).expect("validated");
+                let keep = rr.keep_probability();
+                flags.extend(task.non_sensitive().counts().iter().map(|&count| {
+                    let n = count.round().max(0.0) as u64;
+                    crate::osdp_rr::sample_binomial_is_zero(n, keep, rng)
+                }));
+            }
+            ZeroDetector::OsdpLaplaceL1 => {
+                let noise = OsdpLaplace::new(eps1).expect("validated").noise();
+                flags.extend(
+                    task.non_sensitive()
+                        .counts()
+                        .iter()
+                        .map(|&count| count + noise.sample(rng) <= 0.0),
+                );
+            }
+        }
+    }
+
+    /// Algorithm 3's post-processing, written onto `estimate` in place: zero
+    /// out the detected bins and reallocate each bucket's mass to its
+    /// surviving bins. Shared verbatim by the allocating and buffer-reuse
+    /// release paths so the two cannot drift.
+    fn reallocate_zeroed_buckets(
+        partition: &[(usize, usize)],
+        is_zero: &[bool],
+        estimate: &mut Histogram,
+    ) {
+        for &(start, end) in partition {
+            let width = end - start;
+            let zeroed = (start..end).filter(|&i| is_zero[i]).count();
+            if zeroed == 0 {
+                continue;
+            }
+            if zeroed == width {
+                for i in start..end {
+                    estimate.set(i, 0.0);
+                }
+                continue;
+            }
+            let rescale = width as f64 / (width - zeroed) as f64;
+            for (&zero, slot) in
+                is_zero[start..end].iter().zip(&mut estimate.counts_mut()[start..end])
+            {
+                if zero {
+                    *slot = 0.0;
+                } else {
+                    *slot *= rescale;
+                }
+            }
+        }
+    }
 }
 
 impl<M: TwoPhaseDp> HistogramMechanism for ZeroBinRecipe<M> {
@@ -199,28 +305,26 @@ impl<M: TwoPhaseDp> HistogramMechanism for ZeroBinRecipe<M> {
         // Post-processing: zero out the detected bins and reallocate each
         // bucket's mass to its surviving bins (Algorithm 3, lines 5-11 — the
         // rescale preserves the bucket total, as described in the text).
-        for &(start, end) in &partition {
-            let width = end - start;
-            let zeroed = (start..end).filter(|&i| is_zero[i]).count();
-            if zeroed == 0 {
-                continue;
-            }
-            if zeroed == width {
-                for i in start..end {
-                    estimate.set(i, 0.0);
-                }
-                continue;
-            }
-            let rescale = width as f64 / (width - zeroed) as f64;
-            for (i, &zero) in is_zero.iter().enumerate().take(end).skip(start) {
-                if zero {
-                    estimate.set(i, 0.0);
-                } else {
-                    estimate.set(i, estimate.get(i) * rescale);
-                }
-            }
-        }
+        Self::reallocate_zeroed_buckets(&partition, &is_zero, &mut estimate);
         estimate
+    }
+
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        with_scratch(|scratch| {
+            // Stage 1: zero detection, flags into per-thread scratch.
+            self.detect_zero_bins_into(task, rng, &mut scratch.flags);
+            // Stage 2: the DP stage through its scratch-aware form (DAWA's
+            // arena partitioner; the default falls back to the reference).
+            let eps2 = self.epsilon * (1.0 - self.rho);
+            self.dp.release_partitioned_into(task.full(), eps2, rng, &mut scratch.dawa, out);
+            // Post-processing, identical code to `release`.
+            Self::reallocate_zeroed_buckets(&scratch.dawa.partition, &scratch.flags, out);
+        })
     }
 
     fn guarantee(&self) -> Guarantee {
@@ -255,6 +359,18 @@ impl HistogramMechanism for DawaHistogram {
     fn release(&self, task: &HistogramTask, rng: &mut dyn RngCore) -> Histogram {
         let dawa = Dawa::new(self.epsilon).expect("validated");
         dawa.release(task.full(), rng).estimate
+    }
+
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        with_scratch(|scratch| {
+            let dawa = Dawa::new(self.epsilon).expect("validated");
+            dawa.release_into(task.full(), rng, &mut scratch.dawa, out);
+        })
     }
 
     fn guarantee(&self) -> Guarantee {

@@ -57,6 +57,17 @@ impl HistogramMechanism for Suppress {
         )
     }
 
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        let noise = Laplace::for_epsilon(2.0, self.tau).expect("validated");
+        out.assign(task.non_sensitive().counts());
+        noise.add_assign(out.counts_mut(), rng);
+    }
+
     fn guarantee(&self) -> Guarantee {
         // PDP with threshold tau: *not* OSDP (Theorem 3.4).
         Guarantee::Pdp { eps: self.tau }

@@ -105,7 +105,39 @@ pub trait HistogramMechanism: Send + Sync {
     fn name(&self) -> &str;
 
     /// Releases an estimate of the task's full histogram.
+    ///
+    /// This is the **reference scalar path**: it allocates its output and
+    /// draws noise one variate at a time through the `&mut dyn RngCore`, and
+    /// it is the bitwise-parity oracle for
+    /// [`HistogramMechanism::release_into`].
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram;
+
+    /// The buffer-reuse release path: writes the estimate into `out` instead
+    /// of allocating, drawing noise over a concrete ChaCha RNG (block fill
+    /// kernels, no per-sample virtual dispatch).
+    ///
+    /// **Contract**:
+    ///
+    /// * `out` is owned by the caller and fully overwritten — it is resized
+    ///   to the task's bin count and every bin is written, so stale contents
+    ///   can never leak into a release. Callers reuse one `out` (and, for
+    ///   mechanisms with internal scratch, one thread) across releases to
+    ///   amortize allocation; `osdp_engine`'s batch paths do exactly that.
+    /// * Output and RNG consumption are **bitwise identical** to
+    ///   [`HistogramMechanism::release`] from the same RNG state; the scalar
+    ///   path stays the oracle (property-tested in `tests/release_parity.rs`).
+    /// * The default implementation delegates to `release` and copies — it is
+    ///   always *correct*, so custom mechanisms (tests, experiments) need not
+    ///   override it; overriding is purely a performance upgrade for hot
+    ///   pool/trial loops.
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        *out = self.release(task, rng);
+    }
 
     /// The quantified privacy guarantee one invocation provides: the kind of
     /// definition (DP / OSDP / PDP) together with its budget. Sessions debit
@@ -122,6 +154,14 @@ impl<M: HistogramMechanism + ?Sized> HistogramMechanism for &M {
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         (**self).release(task, rng)
     }
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        (**self).release_into(task, rng, out)
+    }
     fn guarantee(&self) -> Guarantee {
         (**self).guarantee()
     }
@@ -134,6 +174,14 @@ impl<M: HistogramMechanism + ?Sized> HistogramMechanism for Box<M> {
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         (**self).release(task, rng)
     }
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        (**self).release_into(task, rng, out)
+    }
     fn guarantee(&self) -> Guarantee {
         (**self).guarantee()
     }
@@ -145,6 +193,14 @@ impl<M: HistogramMechanism + ?Sized> HistogramMechanism for std::sync::Arc<M> {
     }
     fn release(&self, task: &HistogramTask, rng: &mut dyn rand::RngCore) -> Histogram {
         (**self).release(task, rng)
+    }
+    fn release_into(
+        &self,
+        task: &HistogramTask,
+        rng: &mut rand_chacha::ChaCha12Rng,
+        out: &mut Histogram,
+    ) {
+        (**self).release_into(task, rng, out)
     }
     fn guarantee(&self) -> Guarantee {
         (**self).guarantee()

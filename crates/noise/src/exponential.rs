@@ -61,13 +61,33 @@ impl Exponential {
     pub fn median(&self) -> f64 {
         self.lambda * std::f64::consts::LN_2
     }
+
+    /// The inverse-CDF transform shared by the scalar sampler and the slice
+    /// kernels (one uniform in `[0, 1)` per sample).
+    #[inline]
+    pub(crate) fn transform_unit(&self, u: f64) -> f64 {
+        -self.lambda * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Fills `out` with i.i.d. samples, drawing uniforms in blocks over a
+    /// concrete RNG. Bitwise-identical to `out.len()` scalar
+    /// [`sample`](Distribution::sample) calls — see
+    /// [`crate::Laplace::fill`] for the full kernel contract.
+    pub fn fill<R: Rng + ?Sized>(&self, out: &mut [f64], rng: &mut R) {
+        crate::kernels::fill_with(out, rng, |u| self.transform_unit(u));
+    }
+
+    /// Adds one i.i.d. sample to every slot of `out`; same parity contract
+    /// as [`Exponential::fill`].
+    pub fn add_assign<R: Rng + ?Sized>(&self, out: &mut [f64], rng: &mut R) {
+        crate::kernels::add_with(out, rng, |u| self.transform_unit(u));
+    }
 }
 
 impl Distribution<f64> for Exponential {
     /// Inverse-CDF sampling: `−λ · ln(1 − U)` with `U ~ Uniform[0, 1)`.
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-        let u: f64 = rng.gen::<f64>();
-        -self.lambda * (1.0 - u).max(f64::MIN_POSITIVE).ln()
+        self.transform_unit(rng.gen::<f64>())
     }
 }
 
@@ -96,6 +116,21 @@ mod tests {
         assert!((d.pdf(0.0) - 0.5).abs() < 1e-12);
         assert_eq!(d.cdf(-1.0), 0.0);
         assert!((d.cdf(d.median()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fill_kernels_match_the_scalar_oracle_bitwise() {
+        let d = Exponential::new(2.5).unwrap();
+        for n in [3usize, 256, 300] {
+            let mut scalar_rng = ChaCha12Rng::seed_from_u64(5);
+            let scalar: Vec<f64> = (0..n).map(|_| d.sample(&mut scalar_rng)).collect();
+            let mut filled = vec![0.0; n];
+            d.fill(&mut filled, &mut ChaCha12Rng::seed_from_u64(5));
+            assert!(scalar.iter().zip(&filled).all(|(a, b)| a.to_bits() == b.to_bits()));
+            let mut added = vec![-1.0; n];
+            d.add_assign(&mut added, &mut ChaCha12Rng::seed_from_u64(5));
+            assert!(added.iter().zip(&scalar).all(|(a, s)| a.to_bits() == (-1.0 + s).to_bits()));
+        }
     }
 
     #[test]

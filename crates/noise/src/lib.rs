@@ -19,6 +19,18 @@
 //! compose with any `rand`-compatible RNG. Experiments use the portable,
 //! seedable [`seeded::SeedSequence`] so every table in the paper reproduction
 //! is deterministic.
+//!
+//! ## Slice fill kernels
+//!
+//! The continuous distributions additionally expose slice kernels —
+//! [`Laplace::fill`] / [`Laplace::add_assign`], the one-sided and
+//! exponential equivalents, and [`TwoSidedGeometric::fill`] — that draw
+//! noise in blocks over a concrete RNG: uniforms are generated with one bulk
+//! `fill_bytes` call per block and transformed in a second pass, instead of
+//! one virtual `&mut dyn RngCore` round-trip per variate. The kernels are
+//! **bitwise-identical** to repeated scalar `sample` calls (the scalar path
+//! stays the oracle; parity is tested per distribution), so callers switch
+//! freely between the two paths without perturbing any seeded experiment.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -26,6 +38,7 @@
 pub mod bernoulli;
 pub mod exponential;
 pub mod geometric;
+pub(crate) mod kernels;
 pub mod laplace;
 pub mod one_sided;
 pub mod seeded;

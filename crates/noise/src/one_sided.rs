@@ -73,6 +73,21 @@ impl OneSidedLaplace {
     pub fn median(&self) -> f64 {
         -self.exp.median()
     }
+
+    /// Fills `out` with i.i.d. samples, drawing uniforms in blocks over a
+    /// concrete RNG. Bitwise-identical to `out.len()` scalar
+    /// [`sample`](Distribution::sample) calls — see
+    /// [`crate::Laplace::fill`] for the full kernel contract.
+    pub fn fill<R: Rng + ?Sized>(&self, out: &mut [f64], rng: &mut R) {
+        crate::kernels::fill_with(out, rng, |u| -self.exp.transform_unit(u));
+    }
+
+    /// Adds one i.i.d. (non-positive) sample to every slot of `out`; same
+    /// parity contract as [`OneSidedLaplace::fill`]. This is the hot kernel
+    /// of `OsdpLaplace` / `OsdpLaplaceL1`'s buffer-reuse release path.
+    pub fn add_assign<R: Rng + ?Sized>(&self, out: &mut [f64], rng: &mut R) {
+        crate::kernels::add_with(out, rng, |u| -self.exp.transform_unit(u));
+    }
 }
 
 impl Distribution<f64> for OneSidedLaplace {
@@ -149,6 +164,21 @@ mod tests {
         let var = sum_sq / n as f64 - mean * mean;
         assert!((mean + 1.0).abs() < 0.02, "sample mean {mean} expected -1");
         assert!((var - 1.0).abs() < 0.05, "sample variance {var} expected 1");
+    }
+
+    #[test]
+    fn fill_kernels_match_the_scalar_oracle_bitwise() {
+        let d = OneSidedLaplace::for_epsilon(0.4).unwrap();
+        for n in [1usize, 255, 256, 513] {
+            let mut scalar_rng = ChaCha12Rng::seed_from_u64(21);
+            let scalar: Vec<f64> = (0..n).map(|_| d.sample(&mut scalar_rng)).collect();
+            let mut filled = vec![0.0; n];
+            d.fill(&mut filled, &mut ChaCha12Rng::seed_from_u64(21));
+            assert!(scalar.iter().zip(&filled).all(|(a, b)| a.to_bits() == b.to_bits()));
+            let mut added = vec![10.0; n];
+            d.add_assign(&mut added, &mut ChaCha12Rng::seed_from_u64(21));
+            assert!(added.iter().zip(&scalar).all(|(a, s)| a.to_bits() == (10.0 + s).to_bits()));
+        }
     }
 
     #[test]

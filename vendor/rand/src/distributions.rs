@@ -44,6 +44,7 @@ impl<D: Distribution<T>, R: RngCore, T> Iterator for DistIter<D, R, T> {
 pub struct Standard;
 
 impl Distribution<f64> for Standard {
+    #[inline]
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         crate::unit_f64(rng)
     }

@@ -161,11 +161,13 @@ macro_rules! float_sample_uniform {
 float_sample_uniform!(f32, f64);
 
 /// Uniform `f64` in `[0, 1)` using the top 53 bits.
+#[inline]
 pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Uniform `f64` in `[0, 1]`.
+#[inline]
 pub(crate) fn unit_f64_inclusive<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
 }
@@ -174,6 +176,7 @@ pub(crate) fn unit_f64_inclusive<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
 pub trait Rng: RngCore {
     /// Samples a value of type `T` from the [`distributions::Standard`]
     /// distribution.
+    #[inline]
     fn gen<T>(&mut self) -> T
     where
         distributions::Standard: Distribution<T>,
