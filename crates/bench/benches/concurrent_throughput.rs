@@ -1,0 +1,155 @@
+//! Perf trajectory entry 4: the concurrent serving plane.
+//!
+//! N serving threads drive mixed `release` / `release_pool` traffic — the
+//! multi-tenant serving workload — against (a) **one shared session** and
+//! (b) a **`SessionPool`** with one tenant per thread, on the DPBench
+//! Medcost task (4096 bins). Before this entry every release serialized on
+//! the session's global `grant_lock` plus coarse mutexes around the
+//! accountant, audit log and task cache, so aggregate throughput was pinned
+//! to one core; the grant path is now lock-free (atomic fixed-point budget
+//! CAS + sharded, sequence-stamped audit appends), so releases/sec should
+//! scale with threads on a multi-core runner. On the single-core dev
+//! container the numbers only prove the serial path did not regress — read
+//! the scaling claim off a multi-core machine.
+//!
+//! Run with `--smoke` (the CI mode) for a seconds-long pass that still
+//! exercises every code path at 1, 4 and 8 threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osdp_bench::criterion_for_figures;
+use osdp_data::sampling::{sample_policy, PolicyKind};
+use osdp_data::BenchmarkDataset;
+use osdp_engine::{histogram_session, pool_from_names, OsdpSession, SessionPool, SessionQuery};
+use osdp_mechanisms::{HistogramMechanism, OsdpLaplaceL1};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Thread counts of the scaling sweep.
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Every 8th operation is a pool batch (one scan + one all-or-nothing
+/// grant + a rayon fan-out) instead of a single release — the mixed
+/// traffic shape of a serving deployment.
+const POOL_EVERY: usize = 8;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Single-release operations per thread per measurement.
+fn ops_per_thread() -> usize {
+    if smoke() {
+        24
+    } else {
+        160
+    }
+}
+
+fn medcost_session(seed: u64) -> OsdpSession {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let full = BenchmarkDataset::Medcost.generate(&mut rng);
+    let policy = sample_policy(PolicyKind::Close, &full, 0.75, &mut rng).expect("valid parameters");
+    histogram_session(full, policy.non_sensitive)
+        .policy_label("Close-0.75")
+        .seed(seed)
+        .build()
+        .expect("sampled sub-histogram")
+}
+
+fn traffic_pool() -> Vec<Box<dyn HistogramMechanism>> {
+    pool_from_names(&["OsdpLaplaceL1", "Laplace"], 1.0).expect("registry pool")
+}
+
+/// One serving thread's workload against a session: `ops` single releases
+/// with a pool batch woven in every [`POOL_EVERY`] operations. Returns the
+/// number of audited releases performed.
+fn drive(session: &OsdpSession, ops: usize) -> usize {
+    let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+    let mechanisms = traffic_pool();
+    let pool: Vec<&dyn HistogramMechanism> = mechanisms.iter().map(|m| m.as_ref()).collect();
+    let mut releases = 0usize;
+    for op in 0..ops {
+        if op % POOL_EVERY == POOL_EVERY - 1 {
+            let batch = session.release_pool(&SessionQuery::bound(), &pool, 1).expect("uncapped");
+            releases += black_box(batch).len();
+        } else {
+            black_box(session.release(&SessionQuery::bound(), &mechanism).expect("uncapped"));
+            releases += 1;
+        }
+    }
+    releases
+}
+
+/// Runs `threads` copies of [`drive`] against targets produced by
+/// `target_for` (one shared session, or one pool tenant per thread) and
+/// returns aggregate releases/sec.
+fn measure(threads: usize, target_for: impl Fn(usize) -> Arc<OsdpSession>) -> f64 {
+    let ops = ops_per_thread();
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let session = target_for(t);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                drive(&session, ops)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    let releases: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    releases as f64 / elapsed
+}
+
+fn bench_concurrent_throughput(c: &mut Criterion) {
+    // Headline numbers for the perf-trajectory log.
+    eprintln!(
+        "[perf-trajectory #4] mixed release/release_pool traffic, Medcost/4096 bins \
+         ({} ops/thread):",
+        ops_per_thread()
+    );
+    for &threads in &THREAD_COUNTS {
+        // (a) every thread hammers ONE shared session — the lock-free grant
+        // path inside a single tenant.
+        let shared = Arc::new(medcost_session(77));
+        let single = measure(threads, |_| Arc::clone(&shared));
+
+        // (b) one tenant per thread behind a SessionPool — the multi-tenant
+        // shard map (disjoint tenants, Theorem 10.2).
+        let pool: Arc<SessionPool> = Arc::new(SessionPool::new());
+        for t in 0..threads {
+            pool.get_or_insert_with(&format!("tenant-{t}"), || Ok(medcost_session(100 + t as u64)))
+                .expect("tenant session");
+        }
+        let tenants = measure(threads, |t| pool.get(&format!("tenant-{t}")).unwrap());
+
+        eprintln!(
+            "  {threads} thread(s): shared session {single:>9.0} rel/s, \
+             session pool {tenants:>9.0} rel/s"
+        );
+    }
+
+    if smoke() {
+        return; // the sweep above already exercised every path
+    }
+    let mut group = c.benchmark_group("concurrent_throughput_medcost_4096");
+    for &threads in &THREAD_COUNTS {
+        group.bench_function(format!("shared_session_{threads}_threads"), |b| {
+            let shared = Arc::new(medcost_session(77));
+            b.iter(|| black_box(measure(threads, |_| Arc::clone(&shared))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = concurrent_throughput;
+    config = criterion_for_figures();
+    targets = bench_concurrent_throughput,
+}
+criterion_main!(concurrent_throughput);

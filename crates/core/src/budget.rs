@@ -18,6 +18,7 @@ use crate::error::{validate_epsilon, OsdpError, Result};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The privacy parameter of a single mechanism invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -149,13 +150,36 @@ pub struct LedgerEntry {
     pub guarantee: PrivacyGuarantee,
 }
 
-#[derive(Debug, Default)]
-struct AccountantState {
-    entries: Vec<LedgerEntry>,
-    spent: f64,
+/// Fixed-point ε units of the atomic spend counter: one unit is `1e-12` ε.
+/// Every grant decision is made on integers, so the admitted total is
+/// independent of the order in which concurrent spenders arrive — integer
+/// addition commutes, floating-point addition does not.
+const EPS_UNIT: f64 = 1e-12;
+
+/// Converts a validated epsilon to fixed-point units, rounding to the
+/// nearest unit but **never below one**: every positive spend must cost at
+/// least one unit, or a loop of sub-resolution spends would pass a capped
+/// accountant forever while accruing real privacy loss. The `as` cast
+/// saturates, capping a single conversion at `u64::MAX` units (~1.8e7 ε) —
+/// far beyond any composed budget.
+fn eps_to_units(epsilon: f64) -> u64 {
+    ((epsilon / EPS_UNIT).round() as u64).max(1)
+}
+
+/// The epsilon a unit count represents.
+fn units_to_eps(units: u64) -> f64 {
+    units as f64 * EPS_UNIT
 }
 
 /// A thread-safe sequential-composition accountant with an optional cap.
+///
+/// Enforcement is **lock-free**: the spend path converts ε to fixed-point
+/// units ([`BudgetAccountant::RESOLUTION`]) and admits the debit with one
+/// CAS loop on an atomic counter — all-or-nothing, order-independent, and
+/// contention-free for concurrent spenders. Only the human-readable entry
+/// ledger sits behind a mutex, appended *after* the atomic grant; under
+/// concurrency the ledger's entry order may therefore differ from grant
+/// order, but its contents (and every total) are exact.
 ///
 /// ```
 /// use osdp_core::{BudgetAccountant, PrivacyGuarantee};
@@ -168,25 +192,72 @@ struct AccountantState {
 #[derive(Debug)]
 pub struct BudgetAccountant {
     limit: Option<f64>,
-    state: Mutex<AccountantState>,
+    /// The cap in fixed-point units (`None` for unlimited accountants).
+    limit_units: Option<u64>,
+    /// Total admitted spend in fixed-point units — the single source of
+    /// truth for enforcement, `total_spent` and `remaining`.
+    spent_units: AtomicU64,
+    entries: Mutex<Vec<LedgerEntry>>,
 }
 
 impl BudgetAccountant {
+    /// The ε granularity of the atomic spend counter. Spends are rounded to
+    /// the nearest multiple (at most `RESOLUTION / 2` away), which replaces
+    /// the historical `1e-12` floating-point tolerance: spending "the rest
+    /// of the budget" computed with floating point still succeeds.
+    pub const RESOLUTION: f64 = EPS_UNIT;
+
     /// An accountant with no cap: it only records what is spent.
     pub fn unlimited() -> Self {
-        Self { limit: None, state: Mutex::new(AccountantState::default()) }
+        Self {
+            limit: None,
+            limit_units: None,
+            spent_units: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        }
     }
 
     /// An accountant that refuses to exceed `limit` total epsilon under
     /// sequential composition.
     pub fn with_limit(limit: f64) -> Result<Self> {
         validate_epsilon(limit)?;
-        Ok(Self { limit: Some(limit), state: Mutex::new(AccountantState::default()) })
+        Ok(Self {
+            limit: Some(limit),
+            limit_units: Some(eps_to_units(limit)),
+            spent_units: AtomicU64::new(0),
+            entries: Mutex::new(Vec::new()),
+        })
     }
 
     /// The configured cap, if any.
     pub fn limit(&self) -> Option<f64> {
         self.limit
+    }
+
+    /// The atomic grant: admits `units` against the cap with a CAS loop, or
+    /// reports the remaining budget (in ε) without spending anything. This
+    /// is the only decision point — no lock is ever taken to enforce the
+    /// cap, so concurrent grants never serialize against each other or
+    /// against ledger readers.
+    fn try_grant_units(&self, units: u64) -> std::result::Result<(), f64> {
+        let mut spent = self.spent_units.load(Ordering::Acquire);
+        loop {
+            if let Some(limit_units) = self.limit_units {
+                let remaining = limit_units.saturating_sub(spent);
+                if units > remaining {
+                    return Err(units_to_eps(remaining));
+                }
+            }
+            match self.spent_units.compare_exchange_weak(
+                spent,
+                spent.saturating_add(units),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => spent = actual,
+            }
+        }
     }
 
     /// Records an ε expenditure under sequential composition.
@@ -200,17 +271,9 @@ impl BudgetAccountant {
         guarantee: PrivacyGuarantee,
     ) -> Result<()> {
         validate_epsilon(epsilon)?;
-        let mut state = self.state.lock();
-        if let Some(limit) = self.limit {
-            let remaining = limit - state.spent;
-            // Small tolerance so that spending "the rest of the budget"
-            // computed with floating point does not spuriously fail.
-            if epsilon > remaining + 1e-12 {
-                return Err(OsdpError::BudgetExhausted { requested: epsilon, remaining });
-            }
-        }
-        state.spent += epsilon;
-        state.entries.push(LedgerEntry {
+        self.try_grant_units(eps_to_units(epsilon))
+            .map_err(|remaining| OsdpError::BudgetExhausted { requested: epsilon, remaining })?;
+        self.entries.lock().push(LedgerEntry {
             label: label.into(),
             policy: policy.into(),
             epsilon,
@@ -221,32 +284,28 @@ impl BudgetAccountant {
 
     /// Records a batch of sequential-composition expenditures **atomically**:
     /// either every entry is admitted (one ledger entry each, in order) or —
-    /// when the cap cannot cover the batch total, judged by the same
-    /// tolerance rule as [`BudgetAccountant::spend`] — none is, and the
-    /// ledger is untouched.
+    /// when the cap cannot cover the batch total — none is, and the ledger
+    /// is untouched.
     ///
-    /// This is the all-or-nothing primitive behind pool releases: checking
-    /// the total and debiting entry-by-entry at a higher layer would race
-    /// its own tolerance arithmetic against this accountant's and could
-    /// strand a half-debited batch.
+    /// The batch total is the integer sum of the per-entry fixed-point
+    /// debits, so a granted batch spends *exactly* what the same entries
+    /// granted one by one would have: all-or-nothing at a single CAS, with
+    /// no tolerance arithmetic racing a higher layer's.
     ///
     /// `entries` is a list of `(label, policy, epsilon, guarantee)` tuples.
     pub fn spend_batch(&self, entries: &[(String, String, f64, PrivacyGuarantee)]) -> Result<()> {
+        let mut total_units = 0u64;
         let mut total = 0.0;
         for &(_, _, epsilon, _) in entries {
             validate_epsilon(epsilon)?;
+            total_units = total_units.saturating_add(eps_to_units(epsilon));
             total += epsilon;
         }
-        let mut state = self.state.lock();
-        if let Some(limit) = self.limit {
-            let remaining = limit - state.spent;
-            if total > remaining + 1e-12 {
-                return Err(OsdpError::BudgetExhausted { requested: total, remaining });
-            }
-        }
+        self.try_grant_units(total_units)
+            .map_err(|remaining| OsdpError::BudgetExhausted { requested: total, remaining })?;
+        let mut ledger = self.entries.lock();
         for (label, policy, epsilon, guarantee) in entries {
-            state.spent += epsilon;
-            state.entries.push(LedgerEntry {
+            ledger.push(LedgerEntry {
                 label: label.clone(),
                 policy: policy.clone(),
                 epsilon: *epsilon,
@@ -285,43 +344,50 @@ impl BudgetAccountant {
         )
     }
 
-    /// Total epsilon spent so far (sequential composition).
+    /// Total epsilon spent so far (sequential composition). Lock-free: one
+    /// atomic load, exact for the admitted fixed-point total.
     pub fn total_spent(&self) -> f64 {
-        self.state.lock().spent
+        units_to_eps(self.spent_units.load(Ordering::Acquire))
     }
 
-    /// Remaining budget, or `None` for an unlimited accountant.
+    /// Total spend in fixed-point units ([`BudgetAccountant::RESOLUTION`] ε
+    /// each) — the raw integer the grant path maintains. Because integer
+    /// addition commutes, this value is identical across every interleaving
+    /// of the same granted spends (property-tested in
+    /// `tests/concurrent_sessions.rs`).
+    pub fn total_spent_units(&self) -> u64 {
+        self.spent_units.load(Ordering::Acquire)
+    }
+
+    /// Remaining budget, or `None` for an unlimited accountant. Lock-free.
     pub fn remaining(&self) -> Option<f64> {
-        self.limit.map(|l| (l - self.state.lock().spent).max(0.0))
+        let spent = self.spent_units.load(Ordering::Acquire);
+        self.limit_units.map(|limit| units_to_eps(limit.saturating_sub(spent)))
     }
 
     /// A snapshot of the ledger.
     pub fn ledger(&self) -> Vec<LedgerEntry> {
-        self.state.lock().entries.clone()
+        self.entries.lock().clone()
     }
 
     /// True if every recorded entry is plain differential privacy — in which
     /// case the composite release is ε-DP for ε = [`Self::total_spent`].
     pub fn is_pure_dp(&self) -> bool {
-        self.state
-            .lock()
-            .entries
-            .iter()
-            .all(|e| e.guarantee == PrivacyGuarantee::DifferentialPrivacy)
+        self.entries.lock().iter().all(|e| e.guarantee == PrivacyGuarantee::DifferentialPrivacy)
     }
 
     /// Summarises the OSDP guarantee of the composed release: the total ε and
     /// the list of policy labels whose minimum relaxation the guarantee refers
     /// to (Theorem 3.3).
     pub fn composed_guarantee(&self) -> (f64, Vec<String>) {
-        let state = self.state.lock();
+        let entries = self.entries.lock();
         let mut policies: Vec<String> = Vec::new();
-        for entry in &state.entries {
+        for entry in entries.iter() {
             if !policies.contains(&entry.policy) {
                 policies.push(entry.policy.clone());
             }
         }
-        (state.spent, policies)
+        (self.total_spent(), policies)
     }
 }
 
@@ -431,6 +497,62 @@ mod tests {
         assert!(acc
             .spend_parallel("bad", PrivacyGuarantee::OneSided, &[("x", "P", -0.1)])
             .is_err());
+    }
+
+    #[test]
+    fn fixed_point_grants_are_exact_and_order_independent() {
+        // The admitted total is an integer sum of fixed-point units, so any
+        // permutation of the same granted spends lands on the same counter.
+        let forward = BudgetAccountant::unlimited();
+        let reverse = BudgetAccountant::unlimited();
+        let epsilons = [0.3, 0.1, 0.25, 0.07, 1.4];
+        for &eps in &epsilons {
+            forward.spend("m", "P", eps, PrivacyGuarantee::OneSided).unwrap();
+        }
+        for &eps in epsilons.iter().rev() {
+            reverse.spend("m", "P", eps, PrivacyGuarantee::OneSided).unwrap();
+        }
+        assert_eq!(forward.total_spent_units(), reverse.total_spent_units());
+        assert_eq!(forward.total_spent(), reverse.total_spent());
+        // Decimal epsilons quantize exactly at the 1e-12 resolution.
+        assert_eq!(forward.total_spent(), 2.12);
+    }
+
+    #[test]
+    fn sub_resolution_spends_still_accrue() {
+        // A spend below RESOLUTION/2 must not round to zero units: a capped
+        // accountant has to refuse an unbounded stream of tiny spends
+        // eventually, not grant them forever at zero recorded cost.
+        let acc = BudgetAccountant::with_limit(1e-9).unwrap();
+        let mut granted = 0usize;
+        while acc.spend("tiny", "P", 4.9e-13, PrivacyGuarantee::OneSided).is_ok() {
+            granted += 1;
+            assert!(granted <= 2000, "tiny spends must exhaust the cap");
+        }
+        // Each tiny spend costs at least one 1e-12 unit against the 1e-9 cap.
+        assert_eq!(granted, 1000);
+        assert!(acc.total_spent() > 0.0);
+    }
+
+    #[test]
+    fn concurrent_spenders_never_exceed_the_cap() {
+        use std::sync::Arc;
+        // 16 threads race 0.125-ε grants against a 1.0 cap: exactly 8 can
+        // win, and grants + refusals account for every attempt.
+        let acc = Arc::new(BudgetAccountant::with_limit(1.0).unwrap());
+        let handles: Vec<_> = (0..16)
+            .map(|_| {
+                let acc = Arc::clone(&acc);
+                std::thread::spawn(move || {
+                    acc.spend("m", "P", 0.125, PrivacyGuarantee::OneSided).is_ok()
+                })
+            })
+            .collect();
+        let granted = handles.into_iter().map(|h| h.join().unwrap()).filter(|&ok| ok).count();
+        assert_eq!(granted, 8);
+        assert_eq!(acc.total_spent(), 1.0);
+        assert_eq!(acc.remaining(), Some(0.0));
+        assert_eq!(acc.ledger().len(), 8);
     }
 
     #[test]

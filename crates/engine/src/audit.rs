@@ -2,10 +2,12 @@
 //! consumable by `osdp_attack::verify_ledger`.
 
 use osdp_core::budget::LedgerEntry;
-use osdp_core::Guarantee;
+use osdp_core::{BudgetAccountant, Guarantee};
 use osdp_metrics::{json_number, json_string};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// One audited release.
@@ -71,10 +73,58 @@ impl AuditRecord {
     }
 }
 
-/// A thread-safe, append-only log of audited releases.
-#[derive(Debug, Default)]
+/// Number of per-thread append shards. Appenders on different threads land
+/// on different mutexes, so hot-path appends never contend; 16 covers any
+/// realistic serving thread count without measurable snapshot cost.
+const AUDIT_SHARDS: usize = 16;
+
+/// The shard slot of the calling thread: assigned round-robin on first use
+/// and cached in a thread-local, so a serving thread always appends to the
+/// same shard (its "per-thread append buffer").
+fn thread_shard() -> usize {
+    static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let mut v = slot.get();
+        if v == usize::MAX {
+            v = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % AUDIT_SHARDS;
+            slot.set(v);
+        }
+        v
+    })
+}
+
+/// A thread-safe, append-only log of audited releases, sharded for
+/// concurrent appenders.
+///
+/// Records are appended to **per-thread shard buffers** (no global append
+/// lock) and stamped with a monotone sequence number drawn from one atomic
+/// counter; [`AuditLog::records`] merges the shards back into sequence
+/// order, so single-threaded callers observe exactly the historical
+/// append-order log, and concurrent callers observe a total order
+/// consistent with the grant sequence. [`AuditLog::len`] /
+/// [`AuditLog::is_empty`] / [`AuditLog::total_epsilon`] read atomic
+/// counters — O(1), never contending with appenders.
+#[derive(Debug)]
 pub struct AuditLog {
-    records: Mutex<Vec<AuditRecord>>,
+    /// Next sequence stamp == number of records appended (the atomic `len`).
+    seq: AtomicU64,
+    /// Total debited ε across all records, in [`BudgetAccountant::RESOLUTION`]
+    /// fixed-point units — the iteration-free ledger total.
+    spent_units: AtomicU64,
+    shards: Vec<Mutex<Vec<(u64, AuditRecord)>>>,
+}
+
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            spent_units: AtomicU64::new(0),
+            shards: (0..AUDIT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
 }
 
 impl AuditLog {
@@ -83,45 +133,82 @@ impl AuditLog {
         Self::default()
     }
 
-    /// Appends a record.
-    pub fn append(&self, record: AuditRecord) {
-        self.records.lock().push(record);
+    /// Stamps a record with `seq` and appends it to the calling thread's
+    /// shard buffer.
+    fn push_stamped(&self, seq: u64, record: AuditRecord) {
+        let units = (record.total_epsilon() / BudgetAccountant::RESOLUTION).round() as u64;
+        self.spent_units.fetch_add(units, Ordering::AcqRel);
+        self.shards[thread_shard()].lock().push((seq, record));
     }
 
-    /// Allocates the next monotone release index and appends the record built
-    /// from it, atomically: concurrent sessions threads can never interleave
-    /// index allocation and append, so the log stays in release order.
+    /// Appends a record.
+    pub fn append(&self, record: AuditRecord) {
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+        self.push_stamped(seq, record);
+    }
+
+    /// Allocates the next monotone release index and appends the record
+    /// built from it. Index allocation is one atomic increment, so
+    /// concurrent releases get dense, unique indices without serializing;
+    /// the index doubles as the record's sequence stamp, keeping
+    /// [`AuditLog::records`] in release-index order.
     pub fn append_next(&self, make: impl FnOnce(u64) -> AuditRecord) -> u64 {
-        let mut records = self.records.lock();
-        let index = records.len() as u64;
-        records.push(make(index));
+        let index = self.seq.fetch_add(1, Ordering::AcqRel);
+        self.push_stamped(index, make(index));
         index
     }
 
-    /// A snapshot of all records, in release order.
+    /// A snapshot of all records, merged from the shard buffers and sorted
+    /// into release order. **O(n)** in the number of audited releases —
+    /// use [`AuditLog::len`] / [`AuditLog::total_epsilon`] for hot-path
+    /// probes. A snapshot taken while appends are in flight contains every
+    /// release whose append completed (an in-flight index may be absent
+    /// until its appender finishes); a quiesced log snapshots exactly.
     pub fn records(&self) -> Vec<AuditRecord> {
-        self.records.lock().clone()
+        let mut all: Vec<(u64, AuditRecord)> = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            all.extend(shard.lock().iter().cloned());
+        }
+        all.sort_by_key(|&(seq, _)| seq);
+        all.into_iter().map(|(_, record)| record).collect()
     }
 
-    /// Number of audited releases.
+    /// Number of audited releases — one atomic load, no shard locks.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.seq.load(Ordering::Acquire) as usize
     }
 
-    /// Whether the log is empty.
+    /// Whether the log is empty — one atomic load, no shard locks.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.len() == 0
     }
 
-    /// The ledger view of the whole log (one entry per audited release),
-    /// consumable by `osdp_attack::verify_ledger`.
+    /// Total ε debited across every audited release, maintained atomically
+    /// on append (fixed-point, [`BudgetAccountant::RESOLUTION`] units): the
+    /// iteration-free ledger total, exactly what summing
+    /// [`AuditLog::ledger`] would produce at the accountant's resolution.
+    pub fn total_epsilon(&self) -> f64 {
+        self.spent_units.load(Ordering::Acquire) as f64 * BudgetAccountant::RESOLUTION
+    }
+
+    /// O(1) budget check: whether the log's total ε respects `limit`
+    /// (vacuously true without one). The iteration-free half of
+    /// `osdp_attack::verify_ledger` — the full structural verdict still
+    /// consumes the [`AuditLog::ledger`] snapshot.
+    pub fn within_limit(&self, limit: Option<f64>) -> bool {
+        limit.is_none_or(|l| self.total_epsilon() <= l + 1e-9)
+    }
+
+    /// The ledger view of the whole log (one entry per audited release, in
+    /// release order), consumable by `osdp_attack::verify_ledger`. O(n),
+    /// like the [`AuditLog::records`] snapshot it is derived from.
     pub fn ledger(&self) -> Vec<LedgerEntry> {
-        self.records.lock().iter().map(AuditRecord::to_ledger_entry).collect()
+        self.records().iter().map(AuditRecord::to_ledger_entry).collect()
     }
 
     /// The log as a JSON array.
     pub fn to_json(&self) -> String {
-        let records = self.records.lock();
+        let records = self.records();
         let mut out = String::from("[\n");
         for (i, r) in records.iter().enumerate() {
             out.push_str("  ");
@@ -160,6 +247,38 @@ mod tests {
         let batch = record(1, 10).to_ledger_entry();
         assert_eq!(batch.label, "OsdpLaplaceL1 x10");
         assert!((batch.epsilon - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sharded_appends_merge_into_index_order() {
+        use std::sync::Arc;
+        // 8 threads append through append_next concurrently: indices are
+        // dense and unique, the merged snapshot is sorted by index, and the
+        // atomic counters agree with the snapshot.
+        let log = Arc::new(AuditLog::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for trials in 1..=4 {
+                        log.append_next(|index| record(index, trials));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.len(), 32);
+        let records = log.records();
+        assert_eq!(records.len(), 32);
+        let indices: Vec<u64> = records.iter().map(|r| r.index).collect();
+        assert_eq!(indices, (0..32).collect::<Vec<u64>>(), "dense, merged in order");
+        let expected: f64 = records.iter().map(AuditRecord::total_epsilon).sum();
+        assert!((log.total_epsilon() - expected).abs() < 1e-9);
+        assert!(log.within_limit(Some(expected + 1.0)));
+        assert!(!log.within_limit(Some(expected - 1.0)));
+        assert!(log.within_limit(None));
     }
 
     #[test]

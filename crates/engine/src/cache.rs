@@ -14,10 +14,15 @@
 //! the backend partition cache).
 //!
 //! Data behind a backend is immutable for the backend's lifetime, so entries
-//! never go stale; the cache is capacity-bounded and cleared when full (a
-//! pure cache: results are recomputed, never wrong).
+//! never go stale; the cache is capacity-bounded per shard and cleared when
+//! full (a pure cache: results are recomputed, never wrong). Entries live in
+//! hash-sharded maps holding per-key derivation slots: concurrent
+//! derivations of *distinct* queries run in parallel, while racing
+//! derivations of the *same* key serialize on that key's slot and scan
+//! exactly once.
 
 use crate::backend::Backend;
+use crate::sharding::shard_index;
 use osdp_core::error::Result;
 use osdp_core::frame::BinSpec;
 use osdp_core::policy::Policy;
@@ -26,9 +31,16 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Cap on cached tasks per session (a pool experiment uses one entry per
-/// bound query; 64 covers any realistic workload with room to spare).
-const TASK_CACHE_CAP: usize = 64;
+/// Number of cache shards: keys hashing to different shards never contend
+/// on the (brief) map locks.
+const TASK_SHARDS: usize = 8;
+
+/// Cap on cached tasks per shard. 16 per shard keeps any workload the
+/// historical single-map 64-entry cap held fully cached (64 keys spread
+/// over 8 shards average 8 per shard; 16 absorbs hash skew) while still
+/// bounding the pinned memory; a full shard is cleared (a pure cache:
+/// results are recomputed, never wrong).
+const TASK_CACHE_CAP_PER_SHARD: usize = 16;
 
 /// Identity key: `(bins, bin-closure, policy, backend)` allocations, plus
 /// the query's compiled bin spec **by value** — a hand-built query can pair
@@ -39,7 +51,13 @@ type TaskKey = (usize, usize, usize, usize, Option<BinSpec>);
 /// The row-level bin assignment closure, as stored by queries and plans.
 type BinOf<R> = Arc<dyn Fn(&R) -> Option<usize> + Send + Sync>;
 
-/// A cached derivation plus the pinned allocations that key it.
+/// The per-key derivation slot: `None` until the first successful scan
+/// fills it. Racing callers of one key serialize on this slot's own lock —
+/// not the shard map lock — so a slow derivation never blocks hits or
+/// derivations of other keys.
+type TaskSlot = Arc<Mutex<Option<Arc<HistogramTask>>>>;
+
+/// A cached derivation slot plus the pinned allocations that key it.
 struct TaskEntry<R> {
     /// Pinned so the closure allocation outlives the entry (no ABA).
     _bin_of: BinOf<R>,
@@ -47,30 +65,42 @@ struct TaskEntry<R> {
     _policy: Arc<dyn Policy<R>>,
     /// Pinned so the backend allocation outlives the entry (no ABA).
     _backend: Arc<dyn Backend<R>>,
-    task: Arc<HistogramTask>,
+    slot: TaskSlot,
 }
 
-/// The per-session task cache.
+/// The per-session task cache, sharded by key hash.
 pub(crate) struct TaskCache<R> {
-    entries: Mutex<HashMap<TaskKey, TaskEntry<R>>>,
+    shards: Vec<Mutex<HashMap<TaskKey, TaskEntry<R>>>>,
 }
 
 impl<R> TaskCache<R> {
     /// An empty cache.
     pub(crate) fn new() -> Self {
-        Self { entries: Mutex::new(HashMap::new()) }
+        Self { shards: (0..TASK_SHARDS).map(|_| Mutex::new(HashMap::new())).collect() }
     }
 
     /// Number of live entries (test probe).
     #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// The shard a key hashes to.
+    fn shard_of(&self, key: &TaskKey) -> &Mutex<HashMap<TaskKey, TaskEntry<R>>> {
+        &self.shards[shard_index(key, TASK_SHARDS)]
     }
 
     /// Returns the cached task for the identity key, deriving it with
-    /// `derive` (the backend scan) on a miss. The scan runs outside the
-    /// cache lock; two racing derivations of one key produce equal tasks, so
-    /// keeping the first inserted is safe.
+    /// `derive` (the backend scan) on a miss.
+    ///
+    /// Exactly-once, without blocking the shard: the shard map lock is held
+    /// only long enough to find or insert the key's **slot**, and the scan
+    /// runs under that slot's own lock — so threads racing the *same* key
+    /// serialize and derive once (the historical lock → miss → unlock →
+    /// relock sequence let two threads scan the same task concurrently),
+    /// while hits and derivations of *other* keys, even on the same shard,
+    /// never wait behind a slow scan. A failed derivation leaves the slot
+    /// empty, so errors are retried by the next caller.
     pub(crate) fn get_or_derive(
         &self,
         bins: usize,
@@ -87,26 +117,39 @@ impl<R> TaskCache<R> {
             Arc::as_ptr(backend) as *const () as usize,
             spec.cloned(),
         );
-        if let Some(entry) = self.entries.lock().get(&key) {
-            return Ok(Arc::clone(&entry.task));
+        let slot: TaskSlot = {
+            let mut entries = self.shard_of(&key).lock();
+            if let Some(entry) = entries.get(&key) {
+                Arc::clone(&entry.slot)
+            } else {
+                if entries.len() >= TASK_CACHE_CAP_PER_SHARD {
+                    // In-flight derivations keep their slot Arc and finish
+                    // unaffected; their results are simply re-derived by
+                    // later callers (pure-cache semantics).
+                    entries.clear();
+                }
+                let entry = entries.entry(key).or_insert_with(|| TaskEntry {
+                    _bin_of: Arc::clone(bin_of),
+                    _policy: Arc::clone(policy),
+                    _backend: Arc::clone(backend),
+                    slot: Arc::new(Mutex::new(None)),
+                });
+                Arc::clone(&entry.slot)
+            }
+        };
+        let mut slot = slot.lock();
+        if let Some(task) = &*slot {
+            return Ok(Arc::clone(task));
         }
         let task = Arc::new(derive()?);
-        let mut entries = self.entries.lock();
-        if entries.len() >= TASK_CACHE_CAP {
-            entries.clear();
-        }
-        let entry = entries.entry(key).or_insert_with(|| TaskEntry {
-            _bin_of: Arc::clone(bin_of),
-            _policy: Arc::clone(policy),
-            _backend: Arc::clone(backend),
-            task,
-        });
-        Ok(Arc::clone(&entry.task))
+        *slot = Some(Arc::clone(&task));
+        Ok(task)
     }
 }
 
 impl<R> std::fmt::Debug for TaskCache<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskCache").field("entries", &self.entries.lock().len()).finish()
+        let entries: usize = self.shards.iter().map(|s| s.lock().len()).sum();
+        f.debug_struct("TaskCache").field("entries", &entries).finish()
     }
 }

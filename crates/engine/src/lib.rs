@@ -125,6 +125,51 @@
 //! assert!(releases.iter().all(|r| r.estimates.len() == 10));
 //! assert_eq!(session.total_spent(), 30.0);
 //! ```
+//!
+//! ## Concurrency model
+//!
+//! A session serves concurrent callers without a global lock; the grant
+//! path — the sequence every release takes before sampling — is lock-free.
+//! What is atomic, what is sharded, and what ordering the audit ledger
+//! guarantees:
+//!
+//! * **Budget enforcement is atomic.** The
+//!   [`osdp_core::BudgetAccountant`] keeps its spent total in fixed-point ε
+//!   units ([`osdp_core::BudgetAccountant::RESOLUTION`] = 1e-12 ε) behind a
+//!   single atomic counter; a grant — single release, trial batch, or
+//!   all-or-nothing pool batch — is one CAS loop. Because integer addition
+//!   commutes, the admitted total is independent of the interleaving order
+//!   of concurrent spenders, and the cap can never be overshot (sequential
+//!   composition, Theorem 3.3, enforced order-free). Only the
+//!   human-readable entry ledger sits behind a mutex, appended *after* the
+//!   grant.
+//! * **The audit log is sharded.** [`AuditLog`] appends to per-thread shard
+//!   buffers (no global append lock) and stamps each record with a monotone
+//!   sequence number from one atomic counter, which doubles as the release
+//!   index keying the deterministic RNG streams. `AuditLog::len` /
+//!   `is_empty` / `total_epsilon` read atomic counters without touching the
+//!   shards; [`AuditLog::records`] (O(n)) merges the shards back into
+//!   release-index order. Single-threaded callers therefore observe exactly
+//!   the historical append-order log — the bitwise-parity oracle paths are
+//!   unchanged — while concurrent callers observe a total order consistent
+//!   with index allocation. Under concurrency the *accountant ledger's*
+//!   entry order may differ from audit order (both appends are
+//!   post-grant), but every entry is present and every total is exact, so
+//!   `osdp_attack::verify_ledger` verdicts are unaffected.
+//! * **Caches are sharded.** The task cache hashes its identity keys
+//!   across shards holding per-key derivation slots; racing derivations of
+//!   the *same* key serialize on that key's slot and scan exactly once,
+//!   while derivations of distinct keys — even on one shard — proceed in
+//!   parallel. The policy registry behind
+//!   [`OsdpSession::composed_policy`] is a read-write lock: releases under
+//!   already-known policies only ever read.
+//! * **Multi-tenant serving is a shard map.** [`SessionPool`] routes
+//!   releases by tenant key to per-tenant sessions through shard read
+//!   locks; per-tenant budgets are enforced independently, and the
+//!   pool-wide cost across disjoint tenants composes in parallel
+//!   (Theorem 10.2, [`SessionPool::parallel_composed_epsilon`]), with
+//!   [`SessionPool::verify_all_ledgers`] checking every tenant's ledger in
+//!   one sweep.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -133,11 +178,14 @@ pub mod audit;
 pub mod backend;
 pub(crate) mod cache;
 pub(crate) mod intern;
+pub mod pool;
 pub mod registry;
 pub mod session;
+pub(crate) mod sharding;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
+pub use pool::{PoolVerdict, SessionPool, TenantVerdict};
 pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
 pub use session::{
     histogram_session, pair_query, pair_session, OsdpSession, PoolRelease, Release, SessionBuilder,

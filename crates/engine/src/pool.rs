@@ -1,0 +1,356 @@
+//! [`SessionPool`]: the multi-tenant serving plane.
+//!
+//! A pool is a sharded map `tenant → OsdpSession`: every tenant owns an
+//! independent session (its own data source, policy, budget accountant and
+//! audit log), and the pool routes releases by tenant key. Because tenants
+//! hold **disjoint** data, the pool as a whole composes in parallel
+//! (Theorem 10.2): the worst-case privacy cost across the deployment is the
+//! *maximum* per-tenant ε ([`SessionPool::parallel_composed_epsilon`]), not
+//! the sum — exactly the contract `BudgetAccountant::spend_parallel`
+//! records within one session, lifted to the process level.
+//!
+//! Concurrency: tenant lookup takes a shard **read** lock (shared, so
+//! concurrent releases to any mix of tenants never serialize in the pool),
+//! and each session's own grant path is lock-free (see the crate docs'
+//! concurrency model). Write locks are taken only to register or evict a
+//! tenant.
+
+use crate::session::{OsdpSession, PoolRelease, Release, SessionQuery};
+use crate::sharding::shard_index;
+use osdp_attack::{verify_ledger, LedgerVerdict};
+use osdp_core::error::{OsdpError, Result};
+use osdp_core::{Histogram, Record};
+use osdp_mechanisms::HistogramMechanism;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default shard count: enough that 8–16 serving threads touching random
+/// tenants rarely share a shard, cheap enough to iterate for pool-wide
+/// reports.
+const DEFAULT_POOL_SHARDS: usize = 16;
+
+/// One shard of the tenant map.
+type Shard<R> = RwLock<HashMap<Arc<str>, Arc<OsdpSession<R>>>>;
+
+/// A sharded, multi-tenant map of release sessions (see the module docs).
+pub struct SessionPool<R = Record> {
+    shards: Vec<Shard<R>>,
+}
+
+impl<R> Default for SessionPool<R> {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_POOL_SHARDS)
+    }
+}
+
+impl<R> std::fmt::Debug for SessionPool<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionPool")
+            .field("tenants", &self.len())
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl<R> SessionPool<R> {
+    /// An empty pool with the default shard count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty pool with an explicit shard count (at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        Self { shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect() }
+    }
+
+    /// The shard a tenant key hashes to.
+    fn shard_of(&self, tenant: &str) -> &Shard<R> {
+        &self.shards[shard_index(&tenant, self.shards.len())]
+    }
+
+    /// Registers a tenant's session, refusing to replace an existing one —
+    /// silently swapping a live session would discard the tenant's spent
+    /// budget and audit history. Evict explicitly with
+    /// [`SessionPool::remove`] first if replacement is intended.
+    pub fn insert(
+        &self,
+        tenant: impl Into<String>,
+        session: OsdpSession<R>,
+    ) -> Result<Arc<OsdpSession<R>>> {
+        let tenant: Arc<str> = tenant.into().into();
+        let mut shard = self.shard_of(&tenant).write();
+        if shard.contains_key(&tenant) {
+            return Err(OsdpError::InvalidInput(format!(
+                "tenant '{tenant}' already has a session; remove it first to replace it \
+                 (replacing would discard its budget and audit state)"
+            )));
+        }
+        let session = Arc::new(session);
+        shard.insert(tenant, Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// The tenant's session, registering the one `make` builds on first use.
+    /// The shard write lock is held across `make`, so two racing callers
+    /// construct the session exactly once; tenants on other shards are
+    /// unaffected.
+    pub fn get_or_insert_with(
+        &self,
+        tenant: &str,
+        make: impl FnOnce() -> Result<OsdpSession<R>>,
+    ) -> Result<Arc<OsdpSession<R>>> {
+        let mut shard = self.shard_of(tenant).write();
+        if let Some(session) = shard.get(tenant) {
+            return Ok(Arc::clone(session));
+        }
+        let session = Arc::new(make()?);
+        shard.insert(tenant.into(), Arc::clone(&session));
+        Ok(session)
+    }
+
+    /// The tenant's session, if registered.
+    pub fn get(&self, tenant: &str) -> Option<Arc<OsdpSession<R>>> {
+        self.shard_of(tenant).read().get(tenant).map(Arc::clone)
+    }
+
+    /// Evicts a tenant, returning its session (whose accountant and audit
+    /// log stay readable through the returned `Arc`).
+    pub fn remove(&self, tenant: &str) -> Option<Arc<OsdpSession<R>>> {
+        self.shard_of(tenant).write().remove(tenant)
+    }
+
+    /// Number of registered tenants.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the pool has no tenants.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// All tenant keys, sorted (shard iteration order is not meaningful).
+    pub fn tenants(&self) -> Vec<Arc<str>> {
+        let mut all: Vec<Arc<str>> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().keys().map(Arc::clone).collect::<Vec<_>>())
+            .collect();
+        all.sort();
+        all
+    }
+
+    /// The tenant's session, or an error naming the unknown tenant.
+    fn session(&self, tenant: &str) -> Result<Arc<OsdpSession<R>>> {
+        self.get(tenant).ok_or_else(|| {
+            OsdpError::InvalidInput(format!("no session registered for tenant '{tenant}'"))
+        })
+    }
+
+    /// Routes one audited release to the tenant's session
+    /// ([`OsdpSession::release`]): the tenant's own accountant is debited,
+    /// the tenant's own audit log extended.
+    pub fn release(
+        &self,
+        tenant: &str,
+        query: &SessionQuery<R>,
+        mechanism: &dyn HistogramMechanism,
+    ) -> Result<Release> {
+        self.session(tenant)?.release(query, mechanism)
+    }
+
+    /// Routes a trial batch to the tenant's session
+    /// ([`OsdpSession::release_trials`]).
+    pub fn release_trials(
+        &self,
+        tenant: &str,
+        query: &SessionQuery<R>,
+        mechanism: &dyn HistogramMechanism,
+        trials: usize,
+    ) -> Result<Vec<Histogram>> {
+        self.session(tenant)?.release_trials(query, mechanism, trials)
+    }
+
+    /// Routes a whole-pool mechanism batch to the tenant's session
+    /// ([`OsdpSession::release_pool`]).
+    pub fn release_pool(
+        &self,
+        tenant: &str,
+        query: &SessionQuery<R>,
+        pool: &[&dyn HistogramMechanism],
+        trials: usize,
+    ) -> Result<Vec<PoolRelease>> {
+        self.session(tenant)?.release_pool(query, pool, trials)
+    }
+
+    /// Sum of ε spent across every tenant — the *sequential*-composition
+    /// reading, an upper bound that ignores tenant disjointness.
+    pub fn total_spent(&self) -> f64 {
+        self.for_each_session(|_, s| s.total_spent()).into_iter().sum()
+    }
+
+    /// The pool-wide privacy cost under **parallel composition**
+    /// (Theorem 10.2): tenants hold disjoint data, so an adversary's
+    /// worst-case view is bounded by the *maximum* per-tenant ε, not the
+    /// sum. Zero for an empty pool.
+    pub fn parallel_composed_epsilon(&self) -> f64 {
+        self.for_each_session(|_, s| s.total_spent()).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Verifies **every** tenant's audit ledger against its own budget cap
+    /// (`osdp_attack::verify_ledger`), returning one verdict per tenant
+    /// plus the parallel-composition total. O(total releases).
+    pub fn verify_all_ledgers(&self) -> PoolVerdict {
+        let mut tenants = self.for_each_session(|tenant, session| TenantVerdict {
+            tenant,
+            verdict: verify_ledger(&session.audit_ledger(), session.accountant().limit()),
+        });
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let parallel_epsilon = tenants.iter().map(|t| t.verdict.total_epsilon).fold(0.0, f64::max);
+        PoolVerdict { tenants, parallel_epsilon }
+    }
+
+    /// Applies `f` to every registered session, one shard read lock at a
+    /// time.
+    fn for_each_session<T>(&self, mut f: impl FnMut(Arc<str>, &OsdpSession<R>) -> T) -> Vec<T> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (tenant, session) in shard.iter() {
+                out.push(f(Arc::clone(tenant), session));
+            }
+        }
+        out
+    }
+}
+
+/// One tenant's ledger verdict within a [`PoolVerdict`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantVerdict {
+    /// The tenant key.
+    pub tenant: Arc<str>,
+    /// The tenant's ledger verdict against its own cap.
+    pub verdict: LedgerVerdict,
+}
+
+/// The outcome of [`SessionPool::verify_all_ledgers`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolVerdict {
+    /// Per-tenant verdicts, sorted by tenant key.
+    pub tenants: Vec<TenantVerdict>,
+    /// The pool-wide ε under parallel composition across disjoint tenants
+    /// (Theorem 10.2): the maximum per-tenant ledger total.
+    pub parallel_epsilon: f64,
+}
+
+impl PoolVerdict {
+    /// Whether every tenant's ledger upholds the OSDP contract (within its
+    /// cap, no PDP entries).
+    pub fn all_upheld(&self) -> bool {
+        self.tenants.iter().all(|t| t.verdict.upholds_osdp())
+    }
+
+    /// The tenants whose ledgers fail, by key.
+    pub fn violating_tenants(&self) -> Vec<Arc<str>> {
+        self.tenants
+            .iter()
+            .filter(|t| !t.verdict.upholds_osdp())
+            .map(|t| Arc::clone(&t.tenant))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionBuilder;
+    use osdp_core::policy::ClosurePolicy;
+    use osdp_core::Database;
+    use osdp_mechanisms::{OsdpLaplaceL1, Suppress};
+
+    fn tenant_session(seed: u64, budget: f64) -> OsdpSession<u32> {
+        let db: Database<u32> = (0..100u32).collect();
+        SessionBuilder::new(db)
+            .policy(ClosurePolicy::new("upper-half", |&v: &u32| v >= 50), "P50")
+            .budget(budget)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn mod8_query() -> SessionQuery<u32> {
+        SessionQuery::count_by("mod8", 8, |&v: &u32| Some((v % 8) as usize))
+    }
+
+    #[test]
+    fn routes_releases_to_independent_tenant_budgets() {
+        let pool: SessionPool<u32> = SessionPool::new();
+        pool.insert("acme", tenant_session(1, 1.0)).unwrap();
+        pool.insert("globex", tenant_session(2, 2.0)).unwrap();
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.tenants(), vec![Arc::from("acme"), Arc::from("globex")]);
+
+        let m = OsdpLaplaceL1::new(0.75).unwrap();
+        pool.release("acme", &mod8_query(), &m).unwrap();
+        // acme is now too drained for a second 0.75 release; globex is not.
+        assert!(pool.release("acme", &mod8_query(), &m).is_err());
+        pool.release("globex", &mod8_query(), &m).unwrap();
+        pool.release("globex", &mod8_query(), &m).unwrap();
+
+        assert_eq!(pool.get("acme").unwrap().total_spent(), 0.75);
+        assert_eq!(pool.get("globex").unwrap().total_spent(), 1.5);
+        assert_eq!(pool.total_spent(), 2.25);
+        // Disjoint tenants compose in parallel: max, not sum.
+        assert_eq!(pool.parallel_composed_epsilon(), 1.5);
+
+        let verdict = pool.verify_all_ledgers();
+        assert!(verdict.all_upheld());
+        assert_eq!(verdict.parallel_epsilon, 1.5);
+        assert_eq!(verdict.tenants.len(), 2);
+        assert!(verdict.violating_tenants().is_empty());
+
+        // Unknown tenants are refused by name.
+        assert!(pool.release("initech", &mod8_query(), &m).is_err());
+    }
+
+    #[test]
+    fn insert_refuses_to_replace_a_live_session() {
+        let pool: SessionPool<u32> = SessionPool::new();
+        pool.insert("acme", tenant_session(1, 1.0)).unwrap();
+        assert!(pool.insert("acme", tenant_session(9, 9.0)).is_err());
+        // Explicit eviction allows re-registration.
+        let old = pool.remove("acme").unwrap();
+        assert_eq!(old.total_spent(), 0.0);
+        pool.insert("acme", tenant_session(9, 9.0)).unwrap();
+        assert_eq!(pool.get("acme").unwrap().remaining_budget(), Some(9.0));
+    }
+
+    #[test]
+    fn get_or_insert_builds_exactly_once() {
+        let pool: SessionPool<u32> = SessionPool::new();
+        let a = pool.get_or_insert_with("acme", || Ok(tenant_session(1, 1.0))).unwrap();
+        let b =
+            pool.get_or_insert_with("acme", || panic!("must not rebuild a live session")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // A failed build registers nothing.
+        let err: Result<_> =
+            pool.get_or_insert_with("bad", || Err(OsdpError::InvalidInput("boom".into())));
+        assert!(err.is_err());
+        assert!(pool.get("bad").is_none());
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn pdp_tenants_fail_pool_verification() {
+        let pool: SessionPool<u32> = SessionPool::new();
+        pool.insert("acme", tenant_session(1, 1.0)).unwrap();
+        pool.insert("shady", tenant_session(2, 200.0)).unwrap();
+        pool.release("acme", &mod8_query(), &OsdpLaplaceL1::new(0.5).unwrap()).unwrap();
+        pool.release("shady", &mod8_query(), &Suppress::new(10.0).unwrap()).unwrap();
+        let verdict = pool.verify_all_ledgers();
+        assert!(!verdict.all_upheld());
+        assert_eq!(verdict.violating_tenants(), vec![Arc::from("shady")]);
+        assert_eq!(verdict.parallel_epsilon, 10.0);
+    }
+}

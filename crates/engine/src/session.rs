@@ -10,7 +10,7 @@ use osdp_core::policy::{AttributePolicy, MinimumRelaxation, Policy};
 use osdp_core::{BudgetAccountant, Database, Guarantee, Histogram, Record};
 use osdp_mechanisms::{HistogramMechanism, HistogramTask, OsdpRr};
 use osdp_noise::SeedSequence;
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -361,8 +361,7 @@ impl<R> SessionBuilder<R> {
             accountant,
             seeds: SeedSequence::new(self.seed),
             audit: AuditLog::new(),
-            policies: Mutex::new(policies),
-            grant_lock: Mutex::new(()),
+            policies: RwLock::new(policies),
             tasks: TaskCache::new(),
             labels: Interner::new(),
             stream_labels: Interner::new(),
@@ -434,13 +433,13 @@ pub struct OsdpSession<R = Record> {
     seeds: SeedSequence,
     audit: AuditLog,
     /// Distinct (label, policy) pairs used by record-level releases, in first
-    /// use order — the components of the composed minimum relaxation.
-    policies: Mutex<UsedPolicies<R>>,
-    /// Serialises debit + audit append so the accountant ledger and the
-    /// audit log agree on release order even under concurrent callers.
-    grant_lock: Mutex<()>,
+    /// use order — the components of the composed minimum relaxation. Reads
+    /// (the common case) share the lock; only a release under a *new*
+    /// override policy writes.
+    policies: RwLock<UsedPolicies<R>>,
     /// Derived-task cache: one backend scan per distinct (query, policy,
-    /// backend) identity, shared by every release path.
+    /// backend) identity, shared by every release path. Hash-sharded, so
+    /// concurrent derivations of distinct queries never serialize.
     tasks: TaskCache<R>,
     /// Interned audit labels (mechanism / policy / query).
     labels: Interner,
@@ -498,12 +497,26 @@ impl<R> OsdpSession<R> {
     /// of Theorem 3.3 refers to. Empty (all-sensitive) for histogram-backed
     /// sessions, whose policies exist only as sampled sub-histograms.
     pub fn composed_policy(&self) -> MinimumRelaxation<R> {
-        MinimumRelaxation::new(self.policies.lock().iter().map(|(_, p)| Arc::clone(p)).collect())
+        MinimumRelaxation::new(self.policies.read().iter().map(|(_, p)| Arc::clone(p)).collect())
     }
 
-    /// A snapshot of the audit log.
+    /// A snapshot of the audit log. O(n) — merged from the log's shard
+    /// buffers into release order; use [`OsdpSession::audit_len`] /
+    /// [`OsdpSession::audit_total_epsilon`] for hot-path probes.
     pub fn audit_records(&self) -> Vec<AuditRecord> {
         self.audit.records()
+    }
+
+    /// Number of audited releases — one atomic load, never contends with
+    /// concurrent appenders.
+    pub fn audit_len(&self) -> usize {
+        self.audit.len()
+    }
+
+    /// Total ε across every audited release — one atomic load (the
+    /// iteration-free ledger total, see [`AuditLog::total_epsilon`]).
+    pub fn audit_total_epsilon(&self) -> f64 {
+        self.audit.total_epsilon()
     }
 
     /// The audit log's ledger view, consumable by
@@ -653,10 +666,9 @@ impl<R> OsdpSession<R> {
         let mechanism_label = self.labels.get(mechanism.name());
         let query_label = self.labels.get(query.label());
         // Debit before sampling: a refused spend must not leak a sample. The
-        // grant lock makes debit + audit append one atomic step, so ledger
-        // order and audit order agree even under concurrent callers; the
-        // expensive part (sampling) stays outside the critical section.
-        let grant = self.grant_lock.lock();
+        // grant is one CAS on the accountant's atomic spend counter — no
+        // lock — and the audit append allocates its index from the log's own
+        // atomic sequence, so concurrent releases never serialize here.
         self.accountant.spend(
             mechanism.name(),
             &*policy_label,
@@ -675,7 +687,6 @@ impl<R> OsdpSession<R> {
             trials: 1,
             guarantee,
         });
-        drop(grant);
         // Interned stream label: same content as the historical
         // `format!("release/{name}")`, built once per mechanism name.
         let stream =
@@ -752,10 +763,9 @@ impl<R> OsdpSession<R> {
     ///
     /// * **one backend scan** — the task is derived once (served by the task
     ///   cache) and shared by all `pool.len() × trials` releases;
-    /// * **one grant-lock batch** — a single critical section debits every
-    ///   mechanism and appends every audit record, all-or-nothing: if the
-    ///   remaining budget cannot cover the entire pool batch, nothing is
-    ///   spent, logged or sampled;
+    /// * **one atomic grant** — a single CAS on the accountant debits every
+    ///   mechanism, all-or-nothing: if the remaining budget cannot cover the
+    ///   entire pool batch, nothing is spent, logged or sampled;
     /// * one rayon fan-out over all `(mechanism, trial)` pairs, writing into
     ///   a preallocated arena.
     ///
@@ -780,11 +790,11 @@ impl<R> OsdpSession<R> {
         let query_label = self.labels.get(query.label());
         let guarantees: Vec<Guarantee> = pool.iter().map(|m| m.guarantee()).collect();
 
-        // One grant-lock batch: the accountant's atomic batch spend admits
-        // or refuses the whole pool (all-or-nothing), and the audit records
-        // are appended under the same critical section so ledger order and
-        // audit order agree. The debit entries are identical to what a
-        // sequential per-mechanism release_trials loop would record.
+        // One atomic grant for the whole batch: the accountant's batch spend
+        // admits or refuses the pool at a single CAS (all-or-nothing), then
+        // the audit records are appended in pool order. The debit entries
+        // are identical to what a sequential per-mechanism release_trials
+        // loop would record.
         let debits: Vec<_> = pool
             .iter()
             .zip(&guarantees)
@@ -797,7 +807,6 @@ impl<R> OsdpSession<R> {
                 )
             })
             .collect();
-        let grant = self.grant_lock.lock();
         self.accountant.spend_batch(&debits)?;
         let mut indices = Vec::with_capacity(pool.len());
         for (mechanism, guarantee) in pool.iter().zip(&guarantees) {
@@ -813,7 +822,6 @@ impl<R> OsdpSession<R> {
             });
             indices.push(index);
         }
-        drop(grant);
 
         // Streams are keyed exactly as release_trials keys them, so the pool
         // batch reproduces the sequential per-mechanism loop bitwise.
@@ -867,7 +875,6 @@ impl<R> OsdpSession<R> {
         let guarantee = mechanism.guarantee();
         let mechanism_label = self.labels.get(mechanism.name());
         let query_label = self.labels.get(query.label());
-        let _grant = self.grant_lock.lock();
         self.accountant.spend(
             format!("{} x{}", mechanism.name(), trials),
             &*self.policy_label,
@@ -887,7 +894,7 @@ impl<R> OsdpSession<R> {
     }
 
     fn remember_policy(&self, label: &str, policy: Arc<dyn Policy<R>>) {
-        let mut policies = self.policies.lock();
+        let mut policies = self.policies.write();
         // Dedup by policy *identity*: two distinct policies registered under
         // one label must both enter the composed minimum relaxation
         // (dropping either would over-claim protection).
@@ -917,7 +924,6 @@ impl<R: Clone> OsdpSession<R> {
         let guarantee = Guarantee::Osdp { eps: mechanism.epsilon() };
         let mechanism_label = self.labels.get("OsdpRR (records)");
         let query_label = self.labels.get("record-sample");
-        let grant = self.grant_lock.lock();
         self.accountant.spend(
             "OsdpRR (records)",
             &*self.policy_label,
@@ -933,7 +939,6 @@ impl<R: Clone> OsdpSession<R> {
             trials: 1,
             guarantee,
         });
-        drop(grant);
         let mut rng = self.seeds.rng_for("release-records/OsdpRR", index);
         let sample = mechanism.release(db, policy.as_ref(), &mut rng);
         Ok(sample)

@@ -1,0 +1,13 @@
+//! Shared hash-to-shard routing for the engine's sharded maps (task cache,
+//! session pool): one place to change the hasher or the distribution
+//! strategy.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// The shard index `key` routes to among `shards` shards (`shards >= 1`).
+pub(crate) fn shard_index(key: &impl Hash, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    hasher.finish() as usize % shards
+}

@@ -116,7 +116,8 @@ pub mod prelude {
     pub use osdp_engine::{
         histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs, AuditLog,
         AuditRecord, Backend, ColumnarBackend, HistogramPair, MechanismSpec, OsdpSession,
-        PoolRelease, QueryPlan, Release, RowBackend, SessionBuilder, SessionQuery,
+        PoolRelease, PoolVerdict, QueryPlan, Release, RowBackend, SessionBuilder, SessionPool,
+        SessionQuery, TenantVerdict,
     };
     pub use osdp_mechanisms::{
         DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,

@@ -1,0 +1,305 @@
+//! Stress tests for the concurrent serving plane.
+//!
+//! N threads hammer one session (and one multi-tenant pool) through the
+//! lock-free grant path. The invariants under test are the paper's
+//! composition contract, which must survive any interleaving:
+//!
+//! * the accountant never overspends its cap (Theorem 3.3, enforced on the
+//!   atomic fixed-point counter), and grants + refusals account for every
+//!   attempt;
+//! * the merged, sequence-stamped audit ledger contains exactly one record
+//!   per grant, with dense release indices, and passes
+//!   `osdp_attack::verify_ledger`;
+//! * per-tenant budgets in a `SessionPool` are enforced independently
+//!   (parallel composition across disjoint tenants, Theorem 10.2);
+//! * the sharded task cache derives each task exactly once, no matter how
+//!   many threads race the same query.
+//!
+//! A proptest additionally pins the fixed-point property the whole design
+//! rests on: spend totals are independent of interleaving order.
+
+use osdp::attack::verify_ledger;
+use osdp::prelude::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// Serving threads per stress test — deliberately above the dev container's
+/// core count so the schedules interleave even on one core.
+const THREADS: usize = 8;
+
+fn bound_session(budget: Option<f64>) -> OsdpSession {
+    let full = Histogram::from_counts(vec![40.0, 10.0, 25.0, 25.0]);
+    let ns = Histogram::from_counts(vec![30.0, 10.0, 0.0, 20.0]);
+    let mut b = histogram_session(full, ns).policy_label("P-stress").seed(41);
+    if let Some(eps) = budget {
+        b = b.budget(eps);
+    }
+    b.build().expect("valid bound session")
+}
+
+/// Runs `per_thread` release attempts on each of [`THREADS`] threads, all
+/// starting together, and returns (grants, refusals).
+fn hammer(session: &Arc<OsdpSession>, eps: f64, per_thread: usize) -> (usize, usize) {
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = Arc::clone(session);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mechanism = OsdpLaplaceL1::new(eps).unwrap();
+                barrier.wait();
+                let mut grants = 0usize;
+                for _ in 0..per_thread {
+                    match session.release(&SessionQuery::bound(), &mechanism) {
+                        Ok(_) => grants += 1,
+                        Err(OsdpError::BudgetExhausted { .. }) => {}
+                        Err(other) => panic!("unexpected release error: {other}"),
+                    }
+                }
+                grants
+            })
+        })
+        .collect();
+    let grants: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    (grants, THREADS * per_thread - grants)
+}
+
+#[test]
+fn concurrent_releases_never_overspend_a_tight_budget() {
+    // 40 attempts of 0.125 ε race a 2.0 cap: exactly 16 can win.
+    let limit = 2.0;
+    let eps = 0.125;
+    let session = Arc::new(bound_session(Some(limit)));
+    let (grants, refusals) = hammer(&session, eps, 5);
+
+    assert_eq!(grants + refusals, THREADS * 5, "every attempt accounted for");
+    assert_eq!(grants, 16, "grants + refusals sum exactly to the cap");
+    assert!(session.total_spent() <= limit, "the cap is never overshot");
+    assert!((session.total_spent() - grants as f64 * eps).abs() < 1e-9);
+    assert_eq!(session.remaining_budget(), Some(0.0));
+
+    // The merged audit log: one record per grant, dense release indices.
+    let records = session.audit_records();
+    assert_eq!(records.len(), grants);
+    let mut indices: Vec<u64> = records.iter().map(|r| r.index).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..grants as u64).collect::<Vec<_>>());
+
+    // The ledger verifies against the cap, and the accountant's own entry
+    // ledger agrees on the number of grants.
+    let verdict = verify_ledger(&session.audit_ledger(), Some(limit));
+    assert!(verdict.upholds_osdp());
+    assert!((verdict.total_epsilon - session.total_spent()).abs() < 1e-9);
+    assert_eq!(session.accountant().ledger().len(), grants);
+}
+
+#[test]
+fn mixed_single_and_pool_traffic_keeps_ledger_and_audit_in_agreement() {
+    let session = Arc::new(bound_session(None));
+    let mechanisms = pool_from_names(&["OsdpLaplaceL1", "DAWAz", "Laplace"], 0.5).unwrap();
+    let mechanisms = Arc::new(mechanisms);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let session = Arc::clone(&session);
+            let mechanisms = Arc::clone(&mechanisms);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                for round in 0..3 {
+                    if (t + round) % 2 == 0 {
+                        let single = OsdpLaplaceL1::new(0.5).unwrap();
+                        session.release(&SessionQuery::bound(), &single).unwrap();
+                    } else {
+                        let pool: Vec<&dyn HistogramMechanism> =
+                            mechanisms.iter().map(|m| m.as_ref()).collect();
+                        session.release_pool(&SessionQuery::bound(), &pool, 2).unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Merged audit: dense indices, totals agreeing with the accountant to
+    // the fixed-point resolution, and a clean verify_ledger verdict.
+    let records = session.audit_records();
+    assert_eq!(records.len(), session.audit_len());
+    let mut indices: Vec<u64> = records.iter().map(|r| r.index).collect();
+    indices.sort_unstable();
+    assert_eq!(indices, (0..records.len() as u64).collect::<Vec<_>>());
+    let audit_total: f64 = records.iter().map(|r| r.total_epsilon()).sum();
+    assert!((audit_total - session.total_spent()).abs() < 1e-9);
+    let verdict = verify_ledger(&session.audit_ledger(), None);
+    assert!(verdict.upholds_osdp());
+    assert!((verdict.total_epsilon - session.total_spent()).abs() < 1e-9);
+}
+
+#[test]
+fn pool_isolates_tenant_budgets_under_contention() {
+    let pool: Arc<SessionPool> = Arc::new(SessionPool::new());
+    let tenants = ["acme", "globex", "initech", "umbrella"];
+    for (i, tenant) in tenants.iter().enumerate() {
+        // Tenant i can afford exactly 4 + i grants of 0.25 ε.
+        let full = Histogram::from_counts(vec![40.0, 10.0, 25.0, 25.0]);
+        let ns = Histogram::from_counts(vec![30.0, 10.0, 0.0, 20.0]);
+        let session = histogram_session(full, ns)
+            .policy_label("P-tenant")
+            .budget(0.25 * (4 + i) as f64)
+            .seed(100 + i as u64)
+            .build()
+            .unwrap();
+        pool.insert(*tenant, session).unwrap();
+    }
+
+    // Two threads per tenant race 6 attempts each (12 > any tenant's cap).
+    let barrier = Arc::new(Barrier::new(2 * tenants.len()));
+    let handles: Vec<_> = (0..2 * tenants.len())
+        .map(|slot| {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let tenant = ["acme", "globex", "initech", "umbrella"][slot / 2];
+                let mechanism = OsdpLaplaceL1::new(0.25).unwrap();
+                barrier.wait();
+                let mut grants = 0usize;
+                for _ in 0..6 {
+                    if pool.release(tenant, &SessionQuery::bound(), &mechanism).is_ok() {
+                        grants += 1;
+                    }
+                }
+                (tenant, grants)
+            })
+        })
+        .collect();
+    let mut grants_by_tenant = std::collections::HashMap::new();
+    for h in handles {
+        let (tenant, grants) = h.join().unwrap();
+        *grants_by_tenant.entry(tenant).or_insert(0usize) += grants;
+    }
+
+    // Each tenant lands exactly on its own cap — neighbours' traffic never
+    // bleeds into another tenant's budget.
+    for (i, tenant) in tenants.iter().enumerate() {
+        assert_eq!(grants_by_tenant[tenant], 4 + i, "tenant {tenant}");
+        let session = pool.get(tenant).unwrap();
+        assert!((session.total_spent() - 0.25 * (4 + i) as f64).abs() < 1e-9);
+        assert_eq!(session.remaining_budget(), Some(0.0));
+    }
+    let verdict = pool.verify_all_ledgers();
+    assert!(verdict.all_upheld());
+    assert!((verdict.parallel_epsilon - 0.25 * 7.0).abs() < 1e-9, "max tenant, not the sum");
+    assert!((pool.parallel_composed_epsilon() - 0.25 * 7.0).abs() < 1e-9);
+    assert!((pool.total_spent() - 0.25 * (4 + 5 + 6 + 7) as f64).abs() < 1e-9);
+}
+
+/// A backend wrapper counting every scan (the exactly-once probe).
+struct CountingBackend {
+    inner: RowBackend<Record>,
+    scans: AtomicUsize,
+}
+
+impl Backend<Record> for CountingBackend {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn scan(&self, plan: &QueryPlan<Record>) -> Result<HistogramPair, OsdpError> {
+        self.scans.fetch_add(1, Ordering::SeqCst);
+        self.inner.scan(plan)
+    }
+    fn database(&self) -> Option<&Database<Record>> {
+        self.inner.database()
+    }
+}
+
+#[test]
+fn racing_task_derivations_scan_exactly_once() {
+    let db: Database<Record> =
+        (0..500).map(|i| Record::builder().field("v", Value::Int(i % 100)).build()).collect();
+    let backend =
+        Arc::new(CountingBackend { inner: RowBackend::new(db), scans: AtomicUsize::new(0) });
+    let session = Arc::new(
+        SessionBuilder::with_backend(Arc::clone(&backend) as Arc<dyn Backend<Record>>)
+            .policy(AttributePolicy::int_at_most("v", 49), "lower-half")
+            .seed(17)
+            .build()
+            .unwrap(),
+    );
+    // One shared query value (one closure identity): every thread asks the
+    // same question at the same time.
+    let query = Arc::new(SessionQuery::count_by_int_linear("deciles", "v", 0, 10, 10));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            let query = Arc::clone(&query);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                session.derive_task(&query).unwrap()
+            })
+        })
+        .collect();
+    let tasks: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(tasks.windows(2).all(|w| w[0] == w[1]), "all threads see one task");
+    assert_eq!(
+        backend.scans.load(Ordering::SeqCst),
+        1,
+        "the sharded cache must derive a racing key exactly once"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The fixed-point invariant under the whole design: the admitted spend
+    /// total is a sum of integers, so it is identical whether the same
+    /// grants land serially, in reverse, or race from [`THREADS`] threads.
+    #[test]
+    fn spend_totals_are_independent_of_interleaving_order(
+        epsilons in prop::collection::vec(0.001f64..3.0, 1..24),
+    ) {
+        let spend_all = |acc: &BudgetAccountant, eps: &[f64]| {
+            for &e in eps {
+                acc.spend("m", "P", e, PrivacyGuarantee::OneSided).unwrap();
+            }
+        };
+        let forward = BudgetAccountant::unlimited();
+        spend_all(&forward, &epsilons);
+        let reversed: Vec<f64> = epsilons.iter().rev().copied().collect();
+        let backward = BudgetAccountant::unlimited();
+        spend_all(&backward, &reversed);
+
+        let racing = Arc::new(BudgetAccountant::unlimited());
+        let chunks: Vec<Vec<f64>> =
+            epsilons.chunks(epsilons.len().div_ceil(THREADS)).map(<[f64]>::to_vec).collect();
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let racing = Arc::clone(&racing);
+                thread::spawn(move || {
+                    for &e in &chunk {
+                        racing.spend("m", "P", e, PrivacyGuarantee::OneSided).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        prop_assert_eq!(forward.total_spent_units(), backward.total_spent_units());
+        prop_assert_eq!(forward.total_spent_units(), racing.total_spent_units());
+        // The f64 views agree bit-for-bit too, because they are derived
+        // from the same integer.
+        prop_assert_eq!(forward.total_spent(), racing.total_spent());
+        prop_assert_eq!(forward.ledger().len(), epsilons.len());
+    }
+}
