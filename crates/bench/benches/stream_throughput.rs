@@ -1,0 +1,158 @@
+//! Perf trajectory entry 5: the streaming release plane.
+//!
+//! N independent streams (one `StreamSession` per thread — the per-tenant
+//! shape of a streaming deployment) ingest synthetic windows and release
+//! each window's histogram through the engine's continual-observation path:
+//! window swap → backend scan → lock-free grant → sharded audit append →
+//! noise kernel. The metric is aggregate **windows/sec** at 1, 4 and 8
+//! threads, for the per-window budget (every window released) and the
+//! hierarchical budget (windows buffered, whole-horizon range answered from
+//! `O(log T)` node releases).
+//!
+//! Run with `--smoke` (the CI mode) for a seconds-long pass that still
+//! exercises every code path at every thread count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osdp_bench::criterion_for_figures;
+use osdp_core::policy::AttributePolicy;
+use osdp_core::{Record, StreamBudget};
+use osdp_engine::{StreamSession, SyntheticWindows, Window, WindowSource, SYNTHETIC_FIELD};
+use osdp_mechanisms::OsdpLaplaceL1;
+use std::hint::black_box;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Thread counts of the scaling sweep.
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Histogram bins of the streamed query.
+const BINS: usize = 64;
+
+/// Records per synthetic window.
+const ROWS_PER_WINDOW: usize = 512;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Windows per stream per measurement.
+fn windows_per_stream() -> u64 {
+    if smoke() {
+        32
+    } else {
+        256
+    }
+}
+
+/// One tenant's stream: synthetic occupancy-like traffic under a
+/// "low values are non-sensitive" policy.
+fn stream(seed: u64, budget: StreamBudget) -> StreamSession<Record> {
+    StreamSession::builder("bench", BINS, |r: &Record| {
+        r.int(SYNTHETIC_FIELD).ok().map(|v| (v.max(0) as usize).min(BINS - 1))
+    })
+    .policy(AttributePolicy::int_at_most(SYNTHETIC_FIELD, (BINS / 2) as i64), "low")
+    .seed(seed)
+    .stream_budget(budget)
+    .build()
+    .expect("valid stream")
+}
+
+/// Pre-generates one stream's windows — synthetic-data cost must stay
+/// outside the timed region, so the windows/sec number measures only the
+/// release path (window swap → scan → grant → audit → noise).
+fn generate_windows(seed: u64, windows: u64) -> Vec<Window<Record>> {
+    let mut source = SyntheticWindows::new(seed ^ 0xBEEF, windows, ROWS_PER_WINDOW, BINS as i64);
+    let mut out = Vec::with_capacity(windows as usize);
+    while let Some(window) = source.next_window() {
+        out.push(window);
+    }
+    out
+}
+
+/// Drives one pre-built stream through pre-generated windows, returning the
+/// number of windows ingested.
+fn drive(
+    session: &mut StreamSession<Record>,
+    windows: Vec<Window<Record>>,
+    budget: &StreamBudget,
+) -> usize {
+    let mechanism = OsdpLaplaceL1::new(0.5).unwrap();
+    let horizon = windows.len() as u64;
+    let mut ingested = 0usize;
+    for window in windows {
+        black_box(session.ingest(window, &mechanism).expect("uncapped stream"));
+        ingested += 1;
+    }
+    if matches!(budget, StreamBudget::Hierarchical { .. }) {
+        // The horizon query is the hierarchical plane's payoff: O(log T)
+        // node releases for the whole stream.
+        black_box(session.range_query(0..horizon, &mechanism).expect("ingested range"));
+    }
+    ingested
+}
+
+/// Runs `threads` independent streams concurrently and returns aggregate
+/// windows/sec. Sessions and synthetic windows are built **before** the
+/// start barrier; the clock covers only the ingest/release work.
+fn measure(threads: usize, budget: &StreamBudget) -> f64 {
+    let windows = windows_per_stream();
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let barrier = Arc::clone(&barrier);
+            let budget = budget.clone();
+            let seed = 1000 + t as u64;
+            std::thread::spawn(move || {
+                let mut session = stream(seed, budget.clone());
+                let prebuilt = generate_windows(seed, windows);
+                barrier.wait();
+                drive(&mut session, prebuilt, &budget)
+            })
+        })
+        .collect();
+    // Start the clock BEFORE entering the barrier: workers cannot begin
+    // until the main thread arrives, so the timestamp bounds the release
+    // work from above by at most the barrier-entry cost. (Stamping after
+    // the barrier races the workers — a short measurement can finish
+    // before the main thread is rescheduled, inflating windows/sec.)
+    let start = Instant::now();
+    barrier.wait();
+    let ingested: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    ingested as f64 / elapsed
+}
+
+fn bench_stream_throughput(c: &mut Criterion) {
+    eprintln!(
+        "[perf-trajectory #5] streaming release plane, {BINS}-bin windows of \
+         {ROWS_PER_WINDOW} records ({} windows/stream):",
+        windows_per_stream()
+    );
+    let levels = 10; // 2^10 windows per stream, ample
+    for &threads in &THREAD_COUNTS {
+        let per_window = measure(threads, &StreamBudget::PerWindow);
+        let tree = measure(threads, &StreamBudget::Hierarchical { levels });
+        eprintln!(
+            "  {threads} thread(s): per-window {per_window:>9.0} win/s, \
+             hierarchical {tree:>9.0} win/s"
+        );
+    }
+
+    if smoke() {
+        return; // the sweep above already exercised every path
+    }
+    let mut group = c.benchmark_group("stream_throughput_synthetic");
+    for &threads in &THREAD_COUNTS {
+        group.bench_function(format!("per_window_{threads}_threads"), |b| {
+            b.iter(|| black_box(measure(threads, &StreamBudget::PerWindow)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = stream_throughput;
+    config = criterion_for_figures();
+    targets = bench_stream_throughput,
+}
+criterion_main!(stream_throughput);

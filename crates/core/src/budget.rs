@@ -17,6 +17,7 @@
 use crate::error::{validate_epsilon, OsdpError, Result};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -156,19 +157,72 @@ pub struct LedgerEntry {
 /// addition commutes, floating-point addition does not.
 const EPS_UNIT: f64 = 1e-12;
 
-/// Converts a validated epsilon to fixed-point units, rounding to the
-/// nearest unit but **never below one**: every positive spend must cost at
-/// least one unit, or a loop of sub-resolution spends would pass a capped
-/// accountant forever while accruing real privacy loss. The `as` cast
-/// saturates, capping a single conversion at `u64::MAX` units (~1.8e7 ε) —
-/// far beyond any composed budget.
-fn eps_to_units(epsilon: f64) -> u64 {
-    ((epsilon / EPS_UNIT).round() as u64).max(1)
+/// Converts a validated epsilon to fixed-point units, rounding **up** (and
+/// never below one unit).
+///
+/// Ceiling rounding is what makes the fixed-point debit sound: rounding to
+/// the *nearest* unit let a spend round **down** and under-charge the
+/// accountant by up to `RESOLUTION / 2` per release — unbounded drift across
+/// millions of releases. With the ceiling, `units × RESOLUTION ≥ ε` for
+/// every valid spend, so the recorded total can only over-state the true
+/// privacy loss (the safe direction). The "never below one unit" floor is
+/// still needed for exact sub-unit spends: a loop of sub-resolution spends
+/// must exhaust a capped accountant eventually, not pass forever at zero
+/// recorded cost.
+///
+/// The ceiling is computed **exactly** from the float's binary
+/// representation (no rounding error from dividing by the inexact `1e-12`),
+/// and a final guard bumps the count if the `f64` view of the debit would
+/// still read below `epsilon`. Conversions saturate at `u64::MAX` units
+/// (~1.8e7 ε) — far beyond any composed budget.
+pub fn epsilon_to_units(epsilon: f64) -> u64 {
+    /// `1 / RESOLUTION`, exactly representable as an integer.
+    const SCALE: u128 = 1_000_000_000_000;
+    let bits = epsilon.to_bits();
+    let biased_exp = ((bits >> 52) & 0x7FF) as i64;
+    let fraction = bits & ((1u64 << 52) - 1);
+    // epsilon = mantissa × 2^exp (finite and positive: validated upstream).
+    let (mantissa, exp) = if biased_exp == 0 {
+        (fraction, -1074i64)
+    } else {
+        (fraction | (1 << 52), biased_exp - 1075)
+    };
+    // mantissa × SCALE < 2^53 × 2^40 = 2^93: exact in u128.
+    let scaled = u128::from(mantissa) * SCALE;
+    let exact_ceiling: u128 = if exp >= 0 {
+        // epsilon ≥ 2^52 ε: far past the saturation point either way.
+        u128::from(u64::MAX)
+    } else {
+        let shift = (-exp) as u32;
+        if shift >= 128 {
+            u128::from(scaled != 0)
+        } else {
+            (scaled >> shift) + u128::from(scaled & ((1u128 << shift) - 1) != 0)
+        }
+    };
+    let mut units = exact_ceiling.min(u128::from(u64::MAX)) as u64;
+    units = units.max(1);
+    // Defensive: the f64 view of the debit must never read below epsilon
+    // (`units_to_eps` multiplies by the *inexact* 1e-12).
+    while units < u64::MAX && units_to_eps(units) < epsilon {
+        units += 1;
+    }
+    units
 }
 
-/// The epsilon a unit count represents.
-fn units_to_eps(units: u64) -> f64 {
+/// The epsilon a unit count represents ([`BudgetAccountant::RESOLUTION`] ε
+/// per unit).
+pub fn units_to_epsilon(units: u64) -> f64 {
     units as f64 * EPS_UNIT
+}
+
+/// Internal aliases keeping the accountant's call sites short.
+fn eps_to_units(epsilon: f64) -> u64 {
+    epsilon_to_units(epsilon)
+}
+
+fn units_to_eps(units: u64) -> f64 {
+    units_to_epsilon(units)
 }
 
 /// A thread-safe sequential-composition accountant with an optional cap.
@@ -184,8 +238,8 @@ fn units_to_eps(units: u64) -> f64 {
 /// ```
 /// use osdp_core::{BudgetAccountant, PrivacyGuarantee};
 /// let acc = BudgetAccountant::with_limit(1.0).unwrap();
-/// acc.spend("OsdpRR", "P99", 0.4, PrivacyGuarantee::OneSided).unwrap();
-/// acc.spend("DAWA", "Pall", 0.6, PrivacyGuarantee::DifferentialPrivacy).unwrap();
+/// acc.spend("OsdpRR", "P99", 0.375, PrivacyGuarantee::OneSided).unwrap();
+/// acc.spend("DAWA", "Pall", 0.625, PrivacyGuarantee::DifferentialPrivacy).unwrap();
 /// assert!(acc.spend("extra", "P99", 0.1, PrivacyGuarantee::OneSided).is_err());
 /// assert_eq!(acc.total_spent(), 1.0);
 /// ```
@@ -201,10 +255,15 @@ pub struct BudgetAccountant {
 }
 
 impl BudgetAccountant {
-    /// The ε granularity of the atomic spend counter. Spends are rounded to
-    /// the nearest multiple (at most `RESOLUTION / 2` away), which replaces
-    /// the historical `1e-12` floating-point tolerance: spending "the rest
-    /// of the budget" computed with floating point still succeeds.
+    /// The ε granularity of the atomic spend counter. Spends are rounded
+    /// **up** to the next multiple ([`epsilon_to_units`]), so the recorded
+    /// fixed-point total never undercounts the true ε: the accountant may
+    /// over-charge a spend by strictly less than one `RESOLUTION`, never
+    /// under-charge it. Budgets meant to be spent down to zero should
+    /// therefore be phrased in ε values exact at this resolution (decimal
+    /// multiples of `1e-12`, e.g. dyadic fractions like `0.125`); a spend
+    /// whose f64 value lies just *above* such a multiple costs one extra
+    /// unit.
     pub const RESOLUTION: f64 = EPS_UNIT;
 
     /// An accountant with no cap: it only records what is spent.
@@ -391,6 +450,198 @@ impl BudgetAccountant {
     }
 }
 
+/// The continual-observation budgeting policy of a windowed release stream.
+///
+/// A streaming deployment releases one histogram per time window, and each
+/// released window debits budget. How those per-window debits compose into a
+/// stream-level guarantee depends on the observation model:
+///
+/// * [`StreamBudget::PerWindow`] — plain sequential composition
+///   (Theorem 3.3): every window debits its mechanism's full ε, so `T`
+///   windows cost `T·ε`. The conservative default when one user's records
+///   may appear in every window.
+/// * [`StreamBudget::SlidingWindow`] — *w-event* continual observation: the
+///   ε-sum over **any** `window` consecutive windows must stay within
+///   `epsilon`. Appropriate when a user's contribution spans at most
+///   `window` consecutive windows (e.g. one building visit), so the
+///   adversary's view inside any sliding frame is bounded by `epsilon`
+///   while the stream itself runs forever.
+/// * [`StreamBudget::Hierarchical`] — binary-tree aggregation for
+///   range-over-time queries: windows aggregate into dyadic nodes (node
+///   `(l, j)` covers windows `[j·2^l, (j+1)·2^l)`), released lazily and at
+///   most once each. A range over `T` windows decomposes into
+///   `O(log T)` nodes ([`dyadic_decomposition`]), so answering it debits
+///   `O(log T)·ε` instead of the `O(T)·ε` that summing per-window releases
+///   would cost; and because same-level nodes cover **disjoint** windows,
+///   the per-level cost composes in parallel (Theorem 10.2) — a user
+///   appearing in one window is exposed to at most `levels + 1` node
+///   releases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StreamBudget {
+    /// Sequential composition: each window debits its mechanism's full ε.
+    PerWindow,
+    /// w-event continual observation: the ε spent across any `window`
+    /// consecutive windows must stay within `epsilon`.
+    SlidingWindow {
+        /// The per-frame budget cap.
+        epsilon: f64,
+        /// The frame width `w` in windows.
+        window: usize,
+    },
+    /// Binary-tree aggregation over dyadic window ranges, with nodes up to
+    /// level `levels` (a node at level `l` aggregates `2^l` windows).
+    Hierarchical {
+        /// The maximum node level (tree height); `levels ≥ ⌈log2 T⌉` keeps
+        /// any range over `T` windows at `O(log T)` nodes.
+        levels: u32,
+    },
+}
+
+impl StreamBudget {
+    /// Validates the parameters (finite positive ε, non-zero frame/levels).
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            StreamBudget::PerWindow => Ok(()),
+            StreamBudget::SlidingWindow { epsilon, window } => {
+                validate_epsilon(*epsilon)?;
+                if *window == 0 {
+                    return Err(OsdpError::InvalidInput(
+                        "sliding-window stream budget needs window >= 1".into(),
+                    ));
+                }
+                Ok(())
+            }
+            StreamBudget::Hierarchical { levels } => {
+                if *levels == 0 || *levels > 62 {
+                    return Err(OsdpError::InvalidInput(
+                        "hierarchical stream budget needs 1 <= levels <= 62".into(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The mutable enforcement state of a [`StreamBudget`]: tracks the debits of
+/// the most recent frame of windows so sliding-window caps can be enforced
+/// **in fixed-point units** — the same [`BudgetAccountant::RESOLUTION`]
+/// arithmetic as the accountant, so frame sums never drift from the grant
+/// path's integers no matter how many windows stream past.
+#[derive(Debug)]
+pub struct StreamBudgetState {
+    budget: StreamBudget,
+    /// Per-window debits (units) of the last `window - 1` windows; the
+    /// incoming window makes the frame whole.
+    frame: VecDeque<u64>,
+    /// Running sum of `frame` in units.
+    frame_units: u64,
+    /// The frame cap in units (sliding-window only).
+    cap_units: u64,
+}
+
+impl StreamBudgetState {
+    /// Validates the budget and creates its empty state.
+    pub fn new(budget: StreamBudget) -> Result<Self> {
+        budget.validate()?;
+        let cap_units = match &budget {
+            StreamBudget::SlidingWindow { epsilon, .. } => epsilon_to_units(*epsilon),
+            _ => 0,
+        };
+        Ok(Self { budget, frame: VecDeque::new(), frame_units: 0, cap_units })
+    }
+
+    /// The policy this state enforces.
+    pub fn budget(&self) -> &StreamBudget {
+        &self.budget
+    }
+
+    /// Whether a release costing `cost` ε in the **incoming** window fits
+    /// the stream budget. Always true for [`StreamBudget::PerWindow`] and
+    /// [`StreamBudget::Hierarchical`] (their enforcement lives elsewhere:
+    /// the accountant cap and the node-release path respectively).
+    pub fn would_admit(&self, cost: f64) -> bool {
+        self.would_admit_units(epsilon_to_units(cost))
+    }
+
+    /// Unit-denominated [`StreamBudgetState::would_admit`], for callers
+    /// whose debit is a **sum of conversions** (a pool batch debits
+    /// `Σ epsilon_to_units(εᵢ)`, and the ceiling is subadditive — summing
+    /// in ε first and converting once can under-state the grant path's
+    /// integer by up to one unit per summand).
+    pub fn would_admit_units(&self, cost_units: u64) -> bool {
+        match self.budget {
+            StreamBudget::SlidingWindow { .. } => {
+                self.frame_units.saturating_add(cost_units) <= self.cap_units
+            }
+            _ => true,
+        }
+    }
+
+    /// Slides the frame by one window that debited `cost` ε (`0.0` for a
+    /// refused or silent window). Call exactly once per window, after the
+    /// admit decision.
+    pub fn advance(&mut self, cost: f64) {
+        let units = if cost == 0.0 { 0 } else { epsilon_to_units(cost) };
+        self.advance_units(units);
+    }
+
+    /// Unit-denominated [`StreamBudgetState::advance`] — see
+    /// [`StreamBudgetState::would_admit_units`] for when the caller must
+    /// sum units itself.
+    pub fn advance_units(&mut self, cost_units: u64) {
+        let StreamBudget::SlidingWindow { window, .. } = self.budget else {
+            return;
+        };
+        self.frame.push_back(cost_units);
+        self.frame_units = self.frame_units.saturating_add(cost_units);
+        // Keep the last `window - 1` debits: together with the next
+        // incoming window they form one full frame.
+        while self.frame.len() >= window.max(1) {
+            let expired = self.frame.pop_front().expect("len checked");
+            self.frame_units -= expired;
+        }
+    }
+
+    /// ε debited across the retained frame (the last `window − 1` windows).
+    pub fn frame_spent(&self) -> f64 {
+        units_to_epsilon(self.frame_units)
+    }
+
+    /// Remaining frame budget for the incoming window, or `None` when the
+    /// stream budget imposes no frame cap.
+    pub fn frame_remaining(&self) -> Option<f64> {
+        match self.budget {
+            StreamBudget::SlidingWindow { .. } => {
+                Some(units_to_epsilon(self.cap_units.saturating_sub(self.frame_units)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Decomposes the window range `[range.start, range.end)` into maximal
+/// dyadic nodes `(level, position)` with `level ≤ max_level`, where node
+/// `(l, j)` covers windows `[j·2^l, (j+1)·2^l)`. Greedy by alignment: the
+/// classic binary-tree range decomposition, touching at most
+/// `2·max_level + ⌈(range length) / 2^max_level⌉` nodes — `O(log T)` for a
+/// range of `T` windows when `max_level ≥ ⌈log2 T⌉`.
+pub fn dyadic_decomposition(range: std::ops::Range<u64>, max_level: u32) -> Vec<(u32, u64)> {
+    let max_level = max_level.min(62);
+    let mut nodes = Vec::new();
+    let (mut at, end) = (range.start, range.end);
+    while at < end {
+        let alignment = if at == 0 { 62 } else { at.trailing_zeros().min(62) };
+        let mut level = alignment.min(max_level);
+        while (1u64 << level) > end - at {
+            level -= 1;
+        }
+        nodes.push((level, at >> level));
+        at += 1u64 << level;
+    }
+    nodes
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,8 +658,10 @@ mod tests {
         assert!(matches!(acc.spend_batch(&too_big), Err(OsdpError::BudgetExhausted { .. })));
         assert_eq!(acc.total_spent(), 0.0);
         assert!(acc.ledger().is_empty());
-        // A fitting batch is admitted in order, one ledger entry each.
-        let fits = [entry("a", 0.6), entry("b", 0.4)];
+        // A fitting batch is admitted in order, one ledger entry each
+        // (dyadic epsilons are exact at the fixed-point resolution, so they
+        // cover the cap exactly even under ceiling rounding).
+        let fits = [entry("a", 0.625), entry("b", 0.375)];
         acc.spend_batch(&fits).unwrap();
         assert!((acc.total_spent() - 1.0).abs() < 1e-12);
         let ledger = acc.ledger();
@@ -457,14 +710,15 @@ mod tests {
     fn limit_is_enforced() {
         let acc = BudgetAccountant::with_limit(1.0).unwrap();
         assert_eq!(acc.limit(), Some(1.0));
-        acc.spend("a", "P", 0.6, PrivacyGuarantee::DifferentialPrivacy).unwrap();
-        assert!((acc.remaining().unwrap() - 0.4).abs() < 1e-12);
+        acc.spend("a", "P", 0.75, PrivacyGuarantee::DifferentialPrivacy).unwrap();
+        assert!((acc.remaining().unwrap() - 0.25).abs() < 1e-12);
         let err = acc.spend("b", "P", 0.5, PrivacyGuarantee::DifferentialPrivacy).unwrap_err();
         assert!(matches!(err, OsdpError::BudgetExhausted { .. }));
         // Failed spends must not be recorded.
         assert_eq!(acc.ledger().len(), 1);
-        // Spending exactly the remainder is fine (floating point tolerance).
-        acc.spend("c", "P", 0.4, PrivacyGuarantee::DifferentialPrivacy).unwrap();
+        // Spending exactly the remainder (exact at the fixed-point
+        // resolution) is fine.
+        acc.spend("c", "P", 0.25, PrivacyGuarantee::DifferentialPrivacy).unwrap();
         assert!(acc.remaining().unwrap().abs() < 1e-9);
         assert!(acc.is_pure_dp());
     }
@@ -514,8 +768,12 @@ mod tests {
         }
         assert_eq!(forward.total_spent_units(), reverse.total_spent_units());
         assert_eq!(forward.total_spent(), reverse.total_spent());
-        // Decimal epsilons quantize exactly at the 1e-12 resolution.
-        assert_eq!(forward.total_spent(), 2.12);
+        // Ceiling rounding: 0.1 and 0.07 sit just above their decimals in
+        // binary, so each costs one extra 1e-12 unit; the admitted total can
+        // only over-state the real sum, never under-state it.
+        assert_eq!(forward.total_spent_units(), 2_120_000_000_002);
+        assert!(forward.total_spent() >= 2.12);
+        assert!(forward.total_spent() < 2.12 + 5.0 * BudgetAccountant::RESOLUTION);
     }
 
     #[test]
@@ -529,8 +787,10 @@ mod tests {
             granted += 1;
             assert!(granted <= 2000, "tiny spends must exhaust the cap");
         }
-        // Each tiny spend costs at least one 1e-12 unit against the 1e-9 cap.
-        assert_eq!(granted, 1000);
+        // Each tiny spend costs at least one 1e-12 unit. The f64 nearest to
+        // 1e-9 sits just above the decimal, so the ceiling-rounded cap is
+        // 1001 units, not 1000.
+        assert_eq!(granted, 1001);
         assert!(acc.total_spent() > 0.0);
     }
 
@@ -553,6 +813,108 @@ mod tests {
         assert_eq!(acc.total_spent(), 1.0);
         assert_eq!(acc.remaining(), Some(0.0));
         assert_eq!(acc.ledger().len(), 8);
+    }
+
+    #[test]
+    fn epsilon_to_units_rounds_up_and_never_undercounts() {
+        // Exact at the resolution: no rounding either way.
+        assert_eq!(epsilon_to_units(1.0), 1_000_000_000_000);
+        assert_eq!(epsilon_to_units(0.125), 125_000_000_000);
+        assert_eq!(epsilon_to_units(1e-12), 1);
+        // The f64 nearest to 0.1 lies just above the decimal: the ceiling
+        // charges the extra unit the old round-to-nearest dropped.
+        assert_eq!(epsilon_to_units(0.1), 100_000_000_001);
+        assert_eq!(epsilon_to_units(0.2), 200_000_000_001);
+        // ...while 0.3 lies just below and lands on the decimal exactly.
+        assert_eq!(epsilon_to_units(0.3), 300_000_000_000);
+        // Sub-resolution spends still cost one unit.
+        assert_eq!(epsilon_to_units(4.9e-13), 1);
+        assert_eq!(epsilon_to_units(f64::MIN_POSITIVE), 1);
+        // Huge epsilons saturate instead of wrapping.
+        assert_eq!(epsilon_to_units(1e30), u64::MAX);
+        // The defining invariant: the debit's f64 view never reads below
+        // the spend.
+        for eps in [0.1, 0.2, 0.3, 0.07, 1.4, 2.12, 1e-9, 4.9e-13, 3.7, 1e6] {
+            let units = epsilon_to_units(eps);
+            assert!(units_to_epsilon(units) >= eps, "undercount at {eps}");
+            assert!(
+                units == 1
+                    || units_to_epsilon(units - 1)
+                        < eps * (1.0 + 1e-15) + BudgetAccountant::RESOLUTION,
+                "gross overcount at {eps}"
+            );
+        }
+        assert_eq!(units_to_epsilon(750_000_000_000), 0.75);
+    }
+
+    #[test]
+    fn sliding_window_state_enforces_the_frame_cap() {
+        // Frame of 3 windows, cap 0.25: two 0.125 grants fill a frame.
+        let budget = StreamBudget::SlidingWindow { epsilon: 0.25, window: 3 };
+        let mut state = StreamBudgetState::new(budget).unwrap();
+        assert!(state.would_admit(0.125));
+        state.advance(0.125);
+        assert!(state.would_admit(0.125));
+        state.advance(0.125);
+        // Third window of the frame: refused, slides through empty.
+        assert!(!state.would_admit(0.125));
+        assert_eq!(state.frame_remaining(), Some(0.0));
+        state.advance(0.0);
+        // The first grant has now expired from the frame: admitted again.
+        assert!(state.would_admit(0.125));
+        assert!((state.frame_spent() - 0.125).abs() < 1e-12);
+        state.advance(0.125);
+        // A cost above the whole frame cap never fits.
+        assert!(!state.would_admit(0.5));
+
+        // Parameter validation.
+        assert!(StreamBudget::SlidingWindow { epsilon: 0.0, window: 3 }.validate().is_err());
+        assert!(StreamBudget::SlidingWindow { epsilon: 1.0, window: 0 }.validate().is_err());
+        assert!(StreamBudget::Hierarchical { levels: 0 }.validate().is_err());
+        assert!(StreamBudget::Hierarchical { levels: 63 }.validate().is_err());
+        assert!(StreamBudget::PerWindow.validate().is_ok());
+
+        // PerWindow / Hierarchical states admit everything (enforcement
+        // lives in the accountant cap and the node-release path).
+        let mut free = StreamBudgetState::new(StreamBudget::PerWindow).unwrap();
+        assert!(free.would_admit(1e6));
+        free.advance(1e6);
+        assert_eq!(free.frame_remaining(), None);
+    }
+
+    #[test]
+    fn dyadic_decomposition_covers_ranges_with_log_many_nodes() {
+        // Every decomposition covers the range exactly, in order, with
+        // disjoint nodes.
+        let check = |range: std::ops::Range<u64>, max_level: u32| {
+            let nodes = dyadic_decomposition(range.clone(), max_level);
+            let mut at = range.start;
+            for &(level, pos) in &nodes {
+                assert!(level <= max_level);
+                assert_eq!(pos << level, at, "nodes tile the range in order");
+                at += 1u64 << level;
+            }
+            assert_eq!(at, range.end, "range covered exactly");
+            nodes
+        };
+        // An aligned power-of-two range is one node.
+        assert_eq!(check(0..16, 4), vec![(4, 0)]);
+        // A mis-aligned range climbs then descends: O(log T) nodes.
+        assert_eq!(check(1..16, 4), vec![(0, 1), (1, 1), (2, 1), (3, 1)]);
+        assert_eq!(check(3..13, 4).len(), 4); // [3,4) [4,8) [8,12) [12,13)
+        for (range, bound) in [(0..1000, 2 * 10), (7..777, 2 * 10), (5..6, 1)] {
+            let len = (range.end - range.start) as f64;
+            let nodes = check(range, 10);
+            assert!(
+                nodes.len() <= bound,
+                "{} nodes for a {}-window range (bound {bound})",
+                nodes.len(),
+                len
+            );
+        }
+        // Levels cap: with max_level 0 every window is its own node.
+        assert_eq!(check(0..5, 0).len(), 5);
+        assert!(dyadic_decomposition(4..4, 3).is_empty());
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub mod record;
 pub mod sparse;
 pub mod value;
 
-pub use budget::{BudgetAccountant, Guarantee, PrivacyBudget, PrivacyGuarantee};
+pub use budget::{
+    dyadic_decomposition, epsilon_to_units, units_to_epsilon, BudgetAccountant, Guarantee,
+    PrivacyBudget, PrivacyGuarantee, StreamBudget, StreamBudgetState,
+};
 pub use database::Database;
 pub use domain::{CategoricalDomain, GridDomain};
 pub use error::{OsdpError, Result};

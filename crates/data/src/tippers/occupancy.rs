@@ -78,11 +78,52 @@ impl TrajectoryDataset {
     /// **surfacing the dropped count**: trajectories whose duration falls at
     /// or beyond `bins` slots are not absorbed silently — the second
     /// component reports how many the domain truncated
-    /// (via [`Database::histogram_by_counted`]).
+    /// (via [`Database::histogram_by_counted`]). Callers that must preserve
+    /// every stay should use the explicit overflow-bin mode
+    /// ([`TrajectoryDataset::duration_histogram_overflow`]) instead of
+    /// ignoring the count.
     pub fn duration_histogram(&self, bins: usize) -> (Histogram, usize) {
         self.occupancy_records()
             .histogram_by_counted(bins, |r| r.int(DURATION_FIELD).ok().map(|d| d as usize))
     }
+
+    /// The duration-of-stay histogram in **overflow-bin mode**: `bins − 1`
+    /// regular one-slot buckets plus a final bucket absorbing every stay of
+    /// `bins − 1` slots or longer ([`duration_overflow_bin`]). No mass is
+    /// ever lost — `total()` equals the trajectory count — which is the
+    /// form the streaming TIPPERS runner releases (a silently truncated
+    /// histogram under-counts exactly the residents the occupancy workload
+    /// cares about).
+    pub fn duration_histogram_overflow(&self, bins: usize) -> Histogram {
+        let (histogram, dropped) = self.occupancy_records().histogram_by_counted(bins, |r| {
+            r.int(DURATION_FIELD).ok().map(|d| duration_overflow_bin(d, bins))
+        });
+        debug_assert_eq!(dropped, 0, "the overflow bin absorbs every duration");
+        histogram
+    }
+
+    /// Splits the dataset into **per-day occupancy windows**: element `d`
+    /// holds the occupancy records of every trajectory observed on
+    /// simulation day `d` (dense — days nobody showed up yield empty
+    /// windows). This is the TIPPERS trajectory-stream adapter for the
+    /// engine's streaming plane: wrap it with
+    /// `osdp_engine::windows_from_databases` to ingest day by day.
+    pub fn occupancy_day_windows(&self) -> Vec<Database<Record>> {
+        let days = self.trajectories().iter().map(|t| usize::from(t.day) + 1).max().unwrap_or(0);
+        let mut windows: Vec<Vec<Record>> = vec![Vec::new(); days];
+        for t in self.trajectories() {
+            windows[usize::from(t.day)].push(occupancy_record(t));
+        }
+        windows.into_iter().map(Database::from_records).collect()
+    }
+}
+
+/// The overflow-binning rule of
+/// [`TrajectoryDataset::duration_histogram_overflow`]: durations clamp into
+/// the last of `bins` buckets instead of falling off the domain. Exposed so
+/// streaming queries can bin records with exactly the same rule.
+pub fn duration_overflow_bin(duration_slots: i64, bins: usize) -> usize {
+    (duration_slots.max(0) as usize).min(bins.saturating_sub(1))
 }
 
 #[cfg(test)]
@@ -160,5 +201,48 @@ mod tests {
         let (narrow, dropped) = ds.duration_histogram(10);
         assert!(dropped > 0, "some stays last 10+ slots");
         assert_eq!(narrow.total() + dropped as f64, ds.len() as f64);
+    }
+
+    #[test]
+    fn overflow_mode_loses_no_mass() {
+        let ds = dataset();
+        let bins = 10;
+        let overflow = ds.duration_histogram_overflow(bins);
+        assert_eq!(overflow.len(), bins);
+        assert_eq!(overflow.total(), ds.len() as f64, "every stay is binned");
+        // The regular buckets agree with the truncating mode; the dropped
+        // mass lands exactly in the overflow bucket.
+        let (narrow, dropped) = ds.duration_histogram(bins);
+        assert_eq!(&overflow.counts()[..bins - 1], &narrow.counts()[..bins - 1]);
+        assert_eq!(
+            overflow.get(bins - 1),
+            narrow.get(bins - 1) + dropped as f64,
+            "overflow bucket = last regular bucket + everything truncated"
+        );
+        // The binning rule itself.
+        assert_eq!(duration_overflow_bin(3, 10), 3);
+        assert_eq!(duration_overflow_bin(9, 10), 9);
+        assert_eq!(duration_overflow_bin(144, 10), 9);
+        assert_eq!(duration_overflow_bin(-1, 10), 0);
+    }
+
+    #[test]
+    fn day_windows_partition_the_dataset_densely() {
+        let ds = dataset();
+        let windows = ds.occupancy_day_windows();
+        assert!(!windows.is_empty());
+        let total: usize = windows.iter().map(Database::len).sum();
+        assert_eq!(total, ds.len(), "every trajectory lands in exactly one day window");
+        // Rows carry the right day field per window.
+        for (day, window) in windows.iter().enumerate() {
+            for r in window.iter() {
+                assert_eq!(r.int(DAY_FIELD).unwrap(), day as i64);
+            }
+        }
+        // Concatenating the windows reproduces the full occupancy table
+        // (the dataset iterates trajectories day-major already).
+        let concatenated: Vec<_> = windows.iter().flat_map(|w| w.iter().cloned()).collect();
+        let all = ds.occupancy_records();
+        assert_eq!(concatenated.len(), all.len());
     }
 }

@@ -1,7 +1,7 @@
 //! The session audit log: one record per release, with a ledger view
 //! consumable by `osdp_attack::verify_ledger`.
 
-use osdp_core::budget::LedgerEntry;
+use osdp_core::budget::{epsilon_to_units, LedgerEntry};
 use osdp_core::{BudgetAccountant, Guarantee};
 use osdp_metrics::{json_number, json_string};
 use parking_lot::Mutex;
@@ -135,8 +135,15 @@ impl AuditLog {
 
     /// Stamps a record with `seq` and appends it to the calling thread's
     /// shard buffer.
+    ///
+    /// The ε accumulator debits `epsilon_to_units(record ε)` — the **same**
+    /// ceiling-rounded fixed-point conversion the `BudgetAccountant` grant
+    /// path applies to the same f64 — so for a session whose every grant is
+    /// audited, `total_epsilon()` equals the accountant's `total_spent()`
+    /// **bit for bit**, independent of shard interleaving (integer addition
+    /// commutes; the historical float accumulation did not).
     fn push_stamped(&self, seq: u64, record: AuditRecord) {
-        let units = (record.total_epsilon() / BudgetAccountant::RESOLUTION).round() as u64;
+        let units = epsilon_to_units(record.total_epsilon());
         self.spent_units.fetch_add(units, Ordering::AcqRel);
         self.shards[thread_shard()].lock().push((seq, record));
     }
@@ -185,18 +192,30 @@ impl AuditLog {
 
     /// Total ε debited across every audited release, maintained atomically
     /// on append (fixed-point, [`BudgetAccountant::RESOLUTION`] units): the
-    /// iteration-free ledger total, exactly what summing
-    /// [`AuditLog::ledger`] would produce at the accountant's resolution.
+    /// iteration-free ledger total, exactly what the accountant's grant
+    /// path debits for the same releases — bit for bit, not merely within a
+    /// float tolerance (see [`AuditLog::total_epsilon_units`]).
     pub fn total_epsilon(&self) -> f64 {
         self.spent_units.load(Ordering::Acquire) as f64 * BudgetAccountant::RESOLUTION
     }
 
+    /// The raw fixed-point ε total ([`BudgetAccountant::RESOLUTION`] units
+    /// each) — directly comparable to
+    /// `BudgetAccountant::total_spent_units()`: when every accountant grant
+    /// is audited (every session release path), the two integers are equal
+    /// under any thread interleaving.
+    pub fn total_epsilon_units(&self) -> u64 {
+        self.spent_units.load(Ordering::Acquire)
+    }
+
     /// O(1) budget check: whether the log's total ε respects `limit`
-    /// (vacuously true without one). The iteration-free half of
+    /// (vacuously true without one). Compared in fixed-point units — the
+    /// same integers the accountant's cap enforcement uses, so the verdict
+    /// never drifts from the grant path's. The iteration-free half of
     /// `osdp_attack::verify_ledger` — the full structural verdict still
     /// consumes the [`AuditLog::ledger`] snapshot.
     pub fn within_limit(&self, limit: Option<f64>) -> bool {
-        limit.is_none_or(|l| self.total_epsilon() <= l + 1e-9)
+        limit.is_none_or(|l| self.total_epsilon_units() <= epsilon_to_units(l))
     }
 
     /// The ledger view of the whole log (one entry per audited release, in

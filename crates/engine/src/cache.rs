@@ -85,6 +85,18 @@ impl<R> TaskCache<R> {
         self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Drops every entry. For sources whose data **can** change between
+    /// releases (the streaming plane swaps a new window behind its backend),
+    /// this restores the cache's staleness invariant at the swap point:
+    /// in-flight derivations keep their slot `Arc`s and finish unaffected;
+    /// later callers re-derive against the new data (pure-cache semantics —
+    /// results are recomputed, never wrong).
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+    }
+
     /// The shard a key hashes to.
     fn shard_of(&self, key: &TaskKey) -> &Mutex<HashMap<TaskKey, TaskEntry<R>>> {
         &self.shards[shard_index(key, TASK_SHARDS)]

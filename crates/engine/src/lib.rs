@@ -169,7 +169,46 @@
 //!   pool-wide cost across disjoint tenants composes in parallel
 //!   (Theorem 10.2, [`SessionPool::parallel_composed_epsilon`]), with
 //!   [`SessionPool::verify_all_ledgers`] checking every tenant's ledger in
-//!   one sweep.
+//!   one sweep. Evicting a tenant whose releases may still be in flight is
+//!   safe: [`SessionPool::remove`] returns the live `Arc`, whose audit log
+//!   keeps absorbing the stragglers, and
+//!   [`SessionPool::remove_quiesced`] additionally waits for them so a
+//!   final ledger verify counts every release.
+//!
+//! ## Streaming model
+//!
+//! [`stream::StreamSession`] is the **continual-observation** half of the
+//! engine: instead of one database fixed at construction, a
+//! [`stream::WindowSource`] yields windows of records (one day of TIPPERS
+//! trajectories, one batch of events) and each window is released as its
+//! own histogram. The semantics are pinned by three rules:
+//!
+//! * **Window semantics.** Windows arrive densely in index order; window
+//!   `w`'s rows are swapped into the session's bound [`Backend`] and
+//!   scanned through the same policy/plan path as the one-shot plane, so
+//!   the per-window `(x, x_ns)` pair is derived from the bound policy
+//!   exactly as a one-shot release would derive it. Every release is
+//!   audited under a window-stamped label (`"<query>@w<index>"`, or
+//!   `"<query>@L<level>#<pos>"` for dyadic nodes).
+//! * **Continual-observation ε accounting.** A
+//!   [`StreamBudget`](osdp_core::StreamBudget) policy governs per-window
+//!   debits: `PerWindow` composes sequentially (`T` windows cost `T·ε`);
+//!   `SlidingWindow` enforces the *w-event* model — the ε-sum over any `W`
+//!   consecutive windows stays within the frame cap, refused windows pass
+//!   unreleased so the stream never aborts; `Hierarchical` buffers windows
+//!   into a binary tree and debits **lazily**:
+//!   [`stream::StreamSession::range_query`] answers a range over `T`
+//!   windows from `O(log T)` dyadic node releases (each debited once,
+//!   reused free afterwards) instead of `O(T)` per-window releases. All
+//!   debits land in the wrapped session's lock-free accountant and its
+//!   fixed-point units, so stream totals never drift from the grant path.
+//! * **Oracle-parity guarantee.** Streaming is sugar over the one-shot
+//!   machinery, not a parallel implementation: streaming `T` windows
+//!   produces bitwise-identical estimates — and a ledger with the same
+//!   fixed-point ε total — as releasing the same `T` window tasks through
+//!   a plain [`OsdpSession`] with the same seed (the RNG stream of release
+//!   `i` is `(seed, "release/<mechanism>", i)` on both planes).
+//!   Property-tested in `tests/stream_parity.rs`.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -182,6 +221,7 @@ pub mod pool;
 pub mod registry;
 pub mod session;
 pub(crate) mod sharding;
+pub mod stream;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
@@ -190,4 +230,8 @@ pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
 pub use session::{
     histogram_session, pair_query, pair_session, OsdpSession, PoolRelease, Release, SessionBuilder,
     SessionQuery,
+};
+pub use stream::{
+    windows_from_databases, PoolWindowOutcome, StreamSession, StreamSessionBuilder,
+    SyntheticWindows, Window, WindowOutcome, WindowSource, SYNTHETIC_FIELD,
 };

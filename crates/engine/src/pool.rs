@@ -114,10 +114,37 @@ impl<R> SessionPool<R> {
         self.shard_of(tenant).read().get(tenant).map(Arc::clone)
     }
 
-    /// Evicts a tenant, returning its session (whose accountant and audit
-    /// log stay readable through the returned `Arc`).
+    /// Evicts a tenant, returning its session.
+    ///
+    /// Releases may still be **in flight** on other threads when the map
+    /// entry disappears: they hold their own clones of the session `Arc`,
+    /// so every grant they win lands in the *returned* session's accountant
+    /// and audit log — nothing is lost, but the tenant is no longer visible
+    /// to [`SessionPool::verify_all_ledgers`]. The operator therefore owns
+    /// the final audit: run `osdp_attack::verify_ledger` on the returned
+    /// session once its traffic has drained (or use
+    /// [`SessionPool::remove_quiesced`], which waits for the drain).
+    /// Tested in `tests/concurrent_sessions.rs`.
     pub fn remove(&self, tenant: &str) -> Option<Arc<OsdpSession<R>>> {
         self.shard_of(tenant).write().remove(tenant)
+    }
+
+    /// Evicts a tenant and **waits for in-flight releases to quiesce**: the
+    /// call returns only once the returned handle is the session's sole
+    /// `Arc`, so a final ledger verify observes every release that was
+    /// racing the eviction. New releases cannot start (the tenant is
+    /// already gone from the map), so the wait is bounded by the drain of
+    /// the releases already running.
+    ///
+    /// Callers holding long-lived session `Arc`s (from
+    /// [`SessionPool::get`] / [`SessionPool::insert`]) must drop them
+    /// first, or this spins until they do.
+    pub fn remove_quiesced(&self, tenant: &str) -> Option<Arc<OsdpSession<R>>> {
+        let session = self.remove(tenant)?;
+        while Arc::strong_count(&session) > 1 {
+            std::thread::yield_now();
+        }
+        Some(session)
     }
 
     /// Number of registered tenants.

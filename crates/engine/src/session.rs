@@ -515,8 +515,18 @@ impl<R> OsdpSession<R> {
 
     /// Total ε across every audited release — one atomic load (the
     /// iteration-free ledger total, see [`AuditLog::total_epsilon`]).
+    /// Accumulated in the accountant's fixed-point units, so for any session
+    /// it equals [`OsdpSession::total_spent`] **bit for bit** — every grant
+    /// is audited and both sides convert the same f64 ε with the same
+    /// ceiling rounding.
     pub fn audit_total_epsilon(&self) -> f64 {
         self.audit.total_epsilon()
+    }
+
+    /// The audit ε total in raw fixed-point units, comparable integer-for-
+    /// integer with `self.accountant().total_spent_units()`.
+    pub fn audit_total_epsilon_units(&self) -> u64 {
+        self.audit.total_epsilon_units()
     }
 
     /// The audit log's ledger view, consumable by
@@ -528,6 +538,15 @@ impl<R> OsdpSession<R> {
     /// The audit log as JSON.
     pub fn audit_json(&self) -> String {
         self.audit.to_json()
+    }
+
+    /// Drops every cached derived task. The cache assumes the data behind
+    /// the backend is immutable; a source that *does* change (the streaming
+    /// plane swaps the current window behind its backend) must invalidate
+    /// at the mutation point, or a reused query value could be served a
+    /// task derived from the previous data.
+    pub(crate) fn invalidate_task_cache(&self) {
+        self.tasks.clear();
     }
 
     /// Derives the [`HistogramTask`] for `query` under the bound policy: the
@@ -662,13 +681,12 @@ impl<R> OsdpSession<R> {
                 Arc::new(self.derive_task_under(query, policy_override.as_ref(), &policy_label)?)
             }
         };
-        let guarantee = mechanism.guarantee();
-        let mechanism_label = self.labels.get(mechanism.name());
         let query_label = self.labels.get(query.label());
         // Debit before sampling: a refused spend must not leak a sample. The
         // grant is one CAS on the accountant's atomic spend counter — no
         // lock — and the audit append allocates its index from the log's own
         // atomic sequence, so concurrent releases never serialize here.
+        let guarantee = mechanism.guarantee();
         self.accountant.spend(
             mechanism.name(),
             &*policy_label,
@@ -678,9 +696,29 @@ impl<R> OsdpSession<R> {
         if let Some(policy) = policy_override {
             self.remember_policy(&policy_label, policy);
         }
+        Ok(self.sample_granted_release(&task, mechanism, guarantee, policy_label, query_label))
+    }
+
+    /// The shared post-grant tail of every single release — one-shot
+    /// ([`OsdpSession::release`]) and task-level
+    /// ([`OsdpSession::release_task`]) alike: append the audit record
+    /// (allocating the release index), derive the `(seed,
+    /// "release/<mechanism>", index)` RNG stream, and sample. Keeping both
+    /// paths on this one function is what keeps the stream plane's
+    /// bitwise-parity contract with the one-shot oracle honest: any change
+    /// to the audit/stream/index sequence lands on both at once.
+    fn sample_granted_release(
+        &self,
+        task: &HistogramTask,
+        mechanism: &dyn HistogramMechanism,
+        guarantee: Guarantee,
+        policy_label: Arc<str>,
+        query_label: Arc<str>,
+    ) -> Release {
+        let mechanism_label = self.labels.get(mechanism.name());
         let index = self.audit.append_next(|index| AuditRecord {
             index,
-            mechanism: Arc::clone(&mechanism_label),
+            mechanism: mechanism_label,
             policy: Arc::clone(&policy_label),
             query: query_label,
             bins: task.bins(),
@@ -693,14 +731,52 @@ impl<R> OsdpSession<R> {
             self.stream_labels.get_with(mechanism.name(), |name| format!("release/{name}"));
         let mut rng = self.seeds.rng_for(&stream, index);
         let mut estimate = Histogram::zeros(0);
-        mechanism.release_into(&task, &mut rng, &mut estimate);
-        Ok(Release {
+        mechanism.release_into(task, &mut rng, &mut estimate);
+        Release {
             estimate,
             mechanism: mechanism.name().to_string(),
             policy: policy_label.to_string(),
             guarantee,
             index,
-        })
+        }
+    }
+
+    /// Releases an **externally derived** task through the session's full
+    /// accounting machinery: the accountant is debited before sampling
+    /// (refusals sample nothing and log nothing), the release is appended to
+    /// the audit log under `label`, and the noise stream is the same
+    /// `(seed, "release/<mechanism>", release index)` stream
+    /// [`OsdpSession::release`] uses — so a task equal to what a backend
+    /// scan would have derived produces a bitwise-identical estimate.
+    ///
+    /// This is the continual-observation extension point: the streaming
+    /// plane ([`crate::stream::StreamSession`]) aggregates policy-derived
+    /// per-window tasks into binary-tree nodes and releases them here.
+    /// **The caller owns the task's provenance** — it must have been derived
+    /// under this session's policy regime (summing per-window `(x, x_ns)`
+    /// pairs preserves the domination invariant, which
+    /// [`HistogramTask::new`] re-validates on construction).
+    pub fn release_task(
+        &self,
+        label: &str,
+        task: &HistogramTask,
+        mechanism: &dyn HistogramMechanism,
+    ) -> Result<Release> {
+        let query_label = self.labels.get(label);
+        let guarantee = mechanism.guarantee();
+        self.accountant.spend(
+            mechanism.name(),
+            &*self.policy_label,
+            guarantee.epsilon(),
+            guarantee.kind(),
+        )?;
+        Ok(self.sample_granted_release(
+            task,
+            mechanism,
+            guarantee,
+            Arc::clone(&self.policy_label),
+            query_label,
+        ))
     }
 
     /// Releases `trials` independent estimates of the same query, one trial
@@ -1088,9 +1164,12 @@ mod tests {
         assert!(matches!(err, OsdpError::BudgetExhausted { .. }));
         assert_eq!(session.total_spent(), 0.0, "nothing debited");
         assert!(session.audit_records().is_empty(), "nothing logged");
-        // A fitting batch is granted in full.
+        // A fitting batch is granted in full. (0.2 quantizes one ceiling
+        // unit above its decimal, so the debit may over-state the batch by
+        // a unit or two — never under-state it.)
         assert!(session.release_pool(&mod8_query(), &pool, 1).is_ok());
-        assert!((session.total_spent() - 0.5).abs() < 1e-12);
+        assert!(session.total_spent() >= 0.5);
+        assert!(session.total_spent() < 0.5 + 1e-11);
         // Degenerate arguments are rejected.
         assert!(session.release_pool(&mod8_query(), &pool, 0).is_err());
         assert!(session.release_pool(&mod8_query(), &[], 1).is_err());

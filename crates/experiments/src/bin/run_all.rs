@@ -17,24 +17,26 @@ fn main() {
         if args.iter().any(|a| a == "--full") { "full" } else { "quick" },
         config.seed
     ));
-    eprintln!("[1/9] Table 1 ...");
+    eprintln!("[1/10] Table 1 ...");
     report.push(table1::run(&config));
-    eprintln!("[2/9] Table 2 ...");
+    eprintln!("[2/10] Table 2 ...");
     report.push(table2::run(&config));
-    eprintln!("[3/9] Figure 1 (classification) ...");
+    eprintln!("[3/10] Figure 1 (classification) ...");
     report.extend(classification::run(&config));
-    eprintln!("[4/9] Figures 2-3 (n-grams) ...");
+    eprintln!("[4/10] Figures 2-3 (n-grams) ...");
     report.extend(ngrams::run(&config, 4));
     report.extend(ngrams::run(&config, 5));
-    eprintln!("[5/9] Figures 4-5 (TIPPERS histogram) ...");
+    eprintln!("[5/10] Figures 4-5 (TIPPERS histogram) ...");
     report.extend(tippers_hist::run(&config));
-    eprintln!("[6/9] Figures 6-9 (DPBench regret) ...");
+    eprintln!("[6/10] Streaming TIPPERS (continual observation) ...");
+    report.extend(tippers_stream::run(&config));
+    eprintln!("[7/10] Figures 6-9 (DPBench regret) ...");
     report.extend(dpbench_regret::run(&config).tables);
-    eprintln!("[7/9] Figure 10 (PDP comparison) ...");
+    eprintln!("[8/10] Figure 10 (PDP comparison) ...");
     report.push(pdp_comparison::run(&config));
-    eprintln!("[8/9] Theorem 5.1 crossover ...");
+    eprintln!("[9/10] Theorem 5.1 crossover ...");
     report.push(crossover::run(&config));
-    eprintln!("[9/9] Exclusion-attack table ...");
+    eprintln!("[10/10] Exclusion-attack table ...");
     report.push(attack_table::run(&config));
 
     println!("{}", report.to_text());

@@ -10,6 +10,7 @@
 //! | [`classification`] | Figure 1 — resident classification error (1 − AUC) |
 //! | [`ngrams`] | Figures 2–3 — MRE of 4-/5-gram release |
 //! | [`tippers_hist`] | Figures 4–5 — MRE / Rel50 / Rel95 on the AP × hour histogram |
+//! | [`tippers_stream`] | Streaming extension — per-day occupancy releases under continual-observation budgets |
 //! | [`dpbench_regret`] | Figures 6–9 — regret across DPBench datasets, policies, ρx |
 //! | [`pdp_comparison`] | Figure 10 — comparison with the PDP `Suppress` algorithm |
 //! | [`crossover`] | Theorem 5.1 — OsdpRR vs Laplace L1-error crossover |
@@ -34,6 +35,7 @@ pub mod report;
 pub mod table1;
 pub mod table2;
 pub mod tippers_hist;
+pub mod tippers_stream;
 
 pub use config::{default_pool, ExperimentConfig};
 pub use report::Report;

@@ -105,7 +105,10 @@ pub use osdp_noise as noise;
 /// The most commonly used items, re-exported flat for convenience.
 pub mod prelude {
     pub use osdp_core::{
-        budget::{BudgetAccountant, Guarantee, PrivacyBudget, PrivacyGuarantee},
+        budget::{
+            dyadic_decomposition, epsilon_to_units, units_to_epsilon, BudgetAccountant, Guarantee,
+            PrivacyBudget, PrivacyGuarantee, StreamBudget, StreamBudgetState,
+        },
         policy::{
             AllSensitive, AttributePolicy, ClosurePolicy, MinimumRelaxation, NoneSensitive, Policy,
             Sensitivity,
@@ -114,10 +117,11 @@ pub mod prelude {
         SparseHistogram, Value,
     };
     pub use osdp_engine::{
-        histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs, AuditLog,
-        AuditRecord, Backend, ColumnarBackend, HistogramPair, MechanismSpec, OsdpSession,
-        PoolRelease, PoolVerdict, QueryPlan, Release, RowBackend, SessionBuilder, SessionPool,
-        SessionQuery, TenantVerdict,
+        histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs,
+        windows_from_databases, AuditLog, AuditRecord, Backend, ColumnarBackend, HistogramPair,
+        MechanismSpec, OsdpSession, PoolRelease, PoolVerdict, PoolWindowOutcome, QueryPlan,
+        Release, RowBackend, SessionBuilder, SessionPool, SessionQuery, StreamSession,
+        StreamSessionBuilder, SyntheticWindows, TenantVerdict, Window, WindowOutcome, WindowSource,
     };
     pub use osdp_mechanisms::{
         DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,

@@ -140,6 +140,118 @@ fn mixed_single_and_pool_traffic_keeps_ledger_and_audit_in_agreement() {
 }
 
 #[test]
+fn audit_total_matches_accountant_bit_for_bit_after_a_hammer() {
+    // The audit log accumulates ε in the same fixed-point units as the
+    // accountant's grant path, so after ANY interleaving of single, trial
+    // and pool releases the two totals are the same integer — not merely
+    // within a float tolerance. (The historical float accumulator drifted
+    // with shard interleaving order.)
+    let session = Arc::new(bound_session(None));
+    let mechanisms = pool_from_names(&["OsdpLaplaceL1", "DAWAz"], 0.3).unwrap();
+    let mechanisms = Arc::new(mechanisms);
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let session = Arc::clone(&session);
+            let mechanisms = Arc::clone(&mechanisms);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                // Deliberately awkward epsilons (0.3, 0.07·k) that quantize
+                // above their decimals: exactly where float accumulation
+                // order used to matter.
+                for round in 1..=4 {
+                    match (t + round) % 3 {
+                        0 => {
+                            let m = OsdpLaplaceL1::new(0.07 * round as f64).unwrap();
+                            session.release(&SessionQuery::bound(), &m).unwrap();
+                        }
+                        1 => {
+                            let m = OsdpLaplaceL1::new(0.3).unwrap();
+                            session.release_trials(&SessionQuery::bound(), &m, round).unwrap();
+                        }
+                        _ => {
+                            let pool: Vec<&dyn HistogramMechanism> =
+                                mechanisms.iter().map(|m| m.as_ref()).collect();
+                            session.release_pool(&SessionQuery::bound(), &pool, 2).unwrap();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Bit for bit: same integer, same f64 view.
+    assert_eq!(
+        session.audit_total_epsilon_units(),
+        session.accountant().total_spent_units(),
+        "audit and accountant fixed-point totals must be the same integer"
+    );
+    assert_eq!(session.audit_total_epsilon(), session.total_spent());
+    // And the iteration-free total agrees with the (ceiling-quantized)
+    // per-record sum to within one unit per record.
+    let records = session.audit_records();
+    let float_sum: f64 = records.iter().map(|r| r.total_epsilon()).sum();
+    assert!(session.audit_total_epsilon() >= float_sum - 1e-9, "never undercounts");
+    assert!(
+        session.audit_total_epsilon()
+            < float_sum + (records.len() + 1) as f64 * BudgetAccountant::RESOLUTION + 1e-9
+    );
+}
+
+#[test]
+fn removed_tenants_keep_absorbing_in_flight_releases() {
+    // SessionPool::remove while releases are in flight: the stragglers
+    // land in the *returned* session's audit log, and remove_quiesced
+    // waits for them so a final verify counts every grant.
+    let pool: Arc<SessionPool> = Arc::new(SessionPool::new());
+    pool.insert("acme", bound_session(None)).unwrap();
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mechanism = OsdpLaplaceL1::new(0.125).unwrap();
+                barrier.wait();
+                let mut grants = 0usize;
+                // Release until the tenant disappears from the map; any
+                // release already routed keeps running on its own Arc.
+                while pool.release("acme", &SessionQuery::bound(), &mechanism).is_ok() {
+                    grants += 1;
+                    if pool.get("acme").is_none() {
+                        break;
+                    }
+                }
+                grants
+            })
+        })
+        .collect();
+    barrier.wait();
+    // Let traffic start, then evict mid-flight and wait for quiescence.
+    thread::yield_now();
+    let evicted = pool.remove_quiesced("acme").expect("tenant was registered");
+    let grants: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    // The pool no longer verifies the tenant...
+    assert!(pool.get("acme").is_none());
+    assert!(pool.verify_all_ledgers().tenants.is_empty());
+    // ...but nothing vanished: every grant is in the returned session's
+    // ledger, which passes a final verify, and the audit accumulator
+    // agrees with the accountant bit for bit.
+    assert_eq!(evicted.audit_len(), grants, "every in-flight release landed");
+    assert_eq!(evicted.audit_total_epsilon(), evicted.total_spent());
+    let verdict = verify_ledger(&evicted.audit_ledger(), None);
+    assert!(verdict.upholds_osdp());
+    assert!((verdict.total_epsilon - 0.125 * grants as f64).abs() < 1e-9);
+    // Quiesced: we hold the only Arc.
+    assert_eq!(Arc::strong_count(&evicted), 1);
+}
+
+#[test]
 fn pool_isolates_tenant_budgets_under_contention() {
     let pool: Arc<SessionPool> = Arc::new(SessionPool::new());
     let tenants = ["acme", "globex", "initech", "umbrella"];

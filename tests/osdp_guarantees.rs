@@ -102,9 +102,11 @@ fn one_sided_laplace_density_ratio_proves_theorem_5_2() {
 
 #[test]
 fn composition_of_osdp_mechanisms_is_tracked_with_minimum_relaxation() {
+    // Dyadic epsilons: exact at the accountant's fixed-point resolution, so
+    // they cover the cap exactly even under ceiling rounding.
     let accountant = BudgetAccountant::with_limit(1.0).unwrap();
-    accountant.spend("OsdpRR", "P_minors", 0.4, PrivacyGuarantee::OneSided).unwrap();
-    accountant.spend("OsdpLaplaceL1", "P_optout", 0.6, PrivacyGuarantee::OneSided).unwrap();
+    accountant.spend("OsdpRR", "P_minors", 0.375, PrivacyGuarantee::OneSided).unwrap();
+    accountant.spend("OsdpLaplaceL1", "P_optout", 0.625, PrivacyGuarantee::OneSided).unwrap();
     let (eps, policies) = accountant.composed_guarantee();
     assert!((eps - 1.0).abs() < 1e-12);
     assert_eq!(policies, vec!["P_minors".to_string(), "P_optout".to_string()]);

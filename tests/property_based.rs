@@ -146,6 +146,13 @@ proptest! {
         let accountant = BudgetAccountant::with_limit(1.0).unwrap();
         let mut accepted = 0.0;
         for (i, eps) in spends.iter().enumerate() {
+            // Ceiling rounding: the fixed-point debit of every valid spend
+            // covers its ε — the accountant can never under-charge.
+            prop_assert!(
+                osdp::core::budget::epsilon_to_units(*eps) as f64
+                    * BudgetAccountant::RESOLUTION
+                    >= *eps
+            );
             if accountant
                 .spend(format!("m{i}"), "P", *eps, PrivacyGuarantee::OneSided)
                 .is_ok()
@@ -155,5 +162,6 @@ proptest! {
         }
         prop_assert!(accepted <= 1.0 + 1e-9);
         prop_assert!((accountant.total_spent() - accepted).abs() < 1e-9);
+        prop_assert!(accountant.total_spent() >= accepted - 1e-12, "never undercounts");
     }
 }
