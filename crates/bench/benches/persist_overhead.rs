@@ -1,0 +1,135 @@
+//! Perf trajectory entry 6: the durable budget plane.
+//!
+//! Measures what the write-ahead ledger costs on the grant path — the same
+//! single-release workload driven through (a) a plain in-memory session and
+//! (b) durable sessions under each [`SyncPolicy`]. The WAL hook runs after
+//! the budget CAS and before sampling, so its cost is pure overhead on an
+//! otherwise unchanged path:
+//!
+//! * `OnDrop` buffers frames in memory and should sit within a few percent
+//!   of the baseline (one encode + one `Vec` append per grant);
+//! * `EveryN(64)` adds one flush + fsync every 64 grants — the amortized
+//!   serving configuration;
+//! * `Always` pays a full fsync per grant — the "durable before the sample
+//!   exists" ceiling, dominated by the disk, not the engine.
+//!
+//! Run with `--smoke` (the CI mode) for a seconds-long pass that still
+//! exercises every policy against a real on-disk shard.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use osdp_bench::criterion_for_figures;
+use osdp_data::sampling::{sample_policy, PolicyKind};
+use osdp_data::BenchmarkDataset;
+use osdp_engine::{
+    histogram_session, OsdpSession, SessionBuilder, SessionPersistence, SessionQuery, SyncPolicy,
+};
+use osdp_mechanisms::OsdpLaplaceL1;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Releases per measurement. `Always` fsyncs once per release, so the smoke
+/// count stays small enough for slow CI disks.
+fn ops() -> usize {
+    if smoke() {
+        256
+    } else {
+        4096
+    }
+}
+
+/// A fresh scratch shard directory under the OS temp dir.
+fn shard_dir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("osdp-bench-persist-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The uncapped Medcost session builder every variant shares (no budget
+/// cap, so the measured loop never refuses).
+fn medcost_builder(seed: u64) -> SessionBuilder {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let full = BenchmarkDataset::Medcost.generate(&mut rng);
+    let policy = sample_policy(PolicyKind::Close, &full, 0.75, &mut rng).expect("valid parameters");
+    histogram_session(full, policy.non_sensitive).policy_label("Close-0.75").seed(seed)
+}
+
+/// The benchmark variants: label plus the sync policy (`None` = in-memory).
+const VARIANTS: [(&str, Option<SyncPolicy>); 4] = [
+    ("in-memory", None),
+    ("wal-on-drop", Some(SyncPolicy::OnDrop)),
+    ("wal-every-64", Some(SyncPolicy::EveryN(64))),
+    ("wal-always", Some(SyncPolicy::Always)),
+];
+
+/// Builds the variant's session (durable ones on a fresh shard).
+fn session_for(label: &str, sync: Option<SyncPolicy>) -> OsdpSession {
+    let builder = medcost_builder(77);
+    match sync {
+        None => builder.build().expect("plain session"),
+        Some(sync) => {
+            let dir = shard_dir(label);
+            let persistence = SessionPersistence::open(dir, sync).expect("fresh shard");
+            builder.durable(persistence).build().expect("durable session")
+        }
+    }
+}
+
+/// Nanoseconds per release over `n` single releases.
+fn measure(session: &OsdpSession, n: usize) -> f64 {
+    let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+    let start = Instant::now();
+    for _ in 0..n {
+        black_box(session.release(&SessionQuery::bound(), &mechanism).expect("uncapped"));
+    }
+    start.elapsed().as_secs_f64() * 1e9 / n as f64
+}
+
+fn bench_persist_overhead(c: &mut Criterion) {
+    let n = ops();
+    eprintln!(
+        "[perf-trajectory #6] WAL grant-path overhead, Medcost/4096 bins ({n} releases each):"
+    );
+    let mut baseline = f64::NAN;
+    for (label, sync) in VARIANTS {
+        let session = session_for(label, sync);
+        let ns = measure(&session, n);
+        if sync.is_none() {
+            baseline = ns;
+        }
+        let overhead = (ns - baseline).max(0.0);
+        eprintln!("  {label:>12}: {ns:>9.0} ns/release (+{overhead:.0} ns vs in-memory)");
+        // Clean up the shard so repeated runs start fresh.
+        if let Some(wal) = session.persistence() {
+            let dir = wal.dir().to_path_buf();
+            drop(session);
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    if smoke() {
+        return; // the sweep above already exercised every policy
+    }
+    let mut group = c.benchmark_group("persist_overhead_medcost_4096");
+    for (label, sync) in VARIANTS {
+        group.bench_function(label, |b| {
+            let session = session_for(label, sync);
+            b.iter(|| black_box(measure(&session, 64)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = persist_overhead;
+    config = criterion_for_figures();
+    targets = bench_persist_overhead,
+}
+criterion_main!(persist_overhead);

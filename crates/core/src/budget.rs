@@ -288,6 +288,32 @@ impl BudgetAccountant {
         })
     }
 
+    /// An accountant **seeded from recovered state**: `spent_units` is the
+    /// fixed-point total a durable ledger reconstructed (see the
+    /// `osdp-persist` crate), restored as the raw integer — no float
+    /// round-trip, so a restart reproduces the pre-crash counter bit for
+    /// bit. The entry ledger starts empty; recovered history lives in the
+    /// audit log's base, not here.
+    ///
+    /// The recovered spend may legitimately *exceed* a (lowered) cap: the
+    /// accountant then simply refuses every further grant — `remaining`
+    /// saturates at zero and the CAS path admits nothing.
+    pub fn recovered(limit: Option<f64>, spent_units: u64) -> Result<Self> {
+        let limit_units = match limit {
+            Some(limit) => {
+                validate_epsilon(limit)?;
+                Some(eps_to_units(limit))
+            }
+            None => None,
+        };
+        Ok(Self {
+            limit,
+            limit_units,
+            spent_units: AtomicU64::new(spent_units),
+            entries: Mutex::new(Vec::new()),
+        })
+    }
+
     /// The configured cap, if any.
     pub fn limit(&self) -> Option<f64> {
         self.limit
@@ -915,6 +941,32 @@ mod tests {
         // Levels cap: with max_level 0 every window is its own node.
         assert_eq!(check(0..5, 0).len(), 5);
         assert!(dyadic_decomposition(4..4, 3).is_empty());
+    }
+
+    #[test]
+    fn recovered_accountants_resume_the_exact_counter() {
+        // Restoring the raw unit count reproduces the pre-crash state bit
+        // for bit: remaining budget continues from where the ledger stopped.
+        let acc = BudgetAccountant::recovered(Some(1.0), 750_000_000_000).unwrap();
+        assert_eq!(acc.total_spent_units(), 750_000_000_000);
+        assert_eq!(acc.total_spent(), 0.75);
+        assert!((acc.remaining().unwrap() - 0.25).abs() < 1e-12);
+        acc.spend("post-recovery", "P", 0.25, PrivacyGuarantee::OneSided).unwrap();
+        assert!(acc
+            .spend("over", "P", BudgetAccountant::RESOLUTION, PrivacyGuarantee::OneSided)
+            .is_err());
+        // Recovered history is not in the entry ledger (it lives in the
+        // audit log's recovered base).
+        assert_eq!(acc.ledger().len(), 1);
+        // A recovered spend above a lowered cap refuses everything but is
+        // not an error in itself.
+        let over = BudgetAccountant::recovered(Some(0.5), 750_000_000_000).unwrap();
+        assert_eq!(over.remaining(), Some(0.0));
+        assert!(over.spend("x", "P", 1e-6, PrivacyGuarantee::OneSided).is_err());
+        // Unlimited recovery records without enforcing.
+        let free = BudgetAccountant::recovered(None, 42).unwrap();
+        assert_eq!(free.total_spent_units(), 42);
+        assert!(BudgetAccountant::recovered(Some(-1.0), 0).is_err());
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub enum OsdpError {
     /// A policy was found to be trivial (all sensitive or all non-sensitive)
     /// where a non-trivial policy is required.
     TrivialPolicy,
+    /// A session-pool insert collided with a live session for the tenant.
+    TenantExists {
+        /// The tenant whose slot is already occupied.
+        tenant: String,
+    },
+    /// The durable budget plane failed: a ledger file could not be read,
+    /// written, locked, or decoded.
+    Persistence(String),
 }
 
 impl fmt::Display for OsdpError {
@@ -73,6 +81,10 @@ impl fmt::Display for OsdpError {
                 write!(f, "field `{field}` does not hold a value of type {expected}")
             }
             OsdpError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            OsdpError::TenantExists { tenant } => {
+                write!(f, "tenant '{tenant}' already has a live session; remove it first")
+            }
+            OsdpError::Persistence(msg) => write!(f, "persistence failure: {msg}"),
             OsdpError::TrivialPolicy => write!(
                 f,
                 "policy is trivial (classifies every record identically); OSDP requires at least \
@@ -140,5 +152,7 @@ mod tests {
         assert!(OsdpError::DimensionMismatch { expected: 3, actual: 4 }.to_string().contains("3"));
         assert!(OsdpError::InvalidInput("x".into()).to_string().contains('x'));
         assert!(OsdpError::InvalidFraction { name: "rho", value: 2.0 }.to_string().contains("rho"));
+        assert!(OsdpError::TenantExists { tenant: "acme".into() }.to_string().contains("acme"));
+        assert!(OsdpError::Persistence("wal.log: torn".into()).to_string().contains("wal.log"));
     }
 }

@@ -114,6 +114,10 @@ pub struct AuditLog {
     /// Total debited ε across all records, in [`BudgetAccountant::RESOLUTION`]
     /// fixed-point units — the iteration-free ledger total.
     spent_units: AtomicU64,
+    /// Collapsed pre-recovery history: ledger entries reconstructed from a
+    /// durable snapshot, prepended to every [`AuditLog::ledger`] view.
+    /// Empty (and allocation-free) for non-recovered logs.
+    base: Vec<LedgerEntry>,
     shards: Vec<Mutex<Vec<(u64, AuditRecord)>>>,
 }
 
@@ -122,6 +126,7 @@ impl Default for AuditLog {
         Self {
             seq: AtomicU64::new(0),
             spent_units: AtomicU64::new(0),
+            base: Vec::new(),
             shards: (0..AUDIT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
         }
     }
@@ -131,6 +136,33 @@ impl AuditLog {
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A log **seeded from recovered state**: the next release index starts
+    /// at `seq`, the fixed-point ε counter at `spent_units` (both raw
+    /// integers — no float round-trip), and `base` holds the ledger view of
+    /// the collapsed pre-recovery history, which [`AuditLog::ledger`]
+    /// prepends to the live records. Replayed tail records are then added
+    /// one by one via [`AuditLog::restore`].
+    pub fn recovered(seq: u64, spent_units: u64, base: Vec<LedgerEntry>) -> Self {
+        Self {
+            seq: AtomicU64::new(seq),
+            spent_units: AtomicU64::new(spent_units),
+            base,
+            shards: (0..AUDIT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Re-appends a record replayed from a durable ledger, debiting exactly
+    /// `units` (the fixed-point debit the original grant logged) rather
+    /// than re-deriving it from the record's ε — recovery reproduces the
+    /// pre-crash counter bit for bit. The sequence counter advances to
+    /// cover the record's index; replay order does not matter.
+    pub fn restore(&self, record: AuditRecord, units: u64) {
+        self.seq.fetch_max(record.index + 1, Ordering::AcqRel);
+        self.spent_units.fetch_add(units, Ordering::AcqRel);
+        let stamp = record.index;
+        self.shards[thread_shard()].lock().push((stamp, record));
     }
 
     /// Stamps a record with `seq` and appends it to the calling thread's
@@ -172,12 +204,30 @@ impl AuditLog {
     /// release whose append completed (an in-flight index may be absent
     /// until its appender finishes); a quiesced log snapshots exactly.
     pub fn records(&self) -> Vec<AuditRecord> {
+        let mut out = Vec::new();
+        self.records_into(&mut out);
+        out
+    }
+
+    /// [`AuditLog::records`] into a caller-provided buffer: `out` is
+    /// cleared and refilled, but its capacity is reused — repeated audits
+    /// (a pool-wide `verify_all_ledgers` sweep, a monitoring loop) merge
+    /// the shards without re-allocating the snapshot vector each time.
+    pub fn records_into(&self, out: &mut Vec<AuditRecord>) {
+        out.clear();
         let mut all: Vec<(u64, AuditRecord)> = Vec::with_capacity(self.len());
         for shard in &self.shards {
             all.extend(shard.lock().iter().cloned());
         }
         all.sort_by_key(|&(seq, _)| seq);
-        all.into_iter().map(|(_, record)| record).collect()
+        out.extend(all.into_iter().map(|(_, record)| record));
+    }
+
+    /// Current length of each shard buffer, in shard order — an O(shards)
+    /// observability probe for append skew (a healthy concurrent workload
+    /// spreads across shards; a single-threaded one fills exactly one).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|shard| shard.lock().len()).collect()
     }
 
     /// Number of audited releases — one atomic load, no shard locks.
@@ -218,11 +268,25 @@ impl AuditLog {
         limit.is_none_or(|l| self.total_epsilon_units() <= epsilon_to_units(l))
     }
 
-    /// The ledger view of the whole log (one entry per audited release, in
-    /// release order), consumable by `osdp_attack::verify_ledger`. O(n),
-    /// like the [`AuditLog::records`] snapshot it is derived from.
+    /// The ledger view of the whole log (recovered-base entries first, then
+    /// one entry per live audited release, in release order), consumable by
+    /// `osdp_attack::verify_ledger`. O(n), like the [`AuditLog::records`]
+    /// snapshot it is derived from.
     pub fn ledger(&self) -> Vec<LedgerEntry> {
-        self.records().iter().map(AuditRecord::to_ledger_entry).collect()
+        let mut scratch = Vec::new();
+        self.ledger_with(&mut scratch)
+    }
+
+    /// [`AuditLog::ledger`] with a caller-provided scratch buffer for the
+    /// intermediate record snapshot: a sweep over many sessions reuses one
+    /// allocation instead of building and dropping a full record vector per
+    /// log.
+    pub fn ledger_with(&self, scratch: &mut Vec<AuditRecord>) -> Vec<LedgerEntry> {
+        self.records_into(scratch);
+        let mut out = Vec::with_capacity(self.base.len() + scratch.len());
+        out.extend(self.base.iter().cloned());
+        out.extend(scratch.iter().map(AuditRecord::to_ledger_entry));
+        out
     }
 
     /// The log as a JSON array.
@@ -298,6 +362,54 @@ mod tests {
         assert!(log.within_limit(Some(expected + 1.0)));
         assert!(!log.within_limit(Some(expected - 1.0)));
         assert!(log.within_limit(None));
+    }
+
+    #[test]
+    fn recovered_logs_resume_counters_and_prepend_the_base() {
+        let base = vec![LedgerEntry {
+            label: "OsdpLaplaceL1 [recovered x4]".into(),
+            policy: "P90".into(),
+            epsilon: 2.0,
+            guarantee: PrivacyGuarantee::OneSided,
+        }];
+        // 4 collapsed releases (indices 0..4), 2.0 ε = 2e12 units.
+        let log = AuditLog::recovered(4, 2_000_000_000_000, base);
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.total_epsilon_units(), 2_000_000_000_000);
+        // Replay a tail record with its logged debit: counters advance by
+        // the stored integers, not a re-derived float.
+        log.restore(record(4, 1), 500_000_000_000);
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.total_epsilon_units(), 2_500_000_000_000);
+        // Live appends continue the index sequence after the tail.
+        let next = log.append_next(|index| record(index, 1));
+        assert_eq!(next, 5);
+        // The ledger view: base entry first, then tail + live records.
+        let ledger = log.ledger();
+        assert_eq!(ledger.len(), 3);
+        assert!(ledger[0].label.contains("recovered"));
+        assert_eq!(ledger[1].epsilon, 0.5);
+        // records() holds only the replayed + live records, not the base.
+        assert_eq!(log.records().len(), 2);
+    }
+
+    #[test]
+    fn scratch_buffer_snapshots_match_the_allocating_ones() {
+        let log = AuditLog::new();
+        for trials in 1..=3 {
+            log.append_next(|index| record(index, trials));
+        }
+        let mut scratch = Vec::new();
+        log.records_into(&mut scratch);
+        assert_eq!(scratch, log.records());
+        let held = scratch.capacity();
+        assert_eq!(log.ledger_with(&mut scratch), log.ledger());
+        assert!(scratch.capacity() >= held, "capacity is reused, not dropped");
+        // This thread appended every record into one shard.
+        let lens = log.shard_lens();
+        assert_eq!(lens.len(), 16);
+        assert_eq!(lens.iter().sum::<usize>(), 3);
+        assert_eq!(lens.iter().filter(|&&n| n > 0).count(), 1);
     }
 
     #[test]

@@ -209,6 +209,52 @@
 //!   a plain [`OsdpSession`] with the same seed (the RNG stream of release
 //!   `i` is `(seed, "release/<mechanism>", i)` on both planes).
 //!   Property-tested in `tests/stream_parity.rs`.
+//!
+//! ## Durability model
+//!
+//! The in-memory accountant and audit log die with the process. The
+//! **durable budget plane** ([`persist`], backed by the std-only
+//! `osdp-persist` crate) fixes that without touching the in-memory fast
+//! path: a session built with [`SessionBuilder::durable`] writes every
+//! admitted grant to a per-tenant **write-ahead ledger** — an append-only
+//! file of length-prefixed, CRC-checksummed records of the *fixed-point
+//! debit units* the accountant admitted — after the budget CAS admits and
+//! *before* any noise is sampled. Recovery ([`SessionPersistence::open`])
+//! loads the latest snapshot, replays the WAL tail (truncating at the first
+//! torn or checksum-failing frame), and seeds a fresh accountant + audit
+//! log whose counters equal the pre-crash ones **bit for bit** — integer
+//! unit addition commutes, so replay order cannot drift the totals and
+//! `osdp_attack::verify_ledger` balances over the recovered state.
+//!
+//! * **Sync-policy trade-offs** ([`SyncPolicy`]): `Always` fsyncs before
+//!   the grant call returns — a release is durable before its sample
+//!   exists, at one fsync per grant. `EveryN(n)` amortizes the fsync; a
+//!   crash loses at most the last `n − 1` grants, so the recovered total
+//!   *under*-counts and the session refuses strictly less than the cap
+//!   allows — the safe direction for a privacy ledger (budget is never
+//!   resurrected, spend is never forgotten upward). `OnDrop` is the
+//!   in-memory-comparable fast path for tests and bulk loads.
+//! * **Single-writer-per-tenant.** Each tenant shard directory holds a
+//!   `LOCK` file created with `O_EXCL`; a second concurrent opener is
+//!   refused. A crash leaves the `LOCK` behind by design — reopening after
+//!   a verified-dead writer requires an explicit
+//!   [`osdp_persist::force_unlock`], so two live processes can never
+//!   interleave frames in one WAL.
+//! * **Crash-simulation coverage.** The test harness crashes writers via
+//!   [`persist::SessionWal::crash`], which drops buffered frames (optionally
+//!   writing a torn prefix) and leaks the lock — exercising torn tails,
+//!   interrupted snapshot rotations, and stale-WAL generations. What it
+//!   cannot simulate is the OS page cache discarding *fsync'd* data or a
+//!   physical torn sector inside a single write: those need a real
+//!   `kill -9` / power-cut rig. The recovery invariants (checksummed
+//!   frames, generation-paired snapshot + WAL, prefix-closed replay) are
+//!   designed so both failure classes degrade to the same observable: a
+//!   truncated-but-balanced ledger.
+//!
+//! Sessions without [`SessionBuilder::durable`] take the exact same code
+//! path as before the durable plane existed — the WAL hook is an `Option`
+//! that is `None`, and every estimate, audit record, and ledger entry is
+//! bitwise-identical to the in-memory build.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -217,6 +263,7 @@ pub mod audit;
 pub mod backend;
 pub(crate) mod cache;
 pub(crate) mod intern;
+pub mod persist;
 pub mod pool;
 pub mod registry;
 pub mod session;
@@ -225,6 +272,8 @@ pub mod stream;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
+pub use osdp_persist::SyncPolicy;
+pub use persist::{GrantEvent, RecoveredSession, SessionPersistence, SessionWal};
 pub use pool::{PoolVerdict, SessionPool, TenantVerdict};
 pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
 pub use session::{

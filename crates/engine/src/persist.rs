@@ -1,0 +1,278 @@
+//! The engine face of the durable budget plane: adapters between the
+//! on-disk types of `osdp-persist` and the live session objects
+//! ([`osdp_core::BudgetAccountant`], [`crate::AuditLog`]).
+//!
+//! The conversion contract is **all-integer**: every grant record stores
+//! the fixed-point debit (`epsilon_to_units(ε × trials)`) the accountant
+//! admitted, recovery sums those stored integers, and the reconstructed
+//! accountant/audit counters equal the pre-crash ones bit for bit. Floats
+//! ride along only as display metadata (ledger entries, reports) — they are
+//! never summed to rebuild a counter.
+
+use crate::audit::AuditRecord;
+use osdp_core::budget::{epsilon_to_units, units_to_epsilon, LedgerEntry};
+use osdp_core::error::Result;
+use osdp_core::{Guarantee, PrivacyGuarantee};
+use osdp_persist::{
+    GrantRecord, GuaranteeTag, RecoveredLedger, RefusalRecord, SnapshotCounters, SyncPolicy,
+    TenantLedger,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The WAL tag of an engine guarantee.
+fn tag_of(guarantee: Guarantee) -> GuaranteeTag {
+    match guarantee {
+        Guarantee::Dp { .. } => GuaranteeTag::Dp,
+        Guarantee::Osdp { .. } => GuaranteeTag::Osdp,
+        Guarantee::Pdp { .. } => GuaranteeTag::Pdp,
+    }
+}
+
+/// The engine guarantee a WAL tag decodes to, rehydrated with its ε.
+fn guarantee_of(tag: GuaranteeTag, eps: f64) -> Guarantee {
+    match tag {
+        GuaranteeTag::Dp => Guarantee::Dp { eps },
+        GuaranteeTag::Osdp => Guarantee::Osdp { eps },
+        GuaranteeTag::Pdp => Guarantee::Pdp { eps },
+    }
+}
+
+/// The ledger [`PrivacyGuarantee`] kind of a WAL tag.
+fn kind_of(tag: GuaranteeTag) -> PrivacyGuarantee {
+    match tag {
+        GuaranteeTag::Dp => PrivacyGuarantee::DifferentialPrivacy,
+        GuaranteeTag::Osdp => PrivacyGuarantee::OneSided,
+        GuaranteeTag::Pdp => PrivacyGuarantee::Personalized,
+    }
+}
+
+/// One admitted grant, as the grant path describes it to the WAL: the
+/// audit-record metadata plus the guarantee whose ε × `trials` debit the
+/// accountant just admitted.
+#[derive(Debug, Clone, Copy)]
+pub struct GrantEvent<'a> {
+    /// The release index the audit log allocated.
+    pub index: u64,
+    /// Mechanism display name.
+    pub mechanism: &'a str,
+    /// Policy label.
+    pub policy: &'a str,
+    /// Query label.
+    pub query: &'a str,
+    /// Histogram bins of the released estimate.
+    pub bins: usize,
+    /// Trials covered by this single grant.
+    pub trials: usize,
+    /// The per-trial guarantee.
+    pub guarantee: Guarantee,
+}
+
+/// A session's handle on its tenant WAL shard: the hook the grant path
+/// calls **after** the accountant's CAS admits a debit and **before** any
+/// noise is sampled. Cloneable (shares the underlying single-writer
+/// ledger), so pool routing and the session can hold it together.
+#[derive(Debug, Clone)]
+pub struct SessionWal {
+    ledger: Arc<TenantLedger>,
+}
+
+impl SessionWal {
+    /// Logs one admitted grant. `units` is re-derived here as
+    /// `epsilon_to_units(guarantee ε × trials)` — the **same** f64
+    /// expression and ceiling conversion the accountant debited and the
+    /// audit log accumulated, so replaying the stored integer reconstructs
+    /// both counters exactly.
+    pub fn log_grant(&self, event: GrantEvent<'_>) -> Result<()> {
+        let total_epsilon = event.guarantee.epsilon() * event.trials as f64;
+        self.ledger.append_grant(&GrantRecord {
+            index: event.index,
+            units: epsilon_to_units(total_epsilon),
+            epsilon: event.guarantee.epsilon(),
+            trials: event.trials as u64,
+            bins: event.bins as u64,
+            guarantee: tag_of(event.guarantee),
+            mechanism: event.mechanism.to_string(),
+            policy: event.policy.to_string(),
+            query: event.query.to_string(),
+        })
+    }
+
+    /// Logs a refused grant (best-effort observability — refusals spend
+    /// nothing, so losing one never unbalances recovery).
+    pub fn log_refusal(&self, mechanism: &str, epsilon: f64) -> Result<()> {
+        self.ledger.append_refusal(&RefusalRecord {
+            units: epsilon_to_units(epsilon),
+            epsilon,
+            mechanism: mechanism.to_string(),
+        })
+    }
+
+    /// Flushes and fsyncs every buffered frame, regardless of sync policy.
+    pub fn sync(&self) -> Result<()> {
+        self.ledger.sync()
+    }
+
+    /// Collapses the logged history into a new snapshot generation and
+    /// resets the WAL ([`TenantLedger::rotate_snapshot`]).
+    pub fn snapshot(&self) -> Result<()> {
+        self.ledger.rotate_snapshot()
+    }
+
+    /// Crash simulation hook ([`TenantLedger::crash`]): drops buffered
+    /// frames (optionally writing a torn prefix), leaves the `LOCK` file
+    /// behind, and poisons every later append.
+    pub fn crash(&self, keep_fraction: f64) -> Result<()> {
+        self.ledger.crash(keep_fraction)
+    }
+
+    /// The shard directory this WAL writes to.
+    pub fn dir(&self) -> &Path {
+        self.ledger.dir()
+    }
+
+    /// The configured sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.ledger.sync_policy()
+    }
+
+    /// The counters a snapshot taken now would contain (logged state).
+    pub fn counters(&self) -> SnapshotCounters {
+        self.ledger.counters()
+    }
+}
+
+/// What recovery reconstructed for one session, in the engine's own types:
+/// seed values for [`osdp_core::BudgetAccountant::recovered`] and
+/// [`crate::AuditLog::recovered`], plus the replayed tail as
+/// `(AuditRecord, stored units)` pairs for [`crate::AuditLog::restore`].
+#[derive(Debug, Clone)]
+pub struct RecoveredSession {
+    /// Total admitted spend in fixed-point units (base + replayed tail) —
+    /// the accountant's seed.
+    pub spent_units: u64,
+    /// The audit sequence the collapsed base history ends at.
+    pub base_seq: u64,
+    /// The audit ε units of the collapsed base history.
+    pub base_units: u64,
+    /// Ledger entries summarising the collapsed base history (one per
+    /// `(mechanism, policy, guarantee)` aggregate row).
+    pub base_entries: Vec<LedgerEntry>,
+    /// Replayed tail grants with their stored fixed-point debits.
+    pub tail: Vec<(AuditRecord, u64)>,
+    /// Refusals logged across base + tail.
+    pub refusals: u64,
+    /// Grants logged across base + tail.
+    pub grants: u64,
+    /// Whether recovery fell back to the WAL's snapshot marker (totals
+    /// intact, per-mechanism base rows lost).
+    pub degraded: bool,
+    /// Bytes discarded from a torn WAL tail (0 after a clean shutdown).
+    pub truncated_bytes: u64,
+}
+
+impl RecoveredSession {
+    fn from_ledger(recovered: RecoveredLedger) -> Self {
+        let spent_units = recovered.spent_units();
+        let refusals = recovered.refusal_count();
+        let grants = recovered.grant_count();
+        let base_entries = recovered
+            .base
+            .rows
+            .iter()
+            .map(|row| LedgerEntry {
+                label: if row.releases > 1 {
+                    format!("{} [recovered x{}]", row.mechanism, row.releases)
+                } else {
+                    format!("{} [recovered]", row.mechanism)
+                },
+                policy: row.policy.clone(),
+                epsilon: units_to_epsilon(row.units),
+                guarantee: kind_of(row.guarantee),
+            })
+            .collect();
+        let tail = recovered
+            .grants
+            .iter()
+            .map(|g| {
+                let record = AuditRecord {
+                    index: g.index,
+                    mechanism: Arc::from(g.mechanism.as_str()),
+                    policy: Arc::from(g.policy.as_str()),
+                    query: Arc::from(g.query.as_str()),
+                    bins: g.bins as usize,
+                    trials: g.trials as usize,
+                    guarantee: guarantee_of(g.guarantee, g.epsilon),
+                };
+                (record, g.units)
+            })
+            .collect();
+        Self {
+            spent_units,
+            base_seq: recovered.base.counters.audit_seq,
+            base_units: recovered.base.counters.audit_units,
+            base_entries,
+            tail,
+            refusals,
+            grants,
+            degraded: recovered.degraded,
+            truncated_bytes: recovered.truncated_bytes,
+        }
+    }
+
+    /// Whether the shard held no durable history.
+    pub fn is_fresh(&self) -> bool {
+        self.grants == 0 && self.refusals == 0 && self.spent_units == 0
+    }
+}
+
+/// One tenant's durable budget plane, ready to back a session: the opened
+/// WAL shard plus whatever state recovery reconstructed from it. Passed to
+/// [`crate::SessionBuilder::durable`]; `build()` seeds the accountant and
+/// audit log from [`SessionPersistence::recovered`] and hooks the grant
+/// path into the WAL.
+#[derive(Debug)]
+pub struct SessionPersistence {
+    pub(crate) wal: SessionWal,
+    pub(crate) recovered: RecoveredSession,
+}
+
+impl SessionPersistence {
+    /// Opens (creating if absent) the tenant shard at `dir`, acquiring its
+    /// single-writer lock and recovering the durable state. Fails if
+    /// another live writer holds the shard — or a crashed one left its
+    /// `LOCK` behind (see [`osdp_persist::force_unlock`]).
+    pub fn open(dir: impl Into<PathBuf>, sync: SyncPolicy) -> Result<Self> {
+        let (ledger, recovered) = TenantLedger::open(dir, sync)?;
+        Ok(Self {
+            wal: SessionWal { ledger: Arc::new(ledger) },
+            recovered: RecoveredSession::from_ledger(recovered),
+        })
+    }
+
+    /// The state recovery reconstructed.
+    pub fn recovered(&self) -> &RecoveredSession {
+        &self.recovered
+    }
+
+    /// The WAL handle (the same one [`crate::SessionBuilder::durable`]
+    /// wires into the grant path).
+    pub fn wal(&self) -> &SessionWal {
+        &self.wal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guarantee_tags_round_trip() {
+        for g in
+            [Guarantee::Dp { eps: 0.5 }, Guarantee::Osdp { eps: 0.5 }, Guarantee::Pdp { eps: 0.5 }]
+        {
+            assert_eq!(guarantee_of(tag_of(g), 0.5), g);
+            assert_eq!(kind_of(tag_of(g)), g.kind());
+        }
+    }
+}

@@ -15,14 +15,17 @@
 //! concurrency model). Write locks are taken only to register or evict a
 //! tenant.
 
-use crate::session::{OsdpSession, PoolRelease, Release, SessionQuery};
+use crate::persist::SessionPersistence;
+use crate::session::{OsdpSession, PoolRelease, Release, SessionBuilder, SessionQuery};
 use crate::sharding::shard_index;
 use osdp_attack::{verify_ledger, LedgerVerdict};
 use osdp_core::error::{OsdpError, Result};
 use osdp_core::{Histogram, Record};
 use osdp_mechanisms::HistogramMechanism;
+use osdp_persist::SyncPolicy;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Default shard count: enough that 8–16 serving threads touching random
@@ -33,9 +36,65 @@ const DEFAULT_POOL_SHARDS: usize = 16;
 /// One shard of the tenant map.
 type Shard<R> = RwLock<HashMap<Arc<str>, Arc<OsdpSession<R>>>>;
 
+/// The persistence configuration of a durable pool: the root directory
+/// holding one WAL shard directory per tenant, and the sync policy every
+/// tenant shard is opened with.
+#[derive(Debug, Clone)]
+struct PoolPersistence {
+    dir: PathBuf,
+    sync: SyncPolicy,
+}
+
+/// Directory prefix of tenant WAL shards under a durable pool root. Only
+/// prefixed directories are treated as tenant shards, so unrelated files in
+/// the root never masquerade as tenants.
+const TENANT_DIR_PREFIX: &str = "tenant-";
+
+/// Encodes a tenant key into a filesystem-safe shard directory name:
+/// `tenant-` plus the key with every byte outside `[A-Za-z0-9._-]`
+/// (including `%` itself) percent-encoded. Injective, so distinct tenants
+/// can never collide on one directory.
+fn encode_tenant_dir(tenant: &str) -> String {
+    let mut out = String::with_capacity(TENANT_DIR_PREFIX.len() + tenant.len());
+    out.push_str(TENANT_DIR_PREFIX);
+    for byte in tenant.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'-' => {
+                out.push(byte as char);
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{byte:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a shard directory name back to its tenant key; `None` for
+/// directories that are not tenant shards (or are malformed).
+fn decode_tenant_dir(name: &str) -> Option<String> {
+    let encoded = name.strip_prefix(TENANT_DIR_PREFIX)?;
+    let bytes = encoded.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut at = 0;
+    while at < bytes.len() {
+        if bytes[at] == b'%' {
+            let hex = encoded.get(at + 1..at + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            at += 3;
+        } else {
+            out.push(bytes[at]);
+            at += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
 /// A sharded, multi-tenant map of release sessions (see the module docs).
 pub struct SessionPool<R = Record> {
     shards: Vec<Shard<R>>,
+    persist: Option<PoolPersistence>,
 }
 
 impl<R> Default for SessionPool<R> {
@@ -61,7 +120,57 @@ impl<R> SessionPool<R> {
 
     /// An empty pool with an explicit shard count (at least 1).
     pub fn with_shards(shards: usize) -> Self {
-        Self { shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect() }
+        Self {
+            shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
+            persist: None,
+        }
+    }
+
+    /// An empty **durable** pool rooted at `dir` (created if absent): every
+    /// tenant registered through [`SessionPool::open_tenant`] gets its own
+    /// WAL shard directory under the root, opened with `sync`. Existing
+    /// shard directories are left untouched until their tenant is opened —
+    /// use [`SessionPool::recover`] to bring every persisted tenant back up
+    /// front, or [`SessionPool::persisted_tenants`] to enumerate them.
+    pub fn open(dir: impl Into<PathBuf>, sync: SyncPolicy) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            OsdpError::Persistence(format!("creating pool root {}: {e}", dir.display()))
+        })?;
+        let mut pool = Self::with_shards(DEFAULT_POOL_SHARDS);
+        pool.persist = Some(PoolPersistence { dir, sync });
+        Ok(pool)
+    }
+
+    /// The durable pool root, if this pool persists its tenants.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist.as_ref().map(|p| p.dir.as_path())
+    }
+
+    /// The tenant keys with a WAL shard directory under the pool root —
+    /// including tenants not currently registered in the map. Empty for
+    /// in-memory pools.
+    pub fn persisted_tenants(&self) -> Result<Vec<String>> {
+        let Some(persist) = &self.persist else {
+            return Ok(Vec::new());
+        };
+        let entries = std::fs::read_dir(&persist.dir).map_err(|e| {
+            OsdpError::Persistence(format!("listing pool root {}: {e}", persist.dir.display()))
+        })?;
+        let mut tenants = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| {
+                OsdpError::Persistence(format!("listing pool root {}: {e}", persist.dir.display()))
+            })?;
+            if !entry.path().is_dir() {
+                continue;
+            }
+            if let Some(tenant) = entry.file_name().to_str().and_then(decode_tenant_dir) {
+                tenants.push(tenant);
+            }
+        }
+        tenants.sort();
+        Ok(tenants)
     }
 
     /// The shard a tenant key hashes to.
@@ -81,10 +190,7 @@ impl<R> SessionPool<R> {
         let tenant: Arc<str> = tenant.into().into();
         let mut shard = self.shard_of(&tenant).write();
         if shard.contains_key(&tenant) {
-            return Err(OsdpError::InvalidInput(format!(
-                "tenant '{tenant}' already has a session; remove it first to replace it \
-                 (replacing would discard its budget and audit state)"
-            )));
+            return Err(OsdpError::TenantExists { tenant: tenant.to_string() });
         }
         let session = Arc::new(session);
         shard.insert(tenant, Arc::clone(&session));
@@ -107,6 +213,83 @@ impl<R> SessionPool<R> {
         let session = Arc::new(make()?);
         shard.insert(tenant.into(), Arc::clone(&session));
         Ok(session)
+    }
+
+    /// The tenant's session in a **durable** pool, opening (and recovering)
+    /// its WAL shard on first use: `make` supplies the session builder —
+    /// source, policy, budget, seed — and the pool chains
+    /// [`SessionBuilder::durable`] onto it with the tenant's shard, so the
+    /// built session resumes whatever budget and audit state the shard
+    /// holds. The shard write lock is held across recovery, so two racing
+    /// callers open the WAL exactly once (the WAL's own `LOCK` file guards
+    /// against writers in *other* pools or processes).
+    ///
+    /// Errors on in-memory pools (no [`SessionPool::open`] root) — plain
+    /// tenants belong in [`SessionPool::get_or_insert_with`].
+    pub fn open_tenant(
+        &self,
+        tenant: &str,
+        make: impl FnOnce() -> SessionBuilder<R>,
+    ) -> Result<Arc<OsdpSession<R>>>
+    where
+        R: Send + Sync + 'static,
+    {
+        let Some(persist) = &self.persist else {
+            return Err(OsdpError::Persistence(
+                "open_tenant needs a durable pool: construct it with SessionPool::open".into(),
+            ));
+        };
+        self.get_or_insert_with(tenant, || {
+            let shard_dir = persist.dir.join(encode_tenant_dir(tenant));
+            let persistence = SessionPersistence::open(shard_dir, persist.sync)?;
+            make().durable(persistence).build()
+        })
+    }
+
+    /// Reopens a durable pool and **recovers every persisted tenant**:
+    /// each shard directory under the root is replayed and its session is
+    /// rebuilt with the builder `make` returns for that tenant key. The
+    /// recovered pool serves grants immediately; tenants never persisted
+    /// are simply absent.
+    pub fn recover(
+        dir: impl Into<PathBuf>,
+        sync: SyncPolicy,
+        make: impl Fn(&str) -> SessionBuilder<R>,
+    ) -> Result<Self>
+    where
+        R: Send + Sync + 'static,
+    {
+        let pool = Self::open(dir, sync)?;
+        for tenant in pool.persisted_tenants()? {
+            pool.open_tenant(&tenant, || make(&tenant))?;
+        }
+        Ok(pool)
+    }
+
+    /// Rotates every durable tenant's WAL into a fresh snapshot generation
+    /// ([`crate::SessionWal::snapshot`]): the collapsed history keeps
+    /// recovery O(aggregate rows + tail) instead of O(all releases).
+    /// No-op for tenants without a WAL (and for in-memory pools).
+    pub fn snapshot_all(&self) -> Result<()> {
+        for outcome in self.for_each_session(|_, session| match session.persistence() {
+            Some(wal) => wal.snapshot(),
+            None => Ok(()),
+        }) {
+            outcome?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs every durable tenant's WAL, regardless of sync
+    /// policy — the clean-shutdown barrier.
+    pub fn sync_all(&self) -> Result<()> {
+        for outcome in self.for_each_session(|_, session| match session.persistence() {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }) {
+            outcome?;
+        }
+        Ok(())
     }
 
     /// The tenant's session, if registered.
@@ -227,11 +410,17 @@ impl<R> SessionPool<R> {
 
     /// Verifies **every** tenant's audit ledger against its own budget cap
     /// (`osdp_attack::verify_ledger`), returning one verdict per tenant
-    /// plus the parallel-composition total. O(total releases).
+    /// plus the parallel-composition total. O(total releases); the audit
+    /// merge scratch is reused across tenants, so the sweep allocates one
+    /// record buffer for the whole pool instead of one per tenant.
     pub fn verify_all_ledgers(&self) -> PoolVerdict {
+        let mut scratch = Vec::new();
         let mut tenants = self.for_each_session(|tenant, session| TenantVerdict {
             tenant,
-            verdict: verify_ledger(&session.audit_ledger(), session.accountant().limit()),
+            verdict: verify_ledger(
+                &session.audit_log().ledger_with(&mut scratch),
+                session.accountant().limit(),
+            ),
         });
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
         let parallel_epsilon = tenants.iter().map(|t| t.verdict.total_epsilon).fold(0.0, f64::max);
@@ -345,7 +534,12 @@ mod tests {
     fn insert_refuses_to_replace_a_live_session() {
         let pool: SessionPool<u32> = SessionPool::new();
         pool.insert("acme", tenant_session(1, 1.0)).unwrap();
-        assert!(pool.insert("acme", tenant_session(9, 9.0)).is_err());
+        // The refusal is the *typed* TenantExists error, so callers can
+        // branch on it without string-matching.
+        match pool.insert("acme", tenant_session(9, 9.0)) {
+            Err(OsdpError::TenantExists { tenant }) => assert_eq!(tenant, "acme"),
+            other => panic!("expected TenantExists, got {other:?}"),
+        }
         // Explicit eviction allows re-registration.
         let old = pool.remove("acme").unwrap();
         assert_eq!(old.total_spent(), 0.0);
@@ -366,6 +560,26 @@ mod tests {
         assert!(err.is_err());
         assert!(pool.get("bad").is_none());
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn tenant_dir_encoding_is_injective_and_reversible() {
+        for tenant in ["acme", "acme corp", "a/b", "ü-tenant", "100%", "tenant-x", ".."] {
+            let dir = encode_tenant_dir(tenant);
+            assert!(dir.starts_with(TENANT_DIR_PREFIX));
+            assert!(
+                dir[TENANT_DIR_PREFIX.len()..]
+                    .bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-' | b'%')),
+                "unsafe byte survived encoding: {dir}"
+            );
+            assert_eq!(decode_tenant_dir(&dir).as_deref(), Some(tenant));
+        }
+        // Distinct keys that differ only in encoded bytes stay distinct.
+        assert_ne!(encode_tenant_dir("a/b"), encode_tenant_dir("a%2Fb"));
+        // Non-tenant directories are ignored wholesale.
+        assert_eq!(decode_tenant_dir("snapshots"), None);
+        assert_eq!(decode_tenant_dir("tenant-%zz"), None);
     }
 
     #[test]

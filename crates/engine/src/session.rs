@@ -4,6 +4,7 @@ use crate::audit::{AuditLog, AuditRecord};
 use crate::backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
 use crate::cache::TaskCache;
 use crate::intern::Interner;
+use crate::persist::{GrantEvent, SessionPersistence, SessionWal};
 use osdp_core::error::{OsdpError, Result};
 use osdp_core::frame::{BinSpec, ColumnarFrame, PAIR_BIN_FIELD, PAIR_FLAG_FIELD};
 use osdp_core::policy::{AttributePolicy, MinimumRelaxation, Policy};
@@ -209,6 +210,7 @@ pub struct SessionBuilder<R = Record> {
     policy_label: Option<String>,
     budget: Option<f64>,
     seed: u64,
+    persistence: Option<SessionPersistence>,
     /// Set once [`SessionBuilder::columnar`] has converted the database, so
     /// repeated calls stay no-ops.
     columnar_applied: bool,
@@ -233,6 +235,7 @@ impl<R> SessionBuilder<R> {
             policy_label: None,
             budget: None,
             seed: 0,
+            persistence: None,
             columnar_applied: false,
             columnar_misuse: false,
         }
@@ -250,6 +253,7 @@ impl<R> SessionBuilder<R> {
             policy_label: None,
             budget: None,
             seed: 0,
+            persistence: None,
             columnar_applied: false,
             columnar_misuse: false,
         }
@@ -268,6 +272,7 @@ impl<R> SessionBuilder<R> {
             policy_label: None,
             budget: None,
             seed: 0,
+            persistence: None,
             columnar_applied: false,
             columnar_misuse: false,
         }
@@ -308,6 +313,17 @@ impl<R> SessionBuilder<R> {
         self
     }
 
+    /// Backs the session with a durable budget plane: the accountant and
+    /// audit log are **seeded from the recovered state** of the tenant WAL
+    /// shard behind `persistence` (fresh shards seed zeros), and every
+    /// grant is thereafter logged to the WAL — after the accountant's CAS
+    /// admits it, before any noise is sampled. See the crate docs'
+    /// "Durability model" section for the sync-policy trade-offs.
+    pub fn durable(mut self, persistence: SessionPersistence) -> Self {
+        self.persistence = Some(persistence);
+        self
+    }
+
     /// Builds the session, validating the source.
     pub fn build(self) -> Result<OsdpSession<R>>
     where
@@ -321,9 +337,31 @@ impl<R> SessionBuilder<R> {
                     .into(),
             ));
         }
-        let accountant = match self.budget {
-            Some(limit) => BudgetAccountant::with_limit(limit)?,
-            None => BudgetAccountant::unlimited(),
+        // A durable builder seeds the accountant and audit log from the
+        // recovered ledger — raw integer counters, so a restart resumes the
+        // exact pre-crash state — and keeps the WAL hooked into the grant
+        // path. A plain builder starts both from zero with no WAL.
+        let (accountant, audit, wal) = match self.persistence {
+            Some(persistence) => {
+                let SessionPersistence { wal, recovered } = persistence;
+                let accountant = BudgetAccountant::recovered(self.budget, recovered.spent_units)?;
+                let audit = AuditLog::recovered(
+                    recovered.base_seq,
+                    recovered.base_units,
+                    recovered.base_entries,
+                );
+                for (record, units) in recovered.tail {
+                    audit.restore(record, units);
+                }
+                (accountant, audit, Some(wal))
+            }
+            None => {
+                let accountant = match self.budget {
+                    Some(limit) => BudgetAccountant::with_limit(limit)?,
+                    None => BudgetAccountant::unlimited(),
+                };
+                (accountant, AuditLog::new(), None)
+            }
         };
         let policy_label = self.policy_label.unwrap_or_else(|| "P".to_string());
         let backend = match (self.db, self.backend) {
@@ -360,7 +398,8 @@ impl<R> SessionBuilder<R> {
             policy_label: policy_label.into(),
             accountant,
             seeds: SeedSequence::new(self.seed),
-            audit: AuditLog::new(),
+            audit,
+            wal,
             policies: RwLock::new(policies),
             tasks: TaskCache::new(),
             labels: Interner::new(),
@@ -432,6 +471,10 @@ pub struct OsdpSession<R = Record> {
     accountant: BudgetAccountant,
     seeds: SeedSequence,
     audit: AuditLog,
+    /// The durable write-ahead ledger hook, when the session was built with
+    /// [`SessionBuilder::durable`]. Grants are logged after the
+    /// accountant's CAS admits them and before sampling.
+    wal: Option<SessionWal>,
     /// Distinct (label, policy) pairs used by record-level releases, in first
     /// use order — the components of the composed minimum relaxation. Reads
     /// (the common case) share the lock; only a release under a *new*
@@ -473,6 +516,43 @@ impl<R> OsdpSession<R> {
     /// The session's budget accountant.
     pub fn accountant(&self) -> &BudgetAccountant {
         &self.accountant
+    }
+
+    /// The session's audit log — shard-length probes
+    /// ([`AuditLog::shard_lens`]) and allocation-reusing snapshots
+    /// ([`AuditLog::records_into`], [`AuditLog::ledger_with`]) for sweeps
+    /// over many sessions.
+    pub fn audit_log(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// The durable WAL handle, when the session was built with
+    /// [`SessionBuilder::durable`] (sync, snapshot rotation, crash
+    /// simulation); `None` for a purely in-memory session.
+    pub fn persistence(&self) -> Option<&SessionWal> {
+        self.wal.as_ref()
+    }
+
+    /// The WAL half of the grant path: logs an admitted grant after the
+    /// accountant's CAS and the audit append, **before** sampling. An IO
+    /// failure refuses the release (the ε stays spent and audited — the
+    /// conservative direction; a sample must never outrun its durable
+    /// record). No-op without persistence.
+    fn wal_grant(&self, event: GrantEvent<'_>) -> Result<()> {
+        match &self.wal {
+            Some(wal) => wal.log_grant(event),
+            None => Ok(()),
+        }
+    }
+
+    /// Logs a budget refusal to the WAL (best-effort: refusals spend
+    /// nothing, so a lost refusal record never unbalances recovery) and
+    /// passes the error through.
+    fn wal_refused(&self, mechanism: &str, requested: f64, err: OsdpError) -> OsdpError {
+        if let (Some(wal), OsdpError::BudgetExhausted { .. }) = (&self.wal, &err) {
+            let _ = wal.log_refusal(mechanism, requested);
+        }
+        err
     }
 
     /// Total ε spent so far.
@@ -687,16 +767,13 @@ impl<R> OsdpSession<R> {
         // lock — and the audit append allocates its index from the log's own
         // atomic sequence, so concurrent releases never serialize here.
         let guarantee = mechanism.guarantee();
-        self.accountant.spend(
-            mechanism.name(),
-            &*policy_label,
-            guarantee.epsilon(),
-            guarantee.kind(),
-        )?;
+        self.accountant
+            .spend(mechanism.name(), &*policy_label, guarantee.epsilon(), guarantee.kind())
+            .map_err(|e| self.wal_refused(mechanism.name(), guarantee.epsilon(), e))?;
         if let Some(policy) = policy_override {
             self.remember_policy(&policy_label, policy);
         }
-        Ok(self.sample_granted_release(&task, mechanism, guarantee, policy_label, query_label))
+        self.sample_granted_release(&task, mechanism, guarantee, policy_label, query_label)
     }
 
     /// The shared post-grant tail of every single release — one-shot
@@ -714,17 +791,27 @@ impl<R> OsdpSession<R> {
         guarantee: Guarantee,
         policy_label: Arc<str>,
         query_label: Arc<str>,
-    ) -> Release {
+    ) -> Result<Release> {
         let mechanism_label = self.labels.get(mechanism.name());
         let index = self.audit.append_next(|index| AuditRecord {
             index,
             mechanism: mechanism_label,
             policy: Arc::clone(&policy_label),
-            query: query_label,
+            query: Arc::clone(&query_label),
             bins: task.bins(),
             trials: 1,
             guarantee,
         });
+        // Durable hook: the grant reaches the WAL before any noise exists.
+        self.wal_grant(GrantEvent {
+            index,
+            mechanism: mechanism.name(),
+            policy: &policy_label,
+            query: &query_label,
+            bins: task.bins(),
+            trials: 1,
+            guarantee,
+        })?;
         // Interned stream label: same content as the historical
         // `format!("release/{name}")`, built once per mechanism name.
         let stream =
@@ -732,13 +819,13 @@ impl<R> OsdpSession<R> {
         let mut rng = self.seeds.rng_for(&stream, index);
         let mut estimate = Histogram::zeros(0);
         mechanism.release_into(task, &mut rng, &mut estimate);
-        Release {
+        Ok(Release {
             estimate,
             mechanism: mechanism.name().to_string(),
             policy: policy_label.to_string(),
             guarantee,
             index,
-        }
+        })
     }
 
     /// Releases an **externally derived** task through the session's full
@@ -764,19 +851,16 @@ impl<R> OsdpSession<R> {
     ) -> Result<Release> {
         let query_label = self.labels.get(label);
         let guarantee = mechanism.guarantee();
-        self.accountant.spend(
-            mechanism.name(),
-            &*self.policy_label,
-            guarantee.epsilon(),
-            guarantee.kind(),
-        )?;
-        Ok(self.sample_granted_release(
+        self.accountant
+            .spend(mechanism.name(), &*self.policy_label, guarantee.epsilon(), guarantee.kind())
+            .map_err(|e| self.wal_refused(mechanism.name(), guarantee.epsilon(), e))?;
+        self.sample_granted_release(
             task,
             mechanism,
             guarantee,
             Arc::clone(&self.policy_label),
             query_label,
-        ))
+        )
     }
 
     /// Releases `trials` independent estimates of the same query, one trial
@@ -883,7 +967,10 @@ impl<R> OsdpSession<R> {
                 )
             })
             .collect();
-        self.accountant.spend_batch(&debits)?;
+        let batch_epsilon: f64 = debits.iter().map(|d| d.2).sum();
+        self.accountant
+            .spend_batch(&debits)
+            .map_err(|e| self.wal_refused(&format!("pool[{}]", pool.len()), batch_epsilon, e))?;
         let mut indices = Vec::with_capacity(pool.len());
         for (mechanism, guarantee) in pool.iter().zip(&guarantees) {
             let mechanism_label = self.labels.get(mechanism.name());
@@ -896,6 +983,15 @@ impl<R> OsdpSession<R> {
                 trials,
                 guarantee: *guarantee,
             });
+            self.wal_grant(GrantEvent {
+                index,
+                mechanism: mechanism.name(),
+                policy: &self.policy_label,
+                query: &query_label,
+                bins: task.bins(),
+                trials,
+                guarantee: *guarantee,
+            })?;
             indices.push(index);
         }
 
@@ -951,21 +1047,34 @@ impl<R> OsdpSession<R> {
         let guarantee = mechanism.guarantee();
         let mechanism_label = self.labels.get(mechanism.name());
         let query_label = self.labels.get(query.label());
-        self.accountant.spend(
-            format!("{} x{}", mechanism.name(), trials),
-            &*self.policy_label,
-            guarantee.epsilon() * trials as f64,
-            guarantee.kind(),
-        )?;
+        self.accountant
+            .spend(
+                format!("{} x{}", mechanism.name(), trials),
+                &*self.policy_label,
+                guarantee.epsilon() * trials as f64,
+                guarantee.kind(),
+            )
+            .map_err(|e| {
+                self.wal_refused(mechanism.name(), guarantee.epsilon() * trials as f64, e)
+            })?;
         let index = self.audit.append_next(|index| AuditRecord {
             index,
             mechanism: mechanism_label,
             policy: Arc::clone(&self.policy_label),
-            query: query_label,
+            query: Arc::clone(&query_label),
             bins: task.bins(),
             trials,
             guarantee,
         });
+        self.wal_grant(GrantEvent {
+            index,
+            mechanism: mechanism.name(),
+            policy: &self.policy_label,
+            query: &query_label,
+            bins: task.bins(),
+            trials,
+            guarantee,
+        })?;
         Ok((task, index))
     }
 
@@ -1000,12 +1109,9 @@ impl<R: Clone> OsdpSession<R> {
         let guarantee = Guarantee::Osdp { eps: mechanism.epsilon() };
         let mechanism_label = self.labels.get("OsdpRR (records)");
         let query_label = self.labels.get("record-sample");
-        self.accountant.spend(
-            "OsdpRR (records)",
-            &*self.policy_label,
-            guarantee.epsilon(),
-            guarantee.kind(),
-        )?;
+        self.accountant
+            .spend("OsdpRR (records)", &*self.policy_label, guarantee.epsilon(), guarantee.kind())
+            .map_err(|e| self.wal_refused("OsdpRR (records)", guarantee.epsilon(), e))?;
         let index = self.audit.append_next(|index| AuditRecord {
             index,
             mechanism: mechanism_label,
@@ -1015,6 +1121,15 @@ impl<R: Clone> OsdpSession<R> {
             trials: 1,
             guarantee,
         });
+        self.wal_grant(GrantEvent {
+            index,
+            mechanism: "OsdpRR (records)",
+            policy: &self.policy_label,
+            query: "record-sample",
+            bins: 0,
+            trials: 1,
+            guarantee,
+        })?;
         let mut rng = self.seeds.rng_for("release-records/OsdpRR", index);
         let sample = mechanism.release(db, policy.as_ref(), &mut rng);
         Ok(sample)

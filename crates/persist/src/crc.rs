@@ -1,0 +1,57 @@
+//! Table-driven CRC-32 (IEEE 802.3 polynomial), the per-record checksum of
+//! the write-ahead ledger. Implemented in-crate: the build is offline and
+//! the WAL must not grow a dependency for 20 lines of table lookup.
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// The 256-entry lookup table, computed at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) checksum of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_byte_corruption() {
+        let mut payload = b"grant:0.125:tenant-acme".to_vec();
+        let clean = crc32(&payload);
+        for i in 0..payload.len() {
+            payload[i] ^= 0x40;
+            assert_ne!(crc32(&payload), clean, "flip at byte {i} must change the checksum");
+            payload[i] ^= 0x40;
+        }
+        assert_eq!(crc32(&payload), clean);
+    }
+}

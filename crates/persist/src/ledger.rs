@@ -1,0 +1,700 @@
+//! [`TenantLedger`]: one tenant shard's durable budget state on disk.
+//!
+//! A tenant shard is a directory holding three files:
+//!
+//! * `wal.log` — header (`OSDPWAL1` + the generation it continues from)
+//!   followed by checksummed record frames ([`crate::wal`]);
+//! * `snapshot.bin` — the compact collapsed state as of the last rotation
+//!   ([`crate::snapshot`]), written via temp-file + rename;
+//! * `LOCK` — created with `O_CREAT|O_EXCL`; whoever creates it is the
+//!   shard's **single writer**. A crashed writer leaves a stale lock behind
+//!   (exactly as a real `kill -9` would); [`force_unlock`] removes it once
+//!   the operator knows the process is gone.
+//!
+//! ## Crash consistency
+//!
+//! Snapshot rotation orders its writes so that every crash point recovers:
+//! flush + fsync the WAL, rename the new snapshot into place, then rewrite
+//! the WAL as `header(generation+1) + marker`. A crash between the rename
+//! and the rewrite leaves a WAL whose header generation is *older* than the
+//! snapshot's — recovery detects the pair mismatch and ignores the stale
+//! records (the snapshot already contains them), which is what makes the
+//! rotation atomic without double-counting or loss.
+
+use crate::record::{GrantRecord, RefusalRecord, SnapshotCounters, WalRecord};
+use crate::snapshot::{marker_frame, MirrorState, SnapshotState};
+use crate::wal::{append_record, replay, SyncPolicy};
+use osdp_core::error::{OsdpError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Magic header of `wal.log`.
+const WAL_MAGIC: &[u8; 8] = b"OSDPWAL1";
+
+/// WAL header size: magic + the `u64` snapshot generation it continues.
+const WAL_HEADER: usize = 16;
+
+const WAL_FILE: &str = "wal.log";
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const LOCK_FILE: &str = "LOCK";
+
+/// Maps an io error into the workspace error type with context.
+fn io_err(what: &str, err: std::io::Error) -> OsdpError {
+    OsdpError::Persistence(format!("{what}: {err}"))
+}
+
+/// Removes a stale `LOCK` file left behind by a crashed writer, returning
+/// whether one existed. Only call this once the previous writer process is
+/// known to be dead — removing a *live* writer's lock re-opens the shard to
+/// a second writer and voids the single-writer guarantee.
+pub fn force_unlock(dir: impl AsRef<Path>) -> Result<bool> {
+    match std::fs::remove_file(dir.as_ref().join(LOCK_FILE)) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(e) => Err(io_err("removing LOCK", e)),
+    }
+}
+
+/// What [`TenantLedger::open`] reconstructed from disk. The `base` /
+/// `grants` split is deliberate: recovery seeds counters from `base` as
+/// plain integers and replays `grants` one record at a time, so the
+/// reconstructed accountant and audit totals are integer sums of exactly
+/// what was durably logged — bit for bit, no float round-trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveredLedger {
+    /// The snapshot state recovery started from (generation 0 and all-zero
+    /// counters for a fresh shard).
+    pub base: SnapshotState,
+    /// The grant records replayed from the WAL tail, in log order (which
+    /// under concurrent writers may differ from index order).
+    pub grants: Vec<GrantRecord>,
+    /// Refusal records replayed from the WAL tail.
+    pub refusals: Vec<RefusalRecord>,
+    /// Bytes discarded from a torn or corrupt WAL tail (0 after a clean
+    /// shutdown).
+    pub truncated_bytes: u64,
+    /// True when the snapshot file was missing or unreadable and the base
+    /// counters were reconstructed from the WAL's snapshot marker instead:
+    /// totals are intact, but the per-mechanism aggregate rows of the
+    /// pre-marker history are lost.
+    pub degraded: bool,
+}
+
+impl RecoveredLedger {
+    /// Total admitted spend in fixed-point units: base + replayed grants.
+    pub fn spent_units(&self) -> u64 {
+        self.grants.iter().fold(self.base.counters.spent_units, |t, g| t.saturating_add(g.units))
+    }
+
+    /// The audit ε total in fixed-point units: base + replayed grants.
+    pub fn audit_units(&self) -> u64 {
+        self.grants.iter().fold(self.base.counters.audit_units, |t, g| t.saturating_add(g.units))
+    }
+
+    /// The next audit release index (every replayed index is below it).
+    pub fn audit_seq(&self) -> u64 {
+        self.grants.iter().fold(self.base.counters.audit_seq, |s, g| s.max(g.index + 1))
+    }
+
+    /// Total refusals logged (base + replayed).
+    pub fn refusal_count(&self) -> u64 {
+        self.base.counters.refusals + self.refusals.len() as u64
+    }
+
+    /// Total grants logged (base + replayed).
+    pub fn grant_count(&self) -> u64 {
+        self.base.counters.grants + self.grants.len() as u64
+    }
+
+    /// Whether the shard had no durable history at all.
+    pub fn is_fresh(&self) -> bool {
+        self.base == SnapshotState::default()
+            && self.grants.is_empty()
+            && self.refusals.is_empty()
+            && self.truncated_bytes == 0
+    }
+}
+
+/// The writer state behind the ledger's mutex.
+#[derive(Debug)]
+struct Inner {
+    file: File,
+    /// Encoded frames accepted but not yet handed to the OS — the bytes a
+    /// simulated crash loses.
+    pending: Vec<u8>,
+    /// Appends since the last fsync (drives [`SyncPolicy::EveryN`]).
+    unsynced: u32,
+    /// The snapshot-consistent mirror of everything appended so far.
+    mirror: MirrorState,
+    /// Set by [`TenantLedger::crash`]: every later operation fails, drop
+    /// flushes nothing and leaves the `LOCK` file behind.
+    crashed: bool,
+}
+
+/// A single-writer, append-only durable ledger for one tenant shard (see
+/// the module docs for the file layout and crash-consistency argument).
+#[derive(Debug)]
+pub struct TenantLedger {
+    dir: PathBuf,
+    sync: SyncPolicy,
+    inner: Mutex<Inner>,
+}
+
+impl TenantLedger {
+    /// Opens (creating if absent) the tenant shard at `dir`, acquiring its
+    /// writer lock and recovering whatever state is durable. The returned
+    /// [`RecoveredLedger`] seeds the in-memory accountant/audit pair; the
+    /// ledger itself is positioned to append.
+    pub fn open(dir: impl Into<PathBuf>, sync: SyncPolicy) -> Result<(Self, RecoveredLedger)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("creating tenant shard dir", e))?;
+        // O_CREAT|O_EXCL: exactly one writer per shard, across processes.
+        match OpenOptions::new().write(true).create_new(true).open(dir.join(LOCK_FILE)) {
+            Ok(mut lock) => {
+                let _ = writeln!(lock, "{}", std::process::id());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                return Err(OsdpError::Persistence(format!(
+                    "tenant shard '{}' is locked by another writer (or a crashed one left a \
+                     stale LOCK; use force_unlock once that process is known dead)",
+                    dir.display()
+                )));
+            }
+            Err(e) => return Err(io_err("creating LOCK", e)),
+        }
+        // From here on, errors must release the lock we just took.
+        match Self::open_locked(&dir, sync) {
+            Ok(ok) => Ok(ok),
+            Err(e) => {
+                let _ = std::fs::remove_file(dir.join(LOCK_FILE));
+                Err(e)
+            }
+        }
+    }
+
+    fn open_locked(dir: &Path, sync: SyncPolicy) -> Result<(Self, RecoveredLedger)> {
+        let recovered = read_state(dir)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join(WAL_FILE))
+            .map_err(|e| io_err("opening wal.log", e))?;
+        let len = file.metadata().map_err(|e| io_err("stat wal.log", e))?.len();
+        let expected = wal_len_after_recovery(&recovered, len);
+        if expected != len {
+            // Torn tail or stale/partial header: rewrite the file to the
+            // recovered prefix so the next crash has a clean base.
+            rewrite_wal(&mut file, &recovered)?;
+        }
+        file.seek(SeekFrom::End(0)).map_err(|e| io_err("seeking wal.log", e))?;
+        let mut mirror = MirrorState::from_snapshot(&recovered.base);
+        for grant in &recovered.grants {
+            mirror.apply_grant(grant);
+        }
+        for _ in &recovered.refusals {
+            mirror.apply_refusal();
+        }
+        let ledger = Self {
+            dir: dir.to_path_buf(),
+            sync,
+            inner: Mutex::new(Inner {
+                file,
+                pending: Vec::new(),
+                unsynced: 0,
+                mirror,
+                crashed: false,
+            }),
+        };
+        Ok((ledger, recovered))
+    }
+
+    /// Reads a shard's durable state **without** taking the writer lock,
+    /// truncating, or rewriting anything. For audits and tests that need an
+    /// independent view of what is on disk; racing a live writer sees some
+    /// durable prefix.
+    pub fn peek(dir: impl AsRef<Path>) -> Result<RecoveredLedger> {
+        read_state(dir.as_ref())
+    }
+
+    /// The shard directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync
+    }
+
+    /// The counters a snapshot taken now would contain — the mirror of
+    /// everything appended so far (logged state, not live session state).
+    pub fn counters(&self) -> SnapshotCounters {
+        self.inner.lock().expect("ledger lock").mirror.counters
+    }
+
+    /// Appends one grant record, flushing per the sync policy.
+    pub fn append_grant(&self, grant: &GrantRecord) -> Result<()> {
+        self.append(WalRecord::Grant(grant.clone()))
+    }
+
+    /// Appends one refusal record, flushing per the sync policy.
+    pub fn append_refusal(&self, refusal: &RefusalRecord) -> Result<()> {
+        self.append(WalRecord::Refusal(refusal.clone()))
+    }
+
+    fn append(&self, record: WalRecord) -> Result<()> {
+        let mut inner = self.inner.lock().expect("ledger lock");
+        if inner.crashed {
+            return Err(OsdpError::Persistence("ledger writer has crashed (simulated)".into()));
+        }
+        match &record {
+            WalRecord::Grant(g) => inner.mirror.apply_grant(g),
+            WalRecord::Refusal(_) => inner.mirror.apply_refusal(),
+            WalRecord::SnapshotMarker { .. } => unreachable!("markers are written by rotation"),
+        }
+        append_record(&mut inner.pending, &record);
+        inner.unsynced += 1;
+        let flush = match self.sync {
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryN(n) => inner.unsynced >= n.max(1),
+            SyncPolicy::OnDrop => false,
+        };
+        if flush {
+            flush_inner(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Flushes and fsyncs every buffered frame, regardless of policy.
+    pub fn sync(&self) -> Result<()> {
+        let mut inner = self.inner.lock().expect("ledger lock");
+        if inner.crashed {
+            return Err(OsdpError::Persistence("ledger writer has crashed (simulated)".into()));
+        }
+        flush_inner(&mut inner)
+    }
+
+    /// Rotates the shard: collapses the logged history into a new snapshot
+    /// generation and resets the WAL to `header + marker`. See the module
+    /// docs for why each crash point in this sequence recovers cleanly.
+    pub fn rotate_snapshot(&self) -> Result<()> {
+        let mut inner = self.inner.lock().expect("ledger lock");
+        if inner.crashed {
+            return Err(OsdpError::Persistence("ledger writer has crashed (simulated)".into()));
+        }
+        flush_inner(&mut inner)?;
+        let generation = inner.mirror.generation + 1;
+        let snapshot = inner.mirror.to_snapshot(generation);
+        // Temp + rename: a torn snapshot write never shadows the good one.
+        let tmp = self.dir.join("snapshot.tmp");
+        {
+            let mut f = File::create(&tmp).map_err(|e| io_err("creating snapshot.tmp", e))?;
+            f.write_all(&snapshot.encode()).map_err(|e| io_err("writing snapshot.tmp", e))?;
+            f.sync_data().map_err(|e| io_err("syncing snapshot.tmp", e))?;
+        }
+        std::fs::rename(&tmp, self.dir.join(SNAPSHOT_FILE))
+            .map_err(|e| io_err("renaming snapshot into place", e))?;
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        inner.mirror.generation = generation;
+        // Reset the WAL behind the new snapshot. A crash before this block
+        // leaves WAL generation < snapshot generation: recovery ignores the
+        // (now collapsed) records instead of double-counting them.
+        let base = RecoveredLedger {
+            base: snapshot,
+            grants: Vec::new(),
+            refusals: Vec::new(),
+            truncated_bytes: 0,
+            degraded: false,
+        };
+        rewrite_wal(&mut inner.file, &base)?;
+        inner.file.seek(SeekFrom::End(0)).map_err(|e| io_err("seeking wal.log", e))?;
+        inner.unsynced = 0;
+        Ok(())
+    }
+
+    /// **Crash simulation**: drops the writer as an abrupt process death
+    /// would. Buffered frames are lost; a `keep_fraction` in `(0, 1]`
+    /// additionally writes that fraction of the buffered *bytes* first —
+    /// a torn frame mid-write, exercising the CRC truncation path. The
+    /// `LOCK` file is deliberately left behind (a dead process releases
+    /// nothing), so reopening requires [`force_unlock`], same as after a
+    /// real `kill -9`. Every later operation on this ledger fails.
+    ///
+    /// What this does **not** simulate: loss of OS-buffered writes that
+    /// were never fsync'd (the file system keeps what `write(2)` accepted,
+    /// a powered-off machine may not), and torn *sector* writes inside
+    /// fsync'd data. Those need a real `kill -9` / power-cut harness.
+    pub fn crash(&self, keep_fraction: f64) -> Result<()> {
+        let mut inner = self.inner.lock().expect("ledger lock");
+        if inner.crashed {
+            return Ok(());
+        }
+        let keep = (inner.pending.len() as f64 * keep_fraction.clamp(0.0, 1.0)) as usize;
+        if keep > 0 {
+            let torn: Vec<u8> = inner.pending[..keep].to_vec();
+            inner.file.write_all(&torn).map_err(|e| io_err("writing torn tail", e))?;
+        }
+        inner.pending.clear();
+        inner.crashed = true;
+        Ok(())
+    }
+
+    /// Whether [`TenantLedger::crash`] has been called.
+    pub fn is_crashed(&self) -> bool {
+        self.inner.lock().expect("ledger lock").crashed
+    }
+}
+
+impl Drop for TenantLedger {
+    fn drop(&mut self) {
+        let Ok(mut inner) = self.inner.lock() else {
+            return;
+        };
+        if inner.crashed {
+            // A crashed writer releases nothing: pending bytes are gone and
+            // the LOCK file stays, exactly like a killed process.
+            return;
+        }
+        let _ = flush_inner(&mut inner);
+        let _ = std::fs::remove_file(self.dir.join(LOCK_FILE));
+    }
+}
+
+/// Writes + fsyncs the pending buffer.
+fn flush_inner(inner: &mut Inner) -> Result<()> {
+    if !inner.pending.is_empty() {
+        let pending = std::mem::take(&mut inner.pending);
+        inner.file.write_all(&pending).map_err(|e| io_err("writing wal.log", e))?;
+        inner.file.sync_data().map_err(|e| io_err("syncing wal.log", e))?;
+    }
+    inner.unsynced = 0;
+    Ok(())
+}
+
+/// The byte length `wal.log` should have after recovering `recovered` from
+/// a file currently `len` bytes long (used to decide whether a rewrite is
+/// needed).
+fn wal_len_after_recovery(recovered: &RecoveredLedger, len: u64) -> u64 {
+    if recovered.truncated_bytes > 0 || len < WAL_HEADER as u64 {
+        // Rewrite to the valid prefix.
+        u64::MAX
+    } else {
+        len
+    }
+}
+
+/// Rewrites `wal.log` from scratch: header at the base generation, a
+/// marker when there is a snapshot to mark, then the recovered tail frames.
+fn rewrite_wal(file: &mut File, recovered: &RecoveredLedger) -> Result<()> {
+    let mut image = Vec::with_capacity(WAL_HEADER + 256);
+    image.extend_from_slice(WAL_MAGIC);
+    image.extend_from_slice(&recovered.base.generation.to_le_bytes());
+    if recovered.base.generation > 0 {
+        image.extend_from_slice(&marker_frame(recovered.base.generation, recovered.base.counters));
+    }
+    // Interleaving of the tail is unknown after a crash; grants-then-
+    // refusals preserves every total (replay is order-independent).
+    for grant in &recovered.grants {
+        append_record(&mut image, &WalRecord::Grant(grant.clone()));
+    }
+    for refusal in &recovered.refusals {
+        append_record(&mut image, &WalRecord::Refusal(refusal.clone()));
+    }
+    file.set_len(0).map_err(|e| io_err("truncating wal.log", e))?;
+    file.seek(SeekFrom::Start(0)).map_err(|e| io_err("seeking wal.log", e))?;
+    file.write_all(&image).map_err(|e| io_err("rewriting wal.log", e))?;
+    file.sync_data().map_err(|e| io_err("syncing wal.log", e))?;
+    Ok(())
+}
+
+/// Reads and reconciles `snapshot.bin` + `wal.log` (shared by `open` and
+/// `peek`; never writes).
+fn read_state(dir: &Path) -> Result<RecoveredLedger> {
+    let snapshot = match std::fs::read(dir.join(SNAPSHOT_FILE)) {
+        Ok(bytes) => Some(SnapshotState::decode(&bytes)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(io_err("reading snapshot.bin", e)),
+    };
+    let wal = match File::open(dir.join(WAL_FILE)) {
+        Ok(mut f) => {
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes).map_err(|e| io_err("reading wal.log", e))?;
+            bytes
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err("opening wal.log", e)),
+    };
+    let base_or_default = snapshot.clone().unwrap_or_default();
+    if wal.len() < WAL_HEADER {
+        // Empty or mid-rewrite header: no tail survived; the snapshot (if
+        // any) is the whole durable state.
+        return Ok(RecoveredLedger {
+            base: base_or_default,
+            grants: Vec::new(),
+            refusals: Vec::new(),
+            truncated_bytes: wal.len() as u64,
+            degraded: false,
+        });
+    }
+    if &wal[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(OsdpError::Persistence("wal.log has a bad magic header".into()));
+    }
+    let wal_generation =
+        u64::from_le_bytes(wal[WAL_MAGIC.len()..WAL_HEADER].try_into().expect("len checked"));
+    let snapshot_generation = base_or_default.generation;
+    if wal_generation < snapshot_generation {
+        // Rotation crashed between the snapshot rename and the WAL rewrite:
+        // every WAL record is already collapsed into the snapshot.
+        return Ok(RecoveredLedger {
+            base: base_or_default,
+            grants: Vec::new(),
+            refusals: Vec::new(),
+            truncated_bytes: (wal.len() - WAL_HEADER) as u64,
+            degraded: false,
+        });
+    }
+    let outcome = replay(&wal[WAL_HEADER..]);
+    let mut records = outcome.records.into_iter();
+    let (base, degraded) = if wal_generation == snapshot_generation {
+        (base_or_default, false)
+    } else {
+        // WAL is ahead of the snapshot: only a lost/deleted snapshot file
+        // can cause this (the rename is atomic). Fall back to the marker's
+        // counter block — totals survive, aggregate rows do not.
+        match records.next() {
+            Some(WalRecord::SnapshotMarker { generation, counters })
+                if generation == wal_generation =>
+            {
+                let base = SnapshotState { generation: wal_generation, counters, rows: Vec::new() };
+                (base, true)
+            }
+            _ => {
+                return Err(OsdpError::Persistence(format!(
+                    "wal.log continues snapshot generation {wal_generation} but snapshot.bin \
+                     is at generation {snapshot_generation} and the WAL carries no marker to \
+                     recover from"
+                )));
+            }
+        }
+    };
+    let mut grants = Vec::new();
+    let mut refusals = Vec::new();
+    for record in records {
+        match record {
+            WalRecord::Grant(g) => grants.push(g),
+            WalRecord::Refusal(r) => refusals.push(r),
+            WalRecord::SnapshotMarker { generation, counters } => {
+                // The rotation marker: must agree with the base it follows.
+                if generation != base.generation || counters != base.counters {
+                    return Err(OsdpError::Persistence(
+                        "wal.log snapshot marker disagrees with the recovered base state".into(),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(RecoveredLedger {
+        base,
+        grants,
+        refusals,
+        truncated_bytes: (wal.len() - WAL_HEADER - outcome.valid_len) as u64,
+        degraded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::GuaranteeTag;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("osdp-persist-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn grant(index: u64, units: u64) -> GrantRecord {
+        GrantRecord {
+            index,
+            units,
+            epsilon: units as f64 * 1e-12,
+            trials: 1,
+            bins: 8,
+            guarantee: GuaranteeTag::Osdp,
+            mechanism: "OsdpLaplaceL1".into(),
+            policy: "P".into(),
+            query: "q".into(),
+        }
+    }
+
+    #[test]
+    fn clean_shutdown_recovers_everything() {
+        let dir = tmp_dir("clean");
+        {
+            let (ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+            assert!(recovered.is_fresh());
+            for i in 0..5 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            ledger
+                .append_refusal(&RefusalRecord {
+                    units: 100,
+                    epsilon: 1e-10,
+                    mechanism: "M".into(),
+                })
+                .unwrap();
+        }
+        let (ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+        assert_eq!(recovered.grants.len(), 5);
+        assert_eq!(recovered.spent_units(), 500);
+        assert_eq!(recovered.audit_seq(), 5);
+        assert_eq!(recovered.refusal_count(), 1);
+        assert_eq!(recovered.truncated_bytes, 0);
+        assert!(!recovered.degraded);
+        drop(ledger);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_loses_only_unflushed_tail() {
+        let dir = tmp_dir("crash");
+        {
+            let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::EveryN(2)).unwrap();
+            for i in 0..5 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            // 4 flushed (EveryN(2)), the 5th pending; crash drops it.
+            ledger.crash(0.0).unwrap();
+            assert!(ledger.is_crashed());
+            assert!(ledger.append_grant(&grant(9, 1)).is_err());
+            assert!(ledger.sync().is_err());
+            assert!(ledger.rotate_snapshot().is_err());
+        }
+        // The crashed writer left its LOCK behind.
+        assert!(TenantLedger::open(&dir, SyncPolicy::Always).is_err());
+        assert!(force_unlock(&dir).unwrap());
+        assert!(!force_unlock(&dir).unwrap());
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(recovered.grants.len(), 4, "the unflushed grant is gone");
+        assert_eq!(recovered.spent_units(), 400);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_recovery() {
+        let dir = tmp_dir("torn");
+        {
+            let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+            for i in 0..4 {
+                ledger.append_grant(&grant(i, 250)).unwrap();
+            }
+            // Write ~60% of the pending bytes: two-and-a-bit frames.
+            ledger.crash(0.6).unwrap();
+        }
+        force_unlock(&dir).unwrap();
+        let peek = TenantLedger::peek(&dir).unwrap();
+        assert!(peek.truncated_bytes > 0, "the torn frame is detected");
+        assert!(peek.grants.len() < 4);
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+        assert_eq!(recovered.grants.len(), peek.grants.len());
+        assert_eq!(recovered.spent_units(), 250 * peek.grants.len() as u64);
+        // Open rewrote the file: a second recovery sees a clean log.
+        force_unlock(&dir).unwrap();
+        let again = TenantLedger::peek(&dir).unwrap();
+        assert_eq!(again.truncated_bytes, 0);
+        assert_eq!(again.spent_units(), recovered.spent_units());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_collapses_history_and_survives() {
+        let dir = tmp_dir("rotate");
+        {
+            let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+            for i in 0..6 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            ledger.rotate_snapshot().unwrap();
+            for i in 6..8 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+        }
+        let (ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+        assert_eq!(recovered.base.generation, 1);
+        assert_eq!(recovered.base.counters.spent_units, 600);
+        assert_eq!(recovered.grants.len(), 2, "only the tail is replayed");
+        assert_eq!(recovered.spent_units(), 800);
+        assert_eq!(recovered.audit_seq(), 8);
+        assert_eq!(recovered.base.rows.len(), 1);
+        assert_eq!(recovered.base.rows[0].releases, 6);
+        assert!(!recovered.degraded);
+        assert_eq!(ledger.counters().spent_units, 800);
+        drop(ledger);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_after_interrupted_rotation_is_not_double_counted() {
+        let dir = tmp_dir("stale");
+        {
+            let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+            for i in 0..3 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            ledger.rotate_snapshot().unwrap();
+        }
+        // Simulate the crash window between snapshot rename and WAL rewrite:
+        // regress the WAL to generation 0 with the old records.
+        let mut image = Vec::new();
+        image.extend_from_slice(WAL_MAGIC);
+        image.extend_from_slice(&0u64.to_le_bytes());
+        for i in 0..3 {
+            append_record(&mut image, &WalRecord::Grant(grant(i, 100)));
+        }
+        std::fs::write(dir.join(WAL_FILE), &image).unwrap();
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(recovered.base.generation, 1);
+        assert_eq!(recovered.spent_units(), 300, "stale records are not re-added");
+        assert!(recovered.grants.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn lost_snapshot_falls_back_to_the_marker() {
+        let dir = tmp_dir("marker");
+        {
+            let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+            for i in 0..3 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            ledger.rotate_snapshot().unwrap();
+            ledger.append_grant(&grant(3, 50)).unwrap();
+        }
+        std::fs::remove_file(dir.join(SNAPSHOT_FILE)).unwrap();
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+        assert!(recovered.degraded, "rows lost, totals kept");
+        assert_eq!(recovered.spent_units(), 350);
+        assert_eq!(recovered.audit_seq(), 4);
+        assert!(recovered.base.rows.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_writer_is_refused_while_locked() {
+        let dir = tmp_dir("lock");
+        let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+        let err = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap_err();
+        assert!(err.to_string().contains("locked"));
+        drop(ledger);
+        // A clean drop releases the lock.
+        let (_again, _) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

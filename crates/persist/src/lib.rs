@@ -1,0 +1,52 @@
+//! # osdp-persist
+//!
+//! The **durable budget plane** of the OSDP workspace: a write-ahead ledger
+//! of fixed-point ε debits, compact snapshots, and crash recovery for the
+//! engine's `BudgetAccountant` + `AuditLog` pair.
+//!
+//! The in-memory accountant made debits *replay-exact*: every grant is an
+//! integer number of `1e-12`-ε units, integer addition commutes, and the
+//! audit log accumulates the **same** integers — so `audit_total_epsilon ==
+//! total_spent` bit for bit under any interleaving. That property is exactly
+//! what a write-ahead log needs: replaying any durable prefix of the grant
+//! stream reconstructs a state whose totals are the integer sums of the
+//! replayed records, with no float drift and no order sensitivity.
+//!
+//! ## Layout
+//!
+//! * [`crc`] — table-driven CRC-32 (IEEE), the per-record checksum.
+//! * [`record`] — the [`WalRecord`] codec: grants, refusals and snapshot
+//!   markers, hand-serialized (tag byte, little-endian integers,
+//!   length-prefixed strings — no serde, the vendored shim is marker-only).
+//! * [`wal`] — length-prefixed, CRC-checksummed framing; [`replay`] decodes
+//!   the longest valid frame prefix and reports where a torn tail begins.
+//! * [`snapshot`] — the compact per-tenant snapshot: generation counter,
+//!   unit totals, audit sequence, and per-(mechanism, policy, guarantee)
+//!   aggregate rows.
+//! * [`ledger`] — [`TenantLedger`]: one directory per tenant shard holding
+//!   `wal.log` + `snapshot.bin` + `LOCK`, with configurable [`SyncPolicy`]
+//!   and a crash-simulation hook.
+//!
+//! ## Durability contract
+//!
+//! A record is **durable** once its frame has been written and fsync'd; the
+//! [`SyncPolicy`] decides when that happens. On recovery, replay stops at
+//! the first torn or checksum-failing frame and truncates the file there:
+//! the recovered spent total is the sum of durably-logged grants — never
+//! more than was actually admitted, and with [`SyncPolicy::Always`] never
+//! less. One writer per tenant shard, enforced by a `LOCK` file.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod crc;
+pub mod ledger;
+pub mod record;
+pub mod snapshot;
+pub mod wal;
+
+pub use crc::crc32;
+pub use ledger::{force_unlock, RecoveredLedger, TenantLedger};
+pub use record::{GrantRecord, GuaranteeTag, RefusalRecord, SnapshotCounters, WalRecord};
+pub use snapshot::{AggregateRow, SnapshotState};
+pub use wal::{append_record, replay, ReplayOutcome, SyncPolicy};

@@ -1,0 +1,174 @@
+//! Write-ahead ledger framing and replay.
+//!
+//! Every record is one frame: `[len: u32 LE][crc: u32 LE][payload]`, where
+//! `crc` is the CRC-32 of the payload. Replay walks frames in order and
+//! stops at the first frame that is torn (fewer bytes than the header
+//! promises), oversized, checksum-failing, or undecodable — everything
+//! before that point is the durable prefix; everything after is discarded
+//! by truncation, exactly as an interrupted `write(2)` demands.
+
+use crate::crc::crc32;
+use crate::record::WalRecord;
+
+/// Frame header size: payload length + checksum.
+pub(crate) const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a frame payload. Real records are a few hundred bytes; a
+/// length field above this is bit rot, not a record, and replay treats it
+/// as a torn tail rather than attempting a multi-gigabyte read.
+pub(crate) const MAX_PAYLOAD: usize = 1 << 20;
+
+/// When the ledger flushes **and fsyncs** buffered frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Every append is flushed and fsync'd before the call returns: a
+    /// granted release is durable before its sample exists. Highest
+    /// latency, zero grants lost on crash.
+    Always,
+    /// Flush + fsync once every `n` appends (and on drop / snapshot). A
+    /// crash loses at most the last `n − 1` grants — the recovered spent
+    /// total is then *under* the true total, which refuses strictly less
+    /// than the cap allows (the safe direction for a privacy ledger).
+    EveryN(u32),
+    /// Flush + fsync only on drop, snapshot, or an explicit sync. The
+    /// in-memory-comparable fast path; a hard kill can lose every grant
+    /// since the last snapshot.
+    OnDrop,
+}
+
+/// Appends `record` to `buf` as one checksummed frame.
+pub fn append_record(buf: &mut Vec<u8>, record: &WalRecord) {
+    let mut payload = Vec::with_capacity(128);
+    record.encode_into(&mut payload);
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+    buf.extend_from_slice(&payload);
+}
+
+/// The result of replaying a frame stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayOutcome {
+    /// Every record of the longest valid frame prefix, in log order.
+    pub records: Vec<WalRecord>,
+    /// Byte length of that valid prefix.
+    pub valid_len: usize,
+    /// Whether bytes were discarded after the valid prefix (a torn or
+    /// corrupt tail — expected after a crash, impossible after a clean
+    /// shutdown).
+    pub truncated: bool,
+}
+
+/// Decodes the longest valid frame prefix of `bytes` (the WAL body, after
+/// any file header). Never fails: a torn or corrupt tail is *data*, not an
+/// error — it marks where durability ended.
+pub fn replay(bytes: &[u8]) -> ReplayOutcome {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while bytes.len() - at >= FRAME_HEADER {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("len checked")) as usize;
+        let crc = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("len checked"));
+        if len > MAX_PAYLOAD || bytes.len() - at - FRAME_HEADER < len {
+            break;
+        }
+        let payload = &bytes[at + FRAME_HEADER..at + FRAME_HEADER + len];
+        if crc32(payload) != crc {
+            break;
+        }
+        let Ok(record) = WalRecord::decode(payload) else {
+            break;
+        };
+        records.push(record);
+        at += FRAME_HEADER + len;
+    }
+    ReplayOutcome { records, valid_len: at, truncated: at != bytes.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{GrantRecord, GuaranteeTag, RefusalRecord};
+
+    fn grant(index: u64, units: u64) -> WalRecord {
+        WalRecord::Grant(GrantRecord {
+            index,
+            units,
+            epsilon: units as f64 * 1e-12,
+            trials: 1,
+            bins: 8,
+            guarantee: GuaranteeTag::Osdp,
+            mechanism: "M".into(),
+            policy: "P".into(),
+            query: "q".into(),
+        })
+    }
+
+    fn stream(n: u64) -> (Vec<u8>, Vec<WalRecord>) {
+        let mut buf = Vec::new();
+        let mut records = Vec::new();
+        for i in 0..n {
+            let r = if i % 4 == 3 {
+                WalRecord::Refusal(RefusalRecord {
+                    units: 5,
+                    epsilon: 5e-12,
+                    mechanism: "M".into(),
+                })
+            } else {
+                grant(i, 100 + i)
+            };
+            append_record(&mut buf, &r);
+            records.push(r);
+        }
+        (buf, records)
+    }
+
+    #[test]
+    fn clean_streams_replay_exactly() {
+        let (buf, records) = stream(12);
+        let outcome = replay(&buf);
+        assert_eq!(outcome.records, records);
+        assert_eq!(outcome.valid_len, buf.len());
+        assert!(!outcome.truncated);
+        let empty = replay(&[]);
+        assert!(empty.records.is_empty() && !empty.truncated);
+    }
+
+    #[test]
+    fn every_truncation_point_yields_a_record_prefix() {
+        let (buf, records) = stream(8);
+        for cut in 0..=buf.len() {
+            let outcome = replay(&buf[..cut]);
+            assert!(outcome.valid_len <= cut);
+            assert_eq!(
+                outcome.records[..],
+                records[..outcome.records.len()],
+                "cut at {cut} must yield a prefix"
+            );
+            assert_eq!(outcome.truncated, outcome.valid_len != cut);
+        }
+    }
+
+    #[test]
+    fn corruption_stops_replay_at_the_bad_frame() {
+        // Six identical-length frames, so frame boundaries are arithmetic.
+        let records: Vec<WalRecord> = (0..6).map(|i| grant(i, 100)).collect();
+        let mut buf = Vec::new();
+        for r in &records {
+            append_record(&mut buf, r);
+        }
+        // Flip a byte in the 4th frame's payload region.
+        let frame = buf.len() / 6;
+        buf[3 * frame + FRAME_HEADER + 2] ^= 0x01;
+        let outcome = replay(&buf);
+        assert_eq!(outcome.records, records[..3].to_vec());
+        assert!(outcome.truncated);
+        // An absurd length field is a torn tail, not an allocation request.
+        let mut bomb = Vec::new();
+        append_record(&mut bomb, &grant(0, 1));
+        let keep = bomb.len();
+        bomb.extend_from_slice(&u32::MAX.to_le_bytes());
+        bomb.extend_from_slice(&[0u8; 12]);
+        let outcome = replay(&bomb);
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.valid_len, keep);
+    }
+}

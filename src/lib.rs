@@ -38,6 +38,9 @@
 //!   regret.
 //! * [`attack`] — the exclusion-attack adversary and OSDP
 //!   verification tools.
+//! * [`persist`] — the durable budget plane: per-tenant
+//!   write-ahead ledgers, snapshot/replay recovery (std-only, no
+//!   dependencies beyond `osdp-core`).
 //! * [`experiments`] — one runner per table/figure of the
 //!   paper.
 //!
@@ -101,6 +104,7 @@ pub use osdp_mechanisms as mechanisms;
 pub use osdp_metrics as metrics;
 pub use osdp_ml as ml;
 pub use osdp_noise as noise;
+pub use osdp_persist as persist;
 
 /// The most commonly used items, re-exported flat for convenience.
 pub mod prelude {
@@ -120,8 +124,9 @@ pub mod prelude {
         histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs,
         windows_from_databases, AuditLog, AuditRecord, Backend, ColumnarBackend, HistogramPair,
         MechanismSpec, OsdpSession, PoolRelease, PoolVerdict, PoolWindowOutcome, QueryPlan,
-        Release, RowBackend, SessionBuilder, SessionPool, SessionQuery, StreamSession,
-        StreamSessionBuilder, SyntheticWindows, TenantVerdict, Window, WindowOutcome, WindowSource,
+        Release, RowBackend, SessionBuilder, SessionPersistence, SessionPool, SessionQuery,
+        SessionWal, StreamSession, StreamSessionBuilder, SyncPolicy, SyntheticWindows,
+        TenantVerdict, Window, WindowOutcome, WindowSource,
     };
     pub use osdp_mechanisms::{
         DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,

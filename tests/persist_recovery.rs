@@ -1,0 +1,369 @@
+//! Crash-recovery tests for the durable budget plane.
+//!
+//! Every test drives a real on-disk WAL shard (under the OS temp dir) and
+//! checks the recovery contract end to end:
+//!
+//! * **bit-for-bit counters** — a recovered accountant's fixed-point spent
+//!   total equals an *independent* read of the durable ledger
+//!   (`TenantLedger::peek`), and equals the recovered audit log's ε-unit
+//!   total, so `verify_ledger` balances over the recovered state;
+//! * **prefix-closed loss** — crashing a writer (torn tail, unflushed
+//!   buffer) loses at most the un-synced suffix, and only in the safe
+//!   direction: the recovered total never exceeds what was admitted, and a
+//!   rehammered session still stops at **exactly** the cap;
+//! * **fast-path parity** — a durable session with the same seed produces
+//!   bitwise-identical estimates to a plain in-memory session, and a
+//!   restarted durable session resumes the exact release-index sequence of
+//!   an uninterrupted one.
+
+use osdp::attack::verify_ledger;
+use osdp::persist::{force_unlock, TenantLedger};
+use osdp::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+/// Serving threads for the crash-hammer tests — above the dev container's
+/// core count so schedules interleave even on one core.
+const THREADS: usize = 8;
+
+/// A fresh, empty scratch directory under the OS temp dir.
+fn temp_root(name: &str) -> PathBuf {
+    static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "osdp-recovery-{}-{}-{name}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A histogram-backed session builder; ε debits of 1/8 divide the caps used
+/// below exactly, so full exhaustion hits the fixed-point cap bit for bit.
+fn builder(budget: f64, seed: u64) -> SessionBuilder<Record> {
+    let full = Histogram::from_counts(vec![40.0, 10.0, 25.0, 25.0]);
+    let ns = Histogram::from_counts(vec![30.0, 10.0, 0.0, 20.0]);
+    let mut b = histogram_session(full, ns).policy_label("P-durable").seed(seed);
+    if budget > 0.0 {
+        b = b.budget(budget);
+    }
+    b
+}
+
+/// Releases until the budget refuses, returning (grants, refusals).
+fn drain(session: &OsdpSession, eps: f64, attempts: usize) -> (usize, usize) {
+    let mechanism = OsdpLaplaceL1::new(eps).unwrap();
+    let mut grants = 0;
+    let mut refusals = 0;
+    for _ in 0..attempts {
+        match session.release(&SessionQuery::bound(), &mechanism) {
+            Ok(_) => grants += 1,
+            Err(OsdpError::BudgetExhausted { .. }) => refusals += 1,
+            Err(other) => panic!("unexpected release error: {other}"),
+        }
+    }
+    (grants, refusals)
+}
+
+/// Hammers one session from [`THREADS`] threads, all starting together.
+fn hammer(session: &Arc<OsdpSession>, eps: f64, per_thread: usize) -> (usize, usize) {
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = Arc::clone(session);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                drain(&session, eps, per_thread)
+            })
+        })
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap()).fold((0, 0), |(g, r), (tg, tr)| (g + tg, r + tr))
+}
+
+#[test]
+fn durable_sessions_resume_exactly_after_clean_shutdown() {
+    let root = temp_root("clean");
+    let dir = root.join("tenant");
+    let m = OsdpLaplaceL1::new(0.25).unwrap();
+
+    // Uninterrupted oracle: four releases on one long-lived session.
+    let oracle = builder(2.0, 7).build().unwrap();
+    let oracle_estimates: Vec<_> =
+        (0..4).map(|_| oracle.release(&SessionQuery::bound(), &m).unwrap().estimate).collect();
+
+    // Durable run: two releases, clean drop (flush-on-drop), restart.
+    let first = builder(2.0, 7)
+        .durable(SessionPersistence::open(&dir, SyncPolicy::Always).unwrap())
+        .build()
+        .unwrap();
+    let mut estimates: Vec<_> =
+        (0..2).map(|_| first.release(&SessionQuery::bound(), &m).unwrap().estimate).collect();
+    let spent_units = first.accountant().total_spent_units();
+    drop(first);
+
+    let persistence = SessionPersistence::open(&dir, SyncPolicy::Always).unwrap();
+    let recovered = persistence.recovered();
+    assert!(!recovered.is_fresh());
+    assert_eq!(recovered.spent_units, spent_units);
+    assert_eq!(recovered.grants, 2);
+    assert_eq!(recovered.truncated_bytes, 0);
+    assert!(!recovered.degraded);
+
+    let second = builder(2.0, 7).durable(persistence).build().unwrap();
+    assert_eq!(second.accountant().total_spent_units(), spent_units);
+    assert_eq!(second.total_spent(), 0.5);
+    assert_eq!(second.remaining_budget(), Some(1.5));
+    estimates.extend((0..2).map(|_| second.release(&SessionQuery::bound(), &m).unwrap().estimate));
+
+    // Recovery resumed the release-index sequence, so the post-restart
+    // samples are bitwise the uninterrupted session's third and fourth.
+    assert_eq!(estimates, oracle_estimates);
+    assert_eq!(second.audit_log().total_epsilon_units(), second.accountant().total_spent_units());
+    assert!(verify_ledger(&second.audit_ledger(), Some(2.0)).upholds_osdp());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn plain_and_durable_sessions_are_bitwise_identical() {
+    let root = temp_root("parity");
+    let plain = builder(2.0, 41).build().unwrap();
+    let durable = builder(2.0, 41)
+        .durable(SessionPersistence::open(root.join("tenant"), SyncPolicy::Always).unwrap())
+        .build()
+        .unwrap();
+
+    for eps in [0.25, 0.125, 0.5] {
+        let m = OsdpLaplaceL1::new(eps).unwrap();
+        let a = plain.release(&SessionQuery::bound(), &m).unwrap();
+        let b = durable.release(&SessionQuery::bound(), &m).unwrap();
+        assert_eq!(a.estimate, b.estimate, "durable overlay must not perturb sampling");
+        assert_eq!(a.index, b.index);
+    }
+    assert_eq!(plain.total_spent(), durable.total_spent());
+    assert_eq!(plain.audit_log().records(), durable.audit_log().records());
+    assert_eq!(plain.audit_ledger(), durable.audit_ledger());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn refusals_and_snapshots_survive_restart() {
+    let root = temp_root("snapshot");
+    let dir = root.join("tenant");
+    let session = builder(0.5, 3)
+        .durable(SessionPersistence::open(&dir, SyncPolicy::Always).unwrap())
+        .build()
+        .unwrap();
+    let (grants, refusals) = drain(&session, 0.25, 4);
+    assert_eq!((grants, refusals), (2, 2));
+    let spent_units = session.accountant().total_spent_units();
+
+    // Collapse the history into a snapshot generation, then drop.
+    session.persistence().unwrap().snapshot().unwrap();
+    drop(session);
+
+    let persistence = SessionPersistence::open(&dir, SyncPolicy::Always).unwrap();
+    let recovered = persistence.recovered();
+    assert_eq!(recovered.spent_units, spent_units);
+    assert_eq!(recovered.grants, 2);
+    assert_eq!(recovered.refusals, 2);
+    // The tail was collapsed into the snapshot: recovery is O(rows), and the
+    // base surfaces as aggregate "[recovered]" ledger entries.
+    assert!(recovered.tail.is_empty());
+    assert!(recovered.base_entries.iter().all(|e| e.label.contains("[recovered")));
+
+    let session = builder(0.5, 3).durable(persistence).build().unwrap();
+    assert_eq!(session.accountant().total_spent_units(), spent_units);
+    assert_eq!(session.remaining_budget(), Some(0.0));
+    // Still exhausted after recovery: the cap holds across restarts.
+    assert!(matches!(
+        session.release(&SessionQuery::bound(), &OsdpLaplaceL1::new(0.25).unwrap()),
+        Err(OsdpError::BudgetExhausted { .. })
+    ));
+    assert!(verify_ledger(&session.audit_ledger(), Some(0.5)).upholds_osdp());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn a_second_writer_is_refused_until_force_unlock() {
+    let root = temp_root("lock");
+    let dir = root.join("tenant");
+    let first = SessionPersistence::open(&dir, SyncPolicy::OnDrop).unwrap();
+    assert!(SessionPersistence::open(&dir, SyncPolicy::OnDrop).is_err());
+    drop(first); // clean drop releases the lock
+    let again = SessionPersistence::open(&dir, SyncPolicy::OnDrop).unwrap();
+    // A crashed writer leaks the lock by design; force_unlock clears it.
+    again.wal().crash(0.0).unwrap();
+    drop(again);
+    assert!(SessionPersistence::open(&dir, SyncPolicy::OnDrop).is_err());
+    assert!(force_unlock(&dir).unwrap());
+    SessionPersistence::open(&dir, SyncPolicy::OnDrop).unwrap();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The restart-mid-hammer ground truth: 8 threads hammer a durable pool,
+/// every writer is crashed without flushing (varying torn-tail fractions),
+/// the pool is reopened, and the recovered ledgers must balance — with the
+/// recovered spend exactly equal to an independent read of the durable log,
+/// and a re-hammer stopping at exactly the cap.
+#[test]
+fn crashed_pool_recovers_balanced_and_rehammers_to_the_exact_cap() {
+    let root = temp_root("crash-hammer");
+    let tenants = ["acme", "globex", "initech"];
+    let crash_fractions = [0.0, 0.3, 0.7];
+    let cap = 1.0;
+    let eps = 0.125; // exactly representable: 8 grants hit the cap bit-for-bit
+
+    let pool: SessionPool<Record> = SessionPool::open(&root, SyncPolicy::EveryN(3)).unwrap();
+    for (tenant, seed) in tenants.iter().zip(1u64..) {
+        let session = pool.open_tenant(tenant, || builder(cap, seed)).unwrap();
+        let (grants, refusals) = hammer(&session, eps, 4);
+        assert_eq!(grants, 8, "{tenant}: 8 × 0.125 fills the 1.0 cap");
+        assert_eq!(refusals, THREADS * 4 - 8);
+    }
+    // Crash every writer mid-flight: pending frames die (a fraction survives
+    // as a torn tail), nothing further is flushed, locks leak.
+    for (tenant, fraction) in tenants.iter().zip(crash_fractions) {
+        pool.get(tenant).unwrap().persistence().unwrap().crash(fraction).unwrap();
+    }
+    drop(pool);
+
+    for tenant in tenants {
+        assert!(force_unlock(root.join(format!("tenant-{tenant}"))).unwrap());
+    }
+    let recovered: SessionPool<Record> =
+        SessionPool::recover(&root, SyncPolicy::EveryN(3), |_| builder(cap, 99)).unwrap();
+    assert_eq!(
+        recovered.tenants(),
+        tenants.iter().map(|t| Arc::from(*t)).collect::<Vec<Arc<str>>>()
+    );
+    assert_eq!(
+        recovered.persisted_tenants().unwrap(),
+        tenants.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+    );
+
+    let cap_units = epsilon_to_units(cap);
+    for tenant in tenants {
+        let session = recovered.get(tenant).unwrap();
+        // Bit-for-bit: the live accountant equals an independent read of the
+        // durable log, and the audit log agrees with both.
+        let peek = TenantLedger::peek(root.join(format!("tenant-{tenant}"))).unwrap();
+        assert_eq!(
+            session.accountant().total_spent_units(),
+            peek.spent_units(),
+            "{tenant}: recovered accountant must equal the durable log"
+        );
+        assert_eq!(
+            session.audit_log().total_epsilon_units(),
+            session.accountant().total_spent_units(),
+            "{tenant}: audit and accountant must agree after recovery"
+        );
+        // Crash loss is prefix-closed and one-sided: never more than was
+        // admitted, always a multiple of the per-grant debit.
+        let spent = session.accountant().total_spent_units();
+        assert!(spent <= cap_units, "{tenant}: recovery must never overspend");
+        assert_eq!(spent % epsilon_to_units(eps), 0);
+
+        // Rehammer: the recovered session must stop at exactly the cap.
+        hammer(&session, eps, 4);
+        assert_eq!(
+            session.accountant().total_spent_units(),
+            cap_units,
+            "{tenant}: grants must sum to the cap exactly after re-hammering"
+        );
+        assert_eq!(session.remaining_budget(), Some(0.0));
+    }
+    let verdict = recovered.verify_all_ledgers();
+    assert!(verdict.all_upheld(), "violations: {:?}", verdict.violating_tenants());
+    assert_eq!(verdict.parallel_epsilon, cap);
+
+    // The post-rehammer state is durable too: sync, reopen, same counters.
+    recovered.sync_all().unwrap();
+    drop(recovered);
+    let reopened: SessionPool<Record> =
+        SessionPool::recover(&root, SyncPolicy::EveryN(3), |_| builder(cap, 99)).unwrap();
+    for tenant in tenants {
+        assert_eq!(reopened.get(tenant).unwrap().accountant().total_spent_units(), cap_units);
+    }
+    assert!(reopened.verify_all_ledgers().all_upheld());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn recovery_is_idempotent_without_new_writes() {
+    let root = temp_root("idempotent");
+    let dir = root.join("tenant");
+    let session = builder(2.0, 11)
+        .durable(SessionPersistence::open(&dir, SyncPolicy::Always).unwrap())
+        .build()
+        .unwrap();
+    drain(&session, 0.25, 3);
+    let spent_units = session.accountant().total_spent_units();
+    drop(session);
+
+    for _ in 0..3 {
+        let persistence = SessionPersistence::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(persistence.recovered().spent_units, spent_units);
+        let session = builder(2.0, 11).durable(persistence).build().unwrap();
+        assert_eq!(session.accountant().total_spent_units(), spent_units);
+        assert_eq!(
+            session.audit_log().total_epsilon_units(),
+            spent_units,
+            "recovering with zero new writes must be a fixed point"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any grant sequence, crashed at any point, recovers to a state where
+    /// the audit total equals the accountant total (both in exact ε units),
+    /// never exceeds the cap, and recovering again without writes changes
+    /// nothing.
+    #[test]
+    fn recovery_is_prefix_closed_and_never_overspends(
+        epsilons in prop::collection::vec(0.001f64..3.0, 1..24),
+        keep in 0.0f64..1.0,
+    ) {
+        let root = temp_root("prop");
+        let dir = root.join("tenant");
+        let cap = 4.0;
+
+        let session = builder(cap, 5)
+            .durable(SessionPersistence::open(&dir, SyncPolicy::EveryN(2)).unwrap())
+            .build()
+            .unwrap();
+        for &eps in &epsilons {
+            let mechanism = OsdpLaplaceL1::new(eps).unwrap();
+            match session.release(&SessionQuery::bound(), &mechanism) {
+                Ok(_) | Err(OsdpError::BudgetExhausted { .. }) => {}
+                Err(other) => panic!("unexpected release error: {other}"),
+            }
+        }
+        let live_units = session.accountant().total_spent_units();
+        session.persistence().unwrap().crash(keep).unwrap();
+        drop(session);
+
+        prop_assert!(force_unlock(&dir).unwrap());
+        let persistence = SessionPersistence::open(&dir, SyncPolicy::EveryN(2)).unwrap();
+        let recovered_units = persistence.recovered().spent_units;
+        // Loss is one-sided: recovery never invents spend.
+        prop_assert!(recovered_units <= live_units);
+        prop_assert!(recovered_units <= epsilon_to_units(cap));
+        let session = builder(cap, 5).durable(persistence).build().unwrap();
+        prop_assert_eq!(session.accountant().total_spent_units(), recovered_units);
+        prop_assert_eq!(session.audit_log().total_epsilon_units(), recovered_units);
+        prop_assert!(verify_ledger(&session.audit_ledger(), Some(cap)).upholds_osdp());
+        drop(session);
+
+        // Idempotent: a second recovery with no writes is a fixed point.
+        let again = SessionPersistence::open(&dir, SyncPolicy::EveryN(2)).unwrap();
+        prop_assert_eq!(again.recovered().spent_units, recovered_units);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}
