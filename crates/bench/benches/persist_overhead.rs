@@ -1,23 +1,42 @@
-//! Perf trajectory entry 6: the durable budget plane.
+//! Perf trajectory entries 6 + 7: the durable budget plane.
 //!
-//! Measures what the write-ahead ledger costs on the grant path — the same
-//! single-release workload driven through (a) a plain in-memory session and
-//! (b) durable sessions under each [`SyncPolicy`]. The WAL hook runs after
-//! the budget CAS and before sampling, so its cost is pure overhead on an
-//! otherwise unchanged path:
+//! **Entry 6 — grant-path overhead.** Measures what the write-ahead ledger
+//! costs on the grant path — the same single-release workload driven
+//! through (a) a plain in-memory session and (b) durable sessions under
+//! each [`SyncPolicy`]. The WAL hook runs after the budget CAS and before
+//! sampling, so its cost is pure overhead on an otherwise unchanged path:
 //!
 //! * `OnDrop` buffers frames in memory and should sit within a few percent
 //!   of the baseline (one encode + one `Vec` append per grant);
 //! * `EveryN(64)` adds one flush + fsync every 64 grants — the amortized
 //!   serving configuration;
 //! * `Always` pays a full fsync per grant — the "durable before the sample
-//!   exists" ceiling, dominated by the disk, not the engine.
+//!   exists" ceiling, dominated by the disk, not the engine;
+//! * `GroupCommit` keeps the `Always` guarantee but routes frames through
+//!   the per-tenant committer; single-threaded it degrades to one fsync
+//!   per grant plus a thread handoff (its win needs concurrency — below).
+//!
+//! **Entry 7 — durable throughput under concurrency.** Group commit's
+//! claim is per-grant (`Always`-grade) durability at concurrent-serving
+//! throughput, so it is measured as *aggregate durable releases/second*
+//! with 8 grantor threads on one tenant shard. Two workloads bound the two
+//! sides of the trade:
+//!
+//! * a **light** 32-bin workload (sampling cost ≪ fsync cost) isolates
+//!   the fsync amortization — `GroupCommit@8` must clear **4×** the
+//!   aggregate rate of `Always@8`, whose grantors serialize on the disk;
+//! * a **heavy** Medcost/4096 workload with 4-trial grants (sampling cost
+//!   ≳ fsync cost) bounds the single-threaded regression — one grantor
+//!   under `GroupCommit` must stay within **2×** of `EveryN(64)`, the
+//!   amortized policy that loses up to 63 grants on crash.
 //!
 //! Run with `--smoke` (the CI mode) for a seconds-long pass that still
-//! exercises every policy against a real on-disk shard.
+//! exercises every policy and both throughput workloads against a real
+//! on-disk shard.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use osdp_bench::criterion_for_figures;
+use osdp_core::Histogram;
 use osdp_data::sampling::{sample_policy, PolicyKind};
 use osdp_data::BenchmarkDataset;
 use osdp_engine::{
@@ -28,6 +47,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::hint::black_box;
 use std::path::PathBuf;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 fn smoke() -> bool {
@@ -44,6 +64,10 @@ fn ops() -> usize {
     }
 }
 
+/// Grantor threads for the aggregate-throughput mode — the concurrent
+/// serving plane's configuration.
+const GRANTORS: usize = 8;
+
 /// A fresh scratch shard directory under the OS temp dir.
 fn shard_dir(name: &str) -> PathBuf {
     let dir =
@@ -52,8 +76,8 @@ fn shard_dir(name: &str) -> PathBuf {
     dir
 }
 
-/// The uncapped Medcost session builder every variant shares (no budget
-/// cap, so the measured loop never refuses).
+/// The uncapped Medcost session builder every overhead variant shares (no
+/// budget cap, so the measured loop never refuses).
 fn medcost_builder(seed: u64) -> SessionBuilder {
     let mut rng = ChaCha12Rng::seed_from_u64(seed);
     let full = BenchmarkDataset::Medcost.generate(&mut rng);
@@ -61,17 +85,29 @@ fn medcost_builder(seed: u64) -> SessionBuilder {
     histogram_session(full, policy.non_sensitive).policy_label("Close-0.75").seed(seed)
 }
 
+/// The light-workload builder: a 32-bin histogram whose sampling cost is
+/// negligible next to an fsync, so throughput is purely a function of how
+/// the sync policy amortizes the disk.
+fn light_builder(seed: u64) -> SessionBuilder {
+    let full = Histogram::from_counts((0..32).map(|i| (i % 17) as f64 + 2.0).collect());
+    let ns = Histogram::from_counts((0..32).map(|i| ((i % 17) as f64 + 2.0) / 2.0).collect());
+    histogram_session(full, ns).policy_label("light-32").seed(seed)
+}
+
 /// The benchmark variants: label plus the sync policy (`None` = in-memory).
-const VARIANTS: [(&str, Option<SyncPolicy>); 4] = [
+const VARIANTS: [(&str, Option<SyncPolicy>); 5] = [
     ("in-memory", None),
     ("wal-on-drop", Some(SyncPolicy::OnDrop)),
     ("wal-every-64", Some(SyncPolicy::EveryN(64))),
     ("wal-always", Some(SyncPolicy::Always)),
+    (
+        "wal-group-commit",
+        Some(SyncPolicy::GroupCommit { max_batch: 64, max_wait: std::time::Duration::ZERO }),
+    ),
 ];
 
-/// Builds the variant's session (durable ones on a fresh shard).
-fn session_for(label: &str, sync: Option<SyncPolicy>) -> OsdpSession {
-    let builder = medcost_builder(77);
+/// Builds a session over `builder` (durable ones on a fresh shard).
+fn session_with(builder: SessionBuilder, label: &str, sync: Option<SyncPolicy>) -> OsdpSession {
     match sync {
         None => builder.build().expect("plain session"),
         Some(sync) => {
@@ -79,6 +115,25 @@ fn session_for(label: &str, sync: Option<SyncPolicy>) -> OsdpSession {
             let persistence = SessionPersistence::open(dir, sync).expect("fresh shard");
             builder.durable(persistence).build().expect("durable session")
         }
+    }
+}
+
+/// Builds the overhead variant's Medcost session.
+fn session_for(label: &str, sync: Option<SyncPolicy>) -> OsdpSession {
+    session_with(medcost_builder(77), label, sync)
+}
+
+/// Reclaims sole ownership of a shared session once its grantors joined.
+fn reclaim(session: Arc<OsdpSession>) -> OsdpSession {
+    Arc::try_unwrap(session).unwrap_or_else(|_| panic!("grantors joined"))
+}
+
+/// Removes a durable session's shard so repeated runs start fresh.
+fn cleanup(session: OsdpSession) {
+    if let Some(wal) = session.persistence() {
+        let dir = wal.dir().to_path_buf();
+        drop(session);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }
 
@@ -90,6 +145,104 @@ fn measure(session: &OsdpSession, n: usize) -> f64 {
         black_box(session.release(&SessionQuery::bound(), &mechanism).expect("uncapped"));
     }
     start.elapsed().as_secs_f64() * 1e9 / n as f64
+}
+
+/// Aggregate durable grants/second: `threads` grantors on one shared
+/// session, `per_thread` grants each (`trials` noisy trials per grant —
+/// `1` is a plain release, `>1` exercises the batched-trials grant path).
+fn aggregate_rate(
+    session: &Arc<OsdpSession>,
+    threads: usize,
+    per_thread: usize,
+    trials: usize,
+) -> f64 {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let session = Arc::clone(session);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+                barrier.wait();
+                for _ in 0..per_thread {
+                    if trials > 1 {
+                        black_box(
+                            session
+                                .release_trials(&SessionQuery::bound(), &mechanism, trials)
+                                .expect("uncapped"),
+                        );
+                    } else {
+                        black_box(
+                            session.release(&SessionQuery::bound(), &mechanism).expect("uncapped"),
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for handle in handles {
+        handle.join().expect("grantor thread");
+    }
+    (threads * per_thread) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Entry 7: durable aggregate throughput, concurrent and single-threaded.
+fn durable_throughput() {
+    // Concurrent config: a short straggler window with `max_batch` at the
+    // grantor count, so the committer waits only until the cohort's frames
+    // are all in (the batch fills and the wait ends early), then pays one
+    // fsync for all of them. The single-grantor config keeps the zero-wait
+    // default — a straggler window is pure dead time with no second thread
+    // to fill it.
+    let group_concurrent = SyncPolicy::GroupCommit {
+        max_batch: GRANTORS as u32,
+        max_wait: std::time::Duration::from_micros(150),
+    };
+    let group_commit = SyncPolicy::group_commit();
+    // Light workload, 8 grantors: the fsync-amortization headline.
+    let per_thread = if smoke() { 48 } else { 512 };
+    eprintln!(
+        "[perf-trajectory #7] durable throughput, light 32-bin workload, {GRANTORS} grantors \
+         ({per_thread} grants/thread):"
+    );
+    let session = Arc::new(session_with(light_builder(7), "tp-always", Some(SyncPolicy::Always)));
+    let always_rate = aggregate_rate(&session, GRANTORS, per_thread, 1);
+    eprintln!("     wal-always @{GRANTORS}: {always_rate:>9.0} durable rel/s");
+    cleanup(reclaim(session));
+
+    let session = Arc::new(session_with(light_builder(7), "tp-group", Some(group_concurrent)));
+    let group_rate = aggregate_rate(&session, GRANTORS, per_thread, 1);
+    let stats = session.persistence().expect("durable").group_commit_stats();
+    eprintln!(
+        "    wal-group-comm @{GRANTORS}: {group_rate:>9.0} durable rel/s ({:.1}x always; \
+         {} batches, {:.1} frames/fsync, largest {})",
+        group_rate / always_rate,
+        stats.batches,
+        stats.durable_frames as f64 / stats.batches.max(1) as f64,
+        stats.largest_batch,
+    );
+    cleanup(reclaim(session));
+
+    // Heavy workload, one grantor: the single-threaded regression bound.
+    let grants = if smoke() { 64 } else { 384 };
+    eprintln!(
+        "  single grantor, heavy workload (Medcost/4096 bins, 4-trial grants, {grants} grants):"
+    );
+    let session =
+        Arc::new(session_with(medcost_builder(7), "tp-every64", Some(SyncPolicy::EveryN(64))));
+    let every_rate = aggregate_rate(&session, 1, grants, 4);
+    eprintln!("     wal-every-64 @1: {every_rate:>9.0} durable grants/s");
+    cleanup(reclaim(session));
+
+    let session = Arc::new(session_with(medcost_builder(7), "tp-group-1", Some(group_commit)));
+    let group_solo = aggregate_rate(&session, 1, grants, 4);
+    eprintln!(
+        "    wal-group-comm @1: {group_solo:>9.0} durable grants/s (every-64 is {:.2}x faster)",
+        every_rate / group_solo,
+    );
+    cleanup(reclaim(session));
 }
 
 fn bench_persist_overhead(c: &mut Criterion) {
@@ -105,17 +258,13 @@ fn bench_persist_overhead(c: &mut Criterion) {
             baseline = ns;
         }
         let overhead = (ns - baseline).max(0.0);
-        eprintln!("  {label:>12}: {ns:>9.0} ns/release (+{overhead:.0} ns vs in-memory)");
-        // Clean up the shard so repeated runs start fresh.
-        if let Some(wal) = session.persistence() {
-            let dir = wal.dir().to_path_buf();
-            drop(session);
-            let _ = std::fs::remove_dir_all(dir);
-        }
+        eprintln!("  {label:>16}: {ns:>9.0} ns/release (+{overhead:.0} ns vs in-memory)");
+        cleanup(session);
     }
+    durable_throughput();
 
     if smoke() {
-        return; // the sweep above already exercised every policy
+        return; // the sweeps above already exercised every policy and mode
     }
     let mut group = c.benchmark_group("persist_overhead_medcost_4096");
     for (label, sync) in VARIANTS {

@@ -234,6 +234,17 @@
 //!   allows — the safe direction for a privacy ledger (budget is never
 //!   resurrected, spend is never forgotten upward). `OnDrop` is the
 //!   in-memory-comparable fast path for tests and bulk loads.
+//!   `GroupCommit` ([`SyncPolicy::group_commit`]) keeps the `Always`
+//!   guarantee — every grant call returns only after **its own** frame is
+//!   fsync'd, still before any noise is sampled — but routes frames
+//!   through a per-tenant committer thread that commits whole batches
+//!   with one vectored write + one fsync, so `k` concurrent grantors pay
+//!   ~one fsync per batch instead of one each. This is the policy that
+//!   reconciles the concurrent serving plane with `Always`-grade
+//!   durability: all five grant paths (`release`, `release_task`, trials,
+//!   pool routing, record logging) ride it with no API change, and a
+//!   crash mid-batch loses only grants whose call never returned — the
+//!   recovery format and the torn-tail truncation rule are unchanged.
 //! * **Single-writer-per-tenant.** Each tenant shard directory holds a
 //!   `LOCK` file created with `O_EXCL`; a second concurrent opener is
 //!   refused. A crash leaves the `LOCK` behind by design — reopening after
@@ -272,9 +283,9 @@ pub mod stream;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
-pub use osdp_persist::SyncPolicy;
+pub use osdp_persist::{GroupCommitStats, LedgerOptions, SyncPolicy};
 pub use persist::{GrantEvent, RecoveredSession, SessionPersistence, SessionWal};
-pub use pool::{PoolVerdict, SessionPool, TenantVerdict};
+pub use pool::{PoolMaintenanceError, PoolVerdict, SessionPool, TenantVerdict};
 pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
 pub use session::{
     histogram_session, pair_query, pair_session, OsdpSession, PoolRelease, Release, SessionBuilder,

@@ -14,8 +14,8 @@ use osdp_core::budget::{epsilon_to_units, units_to_epsilon, LedgerEntry};
 use osdp_core::error::Result;
 use osdp_core::{Guarantee, PrivacyGuarantee};
 use osdp_persist::{
-    GrantRecord, GuaranteeTag, RecoveredLedger, RefusalRecord, SnapshotCounters, SyncPolicy,
-    TenantLedger,
+    GrantRecord, GroupCommitStats, GuaranteeTag, LedgerOptions, RecoveredLedger, RefusalRecord,
+    SnapshotCounters, SyncPolicy, TenantLedger,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -140,6 +140,14 @@ impl SessionWal {
     pub fn counters(&self) -> SnapshotCounters {
         self.ledger.counters()
     }
+
+    /// Group-commit observability counters (all zero for the buffered sync
+    /// policies): submitted frames, the durable watermark, batches, and the
+    /// largest batch — `durable_frames / batches` is the realized fsync
+    /// amortization factor.
+    pub fn group_commit_stats(&self) -> GroupCommitStats {
+        self.ledger.group_commit_stats()
+    }
 }
 
 /// What recovery reconstructed for one session, in the engine's own types:
@@ -243,7 +251,18 @@ impl SessionPersistence {
     /// another live writer holds the shard — or a crashed one left its
     /// `LOCK` behind (see [`osdp_persist::force_unlock`]).
     pub fn open(dir: impl Into<PathBuf>, sync: SyncPolicy) -> Result<Self> {
-        let (ledger, recovered) = TenantLedger::open(dir, sync)?;
+        Self::open_with(dir, sync, LedgerOptions::default())
+    }
+
+    /// [`SessionPersistence::open`] with explicit [`LedgerOptions`] —
+    /// e.g. `auto_snapshot_every` to bound recovery replay for long-lived
+    /// tenants.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        sync: SyncPolicy,
+        options: LedgerOptions,
+    ) -> Result<Self> {
+        let (ledger, recovered) = TenantLedger::open_with(dir, sync, options)?;
         Ok(Self {
             wal: SessionWal { ledger: Arc::new(ledger) },
             recovered: RecoveredSession::from_ledger(recovered),

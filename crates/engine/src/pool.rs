@@ -270,26 +270,42 @@ impl<R> SessionPool<R> {
     /// ([`crate::SessionWal::snapshot`]): the collapsed history keeps
     /// recovery O(aggregate rows + tail) instead of O(all releases).
     /// No-op for tenants without a WAL (and for in-memory pools).
-    pub fn snapshot_all(&self) -> Result<()> {
-        for outcome in self.for_each_session(|_, session| match session.persistence() {
-            Some(wal) => wal.snapshot(),
-            None => Ok(()),
-        }) {
-            outcome?;
-        }
-        Ok(())
+    ///
+    /// **Every** tenant is attempted — one crashed or disk-failed shard
+    /// does not shadow the rest of the sweep. Failures come back as a
+    /// [`PoolMaintenanceError`] naming each failing tenant.
+    pub fn snapshot_all(&self) -> std::result::Result<(), PoolMaintenanceError> {
+        self.maintain("snapshot_all", |wal| wal.snapshot())
     }
 
     /// Flushes and fsyncs every durable tenant's WAL, regardless of sync
-    /// policy — the clean-shutdown barrier.
-    pub fn sync_all(&self) -> Result<()> {
-        for outcome in self.for_each_session(|_, session| match session.persistence() {
-            Some(wal) => wal.sync(),
-            None => Ok(()),
-        }) {
-            outcome?;
+    /// policy — the clean-shutdown barrier. Like
+    /// [`SessionPool::snapshot_all`], every tenant is attempted and the
+    /// failures (if any) come back together as a [`PoolMaintenanceError`].
+    pub fn sync_all(&self) -> std::result::Result<(), PoolMaintenanceError> {
+        self.maintain("sync_all", |wal| wal.sync())
+    }
+
+    /// Runs a WAL maintenance `op` on every durable tenant, collecting
+    /// per-tenant failures instead of stopping at the first.
+    fn maintain(
+        &self,
+        operation: &'static str,
+        op: impl Fn(&crate::SessionWal) -> Result<()>,
+    ) -> std::result::Result<(), PoolMaintenanceError> {
+        let mut failures: Vec<(Arc<str>, OsdpError)> = self
+            .for_each_session(|tenant, session| match session.persistence() {
+                Some(wal) => op(wal).err().map(|e| (tenant, e)),
+                None => None,
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+        if failures.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        failures.sort_by(|a, b| a.0.cmp(&b.0));
+        Err(PoolMaintenanceError { operation, failures })
     }
 
     /// The tenant's session, if registered.
@@ -438,6 +454,48 @@ impl<R> SessionPool<R> {
             }
         }
         out
+    }
+}
+
+/// The outcome of a pool-wide WAL maintenance sweep
+/// ([`SessionPool::sync_all`] / [`SessionPool::snapshot_all`]) in which one
+/// or more tenants failed. The sweep still visited **every** tenant — the
+/// tenants absent from [`PoolMaintenanceError::failures`] completed the
+/// operation — so the operator can retire exactly the failing shards
+/// instead of re-running (and re-fsyncing) the whole pool.
+#[derive(Debug)]
+pub struct PoolMaintenanceError {
+    /// Which sweep failed (`"sync_all"` or `"snapshot_all"`).
+    pub operation: &'static str,
+    /// The failing tenants with their errors, sorted by tenant key.
+    pub failures: Vec<(Arc<str>, OsdpError)>,
+}
+
+impl PoolMaintenanceError {
+    /// The failing tenant keys, sorted.
+    pub fn tenants(&self) -> Vec<Arc<str>> {
+        self.failures.iter().map(|(t, _)| Arc::clone(t)).collect()
+    }
+}
+
+impl std::fmt::Display for PoolMaintenanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed for {} tenant(s): ", self.operation, self.failures.len())?;
+        for (i, (tenant, err)) in self.failures.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "'{tenant}': {err}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for PoolMaintenanceError {}
+
+impl From<PoolMaintenanceError> for OsdpError {
+    fn from(err: PoolMaintenanceError) -> Self {
+        OsdpError::Persistence(err.to_string())
     }
 }
 

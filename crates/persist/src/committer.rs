@@ -1,0 +1,398 @@
+//! The group-commit committer: one dedicated thread per
+//! [`crate::TenantLedger`] running [`SyncPolicy::GroupCommit`], draining a
+//! submission channel into batched WAL writes.
+//!
+//! ## Protocol
+//!
+//! Appenders encode their frame (no lock held), push a `Submission` onto
+//! the channel, and block on a per-thread `Waiter`. The committer drains
+//! up to `max_batch` frames per round — waiting at most `max_wait` after
+//! the first for stragglers — then, under the ledger's inner lock, issues
+//! **one vectored write + one fsync** for the whole batch, applies the
+//! batch to the snapshot mirror, advances the durable-frame watermark
+//! ([`GroupCommitStats::durable_frames`]), and wakes every blocked
+//! appender. An append therefore returns only once its own frame is
+//! durable — `Always`-grade semantics — while the fsync cost is shared by
+//! every frame that queued behind the previous fsync (*natural batching*).
+//!
+//! ## Failure and crash semantics
+//!
+//! A write/fsync error poisons the ledger: the batch's appenders get the
+//! error, the channel is drained with every queued appender failed, and
+//! all later appends are refused (the engine's grant path then refuses the
+//! release — ε stays conservatively spent, nothing unlogged escapes).
+//! [`crate::TenantLedger::crash`] severs **mid-batch**: queued frames are
+//! stashed into the writer's pending buffer (so `crash(keep_fraction)` can
+//! write a torn prefix of them, exactly like a real crash mid-`write(2)`),
+//! their appenders fail, and the committer exits.
+//!
+//! [`SyncPolicy::GroupCommit`]: crate::SyncPolicy::GroupCommit
+
+use crate::ledger::{auto_rotate_due, rotate_locked, Inner, Shared, CRASHED_MSG};
+use crate::record::WalRecord;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Observability counters of a group-commit committer (all zero for other
+/// sync policies and for ledgers that have not yet appended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GroupCommitStats {
+    /// Frames handed to the committer.
+    pub submitted_frames: u64,
+    /// The durable watermark: frames written **and fsync'd**. Equals
+    /// `submitted_frames` whenever no append is in flight, because every
+    /// append blocks until its frame is at or below this watermark.
+    pub durable_frames: u64,
+    /// Batches committed (each one vectored write + one fsync); the
+    /// amortization factor is `durable_frames / batches`.
+    pub batches: u64,
+    /// Largest batch committed so far.
+    pub largest_batch: u64,
+}
+
+/// The atomic counters behind [`GroupCommitStats`].
+#[derive(Debug, Default)]
+pub(crate) struct GroupCounters {
+    submitted: AtomicU64,
+    durable: AtomicU64,
+    batches: AtomicU64,
+    largest: AtomicU64,
+}
+
+impl GroupCounters {
+    /// Counts one submitted frame.
+    pub(crate) fn count_submission(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Advances the durable watermark by one committed batch of `frames`.
+    fn record_batch(&self, frames: u64) {
+        self.durable.fetch_add(frames, Ordering::Release);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.largest.fetch_max(frames, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting.
+    pub(crate) fn snapshot(&self) -> GroupCommitStats {
+        GroupCommitStats {
+            submitted_frames: self.submitted.load(Ordering::Relaxed),
+            durable_frames: self.durable.load(Ordering::Acquire),
+            batches: self.batches.load(Ordering::Relaxed),
+            largest_batch: self.largest.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// How long a blocked appender sleeps between re-checks of the poison flag
+/// (the normal wake-up is the committer's notify; this only bounds the
+/// stall when a crash races a submission into a dying channel).
+const POISON_RECHECK: Duration = Duration::from_millis(25);
+
+/// The settled state of one submitted frame.
+#[derive(Debug)]
+enum WaitState {
+    /// Not yet committed.
+    Pending,
+    /// Written and fsync'd.
+    Durable,
+    /// The committer failed or the ledger crashed before the frame landed.
+    Failed(String),
+}
+
+/// One appender's handle on its in-flight frame. Reused per thread (an
+/// append is synchronous, so a thread has at most one frame in flight).
+#[derive(Debug)]
+pub(crate) struct Waiter {
+    state: Mutex<WaitState>,
+    cv: Condvar,
+}
+
+impl Waiter {
+    fn new() -> Self {
+        Self { state: Mutex::new(WaitState::Pending), cv: Condvar::new() }
+    }
+
+    /// Re-arms the waiter for a fresh submission.
+    fn reset(&self) {
+        *self.state.lock().expect("waiter lock") = WaitState::Pending;
+    }
+
+    /// Marks the frame durable and wakes the appender.
+    fn complete(&self) {
+        *self.state.lock().expect("waiter lock") = WaitState::Durable;
+        self.cv.notify_all();
+    }
+
+    /// Fails the frame and wakes the appender.
+    fn fail(&self, msg: &str) {
+        *self.state.lock().expect("waiter lock") = WaitState::Failed(msg.to_string());
+        self.cv.notify_all();
+    }
+
+    /// Blocks until the frame settles. `poisoned` is the ledger-wide crash
+    /// flag: if it rises while the frame is still pending (a submission
+    /// racing a crash can slip past the committer's final drain), the wait
+    /// gives up with the crash error — the conservative direction, since an
+    /// unacknowledged frame during a crash is exactly a real crash's
+    /// ambiguity.
+    fn wait(&self, poisoned: &AtomicBool) -> Result<(), String> {
+        let mut state = self.state.lock().expect("waiter lock");
+        loop {
+            match &*state {
+                WaitState::Durable => return Ok(()),
+                WaitState::Failed(msg) => return Err(msg.clone()),
+                WaitState::Pending => {
+                    let (guard, timeout) =
+                        self.cv.wait_timeout(state, POISON_RECHECK).expect("waiter lock");
+                    state = guard;
+                    // A settled state always wins over the poison flag.
+                    if timeout.timed_out()
+                        && matches!(*state, WaitState::Pending)
+                        && poisoned.load(Ordering::Acquire)
+                    {
+                        return Err(CRASHED_MSG.to_string());
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::thread_local! {
+    /// The per-thread reusable waiter (appends are synchronous: at most one
+    /// in-flight frame per thread, across all ledgers).
+    static THREAD_WAITER: Arc<Waiter> = Arc::new(Waiter::new());
+}
+
+/// Re-arms and hands out the calling thread's waiter.
+pub(crate) fn armed_thread_waiter() -> Arc<Waiter> {
+    THREAD_WAITER.with(|w| {
+        w.reset();
+        Arc::clone(w)
+    })
+}
+
+/// Blocks on the calling thread's waiter (see [`Waiter::wait`]).
+pub(crate) fn wait_thread_waiter(poisoned: &AtomicBool) -> Result<(), String> {
+    THREAD_WAITER.with(|w| w.wait(poisoned))
+}
+
+/// One message on the submission channel.
+#[derive(Debug)]
+pub(crate) enum Submission {
+    /// An encoded frame plus the record it encodes (the committer applies
+    /// the record to the snapshot mirror at commit time) and the appender's
+    /// waiter.
+    Frame {
+        /// The complete frame bytes (header + payload).
+        bytes: Vec<u8>,
+        /// The record, for the mirror.
+        record: WalRecord,
+        /// The blocked appender.
+        waiter: Arc<Waiter>,
+    },
+    /// A bare wake-up (crash uses it to unblock a committer in `recv`).
+    Nudge,
+}
+
+/// The ledger's handle on its lazily-spawned committer.
+#[derive(Debug)]
+pub(crate) struct CommitterHandle {
+    /// The submission side of the channel. Dropping it (ledger drop) is the
+    /// clean-shutdown signal.
+    pub(crate) tx: Sender<Submission>,
+    /// The thread handle, joined on crash or drop.
+    pub(crate) join: Mutex<Option<JoinHandle<()>>>,
+}
+
+/// Spawns the committer thread for `shared`.
+pub(crate) fn spawn(
+    shared: Arc<Shared>,
+    rx: Receiver<Submission>,
+    max_batch: usize,
+    max_wait: Duration,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("osdp-wal-committer".into())
+        .spawn(move || run(&shared, &rx, max_batch.max(1), max_wait))
+        .expect("spawning the WAL committer thread")
+}
+
+/// Whether the committer keeps running after a batch.
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// The committer main loop: block for the first submission, accumulate a
+/// batch, commit it, repeat until the channel disconnects (ledger drop) or
+/// the ledger crashes / the disk fails.
+fn run(shared: &Shared, rx: &Receiver<Submission>, max_batch: usize, max_wait: Duration) {
+    let mut batch: Vec<Submission> = Vec::new();
+    loop {
+        batch.clear();
+        match rx.recv() {
+            Ok(first) => batch.push(first),
+            // Disconnected: the ledger is being dropped. Appends block, so
+            // nothing can be in flight — fall through to the final drain
+            // for defense in depth, then exit.
+            Err(_) => break,
+        }
+        let mut frames = batch.iter().filter(|s| matches!(s, Submission::Frame { .. })).count();
+        let deadline = (max_wait > Duration::ZERO).then(|| Instant::now() + max_wait);
+        let mut disconnected = false;
+        while frames < max_batch {
+            let next = match deadline {
+                Some(d) => match rx.recv_timeout(d.saturating_duration_since(Instant::now())) {
+                    Ok(s) => Some(s),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        disconnected = true;
+                        None
+                    }
+                },
+                None => match rx.try_recv() {
+                    Ok(s) => Some(s),
+                    Err(TryRecvError::Empty) => None,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected = true;
+                        None
+                    }
+                },
+            };
+            let Some(next) = next else { break };
+            if matches!(next, Submission::Frame { .. }) {
+                frames += 1;
+            }
+            batch.push(next);
+        }
+        if matches!(commit_batch(shared, rx, &mut batch), Flow::Stop) {
+            return;
+        }
+        if disconnected {
+            break;
+        }
+    }
+    // Final drain (clean shutdown): commit anything still queued.
+    batch.clear();
+    while let Ok(s) = rx.try_recv() {
+        batch.push(s);
+    }
+    let _ = commit_batch(shared, rx, &mut batch);
+}
+
+/// Commits one batch: one vectored write + one fsync under the inner lock,
+/// mirror application, watermark advance, waiter wake-ups — or, on crash /
+/// IO failure, the stash-and-fail path.
+fn commit_batch(shared: &Shared, rx: &Receiver<Submission>, batch: &mut Vec<Submission>) -> Flow {
+    let mut inner = shared.inner.lock().expect("ledger lock");
+    if inner.crashed {
+        stash_and_fail(rx, &mut inner, batch);
+        return Flow::Stop;
+    }
+    let frames: Vec<&[u8]> = batch
+        .iter()
+        .filter_map(|s| match s {
+            Submission::Frame { bytes, .. } => Some(bytes.as_slice()),
+            Submission::Nudge => None,
+        })
+        .collect();
+    if frames.is_empty() {
+        // Nudge-only round (no crash observed): nothing to do.
+        return Flow::Continue;
+    }
+    let committed = frames.len() as u64;
+    match inner.writer.commit_vectored(&frames) {
+        Ok(()) => {
+            drop(frames);
+            for submission in batch.iter() {
+                if let Submission::Frame { record, .. } = submission {
+                    match record {
+                        WalRecord::Grant(g) => inner.mirror.apply_grant(g),
+                        WalRecord::Refusal(_) => inner.mirror.apply_refusal(),
+                        WalRecord::SnapshotMarker { .. } => {}
+                    }
+                    inner.frames_since_rotation += 1;
+                }
+            }
+            shared.counters.record_batch(committed);
+            let rotation = if auto_rotate_due(shared, &inner) {
+                rotate_locked(shared, &mut inner)
+            } else {
+                Ok(())
+            };
+            drop(inner);
+            // The frames are durable regardless of how rotation fared.
+            for submission in batch.iter() {
+                if let Submission::Frame { waiter, .. } = submission {
+                    waiter.complete();
+                }
+            }
+            match rotation {
+                Ok(()) => Flow::Continue,
+                Err(e) => {
+                    // Durable frames acknowledged, but the shard can no
+                    // longer rotate — poison and stop accepting appends.
+                    poison(shared, &format!("group-commit auto-snapshot failed: {e}"));
+                    drain_and_fail(shared, rx);
+                    Flow::Stop
+                }
+            }
+        }
+        Err(e) => {
+            let msg = format!("group commit write failed: {e}");
+            poison(shared, &msg);
+            drop(inner);
+            for submission in batch.iter() {
+                if let Submission::Frame { waiter, .. } = submission {
+                    waiter.fail(&msg);
+                }
+            }
+            drain_and_fail(shared, rx);
+            Flow::Stop
+        }
+    }
+}
+
+/// Crash path: stash every unwritten frame (batch order) into the writer's
+/// pending buffer — [`crate::TenantLedger::crash`] then writes a
+/// `keep_fraction` prefix of it as the torn tail, severing **mid-batch** —
+/// and fail every blocked appender, batch and channel alike.
+fn stash_and_fail(rx: &Receiver<Submission>, inner: &mut Inner, batch: &mut Vec<Submission>) {
+    let mut stash = |submission: Submission| {
+        if let Submission::Frame { bytes, waiter, .. } = submission {
+            inner.writer.pending_mut().extend_from_slice(&bytes);
+            waiter.fail(CRASHED_MSG);
+        }
+    };
+    for submission in batch.drain(..) {
+        stash(submission);
+    }
+    while let Ok(submission) = rx.try_recv() {
+        stash(submission);
+    }
+}
+
+/// Fails everything still queued after a committer IO failure.
+fn drain_and_fail(shared: &Shared, rx: &Receiver<Submission>) {
+    let msg = shared
+        .group_error
+        .lock()
+        .expect("group error lock")
+        .clone()
+        .unwrap_or_else(|| CRASHED_MSG.to_string());
+    while let Ok(submission) = rx.try_recv() {
+        if let Submission::Frame { waiter, .. } = submission {
+            waiter.fail(&msg);
+        }
+    }
+}
+
+/// Records a fatal committer error and raises the poison flag.
+fn poison(shared: &Shared, msg: &str) {
+    *shared.group_error.lock().expect("group error lock") = Some(msg.to_string());
+    shared.poisoned.store(true, Ordering::Release);
+}

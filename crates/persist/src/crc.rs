@@ -1,13 +1,24 @@
 //! Table-driven CRC-32 (IEEE 802.3 polynomial), the per-record checksum of
 //! the write-ahead ledger. Implemented in-crate: the build is offline and
-//! the WAL must not grow a dependency for 20 lines of table lookup.
+//! the WAL must not grow a dependency for a page of table lookups.
+//!
+//! The hot path is **slicing-by-8**: eight 256-entry tables (computed at
+//! compile time) let the loop fold eight input bytes per iteration with
+//! eight independent lookups instead of eight serially-dependent ones —
+//! roughly a 4–6× throughput win on frame-sized payloads, which matters
+//! because every group-committed batch checksums each frame it carries.
+//! The checksum *value* is bit-identical to the classic bytewise form
+//! (table 0 **is** the classic table), so every WAL written before this
+//! optimization still replays; the golden-value tests below pin that.
 
 /// The reflected IEEE polynomial.
 const POLY: u32 = 0xEDB8_8320;
 
-/// The 256-entry lookup table, computed at compile time.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Slicing-by-8 lookup tables, computed at compile time. `TABLES[0]` is the
+/// classic bytewise table; `TABLES[k][b]` is the CRC contribution of byte
+/// `b` seen `k` positions before the end of an 8-byte block.
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -16,17 +27,40 @@ const TABLE: [u32; 256] = {
             crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
 
-/// The CRC-32 (IEEE) checksum of `bytes`.
+/// The CRC-32 (IEEE) checksum of `bytes` (slicing-by-8).
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = u32::MAX;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes(chunk[..4].try_into().expect("len checked")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..].try_into().expect("len checked"));
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -35,12 +69,55 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 mod tests {
     use super::*;
 
+    /// The original one-byte-at-a-time form, kept as the parity reference:
+    /// the slicing-by-8 hot path must agree with it on every input.
+    fn crc32_bytewise(bytes: &[u8]) -> u32 {
+        let mut crc = u32::MAX;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+        }
+        !crc
+    }
+
     #[test]
     fn matches_known_vectors() {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn golden_values_pin_wal_compatibility() {
+        // Exact checksums of representative WAL payload shapes, frozen at
+        // the bytewise implementation's output. If any of these move, WALs
+        // written by earlier builds stop replaying — do not "fix" the
+        // constants; fix the implementation.
+        assert_eq!(crc32(b"grant:0.125:tenant-acme"), 0x8E54_F8BF);
+        let frame_like: Vec<u8> = (0u16..300).map(|i| (i % 251) as u8).collect();
+        assert_eq!(crc32(&frame_like), 0xE87F_7EE4);
+        assert_eq!(crc32(&[0u8; 64]), 0x758D_6336);
+        assert_eq!(crc32(&[0xFFu8; 33]), 0x682D_B523);
+    }
+
+    #[test]
+    fn slicing_by_8_matches_bytewise_on_every_length_and_alignment() {
+        // Pseudo-random buffer; check every prefix length 0..=257 so every
+        // chunk remainder (0–7 bytes) and small-input path is exercised.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let buf: Vec<u8> = (0..257)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        for len in 0..=buf.len() {
+            assert_eq!(
+                crc32(&buf[..len]),
+                crc32_bytewise(&buf[..len]),
+                "slicing-by-8 diverges from bytewise at len {len}"
+            );
+        }
     }
 
     #[test]

@@ -128,11 +128,30 @@ pub enum WalRecord {
     },
 }
 
-impl WalRecord {
+/// A borrowed view of an appendable record, so the hot append path can
+/// encode a grant straight from the caller's `&GrantRecord` without first
+/// cloning its strings into an owned [`WalRecord`]. `WalRecord::encode_into`
+/// delegates here, so the bytes are identical by construction.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RecordRef<'a> {
+    /// A borrowed grant.
+    Grant(&'a GrantRecord),
+    /// A borrowed refusal.
+    Refusal(&'a RefusalRecord),
+    /// A borrowed snapshot marker.
+    Marker {
+        /// Snapshot generation the WAL continues from.
+        generation: u64,
+        /// The snapshot's counter block.
+        counters: &'a SnapshotCounters,
+    },
+}
+
+impl RecordRef<'_> {
     /// Serializes the record payload (no framing) into `out`.
-    pub fn encode_into(&self, out: &mut Vec<u8>) {
-        match self {
-            WalRecord::Grant(g) => {
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        match *self {
+            RecordRef::Grant(g) => {
                 out.push(TAG_GRANT);
                 put_u64(out, g.index);
                 put_u64(out, g.units);
@@ -144,18 +163,48 @@ impl WalRecord {
                 put_str(out, &g.policy);
                 put_str(out, &g.query);
             }
-            WalRecord::Refusal(r) => {
+            RecordRef::Refusal(r) => {
                 out.push(TAG_REFUSAL);
                 put_u64(out, r.units);
                 put_f64(out, r.epsilon);
                 put_str(out, &r.mechanism);
             }
-            WalRecord::SnapshotMarker { generation, counters } => {
+            RecordRef::Marker { generation, counters } => {
                 out.push(TAG_MARKER);
-                put_u64(out, *generation);
+                put_u64(out, generation);
                 put_counters(out, counters);
             }
         }
+    }
+
+    /// Clones the borrowed record into its owned form (the group-commit
+    /// submission path, which must ship the record to the committer thread).
+    pub(crate) fn to_owned_record(self) -> WalRecord {
+        match self {
+            RecordRef::Grant(g) => WalRecord::Grant(g.clone()),
+            RecordRef::Refusal(r) => WalRecord::Refusal(r.clone()),
+            RecordRef::Marker { generation, counters } => {
+                WalRecord::SnapshotMarker { generation, counters: *counters }
+            }
+        }
+    }
+}
+
+impl WalRecord {
+    /// The borrowed view of this record.
+    pub(crate) fn as_ref(&self) -> RecordRef<'_> {
+        match self {
+            WalRecord::Grant(g) => RecordRef::Grant(g),
+            WalRecord::Refusal(r) => RecordRef::Refusal(r),
+            WalRecord::SnapshotMarker { generation, counters } => {
+                RecordRef::Marker { generation: *generation, counters }
+            }
+        }
+    }
+
+    /// Serializes the record payload (no framing) into `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        self.as_ref().encode_into(out);
     }
 
     /// Decodes one record payload, requiring every byte to be consumed.

@@ -39,8 +39,8 @@
 //! * [`attack`] — the exclusion-attack adversary and OSDP
 //!   verification tools.
 //! * [`persist`] — the durable budget plane: per-tenant
-//!   write-ahead ledgers, snapshot/replay recovery (std-only, no
-//!   dependencies beyond `osdp-core`).
+//!   write-ahead ledgers with group-commit batching, snapshot/replay
+//!   recovery (std-only, no dependencies beyond `osdp-core`).
 //! * [`experiments`] — one runner per table/figure of the
 //!   paper.
 //!
@@ -122,11 +122,12 @@ pub mod prelude {
     };
     pub use osdp_engine::{
         histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs,
-        windows_from_databases, AuditLog, AuditRecord, Backend, ColumnarBackend, HistogramPair,
-        MechanismSpec, OsdpSession, PoolRelease, PoolVerdict, PoolWindowOutcome, QueryPlan,
-        Release, RowBackend, SessionBuilder, SessionPersistence, SessionPool, SessionQuery,
-        SessionWal, StreamSession, StreamSessionBuilder, SyncPolicy, SyntheticWindows,
-        TenantVerdict, Window, WindowOutcome, WindowSource,
+        windows_from_databases, AuditLog, AuditRecord, Backend, ColumnarBackend, GroupCommitStats,
+        HistogramPair, LedgerOptions, MechanismSpec, OsdpSession, PoolMaintenanceError,
+        PoolRelease, PoolVerdict, PoolWindowOutcome, QueryPlan, Release, RowBackend,
+        SessionBuilder, SessionPersistence, SessionPool, SessionQuery, SessionWal, StreamSession,
+        StreamSessionBuilder, SyncPolicy, SyntheticWindows, TenantVerdict, Window, WindowOutcome,
+        WindowSource,
     };
     pub use osdp_mechanisms::{
         DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,

@@ -292,6 +292,166 @@ fn crashed_pool_recovers_balanced_and_rehammers_to_the_exact_cap() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Group commit under full concurrency is `Always`-grade: 8 threads hammer
+/// a GroupCommit pool to the exact cap, every writer is crashed with nothing
+/// buffered, and recovery is bit-for-bit — accountant == audit == an
+/// independent `TenantLedger::peek` of the shard, at exactly the cap.
+#[test]
+fn group_commit_hammer_recovers_bit_for_bit_at_the_exact_cap() {
+    let root = temp_root("group-hammer");
+    let tenants = ["acme", "globex"];
+    let cap = 1.0;
+    let eps = 0.125;
+
+    let pool: SessionPool<Record> = SessionPool::open(&root, SyncPolicy::group_commit()).unwrap();
+    for (tenant, seed) in tenants.iter().zip(1u64..) {
+        let session = pool.open_tenant(tenant, || builder(cap, seed)).unwrap();
+        let (grants, _) = hammer(&session, eps, 4);
+        assert_eq!(grants, 8, "{tenant}: 8 × 0.125 fills the 1.0 cap");
+        let stats = session.persistence().unwrap().group_commit_stats();
+        // Quiescent: every submitted frame is at or below the watermark.
+        assert_eq!(stats.durable_frames, stats.submitted_frames);
+        assert!(stats.batches >= 1 && stats.largest_batch >= 1);
+        // 8 grants + the refusals that were logged.
+        assert!(stats.durable_frames >= 8);
+    }
+    // Crash every writer: under group commit nothing is buffered (every
+    // returned append was fsync'd), so zero grants may be lost.
+    for tenant in tenants {
+        pool.get(tenant).unwrap().persistence().unwrap().crash(0.0).unwrap();
+    }
+    drop(pool);
+
+    let cap_units = epsilon_to_units(cap);
+    for tenant in tenants {
+        let shard = root.join(format!("tenant-{tenant}"));
+        assert!(force_unlock(&shard).unwrap());
+        let peek = TenantLedger::peek(&shard).unwrap();
+        assert_eq!(peek.spent_units(), cap_units, "{tenant}: no returned grant may be lost");
+        assert_eq!(peek.truncated_bytes, 0);
+    }
+    let recovered: SessionPool<Record> =
+        SessionPool::recover(&root, SyncPolicy::group_commit(), |_| builder(cap, 99)).unwrap();
+    for tenant in tenants {
+        let session = recovered.get(tenant).unwrap();
+        assert_eq!(session.accountant().total_spent_units(), cap_units);
+        assert_eq!(session.audit_log().total_epsilon_units(), cap_units);
+        assert_eq!(session.remaining_budget(), Some(0.0));
+    }
+    assert!(recovered.verify_all_ledgers().all_upheld());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Crashing a group-commit writer **mid-batch**, with appends in flight on
+/// 8 threads: every grant whose release call returned must be durable, the
+/// torn batch tail truncates to whole frames, and recovery never exceeds
+/// what the accountant admitted.
+#[test]
+fn group_commit_crash_mid_batch_loses_only_unacknowledged_grants() {
+    let root = temp_root("group-midbatch");
+    let dir = root.join("tenant");
+    let cap = 16.0; // roomy: the crash interrupts the hammer, not the cap
+    let eps = 0.125;
+    let sync =
+        SyncPolicy::GroupCommit { max_batch: 8, max_wait: std::time::Duration::from_micros(200) };
+
+    let session = Arc::new(
+        builder(cap, 21).durable(SessionPersistence::open(&dir, sync).unwrap()).build().unwrap(),
+    );
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = Arc::clone(&session);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let mechanism = OsdpLaplaceL1::new(eps).unwrap();
+                barrier.wait();
+                let mut ok = 0u64;
+                loop {
+                    match session.release(&SessionQuery::bound(), &mechanism) {
+                        Ok(_) => ok += 1,
+                        // The crash severed the batch under this append.
+                        Err(OsdpError::Persistence(_)) => break,
+                        Err(OsdpError::BudgetExhausted { .. }) => break,
+                        Err(other) => panic!("unexpected release error: {other}"),
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    barrier.wait();
+    // Let the hammer run mid-flight, then sever the committer mid-batch:
+    // queued-but-unacknowledged frames become a torn tail (60% of bytes).
+    thread::sleep(std::time::Duration::from_millis(30));
+    session.persistence().unwrap().crash(0.6).unwrap();
+    let acknowledged: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let admitted_units = session.accountant().total_spent_units();
+    drop(session);
+
+    let grant_units = epsilon_to_units(eps);
+    assert!(force_unlock(&dir).unwrap());
+    let peek = TenantLedger::peek(&dir).unwrap();
+    // Always-grade floor: every acknowledged grant survived the crash.
+    assert!(
+        peek.spent_units() >= acknowledged * grant_units,
+        "durable {} < acknowledged {}",
+        peek.spent_units(),
+        acknowledged * grant_units
+    );
+    // Conservative ceiling: recovery never invents spend beyond what the
+    // accountant admitted (in-flight debits included).
+    assert!(peek.spent_units() <= admitted_units);
+    // The torn batch tail truncated to whole frames: the durable total is
+    // an exact multiple of the per-grant debit.
+    assert_eq!(peek.spent_units() % grant_units, 0);
+
+    // The recovered session still stops at exactly the cap.
+    let recovered = SessionPersistence::open(&dir, sync).unwrap();
+    assert_eq!(recovered.recovered().spent_units, peek.spent_units());
+    let session = Arc::new(builder(cap, 21).durable(recovered).build().unwrap());
+    assert_eq!(session.audit_log().total_epsilon_units(), peek.spent_units());
+    hammer(&session, eps, 24);
+    assert_eq!(session.accountant().total_spent_units(), epsilon_to_units(cap));
+    assert!(verify_ledger(&session.audit_ledger(), Some(cap)).upholds_osdp());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// One failing shard must not shadow the rest of a pool maintenance sweep:
+/// `sync_all` / `snapshot_all` visit every tenant and report the failures
+/// by key.
+#[test]
+fn pool_maintenance_sweeps_report_per_tenant_failures() {
+    let root = temp_root("maintenance");
+    let tenants = ["acme", "globex", "initech"];
+    let pool: SessionPool<Record> = SessionPool::open(&root, SyncPolicy::Always).unwrap();
+    for (tenant, seed) in tenants.iter().zip(1u64..) {
+        let session = pool.open_tenant(tenant, || builder(1.0, seed)).unwrap();
+        drain(&session, 0.25, 2);
+    }
+    pool.sync_all().unwrap();
+    pool.snapshot_all().unwrap();
+
+    // Crash one shard; the sweeps still run the other two and name the
+    // failing tenant precisely.
+    pool.get("globex").unwrap().persistence().unwrap().crash(0.0).unwrap();
+    let err = pool.sync_all().unwrap_err();
+    assert_eq!(err.operation, "sync_all");
+    assert_eq!(err.tenants(), vec![Arc::<str>::from("globex")]);
+    assert!(err.to_string().contains("globex"), "display names the tenant: {err}");
+    let err = pool.snapshot_all().unwrap_err();
+    assert_eq!(err.operation, "snapshot_all");
+    assert_eq!(err.tenants(), vec![Arc::<str>::from("globex")]);
+    // The healthy tenants were synced despite the failure: their shards
+    // reopen with the full history after an unclean stop.
+    drop(pool);
+    for tenant in ["acme", "initech"] {
+        let peek = TenantLedger::peek(root.join(format!("tenant-{tenant}"))).unwrap();
+        assert_eq!(peek.spent_units(), epsilon_to_units(0.5), "{tenant} survived the sweep");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
 #[test]
 fn recovery_is_idempotent_without_new_writes() {
     let root = temp_root("idempotent");
@@ -321,21 +481,31 @@ fn recovery_is_idempotent_without_new_writes() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    /// Any grant sequence, crashed at any point, recovers to a state where
-    /// the audit total equals the accountant total (both in exact ε units),
-    /// never exceeds the cap, and recovering again without writes changes
-    /// nothing.
+    /// Any grant sequence, under **any of the four sync policies**, crashed
+    /// at any point, recovers to a state where the audit total equals the
+    /// accountant total (both in exact ε units), never exceeds the cap, and
+    /// recovering again without writes changes nothing.
     #[test]
     fn recovery_is_prefix_closed_and_never_overspends(
         epsilons in prop::collection::vec(0.001f64..3.0, 1..24),
         keep in 0.0f64..1.0,
+        policy_idx in 0usize..4,
     ) {
+        let policy = [
+            SyncPolicy::OnDrop,
+            SyncPolicy::EveryN(2),
+            SyncPolicy::Always,
+            SyncPolicy::GroupCommit {
+                max_batch: 4,
+                max_wait: std::time::Duration::from_micros(100),
+            },
+        ][policy_idx];
         let root = temp_root("prop");
         let dir = root.join("tenant");
         let cap = 4.0;
 
         let session = builder(cap, 5)
-            .durable(SessionPersistence::open(&dir, SyncPolicy::EveryN(2)).unwrap())
+            .durable(SessionPersistence::open(&dir, policy).unwrap())
             .build()
             .unwrap();
         for &eps in &epsilons {
@@ -350,7 +520,7 @@ proptest! {
         drop(session);
 
         prop_assert!(force_unlock(&dir).unwrap());
-        let persistence = SessionPersistence::open(&dir, SyncPolicy::EveryN(2)).unwrap();
+        let persistence = SessionPersistence::open(&dir, policy).unwrap();
         let recovered_units = persistence.recovered().spent_units;
         // Loss is one-sided: recovery never invents spend.
         prop_assert!(recovered_units <= live_units);
@@ -362,7 +532,7 @@ proptest! {
         drop(session);
 
         // Idempotent: a second recovery with no writes is a fixed point.
-        let again = SessionPersistence::open(&dir, SyncPolicy::EveryN(2)).unwrap();
+        let again = SessionPersistence::open(&dir, policy).unwrap();
         prop_assert_eq!(again.recovered().spent_units, recovered_units);
         let _ = std::fs::remove_dir_all(&root);
     }
