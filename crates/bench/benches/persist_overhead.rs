@@ -1,4 +1,4 @@
-//! Perf trajectory entries 6 + 7: the durable budget plane.
+//! Perf trajectory entries 6–8: the durable budget plane.
 //!
 //! **Entry 6 — grant-path overhead.** Measures what the write-ahead ledger
 //! costs on the grant path — the same single-release workload driven
@@ -29,6 +29,11 @@
 //!   ≳ fsync cost) bounds the single-threaded regression — one grantor
 //!   under `GroupCommit` must stay within **2×** of `EveryN(64)`, the
 //!   amortized policy that loses up to 63 grants on crash.
+//!
+//! **Entry 8 — the Vfs seam guard.** All ledger IO now flows through the
+//! object-safe `Vfs`/`VfsFile` traits (the fault-injection seam); the
+//! guard shows the `StdVfs` dyn-dispatch indirection costs nothing
+//! measurable versus a raw `std::fs::File` doing the identical writes.
 //!
 //! Run with `--smoke` (the CI mode) for a seconds-long pass that still
 //! exercises every policy and both throughput workloads against a real
@@ -245,6 +250,74 @@ fn durable_throughput() {
     cleanup(reclaim(session));
 }
 
+/// Entry 8 — the Vfs seam guard. PR 8 routed every byte of ledger IO
+/// through the `Vfs`/`VfsFile` object-safe traits (the fault-injection
+/// seam); production uses `StdVfs`, which only forwards. This writes the
+/// same frame stream through a raw `std::fs::File` and through
+/// `StdVfs`'s `dyn VfsFile`, fsyncing every 64 frames, and reports the
+/// per-frame delta against the raw loop's own A/A run-to-run noise: the
+/// dyn-dispatch indirection must disappear into that noise.
+fn vfs_indirection_guard() {
+    use osdp_persist::{StdVfs, Vfs};
+    use std::io::Write;
+    let frames: usize = if smoke() { 4096 } else { 32768 };
+    let frame = [0xA5u8; 96];
+    const BATCH: usize = 64;
+
+    let raw_run = |dir: &PathBuf| -> f64 {
+        let _ = std::fs::remove_dir_all(dir);
+        std::fs::create_dir_all(dir).expect("scratch dir");
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .write(true)
+            .open(dir.join("raw.log"))
+            .expect("raw file");
+        let start = Instant::now();
+        for i in 0..frames {
+            file.write_all(&frame).expect("raw write");
+            if i % BATCH == BATCH - 1 {
+                file.sync_data().expect("raw fsync");
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e9 / frames as f64
+    };
+    let vfs_run = |dir: &PathBuf| -> f64 {
+        let _ = std::fs::remove_dir_all(dir);
+        let vfs = StdVfs;
+        vfs.create_dir_all(dir).expect("scratch dir");
+        let mut file = vfs.open_rw(&dir.join("vfs.log")).expect("vfs file");
+        let start = Instant::now();
+        for i in 0..frames {
+            file.write_all(&frame).expect("vfs write");
+            if i % BATCH == BATCH - 1 {
+                file.sync_data().expect("vfs fsync");
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e9 / frames as f64
+    };
+
+    let dir_a = shard_dir("vfs-guard-raw");
+    let dir_b = shard_dir("vfs-guard-std");
+    let _ = raw_run(&dir_a); // warm the page cache and the allocator
+    let raw1 = raw_run(&dir_a);
+    let vfs1 = vfs_run(&dir_b);
+    let raw2 = raw_run(&dir_a);
+    let vfs2 = vfs_run(&dir_b);
+    let raw = raw1.min(raw2);
+    let vfs = vfs1.min(vfs2);
+    let noise = (raw1 - raw2).abs().max(1.0);
+    let delta = vfs - raw;
+    let verdict = if delta <= noise { "within run-to-run noise" } else { "ABOVE noise" };
+    eprintln!(
+        "[perf-trajectory #8] Vfs seam guard ({frames} x 96 B frames, fsync/{BATCH}): raw file \
+         {raw:.0} ns/frame, StdVfs {vfs:.0} ns/frame (delta {delta:+.0} ns, A/A noise {noise:.0} \
+         ns) -- {verdict}"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
 fn bench_persist_overhead(c: &mut Criterion) {
     let n = ops();
     eprintln!(
@@ -262,6 +335,7 @@ fn bench_persist_overhead(c: &mut Criterion) {
         cleanup(session);
     }
     durable_throughput();
+    vfs_indirection_guard();
 
     if smoke() {
         return; // the sweeps above already exercised every policy and mode

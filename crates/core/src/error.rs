@@ -5,6 +5,119 @@ use std::fmt;
 /// Convenient result alias used throughout the workspace.
 pub type Result<T> = std::result::Result<T, OsdpError>;
 
+/// How a persistence fault should be treated by retry and health logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// The operation may succeed if repeated (interrupted syscall, would-
+    /// block, timeout). Bounded-backoff retry is appropriate.
+    Transient,
+    /// Retrying the same handle cannot help (disk full, bad descriptor,
+    /// failed fsync — the page-cache state is unknown). The handle must be
+    /// reopened, and recovery replayed, before another attempt.
+    Permanent,
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultClass::Transient => write!(f, "transient"),
+            FaultClass::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
+/// The file-system operation a persistence fault occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PersistOp {
+    /// Creating a directory.
+    CreateDir,
+    /// Opening (or creating) a file.
+    Open,
+    /// Acquiring or inspecting the shard's single-writer lock.
+    Lock,
+    /// Reading file contents.
+    Read,
+    /// Writing (including truncating back to a known-good boundary).
+    Write,
+    /// `fdatasync` of a file or directory.
+    Fsync,
+    /// Renaming a file into place.
+    Rename,
+    /// Removing a file.
+    Remove,
+    /// The group-commit path: submitting to, or waiting on, the committer.
+    Commit,
+}
+
+impl fmt::Display for PersistOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            PersistOp::CreateDir => "create-dir",
+            PersistOp::Open => "open",
+            PersistOp::Lock => "lock",
+            PersistOp::Read => "read",
+            PersistOp::Write => "write",
+            PersistOp::Fsync => "fsync",
+            PersistOp::Rename => "rename",
+            PersistOp::Remove => "remove",
+            PersistOp::Commit => "commit",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// A typed failure of the durable budget plane: which operation failed, on
+/// which path, whether retrying can help, and the underlying detail. This
+/// is what the engine's tenant health machine branches on — `Transient`
+/// faults degrade a tenant, `Permanent` faults quarantine it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistError {
+    /// The operation that failed.
+    pub op: PersistOp,
+    /// The file or directory involved (may be empty for handle-level
+    /// failures such as a dead committer).
+    pub path: String,
+    /// Whether retrying the same handle can help.
+    pub class: FaultClass,
+    /// The underlying error text.
+    pub detail: String,
+}
+
+impl PersistError {
+    /// A new typed persistence error.
+    pub fn new(
+        op: PersistOp,
+        path: impl Into<String>,
+        class: FaultClass,
+        detail: impl Into<String>,
+    ) -> Self {
+        Self { op, path: path.into(), class, detail: detail.into() }
+    }
+
+    /// Whether a bounded retry of the same handle is worthwhile.
+    pub fn is_transient(&self) -> bool {
+        self.class == FaultClass::Transient
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{} {} failed: {}", self.class, self.op, self.detail)
+        } else {
+            write!(f, "{} {} failed on {}: {}", self.class, self.op, self.path, self.detail)
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<PersistError> for OsdpError {
+    fn from(err: PersistError) -> Self {
+        OsdpError::Persist(err)
+    }
+}
+
 /// Errors raised by OSDP core data structures and mechanisms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OsdpError {
@@ -57,8 +170,20 @@ pub enum OsdpError {
         tenant: String,
     },
     /// The durable budget plane failed: a ledger file could not be read,
-    /// written, locked, or decoded.
+    /// written, locked, or decoded (logical failures with no single IO
+    /// operation to blame; IO faults carry the typed
+    /// [`OsdpError::Persist`] variant instead).
     Persistence(String),
+    /// A typed IO fault of the durable budget plane, carrying the failing
+    /// operation, path, and fault class.
+    Persist(PersistError),
+    /// The tenant's circuit breaker is open: its durable shard failed
+    /// repeatedly and releases are refused fast until a heal probe
+    /// succeeds (see the engine pool's `try_heal`).
+    TenantQuarantined {
+        /// The quarantined tenant.
+        tenant: String,
+    },
 }
 
 impl fmt::Display for OsdpError {
@@ -85,6 +210,14 @@ impl fmt::Display for OsdpError {
                 write!(f, "tenant '{tenant}' already has a live session; remove it first")
             }
             OsdpError::Persistence(msg) => write!(f, "persistence failure: {msg}"),
+            OsdpError::Persist(err) => write!(f, "persistence failure: {err}"),
+            OsdpError::TenantQuarantined { tenant } => {
+                write!(
+                    f,
+                    "tenant '{tenant}' is quarantined: its durable shard failed repeatedly; \
+                     releases are refused fast until try_heal succeeds"
+                )
+            }
             OsdpError::TrivialPolicy => write!(
                 f,
                 "policy is trivial (classifies every record identically); OSDP requires at least \
@@ -154,5 +287,23 @@ mod tests {
         assert!(OsdpError::InvalidFraction { name: "rho", value: 2.0 }.to_string().contains("rho"));
         assert!(OsdpError::TenantExists { tenant: "acme".into() }.to_string().contains("acme"));
         assert!(OsdpError::Persistence("wal.log: torn".into()).to_string().contains("wal.log"));
+        let e = OsdpError::TenantQuarantined { tenant: "acme".into() };
+        assert!(e.to_string().contains("acme") && e.to_string().contains("quarantined"));
+    }
+
+    #[test]
+    fn persist_errors_carry_op_path_and_class() {
+        let e = PersistError::new(PersistOp::Fsync, "/x/wal.log", FaultClass::Permanent, "EIO");
+        assert!(!e.is_transient());
+        let text = e.to_string();
+        assert!(text.contains("fsync") && text.contains("/x/wal.log") && text.contains("EIO"));
+        assert!(text.contains("permanent"));
+        let e = PersistError::new(PersistOp::Commit, "", FaultClass::Transient, "deadline");
+        assert!(e.is_transient());
+        assert!(!e.to_string().contains(" on "), "empty path is elided: {e}");
+        // The typed variant wraps transparently.
+        let wrapped: OsdpError = e.clone().into();
+        assert_eq!(wrapped, OsdpError::Persist(e));
+        assert!(wrapped.to_string().contains("persistence failure"));
     }
 }

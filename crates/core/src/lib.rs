@@ -77,7 +77,7 @@ pub use budget::{
 };
 pub use database::Database;
 pub use domain::{CategoricalDomain, GridDomain};
-pub use error::{OsdpError, Result};
+pub use error::{FaultClass, OsdpError, PersistError, PersistOp, Result};
 pub use frame::{
     BinSpec, Column, ColumnarFrame, CompiledPolicy, FrameBuilder, FrameColumn, PolicyMask,
 };

@@ -266,6 +266,48 @@
 //! path as before the durable plane existed — the WAL hook is an `Option`
 //! that is `None`, and every estimate, audit record, and ledger entry is
 //! bitwise-identical to the in-memory build.
+//!
+//! # Failure model
+//!
+//! The durable plane assumes disks fail, and fails **closed**: no IO fault
+//! can ever widen the privacy spend a tenant is held to.
+//!
+//! * **Typed faults.** Every persistence failure surfaces as
+//!   [`osdp_core::error::PersistError`] — the operation (`open`, `write`,
+//!   `fsync`, `rename`, …), the path, and a transient/permanent class — so
+//!   callers branch on the taxonomy instead of string-matching. Transient
+//!   write faults are retried inside the WAL with bounded exponential
+//!   backoff ([`RetryPolicy`]), truncating back to the last known-good
+//!   byte boundary between attempts so a retry can never duplicate a torn
+//!   prefix mid-file.
+//! * **Fsync is unforgiving.** A failed fsync is **permanent for the
+//!   handle**: the page cache's state is unknown, so the writer is
+//!   poisoned and the only continuation is reopen + recover. The ledger
+//!   never re-fsyncs a descriptor whose fsync already failed.
+//! * **Fail-closed grants.** The grant path debits the accountant, then
+//!   writes the WAL, then samples noise. If the WAL cannot acknowledge the
+//!   frame, the release call returns the typed error — the caller treats
+//!   the grant as refused — while the admitted debit is conservatively
+//!   kept. An IO fault can therefore waste budget, never resurrect it, and
+//!   recovery replays at most the acknowledged history plus
+//!   conservatively-retained frames (over-counting is the safe direction).
+//! * **Recovery repairs what it can prove.** A corrupt snapshot is
+//!   quarantined (`snapshot.corrupt-<gen>`) and recovery falls back to the
+//!   parked prior generation or the WAL marker; a `LOCK` whose recorded
+//!   writer is provably dead (dead pid, or a previous boot) is auto-cleared.
+//!   Everything recovery repaired or fell back to is surfaced in a
+//!   [`RecoveryReport`] on [`RecoveredSession`].
+//! * **Tenant health and healing.** A durable [`SessionPool`] runs a
+//!   per-tenant circuit breaker ([`TenantHealth`], tuned by
+//!   [`HealthPolicy`]): transient faults mark a tenant `Degraded`,
+//!   repeated or permanent faults `Quarantined` — further releases refuse
+//!   fast with [`osdp_core::error::OsdpError::TenantQuarantined`] instead
+//!   of queueing behind a dead shard, with one half-open probe per
+//!   cooldown. [`SessionPool::try_heal`] evicts the wedged session, clears
+//!   its leftover lock, reopens the shard through snapshot + replay, and
+//!   restores `Healthy`; the healed accountant equals the audit log equals
+//!   an independent ledger peek, bit for bit. One tenant's dead disk never
+//!   blocks another tenant's releases.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -283,9 +325,11 @@ pub mod stream;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
-pub use osdp_persist::{GroupCommitStats, LedgerOptions, SyncPolicy};
+pub use osdp_persist::{GroupCommitStats, LedgerOptions, RecoveryReport, RetryPolicy, SyncPolicy};
 pub use persist::{GrantEvent, RecoveredSession, SessionPersistence, SessionWal};
-pub use pool::{PoolMaintenanceError, PoolVerdict, SessionPool, TenantVerdict};
+pub use pool::{
+    HealthPolicy, PoolMaintenanceError, PoolVerdict, SessionPool, TenantHealth, TenantVerdict,
+};
 pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
 pub use session::{
     histogram_session, pair_query, pair_session, OsdpSession, PoolRelease, Release, SessionBuilder,

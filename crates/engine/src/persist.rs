@@ -14,8 +14,8 @@ use osdp_core::budget::{epsilon_to_units, units_to_epsilon, LedgerEntry};
 use osdp_core::error::Result;
 use osdp_core::{Guarantee, PrivacyGuarantee};
 use osdp_persist::{
-    GrantRecord, GroupCommitStats, GuaranteeTag, LedgerOptions, RecoveredLedger, RefusalRecord,
-    SnapshotCounters, SyncPolicy, TenantLedger,
+    GrantRecord, GroupCommitStats, GuaranteeTag, LedgerOptions, RecoveredLedger, RecoveryReport,
+    RefusalRecord, SnapshotCounters, SyncPolicy, TenantLedger, Vfs,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -177,6 +177,10 @@ pub struct RecoveredSession {
     pub degraded: bool,
     /// Bytes discarded from a torn WAL tail (0 after a clean shutdown).
     pub truncated_bytes: u64,
+    /// What recovery had to repair or fall back to — quarantined snapshot,
+    /// prev-generation fallback, cleared stale lock (all-default after a
+    /// clean open).
+    pub report: RecoveryReport,
 }
 
 impl RecoveredSession {
@@ -225,6 +229,7 @@ impl RecoveredSession {
             grants,
             degraded: recovered.degraded,
             truncated_bytes: recovered.truncated_bytes,
+            report: recovered.report,
         }
     }
 
@@ -263,6 +268,23 @@ impl SessionPersistence {
         options: LedgerOptions,
     ) -> Result<Self> {
         let (ledger, recovered) = TenantLedger::open_with(dir, sync, options)?;
+        Ok(Self {
+            wal: SessionWal { ledger: Arc::new(ledger) },
+            recovered: RecoveredSession::from_ledger(recovered),
+        })
+    }
+
+    /// [`SessionPersistence::open_with`] over an explicit file system —
+    /// the injection point for [`osdp_persist::FaultVfs`] in fault tests
+    /// and the path durable pools use so every shard shares the pool's
+    /// file system.
+    pub fn open_with_vfs(
+        dir: impl Into<PathBuf>,
+        sync: SyncPolicy,
+        options: LedgerOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
+        let (ledger, recovered) = TenantLedger::open_with_vfs(dir, sync, options, vfs)?;
         Ok(Self {
             wal: SessionWal { ledger: Arc::new(ledger) },
             recovered: RecoveredSession::from_ledger(recovered),

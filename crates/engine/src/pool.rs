@@ -14,19 +14,29 @@
 //! and each session's own grant path is lock-free (see the crate docs'
 //! concurrency model). Write locks are taken only to register or evict a
 //! tenant.
+//!
+//! Durable pools additionally run a per-tenant **health machine**
+//! ([`TenantHealth`]): typed persistence failures on a tenant's shard
+//! degrade and eventually quarantine that tenant — releases then refuse
+//! fast with [`OsdpError::TenantQuarantined`] instead of queueing behind a
+//! dead disk — while every other tenant keeps serving.
+//! [`SessionPool::try_heal`] reopens the failed shard through snapshot +
+//! replay recovery and restores the tenant to service; see the crate docs'
+//! *Failure model*.
 
 use crate::persist::SessionPersistence;
 use crate::session::{OsdpSession, PoolRelease, Release, SessionBuilder, SessionQuery};
 use crate::sharding::shard_index;
 use osdp_attack::{verify_ledger, LedgerVerdict};
-use osdp_core::error::{OsdpError, Result};
+use osdp_core::error::{FaultClass, OsdpError, PersistError, PersistOp, Result};
 use osdp_core::{Histogram, Record};
 use osdp_mechanisms::HistogramMechanism;
-use osdp_persist::SyncPolicy;
-use parking_lot::RwLock;
+use osdp_persist::{force_unlock, persist_error, LedgerOptions, StdVfs, SyncPolicy, Vfs};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Default shard count: enough that 8–16 serving threads touching random
 /// tenants rarely share a shard, cheap enough to iterate for pool-wide
@@ -37,13 +47,83 @@ const DEFAULT_POOL_SHARDS: usize = 16;
 type Shard<R> = RwLock<HashMap<Arc<str>, Arc<OsdpSession<R>>>>;
 
 /// The persistence configuration of a durable pool: the root directory
-/// holding one WAL shard directory per tenant, and the sync policy every
-/// tenant shard is opened with.
-#[derive(Debug, Clone)]
+/// holding one WAL shard directory per tenant, the sync policy and ledger
+/// options every tenant shard is opened with, and the file system the
+/// shards write through (the [`osdp_persist::FaultVfs`] injection point).
+#[derive(Clone)]
 struct PoolPersistence {
     dir: PathBuf,
     sync: SyncPolicy,
+    options: LedgerOptions,
+    vfs: Arc<dyn Vfs>,
 }
+
+impl std::fmt::Debug for PoolPersistence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolPersistence")
+            .field("dir", &self.dir)
+            .field("sync", &self.sync)
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The serving health of one durable tenant, as the pool's circuit breaker
+/// sees it. Transitions are driven by the typed
+/// [`osdp_core::error::PersistError`] outcomes of the tenant's durable
+/// operations (releases, [`SessionPool::sync_all`],
+/// [`SessionPool::snapshot_all`]): transient faults degrade, repeated or
+/// permanent faults quarantine, and a success (including a successful
+/// [`SessionPool::try_heal`]) restores `Healthy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TenantHealth {
+    /// The durable plane is serving normally.
+    Healthy,
+    /// Transient faults were observed but the breaker has not tripped:
+    /// releases still flow (each one retries internally), and one success
+    /// resets the tenant to [`TenantHealth::Healthy`].
+    Degraded,
+    /// The breaker is **open**: releases are refused fast with
+    /// [`OsdpError::TenantQuarantined`] instead of queueing behind a dead
+    /// shard. After [`HealthPolicy::probe_cooldown`] one half-open probe
+    /// release is let through; its outcome closes or re-opens the breaker.
+    /// [`SessionPool::try_heal`] reopens the shard outright.
+    Quarantined,
+}
+
+/// Circuit-breaker tuning for a pool's per-tenant health machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Consecutive **transient** persistence failures before the tenant is
+    /// quarantined (a permanent failure quarantines immediately).
+    pub quarantine_after: u32,
+    /// How long an open breaker refuses fast before letting one half-open
+    /// probe release through.
+    pub probe_cooldown: Duration,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        Self { quarantine_after: 3, probe_cooldown: Duration::from_millis(250) }
+    }
+}
+
+/// The mutable state behind one tenant's health cell. Cells are created
+/// lazily on the first observed failure, so healthy tenants cost the pool
+/// nothing.
+#[derive(Debug)]
+struct HealthInner {
+    health: TenantHealth,
+    /// Consecutive persistence failures since the last success.
+    consecutive: u32,
+    /// When the breaker opened (drives the half-open probe cooldown).
+    opened_at: Option<Instant>,
+    /// Whether a half-open probe is currently in flight.
+    probing: bool,
+}
+
+/// One tenant's health cell, shared between the pool map and observers.
+type HealthCell = Arc<Mutex<HealthInner>>;
 
 /// Directory prefix of tenant WAL shards under a durable pool root. Only
 /// prefixed directories are treated as tenant shards, so unrelated files in
@@ -95,6 +175,8 @@ fn decode_tenant_dir(name: &str) -> Option<String> {
 pub struct SessionPool<R = Record> {
     shards: Vec<Shard<R>>,
     persist: Option<PoolPersistence>,
+    health: RwLock<HashMap<Arc<str>, HealthCell>>,
+    health_policy: HealthPolicy,
 }
 
 impl<R> Default for SessionPool<R> {
@@ -123,7 +205,15 @@ impl<R> SessionPool<R> {
         Self {
             shards: (0..shards.max(1)).map(|_| RwLock::new(HashMap::new())).collect(),
             persist: None,
+            health: RwLock::new(HashMap::new()),
+            health_policy: HealthPolicy::default(),
         }
+    }
+
+    /// Replaces the pool's circuit-breaker tuning (builder-style).
+    pub fn with_health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health_policy = policy;
+        self
     }
 
     /// An empty **durable** pool rooted at `dir` (created if absent): every
@@ -133,12 +223,25 @@ impl<R> SessionPool<R> {
     /// use [`SessionPool::recover`] to bring every persisted tenant back up
     /// front, or [`SessionPool::persisted_tenants`] to enumerate them.
     pub fn open(dir: impl Into<PathBuf>, sync: SyncPolicy) -> Result<Self> {
+        Self::open_with(dir, sync, LedgerOptions::default(), Arc::new(StdVfs))
+    }
+
+    /// [`SessionPool::open`] with explicit [`LedgerOptions`] and an explicit
+    /// file system: every tenant shard is opened through `vfs`, so a single
+    /// [`osdp_persist::FaultVfs`] can inject faults into the whole pool (and
+    /// a single [`osdp_persist::RetryPolicy`] / `auto_snapshot_every`
+    /// setting governs every shard).
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        sync: SyncPolicy,
+        options: LedgerOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| {
-            OsdpError::Persistence(format!("creating pool root {}: {e}", dir.display()))
-        })?;
+        vfs.create_dir_all(&dir)
+            .map_err(|e| OsdpError::Persist(persist_error(PersistOp::CreateDir, &dir, &e)))?;
         let mut pool = Self::with_shards(DEFAULT_POOL_SHARDS);
-        pool.persist = Some(PoolPersistence { dir, sync });
+        pool.persist = Some(PoolPersistence { dir, sync, options, vfs });
         Ok(pool)
     }
 
@@ -241,9 +344,175 @@ impl<R> SessionPool<R> {
         };
         self.get_or_insert_with(tenant, || {
             let shard_dir = persist.dir.join(encode_tenant_dir(tenant));
-            let persistence = SessionPersistence::open(shard_dir, persist.sync)?;
+            let persistence = SessionPersistence::open_with_vfs(
+                shard_dir,
+                persist.sync,
+                persist.options,
+                Arc::clone(&persist.vfs),
+            )?;
             make().durable(persistence).build()
         })
+    }
+
+    /// Rebuilds a failed durable tenant in place — the recovery half of the
+    /// circuit breaker. The wedged session is evicted and drained
+    /// ([`SessionPool::remove_quiesced`]), its leftover `LOCK` is cleared
+    /// (a poisoned writer leaves it behind with this process's own live
+    /// pid, which the open-time auto-clearing rightly refuses to touch),
+    /// and the shard is reopened through the normal snapshot + replay
+    /// recovery path with the builder `make` returns. On success the tenant
+    /// is re-registered and restored to [`TenantHealth::Healthy`].
+    ///
+    /// **Fail-closed accounting.** A grant the old writer could not get
+    /// acknowledged was refused to its caller, so the durable ledger holds
+    /// exactly the acknowledged history; recovery replays it, and the
+    /// healed accountant equals the audit log equals an independent
+    /// [`osdp_persist::TenantLedger::peek`] bit for bit. If the reopen
+    /// itself fails, the tenant stays quarantined (and unregistered) and
+    /// the typed error says why.
+    ///
+    /// Errors on in-memory pools, like [`SessionPool::open_tenant`].
+    pub fn try_heal(
+        &self,
+        tenant: &str,
+        make: impl FnOnce() -> SessionBuilder<R>,
+    ) -> Result<Arc<OsdpSession<R>>>
+    where
+        R: Send + Sync + 'static,
+    {
+        let Some(persist) = self.persist.clone() else {
+            return Err(OsdpError::Persistence(
+                "try_heal needs a durable pool: construct it with SessionPool::open".into(),
+            ));
+        };
+        // Retire the wedged session: evict it, wait for in-flight releases
+        // to drain, and drop the last handle so the old writer is provably
+        // gone before its lock is cleared.
+        drop(self.remove_quiesced(tenant));
+        let shard_dir = persist.dir.join(encode_tenant_dir(tenant));
+        force_unlock(&shard_dir)?;
+        let reopened = SessionPersistence::open_with_vfs(
+            shard_dir,
+            persist.sync,
+            persist.options,
+            Arc::clone(&persist.vfs),
+        )
+        .and_then(|persistence| make().durable(persistence).build());
+        match reopened {
+            Ok(session) => {
+                let session = self.insert(tenant, session)?;
+                self.record_success(tenant);
+                Ok(session)
+            }
+            Err(err) => {
+                let class = match &err {
+                    OsdpError::Persist(p) => p.class,
+                    _ => FaultClass::Permanent,
+                };
+                self.record_failure(tenant, class);
+                Err(err)
+            }
+        }
+    }
+
+    /// The circuit-breaker state of a tenant ([`TenantHealth::Healthy`] for
+    /// tenants that have never failed, including unknown ones).
+    pub fn health(&self, tenant: &str) -> TenantHealth {
+        self.health_cell(tenant).map(|cell| cell.lock().health).unwrap_or(TenantHealth::Healthy)
+    }
+
+    /// The tenant's health cell, if one was ever created.
+    fn health_cell(&self, tenant: &str) -> Option<HealthCell> {
+        self.health.read().get(tenant).map(Arc::clone)
+    }
+
+    /// The tenant's health cell, created on first failure.
+    fn health_cell_or_insert(&self, tenant: &str) -> HealthCell {
+        if let Some(cell) = self.health_cell(tenant) {
+            return cell;
+        }
+        let mut map = self.health.write();
+        Arc::clone(map.entry(Arc::from(tenant)).or_insert_with(|| {
+            Arc::new(Mutex::new(HealthInner {
+                health: TenantHealth::Healthy,
+                consecutive: 0,
+                opened_at: None,
+                probing: false,
+            }))
+        }))
+    }
+
+    /// Admission control on the release path: quarantined tenants are
+    /// refused **fast** with a typed error — no shard IO, no queueing
+    /// behind a dead disk — except for one half-open probe once the
+    /// cooldown has elapsed.
+    fn admit(&self, tenant: &str) -> Result<()> {
+        let Some(cell) = self.health_cell(tenant) else {
+            return Ok(());
+        };
+        let mut inner = cell.lock();
+        if inner.health != TenantHealth::Quarantined {
+            return Ok(());
+        }
+        let cooled =
+            inner.opened_at.is_none_or(|at| at.elapsed() >= self.health_policy.probe_cooldown);
+        if cooled && !inner.probing {
+            // Half-open: let exactly one probe through; its observed
+            // outcome closes the breaker or re-opens it.
+            inner.probing = true;
+            return Ok(());
+        }
+        Err(OsdpError::TenantQuarantined { tenant: tenant.to_string() })
+    }
+
+    /// A durable success: closes the breaker. Only resets an existing cell
+    /// — successes never allocate health state.
+    fn record_success(&self, tenant: &str) {
+        if let Some(cell) = self.health_cell(tenant) {
+            let mut inner = cell.lock();
+            inner.health = TenantHealth::Healthy;
+            inner.consecutive = 0;
+            inner.opened_at = None;
+            inner.probing = false;
+        }
+    }
+
+    /// A persistence failure: transient faults degrade (and quarantine
+    /// after [`HealthPolicy::quarantine_after`] in a row); permanent faults
+    /// quarantine immediately. A failed half-open probe re-opens the
+    /// breaker and restarts the cooldown.
+    fn record_failure(&self, tenant: &str, class: FaultClass) {
+        let cell = self.health_cell_or_insert(tenant);
+        let mut inner = cell.lock();
+        inner.consecutive = inner.consecutive.saturating_add(1);
+        inner.probing = false;
+        if class == FaultClass::Permanent
+            || inner.consecutive >= self.health_policy.quarantine_after
+        {
+            inner.health = TenantHealth::Quarantined;
+            inner.opened_at = Some(Instant::now());
+        } else {
+            inner.health = TenantHealth::Degraded;
+        }
+    }
+
+    /// Feeds a release outcome into the tenant's health machine and passes
+    /// it through. Non-persistence errors (budget refusals, unknown
+    /// tenants) say nothing about the durable plane: they leave health
+    /// alone, only releasing an in-flight probe slot so the next admit can
+    /// probe again.
+    fn observe<T>(&self, tenant: &str, result: Result<T>) -> Result<T> {
+        match &result {
+            Ok(_) => self.record_success(tenant),
+            Err(OsdpError::Persist(err)) => self.record_failure(tenant, err.class),
+            Err(OsdpError::Persistence(_)) => self.record_failure(tenant, FaultClass::Permanent),
+            Err(_) => {
+                if let Some(cell) = self.health_cell(tenant) {
+                    cell.lock().probing = false;
+                }
+            }
+        }
+        result
     }
 
     /// Reopens a durable pool and **recovers every persisted tenant**:
@@ -287,20 +556,28 @@ impl<R> SessionPool<R> {
     }
 
     /// Runs a WAL maintenance `op` on every durable tenant, collecting
-    /// per-tenant failures instead of stopping at the first.
+    /// per-tenant failures instead of stopping at the first. Every outcome
+    /// also drives the tenant's health machine: a failing shard degrades or
+    /// quarantines its tenant (so the release path starts refusing fast),
+    /// a succeeding one closes any open breaker.
     fn maintain(
         &self,
         operation: &'static str,
         op: impl Fn(&crate::SessionWal) -> Result<()>,
     ) -> std::result::Result<(), PoolMaintenanceError> {
-        let mut failures: Vec<(Arc<str>, OsdpError)> = self
-            .for_each_session(|tenant, session| match session.persistence() {
-                Some(wal) => op(wal).err().map(|e| (tenant, e)),
-                None => None,
-            })
-            .into_iter()
-            .flatten()
-            .collect();
+        let outcomes = self
+            .for_each_session(|tenant, session| session.persistence().map(|wal| (tenant, op(wal))));
+        let mut failures: Vec<(Arc<str>, PersistError)> = Vec::new();
+        for (tenant, outcome) in outcomes.into_iter().flatten() {
+            match outcome {
+                Ok(()) => self.record_success(&tenant),
+                Err(err) => {
+                    let err = persist_failure(operation, err);
+                    self.record_failure(&tenant, err.class);
+                    failures.push((tenant, err));
+                }
+            }
+        }
         if failures.is_empty() {
             return Ok(());
         }
@@ -376,18 +653,26 @@ impl<R> SessionPool<R> {
 
     /// Routes one audited release to the tenant's session
     /// ([`OsdpSession::release`]): the tenant's own accountant is debited,
-    /// the tenant's own audit log extended.
+    /// the tenant's own audit log extended. Quarantined tenants are refused
+    /// fast ([`OsdpError::TenantQuarantined`]) without touching the shard;
+    /// every routed outcome feeds the tenant's health machine.
     pub fn release(
         &self,
         tenant: &str,
         query: &SessionQuery<R>,
         mechanism: &dyn HistogramMechanism,
     ) -> Result<Release> {
-        self.session(tenant)?.release(query, mechanism)
+        self.admit(tenant)?;
+        let result = match self.session(tenant) {
+            Ok(session) => session.release(query, mechanism),
+            Err(err) => Err(err),
+        };
+        self.observe(tenant, result)
     }
 
     /// Routes a trial batch to the tenant's session
-    /// ([`OsdpSession::release_trials`]).
+    /// ([`OsdpSession::release_trials`]), with the same admission control
+    /// and health observation as [`SessionPool::release`].
     pub fn release_trials(
         &self,
         tenant: &str,
@@ -395,11 +680,17 @@ impl<R> SessionPool<R> {
         mechanism: &dyn HistogramMechanism,
         trials: usize,
     ) -> Result<Vec<Histogram>> {
-        self.session(tenant)?.release_trials(query, mechanism, trials)
+        self.admit(tenant)?;
+        let result = match self.session(tenant) {
+            Ok(session) => session.release_trials(query, mechanism, trials),
+            Err(err) => Err(err),
+        };
+        self.observe(tenant, result)
     }
 
     /// Routes a whole-pool mechanism batch to the tenant's session
-    /// ([`OsdpSession::release_pool`]).
+    /// ([`OsdpSession::release_pool`]), with the same admission control and
+    /// health observation as [`SessionPool::release`].
     pub fn release_pool(
         &self,
         tenant: &str,
@@ -407,7 +698,12 @@ impl<R> SessionPool<R> {
         pool: &[&dyn HistogramMechanism],
         trials: usize,
     ) -> Result<Vec<PoolRelease>> {
-        self.session(tenant)?.release_pool(query, pool, trials)
+        self.admit(tenant)?;
+        let result = match self.session(tenant) {
+            Ok(session) => session.release_pool(query, pool, trials),
+            Err(err) => Err(err),
+        };
+        self.observe(tenant, result)
     }
 
     /// Sum of ε spent across every tenant — the *sequential*-composition
@@ -457,18 +753,38 @@ impl<R> SessionPool<R> {
     }
 }
 
+/// Collapses a maintenance failure into its typed persistence form:
+/// already-typed errors pass through, anything else (a logical failure
+/// surfaced as a plain [`OsdpError::Persistence`] string, say) is
+/// conservatively wrapped as a permanent commit failure so the health
+/// machine still trips.
+fn persist_failure(operation: &'static str, err: OsdpError) -> PersistError {
+    match err {
+        OsdpError::Persist(err) => err,
+        other => PersistError::new(
+            PersistOp::Commit,
+            "",
+            FaultClass::Permanent,
+            format!("{operation}: {other}"),
+        ),
+    }
+}
+
 /// The outcome of a pool-wide WAL maintenance sweep
 /// ([`SessionPool::sync_all`] / [`SessionPool::snapshot_all`]) in which one
 /// or more tenants failed. The sweep still visited **every** tenant — the
 /// tenants absent from [`PoolMaintenanceError::failures`] completed the
 /// operation — so the operator can retire exactly the failing shards
-/// instead of re-running (and re-fsyncing) the whole pool.
+/// instead of re-running (and re-fsyncing) the whole pool. Each failure is
+/// the typed [`PersistError`], so the operator can branch on
+/// transient-vs-permanent (retry the sweep vs [`SessionPool::try_heal`])
+/// without string-matching.
 #[derive(Debug)]
 pub struct PoolMaintenanceError {
     /// Which sweep failed (`"sync_all"` or `"snapshot_all"`).
     pub operation: &'static str,
-    /// The failing tenants with their errors, sorted by tenant key.
-    pub failures: Vec<(Arc<str>, OsdpError)>,
+    /// The failing tenants with their typed errors, sorted by tenant key.
+    pub failures: Vec<(Arc<str>, PersistError)>,
 }
 
 impl PoolMaintenanceError {
@@ -638,6 +954,171 @@ mod tests {
         // Non-tenant directories are ignored wholesale.
         assert_eq!(decode_tenant_dir("snapshots"), None);
         assert_eq!(decode_tenant_dir("tenant-%zz"), None);
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("osdp-pool-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_builder() -> SessionBuilder<u32> {
+        let db: Database<u32> = (0..100u32).collect();
+        SessionBuilder::new(db)
+            .policy(ClosurePolicy::new("upper-half", |&v: &u32| v >= 50), "P50")
+            .budget(10.0)
+            .seed(7)
+    }
+
+    /// A breaker that never cools down on its own: quarantine stays sticky
+    /// until an explicit heal, so tests observe no half-open races.
+    fn sticky_policy() -> HealthPolicy {
+        HealthPolicy { quarantine_after: 3, probe_cooldown: Duration::from_secs(3600) }
+    }
+
+    #[test]
+    fn transient_failures_degrade_then_quarantine_and_success_heals() {
+        let pool: SessionPool<u32> = SessionPool::new().with_health_policy(sticky_policy());
+        assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+        pool.record_failure("acme", FaultClass::Transient);
+        assert_eq!(pool.health("acme"), TenantHealth::Degraded);
+        pool.record_failure("acme", FaultClass::Transient);
+        assert_eq!(pool.health("acme"), TenantHealth::Degraded);
+        assert!(pool.admit("acme").is_ok(), "degraded tenants still serve");
+        pool.record_failure("acme", FaultClass::Transient);
+        assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+        // The breaker is open and the cooldown is far away: refuse fast,
+        // with the typed error.
+        match pool.admit("acme") {
+            Err(OsdpError::TenantQuarantined { tenant }) => assert_eq!(tenant, "acme"),
+            other => panic!("expected TenantQuarantined, got {other:?}"),
+        }
+        // Other tenants are untouched.
+        assert_eq!(pool.health("globex"), TenantHealth::Healthy);
+        assert!(pool.admit("globex").is_ok());
+        // A success closes the breaker; a permanent fault reopens it in one
+        // strike.
+        pool.record_success("acme");
+        assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+        assert!(pool.admit("acme").is_ok());
+        pool.record_failure("acme", FaultClass::Permanent);
+        assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+    }
+
+    #[test]
+    fn half_open_probe_admits_exactly_one() {
+        let pool: SessionPool<u32> = SessionPool::new().with_health_policy(HealthPolicy {
+            quarantine_after: 1,
+            probe_cooldown: Duration::ZERO,
+        });
+        pool.record_failure("acme", FaultClass::Permanent);
+        assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+        // Cooldown elapsed: one probe goes through; a second caller is
+        // refused while the probe is in flight.
+        assert!(pool.admit("acme").is_ok());
+        assert!(matches!(pool.admit("acme"), Err(OsdpError::TenantQuarantined { .. })));
+        // A failed probe re-opens the breaker (and releases the slot).
+        pool.record_failure("acme", FaultClass::Transient);
+        assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+        assert!(pool.admit("acme").is_ok(), "zero cooldown: next probe is allowed");
+        // A non-persistence outcome (a budget refusal, say) is no verdict
+        // on the disk: health is unchanged but the probe slot frees up.
+        let _: Result<()> =
+            pool.observe("acme", Err(OsdpError::InvalidInput("budget refused".into())));
+        assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+        assert!(pool.admit("acme").is_ok());
+        // A successful probe closes the breaker.
+        let _: Result<()> = pool.observe("acme", Ok(()));
+        assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+    }
+
+    #[test]
+    fn crashed_tenant_quarantines_with_typed_error_and_heals_bit_for_bit() {
+        let dir = tmp_dir("heal");
+        let pool: SessionPool<u32> = SessionPool::open(dir.clone(), SyncPolicy::Always)
+            .unwrap()
+            .with_health_policy(sticky_policy());
+        pool.open_tenant("acme", durable_builder).unwrap();
+        let m = OsdpLaplaceL1::new(0.75).unwrap();
+        pool.release("acme", &mod8_query(), &m).unwrap();
+        assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+
+        // The shard's writer dies mid-service (simulated): the maintenance
+        // sweep surfaces the typed permanent failure and trips the breaker.
+        pool.get("acme").unwrap().persistence().unwrap().crash(1.0).unwrap();
+        let err = pool.sync_all().unwrap_err();
+        assert_eq!(err.operation, "sync_all");
+        assert_eq!(err.failures.len(), 1);
+        assert_eq!(err.failures[0].0.as_ref(), "acme");
+        assert_eq!(err.failures[0].1.class, FaultClass::Permanent);
+        assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+
+        // Releases now refuse fast without touching the dead shard.
+        match pool.release("acme", &mod8_query(), &m) {
+            Err(OsdpError::TenantQuarantined { tenant }) => assert_eq!(tenant, "acme"),
+            other => panic!("expected fast quarantine refusal, got {other:?}"),
+        }
+
+        // Heal: evict + drain, clear the leftover LOCK, reopen through
+        // snapshot + replay. The acknowledged grant survives and the
+        // accountant == audit == an independent ledger peek, bit for bit.
+        let healed = pool.try_heal("acme", durable_builder).unwrap();
+        assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+        let peek = osdp_persist::TenantLedger::peek(dir.join(encode_tenant_dir("acme"))).unwrap();
+        assert_eq!(healed.audit_total_epsilon_units(), peek.spent_units());
+        assert_eq!(healed.total_spent(), 0.75);
+        // And the tenant serves again.
+        pool.release("acme", &mod8_query(), &m).unwrap();
+        assert!(pool.verify_all_ledgers().all_upheld());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_disk_full_fails_closed_and_heals() {
+        use osdp_persist::{FaultKind, FaultPlan, FaultVfs};
+        let dir = tmp_dir("faultvfs");
+        // Write ops #0–#1 on wal.log are the open-time header rewrite
+        // (set_len + write); op #2 is the first grant frame — that one
+        // hits ENOSPC.
+        let plan = FaultPlan::new().fail_nth(PersistOp::Write, "wal.log", 2, FaultKind::DiskFull);
+        let pool: SessionPool<u32> = SessionPool::open_with(
+            dir.clone(),
+            SyncPolicy::Always,
+            LedgerOptions::default(),
+            FaultVfs::new(plan),
+        )
+        .unwrap()
+        .with_health_policy(sticky_policy());
+        pool.open_tenant("acme", durable_builder).unwrap();
+
+        let m = OsdpLaplaceL1::new(0.75).unwrap();
+        let err = pool.release("acme", &mod8_query(), &m).unwrap_err();
+        assert!(
+            matches!(err, OsdpError::Persist(ref p) if p.class == FaultClass::Permanent),
+            "expected a typed permanent persistence failure, got {err:?}"
+        );
+        // Fail-closed: the caller was refused, but the admitted debit is
+        // conservatively kept — budget is never resurrected by an IO fault.
+        assert_eq!(pool.get("acme").unwrap().total_spent(), 0.75);
+        assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+
+        // Heal. The one-shot fault is spent; the shard reopens cleanly and
+        // the recovered state matches an independent peek bit for bit.
+        let healed = pool.try_heal("acme", durable_builder).unwrap();
+        assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+        let peek = osdp_persist::TenantLedger::peek(dir.join(encode_tenant_dir("acme"))).unwrap();
+        assert_eq!(healed.audit_total_epsilon_units(), peek.spent_units());
+        // The tenant serves again and the pool-wide audit still balances.
+        pool.release("acme", &mod8_query(), &m).unwrap();
+        assert!(pool.verify_all_ledgers().all_upheld());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn try_heal_refuses_in_memory_pools() {
+        let pool: SessionPool<u32> = SessionPool::new();
+        assert!(pool.try_heal("acme", durable_builder).is_err());
     }
 
     #[test]

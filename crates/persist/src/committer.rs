@@ -5,11 +5,11 @@
 //! ## Protocol
 //!
 //! Appenders encode their frame (no lock held), push a `Submission` onto
-//! the channel, and block on a per-thread `Waiter`. The committer drains
-//! up to `max_batch` frames per round — waiting at most `max_wait` after
-//! the first for stragglers — then, under the ledger's inner lock, issues
-//! **one vectored write + one fsync** for the whole batch, applies the
-//! batch to the snapshot mirror, advances the durable-frame watermark
+//! the channel, and block on a fresh per-submission `Waiter`. The committer
+//! drains up to `max_batch` frames per round — waiting at most `max_wait`
+//! after the first for stragglers — then, under the ledger's inner lock,
+//! issues **one vectored write + one fsync** for the whole batch, applies
+//! the batch to the snapshot mirror, advances the durable-frame watermark
 //! ([`GroupCommitStats::durable_frames`]), and wakes every blocked
 //! appender. An append therefore returns only once its own frame is
 //! durable — `Always`-grade semantics — while the fsync cost is shared by
@@ -18,19 +18,30 @@
 //! ## Failure and crash semantics
 //!
 //! A write/fsync error poisons the ledger: the batch's appenders get the
-//! error, the channel is drained with every queued appender failed, and
-//! all later appends are refused (the engine's grant path then refuses the
-//! release — ε stays conservatively spent, nothing unlogged escapes).
-//! [`crate::TenantLedger::crash`] severs **mid-batch**: queued frames are
-//! stashed into the writer's pending buffer (so `crash(keep_fraction)` can
-//! write a torn prefix of them, exactly like a real crash mid-`write(2)`),
-//! their appenders fail, and the committer exits.
+//! typed [`PersistError`], the channel is drained with every queued
+//! appender failed, and all later appends are refused (the engine's grant
+//! path then refuses the release — ε stays conservatively spent, nothing
+//! unlogged escapes). [`crate::TenantLedger::crash`] severs **mid-batch**:
+//! queued frames are stashed into the writer's pending buffer (so
+//! `crash(keep_fraction)` can write a torn prefix of them, exactly like a
+//! real crash mid-`write(2)`), their appenders fail, and the committer
+//! exits.
+//!
+//! **No appender blocks forever.** Three mechanisms bound every wait:
+//! every unsettled `FrameSubmission` fails its waiter *on drop* — so a
+//! committer that dies for any reason (panic included) settles every
+//! queued frame the moment the channel's receiver unwinds; the failure
+//! paths above settle frames explicitly with the real error; and each
+//! appender's wait carries the ledger's `commit_deadline`, after which it
+//! returns a typed transient timeout even if the committer is wedged mid-
+//! fsync.
 //!
 //! [`SyncPolicy::GroupCommit`]: crate::SyncPolicy::GroupCommit
 
-use crate::ledger::{auto_rotate_due, rotate_locked, Inner, Shared, CRASHED_MSG};
+use crate::ledger::{auto_rotate_due, crashed_persist, rotate_locked, Inner, Shared};
 use crate::record::WalRecord;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use osdp_core::error::{FaultClass, OsdpError, PersistError, PersistOp};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -86,11 +97,6 @@ impl GroupCounters {
     }
 }
 
-/// How long a blocked appender sleeps between re-checks of the poison flag
-/// (the normal wake-up is the committer's notify; this only bounds the
-/// stall when a crash races a submission into a dying channel).
-const POISON_RECHECK: Duration = Duration::from_millis(25);
-
 /// The settled state of one submitted frame.
 #[derive(Debug)]
 enum WaitState {
@@ -98,26 +104,52 @@ enum WaitState {
     Pending,
     /// Written and fsync'd.
     Durable,
-    /// The committer failed or the ledger crashed before the frame landed.
-    Failed(String),
+    /// The committer failed, died, or the ledger crashed before the frame
+    /// landed.
+    Failed(PersistError),
 }
 
-/// One appender's handle on its in-flight frame. Reused per thread (an
-/// append is synchronous, so a thread has at most one frame in flight).
+/// One appender's handle on its in-flight frame. **Fresh per submission**:
+/// a reused waiter could be settled by a stale in-flight submission after
+/// its appender timed out and re-armed it for a new frame.
 #[derive(Debug)]
 pub(crate) struct Waiter {
     state: Mutex<WaitState>,
     cv: Condvar,
 }
 
-impl Waiter {
-    fn new() -> Self {
-        Self { state: Mutex::new(WaitState::Pending), cv: Condvar::new() }
-    }
+/// The typed error an appender gets when its wait deadline expires before
+/// the committer settles the frame.
+fn deadline_error(deadline: Duration) -> PersistError {
+    PersistError::new(
+        PersistOp::Commit,
+        "",
+        FaultClass::Transient,
+        format!(
+            "group-commit frame was not durable within the {deadline:?} deadline; the \
+             committer may be stalled and the frame may still commit later — treat the \
+             grant as refused (its ε stays conservatively spent)"
+        ),
+    )
+}
 
-    /// Re-arms the waiter for a fresh submission.
-    fn reset(&self) {
-        *self.state.lock().expect("waiter lock") = WaitState::Pending;
+/// The typed error a frame gets when the committer thread is gone without
+/// recording a more specific failure (e.g. it panicked, or the submission
+/// raced a dying channel).
+fn committer_died_error() -> PersistError {
+    PersistError::new(
+        PersistOp::Commit,
+        "",
+        FaultClass::Permanent,
+        "the wal committer thread died before this frame was committed; the grant is \
+         refused (reopen the ledger to recover)",
+    )
+}
+
+impl Waiter {
+    /// A fresh, pending waiter.
+    pub(crate) fn new() -> Self {
+        Self { state: Mutex::new(WaitState::Pending), cv: Condvar::new() }
     }
 
     /// Marks the frame durable and wakes the appender.
@@ -127,73 +159,106 @@ impl Waiter {
     }
 
     /// Fails the frame and wakes the appender.
-    fn fail(&self, msg: &str) {
-        *self.state.lock().expect("waiter lock") = WaitState::Failed(msg.to_string());
+    fn fail(&self, err: &PersistError) {
+        *self.state.lock().expect("waiter lock") = WaitState::Failed(err.clone());
         self.cv.notify_all();
     }
 
-    /// Blocks until the frame settles. `poisoned` is the ledger-wide crash
-    /// flag: if it rises while the frame is still pending (a submission
-    /// racing a crash can slip past the committer's final drain), the wait
-    /// gives up with the crash error — the conservative direction, since an
-    /// unacknowledged frame during a crash is exactly a real crash's
-    /// ambiguity.
-    fn wait(&self, poisoned: &AtomicBool) -> Result<(), String> {
+    /// Blocks until the frame settles or `deadline` elapses. A settled
+    /// state always wins; on expiry the appender gets a typed *transient*
+    /// timeout and must treat the grant as refused while leaving its ε
+    /// spent (the frame may still commit behind its back — ambiguity is
+    /// resolved in the fail-closed direction).
+    pub(crate) fn wait(&self, deadline: Duration) -> Result<(), PersistError> {
+        let start = Instant::now();
         let mut state = self.state.lock().expect("waiter lock");
         loop {
             match &*state {
                 WaitState::Durable => return Ok(()),
-                WaitState::Failed(msg) => return Err(msg.clone()),
+                WaitState::Failed(err) => return Err(err.clone()),
                 WaitState::Pending => {
-                    let (guard, timeout) =
-                        self.cv.wait_timeout(state, POISON_RECHECK).expect("waiter lock");
-                    state = guard;
-                    // A settled state always wins over the poison flag.
-                    if timeout.timed_out()
-                        && matches!(*state, WaitState::Pending)
-                        && poisoned.load(Ordering::Acquire)
-                    {
-                        return Err(CRASHED_MSG.to_string());
+                    let elapsed = start.elapsed();
+                    if elapsed >= deadline {
+                        return Err(deadline_error(deadline));
                     }
+                    let (guard, _timeout) =
+                        self.cv.wait_timeout(state, deadline - elapsed).expect("waiter lock");
+                    state = guard;
                 }
             }
         }
     }
 }
 
-std::thread_local! {
-    /// The per-thread reusable waiter (appends are synchronous: at most one
-    /// in-flight frame per thread, across all ledgers).
-    static THREAD_WAITER: Arc<Waiter> = Arc::new(Waiter::new());
+/// One submitted frame: its encoded bytes, the record (the committer
+/// applies it to the snapshot mirror at commit time), and the blocked
+/// appender's waiter.
+///
+/// The waiter is settled **exactly once**: by [`FrameSubmission::complete`]
+/// or [`FrameSubmission::fail`] on the normal paths, or — if the submission
+/// is dropped unsettled (committer panicked, channel receiver unwound, a
+/// send raced a dying committer) — by the `Drop` guard, which fails the
+/// waiter with the recorded group error or a "committer died" error. This
+/// is what guarantees no appender blocks forever.
+#[derive(Debug)]
+pub(crate) struct FrameSubmission {
+    /// The complete frame bytes (header + payload).
+    pub(crate) bytes: Vec<u8>,
+    /// The record, for the mirror.
+    pub(crate) record: WalRecord,
+    waiter: Option<Arc<Waiter>>,
+    shared: Arc<Shared>,
 }
 
-/// Re-arms and hands out the calling thread's waiter.
-pub(crate) fn armed_thread_waiter() -> Arc<Waiter> {
-    THREAD_WAITER.with(|w| {
-        w.reset();
-        Arc::clone(w)
-    })
+impl FrameSubmission {
+    /// A new unsettled submission.
+    pub(crate) fn new(
+        bytes: Vec<u8>,
+        record: WalRecord,
+        waiter: Arc<Waiter>,
+        shared: Arc<Shared>,
+    ) -> Self {
+        Self { bytes, record, waiter: Some(waiter), shared }
+    }
+
+    /// Settles the waiter as durable.
+    fn complete(mut self) {
+        if let Some(waiter) = self.waiter.take() {
+            waiter.complete();
+        }
+    }
+
+    /// Settles the waiter with `err`.
+    fn fail(mut self, err: &PersistError) {
+        if let Some(waiter) = self.waiter.take() {
+            waiter.fail(err);
+        }
+    }
 }
 
-/// Blocks on the calling thread's waiter (see [`Waiter::wait`]).
-pub(crate) fn wait_thread_waiter(poisoned: &AtomicBool) -> Result<(), String> {
-    THREAD_WAITER.with(|w| w.wait(poisoned))
+impl Drop for FrameSubmission {
+    fn drop(&mut self) {
+        // Unsettled at drop: the committer never reached this frame. Fail
+        // the appender with the recorded fatal error, or a generic
+        // committer-death error when none was recorded.
+        if let Some(waiter) = self.waiter.take() {
+            let err = self
+                .shared
+                .group_error
+                .lock()
+                .ok()
+                .and_then(|g| g.clone())
+                .unwrap_or_else(committer_died_error);
+            waiter.fail(&err);
+        }
+    }
 }
 
 /// One message on the submission channel.
 #[derive(Debug)]
 pub(crate) enum Submission {
-    /// An encoded frame plus the record it encodes (the committer applies
-    /// the record to the snapshot mirror at commit time) and the appender's
-    /// waiter.
-    Frame {
-        /// The complete frame bytes (header + payload).
-        bytes: Vec<u8>,
-        /// The record, for the mirror.
-        record: WalRecord,
-        /// The blocked appender.
-        waiter: Arc<Waiter>,
-    },
+    /// An encoded frame (see [`FrameSubmission`]).
+    Frame(FrameSubmission),
     /// A bare wake-up (crash uses it to unblock a committer in `recv`).
     Nudge,
 }
@@ -241,7 +306,7 @@ fn run(shared: &Shared, rx: &Receiver<Submission>, max_batch: usize, max_wait: D
             // for defense in depth, then exit.
             Err(_) => break,
         }
-        let mut frames = batch.iter().filter(|s| matches!(s, Submission::Frame { .. })).count();
+        let mut frames = batch.iter().filter(|s| matches!(s, Submission::Frame(_))).count();
         let deadline = (max_wait > Duration::ZERO).then(|| Instant::now() + max_wait);
         let mut disconnected = false;
         while frames < max_batch {
@@ -264,7 +329,7 @@ fn run(shared: &Shared, rx: &Receiver<Submission>, max_batch: usize, max_wait: D
                 },
             };
             let Some(next) = next else { break };
-            if matches!(next, Submission::Frame { .. }) {
+            if matches!(next, Submission::Frame(_)) {
                 frames += 1;
             }
             batch.push(next);
@@ -284,6 +349,15 @@ fn run(shared: &Shared, rx: &Receiver<Submission>, max_batch: usize, max_wait: D
     let _ = commit_batch(shared, rx, &mut batch);
 }
 
+/// Converts a rotation failure (any [`OsdpError`]) into the typed form the
+/// health plane consumes.
+fn to_persist(err: &OsdpError) -> PersistError {
+    match err {
+        OsdpError::Persist(p) => p.clone(),
+        other => PersistError::new(PersistOp::Commit, "", FaultClass::Permanent, other.to_string()),
+    }
+}
+
 /// Commits one batch: one vectored write + one fsync under the inner lock,
 /// mirror application, watermark advance, waiter wake-ups — or, on crash /
 /// IO failure, the stash-and-fail path.
@@ -296,12 +370,13 @@ fn commit_batch(shared: &Shared, rx: &Receiver<Submission>, batch: &mut Vec<Subm
     let frames: Vec<&[u8]> = batch
         .iter()
         .filter_map(|s| match s {
-            Submission::Frame { bytes, .. } => Some(bytes.as_slice()),
+            Submission::Frame(f) => Some(f.bytes.as_slice()),
             Submission::Nudge => None,
         })
         .collect();
     if frames.is_empty() {
         // Nudge-only round (no crash observed): nothing to do.
+        batch.clear();
         return Flow::Continue;
     }
     let committed = frames.len() as u64;
@@ -309,8 +384,8 @@ fn commit_batch(shared: &Shared, rx: &Receiver<Submission>, batch: &mut Vec<Subm
         Ok(()) => {
             drop(frames);
             for submission in batch.iter() {
-                if let Submission::Frame { record, .. } = submission {
-                    match record {
+                if let Submission::Frame(f) = submission {
+                    match &f.record {
                         WalRecord::Grant(g) => inner.mirror.apply_grant(g),
                         WalRecord::Refusal(_) => inner.mirror.apply_refusal(),
                         WalRecord::SnapshotMarker { .. } => {}
@@ -326,9 +401,9 @@ fn commit_batch(shared: &Shared, rx: &Receiver<Submission>, batch: &mut Vec<Subm
             };
             drop(inner);
             // The frames are durable regardless of how rotation fared.
-            for submission in batch.iter() {
-                if let Submission::Frame { waiter, .. } = submission {
-                    waiter.complete();
+            for submission in batch.drain(..) {
+                if let Submission::Frame(f) = submission {
+                    f.complete();
                 }
             }
             match rotation {
@@ -336,22 +411,25 @@ fn commit_batch(shared: &Shared, rx: &Receiver<Submission>, batch: &mut Vec<Subm
                 Err(e) => {
                     // Durable frames acknowledged, but the shard can no
                     // longer rotate — poison and stop accepting appends.
-                    poison(shared, &format!("group-commit auto-snapshot failed: {e}"));
-                    drain_and_fail(shared, rx);
+                    let mut err = to_persist(&e);
+                    err.detail = format!("group-commit auto-snapshot failed: {}", err.detail);
+                    poison(shared, &err);
+                    drain_queued(rx);
                     Flow::Stop
                 }
             }
         }
         Err(e) => {
-            let msg = format!("group commit write failed: {e}");
-            poison(shared, &msg);
+            let mut err = e;
+            err.detail = format!("group commit write failed: {}", err.detail);
+            poison(shared, &err);
             drop(inner);
-            for submission in batch.iter() {
-                if let Submission::Frame { waiter, .. } = submission {
-                    waiter.fail(&msg);
+            for submission in batch.drain(..) {
+                if let Submission::Frame(f) = submission {
+                    f.fail(&err);
                 }
             }
-            drain_and_fail(shared, rx);
+            drain_queued(rx);
             Flow::Stop
         }
     }
@@ -362,10 +440,11 @@ fn commit_batch(shared: &Shared, rx: &Receiver<Submission>, batch: &mut Vec<Subm
 /// `keep_fraction` prefix of it as the torn tail, severing **mid-batch** —
 /// and fail every blocked appender, batch and channel alike.
 fn stash_and_fail(rx: &Receiver<Submission>, inner: &mut Inner, batch: &mut Vec<Submission>) {
+    let crashed = crashed_persist();
     let mut stash = |submission: Submission| {
-        if let Submission::Frame { bytes, waiter, .. } = submission {
-            inner.writer.pending_mut().extend_from_slice(&bytes);
-            waiter.fail(CRASHED_MSG);
+        if let Submission::Frame(f) = submission {
+            inner.writer.pending_mut().extend_from_slice(&f.bytes);
+            f.fail(&crashed);
         }
     };
     for submission in batch.drain(..) {
@@ -376,23 +455,19 @@ fn stash_and_fail(rx: &Receiver<Submission>, inner: &mut Inner, batch: &mut Vec<
     }
 }
 
-/// Fails everything still queued after a committer IO failure.
-fn drain_and_fail(shared: &Shared, rx: &Receiver<Submission>) {
-    let msg = shared
-        .group_error
-        .lock()
-        .expect("group error lock")
-        .clone()
-        .unwrap_or_else(|| CRASHED_MSG.to_string());
+/// Drains everything still queued after a fatal committer error. Dropping
+/// an unsettled submission fails its waiter with the recorded group error
+/// (the drop guard), so no explicit per-frame failure is needed here — and
+/// any submission that slips in *after* this drain is settled the same way
+/// when the channel's receiver drops.
+fn drain_queued(rx: &Receiver<Submission>) {
     while let Ok(submission) = rx.try_recv() {
-        if let Submission::Frame { waiter, .. } = submission {
-            waiter.fail(&msg);
-        }
+        drop(submission);
     }
 }
 
 /// Records a fatal committer error and raises the poison flag.
-fn poison(shared: &Shared, msg: &str) {
-    *shared.group_error.lock().expect("group error lock") = Some(msg.to_string());
+fn poison(shared: &Shared, err: &PersistError) {
+    *shared.group_error.lock().expect("group error lock") = Some(err.clone());
     shared.poisoned.store(true, Ordering::Release);
 }

@@ -33,18 +33,18 @@
 //! every frame in the batch.
 
 use crate::committer::{
-    armed_thread_waiter, spawn, wait_thread_waiter, CommitterHandle, GroupCommitStats,
-    GroupCounters, Submission,
+    spawn, CommitterHandle, FrameSubmission, GroupCommitStats, GroupCounters, Submission, Waiter,
 };
 use crate::record::{GrantRecord, RecordRef, RefusalRecord, SnapshotCounters, WalRecord};
 use crate::snapshot::{marker_frame, MirrorState, SnapshotState};
-use crate::wal::{encode_frame_into, replay, SyncPolicy, WalWriter};
-use osdp_core::error::{OsdpError, Result};
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use crate::vfs::{persist_error, StdVfs, Vfs};
+use crate::wal::{encode_frame_into, replay, RetryPolicy, SyncPolicy, WalWriter};
+use osdp_core::error::{FaultClass, OsdpError, PersistError, PersistOp, Result};
+use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
 
 /// Magic header of `wal.log`.
 const WAL_MAGIC: &[u8; 8] = b"OSDPWAL1";
@@ -54,30 +54,190 @@ const WAL_HEADER: usize = 16;
 
 const WAL_FILE: &str = "wal.log";
 const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// The parked prior snapshot generation: rotation renames the old
+/// `snapshot.bin` here before moving the new one into place, covering the
+/// crash window in which `snapshot.bin` is briefly absent and giving
+/// corrupt-snapshot recovery a fallback.
+const SNAPSHOT_PREV_FILE: &str = "snapshot.prev";
 const LOCK_FILE: &str = "LOCK";
 
 /// The error every operation returns after [`TenantLedger::crash`].
 pub(crate) const CRASHED_MSG: &str = "ledger writer has crashed (simulated)";
 
-/// Maps an io error into the workspace error type with context.
+/// Maps an io error into the workspace error type with context (logical
+/// failures; typed IO faults go through [`pe`]).
 fn io_err(what: &str, err: std::io::Error) -> OsdpError {
     OsdpError::Persistence(format!("{what}: {err}"))
 }
 
-/// The crashed-ledger error.
+/// A typed persistence error for an IO fault on `path`.
+fn pe(op: PersistOp, path: &Path, err: &std::io::Error) -> OsdpError {
+    OsdpError::Persist(persist_error(op, path, err))
+}
+
+/// The crashed-ledger error (typed: permanent, nothing on this handle can
+/// succeed again).
+pub(crate) fn crashed_persist() -> PersistError {
+    PersistError::new(PersistOp::Commit, "", FaultClass::Permanent, CRASHED_MSG)
+}
+
+/// The crashed-ledger error as a workspace error.
 fn crashed_err() -> OsdpError {
-    OsdpError::Persistence(CRASHED_MSG.into())
+    OsdpError::Persist(crashed_persist())
+}
+
+/// This boot's identity token, recorded in `LOCK` files so a later open can
+/// distinguish a live writer (same boot, pid running) from a crash leftover
+/// (different boot, or pid gone). Falls back to a constant when the kernel
+/// does not expose a boot id — then only pid liveness discriminates.
+fn boot_token() -> &'static str {
+    static TOKEN: OnceLock<String> = OnceLock::new();
+    TOKEN.get_or_init(|| {
+        std::fs::read_to_string("/proc/sys/kernel/random/boot_id")
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown-boot".into())
+    })
+}
+
+/// What inspecting an existing `LOCK` file concluded about its holder.
+enum LockHolder {
+    /// The recorded writer is (or may be) alive — refuse.
+    Alive,
+    /// The recorded writer is provably gone; the note says why.
+    Dead(String),
+    /// Cannot decide (unreadable lock, no liveness oracle) — refuse
+    /// conservatively; [`force_unlock`] remains the manual override.
+    Unknown,
+}
+
+/// Decides whether the holder of `lock_path` is still alive. The lock body
+/// is `pid\nboot-token\n`; a token from another boot proves the writer
+/// died with that boot, and within the same boot `/proc/<pid>` decides.
+/// Legacy single-line locks (pid only) fall back to pid liveness alone.
+fn lock_holder_status(vfs: &dyn Vfs, lock_path: &Path) -> LockHolder {
+    let Ok(bytes) = vfs.read(lock_path) else {
+        return LockHolder::Unknown;
+    };
+    let text = String::from_utf8_lossy(&bytes);
+    let mut lines = text.lines();
+    let pid: Option<u32> = lines.next().and_then(|l| l.trim().parse().ok());
+    let token = lines.next().map(|l| l.trim().to_string()).filter(|t| !t.is_empty());
+    if let Some(token) = &token {
+        if token != "unknown-boot" && token != boot_token() {
+            return LockHolder::Dead(format!(
+                "cleared stale LOCK from a previous boot (token {token}, pid {pid:?})"
+            ));
+        }
+    }
+    let Some(pid) = pid else {
+        return LockHolder::Unknown;
+    };
+    if pid == std::process::id() {
+        // Our own pid: a live (or crashed-but-undropped) writer in this
+        // process still owns the shard.
+        return LockHolder::Alive;
+    }
+    if !Path::new("/proc").is_dir() {
+        return LockHolder::Unknown;
+    }
+    if Path::new(&format!("/proc/{pid}")).exists() {
+        LockHolder::Alive
+    } else {
+        LockHolder::Dead(format!("cleared stale LOCK left by dead pid {pid} (same boot)"))
+    }
+}
+
+/// Takes the shard's single-writer lock: `O_CREAT|O_EXCL` on `LOCK`, whose
+/// body records our pid + boot token. When the file already exists, the
+/// recorded holder is probed — a provably-dead holder's lock is cleared
+/// (recorded in `report`) and acquisition retried once; a live or
+/// undecidable holder refuses with the "locked" error.
+fn acquire_lock(vfs: &dyn Vfs, dir: &Path, report: &mut RecoveryReport) -> Result<()> {
+    let lock_path = dir.join(LOCK_FILE);
+    let locked = |dir: &Path| {
+        OsdpError::Persistence(format!(
+            "tenant shard '{}' is locked by another writer (or a crashed one left a stale \
+             LOCK that could not be proven dead; use force_unlock once that process is \
+             known dead)",
+            dir.display()
+        ))
+    };
+    for pass in 0..2u8 {
+        match vfs.create_new(&lock_path) {
+            Ok(mut lock) => {
+                let body = format!("{}\n{}\n", std::process::id(), boot_token());
+                let _ = lock.write_all(body.as_bytes());
+                return Ok(());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists && pass == 0 => {
+                match lock_holder_status(vfs, &lock_path) {
+                    LockHolder::Dead(note) => {
+                        match vfs.remove_file(&lock_path) {
+                            Ok(()) => {}
+                            // Already gone: another opener cleared it first.
+                            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                            Err(e) => return Err(pe(PersistOp::Lock, &lock_path, &e)),
+                        }
+                        report.cleared_stale_lock = true;
+                        report.notes.push(note);
+                        // Loop: retry the exclusive create exactly once.
+                    }
+                    LockHolder::Alive | LockHolder::Unknown => return Err(locked(dir)),
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                // The re-acquire after clearing raced another opener.
+                return Err(locked(dir));
+            }
+            Err(e) => return Err(pe(PersistOp::Lock, &lock_path, &e)),
+        }
+    }
+    Err(locked(dir))
 }
 
 /// Removes a stale `LOCK` file left behind by a crashed writer, returning
 /// whether one existed. Only call this once the previous writer process is
 /// known to be dead — removing a *live* writer's lock re-opens the shard to
-/// a second writer and voids the single-writer guarantee.
+/// a second writer and voids the single-writer guarantee. Usually
+/// unnecessary: [`TenantLedger::open`] auto-clears locks whose recorded
+/// writer is provably gone (dead pid, or a previous boot); this is the
+/// manual override for the undecidable cases.
 pub fn force_unlock(dir: impl AsRef<Path>) -> Result<bool> {
     match std::fs::remove_file(dir.as_ref().join(LOCK_FILE)) {
         Ok(()) => Ok(true),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
         Err(e) => Err(io_err("removing LOCK", e)),
+    }
+}
+
+/// What recovery had to repair or fall back to while opening a shard — all
+/// empty/false after a clean open. Surfaced on [`RecoveredLedger::report`]
+/// so operators can distinguish "opened clean" from "opened by quarantining
+/// a corrupt snapshot and replaying the full WAL".
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// The file name a corrupt `snapshot.bin` was parked under
+    /// (`snapshot.corrupt-<wal-generation>`), if quarantine happened.
+    pub quarantined_snapshot: Option<String>,
+    /// Recovery fell back to the parked prior snapshot generation
+    /// (`snapshot.prev`) and replayed the full WAL on top of it.
+    pub used_prev_snapshot: bool,
+    /// Recovery reconstructed base counters from the WAL's snapshot marker
+    /// (totals intact, per-mechanism rows lost) — mirrors
+    /// [`RecoveredLedger::degraded`].
+    pub used_marker_fallback: bool,
+    /// A stale `LOCK` from a provably-dead writer was auto-cleared.
+    pub cleared_stale_lock: bool,
+    /// Human-readable notes for each repair or fallback taken.
+    pub notes: Vec<String>,
+}
+
+impl RecoveryReport {
+    /// Whether recovery needed no repair or fallback at all.
+    pub fn is_clean(&self) -> bool {
+        self == &RecoveryReport::default()
     }
 }
 
@@ -104,6 +264,9 @@ pub struct RecoveredLedger {
     /// totals are intact, but the per-mechanism aggregate rows of the
     /// pre-marker history are lost.
     pub degraded: bool,
+    /// What recovery had to repair or fall back to (all-default after a
+    /// clean open).
+    pub report: RecoveryReport,
 }
 
 impl RecoveredLedger {
@@ -142,7 +305,7 @@ impl RecoveredLedger {
 }
 
 /// Tuning knobs of [`TenantLedger::open_with`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LedgerOptions {
     /// Rotate a fresh snapshot automatically once this many frames have
     /// been appended since the last rotation, bounding recovery replay to
@@ -150,6 +313,28 @@ pub struct LedgerOptions {
     /// default) never rotates automatically — rotation stays an explicit
     /// [`TenantLedger::rotate_snapshot`] call.
     pub auto_snapshot_every: Option<u64>,
+    /// Bounded-backoff retry for transient WAL write faults (see
+    /// [`RetryPolicy`]). Fsync failures are never retried regardless of
+    /// this setting.
+    pub retry: RetryPolicy,
+    /// Upper bound on how long one group-commit append blocks waiting for
+    /// the committer to make its frame durable (30 s by default —
+    /// effectively "committer is wedged", far above any healthy fsync).
+    /// On expiry the append returns a typed *transient* timeout error; the
+    /// frame **may still commit later**, so callers must treat the grant as
+    /// refused while leaving its ε conservatively spent — the fail-closed
+    /// direction. Irrelevant to the buffered policies.
+    pub commit_deadline: Duration,
+}
+
+impl Default for LedgerOptions {
+    fn default() -> Self {
+        Self {
+            auto_snapshot_every: None,
+            retry: RetryPolicy::default(),
+            commit_deadline: Duration::from_secs(30),
+        }
+    }
 }
 
 /// The writer state behind the ledger's mutex.
@@ -174,21 +359,24 @@ pub(crate) struct Inner {
 #[derive(Debug)]
 pub(crate) struct Shared {
     pub(crate) dir: PathBuf,
+    /// The file-system this shard does all its IO through.
+    pub(crate) vfs: Arc<dyn Vfs>,
     pub(crate) inner: Mutex<Inner>,
     /// Raised by crash or a fatal committer error; lets blocked group
     /// appenders give up without taking the inner lock.
     pub(crate) poisoned: AtomicBool,
     /// The fatal committer error, if any (None after a plain crash).
-    pub(crate) group_error: Mutex<Option<String>>,
+    pub(crate) group_error: Mutex<Option<PersistError>>,
     /// Group-commit observability counters (all zero otherwise).
     pub(crate) counters: GroupCounters,
-    /// The auto-snapshot threshold ([`LedgerOptions::auto_snapshot_every`]).
-    pub(crate) auto_snapshot_every: Option<u64>,
+    /// The open-time options (auto-snapshot threshold, retry policy,
+    /// commit deadline).
+    pub(crate) options: LedgerOptions,
 }
 
 /// Whether the auto-snapshot threshold is due.
 pub(crate) fn auto_rotate_due(shared: &Shared, inner: &Inner) -> bool {
-    shared.auto_snapshot_every.is_some_and(|n| inner.frames_since_rotation >= n.max(1))
+    shared.options.auto_snapshot_every.is_some_and(|n| inner.frames_since_rotation >= n.max(1))
 }
 
 /// A single-writer, append-only durable ledger for one tenant shard (see
@@ -216,27 +404,26 @@ impl TenantLedger {
         sync: SyncPolicy,
         options: LedgerOptions,
     ) -> Result<(Self, RecoveredLedger)> {
+        Self::open_with_vfs(dir, sync, options, Arc::new(StdVfs))
+    }
+
+    /// [`TenantLedger::open_with`] over an explicit file system — the
+    /// injection point for [`crate::vfs::FaultVfs`] in fault tests.
+    pub fn open_with_vfs(
+        dir: impl Into<PathBuf>,
+        sync: SyncPolicy,
+        options: LedgerOptions,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(Self, RecoveredLedger)> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir).map_err(|e| io_err("creating tenant shard dir", e))?;
-        // O_CREAT|O_EXCL: exactly one writer per shard, across processes.
-        match OpenOptions::new().write(true).create_new(true).open(dir.join(LOCK_FILE)) {
-            Ok(mut lock) => {
-                let _ = writeln!(lock, "{}", std::process::id());
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                return Err(OsdpError::Persistence(format!(
-                    "tenant shard '{}' is locked by another writer (or a crashed one left a \
-                     stale LOCK; use force_unlock once that process is known dead)",
-                    dir.display()
-                )));
-            }
-            Err(e) => return Err(io_err("creating LOCK", e)),
-        }
+        vfs.create_dir_all(&dir).map_err(|e| pe(PersistOp::CreateDir, &dir, &e))?;
+        let mut lock_report = RecoveryReport::default();
+        acquire_lock(vfs.as_ref(), &dir, &mut lock_report)?;
         // From here on, errors must release the lock we just took.
-        match Self::open_locked(&dir, sync, options) {
+        match Self::open_locked(&dir, sync, options, vfs.clone(), lock_report) {
             Ok(ok) => Ok(ok),
             Err(e) => {
-                let _ = std::fs::remove_file(dir.join(LOCK_FILE));
+                let _ = vfs.remove_file(&dir.join(LOCK_FILE));
                 Err(e)
             }
         }
@@ -246,23 +433,22 @@ impl TenantLedger {
         dir: &Path,
         sync: SyncPolicy,
         options: LedgerOptions,
+        vfs: Arc<dyn Vfs>,
+        lock_report: RecoveryReport,
     ) -> Result<(Self, RecoveredLedger)> {
-        let recovered = read_state(dir)?;
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(dir.join(WAL_FILE))
-            .map_err(|e| io_err("opening wal.log", e))?;
-        let len = file.metadata().map_err(|e| io_err("stat wal.log", e))?.len();
+        let mut recovered = read_state(vfs.as_ref(), dir, true)?;
+        recovered.report.cleared_stale_lock = lock_report.cleared_stale_lock;
+        recovered.report.notes.splice(0..0, lock_report.notes);
+        let wal_path = dir.join(WAL_FILE);
+        let mut file = vfs.open_rw(&wal_path).map_err(|e| pe(PersistOp::Open, &wal_path, &e))?;
+        let len = file.seek(SeekFrom::End(0)).map_err(|e| pe(PersistOp::Open, &wal_path, &e))?;
+        let mut writer = WalWriter::new(file, wal_path, len, options.retry);
         let expected = wal_len_after_recovery(&recovered, len);
         if expected != len {
             // Torn tail or stale/partial header: rewrite the file to the
             // recovered prefix so the next crash has a clean base.
-            rewrite_wal(&mut file, &recovered)?;
+            writer.rewrite(&wal_image(&recovered)).map_err(OsdpError::from)?;
         }
-        file.seek(SeekFrom::End(0)).map_err(|e| io_err("seeking wal.log", e))?;
         let mut mirror = MirrorState::from_snapshot(&recovered.base);
         for grant in &recovered.grants {
             mirror.apply_grant(grant);
@@ -276,8 +462,9 @@ impl TenantLedger {
         let ledger = Self {
             shared: Arc::new(Shared {
                 dir: dir.to_path_buf(),
+                vfs,
                 inner: Mutex::new(Inner {
-                    writer: WalWriter::new(file),
+                    writer,
                     unsynced: 0,
                     mirror,
                     crashed: false,
@@ -286,7 +473,7 @@ impl TenantLedger {
                 poisoned: AtomicBool::new(false),
                 group_error: Mutex::new(None),
                 counters: GroupCounters::default(),
-                auto_snapshot_every: options.auto_snapshot_every,
+                options,
             }),
             sync,
             committer: OnceLock::new(),
@@ -295,11 +482,16 @@ impl TenantLedger {
     }
 
     /// Reads a shard's durable state **without** taking the writer lock,
-    /// truncating, or rewriting anything. For audits and tests that need an
-    /// independent view of what is on disk; racing a live writer sees some
-    /// durable prefix.
+    /// truncating, rewriting, or quarantining anything. For audits and
+    /// tests that need an independent view of what is on disk; racing a
+    /// live writer sees some durable prefix.
     pub fn peek(dir: impl AsRef<Path>) -> Result<RecoveredLedger> {
-        read_state(dir.as_ref())
+        read_state(&StdVfs, dir.as_ref(), false)
+    }
+
+    /// [`TenantLedger::peek`] over an explicit file system.
+    pub fn peek_with_vfs(dir: impl AsRef<Path>, vfs: &dyn Vfs) -> Result<RecoveredLedger> {
+        read_state(vfs, dir.as_ref(), false)
     }
 
     /// The shard directory.
@@ -390,20 +582,29 @@ impl TenantLedger {
         }
         let mut bytes = Vec::with_capacity(192);
         SCRATCH.with(|s| encode_frame_into(&mut bytes, &mut s.borrow_mut(), record));
-        let waiter = armed_thread_waiter();
-        let submission = Submission::Frame { bytes, record: record.to_owned_record(), waiter };
+        // A fresh waiter per submission: a reused waiter could be settled by
+        // a stale in-flight submission after this appender's deadline fires.
+        let waiter = Arc::new(Waiter::new());
+        let submission = Submission::Frame(FrameSubmission::new(
+            bytes,
+            record.to_owned_record(),
+            Arc::clone(&waiter),
+            Arc::clone(&self.shared),
+        ));
         if handle.tx.send(submission).is_err() {
             // The committer exited (crash or fatal IO error) — refuse.
+            // (The undelivered submission's drop guard settles the waiter,
+            // but we already know the failure here.)
             return Err(self.group_failure());
         }
         self.shared.counters.count_submission();
-        wait_thread_waiter(&self.shared.poisoned).map_err(OsdpError::Persistence)
+        waiter.wait(self.shared.options.commit_deadline).map_err(OsdpError::from)
     }
 
     /// The error group appends report once the ledger is poisoned.
     fn group_failure(&self) -> OsdpError {
         match self.shared.group_error.lock().expect("group error lock").clone() {
-            Some(msg) => OsdpError::Persistence(msg),
+            Some(err) => OsdpError::Persist(err),
             None => crashed_err(),
         }
     }
@@ -515,13 +716,13 @@ impl Drop for TenantLedger {
             return;
         }
         let _ = flush_inner(&mut inner);
-        let _ = std::fs::remove_file(self.shared.dir.join(LOCK_FILE));
+        let _ = self.shared.vfs.remove_file(&self.shared.dir.join(LOCK_FILE));
     }
 }
 
 /// Writes + fsyncs the pending buffer.
 fn flush_inner(inner: &mut Inner) -> Result<()> {
-    inner.writer.flush_and_sync().map_err(|e| io_err("flushing wal.log", e))?;
+    inner.writer.flush_and_sync().map_err(OsdpError::from)?;
     inner.unsynced = 0;
     Ok(())
 }
@@ -533,18 +734,25 @@ pub(crate) fn rotate_locked(shared: &Shared, inner: &mut Inner) -> Result<()> {
     flush_inner(inner)?;
     let generation = inner.mirror.generation + 1;
     let snapshot = inner.mirror.to_snapshot(generation);
+    let vfs = shared.vfs.as_ref();
     // Temp + rename: a torn snapshot write never shadows the good one.
     let tmp = shared.dir.join("snapshot.tmp");
     {
-        let mut f = File::create(&tmp).map_err(|e| io_err("creating snapshot.tmp", e))?;
-        f.write_all(&snapshot.encode()).map_err(|e| io_err("writing snapshot.tmp", e))?;
-        f.sync_data().map_err(|e| io_err("syncing snapshot.tmp", e))?;
+        let mut f = vfs.create_truncate(&tmp).map_err(|e| pe(PersistOp::Open, &tmp, &e))?;
+        f.write_all(&snapshot.encode()).map_err(|e| pe(PersistOp::Write, &tmp, &e))?;
+        f.sync_data().map_err(|e| pe(PersistOp::Fsync, &tmp, &e))?;
     }
-    std::fs::rename(&tmp, shared.dir.join(SNAPSHOT_FILE))
-        .map_err(|e| io_err("renaming snapshot into place", e))?;
-    if let Ok(d) = File::open(&shared.dir) {
-        let _ = d.sync_all();
+    let snap = shared.dir.join(SNAPSHOT_FILE);
+    // Park the outgoing generation as snapshot.prev: it covers the crash
+    // window where snapshot.bin is briefly absent, and gives recovery a
+    // fallback should the new snapshot later prove corrupt.
+    match vfs.rename(&snap, &shared.dir.join(SNAPSHOT_PREV_FILE)) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {} // first rotation
+        Err(e) => return Err(pe(PersistOp::Rename, &snap, &e)),
     }
+    vfs.rename(&tmp, &snap).map_err(|e| pe(PersistOp::Rename, &tmp, &e))?;
+    let _ = vfs.sync_dir(&shared.dir);
     inner.mirror.generation = generation;
     // Reset the WAL behind the new snapshot. A crash before this block
     // leaves WAL generation < snapshot generation: recovery ignores the
@@ -555,9 +763,9 @@ pub(crate) fn rotate_locked(shared: &Shared, inner: &mut Inner) -> Result<()> {
         refusals: Vec::new(),
         truncated_bytes: 0,
         degraded: false,
+        report: RecoveryReport::default(),
     };
-    rewrite_wal(inner.writer.file_mut(), &base)?;
-    inner.writer.file_mut().seek(SeekFrom::End(0)).map_err(|e| io_err("seeking wal.log", e))?;
+    inner.writer.rewrite(&wal_image(&base)).map_err(OsdpError::from)?;
     inner.unsynced = 0;
     inner.frames_since_rotation = 0;
     Ok(())
@@ -575,9 +783,10 @@ fn wal_len_after_recovery(recovered: &RecoveredLedger, len: u64) -> u64 {
     }
 }
 
-/// Rewrites `wal.log` from scratch: header at the base generation, a
-/// marker when there is a snapshot to mark, then the recovered tail frames.
-fn rewrite_wal(file: &mut File, recovered: &RecoveredLedger) -> Result<()> {
+/// Builds the byte image a rewritten `wal.log` should hold: header at the
+/// base generation, a marker when there is a snapshot to mark, then the
+/// recovered tail frames.
+fn wal_image(recovered: &RecoveredLedger) -> Vec<u8> {
     let mut image = Vec::with_capacity(WAL_HEADER + 256);
     image.extend_from_slice(WAL_MAGIC);
     image.extend_from_slice(&recovered.base.generation.to_le_bytes());
@@ -593,31 +802,95 @@ fn rewrite_wal(file: &mut File, recovered: &RecoveredLedger) -> Result<()> {
     for refusal in &recovered.refusals {
         encode_frame_into(&mut image, &mut scratch, RecordRef::Refusal(refusal));
     }
-    file.set_len(0).map_err(|e| io_err("truncating wal.log", e))?;
-    file.seek(SeekFrom::Start(0)).map_err(|e| io_err("seeking wal.log", e))?;
-    file.write_all(&image).map_err(|e| io_err("rewriting wal.log", e))?;
-    file.sync_data().map_err(|e| io_err("syncing wal.log", e))?;
-    Ok(())
+    image
+}
+
+/// Loads the snapshot base: `snapshot.bin`, falling back to the parked
+/// `snapshot.prev` when the primary is corrupt — and, in `repair` mode,
+/// parking the corrupt primary as `snapshot.corrupt-<wal-generation>` so it
+/// never shadows recovery again yet stays available for forensics.
+fn load_snapshot(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    repair: bool,
+    wal_gen_hint: u64,
+    report: &mut RecoveryReport,
+) -> Result<Option<SnapshotState>> {
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    match vfs.read(&snap_path) {
+        Ok(bytes) => match SnapshotState::decode(&bytes) {
+            Ok(state) => return Ok(Some(state)),
+            Err(decode_err) => {
+                report.notes.push(format!("snapshot.bin failed to decode: {decode_err}"));
+                if repair {
+                    let name = format!("snapshot.corrupt-{wal_gen_hint}");
+                    match vfs.rename(&snap_path, &dir.join(&name)) {
+                        Ok(()) => report.quarantined_snapshot = Some(name),
+                        Err(e) => {
+                            report.notes.push(format!("quarantining snapshot.bin failed: {e}"));
+                        }
+                    }
+                }
+                // Fall through to snapshot.prev.
+            }
+        },
+        // Absent primary (fresh shard, or the crash window between the
+        // prev-rename and the bin-rename): snapshot.prev may still match.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(pe(PersistOp::Read, &snap_path, &e)),
+    }
+    // The parked prior generation is only trustworthy when it is exactly
+    // the generation the WAL header continues — otherwise replaying the
+    // WAL on top of it would double-count collapsed history.
+    let prev_path = dir.join(SNAPSHOT_PREV_FILE);
+    match vfs.read(&prev_path) {
+        Ok(bytes) => match SnapshotState::decode(&bytes) {
+            Ok(state) if state.generation == wal_gen_hint => {
+                report.used_prev_snapshot = true;
+                report.notes.push(format!(
+                    "recovered from snapshot.prev (generation {})",
+                    state.generation
+                ));
+                Ok(Some(state))
+            }
+            Ok(state) => {
+                report.notes.push(format!(
+                    "snapshot.prev is at generation {} but the WAL continues generation \
+                     {wal_gen_hint}; ignoring it",
+                    state.generation
+                ));
+                Ok(None)
+            }
+            Err(e) => {
+                report.notes.push(format!("snapshot.prev also failed to decode: {e}"));
+                Ok(None)
+            }
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(pe(PersistOp::Read, &prev_path, &e)),
+    }
 }
 
 /// Reads and reconciles `snapshot.bin` + `wal.log` (shared by `open` and
-/// `peek`; never writes).
-fn read_state(dir: &Path) -> Result<RecoveredLedger> {
-    let snapshot = match std::fs::read(dir.join(SNAPSHOT_FILE)) {
-        Ok(bytes) => Some(SnapshotState::decode(&bytes)?),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-        Err(e) => return Err(io_err("reading snapshot.bin", e)),
-    };
-    let wal = match File::open(dir.join(WAL_FILE)) {
-        Ok(mut f) => {
-            let mut bytes = Vec::new();
-            f.read_to_end(&mut bytes).map_err(|e| io_err("reading wal.log", e))?;
-            bytes
-        }
+/// `peek`). In `repair` mode a corrupt snapshot is quarantined on disk;
+/// otherwise nothing is ever written.
+fn read_state(vfs: &dyn Vfs, dir: &Path, repair: bool) -> Result<RecoveredLedger> {
+    let mut report = RecoveryReport::default();
+    let wal_path = dir.join(WAL_FILE);
+    let wal = match vfs.read(&wal_path) {
+        Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
-        Err(e) => return Err(io_err("opening wal.log", e)),
+        Err(e) => return Err(pe(PersistOp::Read, &wal_path, &e)),
     };
-    let base_or_default = snapshot.clone().unwrap_or_default();
+    // The WAL generation (best effort — 0 on a short or foreign header),
+    // used only to name a quarantined snapshot.
+    let wal_gen_hint = if wal.len() >= WAL_HEADER && &wal[..WAL_MAGIC.len()] == WAL_MAGIC {
+        u64::from_le_bytes(wal[WAL_MAGIC.len()..WAL_HEADER].try_into().expect("len checked"))
+    } else {
+        0
+    };
+    let snapshot = load_snapshot(vfs, dir, repair, wal_gen_hint, &mut report)?;
+    let base_or_default = snapshot.unwrap_or_default();
     if wal.len() < WAL_HEADER {
         // Empty or mid-rewrite header: no tail survived; the snapshot (if
         // any) is the whole durable state.
@@ -627,13 +900,13 @@ fn read_state(dir: &Path) -> Result<RecoveredLedger> {
             refusals: Vec::new(),
             truncated_bytes: wal.len() as u64,
             degraded: false,
+            report,
         });
     }
     if &wal[..WAL_MAGIC.len()] != WAL_MAGIC {
         return Err(OsdpError::Persistence("wal.log has a bad magic header".into()));
     }
-    let wal_generation =
-        u64::from_le_bytes(wal[WAL_MAGIC.len()..WAL_HEADER].try_into().expect("len checked"));
+    let wal_generation = wal_gen_hint;
     let snapshot_generation = base_or_default.generation;
     if wal_generation < snapshot_generation {
         // Rotation crashed between the snapshot rename and the WAL rewrite:
@@ -644,6 +917,7 @@ fn read_state(dir: &Path) -> Result<RecoveredLedger> {
             refusals: Vec::new(),
             truncated_bytes: (wal.len() - WAL_HEADER) as u64,
             degraded: false,
+            report,
         });
     }
     let outcome = replay(&wal[WAL_HEADER..]);
@@ -651,13 +925,18 @@ fn read_state(dir: &Path) -> Result<RecoveredLedger> {
     let (base, degraded) = if wal_generation == snapshot_generation {
         (base_or_default, false)
     } else {
-        // WAL is ahead of the snapshot: only a lost/deleted snapshot file
-        // can cause this (the rename is atomic). Fall back to the marker's
-        // counter block — totals survive, aggregate rows do not.
+        // WAL is ahead of the snapshot: a lost/deleted/quarantined primary
+        // with no matching prev. Fall back to the marker's counter block —
+        // totals survive, aggregate rows do not.
         match records.next() {
             Some(WalRecord::SnapshotMarker { generation, counters })
                 if generation == wal_generation =>
             {
+                report.used_marker_fallback = true;
+                report.notes.push(format!(
+                    "base counters reconstructed from the WAL marker at generation \
+                     {wal_generation} (per-mechanism rows lost)"
+                ));
                 let base = SnapshotState { generation: wal_generation, counters, rows: Vec::new() };
                 (base, true)
             }
@@ -692,6 +971,7 @@ fn read_state(dir: &Path) -> Result<RecoveredLedger> {
         refusals,
         truncated_bytes: (wal.len() - WAL_HEADER - outcome.valid_len) as u64,
         degraded,
+        report,
     })
 }
 
@@ -943,7 +1223,7 @@ mod tests {
     #[test]
     fn auto_snapshot_threshold_bounds_replay() {
         let dir = tmp_dir("auto-rotate");
-        let options = LedgerOptions { auto_snapshot_every: Some(8) };
+        let options = LedgerOptions { auto_snapshot_every: Some(8), ..LedgerOptions::default() };
         {
             let (ledger, _) = TenantLedger::open_with(&dir, SyncPolicy::OnDrop, options).unwrap();
             for i in 0..20 {
@@ -972,9 +1252,112 @@ mod tests {
     }
 
     #[test]
+    fn stale_lock_from_dead_pid_is_auto_cleared() {
+        let dir = tmp_dir("stale-lock-pid");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A pid above the kernel's default pid_max cannot be running.
+        std::fs::write(dir.join(LOCK_FILE), format!("999999999\n{}\n", boot_token())).unwrap();
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+        assert!(recovered.report.cleared_stale_lock);
+        assert!(recovered.report.notes.iter().any(|n| n.contains("dead pid")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_lock_from_previous_boot_is_auto_cleared() {
+        let dir = tmp_dir("stale-lock-boot");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Our own (live) pid, but a boot token that is not this boot's:
+        // the writer died with that boot no matter what its pid says now.
+        std::fs::write(
+            dir.join(LOCK_FILE),
+            format!("{}\nnot-this-boot-token\n", std::process::id()),
+        )
+        .unwrap();
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+        assert!(recovered.report.cleared_stale_lock);
+        assert!(recovered.report.notes.iter().any(|n| n.contains("previous boot")));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undecidable_lock_is_refused_conservatively() {
+        let dir = tmp_dir("stale-lock-garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(LOCK_FILE), "not a pid\n").unwrap();
+        let err = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap_err();
+        assert!(err.to_string().contains("locked"));
+        assert!(force_unlock(&dir).unwrap());
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::OnDrop).unwrap();
+        assert!(!recovered.report.cleared_stale_lock);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_quarantined_with_prev_fallback() {
+        let dir = tmp_dir("snap-quarantine-prev");
+        {
+            let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+            for i in 0..3 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            ledger.rotate_snapshot().unwrap();
+            for i in 3..5 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+        }
+        // Same-generation prev (as the mid-rotation crash window leaves),
+        // then rot the primary.
+        std::fs::copy(dir.join(SNAPSHOT_FILE), dir.join(SNAPSHOT_PREV_FILE)).unwrap();
+        let mut bytes = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(dir.join(SNAPSHOT_FILE), &bytes).unwrap();
+        // peek never repairs: the corrupt file must still be in place after.
+        let peeked = TenantLedger::peek(&dir).unwrap();
+        assert!(peeked.report.used_prev_snapshot);
+        assert!(peeked.report.quarantined_snapshot.is_none());
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        // open quarantines and falls back to the parked generation: full
+        // rows survive, nothing is degraded.
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(recovered.spent_units(), 500);
+        assert_eq!(recovered.base.rows.len(), 1);
+        assert!(!recovered.degraded);
+        assert!(recovered.report.used_prev_snapshot);
+        assert_eq!(recovered.report.quarantined_snapshot.as_deref(), Some("snapshot.corrupt-1"));
+        assert!(dir.join("snapshot.corrupt-1").exists());
+        assert!(!dir.join(SNAPSHOT_FILE).exists(), "the corrupt primary was parked");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_snapshot_without_prev_falls_back_to_marker() {
+        let dir = tmp_dir("snap-quarantine-marker");
+        {
+            let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+            for i in 0..4 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            ledger.rotate_snapshot().unwrap();
+            ledger.append_grant(&grant(4, 50)).unwrap();
+        }
+        let mut bytes = std::fs::read(dir.join(SNAPSHOT_FILE)).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(dir.join(SNAPSHOT_FILE), &bytes).unwrap();
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+        assert_eq!(recovered.spent_units(), 450, "totals survive via the marker");
+        assert!(recovered.degraded, "rows are lost without a usable snapshot");
+        assert!(recovered.report.used_marker_fallback);
+        assert!(recovered.report.quarantined_snapshot.is_some());
+        assert!(!recovered.report.is_clean());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn auto_snapshot_works_under_group_commit() {
         let dir = tmp_dir("auto-group");
-        let options = LedgerOptions { auto_snapshot_every: Some(4) };
+        let options = LedgerOptions { auto_snapshot_every: Some(4), ..LedgerOptions::default() };
         {
             let (ledger, _) =
                 TenantLedger::open_with(&dir, SyncPolicy::group_commit(), options).unwrap();

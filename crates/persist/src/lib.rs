@@ -29,6 +29,24 @@
 //!   and a crash-simulation hook.
 //! * [`committer`] — the group-commit committer thread: drains concurrent
 //!   submissions into one vectored write + one fsync per batch.
+//! * [`vfs`] — the file-system seam every byte of ledger IO flows through:
+//!   [`StdVfs`] for production and [`FaultVfs`], a deterministic seeded
+//!   fault injector (fail-on-nth-op, torn writes, fsync failure, `ENOSPC`,
+//!   read bit-flips, rename failure) for robustness tests.
+//!
+//! ## Failure handling
+//!
+//! IO faults are **typed** ([`osdp_core::error::PersistError`]: operation +
+//! path + transient/permanent class). Transient write faults are retried
+//! with bounded exponential backoff ([`RetryPolicy`]), truncating back to
+//! the last known-good byte boundary between attempts so a retry never
+//! duplicates a torn prefix mid-file. A failed **fsync is permanent for the
+//! handle**: the page-cache state is unknown, the handle is poisoned, and
+//! the only safe continuation is reopen + recover — the ledger never
+//! re-fsyncs a descriptor whose fsync already failed. A corrupt snapshot is
+//! quarantined as `snapshot.corrupt-<gen>` with fallback to the parked
+//! prior generation (`snapshot.prev`) or the WAL marker, all surfaced in a
+//! [`RecoveryReport`].
 //!
 //! ## Durability contract
 //!
@@ -57,11 +75,15 @@ pub mod crc;
 pub mod ledger;
 pub mod record;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 pub use committer::GroupCommitStats;
 pub use crc::crc32;
-pub use ledger::{force_unlock, LedgerOptions, RecoveredLedger, TenantLedger};
+pub use ledger::{force_unlock, LedgerOptions, RecoveredLedger, RecoveryReport, TenantLedger};
 pub use record::{GrantRecord, GuaranteeTag, RefusalRecord, SnapshotCounters, WalRecord};
 pub use snapshot::{AggregateRow, SnapshotState};
-pub use wal::{append_record, replay, ReplayOutcome, SyncPolicy, WalWriter};
+pub use vfs::{
+    classify, persist_error, FaultKind, FaultPlan, FaultRule, FaultVfs, StdVfs, Vfs, VfsFile,
+};
+pub use wal::{append_record, replay, ReplayOutcome, RetryPolicy, SyncPolicy, WalWriter};

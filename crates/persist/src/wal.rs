@@ -9,8 +9,10 @@
 
 use crate::crc::crc32;
 use crate::record::{RecordRef, WalRecord};
-use std::fs::File;
-use std::io::{IoSlice, Write};
+use crate::vfs::{persist_error, VfsFile};
+use osdp_core::error::{FaultClass, PersistError, PersistOp};
+use std::io::{IoSlice, SeekFrom};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Frame header size: payload length + checksum.
@@ -72,6 +74,38 @@ impl SyncPolicy {
     }
 }
 
+/// Bounded exponential backoff for **transient** write faults (interrupted
+/// syscalls, would-block, timeouts). Permanent faults — `ENOSPC`, a failed
+/// fsync, a bad descriptor — are never retried on the same handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total write attempts, including the first (≥ 1; 1 disables retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based): exponential,
+    /// capped at [`RetryPolicy::max_delay`].
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let factor = 1u32 << attempt.saturating_sub(1).min(16);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+}
+
 /// Encodes `record` as one checksummed frame appended to `out`, reusing
 /// `scratch` for the payload encoding — no allocations once both buffers
 /// have grown to frame size.
@@ -83,31 +117,67 @@ pub(crate) fn encode_frame_into(out: &mut Vec<u8>, scratch: &mut Vec<u8>, record
     out.extend_from_slice(scratch);
 }
 
-/// The buffered frame writer behind a ledger: owns the WAL file, the
+/// The buffered frame writer behind a ledger: owns the WAL file handle, the
 /// pending (encoded-but-unwritten) frame bytes, and a reusable payload
 /// encode buffer, so appending a grant frame on the hot path costs **zero
 /// allocations** — the record encodes into the scratch buffer and the frame
 /// bytes land in the pending buffer, both of which are reused across
 /// appends.
+///
+/// ## Fault handling
+///
+/// The writer tracks `written_len`, the byte boundary up to which the file
+/// is known to hold complete frames. Any failed write may have landed a
+/// torn prefix past that boundary; before every retry (and before giving
+/// up) the writer **truncates back to the boundary**, so a retry never
+/// duplicates bytes mid-file — the corruption that would make replay drop
+/// every later acknowledged frame. Transient faults are retried with the
+/// bounded backoff of [`RetryPolicy`]; permanent faults fail immediately.
+///
+/// A failed **fsync** (or a failed boundary restore) poisons the handle:
+/// the page-cache state is unknown, so every later operation is refused
+/// with the original error until the ledger is reopened — never re-fsync a
+/// handle whose fsync already failed.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
+    path: PathBuf,
     /// Encoded frames accepted but not yet handed to the OS — the bytes a
     /// simulated crash loses.
     pending: Vec<u8>,
     /// Reused payload encode buffer.
     scratch: Vec<u8>,
+    /// Bytes known fully written: the truncate-and-retry boundary.
+    written_len: u64,
+    retry: RetryPolicy,
+    /// Set by a failed fsync or a failed boundary restore; every later
+    /// operation returns a clone of it.
+    poisoned: Option<PersistError>,
 }
 
 impl WalWriter {
-    /// A writer over an opened (and positioned) WAL file.
-    pub(crate) fn new(file: File) -> Self {
-        Self { file, pending: Vec::new(), scratch: Vec::new() }
+    /// A writer over an opened WAL file positioned at its end, whose first
+    /// `written_len` bytes are known-good frames.
+    pub(crate) fn new(
+        file: Box<dyn VfsFile>,
+        path: PathBuf,
+        written_len: u64,
+        retry: RetryPolicy,
+    ) -> Self {
+        Self {
+            file,
+            path,
+            pending: Vec::new(),
+            scratch: Vec::new(),
+            written_len,
+            retry,
+            poisoned: None,
+        }
     }
 
-    /// The underlying file (rewrite and torn-tail paths).
-    pub(crate) fn file_mut(&mut self) -> &mut File {
-        &mut self.file
+    /// The underlying file (crash simulation's torn-tail write).
+    pub(crate) fn file_mut(&mut self) -> &mut dyn VfsFile {
+        self.file.as_mut()
     }
 
     /// The pending (unflushed) frame bytes.
@@ -128,39 +198,177 @@ impl WalWriter {
         encode_frame_into(pending, scratch, record);
     }
 
-    /// Writes + fsyncs the pending buffer (no-op when empty).
-    pub(crate) fn flush_and_sync(&mut self) -> std::io::Result<()> {
-        if !self.pending.is_empty() {
-            self.file.write_all(&self.pending)?;
-            self.pending.clear();
-            self.file.sync_data()?;
+    /// Fails with the poison error if the handle is poisoned.
+    fn ensure_usable(&self) -> Result<(), PersistError> {
+        match &self.poisoned {
+            Some(err) => Err(err.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Truncates the file back to the known-good boundary after a failed
+    /// write, discarding any torn prefix the attempt landed. A failed
+    /// restore poisons the handle — the file may now hold garbage past the
+    /// boundary, and appending after it would put frames beyond replay's
+    /// reach.
+    fn restore_boundary(&mut self) -> Result<(), PersistError> {
+        let outcome = self
+            .file
+            .set_len(self.written_len)
+            .and_then(|()| self.file.seek(SeekFrom::End(0)).map(|_| ()));
+        if let Err(e) = outcome {
+            let mut err = persist_error(PersistOp::Write, &self.path, &e);
+            err.class = FaultClass::Permanent;
+            err.detail = format!(
+                "restoring the write boundary after a torn write failed (handle poisoned; \
+                 reopen the ledger): {}",
+                err.detail
+            );
+            self.poisoned = Some(err.clone());
+            return Err(err);
         }
         Ok(())
     }
 
-    /// Writes every pre-encoded frame buffer in `frames` with vectored IO
-    /// (one syscall for the common case) and issues **one** fsync for the
-    /// whole batch — the group-commit write path.
-    pub(crate) fn commit_vectored(&mut self, frames: &[&[u8]]) -> std::io::Result<()> {
-        let mut slices: Vec<IoSlice<'_>> = frames.iter().map(|f| IoSlice::new(f)).collect();
-        let mut bufs = &mut slices[..];
-        // write_vectored may accept fewer bytes than offered; advance and
-        // retry until the whole batch is down.
-        while !bufs.is_empty() {
-            match self.file.write_vectored(bufs) {
-                Ok(0) => {
-                    return Err(std::io::Error::new(
-                        std::io::ErrorKind::WriteZero,
-                        "wal file refused the batch write",
-                    ));
-                }
-                Ok(n) => IoSlice::advance_slices(&mut bufs, n),
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
+    /// `fdatasync`, poisoning the handle on failure: after a failed fsync
+    /// the page-cache state is unknown, and fsyncing the same descriptor
+    /// again proves nothing — the only safe move is reopen + recover.
+    pub(crate) fn sync(&mut self) -> Result<(), PersistError> {
+        self.ensure_usable()?;
+        match self.file.sync_data() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let mut err = persist_error(PersistOp::Fsync, &self.path, &e);
+                err.class = FaultClass::Permanent;
+                err.detail = format!(
+                    "{} (fsync failed: page-cache state unknown, handle poisoned; reopen the \
+                     ledger before any further attempt)",
+                    err.detail
+                );
+                self.poisoned = Some(err.clone());
+                Err(err)
             }
         }
-        self.file.sync_data()
     }
+
+    /// Writes the whole pending buffer, retrying transient faults with
+    /// truncate-back-to-boundary between attempts. On success the pending
+    /// buffer is cleared and the boundary advances; on failure the pending
+    /// frames stay buffered (a later flush retries them whole) and the
+    /// file holds no torn bytes.
+    fn write_pending_with_retry(&mut self) -> Result<(), PersistError> {
+        let mut attempt = 1u32;
+        loop {
+            match self.file.write_all(&self.pending) {
+                Ok(()) => {
+                    self.written_len += self.pending.len() as u64;
+                    self.pending.clear();
+                    return Ok(());
+                }
+                Err(e) => {
+                    let err = persist_error(PersistOp::Write, &self.path, &e);
+                    self.restore_boundary()?;
+                    if err.class != FaultClass::Transient || attempt >= self.retry.max_attempts {
+                        return Err(err);
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Writes + fsyncs the pending buffer (no-op when empty).
+    pub(crate) fn flush_and_sync(&mut self) -> Result<(), PersistError> {
+        self.ensure_usable()?;
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.write_pending_with_retry()?;
+        self.sync()
+    }
+
+    /// Writes every pre-encoded frame buffer in `frames` with vectored IO
+    /// (one syscall for the common case) and issues **one** fsync for the
+    /// whole batch — the group-commit write path. Transient write faults
+    /// are retried from the batch start after truncating back to the
+    /// boundary, so a partially-landed batch never leaves torn bytes.
+    pub(crate) fn commit_vectored(&mut self, frames: &[&[u8]]) -> Result<(), PersistError> {
+        self.ensure_usable()?;
+        let total: u64 = frames.iter().map(|f| f.len() as u64).sum();
+        let mut attempt = 1u32;
+        loop {
+            match write_frames_once(self.file.as_mut(), frames) {
+                Ok(()) => {
+                    self.written_len += total;
+                    break;
+                }
+                Err(e) => {
+                    let err = persist_error(PersistOp::Write, &self.path, &e);
+                    self.restore_boundary()?;
+                    if err.class != FaultClass::Transient || attempt >= self.retry.max_attempts {
+                        return Err(err);
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+        self.sync()
+    }
+
+    /// Replaces the file contents with `image` (the rotation / torn-tail
+    /// rewrite path) and fsyncs, resetting the boundary to the image
+    /// length.
+    pub(crate) fn rewrite(&mut self, image: &[u8]) -> Result<(), PersistError> {
+        self.ensure_usable()?;
+        self.written_len = 0;
+        self.file
+            .set_len(0)
+            .and_then(|()| self.file.seek(SeekFrom::Start(0)).map(|_| ()))
+            .map_err(|e| persist_error(PersistOp::Write, &self.path, &e))?;
+        let mut attempt = 1u32;
+        loop {
+            match self.file.write_all(image) {
+                Ok(()) => {
+                    self.written_len = image.len() as u64;
+                    break;
+                }
+                Err(e) => {
+                    let err = persist_error(PersistOp::Write, &self.path, &e);
+                    self.restore_boundary()?;
+                    if err.class != FaultClass::Transient || attempt >= self.retry.max_attempts {
+                        return Err(err);
+                    }
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    attempt += 1;
+                }
+            }
+        }
+        self.sync()
+    }
+}
+
+/// One vectored-write pass over the whole batch. Unlike
+/// `std::io::Write::write_all_vectored`-style loops this does **not**
+/// swallow `Interrupted`: every error surfaces so the caller's
+/// truncate-and-retry boundary logic owns the recovery.
+fn write_frames_once(file: &mut dyn VfsFile, frames: &[&[u8]]) -> std::io::Result<()> {
+    let mut slices: Vec<IoSlice<'_>> = frames.iter().map(|f| IoSlice::new(f)).collect();
+    let mut bufs = &mut slices[..];
+    while !bufs.is_empty() {
+        match file.write_vectored(bufs) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "wal file refused the batch write",
+                ));
+            }
+            Ok(n) => IoSlice::advance_slices(&mut bufs, n),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
 }
 
 /// Appends `record` to `buf` as one checksummed frame.

@@ -117,17 +117,17 @@ pub mod prelude {
             AllSensitive, AttributePolicy, ClosurePolicy, MinimumRelaxation, NoneSensitive, Policy,
             Sensitivity,
         },
-        BinSpec, ColumnarFrame, Database, Histogram, Histogram2D, OsdpError, PolicyMask, Record,
-        SparseHistogram, Value,
+        BinSpec, ColumnarFrame, Database, FaultClass, Histogram, Histogram2D, OsdpError,
+        PersistError, PersistOp, PolicyMask, Record, SparseHistogram, Value,
     };
     pub use osdp_engine::{
         histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs,
         windows_from_databases, AuditLog, AuditRecord, Backend, ColumnarBackend, GroupCommitStats,
-        HistogramPair, LedgerOptions, MechanismSpec, OsdpSession, PoolMaintenanceError,
-        PoolRelease, PoolVerdict, PoolWindowOutcome, QueryPlan, Release, RowBackend,
-        SessionBuilder, SessionPersistence, SessionPool, SessionQuery, SessionWal, StreamSession,
-        StreamSessionBuilder, SyncPolicy, SyntheticWindows, TenantVerdict, Window, WindowOutcome,
-        WindowSource,
+        HealthPolicy, HistogramPair, LedgerOptions, MechanismSpec, OsdpSession,
+        PoolMaintenanceError, PoolRelease, PoolVerdict, PoolWindowOutcome, QueryPlan,
+        RecoveryReport, Release, RetryPolicy, RowBackend, SessionBuilder, SessionPersistence,
+        SessionPool, SessionQuery, SessionWal, StreamSession, StreamSessionBuilder, SyncPolicy,
+        SyntheticWindows, TenantHealth, TenantVerdict, Window, WindowOutcome, WindowSource,
     };
     pub use osdp_mechanisms::{
         DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,

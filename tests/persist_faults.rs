@@ -1,0 +1,454 @@
+//! Fault-injection tests for the durable budget plane.
+//!
+//! Every test here drives real on-disk shards through
+//! [`osdp::persist::FaultVfs`], the deterministic seeded fault injector,
+//! and checks the failure-model contract end to end:
+//!
+//! * **typed faults** — every injected failure surfaces as a
+//!   [`PersistError`] carrying the operation, the path and a
+//!   transient/permanent class;
+//! * **bounded retry** — transient write faults (torn writes included) are
+//!   absorbed by the WAL's truncate-and-retry boundary logic, invisibly to
+//!   the caller and without duplicating bytes;
+//! * **fsync is permanent** — one failed fsync poisons the handle; the
+//!   ledger never re-fsyncs the descriptor, and recovery is the only
+//!   continuation;
+//! * **no appender blocks forever** — group-commit waiters are bounded by
+//!   a configurable deadline, and a dying committer fails every blocked
+//!   appender with a typed error;
+//! * **prefix-closed, never-overspending recovery** — under arbitrary
+//!   seeded fault plans and all four sync policies, recovery replays a
+//!   prefix of the admitted history, never exceeds what the accountant
+//!   admitted, and (for the always-durable policies) never loses an
+//!   acknowledged grant.
+
+use osdp::persist::{
+    force_unlock, FaultKind, FaultPlan, FaultVfs, GrantRecord, GuaranteeTag, TenantLedger, Vfs,
+};
+use osdp::prelude::*;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// A fresh, empty scratch directory under the OS temp dir.
+fn temp_root(name: &str) -> PathBuf {
+    static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "osdp-faults-{}-{}-{name}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A grant of 100 fixed-point units with release index `index`.
+fn grant(index: u64) -> GrantRecord {
+    GrantRecord {
+        index,
+        units: 100,
+        epsilon: 1e-10,
+        trials: 1,
+        bins: 4,
+        guarantee: GuaranteeTag::Osdp,
+        mechanism: "osdp-laplace".into(),
+        policy: "P".into(),
+        query: "q".into(),
+    }
+}
+
+/// Ledger options with a fast, test-sized retry schedule.
+fn fast_retry() -> LedgerOptions {
+    LedgerOptions {
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+        },
+        ..LedgerOptions::default()
+    }
+}
+
+/// The typed persistence error inside an [`OsdpError`], or a panic.
+fn typed(err: &OsdpError) -> &PersistError {
+    match err {
+        OsdpError::Persist(p) => p,
+        other => panic!("expected a typed PersistError, got {other:?}"),
+    }
+}
+
+#[test]
+fn transient_torn_write_is_retried_invisibly() {
+    let root = temp_root("torn-retry");
+    // Write ops #0–#1 on wal.log are the open-time rewrite (set_len +
+    // write); op #2 is the first grant frame. Tear it after 3 bytes with a
+    // *transient* class: the boundary logic must truncate the torn prefix
+    // and the retry must land the full frame.
+    let plan = FaultPlan::new().fail_nth(
+        PersistOp::Write,
+        "wal.log",
+        2,
+        FaultKind::TornWrite { keep_bytes: 3, class: FaultClass::Transient },
+    );
+    let vfs = FaultVfs::new(plan);
+    let (ledger, recovered) = TenantLedger::open_with_vfs(
+        root.clone(),
+        SyncPolicy::Always,
+        fast_retry(),
+        Arc::<FaultVfs>::clone(&vfs),
+    )
+    .unwrap();
+    assert_eq!(recovered.spent_units(), 0);
+    for i in 0..3 {
+        ledger.append_grant(&grant(i)).unwrap();
+    }
+    assert_eq!(vfs.injected_faults(), 1, "the torn write fired exactly once");
+    drop(ledger);
+
+    // The retry did not duplicate the torn prefix: recovery replays
+    // exactly the three acknowledged grants.
+    let recovered = TenantLedger::peek(&root).unwrap();
+    assert_eq!(recovered.spent_units(), 300);
+    assert_eq!(
+        recovered.grants.iter().map(|g| g.index).collect::<Vec<_>>(),
+        vec![0, 1, 2],
+        "prefix-closed, gapless replay"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn failed_fsync_poisons_the_handle_and_never_refsyncs() {
+    let root = temp_root("fsync-poison");
+    // Fsync #0 on wal.log is the open-time rewrite; #1 is the first
+    // append's. The rule is one-shot, so if the ledger ever re-fsynced the
+    // poisoned descriptor the retry would *succeed* — the assertions below
+    // would then see a second grant acknowledged.
+    let plan = FaultPlan::new().fail_nth(PersistOp::Fsync, "wal.log", 1, FaultKind::FsyncFail);
+    let vfs = FaultVfs::new(plan);
+    let (ledger, _) = TenantLedger::open_with_vfs(
+        root.clone(),
+        SyncPolicy::Always,
+        fast_retry(),
+        Arc::<FaultVfs>::clone(&vfs),
+    )
+    .unwrap();
+
+    let err = ledger.append_grant(&grant(0)).unwrap_err();
+    let p = typed(&err);
+    assert_eq!(p.class, FaultClass::Permanent, "a failed fsync is permanent for the handle");
+    assert_eq!(p.op, PersistOp::Fsync);
+
+    // Every later operation on the handle fails fast from the poison —
+    // without touching the descriptor again (the one-shot fault stays the
+    // only injected one, so a re-fsync would have succeeded and acked).
+    assert!(ledger.append_grant(&grant(1)).is_err());
+    assert!(ledger.sync().is_err());
+    assert!(ledger.rotate_snapshot().is_err());
+    assert_eq!(vfs.injected_faults(), 1, "the poisoned handle was never re-fsynced");
+    drop(ledger);
+
+    // Reopen + recover is the continuation: the un-acknowledged frame may
+    // or may not have reached the platter (its write landed, its fsync did
+    // not) — recovery may conservatively over-count it, never lose
+    // acknowledged history, and stays internally consistent.
+    let recovered = TenantLedger::peek(&root).unwrap();
+    assert!(recovered.spent_units() <= 100, "at most the retained un-acked frame");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn injected_enospc_is_typed_permanent() {
+    let root = temp_root("enospc");
+    let plan = FaultPlan::new().fail_nth(PersistOp::Write, "wal.log", 2, FaultKind::DiskFull);
+    let vfs = FaultVfs::new(plan);
+    let (ledger, _) = TenantLedger::open_with_vfs(
+        root.clone(),
+        SyncPolicy::Always,
+        fast_retry(),
+        Arc::<FaultVfs>::clone(&vfs),
+    )
+    .unwrap();
+    let err = ledger.append_grant(&grant(0)).unwrap_err();
+    let p = typed(&err);
+    assert_eq!(p.class, FaultClass::Permanent, "ENOSPC does not retry");
+    assert_eq!(p.op, PersistOp::Write);
+    assert!(p.path.contains("wal.log"), "the typed error names the file: {}", p.path);
+    assert_eq!(vfs.injected_faults(), 1, "permanent faults are not retried");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn read_bit_flip_truncates_to_a_valid_prefix() {
+    let root = temp_root("bit-flip");
+    {
+        let (ledger, _) = TenantLedger::open(&root, SyncPolicy::Always).unwrap();
+        for i in 0..5 {
+            ledger.append_grant(&grant(i)).unwrap();
+        }
+    }
+    let clean = TenantLedger::peek(&root).unwrap();
+    assert_eq!(clean.spent_units(), 500);
+
+    // Re-read the shard through a bit-flipping VFS: silent media
+    // corruption in the middle of the WAL. The CRCs catch it and replay
+    // keeps exactly the frames before the flipped one.
+    let plan = FaultPlan::new().fail_nth(
+        PersistOp::Read,
+        "wal.log",
+        0,
+        FaultKind::BitFlip { bit_index: 150 * 8 },
+    );
+    let vfs = FaultVfs::new(plan);
+    let corrupt = TenantLedger::peek_with_vfs(&root, &*vfs).unwrap();
+    assert!(corrupt.spent_units() < 500, "the flipped frame (and its suffix) must drop");
+    assert_eq!(corrupt.spent_units() % 100, 0, "whole frames only — no partial debits");
+    let replayed: Vec<u64> = corrupt.grants.iter().map(|g| g.index).collect();
+    assert_eq!(replayed, (0..replayed.len() as u64).collect::<Vec<_>>(), "prefix-closed");
+    assert!(corrupt.truncated_bytes > 0, "the torn suffix is reported");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn rename_failure_during_rotation_is_typed_and_loses_nothing() {
+    let root = temp_root("rename-fail");
+    let plan =
+        FaultPlan::new().fail_nth(PersistOp::Rename, "snapshot.tmp", 0, FaultKind::RenameFail);
+    let vfs = FaultVfs::new(plan);
+    let (ledger, _) = TenantLedger::open_with_vfs(
+        root.clone(),
+        SyncPolicy::Always,
+        fast_retry(),
+        Arc::<FaultVfs>::clone(&vfs),
+    )
+    .unwrap();
+    for i in 0..4 {
+        ledger.append_grant(&grant(i)).unwrap();
+    }
+    let err = ledger.rotate_snapshot().unwrap_err();
+    let p = typed(&err);
+    assert_eq!(p.op, PersistOp::Rename);
+    assert_eq!(p.class, FaultClass::Permanent);
+    drop(ledger);
+
+    // The failed rotation is crash-consistent: the WAL still holds every
+    // acknowledged grant, so recovery loses nothing.
+    let _ = force_unlock(&root);
+    let recovered = TenantLedger::peek(&root).unwrap();
+    assert_eq!(recovered.spent_units(), 400, "no acknowledged grant lost to the failed rotation");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn group_commit_waiter_deadline_bounds_the_wait() {
+    let root = temp_root("gc-deadline");
+    // A one-shot *transient* write fault parks the committer in a 300 ms
+    // retry backoff; the appender's own 50 ms deadline must fire first
+    // with a typed timeout. (The commit itself succeeds on retry — the
+    // caller has already conservatively treated the grant as refused,
+    // which is the documented over-counting direction.)
+    let plan = FaultPlan::new().fail_nth(
+        PersistOp::Write,
+        "wal.log",
+        2,
+        FaultKind::Fail(FaultClass::Transient),
+    );
+    let options = LedgerOptions {
+        retry: RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(300),
+            max_delay: Duration::from_millis(300),
+        },
+        commit_deadline: Duration::from_millis(50),
+        ..LedgerOptions::default()
+    };
+    let (ledger, _) = TenantLedger::open_with_vfs(
+        root.clone(),
+        SyncPolicy::group_commit(),
+        options,
+        FaultVfs::new(plan),
+    )
+    .unwrap();
+
+    let start = Instant::now();
+    let err = ledger.append_grant(&grant(0)).unwrap_err();
+    let elapsed = start.elapsed();
+    let p = typed(&err);
+    assert_eq!(p.class, FaultClass::Transient, "a deadline expiry is retryable by the caller");
+    assert!(p.detail.contains("deadline"), "the timeout names itself: {}", p.detail);
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "the waiter must not block past its deadline (waited {elapsed:?})"
+    );
+    drop(ledger);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn dying_committer_fails_every_blocked_appender() {
+    let root = temp_root("gc-killed");
+    const APPENDERS: usize = 8;
+    // Fsync #0 on wal.log is the open-time rewrite; every committer batch
+    // fsync after it fails, killing the committer under the first batch —
+    // with appenders from 8 threads racing into the queue.
+    let plan = FaultPlan::new().fail_from(PersistOp::Fsync, "wal.log", 1, FaultKind::FsyncFail);
+    let options =
+        LedgerOptions { commit_deadline: Duration::from_secs(10), ..LedgerOptions::default() };
+    let (ledger, _) = TenantLedger::open_with_vfs(
+        root.clone(),
+        SyncPolicy::group_commit(),
+        options,
+        FaultVfs::new(plan),
+    )
+    .unwrap();
+    let ledger = Arc::new(ledger);
+
+    let start = Instant::now();
+    let barrier = Arc::new(Barrier::new(APPENDERS));
+    let handles: Vec<_> = (0..APPENDERS)
+        .map(|t| {
+            let ledger = Arc::clone(&ledger);
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                barrier.wait();
+                let mut acked = 0u64;
+                for i in 0..4u64 {
+                    match ledger.append_grant(&grant(t as u64 * 100 + i)) {
+                        Ok(()) => acked += 100,
+                        Err(err) => {
+                            // Typed, not a hang and not a panic.
+                            assert!(
+                                matches!(err, OsdpError::Persist(_)),
+                                "expected a typed failure, got {err:?}"
+                            );
+                            break;
+                        }
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+    let acked_units: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "no appender may block forever behind a dead committer"
+    );
+    assert_eq!(acked_units, 0, "nothing can be acknowledged once the first fsync fails");
+
+    // The committer is gone: later appends refuse fast with the stashed
+    // typed error instead of queueing into nowhere.
+    let fast = Instant::now();
+    let err = ledger.append_grant(&grant(9999)).unwrap_err();
+    assert!(matches!(err, OsdpError::Persist(_)));
+    assert!(fast.elapsed() < Duration::from_secs(5));
+    drop(ledger);
+
+    // Recovery after the massacre: consistent, and conservative (frames
+    // whose fsync never succeeded may or may not have reached the disk —
+    // none were acknowledged, so any replayed subset is an over-count in
+    // the safe direction, bounded by what was attempted).
+    let _ = force_unlock(&root);
+    let recovered = TenantLedger::peek(&root).unwrap();
+    assert!(recovered.spent_units() <= APPENDERS as u64 * 4 * 100);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// A histogram-backed session builder (same substrate as the recovery
+/// tests; ε debits of 1/8 divide the 1.0 cap exactly).
+fn builder(seed: u64) -> SessionBuilder<Record> {
+    let full = Histogram::from_counts(vec![40.0, 10.0, 25.0, 25.0]);
+    let ns = Histogram::from_counts(vec![30.0, 10.0, 0.0, 20.0]);
+    histogram_session(full, ns).policy_label("P-faults").seed(seed).budget(1.0)
+}
+
+/// One fault-sweep case: a seeded fault plan under one sync policy, driven
+/// through the full engine grant path. Checks the recovery invariants that
+/// must hold under **any** fault schedule.
+fn sweep_case(seed: u64, policy: SyncPolicy, tag: &str) {
+    let root = temp_root(tag);
+    let vfs: Arc<dyn Vfs> = FaultVfs::new(FaultPlan::seeded(seed));
+    let options = LedgerOptions { commit_deadline: Duration::from_secs(5), ..fast_retry() };
+    // An open refused by an injected fault admits nothing — nothing to
+    // verify for this schedule.
+    let Ok(persistence) =
+        SessionPersistence::open_with_vfs(root.clone(), policy, options, Arc::clone(&vfs))
+    else {
+        let _ = std::fs::remove_dir_all(&root);
+        return;
+    };
+    let session = builder(seed ^ 0x5eed).durable(persistence).build().unwrap();
+    let mechanism = OsdpLaplaceL1::new(0.125).unwrap();
+    let mut acked_units = 0u64;
+    for _ in 0..12 {
+        if session.release(&SessionQuery::bound(), &mechanism).is_ok() {
+            acked_units += osdp::core::budget::epsilon_to_units(0.125);
+        }
+    }
+    let admitted_units = session.accountant().total_spent_units();
+    // Fail-closed bookkeeping: a WAL-refused grant is refused to the
+    // caller but conservatively *kept* by both the accountant and the
+    // audit log — so those two stay equal under any fault schedule, and
+    // acknowledged grants are a subset of admitted ones.
+    assert_eq!(session.audit_total_epsilon_units(), admitted_units);
+    assert!(acked_units <= admitted_units);
+    assert!(admitted_units <= osdp::core::budget::epsilon_to_units(1.0), "cap holds live");
+    drop(session);
+
+    // Recover with the real file system: whatever the fault schedule did,
+    // the shard must come back consistent.
+    let _ = force_unlock(&root);
+    let recovered = TenantLedger::peek(&root)
+        .unwrap_or_else(|e| panic!("recovery must survive fault plan seed={seed}: {e}"));
+    assert!(
+        recovered.spent_units() <= admitted_units,
+        "recovery overspent: {} > admitted {} (seed={seed}, {policy:?})",
+        recovered.spent_units(),
+        admitted_units,
+    );
+    if matches!(policy, SyncPolicy::Always | SyncPolicy::GroupCommit { .. }) {
+        assert!(
+            recovered.spent_units() >= acked_units,
+            "acknowledged grants lost: {} < acked {} (seed={seed}, {policy:?})",
+            recovered.spent_units(),
+            acked_units,
+        );
+    }
+    for pair in recovered.grants.windows(2) {
+        assert!(pair[0].index < pair[1].index, "replay must be prefix-closed and ordered");
+    }
+
+    // A full reopen agrees with the independent peek bit for bit —
+    // accountant == audit == ledger.
+    let reopened = SessionPersistence::open(root.clone(), SyncPolicy::Always).unwrap();
+    let session = builder(1).durable(reopened).build().unwrap();
+    assert_eq!(session.accountant().total_spent_units(), session.audit_total_epsilon_units());
+    let peek = TenantLedger::peek(&root).unwrap();
+    assert_eq!(session.accountant().total_spent_units(), peek.spent_units());
+    drop(session);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fault sweep (satellite of the failure-model PR): arbitrary
+    /// seeded fault plans × all four sync policies.
+    #[test]
+    fn seeded_fault_plans_never_unbalance_recovery(seed in 0u64..u64::MAX / 2) {
+        for (i, policy) in [
+            SyncPolicy::Always,
+            SyncPolicy::EveryN(3),
+            SyncPolicy::OnDrop,
+            SyncPolicy::group_commit(),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            sweep_case(seed, policy, &format!("sweep-{seed}-{i}"));
+        }
+    }
+}

@@ -370,8 +370,10 @@ fn group_commit_crash_mid_batch_loses_only_unacknowledged_grants() {
                 loop {
                     match session.release(&SessionQuery::bound(), &mechanism) {
                         Ok(_) => ok += 1,
-                        // The crash severed the batch under this append.
-                        Err(OsdpError::Persistence(_)) => break,
+                        // The crash severed the batch under this append
+                        // (typed persistence error, or the legacy string
+                        // form from layers above the WAL).
+                        Err(OsdpError::Persist(_)) | Err(OsdpError::Persistence(_)) => break,
                         Err(OsdpError::BudgetExhausted { .. }) => break,
                         Err(other) => panic!("unexpected release error: {other}"),
                     }
