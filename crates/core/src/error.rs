@@ -98,6 +98,22 @@ impl PersistError {
     pub fn is_transient(&self) -> bool {
         self.class == FaultClass::Transient
     }
+
+    /// The `(operation, class)` pair incident correlation groups on: many
+    /// tenants failing with the same *permanent write-side* signature within
+    /// a short window is one dying device, not N independent shard faults.
+    pub fn signature(&self) -> (PersistOp, FaultClass) {
+        (self.op, self.class)
+    }
+
+    /// Whether this fault has the shape of a device-level storm worth
+    /// correlating across tenants: a **permanent** failure of the write
+    /// side (`Write`/`Fsync` — `ENOSPC`, a dying disk's EIO). Read faults
+    /// and transient hiccups stay per-tenant.
+    pub fn is_device_signature(&self) -> bool {
+        self.class == FaultClass::Permanent
+            && matches!(self.op, PersistOp::Write | PersistOp::Fsync)
+    }
 }
 
 impl fmt::Display for PersistError {
@@ -298,8 +314,13 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("fsync") && text.contains("/x/wal.log") && text.contains("EIO"));
         assert!(text.contains("permanent"));
+        assert_eq!(e.signature(), (PersistOp::Fsync, FaultClass::Permanent));
+        assert!(e.is_device_signature(), "permanent fsync is a device-storm shape");
         let e = PersistError::new(PersistOp::Commit, "", FaultClass::Transient, "deadline");
         assert!(e.is_transient());
+        assert!(!e.is_device_signature(), "transient commit is not a device-storm shape");
+        let read = PersistError::new(PersistOp::Read, "w", FaultClass::Permanent, "rot");
+        assert!(!read.is_device_signature(), "read-side rot stays per-tenant");
         assert!(!e.to_string().contains(" on "), "empty path is elided: {e}");
         // The typed variant wraps transparently.
         let wrapped: OsdpError = e.clone().into();

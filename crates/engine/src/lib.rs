@@ -308,6 +308,29 @@
 //!   restores `Healthy`; the healed accountant equals the audit log equals
 //!   an independent ledger peek, bit for bit. One tenant's dead disk never
 //!   blocks another tenant's releases.
+//! * **Autonomous maintenance.** [`PoolSupervisor`] closes the heal loop
+//!   without an operator: a background tick probes `Quarantined` tenants
+//!   with **jittered exponential backoff** (deterministic per-(seed,
+//!   tenant, attempt), so a herd of co-quarantined shards never probes in
+//!   lockstep), bounded by a per-episode attempt budget, and runs periodic
+//!   `sync_all` / `snapshot_all` / scrub sweeps. All scheduling reads an
+//!   injectable [`SupervisorClock`] — tests drive it with [`ManualClock`]
+//!   and observe every backoff expiry exactly.
+//! * **Shared-device incident correlation.** When several tenants
+//!   quarantine within one window and their typed errors all carry the
+//!   device signature (permanent `write`/`fsync` —
+//!   [`osdp_core::error::PersistError::is_device_signature`]), the
+//!   supervisor opens a single [`DeviceIncident`] instead of treating them
+//!   as independent shard deaths: heal probes collapse to one canary
+//!   tenant until it recovers (no probe-storming a dying disk), and the
+//!   incident names exactly the affected tenants — read faults and
+//!   transient blips are never swept in.
+//! * **Cold data is scrubbed before recovery needs it.**
+//!   [`SessionPool::scrub_all`] (and the supervisor's periodic sweep)
+//!   re-reads each shard's WAL and snapshots through the `Vfs` seam and
+//!   verifies every frame CRC without decoding — silent bit rot surfaces
+//!   as a quarantine with a typed `read`/permanent error *before* a crash
+//!   makes recovery depend on the rotten bytes.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -322,13 +345,15 @@ pub mod registry;
 pub mod session;
 pub(crate) mod sharding;
 pub mod stream;
+pub mod supervisor;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
 pub use osdp_persist::{GroupCommitStats, LedgerOptions, RecoveryReport, RetryPolicy, SyncPolicy};
 pub use persist::{GrantEvent, RecoveredSession, SessionPersistence, SessionWal};
 pub use pool::{
-    HealthPolicy, PoolMaintenanceError, PoolVerdict, SessionPool, TenantHealth, TenantVerdict,
+    HealthPolicy, PoolMaintenanceError, PoolScrubReport, PoolVerdict, SessionPool, TenantHealth,
+    TenantHealthReport, TenantVerdict,
 };
 pub use registry::{pool_from_names, pool_from_specs, MechanismSpec};
 pub use session::{
@@ -338,4 +363,8 @@ pub use session::{
 pub use stream::{
     windows_from_databases, PoolWindowOutcome, StreamSession, StreamSessionBuilder,
     SyntheticWindows, Window, WindowOutcome, WindowSource, SYNTHETIC_FIELD,
+};
+pub use supervisor::{
+    DeviceIncident, HealOutcome, ManualClock, PoolSupervisor, SupervisorClock, SupervisorConfig,
+    SupervisorEvent, SupervisorHandle, SystemClock, TickReport,
 };

@@ -119,6 +119,15 @@ impl SessionWal {
         self.ledger.rotate_snapshot()
     }
 
+    /// Checksum-verifies this shard's cold data through the ledger's own
+    /// VFS ([`TenantLedger::scrub`]): WAL frame CRCs without decoding,
+    /// snapshot codecs, no lock taken, no byte written. Safe to call while
+    /// the session is serving grants — a racing append is at most a benign
+    /// torn-tail warning in the report.
+    pub fn scrub(&self) -> Result<osdp_persist::ScrubReport> {
+        self.ledger.scrub()
+    }
+
     /// Crash simulation hook ([`TenantLedger::crash`]): drops buffered
     /// frames (optionally writing a torn prefix), leaves the `LOCK` file
     /// behind, and poisons every later append.

@@ -120,6 +120,9 @@ struct HealthInner {
     opened_at: Option<Instant>,
     /// Whether a half-open probe is currently in flight.
     probing: bool,
+    /// The most recent typed failure (cleared on success) — what operators
+    /// and the supervisor's incident correlation read.
+    last_error: Option<PersistError>,
 }
 
 /// One tenant's health cell, shared between the pool map and observers.
@@ -405,11 +408,16 @@ impl<R> SessionPool<R> {
                 Ok(session)
             }
             Err(err) => {
-                let class = match &err {
-                    OsdpError::Persist(p) => p.class,
-                    _ => FaultClass::Permanent,
+                let typed = match &err {
+                    OsdpError::Persist(p) => p.clone(),
+                    other => PersistError::new(
+                        PersistOp::Commit,
+                        "",
+                        FaultClass::Permanent,
+                        format!("try_heal: {other}"),
+                    ),
                 };
-                self.record_failure(tenant, class);
+                self.record_failure(tenant, &typed);
                 Err(err)
             }
         }
@@ -419,6 +427,101 @@ impl<R> SessionPool<R> {
     /// tenants that have never failed, including unknown ones).
     pub fn health(&self, tenant: &str) -> TenantHealth {
         self.health_cell(tenant).map(|cell| cell.lock().health).unwrap_or(TenantHealth::Healthy)
+    }
+
+    /// One report per known tenant — every registered session plus every
+    /// tenant with health state (a quarantined tenant is evicted from the
+    /// map while it heals, but must not vanish from the operator's view) —
+    /// sorted by tenant key. This is the read API the supervisor and
+    /// external monitors poll instead of poking pool internals: health,
+    /// the consecutive-failure counter, and the last typed
+    /// [`PersistError`] whose `(op, class)` signature drives shared-device
+    /// incident correlation.
+    pub fn health_snapshot(&self) -> Vec<TenantHealthReport> {
+        let mut reports: HashMap<Arc<str>, TenantHealthReport> = HashMap::new();
+        for tenant in self.tenants() {
+            reports.insert(
+                Arc::clone(&tenant),
+                TenantHealthReport {
+                    tenant,
+                    health: TenantHealth::Healthy,
+                    consecutive_failures: 0,
+                    last_error: None,
+                },
+            );
+        }
+        for (tenant, cell) in self.health.read().iter() {
+            let inner = cell.lock();
+            reports.insert(
+                Arc::clone(tenant),
+                TenantHealthReport {
+                    tenant: Arc::clone(tenant),
+                    health: inner.health,
+                    consecutive_failures: inner.consecutive,
+                    last_error: inner.last_error.clone(),
+                },
+            );
+        }
+        let mut out: Vec<TenantHealthReport> = reports.into_values().collect();
+        out.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        out
+    }
+
+    /// Checksum-scrubs one tenant's shard through the pool's VFS — see
+    /// [`osdp_persist::scrub_shard`] — and feeds the outcome into the same
+    /// health machine a failed write drives: a finding (or a scrub that
+    /// cannot even read the shard) degrades / quarantines the tenant
+    /// **before** any recovery path depends on the rotten bytes; a clean
+    /// scrub records nothing (readable cold data is no evidence the write
+    /// path works, so it must not close an open breaker).
+    ///
+    /// Lock-free and write-free: safe against a shard that is actively
+    /// serving. Errors on in-memory pools.
+    pub fn scrub_tenant(&self, tenant: &str) -> Result<osdp_persist::ScrubReport> {
+        let Some(persist) = &self.persist else {
+            return Err(OsdpError::Persistence(
+                "scrub_tenant needs a durable pool: construct it with SessionPool::open".into(),
+            ));
+        };
+        let shard_dir = persist.dir.join(encode_tenant_dir(tenant));
+        match osdp_persist::scrub_shard(persist.vfs.as_ref(), &shard_dir) {
+            Ok(report) => {
+                if let Some(err) = report.to_persist_error() {
+                    self.record_failure(tenant, &err);
+                }
+                Ok(report)
+            }
+            Err(err) => {
+                self.record_failure(tenant, &err);
+                Err(OsdpError::Persist(err))
+            }
+        }
+    }
+
+    /// Scrubs **every** persisted tenant shard ([`SessionPool::scrub_tenant`]
+    /// semantics per shard), visiting all of them even when some fail, and
+    /// returns the pool-wide outcome. Errors only when the pool root itself
+    /// cannot be enumerated (or the pool is in-memory).
+    pub fn scrub_all(&self) -> Result<PoolScrubReport> {
+        if self.persist.is_none() {
+            return Err(OsdpError::Persistence(
+                "scrub_all needs a durable pool: construct it with SessionPool::open".into(),
+            ));
+        }
+        let mut out = PoolScrubReport::default();
+        for tenant in self.persisted_tenants()? {
+            match self.scrub_tenant(&tenant) {
+                Ok(report) => out.reports.push((Arc::from(tenant.as_str()), report)),
+                Err(OsdpError::Persist(err)) => {
+                    out.failures.push((Arc::from(tenant.as_str()), err));
+                }
+                Err(other) => {
+                    out.failures
+                        .push((Arc::from(tenant.as_str()), persist_failure("scrub_all", other)));
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// The tenant's health cell, if one was ever created.
@@ -438,6 +541,7 @@ impl<R> SessionPool<R> {
                 consecutive: 0,
                 opened_at: None,
                 probing: false,
+                last_error: None,
             }))
         }))
     }
@@ -474,19 +578,23 @@ impl<R> SessionPool<R> {
             inner.consecutive = 0;
             inner.opened_at = None;
             inner.probing = false;
+            inner.last_error = None;
         }
     }
 
     /// A persistence failure: transient faults degrade (and quarantine
     /// after [`HealthPolicy::quarantine_after`] in a row); permanent faults
     /// quarantine immediately. A failed half-open probe re-opens the
-    /// breaker and restarts the cooldown.
-    fn record_failure(&self, tenant: &str, class: FaultClass) {
+    /// breaker and restarts the cooldown. The typed error is retained as
+    /// the tenant's `last_error` (see [`SessionPool::health_snapshot`]) —
+    /// it is what the supervisor's shared-device correlation groups on.
+    pub(crate) fn record_failure(&self, tenant: &str, err: &PersistError) {
         let cell = self.health_cell_or_insert(tenant);
         let mut inner = cell.lock();
         inner.consecutive = inner.consecutive.saturating_add(1);
         inner.probing = false;
-        if class == FaultClass::Permanent
+        inner.last_error = Some(err.clone());
+        if err.class == FaultClass::Permanent
             || inner.consecutive >= self.health_policy.quarantine_after
         {
             inner.health = TenantHealth::Quarantined;
@@ -504,8 +612,11 @@ impl<R> SessionPool<R> {
     fn observe<T>(&self, tenant: &str, result: Result<T>) -> Result<T> {
         match &result {
             Ok(_) => self.record_success(tenant),
-            Err(OsdpError::Persist(err)) => self.record_failure(tenant, err.class),
-            Err(OsdpError::Persistence(_)) => self.record_failure(tenant, FaultClass::Permanent),
+            Err(OsdpError::Persist(err)) => self.record_failure(tenant, err),
+            Err(OsdpError::Persistence(msg)) => self.record_failure(
+                tenant,
+                &PersistError::new(PersistOp::Commit, "", FaultClass::Permanent, msg.clone()),
+            ),
             Err(_) => {
                 if let Some(cell) = self.health_cell(tenant) {
                     cell.lock().probing = false;
@@ -573,7 +684,7 @@ impl<R> SessionPool<R> {
                 Ok(()) => self.record_success(&tenant),
                 Err(err) => {
                     let err = persist_failure(operation, err);
-                    self.record_failure(&tenant, err.class);
+                    self.record_failure(&tenant, &err);
                     failures.push((tenant, err));
                 }
             }
@@ -815,6 +926,47 @@ impl From<PoolMaintenanceError> for OsdpError {
     }
 }
 
+/// One row of [`SessionPool::health_snapshot`]: a tenant's circuit-breaker
+/// state as the operator (or the supervisor) sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantHealthReport {
+    /// The tenant key.
+    pub tenant: Arc<str>,
+    /// The breaker state.
+    pub health: TenantHealth,
+    /// Consecutive persistence failures since the last success.
+    pub consecutive_failures: u32,
+    /// The most recent typed failure, if the tenant is not clean — its
+    /// `(op, class)` signature is what shared-device incident correlation
+    /// groups on.
+    pub last_error: Option<PersistError>,
+}
+
+/// The outcome of a pool-wide scrub sweep ([`SessionPool::scrub_all`]):
+/// every shard was visited; `reports` holds the per-shard verdicts
+/// (possibly with findings) and `failures` the shards the scrubber could
+/// not even read.
+#[derive(Debug, Clone, Default)]
+pub struct PoolScrubReport {
+    /// Per-tenant scrub reports, in enumeration order.
+    pub reports: Vec<(Arc<str>, osdp_persist::ScrubReport)>,
+    /// Tenants whose shard could not be scrubbed at all (the scrub itself
+    /// hit an IO fault), with the typed error.
+    pub failures: Vec<(Arc<str>, PersistError)>,
+}
+
+impl PoolScrubReport {
+    /// Whether every shard was scrubbed and none showed corruption.
+    pub fn all_clean(&self) -> bool {
+        self.failures.is_empty() && self.reports.iter().all(|(_, r)| r.is_clean())
+    }
+
+    /// The tenants with at least one corruption finding, by key.
+    pub fn tenants_with_findings(&self) -> Vec<Arc<str>> {
+        self.reports.iter().filter(|(_, r)| !r.is_clean()).map(|(t, _)| Arc::clone(t)).collect()
+    }
+}
+
 /// One tenant's ledger verdict within a [`PoolVerdict`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantVerdict {
@@ -977,16 +1129,24 @@ mod tests {
         HealthPolicy { quarantine_after: 3, probe_cooldown: Duration::from_secs(3600) }
     }
 
+    fn transient() -> PersistError {
+        PersistError::new(PersistOp::Write, "wal.log", FaultClass::Transient, "EINTR")
+    }
+
+    fn permanent() -> PersistError {
+        PersistError::new(PersistOp::Write, "wal.log", FaultClass::Permanent, "ENOSPC")
+    }
+
     #[test]
     fn transient_failures_degrade_then_quarantine_and_success_heals() {
         let pool: SessionPool<u32> = SessionPool::new().with_health_policy(sticky_policy());
         assert_eq!(pool.health("acme"), TenantHealth::Healthy);
-        pool.record_failure("acme", FaultClass::Transient);
+        pool.record_failure("acme", &transient());
         assert_eq!(pool.health("acme"), TenantHealth::Degraded);
-        pool.record_failure("acme", FaultClass::Transient);
+        pool.record_failure("acme", &transient());
         assert_eq!(pool.health("acme"), TenantHealth::Degraded);
         assert!(pool.admit("acme").is_ok(), "degraded tenants still serve");
-        pool.record_failure("acme", FaultClass::Transient);
+        pool.record_failure("acme", &transient());
         assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
         // The breaker is open and the cooldown is far away: refuse fast,
         // with the typed error.
@@ -1002,7 +1162,7 @@ mod tests {
         pool.record_success("acme");
         assert_eq!(pool.health("acme"), TenantHealth::Healthy);
         assert!(pool.admit("acme").is_ok());
-        pool.record_failure("acme", FaultClass::Permanent);
+        pool.record_failure("acme", &permanent());
         assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
     }
 
@@ -1012,14 +1172,14 @@ mod tests {
             quarantine_after: 1,
             probe_cooldown: Duration::ZERO,
         });
-        pool.record_failure("acme", FaultClass::Permanent);
+        pool.record_failure("acme", &permanent());
         assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
         // Cooldown elapsed: one probe goes through; a second caller is
         // refused while the probe is in flight.
         assert!(pool.admit("acme").is_ok());
         assert!(matches!(pool.admit("acme"), Err(OsdpError::TenantQuarantined { .. })));
         // A failed probe re-opens the breaker (and releases the slot).
-        pool.record_failure("acme", FaultClass::Transient);
+        pool.record_failure("acme", &transient());
         assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
         assert!(pool.admit("acme").is_ok(), "zero cooldown: next probe is allowed");
         // A non-persistence outcome (a budget refusal, say) is no verdict
@@ -1119,6 +1279,78 @@ mod tests {
     fn try_heal_refuses_in_memory_pools() {
         let pool: SessionPool<u32> = SessionPool::new();
         assert!(pool.try_heal("acme", durable_builder).is_err());
+    }
+
+    #[test]
+    fn health_snapshot_reports_every_known_tenant_with_its_last_error() {
+        let pool: SessionPool<u32> = SessionPool::new().with_health_policy(sticky_policy());
+        pool.insert("acme", tenant_session(1, 1.0)).unwrap();
+        pool.insert("globex", tenant_session(2, 1.0)).unwrap();
+        // A tenant with health state but no registered session (the shape
+        // of a quarantined tenant mid-heal) still shows up.
+        pool.record_failure("initech", &permanent());
+        pool.record_failure("globex", &transient());
+        let snapshot = pool.health_snapshot();
+        assert_eq!(
+            snapshot.iter().map(|r| r.tenant.as_ref()).collect::<Vec<_>>(),
+            vec!["acme", "globex", "initech"],
+            "sorted union of registered and health-tracked tenants"
+        );
+        assert_eq!(snapshot[0].health, TenantHealth::Healthy);
+        assert_eq!(snapshot[0].consecutive_failures, 0);
+        assert!(snapshot[0].last_error.is_none());
+        assert_eq!(snapshot[1].health, TenantHealth::Degraded);
+        assert_eq!(snapshot[1].consecutive_failures, 1);
+        assert_eq!(snapshot[1].last_error.as_ref().unwrap().class, FaultClass::Transient);
+        assert_eq!(snapshot[2].health, TenantHealth::Quarantined);
+        let last = snapshot[2].last_error.as_ref().unwrap();
+        assert!(last.is_device_signature(), "permanent write fault carries the storm shape");
+        // Success wipes the error and the counter.
+        pool.record_success("globex");
+        let snapshot = pool.health_snapshot();
+        assert_eq!(snapshot[1].health, TenantHealth::Healthy);
+        assert!(snapshot[1].last_error.is_none());
+    }
+
+    #[test]
+    fn scrub_finds_cold_bit_rot_and_quarantines_before_recovery_reads_it() {
+        let dir = tmp_dir("scrub");
+        let pool: SessionPool<u32> = SessionPool::open(dir.clone(), SyncPolicy::Always)
+            .unwrap()
+            .with_health_policy(sticky_policy());
+        pool.open_tenant("acme", durable_builder).unwrap();
+        let m = OsdpLaplaceL1::new(0.75).unwrap();
+        pool.release("acme", &mod8_query(), &m).unwrap();
+        let report = pool.scrub_tenant("acme").unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.wal_frames, 1);
+        assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+
+        // Cold bit rot lands in the shard while the tenant idles. The scrub
+        // discovers it and trips the breaker *before* any recovery path
+        // reads the corrupt frame.
+        let wal = dir.join(encode_tenant_dir("acme")).join("wal.log");
+        let mut bytes = std::fs::read(&wal).unwrap();
+        let frame_at = bytes.len() - 4;
+        bytes[frame_at] ^= 0x10;
+        std::fs::write(&wal, &bytes).unwrap();
+        let report = pool.scrub_tenant("acme").unwrap();
+        assert!(!report.is_clean());
+        assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+        let snapshot = pool.health_snapshot();
+        let acme = snapshot.iter().find(|r| r.tenant.as_ref() == "acme").unwrap();
+        assert_eq!(acme.last_error.as_ref().unwrap().op, PersistOp::Read);
+
+        // scrub_all sees the same shard-level truth pool-wide.
+        let sweep = pool.scrub_all().unwrap();
+        assert!(!sweep.all_clean());
+        assert_eq!(sweep.tenants_with_findings(), vec![Arc::from("acme")]);
+
+        // In-memory pools have nothing to scrub.
+        let mem: SessionPool<u32> = SessionPool::new();
+        assert!(mem.scrub_tenant("acme").is_err());
+        assert!(mem.scrub_all().is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,806 @@
+//! [`PoolSupervisor`]: the autonomous maintenance plane over a durable
+//! [`SessionPool`].
+//!
+//! PR 8 gave the pool a per-tenant circuit breaker and a caller-driven
+//! repair verb ([`SessionPool::try_heal`]). This module closes the loop:
+//! a supervisor owns the *when* — probing quarantined tenants with
+//! **jittered exponential backoff**, running periodic `sync_all` /
+//! `snapshot_all` / scrub maintenance, and correlating simultaneous
+//! fault bursts across tenants into a single [`DeviceIncident`] — so the
+//! pool detects, correlates, and repairs its own faults while serving
+//! traffic, with no operator in the loop.
+//!
+//! ## Scheduling is a seam
+//!
+//! Every time-dependent behavior reads an injectable [`SupervisorClock`]
+//! and a seeded jitter stream: under [`ManualClock`] a test advances time
+//! explicitly and observes the exact same backoff growth, incident
+//! open/close transitions, and probe budget every run. [`SystemClock`]
+//! is the production clock; [`PoolSupervisor::run_background`] drives
+//! [`PoolSupervisor::tick`] from a thread at a fixed cadence.
+//!
+//! ## Why jitter
+//!
+//! When one shared device takes down many tenant shards at once, their
+//! breakers open together — and without jitter their heal probes would
+//! re-arrive in lockstep forever, hammering a recovering disk at the worst
+//! cadence. Each tenant's backoff is therefore stretched by a
+//! deterministic per-(seed, tenant, attempt) factor in `[1, 2)`
+//! ([`PoolSupervisor::backoff_delay`]), decorrelating the herd while
+//! keeping every delay reproducible under test.
+//!
+//! ## Incident semantics
+//!
+//! Quarantines whose last typed error carries the **device signature** — a
+//! permanent `Write`/`Fsync` failure
+//! ([`PersistError::is_device_signature`]) — and whose onset falls within
+//! one correlation window are counted together; at
+//! [`SupervisorConfig::incident_tenants`] of them the supervisor opens a
+//! [`DeviceIncident`] **once** and stops fanning probes out: only a single
+//! canary tenant is probed until it heals, which closes the incident and
+//! releases the rest of the herd back to normal backoff. Tenants whose
+//! faults do not match the signature are never swept into the incident —
+//! quarantine stays exactly as wide as the evidence.
+
+use crate::pool::{SessionPool, TenantHealth};
+use crate::session::SessionBuilder;
+use osdp_core::error::{OsdpError, PersistError, Result};
+use osdp_core::Record;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The supervisor's injectable time source: a monotone reading since an
+/// arbitrary epoch. All scheduling (backoff due-times, maintenance
+/// cadences, incident windows) compares these readings, so swapping the
+/// implementation swaps real time for test time with no other change.
+pub trait SupervisorClock: Send + Sync {
+    /// Time elapsed since the clock's epoch.
+    fn now(&self) -> Duration;
+}
+
+/// The production clock: monotone time since construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    anchor: Instant,
+}
+
+impl SystemClock {
+    /// A clock anchored at the moment of construction.
+    pub fn new() -> Self {
+        Self { anchor: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SupervisorClock for SystemClock {
+    fn now(&self) -> Duration {
+        self.anchor.elapsed()
+    }
+}
+
+/// A hand-cranked clock for deterministic tests: time moves only when the
+/// test calls [`ManualClock::advance`] (or [`ManualClock::set`]), so every
+/// backoff expiry and incident window edge is observed exactly.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Mutex<Duration>,
+}
+
+impl ManualClock {
+    /// A clock at epoch zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        *self.now.lock() += by;
+    }
+
+    /// Jumps time to an absolute reading (monotonicity is the test's
+    /// responsibility).
+    pub fn set(&self, to: Duration) {
+        *self.now.lock() = to;
+    }
+}
+
+impl SupervisorClock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+}
+
+/// Tuning for a [`PoolSupervisor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// Backoff before the first heal probe of a freshly-quarantined tenant;
+    /// doubles per failed attempt.
+    pub probe_base: Duration,
+    /// Upper bound on the un-jittered backoff (jitter may stretch a delay
+    /// to just under twice this).
+    pub probe_max: Duration,
+    /// Heal attempts per quarantine episode before the supervisor gives up
+    /// and leaves the tenant to the operator (≥ 1). The counter resets when
+    /// the tenant returns to service.
+    pub max_heal_attempts: u32,
+    /// Seed of the deterministic per-(tenant, attempt) jitter stream.
+    pub jitter_seed: u64,
+    /// Run [`SessionPool::sync_all`] at this cadence (`None` = never).
+    pub sync_every: Option<Duration>,
+    /// Run [`SessionPool::snapshot_all`] at this cadence (`None` = never).
+    pub snapshot_every: Option<Duration>,
+    /// Run [`SessionPool::scrub_all`] at this cadence (`None` = never).
+    pub scrub_every: Option<Duration>,
+    /// Simultaneously-quarantined tenants with the device fault signature
+    /// that open a [`DeviceIncident`] (≥ 2; shared-device correlation needs
+    /// at least a pair).
+    pub incident_tenants: usize,
+    /// How close together (by onset) the matching quarantines must be to
+    /// correlate into one incident.
+    pub incident_window: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            probe_base: Duration::from_millis(250),
+            probe_max: Duration::from_secs(30),
+            max_heal_attempts: 6,
+            jitter_seed: 0x9E37_79B9_7F4A_7C15,
+            sync_every: None,
+            snapshot_every: Some(Duration::from_secs(60)),
+            scrub_every: Some(Duration::from_secs(300)),
+            incident_tenants: 3,
+            incident_window: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The typed outcome of one supervisor-driven heal attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HealOutcome {
+    /// The shard reopened through snapshot + replay and the tenant is back
+    /// in service.
+    Healed,
+    /// The attempt failed; the tenant stays quarantined and the next probe
+    /// is scheduled with a longer (jittered) backoff.
+    Failed {
+        /// Why the reopen failed.
+        error: OsdpError,
+    },
+    /// This failure exhausted [`SupervisorConfig::max_heal_attempts`]: the
+    /// supervisor stops probing this quarantine episode and leaves the
+    /// tenant to the operator.
+    Exhausted {
+        /// The final failure.
+        error: OsdpError,
+    },
+}
+
+/// One correlated shared-device fault burst: several tenants quarantined
+/// within one window, all with the same permanent write-side signature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceIncident {
+    /// When the supervisor opened the incident (supervisor-clock reading).
+    pub opened_at: Duration,
+    /// The affected tenants, sorted — exactly the quarantined tenants whose
+    /// faults carry the device signature, and no others.
+    pub tenants: Vec<Arc<str>>,
+    /// The canary: the one tenant still probed while the incident is open.
+    /// Its heal is the evidence the device recovered.
+    pub canary: Arc<str>,
+}
+
+/// What the supervisor did (and observed) during ticks, timestamped with
+/// the supervisor clock.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SupervisorEvent {
+    /// A heal probe was scheduled for a quarantined tenant.
+    HealScheduled {
+        /// When the decision was made.
+        at: Duration,
+        /// The quarantined tenant.
+        tenant: Arc<str>,
+        /// The upcoming attempt number (1-based).
+        attempt: u32,
+        /// When the probe becomes due — `at` + the jittered backoff.
+        due: Duration,
+    },
+    /// A heal probe ran.
+    HealAttempted {
+        /// When the probe ran.
+        at: Duration,
+        /// The probed tenant.
+        tenant: Arc<str>,
+        /// The attempt number (1-based).
+        attempt: u32,
+        /// What happened.
+        outcome: HealOutcome,
+    },
+    /// Enough correlated quarantines accumulated to open an incident.
+    IncidentOpened {
+        /// When it opened.
+        at: Duration,
+        /// The affected tenants, sorted.
+        tenants: Vec<Arc<str>>,
+    },
+    /// The open incident closed (canary healed, or every affected tenant
+    /// left quarantine).
+    IncidentClosed {
+        /// When it closed.
+        at: Duration,
+    },
+    /// A periodic maintenance sweep ran.
+    MaintenanceCompleted {
+        /// When it ran.
+        at: Duration,
+        /// `"sync_all"` or `"snapshot_all"`.
+        operation: &'static str,
+        /// Tenants that failed the sweep (each already fed into the health
+        /// machine by the pool).
+        failures: usize,
+    },
+    /// A periodic pool-wide scrub ran.
+    ScrubCompleted {
+        /// When it ran.
+        at: Duration,
+        /// Shards scrubbed.
+        shards: usize,
+        /// Shards with at least one corruption finding (each already
+        /// quarantined by the pool's scrub glue).
+        findings: usize,
+        /// Shards the scrubber could not read at all.
+        failures: usize,
+    },
+}
+
+/// What one [`PoolSupervisor::tick`] did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TickReport {
+    /// The tick's clock reading.
+    pub at: Duration,
+    /// Everything that happened, in order.
+    pub events: Vec<SupervisorEvent>,
+    /// Tenants restored to service this tick.
+    pub healed: Vec<Arc<str>>,
+    /// Whether a [`DeviceIncident`] is open after this tick.
+    pub incident_open: bool,
+}
+
+/// Per-tenant probe bookkeeping for one quarantine episode.
+#[derive(Debug)]
+struct ProbeState {
+    /// Heal attempts made this episode.
+    attempts: u32,
+    /// When the next probe is due.
+    due: Duration,
+    /// Probes stopped: the attempt budget is spent.
+    exhausted: bool,
+}
+
+/// The supervisor's mutable state, behind one mutex (ticks are serial; the
+/// pool's own locks guard the shared serving state).
+#[derive(Debug, Default)]
+struct SupervisorState {
+    probes: HashMap<Arc<str>, ProbeState>,
+    /// When each tenant's current quarantine episode was first observed —
+    /// the onset used for incident-window correlation (the pool's own
+    /// `opened_at` is an `Instant`, which a mock clock cannot drive).
+    first_seen: HashMap<Arc<str>, Duration>,
+    incident: Option<DeviceIncident>,
+    last_sync: Option<Duration>,
+    last_snapshot: Option<Duration>,
+    last_scrub: Option<Duration>,
+}
+
+/// The session factory a supervisor rebuilds healed tenants with.
+type SessionFactory<R> = Box<dyn Fn(&str) -> SessionBuilder<R> + Send + Sync>;
+
+/// The background maintenance loop over a durable [`SessionPool`] — see
+/// the module docs. Construct with [`PoolSupervisor::new`] (or
+/// [`PoolSupervisor::with_clock`] for tests), then either call
+/// [`PoolSupervisor::tick`] yourself or hand the supervisor to a thread
+/// with [`PoolSupervisor::run_background`].
+pub struct PoolSupervisor<R = Record> {
+    pool: Arc<SessionPool<R>>,
+    /// The session factory heals rebuild tenants with — same shape as
+    /// [`SessionPool::recover`]'s.
+    make: SessionFactory<R>,
+    config: SupervisorConfig,
+    clock: Arc<dyn SupervisorClock>,
+    state: Mutex<SupervisorState>,
+}
+
+impl<R> std::fmt::Debug for PoolSupervisor<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolSupervisor")
+            .field("pool", &self.pool)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// SplitMix64: a tiny, statistically-solid mixer — one multiply-xor chain
+/// per draw, no state to store.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the tenant key: folds the tenant identity into the jitter
+/// stream so co-quarantined tenants decorrelate.
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+impl<R> PoolSupervisor<R> {
+    /// A supervisor over `pool`, healing with the sessions `make` builds,
+    /// on the production [`SystemClock`]. Fails unless the pool is durable
+    /// ([`SessionPool::open`]) — an in-memory pool has no shards to heal,
+    /// scrub, or correlate.
+    pub fn new(
+        pool: Arc<SessionPool<R>>,
+        make: impl Fn(&str) -> SessionBuilder<R> + Send + Sync + 'static,
+        config: SupervisorConfig,
+    ) -> Result<Self> {
+        Self::with_clock(pool, make, config, Arc::new(SystemClock::new()))
+    }
+
+    /// [`PoolSupervisor::new`] on an explicit clock — the determinism seam
+    /// tests drive with [`ManualClock`].
+    pub fn with_clock(
+        pool: Arc<SessionPool<R>>,
+        make: impl Fn(&str) -> SessionBuilder<R> + Send + Sync + 'static,
+        config: SupervisorConfig,
+        clock: Arc<dyn SupervisorClock>,
+    ) -> Result<Self> {
+        if pool.persist_dir().is_none() {
+            return Err(OsdpError::Persistence(
+                "PoolSupervisor needs a durable pool: construct it with SessionPool::open".into(),
+            ));
+        }
+        Ok(Self {
+            pool,
+            make: Box::new(make),
+            config: SupervisorConfig {
+                max_heal_attempts: config.max_heal_attempts.max(1),
+                incident_tenants: config.incident_tenants.max(2),
+                ..config
+            },
+            clock,
+            state: Mutex::new(SupervisorState::default()),
+        })
+    }
+
+    /// The supervised pool.
+    pub fn pool(&self) -> &Arc<SessionPool<R>> {
+        &self.pool
+    }
+
+    /// The effective configuration (after floor clamps).
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.config
+    }
+
+    /// The open incident, if any.
+    pub fn incident(&self) -> Option<DeviceIncident> {
+        self.state.lock().incident.clone()
+    }
+
+    /// The deterministic jitter factor minus one: a value in `[0, 1)`
+    /// drawn from `(seed, tenant, attempt)` — same inputs, same jitter,
+    /// every run.
+    fn jitter_unit(&self, tenant: &str, attempt: u32) -> f64 {
+        let draw = splitmix64(
+            self.config.jitter_seed ^ fnv1a(tenant) ^ u64::from(attempt).rotate_left(32),
+        );
+        // 53 high bits → a uniform dyadic rational in [0, 1).
+        (draw >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The jittered backoff before heal attempt `attempt` (1-based) of
+    /// `tenant`: `min(base · 2^(attempt−1), max)` stretched by the
+    /// deterministic per-(seed, tenant, attempt) factor in `[1, 2)`.
+    /// Exposed so tests compute expected due-times independently.
+    pub fn backoff_delay(&self, tenant: &str, attempt: u32) -> Duration {
+        let doublings = attempt.saturating_sub(1).min(16);
+        let exp =
+            self.config.probe_base.saturating_mul(1u32 << doublings).min(self.config.probe_max);
+        exp + exp.mul_f64(self.jitter_unit(tenant, attempt))
+    }
+}
+
+impl<R: Send + Sync + 'static> PoolSupervisor<R> {
+    /// One maintenance pass: reconcile probe state with the pool's health
+    /// snapshot, correlate fault bursts into (or close) a
+    /// [`DeviceIncident`], run due heal probes, and run due periodic
+    /// maintenance. Deterministic given the clock and the pool state;
+    /// cheap when nothing is due (one health snapshot, no IO).
+    pub fn tick(&self) -> TickReport {
+        let now = self.clock.now();
+        let mut report = TickReport { at: now, ..TickReport::default() };
+        let mut state = self.state.lock();
+        let snapshot = self.pool.health_snapshot();
+
+        // Reconcile: tenants back in service drop their episode state;
+        // fresh quarantines get an onset stamp and a first jittered probe.
+        let mut quarantined: Vec<&crate::pool::TenantHealthReport> = Vec::new();
+        for tenant_report in &snapshot {
+            let tenant = &tenant_report.tenant;
+            if tenant_report.health == TenantHealth::Quarantined {
+                state.first_seen.entry(Arc::clone(tenant)).or_insert(now);
+                if !state.probes.contains_key(tenant) {
+                    let due = now + self.backoff_delay(tenant, 1);
+                    state.probes.insert(
+                        Arc::clone(tenant),
+                        ProbeState { attempts: 0, due, exhausted: false },
+                    );
+                    report.events.push(SupervisorEvent::HealScheduled {
+                        at: now,
+                        tenant: Arc::clone(tenant),
+                        attempt: 1,
+                        due,
+                    });
+                }
+                quarantined.push(tenant_report);
+            } else {
+                state.first_seen.remove(tenant);
+                state.probes.remove(tenant);
+            }
+        }
+
+        // Close an incident whose tenants all left quarantine (healed by
+        // the canary path below on an earlier tick, or externally).
+        if let Some(incident) = &state.incident {
+            let still_down =
+                incident.tenants.iter().any(|t| quarantined.iter().any(|q| q.tenant == *t));
+            if !still_down {
+                state.incident = None;
+                report.events.push(SupervisorEvent::IncidentClosed { at: now });
+            }
+        }
+
+        // Correlate: enough fresh quarantines with the device signature
+        // inside one window is one shared device failing, not N shards.
+        if state.incident.is_none() {
+            let mut affected: Vec<Arc<str>> = quarantined
+                .iter()
+                .filter(|q| {
+                    q.last_error.as_ref().is_some_and(PersistError::is_device_signature)
+                        && state.first_seen.get(&q.tenant).is_some_and(|&seen| {
+                            now.saturating_sub(seen) <= self.config.incident_window
+                        })
+                })
+                .map(|q| Arc::clone(&q.tenant))
+                .collect();
+            affected.sort();
+            if affected.len() >= self.config.incident_tenants {
+                let canary = Arc::clone(&affected[0]);
+                report
+                    .events
+                    .push(SupervisorEvent::IncidentOpened { at: now, tenants: affected.clone() });
+                state.incident = Some(DeviceIncident { opened_at: now, tenants: affected, canary });
+            }
+        }
+
+        // Probe due tenants. While an incident is open, only the canary is
+        // probed — a dying shared device must not be probe-stormed by the
+        // whole herd.
+        let canary_only: Option<Arc<str>> = state.incident.as_ref().map(|i| Arc::clone(&i.canary));
+        let due: Vec<Arc<str>> = state
+            .probes
+            .iter()
+            .filter(|(tenant, probe)| {
+                !probe.exhausted
+                    && probe.due <= now
+                    && canary_only.as_ref().is_none_or(|c| c == *tenant)
+            })
+            .map(|(tenant, _)| Arc::clone(tenant))
+            .collect();
+        let mut due = due;
+        due.sort();
+        for tenant in due {
+            let attempt = state.probes.get(&tenant).map(|p| p.attempts + 1).unwrap_or(1);
+            let outcome = match self.pool.try_heal(&tenant, || (self.make)(&tenant)) {
+                Ok(_) => {
+                    state.probes.remove(&tenant);
+                    state.first_seen.remove(&tenant);
+                    report.healed.push(Arc::clone(&tenant));
+                    if state.incident.as_ref().is_some_and(|incident| incident.canary == tenant) {
+                        // The canary healing is the device-recovery signal:
+                        // close the incident and let the next tick resume
+                        // normal probing for the rest of the herd.
+                        state.incident = None;
+                        report.events.push(SupervisorEvent::IncidentClosed { at: now });
+                    }
+                    HealOutcome::Healed
+                }
+                Err(error) => {
+                    let probe = state.probes.get_mut(&tenant).expect("probe state exists");
+                    probe.attempts = attempt;
+                    if attempt >= self.config.max_heal_attempts {
+                        probe.exhausted = true;
+                        HealOutcome::Exhausted { error }
+                    } else {
+                        probe.due = now + self.backoff_delay(&tenant, attempt + 1);
+                        report.events.push(SupervisorEvent::HealScheduled {
+                            at: now,
+                            tenant: Arc::clone(&tenant),
+                            attempt: attempt + 1,
+                            due: probe.due,
+                        });
+                        HealOutcome::Failed { error }
+                    }
+                }
+            };
+            report.events.push(SupervisorEvent::HealAttempted {
+                at: now,
+                tenant,
+                attempt,
+                outcome,
+            });
+        }
+
+        // Periodic maintenance, each on its own cadence.
+        if due_now(self.config.sync_every, state.last_sync, now) {
+            state.last_sync = Some(now);
+            let failures = self.pool.sync_all().map_or_else(|e| e.failures.len(), |()| 0);
+            report.events.push(SupervisorEvent::MaintenanceCompleted {
+                at: now,
+                operation: "sync_all",
+                failures,
+            });
+        }
+        if due_now(self.config.snapshot_every, state.last_snapshot, now) {
+            state.last_snapshot = Some(now);
+            let failures = self.pool.snapshot_all().map_or_else(|e| e.failures.len(), |()| 0);
+            report.events.push(SupervisorEvent::MaintenanceCompleted {
+                at: now,
+                operation: "snapshot_all",
+                failures,
+            });
+        }
+        if due_now(self.config.scrub_every, state.last_scrub, now) {
+            state.last_scrub = Some(now);
+            match self.pool.scrub_all() {
+                Ok(sweep) => report.events.push(SupervisorEvent::ScrubCompleted {
+                    at: now,
+                    shards: sweep.reports.len() + sweep.failures.len(),
+                    findings: sweep.tenants_with_findings().len(),
+                    failures: sweep.failures.len(),
+                }),
+                Err(_) => report.events.push(SupervisorEvent::ScrubCompleted {
+                    at: now,
+                    shards: 0,
+                    findings: 0,
+                    failures: 1,
+                }),
+            }
+        }
+
+        report.incident_open = state.incident.is_some();
+        report
+    }
+
+    /// Runs [`PoolSupervisor::tick`] on a background thread every
+    /// `interval` until the returned handle is stopped (or dropped). The
+    /// serving grant path is untouched: ticks read the health snapshot and
+    /// only take pool locks a caller-driven heal would take.
+    pub fn run_background(self: Arc<Self>, interval: Duration) -> SupervisorHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("osdp-pool-supervisor".into())
+            .spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    self.tick();
+                    // Sleep in short slices so stop() returns promptly even
+                    // under a long interval.
+                    let mut remaining = interval;
+                    while !remaining.is_zero() && !flag.load(Ordering::Relaxed) {
+                        let slice = remaining.min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            })
+            .expect("spawn supervisor thread");
+        SupervisorHandle { stop, thread: Some(thread) }
+    }
+}
+
+/// Whether a cadence timer is due: never ran, or a full period elapsed.
+fn due_now(every: Option<Duration>, last: Option<Duration>, now: Duration) -> bool {
+    match every {
+        None => false,
+        Some(every) => last.is_none_or(|last| now.saturating_sub(last) >= every),
+    }
+}
+
+/// Stops the background supervisor thread when dropped (or explicitly via
+/// [`SupervisorHandle::stop`]).
+#[derive(Debug)]
+pub struct SupervisorHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SupervisorHandle {
+    /// Signals the loop to stop and joins the thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for SupervisorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionBuilder;
+    use osdp_core::policy::ClosurePolicy;
+    use osdp_core::Database;
+    use osdp_persist::SyncPolicy;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("osdp-supervisor-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn builder(_tenant: &str) -> SessionBuilder<u32> {
+        let db: Database<u32> = (0..100u32).collect();
+        SessionBuilder::new(db)
+            .policy(ClosurePolicy::new("upper-half", |&v: &u32| v >= 50), "P50")
+            .budget(10.0)
+            .seed(7)
+    }
+
+    fn test_config() -> SupervisorConfig {
+        SupervisorConfig {
+            probe_base: Duration::from_millis(100),
+            probe_max: Duration::from_secs(5),
+            max_heal_attempts: 4,
+            jitter_seed: 42,
+            sync_every: None,
+            snapshot_every: None,
+            scrub_every: None,
+            incident_tenants: 3,
+            incident_window: Duration::from_secs(10),
+        }
+    }
+
+    #[test]
+    fn refuses_in_memory_pools() {
+        let pool: Arc<SessionPool<u32>> = Arc::new(SessionPool::new());
+        assert!(PoolSupervisor::new(pool, builder, test_config()).is_err());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let dir = tmp_dir("backoff");
+        let pool: Arc<SessionPool<u32>> =
+            Arc::new(SessionPool::open(dir.clone(), SyncPolicy::Always).unwrap());
+        let a = PoolSupervisor::with_clock(
+            Arc::clone(&pool),
+            builder,
+            test_config(),
+            Arc::new(ManualClock::new()),
+        )
+        .unwrap();
+        let b = PoolSupervisor::with_clock(
+            Arc::clone(&pool),
+            builder,
+            test_config(),
+            Arc::new(ManualClock::new()),
+        )
+        .unwrap();
+        let base = test_config().probe_base;
+        let max = test_config().probe_max;
+        let mut last = Duration::ZERO;
+        for attempt in 1..=10 {
+            let d = a.backoff_delay("acme", attempt);
+            // Same seed, same tenant, same attempt → same delay, every run.
+            assert_eq!(d, b.backoff_delay("acme", attempt));
+            // Jitter stretches the exponential floor by [1, 2).
+            let floor = base.saturating_mul(1 << (attempt - 1).min(16)).min(max);
+            assert!(d >= floor, "attempt {attempt}: {d:?} under floor {floor:?}");
+            assert!(d < floor * 2, "attempt {attempt}: {d:?} over jitter ceiling");
+            assert!(d >= last.min(max), "backoff grows until the cap");
+            last = d;
+        }
+        // Distinct tenants draw distinct jitter (decorrelated herd).
+        assert_ne!(a.backoff_delay("acme", 1), a.backoff_delay("globex", 1));
+        // A different seed moves every delay.
+        let c = PoolSupervisor::with_clock(
+            pool,
+            builder,
+            SupervisorConfig { jitter_seed: 43, ..test_config() },
+            Arc::new(ManualClock::new()),
+        )
+        .unwrap();
+        assert_ne!(a.backoff_delay("acme", 1), c.backoff_delay("acme", 1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manual_clock_drives_maintenance_cadence() {
+        let dir = tmp_dir("cadence");
+        let pool: Arc<SessionPool<u32>> =
+            Arc::new(SessionPool::open(dir.clone(), SyncPolicy::Always).unwrap());
+        pool.open_tenant("acme", || builder("acme")).unwrap();
+        let clock = Arc::new(ManualClock::new());
+        let supervisor = PoolSupervisor::with_clock(
+            Arc::clone(&pool),
+            builder,
+            SupervisorConfig { sync_every: Some(Duration::from_secs(10)), ..test_config() },
+            Arc::clone(&clock) as Arc<dyn SupervisorClock>,
+        )
+        .unwrap();
+        // First tick: the timer has never run, so it fires immediately.
+        let report = supervisor.tick();
+        assert!(report.events.iter().any(|e| matches!(
+            e,
+            SupervisorEvent::MaintenanceCompleted { operation: "sync_all", failures: 0, .. }
+        )));
+        // Under a period later: nothing due.
+        clock.advance(Duration::from_secs(9));
+        assert!(supervisor.tick().events.is_empty());
+        // Crossing the period: due again. Deterministic — no wall time read.
+        clock.advance(Duration::from_secs(1));
+        let report = supervisor.tick();
+        assert_eq!(report.events.len(), 1);
+        assert!(report.healed.is_empty());
+        assert!(!report.incident_open);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ticks_on_a_healthy_pool_do_nothing() {
+        let dir = tmp_dir("idle");
+        let pool: Arc<SessionPool<u32>> =
+            Arc::new(SessionPool::open(dir.clone(), SyncPolicy::Always).unwrap());
+        pool.open_tenant("acme", || builder("acme")).unwrap();
+        let supervisor = PoolSupervisor::with_clock(
+            Arc::clone(&pool),
+            builder,
+            test_config(),
+            Arc::new(ManualClock::new()),
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let report = supervisor.tick();
+            assert!(report.events.is_empty() && report.healed.is_empty());
+        }
+        assert!(supervisor.incident().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

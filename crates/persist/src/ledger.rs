@@ -47,19 +47,19 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 /// Magic header of `wal.log`.
-const WAL_MAGIC: &[u8; 8] = b"OSDPWAL1";
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"OSDPWAL1";
 
 /// WAL header size: magic + the `u64` snapshot generation it continues.
-const WAL_HEADER: usize = 16;
+pub(crate) const WAL_HEADER: usize = 16;
 
-const WAL_FILE: &str = "wal.log";
-const SNAPSHOT_FILE: &str = "snapshot.bin";
+pub(crate) const WAL_FILE: &str = "wal.log";
+pub(crate) const SNAPSHOT_FILE: &str = "snapshot.bin";
 /// The parked prior snapshot generation: rotation renames the old
 /// `snapshot.bin` here before moving the new one into place, covering the
 /// crash window in which `snapshot.bin` is briefly absent and giving
 /// corrupt-snapshot recovery a fallback.
-const SNAPSHOT_PREV_FILE: &str = "snapshot.prev";
-const LOCK_FILE: &str = "LOCK";
+pub(crate) const SNAPSHOT_PREV_FILE: &str = "snapshot.prev";
+pub(crate) const LOCK_FILE: &str = "LOCK";
 
 /// The error every operation returns after [`TenantLedger::crash`].
 pub(crate) const CRASHED_MSG: &str = "ledger writer has crashed (simulated)";
@@ -494,6 +494,16 @@ impl TenantLedger {
         read_state(vfs, dir.as_ref(), false)
     }
 
+    /// Verifies this shard's cold data (WAL frame CRCs, snapshot codecs)
+    /// through the ledger's own VFS, **without decoding records, taking a
+    /// lock, or writing a byte** — see [`crate::scrub::scrub_shard`]. Safe
+    /// while the ledger is serving: a racing append shows up as (at most) a
+    /// benign torn-tail warning.
+    pub fn scrub(&self) -> Result<crate::scrub::ScrubReport> {
+        crate::scrub::scrub_shard(self.shared.vfs.as_ref(), &self.shared.dir)
+            .map_err(OsdpError::Persist)
+    }
+
     /// The shard directory.
     pub fn dir(&self) -> &Path {
         &self.shared.dir
@@ -919,6 +929,21 @@ fn read_state(vfs: &dyn Vfs, dir: &Path, repair: bool) -> Result<RecoveredLedger
             degraded: false,
             report,
         });
+    }
+    // Verify-only preflight (no payload decode): distinguishes *mid-file
+    // corruption* — bytes that were durable and then rotted, which replay
+    // will silently truncate at — from the benign torn tail of an
+    // interrupted append, so the report says which one recovery is about to
+    // act on.
+    let preflight = crate::wal::WalReader::verify_frames(&wal[WAL_HEADER..]);
+    if let Some(corruption) = preflight.corruption {
+        report.notes.push(format!(
+            "wal.log holds a corrupt frame at byte {} ({}); the {} frames before it are the \
+             recoverable prefix",
+            corruption.offset + WAL_HEADER as u64,
+            corruption.defect,
+            preflight.frames
+        ));
     }
     let outcome = replay(&wal[WAL_HEADER..]);
     let mut records = outcome.records.into_iter();

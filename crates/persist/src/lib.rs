@@ -31,8 +31,13 @@
 //!   submissions into one vectored write + one fsync per batch.
 //! * [`vfs`] — the file-system seam every byte of ledger IO flows through:
 //!   [`StdVfs`] for production and [`FaultVfs`], a deterministic seeded
-//!   fault injector (fail-on-nth-op, torn writes, fsync failure, `ENOSPC`,
-//!   read bit-flips, rename failure) for robustness tests.
+//!   fault injector (fail-on-nth-op, windowed fault storms, torn writes,
+//!   fsync failure, `ENOSPC`, read bit-flips, rename failure) for
+//!   robustness tests.
+//! * [`scrub`] — cold-data checksum scrubbing: re-reads a shard's WAL and
+//!   snapshots through the [`Vfs`] seam, verifies frame CRCs **without
+//!   decoding** ([`WalReader`]'s verify-only walk), and reports silent bit
+//!   rot as a [`ScrubReport`] *before* recovery depends on the bytes.
 //!
 //! ## Failure handling
 //!
@@ -74,6 +79,7 @@ pub mod committer;
 pub mod crc;
 pub mod ledger;
 pub mod record;
+pub mod scrub;
 pub mod snapshot;
 pub mod vfs;
 pub mod wal;
@@ -82,8 +88,12 @@ pub use committer::GroupCommitStats;
 pub use crc::crc32;
 pub use ledger::{force_unlock, LedgerOptions, RecoveredLedger, RecoveryReport, TenantLedger};
 pub use record::{GrantRecord, GuaranteeTag, RefusalRecord, SnapshotCounters, WalRecord};
+pub use scrub::{scrub_shard, ScrubFinding, ScrubReport};
 pub use snapshot::{AggregateRow, SnapshotState};
 pub use vfs::{
     classify, persist_error, FaultKind, FaultPlan, FaultRule, FaultVfs, StdVfs, Vfs, VfsFile,
 };
-pub use wal::{append_record, replay, ReplayOutcome, RetryPolicy, SyncPolicy, WalWriter};
+pub use wal::{
+    append_record, replay, FrameCorruption, FrameDefect, FrameVerification, ReplayOutcome,
+    RetryPolicy, SyncPolicy, WalReader, WalWriter,
+};

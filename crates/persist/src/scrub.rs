@@ -1,0 +1,378 @@
+//! Cold-data checksum scrubbing: find silent bit rot **before** recovery
+//! depends on the bytes.
+//!
+//! Recovery ([`crate::ledger`]) only reads a shard when something opens it —
+//! which means a WAL frame that rotted on disk months ago is discovered at
+//! the worst possible moment, mid-heal, and everything after it is silently
+//! truncated. The scrubber closes that window: [`scrub_shard`] re-reads a
+//! shard's `wal.log` and snapshots through the same [`crate::vfs::Vfs`]
+//! seam production IO uses, verifies every CRC-32 frame **without decoding
+//! payloads** (the [`WalReader`] verify-only walk), and reports what it
+//! found as a [`ScrubReport`].
+//!
+//! ## What is (and is not) a finding
+//!
+//! * A complete frame failing its CRC, a full header with an absurd length
+//!   field, a foreign WAL magic, or an undecodable `snapshot.bin` are
+//!   **findings**: durable bytes changed after they were acknowledged, and
+//!   any recovery that runs before repair will silently lose the tail.
+//! * A **torn tail** — a partial frame at the end of the WAL — is *not* a
+//!   finding. It is the normal residue of an interrupted append, and
+//!   (because the scrubber takes **no lock**) also exactly what a read
+//!   racing a live group-commit batch observes. Same for a short WAL header
+//!   mid-rewrite, and for a rotten `snapshot.prev` (a fallback artifact the
+//!   next rotation rewrites): those are [`ScrubReport::warnings`].
+//!
+//! The maintenance plane (`osdp_engine::supervisor`) feeds findings into
+//! the same tenant-health transitions a failed write takes — quarantine,
+//! then heal — so corruption is handled by the one repair path that already
+//! exists, instead of a second bespoke one.
+
+use crate::ledger::{SNAPSHOT_FILE, SNAPSHOT_PREV_FILE, WAL_FILE, WAL_HEADER, WAL_MAGIC};
+use crate::snapshot::SnapshotState;
+use crate::vfs::{persist_error, Vfs};
+use crate::wal::{FrameCorruption, WalReader};
+use osdp_core::error::{FaultClass, PersistError, PersistOp};
+use std::path::{Path, PathBuf};
+
+/// One piece of evidence that durable bytes changed after they were
+/// acknowledged.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScrubFinding {
+    /// A complete WAL frame failed verification mid-file.
+    WalCorruption {
+        /// The WAL file.
+        path: PathBuf,
+        /// The corrupt frame, with its offset relative to the WAL **body**
+        /// (add [`frame_file_offset`](ScrubFinding::frame_file_offset) for
+        /// the absolute file position).
+        corruption: FrameCorruption,
+        /// Frames that verified before the corrupt one — the prefix replay
+        /// would keep.
+        surviving_frames: u64,
+    },
+    /// `wal.log` is long enough to hold a header but does not start with
+    /// the WAL magic.
+    WalBadMagic {
+        /// The WAL file.
+        path: PathBuf,
+    },
+    /// The primary snapshot failed to decode.
+    SnapshotUndecodable {
+        /// The snapshot file.
+        path: PathBuf,
+        /// The decoder's complaint.
+        detail: String,
+    },
+}
+
+impl ScrubFinding {
+    /// The file the finding is about.
+    pub fn path(&self) -> &Path {
+        match self {
+            ScrubFinding::WalCorruption { path, .. }
+            | ScrubFinding::WalBadMagic { path }
+            | ScrubFinding::SnapshotUndecodable { path, .. } => path,
+        }
+    }
+
+    /// For [`ScrubFinding::WalCorruption`], the corrupt frame's absolute
+    /// byte offset in the file (body offset + file header).
+    pub fn frame_file_offset(&self) -> Option<u64> {
+        match self {
+            ScrubFinding::WalCorruption { corruption, .. } => {
+                Some(corruption.offset + WAL_HEADER as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The finding as a typed persistence error — the shape the tenant
+    /// health plane already consumes. Always [`PersistOp::Read`] +
+    /// [`FaultClass::Permanent`]: rot does not heal on retry; the shard
+    /// needs repair (reopen truncates the WAL at the rot boundary).
+    pub fn to_persist_error(&self) -> PersistError {
+        let detail = match self {
+            ScrubFinding::WalCorruption { corruption, surviving_frames, .. } => format!(
+                "scrub: wal frame at byte {} failed verification ({}); {} frames survive \
+                 before it",
+                corruption.offset + WAL_HEADER as u64,
+                corruption.defect,
+                surviving_frames
+            ),
+            ScrubFinding::WalBadMagic { .. } => {
+                "scrub: wal.log does not start with the WAL magic".to_string()
+            }
+            ScrubFinding::SnapshotUndecodable { detail, .. } => {
+                format!("scrub: snapshot failed to decode: {detail}")
+            }
+        };
+        PersistError::new(
+            PersistOp::Read,
+            self.path().display().to_string(),
+            FaultClass::Permanent,
+            detail,
+        )
+    }
+}
+
+impl std::fmt::Display for ScrubFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_persist_error().detail)
+    }
+}
+
+/// What one pass of [`scrub_shard`] observed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScrubReport {
+    /// The shard directory scrubbed.
+    pub dir: PathBuf,
+    /// WAL frames whose CRC verified.
+    pub wal_frames: u64,
+    /// Bytes of verified WAL body (excluding the file header).
+    pub wal_bytes: u64,
+    /// Bytes past the verified prefix that do not amount to a complete
+    /// frame — benign (an in-flight append or crash residue the next open
+    /// truncates), not corruption.
+    pub torn_tail_bytes: u64,
+    /// Evidence of silent corruption. Empty on a healthy shard.
+    pub findings: Vec<ScrubFinding>,
+    /// Benign oddities worth logging but demanding no health transition
+    /// (torn tail, short header mid-rewrite, rotten `snapshot.prev`).
+    pub warnings: Vec<String>,
+}
+
+impl ScrubReport {
+    /// Whether the shard shows no evidence of corruption.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The most severe finding as a typed persistence error (`None` when
+    /// clean) — what the health plane records against the tenant.
+    pub fn to_persist_error(&self) -> Option<PersistError> {
+        self.findings.first().map(ScrubFinding::to_persist_error)
+    }
+}
+
+/// Verifies one tenant shard's cold data — `wal.log` frame CRCs (without
+/// decoding), the snapshot magic/codec — through `vfs`, **without taking
+/// the shard lock** and without writing a byte. Safe to run against a shard
+/// that is actively serving: the worst a racing writer can cause is a torn
+/// tail, which is reported as a warning, never a finding.
+///
+/// `Err` means the scrub itself could not run (an IO fault while reading) —
+/// that error feeds the same health accounting a failed grant write does.
+/// Corruption is **not** an error: it comes back as
+/// [`ScrubReport::findings`] so the caller can see every defect, not just
+/// the first.
+pub fn scrub_shard(vfs: &dyn Vfs, dir: &Path) -> Result<ScrubReport, PersistError> {
+    let mut report = ScrubReport { dir: dir.to_path_buf(), ..ScrubReport::default() };
+    scrub_wal(vfs, dir, &mut report)?;
+    scrub_snapshots(vfs, dir, &mut report)?;
+    Ok(report)
+}
+
+fn scrub_wal(vfs: &dyn Vfs, dir: &Path, report: &mut ScrubReport) -> Result<(), PersistError> {
+    let wal_path = dir.join(WAL_FILE);
+    let wal = match vfs.read(&wal_path) {
+        Ok(bytes) => bytes,
+        // Absent WAL: a shard that never opened, or the instant before the
+        // first header write. Nothing to verify.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(persist_error(PersistOp::Read, &wal_path, &e)),
+    };
+    if wal.len() < WAL_HEADER {
+        if !wal.is_empty() {
+            report.warnings.push(format!(
+                "wal.log holds {} bytes — shorter than its header (interrupted rewrite; \
+                 the next open truncates it)",
+                wal.len()
+            ));
+        }
+        return Ok(());
+    }
+    if &wal[..WAL_MAGIC.len()] != WAL_MAGIC {
+        report.findings.push(ScrubFinding::WalBadMagic { path: wal_path });
+        return Ok(());
+    }
+    let v = WalReader::verify_frames(&wal[WAL_HEADER..]);
+    report.wal_frames = v.frames;
+    report.wal_bytes = v.valid_len as u64;
+    report.torn_tail_bytes = v.torn_tail_bytes;
+    if let Some(corruption) = v.corruption {
+        report.findings.push(ScrubFinding::WalCorruption {
+            path: wal_path,
+            corruption,
+            surviving_frames: v.frames,
+        });
+    } else if v.torn_tail_bytes > 0 {
+        report.warnings.push(format!(
+            "wal.log ends in a {}-byte torn tail (in-flight append or crash residue)",
+            v.torn_tail_bytes
+        ));
+    }
+    Ok(())
+}
+
+fn scrub_snapshots(
+    vfs: &dyn Vfs,
+    dir: &Path,
+    report: &mut ScrubReport,
+) -> Result<(), PersistError> {
+    let snap_path = dir.join(SNAPSHOT_FILE);
+    match vfs.read(&snap_path) {
+        Ok(bytes) => {
+            if let Err(e) = SnapshotState::decode(&bytes) {
+                report.findings.push(ScrubFinding::SnapshotUndecodable {
+                    path: snap_path,
+                    detail: e.to_string(),
+                });
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(persist_error(PersistOp::Read, &snap_path, &e)),
+    }
+    // The parked prior generation is only a fallback: rot here cannot be
+    // repaired by a reopen (the next rotation simply overwrites it), so it
+    // must not quarantine the tenant — warn and move on.
+    let prev_path = dir.join(SNAPSHOT_PREV_FILE);
+    match vfs.read(&prev_path) {
+        Ok(bytes) => {
+            if let Err(e) = SnapshotState::decode(&bytes) {
+                report.warnings.push(format!(
+                    "snapshot.prev failed to decode ({e}); the fallback copy is unusable \
+                     until the next rotation rewrites it"
+                ));
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(persist_error(PersistOp::Read, &prev_path, &e)),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::TenantLedger;
+    use crate::record::{GrantRecord, GuaranteeTag};
+    use crate::vfs::{FaultKind, FaultPlan, FaultVfs, StdVfs};
+    use crate::wal::SyncPolicy;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("osdp-scrub-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn grant(index: u64) -> GrantRecord {
+        GrantRecord {
+            index,
+            units: 100,
+            epsilon: 1e-10,
+            trials: 1,
+            bins: 8,
+            guarantee: GuaranteeTag::Osdp,
+            mechanism: "M".into(),
+            policy: "P".into(),
+            query: "q".into(),
+        }
+    }
+
+    /// Builds a closed shard with `n` grants and returns its directory.
+    fn shard(name: &str, n: u64) -> PathBuf {
+        let dir = tmp_dir(name);
+        let (ledger, _) = TenantLedger::open(&dir, SyncPolicy::Always).expect("open");
+        for i in 0..n {
+            ledger.append_grant(&grant(i)).expect("grant");
+        }
+        drop(ledger);
+        dir
+    }
+
+    #[test]
+    fn a_healthy_shard_scrubs_clean() {
+        let dir = shard("clean", 8);
+        let report = scrub_shard(&StdVfs, &dir).expect("scrub");
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+        assert_eq!(report.wal_frames, 8);
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert!(report.to_persist_error().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cold_bit_rot_is_a_finding_with_the_right_offset() {
+        let dir = shard("bitrot", 6);
+        let wal_path = dir.join("wal.log");
+        let mut bytes = std::fs::read(&wal_path).expect("read wal");
+        // Flip one payload bit in the 4th frame (uniform frames).
+        let body = bytes.len() - WAL_HEADER;
+        let frame = body / 6;
+        let victim = WAL_HEADER + 3 * frame + 12;
+        bytes[victim] ^= 0x40;
+        std::fs::write(&wal_path, &bytes).expect("write rot");
+        let report = scrub_shard(&StdVfs, &dir).expect("scrub");
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.wal_frames, 3);
+        let finding = &report.findings[0];
+        assert_eq!(finding.frame_file_offset(), Some((WAL_HEADER + 3 * frame) as u64));
+        let err = report.to_persist_error().expect("finding maps to an error");
+        assert_eq!(err.op, PersistOp::Read);
+        assert_eq!(err.class, FaultClass::Permanent);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tails_and_rotten_prev_snapshots_are_warnings_not_findings() {
+        let dir = shard("torn", 4);
+        let wal_path = dir.join("wal.log");
+        let mut bytes = std::fs::read(&wal_path).expect("read wal");
+        // Sever mid-frame: an interrupted append, not corruption.
+        bytes.truncate(bytes.len() - 5);
+        std::fs::write(&wal_path, &bytes).expect("write torn");
+        std::fs::write(dir.join("snapshot.prev"), b"not a snapshot").expect("write prev");
+        let report = scrub_shard(&StdVfs, &dir).expect("scrub");
+        assert!(report.is_clean(), "findings: {:?}", report.findings);
+        assert_eq!(report.wal_frames, 3);
+        assert!(report.torn_tail_bytes > 0);
+        assert_eq!(report.warnings.len(), 2, "warnings: {:?}", report.warnings);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_undecodable_primary_snapshot_is_a_finding() {
+        let dir = shard("snaprot", 2);
+        std::fs::write(dir.join("snapshot.bin"), b"garbage").expect("write snapshot");
+        let report = scrub_shard(&StdVfs, &dir).expect("scrub");
+        assert_eq!(report.findings.len(), 1);
+        assert!(matches!(report.findings[0], ScrubFinding::SnapshotUndecodable { .. }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_injected_read_fault_fails_the_scrub_itself() {
+        let dir = shard("readfault", 2);
+        let vfs = FaultVfs::new(FaultPlan::new().fail_nth(
+            PersistOp::Read,
+            "wal.log",
+            0,
+            FaultKind::Fail(FaultClass::Permanent),
+        ));
+        let err = scrub_shard(vfs.as_ref(), &dir).expect_err("read fault surfaces");
+        assert_eq!(err.op, PersistOp::Read);
+        assert_eq!(err.class, FaultClass::Permanent);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_absent_shard_scrubs_clean_and_empty() {
+        let dir = tmp_dir("absent");
+        let report = scrub_shard(&StdVfs, &dir).expect("scrub");
+        assert!(report.is_clean());
+        assert_eq!(report.wal_frames, 0);
+    }
+}

@@ -229,6 +229,13 @@ pub struct FaultRule {
     pub op: PersistOp,
     /// Matching operations to let through before firing.
     pub after: u64,
+    /// Stop firing once this many matching operations have been seen
+    /// (`None` = no upper bound). Together with `after` this models a fault
+    /// **window** — a device-wide `ENOSPC` storm that eventually clears, a
+    /// controller that drops fsyncs for a while and recovers — which is what
+    /// incident-correlation tests need: faults that open an incident and
+    /// then stop so healing can be observed.
+    pub until: Option<u64>,
     /// What happens when the rule fires.
     pub kind: FaultKind,
     /// Fire on every subsequent match instead of once.
@@ -260,6 +267,7 @@ impl FaultPlan {
             path_contains: path_contains.to_string(),
             op,
             after,
+            until: None,
             kind,
             sticky: false,
         });
@@ -278,6 +286,30 @@ impl FaultPlan {
             path_contains: path_contains.to_string(),
             op,
             after,
+            until: None,
+            kind,
+            sticky: true,
+        });
+        self
+    }
+
+    /// Adds a windowed rule: every matching `op` in `[after, until)` fails,
+    /// then the fault **clears** — the shape of a shared-device storm
+    /// (`ENOSPC` until an operator frees space, a controller rejecting
+    /// fsyncs until it resets).
+    pub fn fail_window(
+        mut self,
+        op: PersistOp,
+        path_contains: &str,
+        after: u64,
+        until: u64,
+        kind: FaultKind,
+    ) -> Self {
+        self.rules.push(FaultRule {
+            path_contains: path_contains.to_string(),
+            op,
+            after,
+            until: Some(until),
             kind,
             sticky: true,
         });
@@ -328,6 +360,7 @@ impl FaultPlan {
                 path_contains: path.to_string(),
                 op,
                 after: next() % 12,
+                until: None,
                 kind,
                 sticky: next() % 4 == 0,
             });
@@ -365,7 +398,10 @@ impl FaultShared {
             }
             let at = state.matched;
             state.matched += 1;
-            if at < rule.after || (state.fired && !rule.sticky) {
+            if at < rule.after
+                || rule.until.is_some_and(|until| at >= until)
+                || (state.fired && !rule.sticky)
+            {
                 continue;
             }
             state.fired = true;
@@ -710,6 +746,25 @@ mod tests {
         assert!(vfs.rename(&a, &b).is_err(), "sticky rules keep firing");
         assert!(a.exists() && !b.exists());
         assert_eq!(vfs.injected_faults(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn windowed_rules_fire_inside_the_window_and_then_clear() {
+        let dir = tmp("window");
+        let path = dir.join("wal.log");
+        // Writes #1 and #2 fail (a two-op ENOSPC storm); #0 and #3+ pass.
+        let plan =
+            FaultPlan::new().fail_window(PersistOp::Write, "wal.log", 1, 3, FaultKind::DiskFull);
+        let vfs = FaultVfs::new(plan);
+        let mut f = vfs.create_truncate(&path).unwrap();
+        f.write_all(b"a").unwrap();
+        assert!(f.write_all(b"b").is_err());
+        assert!(f.write_all(b"c").is_err());
+        f.write_all(b"d").unwrap();
+        f.write_all(b"e").unwrap();
+        assert_eq!(vfs.injected_faults(), 2, "the storm cleared at the window end");
+        assert_eq!(std::fs::read(&path).unwrap(), b"ade");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -122,12 +122,14 @@ pub mod prelude {
     };
     pub use osdp_engine::{
         histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs,
-        windows_from_databases, AuditLog, AuditRecord, Backend, ColumnarBackend, GroupCommitStats,
-        HealthPolicy, HistogramPair, LedgerOptions, MechanismSpec, OsdpSession,
-        PoolMaintenanceError, PoolRelease, PoolVerdict, PoolWindowOutcome, QueryPlan,
-        RecoveryReport, Release, RetryPolicy, RowBackend, SessionBuilder, SessionPersistence,
-        SessionPool, SessionQuery, SessionWal, StreamSession, StreamSessionBuilder, SyncPolicy,
-        SyntheticWindows, TenantHealth, TenantVerdict, Window, WindowOutcome, WindowSource,
+        windows_from_databases, AuditLog, AuditRecord, Backend, ColumnarBackend, DeviceIncident,
+        GroupCommitStats, HealOutcome, HealthPolicy, HistogramPair, LedgerOptions, ManualClock,
+        MechanismSpec, OsdpSession, PoolMaintenanceError, PoolRelease, PoolScrubReport,
+        PoolSupervisor, PoolVerdict, PoolWindowOutcome, QueryPlan, RecoveryReport, Release,
+        RetryPolicy, RowBackend, SessionBuilder, SessionPersistence, SessionPool, SessionQuery,
+        SessionWal, StreamSession, StreamSessionBuilder, SupervisorClock, SupervisorConfig,
+        SupervisorEvent, SupervisorHandle, SyncPolicy, SyntheticWindows, SystemClock, TenantHealth,
+        TenantHealthReport, TenantVerdict, TickReport, Window, WindowOutcome, WindowSource,
     };
     pub use osdp_mechanisms::{
         DawaHistogram, Dawaz, DpLaplaceHistogram, HistogramMechanism, HistogramTask, HybridLaplace,

@@ -1,0 +1,400 @@
+//! Supervisor fault-plane tests: the autonomous maintenance loop over a
+//! durable [`SessionPool`], driven end to end on a deterministic
+//! [`ManualClock`] against seeded [`FaultVfs`] fault plans.
+//!
+//! * **autonomous heal** — a seeded `ENOSPC` quarantines a tenant; the
+//!   supervisor heals it with **no caller intervention**, and the jittered
+//!   exponential backoff between probes is observed tick by tick on the
+//!   mock clock (a probe before its due-time does nothing, bit for bit
+//!   reproducibly);
+//! * **shared-device correlation** — one device-wide write storm
+//!   quarantines exactly the affected tenants, opens exactly one
+//!   [`DeviceIncident`], collapses probing to a single canary while the
+//!   incident is open, and releases the herd once the canary heals;
+//! * **scrub-before-recovery** — seeded cold-segment bit rot is detected
+//!   by the periodic scrub and quarantines the tenant *before* any
+//!   recovery path reads the corrupt frame; the subsequent heal truncates
+//!   to the provably-valid prefix and the healed accountant equals the
+//!   audit log equals an independent ledger peek, bit for bit.
+
+use osdp::persist::{FaultKind, FaultPlan, FaultVfs, TenantLedger};
+use osdp::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A fresh, empty scratch directory under the OS temp dir.
+fn temp_root(name: &str) -> PathBuf {
+    static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "osdp-supervisor-{}-{}-{name}",
+        std::process::id(),
+        UNIQUE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A histogram-backed session builder; ε debits of 1/8 keep every spent
+/// total an exact multiple of one grant's fixed-point units.
+fn builder(budget: f64, seed: u64) -> SessionBuilder<Record> {
+    let full = Histogram::from_counts(vec![40.0, 10.0, 25.0, 25.0]);
+    let ns = Histogram::from_counts(vec![30.0, 10.0, 0.0, 20.0]);
+    histogram_session(full, ns).policy_label("P-supervised").seed(seed).budget(budget)
+}
+
+/// One ε = 0.125 release through the pool's routed (health-observed) path.
+fn grant(pool: &SessionPool<Record>, tenant: &str) -> Result<Release, OsdpError> {
+    pool.release(tenant, &SessionQuery::bound(), &OsdpLaplaceL1::new(0.125).unwrap())
+}
+
+/// A breaker that never half-opens on its own: every recovery in these
+/// tests must come from the supervisor, not the pool's probe cooldown.
+fn sticky() -> HealthPolicy {
+    HealthPolicy { quarantine_after: 3, probe_cooldown: Duration::from_secs(3600) }
+}
+
+/// Fast, deterministic supervisor tuning; periodic maintenance off unless
+/// a test turns it on.
+fn config() -> SupervisorConfig {
+    SupervisorConfig {
+        probe_base: Duration::from_millis(200),
+        probe_max: Duration::from_secs(10),
+        max_heal_attempts: 5,
+        jitter_seed: 0xA11CE,
+        sync_every: None,
+        snapshot_every: None,
+        scrub_every: None,
+        incident_tenants: 3,
+        incident_window: Duration::from_secs(30),
+    }
+}
+
+/// The tenants probed (with attempt numbers) in a tick report.
+fn attempts(report: &TickReport) -> Vec<(String, u32, bool)> {
+    report
+        .events
+        .iter()
+        .filter_map(|event| match event {
+            SupervisorEvent::HealAttempted { tenant, attempt, outcome, .. } => {
+                Some((tenant.to_string(), *attempt, matches!(outcome, HealOutcome::Healed)))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// Asserts the serving invariant after healing: the accountant, the audit
+/// log, and an independent ledger peek agree bit for bit.
+fn assert_bitwise_consistent(pool: &SessionPool<Record>, root: &std::path::Path, tenant: &str) {
+    let session = pool.get(tenant).unwrap();
+    let spent = session.accountant().total_spent_units();
+    assert_eq!(
+        session.audit_log().total_epsilon_units(),
+        spent,
+        "{tenant}: audit log diverged from accountant"
+    );
+    let peek = TenantLedger::peek(root.join(format!("tenant-{tenant}"))).unwrap();
+    assert_eq!(peek.spent_units(), spent, "{tenant}: durable ledger diverged from accountant");
+}
+
+/// The e2e acceptance path: a seeded fault quarantines a tenant; the
+/// supervisor heals it with no caller intervention, and the jittered
+/// exponential backoff between probes is observed on the mock clock.
+#[test]
+fn supervisor_heals_a_quarantined_tenant_with_jittered_backoff() {
+    let root = temp_root("backoff-heal");
+    let plan = FaultPlan::new()
+        // Third wal.log write (after open's set_len + header) is the first
+        // grant frame: it dies with ENOSPC — permanent, instant quarantine.
+        .fail_nth(PersistOp::Write, "tenant-acme/wal.log", 2, FaultKind::DiskFull)
+        // Heal reopens read the WAL (the initial open saw no file yet, so
+        // heal attempt 1 is read #0): the first two heal attempts fail,
+        // the third finds the device healthy.
+        .fail_window(
+            PersistOp::Read,
+            "tenant-acme/wal.log",
+            0,
+            2,
+            FaultKind::Fail(FaultClass::Permanent),
+        );
+    let pool: Arc<SessionPool<Record>> = Arc::new(
+        SessionPool::open_with(
+            &root,
+            SyncPolicy::Always,
+            LedgerOptions::default(),
+            FaultVfs::new(plan),
+        )
+        .unwrap()
+        .with_health_policy(sticky()),
+    );
+    pool.open_tenant("acme", || builder(1.0, 7)).unwrap();
+
+    let err = grant(&pool, "acme").unwrap_err();
+    assert!(matches!(err, OsdpError::Persist(ref p) if p.op == PersistOp::Write));
+    assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+    // The breaker refuses fast while quarantined: serving stays fail-closed.
+    assert!(matches!(grant(&pool, "acme"), Err(OsdpError::TenantQuarantined { .. })));
+
+    let clock = Arc::new(ManualClock::new());
+    let supervisor = PoolSupervisor::with_clock(
+        Arc::clone(&pool),
+        |_| builder(1.0, 7),
+        config(),
+        Arc::clone(&clock) as Arc<dyn SupervisorClock>,
+    )
+    .unwrap();
+
+    // Tick 1 schedules (never runs) the first probe, at exactly the
+    // jittered backoff the supervisor's seed dictates.
+    let due1 = supervisor.backoff_delay("acme", 1);
+    let report = supervisor.tick();
+    assert!(attempts(&report).is_empty());
+    assert!(report.events.iter().any(|e| matches!(
+        e,
+        SupervisorEvent::HealScheduled { attempt: 1, due, .. } if *due == due1
+    )));
+
+    // Jittered backoff is observed, not assumed: one millisecond before the
+    // due-time, a tick does nothing at all.
+    clock.advance(due1 - Duration::from_millis(1));
+    assert!(supervisor.tick().events.is_empty());
+    assert_eq!(pool.health("acme"), TenantHealth::Quarantined);
+
+    // Attempt 1 (due) fails on the injected read fault and reschedules with
+    // a strictly longer, still-deterministic backoff.
+    clock.advance(Duration::from_millis(2));
+    let report = supervisor.tick();
+    assert_eq!(attempts(&report), vec![("acme".to_string(), 1, false)]);
+    let due2 = supervisor.backoff_delay("acme", 2);
+    assert!(due2 > due1, "backoff grows between attempts");
+    assert!(report.events.iter().any(|e| matches!(
+        e,
+        SupervisorEvent::HealScheduled { attempt: 2, due, .. } if *due == report.at + due2
+    )));
+
+    // Attempt 2 fails the same way; attempt 3 finds the fault window
+    // cleared and heals — no caller ever touched the pool.
+    clock.advance(due2);
+    assert_eq!(attempts(&supervisor.tick()), vec![("acme".to_string(), 2, false)]);
+    clock.advance(supervisor.backoff_delay("acme", 3));
+    let report = supervisor.tick();
+    assert_eq!(attempts(&report), vec![("acme".to_string(), 3, true)]);
+    assert_eq!(report.healed, vec![Arc::<str>::from("acme")]);
+    assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+
+    // The healed tenant serves again, and the recovered counters agree
+    // with the durable ledger bit for bit. The spend is three grants: the
+    // refused grant's frame was conservatively retained in the writer and
+    // landed at eviction (over-counting is the safe direction), plus the
+    // two fresh grants.
+    grant(&pool, "acme").unwrap();
+    grant(&pool, "acme").unwrap();
+    assert_eq!(
+        pool.get("acme").unwrap().accountant().total_spent_units(),
+        3 * epsilon_to_units(0.125)
+    );
+    assert_bitwise_consistent(&pool, &root, "acme");
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Shared-device storm: one `FaultVfs` backs every tenant shard; a
+/// device-wide `ENOSPC` burst quarantines exactly the affected tenants,
+/// opens exactly one incident, probes only the canary while it is open,
+/// and heals everyone once the device recovers.
+#[test]
+fn device_storm_opens_one_incident_and_heals_exactly_the_affected_tenants() {
+    let root = temp_root("device-storm");
+    let mut plan = FaultPlan::new();
+    // The same storm hits each affected shard's fourth wal.log write (the
+    // second grant frame) — the shape of one device running out of space
+    // under three tenants at once. "delta" shares the device but happens
+    // not to write during the storm: it must stay untouched.
+    for tenant in ["acme", "bravo", "casa"] {
+        plan = plan.fail_window(
+            PersistOp::Write,
+            &format!("tenant-{tenant}/wal.log"),
+            3,
+            4,
+            FaultKind::DiskFull,
+        );
+    }
+    // The canary's first heal still fails (device not yet recovered); the
+    // heal's WAL read is read #0 — the initial open found no file.
+    plan = plan.fail_nth(
+        PersistOp::Read,
+        "tenant-acme/wal.log",
+        0,
+        FaultKind::Fail(FaultClass::Permanent),
+    );
+    let pool: Arc<SessionPool<Record>> = Arc::new(
+        SessionPool::open_with(
+            &root,
+            SyncPolicy::Always,
+            LedgerOptions::default(),
+            FaultVfs::new(plan),
+        )
+        .unwrap()
+        .with_health_policy(sticky()),
+    );
+    for (i, tenant) in ["acme", "bravo", "casa", "delta"].iter().enumerate() {
+        pool.open_tenant(tenant, || builder(1.0, 7 + i as u64)).unwrap();
+        grant(&pool, tenant).unwrap();
+    }
+
+    // The storm: every affected tenant's next grant dies with the device
+    // signature (permanent write fault).
+    for tenant in ["acme", "bravo", "casa"] {
+        let err = grant(&pool, tenant).unwrap_err();
+        assert!(matches!(err, OsdpError::Persist(ref p) if p.is_device_signature()));
+    }
+    // Exactly the affected tenants quarantine — delta is untouched and
+    // keeps serving through the storm.
+    let snapshot: Vec<_> = pool
+        .health_snapshot()
+        .into_iter()
+        .filter(|r| r.health == TenantHealth::Quarantined)
+        .map(|r| r.tenant.to_string())
+        .collect();
+    assert_eq!(snapshot, ["acme", "bravo", "casa"]);
+    grant(&pool, "delta").unwrap();
+
+    let clock = Arc::new(ManualClock::new());
+    let supervisor = PoolSupervisor::with_clock(
+        Arc::clone(&pool),
+        |_| builder(1.0, 7),
+        config(),
+        Arc::clone(&clock) as Arc<dyn SupervisorClock>,
+    )
+    .unwrap();
+    let mut reports = Vec::new();
+
+    // Tick 1 correlates the burst: one incident, exactly the affected
+    // tenants, canary = lexicographically first.
+    let report = supervisor.tick();
+    assert!(report.incident_open);
+    let incident = supervisor.incident().unwrap();
+    assert_eq!(
+        incident.tenants.iter().map(|t| t.to_string()).collect::<Vec<_>>(),
+        ["acme", "bravo", "casa"]
+    );
+    assert_eq!(&*incident.canary, "acme");
+    reports.push(report);
+
+    // Every probe is past due, but the open incident collapses probing to
+    // the canary alone — no probe-storming a dying device. Its heal fails
+    // (injected read fault), so the incident stays open.
+    let max_due =
+        ["acme", "bravo", "casa"].iter().map(|t| supervisor.backoff_delay(t, 1)).max().unwrap();
+    clock.advance(max_due + Duration::from_millis(1));
+    let report = supervisor.tick();
+    assert_eq!(attempts(&report), vec![("acme".to_string(), 1, false)]);
+    assert!(report.incident_open);
+    reports.push(report);
+
+    // The canary's retry succeeds: the device recovered, the incident
+    // closes — still without probing anyone else this tick.
+    clock.advance(supervisor.backoff_delay("acme", 2));
+    let report = supervisor.tick();
+    assert_eq!(attempts(&report), vec![("acme".to_string(), 2, true)]);
+    assert!(!report.incident_open);
+    assert!(report.events.iter().any(|e| matches!(e, SupervisorEvent::IncidentClosed { .. })));
+    reports.push(report);
+
+    // With the incident closed, the next tick releases the herd.
+    let report = supervisor.tick();
+    let mut healed: Vec<_> = report.healed.iter().map(|t| t.to_string()).collect();
+    healed.sort();
+    assert_eq!(healed, ["bravo", "casa"]);
+    reports.push(report);
+
+    // The incident opened exactly once across the whole storm.
+    let opened = reports
+        .iter()
+        .flat_map(|r| r.events.iter())
+        .filter(|e| matches!(e, SupervisorEvent::IncidentOpened { .. }))
+        .count();
+    assert_eq!(opened, 1);
+
+    // Everyone serves again; every tenant's counters agree with its own
+    // durable shard bit for bit.
+    for tenant in ["acme", "bravo", "casa", "delta"] {
+        assert_eq!(pool.health(tenant), TenantHealth::Healthy);
+        grant(&pool, tenant).unwrap();
+        assert_bitwise_consistent(&pool, &root, tenant);
+    }
+    std::fs::remove_dir_all(&root).ok();
+}
+
+/// Cold-segment bit rot is found by the periodic scrub **before** any
+/// recovery path reads the corrupt frame; the supervisor then heals onto
+/// the provably-valid prefix.
+#[test]
+fn periodic_scrub_detects_cold_bit_rot_before_recovery_reads_it() {
+    let root = temp_root("scrub-rot");
+    let pool: Arc<SessionPool<Record>> = Arc::new(
+        SessionPool::open(&root, SyncPolicy::Always).unwrap().with_health_policy(sticky()),
+    );
+    pool.open_tenant("acme", || builder(1.0, 11)).unwrap();
+    grant(&pool, "acme").unwrap();
+    grant(&pool, "acme").unwrap();
+
+    // Silent rot: flip one payload bit in the (cold, durable) last frame.
+    let wal = root.join("tenant-acme").join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x40;
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let clock = Arc::new(ManualClock::new());
+    let supervisor = PoolSupervisor::with_clock(
+        Arc::clone(&pool),
+        |_| builder(1.0, 11),
+        SupervisorConfig { scrub_every: Some(Duration::from_secs(60)), ..config() },
+        Arc::clone(&clock) as Arc<dyn SupervisorClock>,
+    )
+    .unwrap();
+
+    // The first scrub sweep finds the rot and quarantines the tenant —
+    // before any heal ran, so no recovery path has read the corrupt frame.
+    let report = supervisor.tick();
+    assert!(attempts(&report).is_empty());
+    assert!(report.events.iter().any(|e| matches!(
+        e,
+        SupervisorEvent::ScrubCompleted { shards: 1, findings: 1, failures: 0, .. }
+    )));
+    let health = pool.health_snapshot().into_iter().find(|r| &*r.tenant == "acme").unwrap();
+    assert_eq!(health.health, TenantHealth::Quarantined);
+    let last_error = health.last_error.unwrap();
+    assert_eq!(last_error.op, PersistOp::Read);
+    assert!(last_error.detail.contains("scrub"), "scrub taxonomy: {last_error}");
+    // Serving is fail-closed on the rotten shard.
+    assert!(matches!(grant(&pool, "acme"), Err(OsdpError::TenantQuarantined { .. })));
+
+    // The next tick schedules the heal; once due, recovery truncates to
+    // the valid prefix (the first grant) and restores service.
+    clock.advance(Duration::from_millis(1));
+    supervisor.tick();
+    clock.advance(supervisor.backoff_delay("acme", 1));
+    let report = supervisor.tick();
+    assert_eq!(attempts(&report), vec![("acme".to_string(), 1, true)]);
+    assert_eq!(pool.health("acme"), TenantHealth::Healthy);
+    assert_eq!(
+        pool.get("acme").unwrap().accountant().total_spent_units(),
+        epsilon_to_units(0.125),
+        "recovery keeps exactly the provably-valid prefix"
+    );
+    assert_bitwise_consistent(&pool, &root, "acme");
+
+    // Service resumes, and the next periodic sweep scrubs clean.
+    grant(&pool, "acme").unwrap();
+    clock.advance(Duration::from_secs(60));
+    let report = supervisor.tick();
+    assert!(report
+        .events
+        .iter()
+        .any(|e| matches!(e, SupervisorEvent::ScrubCompleted { findings: 0, failures: 0, .. })));
+    assert_bitwise_consistent(&pool, &root, "acme");
+    std::fs::remove_dir_all(&root).ok();
+}
