@@ -10,6 +10,120 @@
 
 use osdp_core::budget::{LedgerEntry, PrivacyGuarantee};
 
+/// One release's policy epoch stamp: the audit sequence number of the
+/// release and the epoch version the session stamped it with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseStamp {
+    /// The release's audit sequence number (dense, per session).
+    pub seq: u64,
+    /// The policy epoch version stamped onto the release.
+    pub version: u64,
+}
+
+/// One epoch transition of the policy lifecycle under audit, as recovered
+/// from the engine session or its WAL. The record carries its own ordering
+/// (`version`, `boundary_seq`), so the verifier never depends on the order
+/// transitions are handed to it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochTransition {
+    /// The version this transition installed (the initial epoch is 0, so
+    /// transitions start at 1).
+    pub version: u64,
+    /// The first release sequence number stamped with `version`: every
+    /// release with `seq < boundary_seq` was allocated under an earlier
+    /// version, every release with `seq >= boundary_seq` under this one or
+    /// later.
+    pub boundary_seq: u64,
+    /// Whether the transition relaxed the policy (consent) rather than
+    /// tightened it (opt-out, decay).
+    pub relaxes: bool,
+    /// The label of the installed policy.
+    pub label: String,
+}
+
+/// The stale-policy half of a versioned ledger verdict: did any release get
+/// served under a policy *more permissive* than the one in force at its
+/// sequence number?
+///
+/// Permissiveness is the integer level of
+/// `osdp_core::policy::VersionedPolicy`: the initial epoch sits at 0, each
+/// relax adds 1, each tighten subtracts 1. The version **in force** at
+/// sequence `s` is the highest version whose boundary is `<= s`. A release
+/// violates exactly when its stamped level exceeds the in-force level —
+/// being stamped with a *tighter* epoch than the one in force is allowed
+/// (the release leaked less than it was entitled to).
+///
+/// The check fails **closed**: a stamp carrying a version the transition
+/// history never issued, or a history whose versions are not the dense
+/// chain 1..=n, is a violation, never excused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochVerdict {
+    /// Number of known epoch versions (transitions forming the dense chain,
+    /// plus the initial epoch).
+    pub versions: u64,
+    /// Sequence numbers of releases served under a more permissive policy
+    /// than the one in force (or stamped with an unknown version).
+    pub stale_releases: Vec<u64>,
+    /// Whether version stamps are monotone non-decreasing in sequence
+    /// order — the structural invariant an honest session's packed audit
+    /// counter guarantees.
+    pub monotone: bool,
+    /// Whether the transition history itself was well-formed (dense
+    /// versions 1..=n).
+    pub history_dense: bool,
+}
+
+impl EpochVerdict {
+    /// Whether the stamped history is provably free of stale-policy
+    /// releases.
+    pub fn consistent(&self) -> bool {
+        self.stale_releases.is_empty() && self.monotone && self.history_dense
+    }
+}
+
+/// Verifies a session's epoch stamps against its transition history (see
+/// [`EpochVerdict`]).
+pub fn verify_epoch_stamps(
+    stamps: &[ReleaseStamp],
+    transitions: &[EpochTransition],
+) -> EpochVerdict {
+    let mut sorted: Vec<&EpochTransition> = transitions.iter().collect();
+    sorted.sort_by_key(|t| (t.version, t.boundary_seq));
+    // Rebuild the permissiveness levels and boundaries for the dense chain
+    // 1..=n; anything past a gap or duplicate is unknown (fail closed).
+    let mut levels: Vec<i64> = vec![0];
+    let mut boundaries: Vec<u64> = vec![0];
+    let mut history_dense = true;
+    for (i, t) in sorted.iter().enumerate() {
+        if t.version != i as u64 + 1 {
+            history_dense = false;
+            break;
+        }
+        levels.push(levels[i] + if t.relaxes { 1 } else { -1 });
+        boundaries.push(t.boundary_seq);
+    }
+    // The version in force at `seq`: the highest version whose boundary
+    // covers it. (A linear scan keeps the answer right even for a
+    // dishonest history whose boundaries are not monotone.)
+    let in_force = |seq: u64| -> usize {
+        boundaries.iter().enumerate().filter(|&(_, &b)| b <= seq).map(|(v, _)| v).max().unwrap_or(0)
+    };
+    let mut stale_releases: Vec<u64> = stamps
+        .iter()
+        .filter(|s| match levels.get(s.version as usize) {
+            Some(&stamped) => stamped > levels[in_force(s.seq)],
+            None => true, // unknown version: never excused
+        })
+        .map(|s| s.seq)
+        .collect();
+    stale_releases.sort_unstable();
+    stale_releases.dedup();
+    let mut by_seq: Vec<&ReleaseStamp> = stamps.iter().collect();
+    by_seq.sort_by_key(|s| s.seq);
+    let monotone = by_seq.windows(2).all(|w| w[0].version <= w[1].version);
+    EpochVerdict { versions: levels.len() as u64, stale_releases, monotone, history_dense }
+}
+
 /// The outcome of verifying a release ledger.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LedgerVerdict {
@@ -29,13 +143,20 @@ pub struct LedgerVerdict {
     /// Labels of the PDP entries — releases that satisfy personalized DP but
     /// **not** OSDP, and are therefore the ledger's exclusion-attack surface.
     pub pdp_entries: Vec<String>,
+    /// The stale-policy verdict, when the caller supplied epoch stamps and
+    /// a transition history ([`verify_ledger_versioned`]); `None` for
+    /// unversioned verification.
+    pub epochs: Option<EpochVerdict>,
 }
 
 impl LedgerVerdict {
     /// Whether the ledger as a whole upholds the OSDP contract: within its
-    /// cap and free of PDP entries.
+    /// cap, free of PDP entries, and — when verified against a policy
+    /// lifecycle — free of stale-policy releases.
     pub fn upholds_osdp(&self) -> bool {
-        self.within_limit && self.pdp_entries.is_empty()
+        self.within_limit
+            && self.pdp_entries.is_empty()
+            && self.epochs.as_ref().is_none_or(EpochVerdict::consistent)
     }
 }
 
@@ -65,7 +186,24 @@ pub fn verify_ledger(entries: &[LedgerEntry], limit: Option<f64>) -> LedgerVerdi
         within_limit,
         worst_exclusion_phi,
         pdp_entries,
+        epochs: None,
     }
+}
+
+/// [`verify_ledger`] plus the stale-policy audit: verifies the ledger's
+/// composition and cap as before, then proves (fail-closed) that no release
+/// was served under a more permissive policy than the one in force at its
+/// sequence number. Static-policy sessions pass an empty transition slice
+/// and get the structural checks for free.
+pub fn verify_ledger_versioned(
+    entries: &[LedgerEntry],
+    limit: Option<f64>,
+    stamps: &[ReleaseStamp],
+    transitions: &[EpochTransition],
+) -> LedgerVerdict {
+    let mut verdict = verify_ledger(entries, limit);
+    verdict.epochs = Some(verify_epoch_stamps(stamps, transitions));
+    verdict
 }
 
 #[cfg(test)]
@@ -111,6 +249,89 @@ mod tests {
         assert_eq!(verdict.pdp_entries, vec!["Suppress100".to_string()]);
         assert!(!verdict.upholds_osdp());
         assert!((verdict.worst_exclusion_phi - 100.0).abs() < 1e-9);
+    }
+
+    fn tighten(version: u64, boundary_seq: u64) -> EpochTransition {
+        EpochTransition { version, boundary_seq, relaxes: false, label: format!("P-v{version}") }
+    }
+
+    fn relax(version: u64, boundary_seq: u64) -> EpochTransition {
+        EpochTransition { version, boundary_seq, relaxes: true, label: format!("P-v{version}") }
+    }
+
+    fn stamps_for(boundaries: &[u64], total: u64) -> Vec<ReleaseStamp> {
+        // The honest stamping an engine session produces: each seq carries
+        // the highest version whose boundary covers it.
+        (0..total)
+            .map(|seq| ReleaseStamp {
+                seq,
+                version: boundaries.iter().filter(|&&b| b <= seq).count() as u64,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn honest_multi_epoch_histories_verify_clean() {
+        // v1 tightens at seq 3 (decay), v2 relaxes at seq 7 (consent),
+        // v3 tightens again at seq 7 (an empty v2 window is legal).
+        let transitions = vec![tighten(1, 3), relax(2, 7), tighten(3, 7)];
+        let stamps = stamps_for(&[3, 7, 7], 12);
+        let verdict = verify_epoch_stamps(&stamps, &transitions);
+        assert!(verdict.consistent(), "{verdict:?}");
+        assert_eq!(verdict.versions, 4);
+        assert!(verdict.monotone);
+        // And threaded through the full ledger verdict.
+        let ledger = vec![entry("OsdpRR", "P", 0.1, PrivacyGuarantee::OneSided)];
+        let full = verify_ledger_versioned(&ledger, Some(1.0), &stamps, &transitions);
+        assert!(full.upholds_osdp());
+        assert_eq!(full.epochs.as_ref().unwrap(), &verdict);
+        // Static-policy sessions: empty history, stamps all zero.
+        let static_stamps = stamps_for(&[], 5);
+        assert!(verify_epoch_stamps(&static_stamps, &[]).consistent());
+    }
+
+    #[test]
+    fn stale_policy_replay_is_rejected() {
+        // Honest history: a tighten lands at seq 4. Seed a stale-policy
+        // replay by serving seq 6 under the pre-tighten epoch (version 0,
+        // level 0 > level -1 in force): the verifier must reject it.
+        let transitions = vec![tighten(1, 4)];
+        let mut stamps = stamps_for(&[4], 8);
+        stamps[6].version = 0;
+        let verdict = verify_epoch_stamps(&stamps, &transitions);
+        assert_eq!(verdict.stale_releases, vec![6]);
+        assert!(!verdict.monotone, "the replay also breaks stamp monotonicity");
+        assert!(!verdict.consistent());
+        let ledger = vec![entry("OsdpRR", "P", 0.1, PrivacyGuarantee::OneSided)];
+        assert!(!verify_ledger_versioned(&ledger, None, &stamps, &transitions).upholds_osdp());
+    }
+
+    #[test]
+    fn tighter_than_in_force_stamps_are_not_violations() {
+        // A relax lands at seq 4; a release stamped with the *pre-relax*
+        // (tighter) epoch afterwards leaked less than it was entitled to.
+        let transitions = vec![relax(1, 4)];
+        let mut stamps = stamps_for(&[4], 8);
+        stamps[5].version = 0;
+        let verdict = verify_epoch_stamps(&stamps, &transitions);
+        assert!(verdict.stale_releases.is_empty(), "tighter stamps are allowed");
+        assert!(!verdict.monotone, "but the structural invariant still flags it");
+    }
+
+    #[test]
+    fn unknown_versions_and_gapped_histories_fail_closed() {
+        // A stamp the lifecycle never issued is a violation...
+        let transitions = vec![tighten(1, 2)];
+        let stamps = vec![ReleaseStamp { seq: 3, version: 9 }];
+        let verdict = verify_epoch_stamps(&stamps, &transitions);
+        assert_eq!(verdict.stale_releases, vec![3]);
+        assert!(!verdict.consistent());
+        // ...and a history with a version gap is never trusted, even when
+        // no stamp lands past the gap.
+        let gapped = vec![tighten(1, 2), tighten(3, 5)];
+        let verdict = verify_epoch_stamps(&stamps_for(&[2], 4), &gapped);
+        assert!(!verdict.history_dense);
+        assert!(!verdict.consistent());
     }
 
     #[test]

@@ -40,7 +40,10 @@ pub mod release_models;
 pub mod verify;
 
 pub use adversary::{exclusion_attack_phi, posterior_odds_ratio};
-pub use audit::{verify_ledger, LedgerVerdict};
+pub use audit::{
+    verify_epoch_stamps, verify_ledger, verify_ledger_versioned, EpochTransition, EpochVerdict,
+    LedgerVerdict, ReleaseStamp,
+};
 pub use prior::ProductPrior;
 pub use release_models::{
     DpGeometricModel, OsdpRrModel, ReleaseModel, SuppressModel, TruthfulModel,

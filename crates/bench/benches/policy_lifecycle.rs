@@ -1,0 +1,168 @@
+//! Perf trajectory entry 10: release throughput across a policy epoch bump.
+//!
+//! The versioned policy lifecycle promises that epoch transitions take the
+//! slow path while releases never do: the grant path captures the current
+//! epoch with one atomic pointer load, and a `set_policy_epoch` pays for
+//! the history lock, the registry transition, and the task/partition cache
+//! invalidation. The bill a *release* pays for a bump is therefore one
+//! cold re-derivation per (query, epoch) — after which the version-keyed
+//! caches are warm again.
+//!
+//! This bench drives N serving threads of single releases against a
+//! columnar record session (64-bin pushdown query over 16k rows) in three
+//! shapes:
+//!
+//! * **steady state** — no transitions: the pre-lifecycle fast path, and
+//!   the baseline the static-policy bitwise-parity suites pin;
+//! * **epoch bumps mid-run** — a decay schedule of tighten transitions
+//!   lands while the threads serve: throughput should dip only by the
+//!   handful of cold re-scans, not collapse onto a lock;
+//! * **post-bump warm** — the same session after its last transition:
+//!   throughput should be back at steady state (version-keyed caches are
+//!   warm for the final epoch).
+//!
+//! Run with `--smoke` (the CI mode) for a seconds-long pass that still
+//! exercises every path at 1, 4 and 8 threads.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use osdp_bench::criterion_for_figures;
+use osdp_core::policy::{AttributePolicy, EpochDirection, Policy};
+use osdp_core::{Database, Record, Value};
+use osdp_engine::{OsdpSession, SessionBuilder, SessionQuery};
+use osdp_mechanisms::OsdpLaplaceL1;
+use std::hint::black_box;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Thread counts of the scaling sweep.
+const THREAD_COUNTS: [usize; 3] = [1, 4, 8];
+
+/// Tighten transitions landed mid-run in the epoch-bump shape.
+const BUMPS: u64 = 4;
+
+fn smoke() -> bool {
+    std::env::args().any(|a| a == "--smoke")
+}
+
+/// Single releases per thread per measurement.
+fn ops_per_thread() -> usize {
+    if smoke() {
+        32
+    } else {
+        256
+    }
+}
+
+/// The decay schedule: epoch `v` tightens the sensitivity horizon by 50.
+fn epoch_policy(v: u64) -> Arc<dyn Policy<Record>> {
+    Arc::new(AttributePolicy::int_at_most("v", 900 - 50 * v as i64))
+}
+
+fn lifecycle_session(seed: u64) -> OsdpSession<Record> {
+    let db: Database<Record> =
+        (0..16_384).map(|i| Record::builder().field("v", Value::Int(i % 1024)).build()).collect();
+    SessionBuilder::new(db)
+        .columnar()
+        .policy_arc(epoch_policy(0), "decay-v0")
+        .seed(seed)
+        .build()
+        .expect("valid lifecycle session")
+}
+
+/// Runs `threads` serving threads of single releases against `session`,
+/// landing `bumps` tighten transitions spread through the run, and returns
+/// aggregate releases/sec. Each thread times its own serving window
+/// (barrier to last release) and the slowest thread's wall clock divides
+/// the total — robust against main-thread scheduling skew at small op
+/// counts.
+fn measure(session: &Arc<OsdpSession<Record>>, threads: usize, bumps: u64) -> f64 {
+    let ops = ops_per_thread();
+    let query = Arc::new(SessionQuery::count_by_int_linear("v-bins", "v", 0, 16, 64));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let session = Arc::clone(session);
+            let query = Arc::clone(&query);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+                barrier.wait();
+                let start = Instant::now();
+                for _ in 0..ops {
+                    black_box(session.release(&query, &mechanism).expect("uncapped"));
+                }
+                start.elapsed()
+            })
+        })
+        .collect();
+    barrier.wait();
+    let base = session.policy_version();
+    for v in 1..=bumps {
+        session
+            .set_policy_epoch(
+                epoch_policy(base + v),
+                format!("decay-v{}", base + v),
+                EpochDirection::Tighten,
+            )
+            .expect("tighten transition");
+        std::thread::yield_now();
+    }
+    let slowest = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .max()
+        .expect("at least one thread")
+        .as_secs_f64();
+    (threads * ops) as f64 / slowest
+}
+
+fn bench_policy_lifecycle(c: &mut Criterion) {
+    eprintln!(
+        "[perf-trajectory #10] release throughput across policy epoch bumps, \
+         columnar 16k rows / 64 bins ({} ops/thread, {BUMPS} bumps):",
+        ops_per_thread()
+    );
+    for &threads in &THREAD_COUNTS {
+        let session = Arc::new(lifecycle_session(7));
+        // Warm the epoch-0 caches, then the three shapes on ONE session so
+        // the audit/version state is the realistic mid-life one.
+        let steady = measure(&session, threads, 0);
+        let bumped = measure(&session, threads, BUMPS);
+        let warm = measure(&session, threads, 0);
+        // The lifecycle bookkeeping stayed honest under the whole sweep.
+        assert!(session.verify_policy_lifecycle(None).upholds_osdp());
+        eprintln!(
+            "  {threads} thread(s): steady {steady:>9.0} rel/s, \
+             {BUMPS} bumps mid-run {bumped:>9.0} rel/s, post-bump warm {warm:>9.0} rel/s"
+        );
+    }
+
+    if smoke() {
+        return; // the sweep above already exercised every path
+    }
+    let mut group = c.benchmark_group("policy_lifecycle_columnar_64_bins");
+    for &threads in &THREAD_COUNTS {
+        group.bench_function(format!("steady_{threads}_threads"), |b| {
+            let session = Arc::new(lifecycle_session(7));
+            b.iter(|| black_box(measure(&session, threads, 0)));
+        });
+        group.bench_function(format!("epoch_bumps_{threads}_threads"), |b| {
+            // Fresh session per sample: the version counter is finite
+            // (AuditLog::MAX_VERSION), so an open-ended iter would
+            // eventually exhaust it mid-measurement.
+            b.iter_batched(
+                || Arc::new(lifecycle_session(7)),
+                |session| black_box(measure(&session, threads, BUMPS)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = policy_lifecycle;
+    config = criterion_for_figures();
+    targets = bench_policy_lifecycle,
+}
+criterion_main!(policy_lifecycle);

@@ -84,8 +84,8 @@ pub use frame::{
 pub use histogram::{Histogram, Histogram2D};
 pub use neighbors::{dp_neighbors, extended_one_sided_neighbors, one_sided_neighbors};
 pub use policy::{
-    AllSensitive, AttributePolicy, ClosurePolicy, MinimumRelaxation, NoneSensitive, Policy,
-    Sensitivity,
+    AllSensitive, AttributePolicy, ClosurePolicy, EpochDirection, MinimumRelaxation, NoneSensitive,
+    Policy, PolicyEpoch, Sensitivity, VersionedPolicy,
 };
 pub use record::{Record, RecordBuilder, RecordId};
 pub use sparse::SparseHistogram;

@@ -427,6 +427,211 @@ pub fn is_relaxation_of<'a, R: 'a + ?Sized>(
     universe.into_iter().all(|r| p1.value(r) >= p2.value(r))
 }
 
+/// The direction of a policy epoch transition in the tighten/relax order.
+///
+/// Lifecycle events map onto the two directions: a user **opting out** or a
+/// consent grant **decaying** tightens the policy (more records become
+/// sensitive), while a user **consenting** relaxes it (fewer records are
+/// sensitive). The direction is declared by the caller — it is lifecycle
+/// intent, not something derivable from two opaque closures — and can be
+/// validated against the relaxation relation (Definition 3.5) over a sampled
+/// universe via [`VersionedPolicy::transition_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EpochDirection {
+    /// The new epoch classifies at least as many records sensitive as the
+    /// old one: the **old** policy is a relaxation of the new.
+    Tighten,
+    /// The new epoch classifies at most as many records sensitive as the
+    /// old one: the **new** policy is a relaxation of the old.
+    Relax,
+}
+
+/// One version in a policy lifecycle: a policy, its label, the version
+/// number, and how it relates to its predecessor.
+pub struct PolicyEpoch<R: ?Sized> {
+    version: u64,
+    label: Arc<str>,
+    policy: Arc<dyn Policy<R>>,
+    /// `None` for the initial epoch (version 0), which has no predecessor.
+    direction: Option<EpochDirection>,
+}
+
+impl<R: ?Sized> PolicyEpoch<R> {
+    /// The epoch's version number (dense, starting at 0).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The human-readable policy label stamped into audits.
+    pub fn label(&self) -> &Arc<str> {
+        &self.label
+    }
+
+    /// The policy function in force during this epoch.
+    pub fn policy(&self) -> &Arc<dyn Policy<R>> {
+        &self.policy
+    }
+
+    /// How this epoch relates to its predecessor (`None` for version 0).
+    pub fn direction(&self) -> Option<EpochDirection> {
+        self.direction
+    }
+}
+
+impl<R: ?Sized> std::fmt::Debug for PolicyEpoch<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyEpoch")
+            .field("version", &self.version)
+            .field("label", &self.label)
+            .field("direction", &self.direction)
+            .finish()
+    }
+}
+
+/// A versioned policy lifecycle: the dense epoch history of one data owner
+/// or tenant, ordered by the tighten/relax relation.
+///
+/// The registry is the paper's minimum-relaxation machinery applied *across
+/// time*: Definitions 3.5/3.6 and Theorem 3.3 are stated over sets of
+/// policies precisely so guarantees compose when the policy in force changes
+/// between releases. [`VersionedPolicy::minimum_relaxation`] returns `P_mr`
+/// over every version ever in force, which is the policy under which the
+/// whole multi-epoch release history is accounted.
+///
+/// Permissiveness across versions is tracked as an integer level: the
+/// initial epoch sits at level 0, each [`EpochDirection::Relax`] step adds 1
+/// and each [`EpochDirection::Tighten`] step subtracts 1. A release audited
+/// under version `a` was served under a *more permissive* policy than one in
+/// force at version `b` exactly when `level(a) > level(b)` — the comparison
+/// stale-policy audits are built on.
+pub struct VersionedPolicy<R: ?Sized> {
+    epochs: Vec<PolicyEpoch<R>>,
+}
+
+impl<R: ?Sized> VersionedPolicy<R> {
+    /// A lifecycle whose initial epoch (version 0) is `policy` under `label`.
+    pub fn new(policy: Arc<dyn Policy<R>>, label: impl Into<Arc<str>>) -> Self {
+        Self {
+            epochs: vec![PolicyEpoch { version: 0, label: label.into(), policy, direction: None }],
+        }
+    }
+
+    /// Appends a new epoch in the declared direction and returns its version.
+    pub fn transition(
+        &mut self,
+        policy: Arc<dyn Policy<R>>,
+        label: impl Into<Arc<str>>,
+        direction: EpochDirection,
+    ) -> u64 {
+        let version = self.epochs.len() as u64;
+        self.epochs.push(PolicyEpoch {
+            version,
+            label: label.into(),
+            policy,
+            direction: Some(direction),
+        });
+        version
+    }
+
+    /// [`VersionedPolicy::transition`] with the direction validated against
+    /// the relaxation relation (Definition 3.5) over `universe`.
+    ///
+    /// A tighten requires the *old* policy to be a relaxation of the new one
+    /// (every newly sensitive record stays sensitive); a relax requires the
+    /// reverse. The check is only as strong as the sample: callers enumerate
+    /// small domains exhaustively, exactly as with [`is_relaxation_of`].
+    pub fn transition_checked<'a>(
+        &mut self,
+        policy: Arc<dyn Policy<R>>,
+        label: impl Into<Arc<str>>,
+        direction: EpochDirection,
+        universe: impl IntoIterator<Item = &'a R>,
+    ) -> Result<u64, crate::error::OsdpError>
+    where
+        R: 'a,
+    {
+        let current = self.current().policy();
+        let ordered = match direction {
+            EpochDirection::Tighten => {
+                is_relaxation_of(current.as_ref(), policy.as_ref(), universe)
+            }
+            EpochDirection::Relax => is_relaxation_of(policy.as_ref(), current.as_ref(), universe),
+        };
+        if !ordered {
+            return Err(crate::error::OsdpError::InvalidInput(format!(
+                "epoch transition declared {direction:?} but the policies are not so ordered \
+                 over the sampled universe"
+            )));
+        }
+        Ok(self.transition(policy, label, direction))
+    }
+
+    /// The epoch currently in force (highest version).
+    pub fn current(&self) -> &PolicyEpoch<R> {
+        self.epochs.last().expect("lifecycle always has an initial epoch")
+    }
+
+    /// The epoch with the given version, if it exists.
+    pub fn epoch(&self, version: u64) -> Option<&PolicyEpoch<R>> {
+        self.epochs.get(version as usize)
+    }
+
+    /// Number of epochs in the lifecycle (current version + 1).
+    pub fn versions(&self) -> u64 {
+        self.epochs.len() as u64
+    }
+
+    /// Iterates over every epoch in version order.
+    pub fn epochs(&self) -> impl Iterator<Item = &PolicyEpoch<R>> {
+        self.epochs.iter()
+    }
+
+    /// The permissiveness level of `version`: 0 for the initial epoch, +1
+    /// per relax step, −1 per tighten step. `None` for unknown versions.
+    pub fn permissiveness_level(&self, version: u64) -> Option<i64> {
+        if version >= self.versions() {
+            return None;
+        }
+        let mut level = 0i64;
+        for epoch in &self.epochs[1..=version as usize] {
+            match epoch.direction {
+                Some(EpochDirection::Relax) => level += 1,
+                Some(EpochDirection::Tighten) => level -= 1,
+                None => {}
+            }
+        }
+        Some(level)
+    }
+
+    /// Whether version `a` is strictly more permissive than version `b`.
+    ///
+    /// Unknown versions compare as *more* permissive (fail closed): a stamp
+    /// the lifecycle never issued must be treated as a violation, never
+    /// excused.
+    pub fn is_more_permissive(&self, a: u64, b: u64) -> bool {
+        match (self.permissiveness_level(a), self.permissiveness_level(b)) {
+            (Some(la), Some(lb)) => la > lb,
+            _ => true,
+        }
+    }
+
+    /// The minimum relaxation `P_mr` (Definition 3.6) across **every**
+    /// version of the lifecycle — the policy under which a multi-epoch
+    /// release history is accounted by sequential composition (Theorem 3.3).
+    pub fn minimum_relaxation(&self) -> MinimumRelaxation<R> {
+        MinimumRelaxation::new(self.epochs.iter().map(|e| Arc::clone(&e.policy)).collect())
+    }
+}
+
+impl<R: ?Sized> std::fmt::Debug for VersionedPolicy<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VersionedPolicy")
+            .field("versions", &self.versions())
+            .field("current", &self.current().label)
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -618,6 +823,76 @@ mod tests {
         assert!(arced.compiled().is_some());
         let boxed: Box<dyn Policy<Record>> = Box::new(ClosurePolicy::new("o", |_: &Record| true));
         assert!(boxed.compiled().is_none());
+    }
+
+    #[test]
+    fn versioned_policy_tracks_epochs_and_levels() {
+        let universe: Vec<Record> = (0..60).map(age_record).collect();
+        let mut lifecycle = VersionedPolicy::<Record>::new(
+            Arc::new(AttributePolicy::int_at_most("age", 17)),
+            "P-minors",
+        );
+        assert_eq!(lifecycle.versions(), 1);
+        assert_eq!(lifecycle.current().version(), 0);
+        assert_eq!(lifecycle.current().label().as_ref(), "P-minors");
+        assert!(lifecycle.current().direction().is_none());
+
+        // Decay tightens: under-21s become sensitive too.
+        let v1 = lifecycle
+            .transition_checked(
+                Arc::new(AttributePolicy::int_at_most("age", 20)),
+                "P-decay-21",
+                EpochDirection::Tighten,
+                universe.iter(),
+            )
+            .expect("tightening the threshold is a valid tighten");
+        assert_eq!(v1, 1);
+        // Consent relaxes back to the original threshold.
+        let v2 = lifecycle
+            .transition_checked(
+                Arc::new(AttributePolicy::int_at_most("age", 17)),
+                "P-consent",
+                EpochDirection::Relax,
+                universe.iter(),
+            )
+            .expect("raising the floor back is a valid relax");
+        assert_eq!(v2, 2);
+
+        assert_eq!(lifecycle.permissiveness_level(0), Some(0));
+        assert_eq!(lifecycle.permissiveness_level(1), Some(-1));
+        assert_eq!(lifecycle.permissiveness_level(2), Some(0));
+        assert_eq!(lifecycle.permissiveness_level(3), None);
+        assert!(lifecycle.is_more_permissive(0, 1));
+        assert!(!lifecycle.is_more_permissive(1, 0));
+        assert!(!lifecycle.is_more_permissive(2, 0), "equal levels are not *more* permissive");
+        assert!(lifecycle.is_more_permissive(99, 0), "unknown stamps fail closed");
+
+        // The cross-version minimum relaxation is a relaxation of every epoch.
+        let pmr = lifecycle.minimum_relaxation();
+        assert_eq!(pmr.len(), 3);
+        for epoch in lifecycle.epochs() {
+            assert!(is_relaxation_of(&pmr, epoch.policy().as_ref(), universe.iter()));
+        }
+        assert!(format!("{lifecycle:?}").contains("P-consent"));
+        assert!(format!("{:?}", lifecycle.epoch(1).unwrap()).contains("P-decay-21"));
+    }
+
+    #[test]
+    fn misdeclared_transition_direction_is_rejected() {
+        let universe: Vec<Record> = (0..60).map(age_record).collect();
+        let mut lifecycle = VersionedPolicy::<Record>::new(
+            Arc::new(AttributePolicy::int_at_most("age", 17)),
+            "P-minors",
+        );
+        // Raising the threshold tightens; declaring it a relax must fail.
+        let err = lifecycle.transition_checked(
+            Arc::new(AttributePolicy::int_at_most("age", 20)),
+            "P-bogus",
+            EpochDirection::Relax,
+            universe.iter(),
+        );
+        assert!(err.is_err());
+        assert_eq!(lifecycle.versions(), 1, "rejected transitions leave the lifecycle untouched");
     }
 
     #[test]

@@ -32,6 +32,10 @@ pub struct AuditRecord {
     /// The guarantee of **one** trial; the batch costs
     /// `trials × guarantee.epsilon()` under sequential composition.
     pub guarantee: Guarantee,
+    /// The policy epoch version in force when the release index was
+    /// allocated (0 for sessions that never transition). Stamped
+    /// atomically with the index, so stamps are monotone in index order.
+    pub policy_version: u64,
 }
 
 impl AuditRecord {
@@ -59,11 +63,12 @@ impl AuditRecord {
     /// One JSON object describing the record.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"index\": {}, \"mechanism\": {}, \"policy\": {}, \"query\": {}, \
-             \"bins\": {}, \"trials\": {}, \"guarantee\": {}, \"epsilon\": {}}}",
+            "{{\"index\": {}, \"mechanism\": {}, \"policy\": {}, \"policy_version\": {}, \
+             \"query\": {}, \"bins\": {}, \"trials\": {}, \"guarantee\": {}, \"epsilon\": {}}}",
             self.index,
             json_string(&self.mechanism),
             json_string(&self.policy),
+            self.policy_version,
             json_string(&self.query),
             self.bins,
             self.trials,
@@ -72,6 +77,18 @@ impl AuditRecord {
         )
     }
 }
+
+/// Bit position of the policy version in the packed sequence word: the low
+/// 48 bits hold the next release index, the high 16 bits the current policy
+/// epoch version. One `fetch_add(1)` therefore allocates an index **and**
+/// reads the version in force at allocation as a single atomic — version
+/// stamps are exactly monotone in index order by construction, with no lock
+/// on the release path.
+const VERSION_SHIFT: u32 = 48;
+/// Mask selecting the release-index bits of the packed sequence word.
+const INDEX_MASK: u64 = (1 << VERSION_SHIFT) - 1;
+/// Largest representable policy version (16 version bits).
+const MAX_VERSION: u64 = (1 << (64 - VERSION_SHIFT)) - 1;
 
 /// Number of per-thread append shards. Appenders on different threads land
 /// on different mutexes, so hot-path appends never contend; 16 covers any
@@ -109,7 +126,11 @@ fn thread_shard() -> usize {
 /// counters — O(1), never contending with appenders.
 #[derive(Debug)]
 pub struct AuditLog {
-    /// Next sequence stamp == number of records appended (the atomic `len`).
+    /// Packed counter: low 48 bits are the next sequence stamp (== number of
+    /// records appended, the atomic `len`), high 16 bits the current policy
+    /// epoch version. Packing both into one word is what makes version
+    /// stamps monotone: index allocation and version observation are a
+    /// single `fetch_add`.
     seq: AtomicU64,
     /// Total debited ε across all records, in [`BudgetAccountant::RESOLUTION`]
     /// fixed-point units — the iteration-free ledger total.
@@ -133,6 +154,11 @@ impl Default for AuditLog {
 }
 
 impl AuditLog {
+    /// Highest representable policy version: the packed sequence counter
+    /// keeps versions in its top 16 bits, so a session supports 65 535
+    /// epoch transitions (and 2⁴⁸ releases).
+    pub const MAX_VERSION: u64 = MAX_VERSION;
+
     /// An empty log.
     pub fn new() -> Self {
         Self::default()
@@ -143,10 +169,13 @@ impl AuditLog {
     /// integers — no float round-trip), and `base` holds the ledger view of
     /// the collapsed pre-recovery history, which [`AuditLog::ledger`]
     /// prepends to the live records. Replayed tail records are then added
-    /// one by one via [`AuditLog::restore`].
-    pub fn recovered(seq: u64, spent_units: u64, base: Vec<LedgerEntry>) -> Self {
+    /// one by one via [`AuditLog::restore`]. `version` is the policy epoch
+    /// version in force at the crash (0 for sessions that never
+    /// transitioned); live version stamps resume from it.
+    pub fn recovered(seq: u64, version: u64, spent_units: u64, base: Vec<LedgerEntry>) -> Self {
+        debug_assert!(seq <= INDEX_MASK && version <= MAX_VERSION);
         Self {
-            seq: AtomicU64::new(seq),
+            seq: AtomicU64::new(seq | (version << VERSION_SHIFT)),
             spent_units: AtomicU64::new(spent_units),
             base,
             shards: (0..AUDIT_SHARDS).map(|_| Mutex::new(Vec::new())).collect(),
@@ -159,7 +188,11 @@ impl AuditLog {
     /// pre-crash counter bit for bit. The sequence counter advances to
     /// cover the record's index; replay order does not matter.
     pub fn restore(&self, record: AuditRecord, units: u64) {
-        self.seq.fetch_max(record.index + 1, Ordering::AcqRel);
+        // Recovery is single-writer, so reading the version bits and
+        // fetch_max'ing the packed word is race-free here.
+        let version = self.seq.load(Ordering::Acquire) >> VERSION_SHIFT;
+        let packed = (record.index + 1) | (version << VERSION_SHIFT);
+        self.seq.fetch_max(packed, Ordering::AcqRel);
         self.spent_units.fetch_add(units, Ordering::AcqRel);
         let stamp = record.index;
         self.shards[thread_shard()].lock().push((stamp, record));
@@ -182,7 +215,7 @@ impl AuditLog {
 
     /// Appends a record.
     pub fn append(&self, record: AuditRecord) {
-        let seq = self.seq.fetch_add(1, Ordering::AcqRel);
+        let seq = self.seq.fetch_add(1, Ordering::AcqRel) & INDEX_MASK;
         self.push_stamped(seq, record);
     }
 
@@ -192,9 +225,54 @@ impl AuditLog {
     /// the index doubles as the record's sequence stamp, keeping
     /// [`AuditLog::records`] in release-index order.
     pub fn append_next(&self, make: impl FnOnce(u64) -> AuditRecord) -> u64 {
-        let index = self.seq.fetch_add(1, Ordering::AcqRel);
+        let index = self.seq.fetch_add(1, Ordering::AcqRel) & INDEX_MASK;
         self.push_stamped(index, make(index));
         index
+    }
+
+    /// [`AuditLog::append_next`], but the closure also receives the policy
+    /// epoch version in force **at the instant the index was allocated** —
+    /// both come out of one `fetch_add`, so across any interleaving of
+    /// appends and [`AuditLog::bump_version`] calls the returned `(index,
+    /// version)` pairs are monotone: a later index never carries an earlier
+    /// version. Returns the pair so the caller can detect that a transition
+    /// landed mid-release and re-derive under the stamped epoch.
+    pub fn append_versioned(&self, make: impl FnOnce(u64, u64) -> AuditRecord) -> (u64, u64) {
+        let packed = self.seq.fetch_add(1, Ordering::AcqRel);
+        let index = packed & INDEX_MASK;
+        let version = packed >> VERSION_SHIFT;
+        self.push_stamped(index, make(index, version));
+        (index, version)
+    }
+
+    /// Advances the policy epoch version by one, returning `(new_version,
+    /// boundary_seq)`: every release index `< boundary_seq` was stamped with
+    /// an earlier version, every index `>= boundary_seq` with `new_version`
+    /// or later. One atomic add on the packed word — the boundary is exact,
+    /// not racy. Errors when the 16-bit version space is exhausted (65 535
+    /// transitions) rather than corrupting the index bits.
+    pub fn bump_version(&self) -> Result<(u64, u64), osdp_core::OsdpError> {
+        let prev = self
+            .seq
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |packed| {
+                if packed >> VERSION_SHIFT >= MAX_VERSION {
+                    None
+                } else {
+                    Some(packed + (1 << VERSION_SHIFT))
+                }
+            })
+            .map_err(|_| {
+                osdp_core::OsdpError::InvalidInput(
+                    "policy epoch version space exhausted (65535 transitions)".into(),
+                )
+            })?;
+        Ok(((prev >> VERSION_SHIFT) + 1, prev & INDEX_MASK))
+    }
+
+    /// The policy epoch version currently stamped onto new releases — one
+    /// atomic load.
+    pub fn current_version(&self) -> u64 {
+        self.seq.load(Ordering::Acquire) >> VERSION_SHIFT
     }
 
     /// A snapshot of all records, merged from the shard buffers and sorted
@@ -232,7 +310,7 @@ impl AuditLog {
 
     /// Number of audited releases — one atomic load, no shard locks.
     pub fn len(&self) -> usize {
-        self.seq.load(Ordering::Acquire) as usize
+        (self.seq.load(Ordering::Acquire) & INDEX_MASK) as usize
     }
 
     /// Whether the log is empty — one atomic load, no shard locks.
@@ -317,6 +395,7 @@ mod tests {
             bins: 16,
             trials,
             guarantee: Guarantee::Osdp { eps: 0.5 },
+            policy_version: 0,
         }
     }
 
@@ -373,7 +452,7 @@ mod tests {
             guarantee: PrivacyGuarantee::OneSided,
         }];
         // 4 collapsed releases (indices 0..4), 2.0 ε = 2e12 units.
-        let log = AuditLog::recovered(4, 2_000_000_000_000, base);
+        let log = AuditLog::recovered(4, 0, 2_000_000_000_000, base);
         assert_eq!(log.len(), 4);
         assert_eq!(log.total_epsilon_units(), 2_000_000_000_000);
         // Replay a tail record with its logged debit: counters advance by
@@ -410,6 +489,74 @@ mod tests {
         assert_eq!(lens.len(), 16);
         assert_eq!(lens.iter().sum::<usize>(), 3);
         assert_eq!(lens.iter().filter(|&&n| n > 0).count(), 1);
+    }
+
+    #[test]
+    fn version_stamps_are_monotone_under_racing_bumps() {
+        use std::sync::Arc;
+        // 8 appender threads race 4 version bumps: stamped versions must be
+        // monotone in index order, and every bump's boundary must split the
+        // stamps exactly (index < boundary → version < bumped version).
+        let log = Arc::new(AuditLog::new());
+        let appenders: Vec<_> = (0..8)
+            .map(|_| {
+                let log = Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for _ in 0..64 {
+                        log.append_versioned(|index, version| {
+                            let mut r = record(index, 1);
+                            r.policy_version = version;
+                            r
+                        });
+                    }
+                })
+            })
+            .collect();
+        let bumper = {
+            let log = Arc::clone(&log);
+            std::thread::spawn(move || {
+                (0..4)
+                    .map(|_| {
+                        std::thread::yield_now();
+                        log.bump_version().unwrap()
+                    })
+                    .collect::<Vec<_>>()
+            })
+        };
+        for h in appenders {
+            h.join().unwrap();
+        }
+        let bumps = bumper.join().unwrap();
+        assert_eq!(log.current_version(), 4);
+        assert_eq!(log.len(), 512);
+        let records = log.records();
+        for pair in records.windows(2) {
+            assert!(
+                pair[0].policy_version <= pair[1].policy_version,
+                "stamps monotone in index order"
+            );
+        }
+        for &(version, boundary) in &bumps {
+            for r in &records {
+                if r.index < boundary {
+                    assert!(r.policy_version < version, "pre-boundary index stamped earlier");
+                } else {
+                    assert!(r.policy_version >= version, "post-boundary index stamped later");
+                }
+            }
+        }
+        // Indices stayed dense despite the interleaved version bumps.
+        let indices: Vec<u64> = records.iter().map(|r| r.index).collect();
+        assert_eq!(indices, (0..512).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn version_space_exhaustion_is_an_error_not_index_corruption() {
+        let log = AuditLog::recovered(7, MAX_VERSION, 0, Vec::new());
+        assert_eq!(log.current_version(), MAX_VERSION);
+        assert!(log.bump_version().is_err());
+        assert_eq!(log.len(), 7, "failed bump leaves the index bits untouched");
+        assert_eq!(log.current_version(), MAX_VERSION);
     }
 
     #[test]

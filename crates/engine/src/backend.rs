@@ -78,14 +78,23 @@ pub struct QueryPlan<R = Record> {
     pub policy: Arc<dyn Policy<R>>,
     /// Label of the policy (cache key component and audit-log field).
     pub policy_label: String,
+    /// The policy epoch version the release was stamped with (cache key
+    /// component; 0 for sessions that never transition).
+    pub policy_version: u64,
 }
 
 impl<R> QueryPlan<R> {
-    /// The partition-cache key: the policy label plus the policy's identity
+    /// The partition-cache key: the policy label, the policy's identity
     /// (two different policies registered under one label must not share a
-    /// cached partition).
-    fn partition_key(&self) -> (String, usize) {
-        (self.policy_label.clone(), Arc::as_ptr(&self.policy) as *const () as usize)
+    /// cached partition), and the epoch version (a transition that
+    /// re-installs a policy at a recycled allocation address must not reach
+    /// the pre-transition partition).
+    fn partition_key(&self) -> (String, usize, u64) {
+        (
+            self.policy_label.clone(),
+            Arc::as_ptr(&self.policy) as *const () as usize,
+            self.policy_version,
+        )
     }
 }
 
@@ -124,14 +133,23 @@ pub trait Backend<R = Record>: Send + Sync {
     fn database(&self) -> Option<&Database<R>> {
         None
     }
+
+    /// Drops any cached policy partitions. Called by the session when a
+    /// policy epoch transition lands, so post-transition scans re-classify
+    /// under the new epoch instead of hitting a pre-transition mask.
+    /// Pure-cache semantics: in-flight scans finish with the masks they
+    /// already hold, later scans recompute. Backends without a partition
+    /// cache need not override.
+    fn invalidate_partitions(&self) {}
 }
 
-/// Shared partition cache: `(policy label, policy identity) → non-sensitive
-/// mask`, so repeated releases under one policy skip re-classification. Each
-/// entry **retains the policy `Arc`** whose address keyed it: the allocation
-/// can never be reused while the entry lives, so an address collision always
-/// means the same policy object (no ABA through dropped policies).
-type PartitionMap<R> = HashMap<(String, usize), (Arc<dyn Policy<R>>, Arc<PolicyMask>)>;
+/// Shared partition cache: `(policy label, policy identity, epoch version) →
+/// non-sensitive mask`, so repeated releases under one policy skip
+/// re-classification. Each entry **retains the policy `Arc`** whose address
+/// keyed it: the allocation can never be reused while the entry lives, so an
+/// address collision always means the same policy object (no ABA through
+/// dropped policies).
+type PartitionMap<R> = HashMap<(String, usize, u64), (Arc<dyn Policy<R>>, Arc<PolicyMask>)>;
 type PartitionCache<R> = Mutex<PartitionMap<R>>;
 
 /// Cap on cached partitions per backend. Sessions bind a handful of policies
@@ -144,7 +162,7 @@ const PARTITION_CACHE_CAP: usize = 64;
 /// Inserts an entry, clearing the cache first when it is full.
 fn insert_partition<R>(
     cache: &mut PartitionMap<R>,
-    key: (String, usize),
+    key: (String, usize, u64),
     policy: &Arc<dyn Policy<R>>,
     mask: &Arc<PolicyMask>,
 ) {
@@ -236,6 +254,10 @@ impl<R: Send + Sync> Backend<R> for RowBackend<R> {
 
     fn database(&self) -> Option<&Database<R>> {
         Some(&self.db)
+    }
+
+    fn invalidate_partitions(&self) {
+        self.partitions.lock().clear();
     }
 }
 
@@ -359,6 +381,10 @@ impl Backend<Record> for ColumnarBackend {
     fn database(&self) -> Option<&Database<Record>> {
         self.rows.as_ref()
     }
+
+    fn invalidate_partitions(&self) {
+        self.partitions.lock().clear();
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +407,7 @@ mod tests {
             bin_spec: with_spec.then_some(spec),
             policy,
             policy_label: "minors".into(),
+            policy_version: 0,
         }
     }
 
@@ -490,6 +517,7 @@ mod tests {
             bin_spec: Some(spec),
             policy: Arc::new(AttributePolicy::opt_in("non_sensitive")),
             policy_label: "P".into(),
+            policy_version: 0,
         };
         let pair = backend.scan(&plan).unwrap();
         assert_eq!(pair.full.counts(), &[4.0, 5.0]);
@@ -513,6 +541,23 @@ mod tests {
     }
 
     #[test]
+    fn epoch_versions_partition_the_cache_and_invalidate_cleanly() {
+        let db = ages_db(100);
+        let backend = ColumnarBackend::from_database(db);
+        let policy = minors_policy();
+        let v0 = minors_plan(Arc::clone(&policy), true);
+        let mut v1 = minors_plan(policy, true);
+        v1.policy_version = 1;
+        let a = backend.scan(&v0).unwrap();
+        let b = backend.scan(&v1).unwrap();
+        assert_eq!(a, b, "same policy object answers identically across versions");
+        assert_eq!(backend.partitions.lock().len(), 2, "versions get distinct entries");
+        backend.invalidate_partitions();
+        assert_eq!(backend.partitions.lock().len(), 0);
+        assert_eq!(backend.scan(&v1).unwrap(), a, "re-derived after invalidation");
+    }
+
+    #[test]
     fn dropped_mass_is_reported() {
         let db = ages_db(100); // ages 0..60
         let row = RowBackend::new(db.clone());
@@ -526,6 +571,7 @@ mod tests {
             bin_spec: Some(spec),
             policy: minors_policy(),
             policy_label: "minors".into(),
+            policy_version: 0,
         };
         let a = row.scan(&plan).unwrap();
         let b = col.scan(&plan).unwrap();

@@ -42,11 +42,16 @@ const TASK_SHARDS: usize = 8;
 /// results are recomputed, never wrong).
 const TASK_CACHE_CAP_PER_SHARD: usize = 16;
 
-/// Identity key: `(bins, bin-closure, policy, backend)` allocations, plus
-/// the query's compiled bin spec **by value** — a hand-built query can pair
-/// an existing closure `Arc` with a different spec, and columnar backends
-/// scan through the spec, so spec-divergent queries must not share an entry.
-type TaskKey = (usize, usize, usize, usize, Option<BinSpec>);
+/// Identity key: `(bins, bin-closure, policy, backend)` allocations, the
+/// policy epoch **version** the task is derived under, plus the query's
+/// compiled bin spec **by value** — a hand-built query can pair an existing
+/// closure `Arc` with a different spec, and columnar backends scan through
+/// the spec, so spec-divergent queries must not share an entry. The version
+/// component means an epoch transition can never serve a pre-transition
+/// task to a post-transition release even if the transition re-installs a
+/// policy `Arc` at a recycled address: the version is monotone, so stale
+/// entries are unreachable the moment the audit counter bumps.
+type TaskKey = (usize, usize, usize, usize, u64, Option<BinSpec>);
 
 /// The row-level bin assignment closure, as stored by queries and plans.
 type BinOf<R> = Arc<dyn Fn(&R) -> Option<usize> + Send + Sync>;
@@ -113,12 +118,16 @@ impl<R> TaskCache<R> {
     /// while hits and derivations of *other* keys, even on the same shard,
     /// never wait behind a slow scan. A failed derivation leaves the slot
     /// empty, so errors are retried by the next caller.
+    // The parameters ARE the cache key (plus the derivation closure); a
+    // struct wrapper would just restate `TaskKey` with worse call sites.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn get_or_derive(
         &self,
         bins: usize,
         bin_of: &BinOf<R>,
         spec: Option<&BinSpec>,
         policy: &Arc<dyn Policy<R>>,
+        policy_version: u64,
         backend: &Arc<dyn Backend<R>>,
         derive: impl FnOnce() -> Result<HistogramTask>,
     ) -> Result<Arc<HistogramTask>> {
@@ -127,6 +136,7 @@ impl<R> TaskCache<R> {
             Arc::as_ptr(bin_of) as *const () as usize,
             Arc::as_ptr(policy) as *const () as usize,
             Arc::as_ptr(backend) as *const () as usize,
+            policy_version,
             spec.cloned(),
         );
         let slot: TaskSlot = {

@@ -126,6 +126,95 @@
 //! assert_eq!(session.total_spent(), 30.0);
 //! ```
 //!
+//! ## Policy lifecycle model
+//!
+//! The paper's policy `P` is not static in deployment: consent arrives
+//! (relaxing `P`), opt-outs and retention decay land (tightening it). A
+//! session opens under one bound policy — **epoch 0** — and
+//! [`OsdpSession::set_policy_epoch`] transitions it to a new epoch with an
+//! explicit [`EpochDirection`]:
+//!
+//! * **Tighten** (opt-out, decay): the new policy marks a superset of
+//!   records sensitive. Tightening is always sound mid-session — past
+//!   releases were made under a policy at least as strict as claimed.
+//! * **Relax** (consent): the new policy frees records. Every release
+//!   after the transition composes under **minimum relaxation**
+//!   (Theorem 3.3): the session's [`VersionedPolicy`] registry tracks the
+//!   permissiveness partial order across versions and
+//!   [`OsdpSession::lifecycle_minimum_relaxation`] reports the composite
+//!   guarantee's policy set.
+//!
+//! Three contracts make transitions safe under live traffic:
+//!
+//! * **Grant paths stay lock-free.** A release captures the current epoch
+//!   with one atomic pointer load; only `set_policy_epoch` takes the slow
+//!   path (the epoch history mutex). Sessions that never transition are
+//!   **bitwise identical** to the pre-lifecycle engine on every release
+//!   path.
+//! * **Cache invalidation is atomic with the transition.** The epoch bump
+//!   clears the [`OsdpSession`] task cache and the columnar partition
+//!   caches (both are keyed by policy *version*, not just label), so no
+//!   release can ever be served a `(x, x_ns)` pair derived under a stale
+//!   epoch — a release racing a transition either re-derives under the
+//!   new epoch or carries the old epoch's stamp, never a mix.
+//! * **Every audit record stamps `(policy label, version)`** — allocated
+//!   atomically with the release index, so stamps are monotone in index
+//!   order. `osdp_attack::verify_ledger_versioned` (exposed as
+//!   [`OsdpSession::verify_policy_lifecycle`]) proves no release was
+//!   served under a **more permissive** policy than the one in force at
+//!   its sequence number; a stale-policy replay is rejected. Durable
+//!   sessions log each transition as a WAL record, so recovery
+//!   reconstructs the version history bit for bit.
+//!
+//! A retention **decay schedule** is just a sequence of tightens:
+//!
+//! ```
+//! use osdp_core::policy::{AttributePolicy, EpochDirection};
+//! use osdp_core::{Database, Record, Value};
+//! use osdp_engine::{SessionBuilder, SessionQuery};
+//! use osdp_mechanisms::OsdpLaplaceL1;
+//! use std::sync::Arc;
+//!
+//! let db: Database = (0..600)
+//!     .map(|i| Record::builder().field("age_days", Value::Int(i % 120)).build())
+//!     .collect();
+//! // Day 0: events older than 90 days have decayed to sensitive.
+//! let session = SessionBuilder::new(db)
+//!     .policy(AttributePolicy::int_at_most("age_days", 90), "decay-d0")
+//!     .budget(10.0)
+//!     .seed(7)
+//!     .build()
+//!     .unwrap();
+//! let query = SessionQuery::count_by_int_linear("age-buckets", "age_days", 0, 30, 4);
+//! let mechanism = OsdpLaplaceL1::new(1.0).unwrap();
+//! session.release(&query, &mechanism).unwrap();
+//!
+//! // Each elapsed day shrinks the retention horizon: strictly tightening,
+//! // so the transition is always admissible.
+//! for (day, horizon) in [(1, 60), (2, 30)] {
+//!     session
+//!         .set_policy_epoch(
+//!             Arc::new(AttributePolicy::int_at_most("age_days", horizon)),
+//!             format!("decay-d{day}"),
+//!             EpochDirection::Tighten,
+//!         )
+//!         .unwrap();
+//!     session.release(&query, &mechanism).unwrap();
+//! }
+//!
+//! assert_eq!(session.policy_version(), 2);
+//! let versions: Vec<u64> =
+//!     session.audit_records().iter().map(|r| r.policy_version).collect();
+//! assert_eq!(versions, vec![0, 1, 2], "each release stamped with its epoch");
+//! // The versioned ledger check proves no release ran under a more
+//! // permissive policy than the one in force at its sequence number.
+//! assert!(session.verify_policy_lifecycle(Some(10.0)).upholds_osdp());
+//! ```
+//!
+//! [`SessionPool::set_policy_epoch`] gives multi-tenant serving the same
+//! lifecycle per tenant, and [`SessionPool::verify_all_ledgers`] runs the
+//! versioned check across every tenant in one sweep.
+//!
 //! ## Concurrency model
 //!
 //! A session serves concurrent callers without a global lock; the grant
@@ -349,6 +438,8 @@ pub mod supervisor;
 
 pub use audit::{AuditLog, AuditRecord};
 pub use backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBackend};
+pub use osdp_attack::{EpochTransition, EpochVerdict, LedgerVerdict, ReleaseStamp};
+pub use osdp_core::policy::{EpochDirection, PolicyEpoch, VersionedPolicy};
 pub use osdp_persist::{GroupCommitStats, LedgerOptions, RecoveryReport, RetryPolicy, SyncPolicy};
 pub use persist::{GrantEvent, RecoveredSession, SessionPersistence, SessionWal};
 pub use pool::{

@@ -66,6 +66,8 @@ pub struct GrantEvent<'a> {
     pub trials: usize,
     /// The per-trial guarantee.
     pub guarantee: Guarantee,
+    /// Policy epoch version the release was stamped with.
+    pub policy_version: u64,
 }
 
 /// A session's handle on its tenant WAL shard: the hook the grant path
@@ -95,7 +97,19 @@ impl SessionWal {
             mechanism: event.mechanism.to_string(),
             policy: event.policy.to_string(),
             query: event.query.to_string(),
+            policy_version: event.policy_version,
         })
+    }
+
+    /// Logs a policy epoch transition so recovery can reconstruct the
+    /// version history bit for bit. Called **after** the in-memory
+    /// transition is live (new epoch installed, audit version bumped): on
+    /// WAL failure the error propagates but the in-memory epoch stays in
+    /// force — safe for tightenings (serving under a stricter policy than
+    /// the durable record claims), and surfaced to the caller for
+    /// relaxations.
+    pub fn log_epoch_transition(&self, record: &osdp_persist::EpochRecord) -> Result<()> {
+        self.ledger.append_epoch_transition(record)
     }
 
     /// Logs a refused grant (best-effort observability — refusals spend
@@ -186,6 +200,14 @@ pub struct RecoveredSession {
     pub degraded: bool,
     /// Bytes discarded from a torn WAL tail (0 after a clean shutdown).
     pub truncated_bytes: u64,
+    /// Policy epoch transitions recovered from the WAL, sorted by version.
+    /// Recovery restores the version **history** (numbers, boundaries,
+    /// directions, labels) — policies themselves are code, so the rebuilt
+    /// session serves under its builder-bound policy as the current epoch.
+    pub transitions: Vec<osdp_persist::EpochRecord>,
+    /// The policy epoch version in force at the crash (last transition's
+    /// version, or 0).
+    pub policy_version: u64,
     /// What recovery had to repair or fall back to — quarantined snapshot,
     /// prev-generation fallback, cleared stale lock (all-default after a
     /// clean open).
@@ -224,10 +246,12 @@ impl RecoveredSession {
                     bins: g.bins as usize,
                     trials: g.trials as usize,
                     guarantee: guarantee_of(g.guarantee, g.epsilon),
+                    policy_version: g.policy_version,
                 };
                 (record, g.units)
             })
             .collect();
+        let policy_version = recovered.current_policy_version();
         Self {
             spent_units,
             base_seq: recovered.base.counters.audit_seq,
@@ -238,13 +262,18 @@ impl RecoveredSession {
             grants,
             degraded: recovered.degraded,
             truncated_bytes: recovered.truncated_bytes,
+            transitions: recovered.transitions,
+            policy_version,
             report: recovered.report,
         }
     }
 
     /// Whether the shard held no durable history.
     pub fn is_fresh(&self) -> bool {
-        self.grants == 0 && self.refusals == 0 && self.spent_units == 0
+        self.grants == 0
+            && self.refusals == 0
+            && self.spent_units == 0
+            && self.transitions.is_empty()
     }
 }
 

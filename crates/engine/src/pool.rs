@@ -27,7 +27,7 @@
 use crate::persist::SessionPersistence;
 use crate::session::{OsdpSession, PoolRelease, Release, SessionBuilder, SessionQuery};
 use crate::sharding::shard_index;
-use osdp_attack::{verify_ledger, LedgerVerdict};
+use osdp_attack::LedgerVerdict;
 use osdp_core::error::{FaultClass, OsdpError, PersistError, PersistOp, Result};
 use osdp_core::{Histogram, Record};
 use osdp_mechanisms::HistogramMechanism;
@@ -180,6 +180,10 @@ pub struct SessionPool<R = Record> {
     persist: Option<PoolPersistence>,
     health: RwLock<HashMap<Arc<str>, HealthCell>>,
     health_policy: HealthPolicy,
+    /// The supervisor's open shared-device incident, mirrored into the pool
+    /// so [`SessionPool::health_snapshot`] is the one read surface operators
+    /// need — `None` when the device plane is clean.
+    incident: RwLock<Option<crate::supervisor::DeviceIncident>>,
 }
 
 impl<R> Default for SessionPool<R> {
@@ -210,7 +214,22 @@ impl<R> SessionPool<R> {
             persist: None,
             health: RwLock::new(HashMap::new()),
             health_policy: HealthPolicy::default(),
+            incident: RwLock::new(None),
         }
+    }
+
+    /// The open [`crate::supervisor::DeviceIncident`], as last published by
+    /// the supervising tick; `None` when no correlated shared-device fault
+    /// burst is in progress (or the pool is unsupervised).
+    pub fn open_incident(&self) -> Option<crate::supervisor::DeviceIncident> {
+        self.incident.read().clone()
+    }
+
+    /// Publishes (or clears) the supervisor's incident state — called by
+    /// [`crate::supervisor::PoolSupervisor::tick`] whenever the incident
+    /// opens or closes, so snapshot readers never need a supervisor handle.
+    pub(crate) fn set_incident(&self, incident: Option<crate::supervisor::DeviceIncident>) {
+        *self.incident.write() = incident;
     }
 
     /// Replaces the pool's circuit-breaker tuning (builder-style).
@@ -438,11 +457,15 @@ impl<R> SessionPool<R> {
     /// [`PersistError`] whose `(op, class)` signature drives shared-device
     /// incident correlation.
     pub fn health_snapshot(&self) -> Vec<TenantHealthReport> {
+        let incident = self.open_incident();
+        let in_incident =
+            |tenant: &Arc<str>| incident.as_ref().is_some_and(|i| i.tenants.contains(tenant));
         let mut reports: HashMap<Arc<str>, TenantHealthReport> = HashMap::new();
         for tenant in self.tenants() {
             reports.insert(
                 Arc::clone(&tenant),
                 TenantHealthReport {
+                    in_open_incident: in_incident(&tenant),
                     tenant,
                     health: TenantHealth::Healthy,
                     consecutive_failures: 0,
@@ -459,6 +482,7 @@ impl<R> SessionPool<R> {
                     health: inner.health,
                     consecutive_failures: inner.consecutive,
                     last_error: inner.last_error.clone(),
+                    in_open_incident: in_incident(tenant),
                 },
             );
         }
@@ -831,18 +855,44 @@ impl<R> SessionPool<R> {
         self.for_each_session(|_, s| s.total_spent()).into_iter().fold(0.0, f64::max)
     }
 
+    /// Transitions one tenant's session to a new policy epoch
+    /// ([`OsdpSession::set_policy_epoch`]): the tenant's caches are
+    /// invalidated, its packed audit counter bumped, and the transition
+    /// logged to its WAL shard when durable. Routed like a release —
+    /// quarantined tenants are refused fast and the (durable) outcome feeds
+    /// the tenant's health machine, since a transition writes an epoch
+    /// record through the same shard a grant does.
+    pub fn set_policy_epoch(
+        &self,
+        tenant: &str,
+        policy: Arc<dyn osdp_core::policy::Policy<R>>,
+        label: impl Into<String>,
+        direction: osdp_core::policy::EpochDirection,
+    ) -> Result<osdp_attack::EpochTransition> {
+        self.admit(tenant)?;
+        let result = match self.session(tenant) {
+            Ok(session) => session.set_policy_epoch(policy, label, direction),
+            Err(err) => Err(err),
+        };
+        self.observe(tenant, result)
+    }
+
     /// Verifies **every** tenant's audit ledger against its own budget cap
-    /// (`osdp_attack::verify_ledger`), returning one verdict per tenant
-    /// plus the parallel-composition total. O(total releases); the audit
-    /// merge scratch is reused across tenants, so the sweep allocates one
-    /// record buffer for the whole pool instead of one per tenant.
+    /// (`osdp_attack::verify_ledger_versioned`): budget conservation plus
+    /// the stale-policy and version-stamp-monotonicity checks over the
+    /// tenant's epoch history. Returns one verdict per tenant plus the
+    /// parallel-composition total. O(total releases); the audit merge
+    /// scratch is reused across tenants, so the sweep allocates one record
+    /// buffer for the whole pool instead of one per tenant.
     pub fn verify_all_ledgers(&self) -> PoolVerdict {
         let mut scratch = Vec::new();
         let mut tenants = self.for_each_session(|tenant, session| TenantVerdict {
             tenant,
-            verdict: verify_ledger(
+            verdict: osdp_attack::verify_ledger_versioned(
                 &session.audit_log().ledger_with(&mut scratch),
                 session.accountant().limit(),
+                &session.release_stamps(),
+                &session.epoch_transitions(),
             ),
         });
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -940,6 +990,11 @@ pub struct TenantHealthReport {
     /// `(op, class)` signature is what shared-device incident correlation
     /// groups on.
     pub last_error: Option<PersistError>,
+    /// Whether this tenant is part of the supervisor's currently open
+    /// [`crate::supervisor::DeviceIncident`] (always `false` when no
+    /// incident is open or the pool is unsupervised). Without this the
+    /// snapshot said *quarantined* but not *why the probes stopped*.
+    pub in_open_incident: bool,
 }
 
 /// The outcome of a pool-wide scrub sweep ([`SessionPool::scrub_all`]):

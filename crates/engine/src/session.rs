@@ -5,25 +5,119 @@ use crate::backend::{Backend, ColumnarBackend, HistogramPair, QueryPlan, RowBack
 use crate::cache::TaskCache;
 use crate::intern::Interner;
 use crate::persist::{GrantEvent, SessionPersistence, SessionWal};
+use osdp_attack::{EpochTransition, ReleaseStamp};
 use osdp_core::error::{OsdpError, Result};
 use osdp_core::frame::{BinSpec, ColumnarFrame, PAIR_BIN_FIELD, PAIR_FLAG_FIELD};
-use osdp_core::policy::{AttributePolicy, MinimumRelaxation, Policy};
+use osdp_core::policy::{
+    AttributePolicy, EpochDirection, MinimumRelaxation, Policy, VersionedPolicy,
+};
 use osdp_core::{BudgetAccountant, Database, Guarantee, Histogram, Record};
 use osdp_mechanisms::{HistogramMechanism, HistogramTask, OsdpRr};
 use osdp_noise::SeedSequence;
-use parking_lot::RwLock;
+use osdp_persist::EpochRecord;
+use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 /// The labelled policies a session's record-level releases have used, in
 /// first-use order.
 type UsedPolicies<R> = Vec<(String, Arc<dyn Policy<R>>)>;
 
-/// What a session releases against: a record-level [`Backend`] bound to a
-/// policy function, or a pre-aggregated histogram pair (the shape the
-/// DPBench-style experiment harness produces with sampled policies).
+/// One installed policy epoch: the policy object, its audit label, and the
+/// version the packed audit counter stamps while it is current.
+struct EpochState<R> {
+    policy: Arc<dyn Policy<R>>,
+    label: Arc<str>,
+    version: u64,
+}
+
+/// Everything the transition slow path guards: the pinned epoch states, the
+/// core lifecycle registry, and the transition metadata audits consume.
+struct EpochHistory<R> {
+    /// Pinned epoch states, indexed by `version - base_version`. **Never
+    /// popped**: a pointer loaded from [`EpochCell::current`] stays valid
+    /// for the cell's lifetime (the same no-ABA argument as the task and
+    /// partition caches).
+    states: Vec<Arc<EpochState<R>>>,
+    /// The core registry: tighten/relax ordering, permissiveness levels and
+    /// cross-version minimum relaxation (Definitions 3.5/3.6 over time).
+    registry: VersionedPolicy<R>,
+    /// Applied + recovered transition metadata in version order — exactly
+    /// what [`osdp_attack::verify_epoch_stamps`] consumes.
+    transitions: Vec<EpochTransition>,
+    /// The engine version of registry index 0. Non-zero after recovery:
+    /// pre-crash epochs exist as durable metadata in `transitions`, but
+    /// policies are code, not data, so the rebuilt session serves under its
+    /// builder-bound policy as the current epoch and resumes version
+    /// numbering from here.
+    base_version: u64,
+}
+
+/// The session's policy lifecycle cell.
+///
+/// The release path reads the current epoch through **one atomic pointer
+/// load** — no lock, no reference-count traffic — so static-policy sessions
+/// pay nothing for the lifecycle machinery. Transitions are the slow path:
+/// they serialize on the history mutex, install the new state, swap the
+/// pointer, and only then bump the packed audit version counter. Because
+/// the swap happens *before* the bump, the epoch for any version the
+/// counter ever hands out is already installed, which is what makes the
+/// stamped-version re-derivation in the release path total.
+struct EpochCell<R> {
+    current: AtomicPtr<EpochState<R>>,
+    history: Mutex<EpochHistory<R>>,
+}
+
+impl<R> EpochCell<R> {
+    fn new(
+        policy: Arc<dyn Policy<R>>,
+        label: Arc<str>,
+        base_version: u64,
+        recovered: Vec<EpochTransition>,
+    ) -> Self {
+        let state = Arc::new(EpochState {
+            policy: Arc::clone(&policy),
+            label: Arc::clone(&label),
+            version: base_version,
+        });
+        let current = AtomicPtr::new(Arc::as_ptr(&state) as *mut EpochState<R>);
+        Self {
+            current,
+            history: Mutex::new(EpochHistory {
+                states: vec![state],
+                registry: VersionedPolicy::new(policy, label),
+                transitions: recovered,
+                base_version,
+            }),
+        }
+    }
+
+    /// The epoch currently in force — one atomic load.
+    fn current(&self) -> &EpochState<R> {
+        // SAFETY: the pointer always targets an `Arc` pinned by
+        // `history.states`, which never pops while `self` is alive.
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    /// The epoch installed for `version`, if this process installed one
+    /// (recovered pre-crash versions have metadata only). Slow path: takes
+    /// the history lock.
+    fn state(&self, version: u64) -> Option<Arc<EpochState<R>>> {
+        let history = self.history.lock();
+        version
+            .checked_sub(history.base_version)
+            .and_then(|i| history.states.get(i as usize))
+            .map(Arc::clone)
+    }
+}
+
+/// What a session releases against: a record-level [`Backend`] whose policy
+/// lifecycle lives in an [`EpochCell`], or a pre-aggregated histogram pair
+/// (the shape the DPBench-style experiment harness produces with sampled
+/// policies — fixed policy, no transitions).
 enum Source<R> {
-    Records { backend: Arc<dyn Backend<R>>, policy: Arc<dyn Policy<R>> },
+    Records { backend: Arc<dyn Backend<R>>, epoch: EpochCell<R> },
     Bound { task: Arc<HistogramTask> },
 }
 
@@ -338,29 +432,31 @@ impl<R> SessionBuilder<R> {
             ));
         }
         // A durable builder seeds the accountant and audit log from the
-        // recovered ledger — raw integer counters, so a restart resumes the
-        // exact pre-crash state — and keeps the WAL hooked into the grant
-        // path. A plain builder starts both from zero with no WAL.
-        let (accountant, audit, wal) = match self.persistence {
+        // recovered ledger — raw integer counters (including the packed
+        // policy-version bits), so a restart resumes the exact pre-crash
+        // state — and keeps the WAL hooked into the grant path. A plain
+        // builder starts both from zero with no WAL.
+        let (accountant, audit, wal, base_version, recovered_transitions) = match self.persistence {
             Some(persistence) => {
                 let SessionPersistence { wal, recovered } = persistence;
                 let accountant = BudgetAccountant::recovered(self.budget, recovered.spent_units)?;
                 let audit = AuditLog::recovered(
                     recovered.base_seq,
+                    recovered.policy_version,
                     recovered.base_units,
                     recovered.base_entries,
                 );
                 for (record, units) in recovered.tail {
                     audit.restore(record, units);
                 }
-                (accountant, audit, Some(wal))
+                (accountant, audit, Some(wal), recovered.policy_version, recovered.transitions)
             }
             None => {
                 let accountant = match self.budget {
                     Some(limit) => BudgetAccountant::with_limit(limit)?,
                     None => BudgetAccountant::unlimited(),
                 };
-                (accountant, AuditLog::new(), None)
+                (accountant, AuditLog::new(), None, 0, Vec::new())
             }
         };
         let policy_label = self.policy_label.unwrap_or_else(|| "P".to_string());
@@ -369,6 +465,7 @@ impl<R> SessionBuilder<R> {
             (None, Some(backend)) => Some(backend),
             _ => None,
         };
+        let label_arc: Arc<str> = Arc::from(policy_label.as_str());
         let (source, policies) = match (backend, self.bound) {
             (Some(backend), None) => {
                 let policy = self.policy.ok_or_else(|| {
@@ -378,7 +475,26 @@ impl<R> SessionBuilder<R> {
                     )
                 })?;
                 let policies = vec![(policy_label.clone(), Arc::clone(&policy))];
-                (Source::Records { backend, policy }, policies)
+                // Recovered pre-crash epochs carry over as durable metadata
+                // (`transitions`); the builder-bound policy is installed as
+                // the current epoch at the recovered version number, so the
+                // audit counter resumes stamping exactly where the crashed
+                // process stopped.
+                let epoch = EpochCell::new(
+                    policy,
+                    Arc::clone(&label_arc),
+                    base_version,
+                    recovered_transitions
+                        .iter()
+                        .map(|t| EpochTransition {
+                            version: t.version,
+                            boundary_seq: t.boundary_seq,
+                            relaxes: t.relaxes,
+                            label: t.label.clone(),
+                        })
+                        .collect(),
+                );
+                (Source::Records { backend, epoch }, policies)
             }
             (None, Some((full, non_sensitive))) => {
                 if self.policy.is_some() {
@@ -395,7 +511,7 @@ impl<R> SessionBuilder<R> {
         };
         Ok(OsdpSession {
             source,
-            policy_label: policy_label.into(),
+            policy_label: label_arc,
             accountant,
             seeds: SeedSequence::new(self.seed),
             audit,
@@ -641,28 +757,78 @@ impl<R> OsdpSession<R> {
         Ok((*self.cached_task(query)?).clone())
     }
 
-    /// The cache-aware task derivation behind every release path. Keyed by
-    /// the identities that determine the scan result (query closure, policy,
-    /// backend); mismatched source/query combinations fall through to the
-    /// scan path, which reports the precise error.
-    fn cached_task(&self, query: &SessionQuery<R>) -> Result<Arc<HistogramTask>> {
-        match (&self.source, query) {
-            (Source::Bound { task }, SessionQuery::Bound) => Ok(Arc::clone(task)),
-            (
-                Source::Records { backend, policy },
-                SessionQuery::CountBy { bins, bin_of, spec, .. },
-            ) => self.tasks.get_or_derive(*bins, bin_of, spec.as_ref(), policy, backend, || {
-                self.scan_under(query, None, &self.policy_label)?.into_task()
-            }),
-            _ => Ok(Arc::new(self.derive_task_under(query, None, &self.policy_label)?)),
+    /// The epoch currently in force for a record-backed session — one
+    /// atomic load, no lock. `None` for histogram-backed sessions (fixed
+    /// sampled policy, no lifecycle).
+    fn current_epoch(&self) -> Option<&EpochState<R>> {
+        match &self.source {
+            Source::Records { epoch, .. } => Some(epoch.current()),
+            Source::Bound { .. } => None,
         }
     }
 
-    /// Runs the backend scan for `query` under the bound policy, returning
-    /// the raw [`HistogramPair`] — including the weight of records the query
-    /// dropped, which [`OsdpSession::derive_task`] discards.
+    /// The cache-aware task derivation behind every release path. Keyed by
+    /// the identities that determine the scan result (query closure, policy,
+    /// backend) **plus the policy epoch version**, so a transition can never
+    /// serve a pre-transition task to a post-transition release; mismatched
+    /// source/query combinations fall through to the scan path, which
+    /// reports the precise error.
+    fn cached_task(&self, query: &SessionQuery<R>) -> Result<Arc<HistogramTask>> {
+        match &self.source {
+            Source::Bound { task } => match query {
+                SessionQuery::Bound => Ok(Arc::clone(task)),
+                SessionQuery::CountBy { .. } => Err(OsdpError::InvalidInput(
+                    "histogram-backed sessions only answer SessionQuery::Bound".into(),
+                )),
+            },
+            Source::Records { epoch, .. } => {
+                let e = epoch.current();
+                self.cached_task_under(query, &e.policy, &e.label, e.version)
+            }
+        }
+    }
+
+    /// [`cached_task`](Self::cached_task) pinned to an **explicit** epoch
+    /// `(policy, label, version)`. The release path captures the epoch once
+    /// and derives under the capture, so a transition racing the release
+    /// can never tear the (policy, version) pair.
+    fn cached_task_under(
+        &self,
+        query: &SessionQuery<R>,
+        policy: &Arc<dyn Policy<R>>,
+        policy_label: &Arc<str>,
+        policy_version: u64,
+    ) -> Result<Arc<HistogramTask>> {
+        match (&self.source, query) {
+            (Source::Records { backend, .. }, SessionQuery::CountBy { bins, bin_of, spec, .. }) => {
+                self.tasks.get_or_derive(
+                    *bins,
+                    bin_of,
+                    spec.as_ref(),
+                    policy,
+                    policy_version,
+                    backend,
+                    || {
+                        self.scan_under(query, Some(policy), policy_label, policy_version)?
+                            .into_task()
+                    },
+                )
+            }
+            _ => self
+                .scan_under(query, Some(policy), policy_label, policy_version)?
+                .into_task()
+                .map(Arc::new),
+        }
+    }
+
+    /// Runs the backend scan for `query` under the current-epoch policy,
+    /// returning the raw [`HistogramPair`] — including the weight of records
+    /// the query dropped, which [`OsdpSession::derive_task`] discards.
     pub fn scan(&self, query: &SessionQuery<R>) -> Result<HistogramPair> {
-        self.scan_under(query, None, &self.policy_label)
+        match self.current_epoch() {
+            Some(e) => self.scan_under(query, Some(&e.policy), &e.label, e.version),
+            None => self.scan_under(query, None, &self.policy_label, 0),
+        }
     }
 
     fn derive_task_under(
@@ -673,7 +839,9 @@ impl<R> OsdpSession<R> {
     ) -> Result<HistogramTask> {
         match (&self.source, query) {
             (Source::Bound { task }, SessionQuery::Bound) => Ok((**task).clone()),
-            _ => self.scan_under(query, policy_override, policy_label)?.into_task(),
+            _ => self
+                .scan_under(query, policy_override, policy_label, self.audit.current_version())?
+                .into_task(),
         }
     }
 
@@ -682,6 +850,7 @@ impl<R> OsdpSession<R> {
         query: &SessionQuery<R>,
         policy_override: Option<&Arc<dyn Policy<R>>>,
         policy_label: &str,
+        policy_version: u64,
     ) -> Result<HistogramPair> {
         match (&self.source, query) {
             (Source::Bound { task }, SessionQuery::Bound) => Ok(HistogramPair {
@@ -696,10 +865,13 @@ impl<R> OsdpSession<R> {
                 "record-backed sessions need a SessionQuery::CountBy query".into(),
             )),
             (
-                Source::Records { backend, policy },
+                Source::Records { backend, epoch },
                 SessionQuery::CountBy { label, bins, bin_of, spec },
             ) => {
-                let policy = policy_override.unwrap_or(policy);
+                let policy = match policy_override {
+                    Some(policy) => policy,
+                    None => &epoch.current().policy,
+                };
                 let plan = QueryPlan {
                     label: label.clone(),
                     bins: *bins,
@@ -707,6 +879,7 @@ impl<R> OsdpSession<R> {
                     bin_spec: spec.clone(),
                     policy: Arc::clone(policy),
                     policy_label: policy_label.to_string(),
+                    policy_version,
                 };
                 backend.scan(&plan)
             }
@@ -753,13 +926,29 @@ impl<R> OsdpSession<R> {
         policy_override: Option<Arc<dyn Policy<R>>>,
         policy_label: Arc<str>,
     ) -> Result<Release> {
-        // Policy overrides bypass the task cache (the cache key is the bound
-        // policy's identity); the default path is served from it.
-        let task = match &policy_override {
-            None => self.cached_task(query)?,
-            Some(_) => {
-                Arc::new(self.derive_task_under(query, policy_override.as_ref(), &policy_label)?)
-            }
+        // Capture the epoch once (one atomic load — the grant path stays
+        // lock-free) and derive under the capture. Policy overrides bypass
+        // both the task cache and the epoch protocol: their records stamp
+        // whatever version is in force, but never relabel or re-derive.
+        let (task, policy_label, captured_version, requery) = match &policy_override {
+            None => match &self.source {
+                Source::Records { epoch, .. } => {
+                    let e = epoch.current();
+                    (
+                        self.cached_task_under(query, &e.policy, &e.label, e.version)?,
+                        Arc::clone(&e.label),
+                        e.version,
+                        Some(query),
+                    )
+                }
+                Source::Bound { .. } => (self.cached_task(query)?, policy_label, 0, None),
+            },
+            Some(_) => (
+                Arc::new(self.derive_task_under(query, policy_override.as_ref(), &policy_label)?),
+                policy_label,
+                self.audit.current_version(),
+                None,
+            ),
         };
         let query_label = self.labels.get(query.label());
         // Debit before sampling: a refused spend must not leak a sample. The
@@ -773,17 +962,81 @@ impl<R> OsdpSession<R> {
         if let Some(policy) = policy_override {
             self.remember_policy(&policy_label, policy);
         }
-        self.sample_granted_release(&task, mechanism, guarantee, policy_label, query_label)
+        self.sample_granted_release(
+            &task,
+            mechanism,
+            guarantee,
+            policy_label,
+            query_label,
+            captured_version,
+            requery,
+        )
+    }
+
+    /// Allocates the next audit index through the packed counter and appends
+    /// the audit record — the single stamping point of every release path.
+    ///
+    /// The counter hands out `(index, version)` in **one** atomic add, so
+    /// the stamped version is exactly the one in force at this release's
+    /// sequence number. When a transition raced in after the caller captured
+    /// its epoch (`version != captured_version` with `rederive` set), the
+    /// stamped epoch's state is resolved from the pinned history — it is
+    /// guaranteed installed, because transitions swap the epoch pointer
+    /// *before* bumping the counter — and the record is relabelled to it.
+    /// Returns `(index, version, effective label, stamped state if the
+    /// caller must re-derive)`.
+    #[allow(clippy::too_many_arguments)]
+    fn stamp_release(
+        &self,
+        captured_version: u64,
+        rederive: bool,
+        policy_label: Arc<str>,
+        mechanism_label: Arc<str>,
+        query_label: &Arc<str>,
+        bins: usize,
+        trials: usize,
+        guarantee: Guarantee,
+    ) -> (u64, u64, Arc<str>, Option<Arc<EpochState<R>>>) {
+        let mut label = policy_label;
+        let mut stamped = None;
+        let (index, version) = self.audit.append_versioned(|index, version| {
+            if rederive && version != captured_version {
+                if let Source::Records { epoch, .. } = &self.source {
+                    if let Some(state) = epoch.state(version) {
+                        label = Arc::clone(&state.label);
+                        stamped = Some(state);
+                    }
+                }
+            }
+            AuditRecord {
+                index,
+                mechanism: mechanism_label,
+                policy: Arc::clone(&label),
+                query: Arc::clone(query_label),
+                bins,
+                trials,
+                guarantee,
+                policy_version: version,
+            }
+        });
+        (index, version, label, stamped)
     }
 
     /// The shared post-grant tail of every single release — one-shot
     /// ([`OsdpSession::release`]) and task-level
     /// ([`OsdpSession::release_task`]) alike: append the audit record
-    /// (allocating the release index), derive the `(seed,
+    /// (allocating the release index and version stamp), derive the `(seed,
     /// "release/<mechanism>", index)` RNG stream, and sample. Keeping both
     /// paths on this one function is what keeps the stream plane's
     /// bitwise-parity contract with the one-shot oracle honest: any change
     /// to the audit/stream/index sequence lands on both at once.
+    ///
+    /// `requery` is the epoch re-derivation hook: when set and a transition
+    /// landed between the caller's epoch capture (`captured_version`) and
+    /// index allocation, the task is re-derived under the **stamped** epoch
+    /// through the version-keyed cache, so no release is ever served a task
+    /// from a stale epoch. Static-policy sessions never hit this branch.
+    #[allow(clippy::too_many_arguments)]
     fn sample_granted_release(
         &self,
         task: &HistogramTask,
@@ -791,17 +1044,29 @@ impl<R> OsdpSession<R> {
         guarantee: Guarantee,
         policy_label: Arc<str>,
         query_label: Arc<str>,
+        captured_version: u64,
+        requery: Option<&SessionQuery<R>>,
     ) -> Result<Release> {
         let mechanism_label = self.labels.get(mechanism.name());
-        let index = self.audit.append_next(|index| AuditRecord {
-            index,
-            mechanism: mechanism_label,
-            policy: Arc::clone(&policy_label),
-            query: Arc::clone(&query_label),
-            bins: task.bins(),
-            trials: 1,
+        let (index, version, policy_label, stamped) = self.stamp_release(
+            captured_version,
+            requery.is_some(),
+            policy_label,
+            mechanism_label,
+            &query_label,
+            task.bins(),
+            1,
             guarantee,
-        });
+        );
+        // Rare slow path: a transition raced in — serve under the stamped
+        // epoch. Racing releases share the re-derivation through the cache.
+        let rederived = match (&stamped, requery) {
+            (Some(state), Some(query)) => {
+                Some(self.cached_task_under(query, &state.policy, &state.label, state.version)?)
+            }
+            _ => None,
+        };
+        let task = rederived.as_deref().unwrap_or(task);
         // Durable hook: the grant reaches the WAL before any noise exists.
         self.wal_grant(GrantEvent {
             index,
@@ -811,6 +1076,7 @@ impl<R> OsdpSession<R> {
             bins: task.bins(),
             trials: 1,
             guarantee,
+            policy_version: version,
         })?;
         // Interned stream label: same content as the historical
         // `format!("release/{name}")`, built once per mechanism name.
@@ -850,17 +1116,20 @@ impl<R> OsdpSession<R> {
         mechanism: &dyn HistogramMechanism,
     ) -> Result<Release> {
         let query_label = self.labels.get(label);
+        // The task is externally derived, so an epoch race cannot re-derive
+        // it — the record is stamped with the version in force at its index
+        // under the current epoch's label, and the caller's provenance
+        // obligation extends to transitions (the streaming plane meets it by
+        // invalidating window tasks at the transition point).
+        let policy_label = match self.current_epoch() {
+            Some(e) => Arc::clone(&e.label),
+            None => Arc::clone(&self.policy_label),
+        };
         let guarantee = mechanism.guarantee();
         self.accountant
-            .spend(mechanism.name(), &*self.policy_label, guarantee.epsilon(), guarantee.kind())
+            .spend(mechanism.name(), &*policy_label, guarantee.epsilon(), guarantee.kind())
             .map_err(|e| self.wal_refused(mechanism.name(), guarantee.epsilon(), e))?;
-        self.sample_granted_release(
-            task,
-            mechanism,
-            guarantee,
-            Arc::clone(&self.policy_label),
-            query_label,
-        )
+        self.sample_granted_release(task, mechanism, guarantee, policy_label, query_label, 0, None)
     }
 
     /// Releases `trials` independent estimates of the same query, one trial
@@ -945,8 +1214,21 @@ impl<R> OsdpSession<R> {
         if pool.is_empty() {
             return Err(OsdpError::InvalidInput("release_pool needs a non-empty pool".into()));
         }
-        // One scan for the whole pool.
-        let task = self.cached_task(query)?;
+        // One epoch capture and one scan for the whole pool.
+        let (task, policy_label, captured_version, rederive) = match &self.source {
+            Source::Records { epoch, .. } => {
+                let e = epoch.current();
+                (
+                    self.cached_task_under(query, &e.policy, &e.label, e.version)?,
+                    Arc::clone(&e.label),
+                    e.version,
+                    true,
+                )
+            }
+            Source::Bound { .. } => {
+                (self.cached_task(query)?, Arc::clone(&self.policy_label), 0, false)
+            }
+        };
         let query_label = self.labels.get(query.label());
         let guarantees: Vec<Guarantee> = pool.iter().map(|m| m.guarantee()).collect();
 
@@ -961,7 +1243,7 @@ impl<R> OsdpSession<R> {
             .map(|(mechanism, guarantee)| {
                 (
                     format!("{} x{}", mechanism.name(), trials),
-                    self.policy_label.to_string(),
+                    policy_label.to_string(),
                     guarantee.epsilon() * trials as f64,
                     guarantee.kind(),
                 )
@@ -972,27 +1254,40 @@ impl<R> OsdpSession<R> {
             .spend_batch(&debits)
             .map_err(|e| self.wal_refused(&format!("pool[{}]", pool.len()), batch_epsilon, e))?;
         let mut indices = Vec::with_capacity(pool.len());
+        // Per-mechanism tasks: identical Arcs in the steady state; a
+        // transition racing the batch re-derives the affected suffix of the
+        // pool under its stamped epoch (shared through the cache).
+        let mut tasks: Vec<Arc<HistogramTask>> = Vec::with_capacity(pool.len());
         for (mechanism, guarantee) in pool.iter().zip(&guarantees) {
             let mechanism_label = self.labels.get(mechanism.name());
-            let index = self.audit.append_next(|index| AuditRecord {
-                index,
-                mechanism: mechanism_label,
-                policy: Arc::clone(&self.policy_label),
-                query: Arc::clone(&query_label),
-                bins: task.bins(),
+            let (index, version, label, stamped) = self.stamp_release(
+                captured_version,
+                rederive,
+                Arc::clone(&policy_label),
+                mechanism_label,
+                &query_label,
+                task.bins(),
                 trials,
-                guarantee: *guarantee,
-            });
+                *guarantee,
+            );
+            let mech_task = match &stamped {
+                Some(state) => {
+                    self.cached_task_under(query, &state.policy, &state.label, state.version)?
+                }
+                None => Arc::clone(&task),
+            };
             self.wal_grant(GrantEvent {
                 index,
                 mechanism: mechanism.name(),
-                policy: &self.policy_label,
+                policy: &label,
                 query: &query_label,
-                bins: task.bins(),
+                bins: mech_task.bins(),
                 trials,
                 guarantee: *guarantee,
+                policy_version: version,
             })?;
             indices.push(index);
+            tasks.push(mech_task);
         }
 
         // Streams are keyed exactly as release_trials keys them, so the pool
@@ -1012,10 +1307,10 @@ impl<R> OsdpSession<R> {
             })
             .collect();
         let seeds = &self.seeds;
-        let task_ref = &*task;
+        let tasks_ref = &tasks;
         slots.into_par_iter().for_each(|(mech, trial, slot)| {
             let mut rng = seeds.rng_for(&streams[mech], trial);
-            pool[mech].release_into(task_ref, &mut rng, slot);
+            pool[mech].release_into(&tasks_ref[mech], &mut rng, slot);
         });
 
         Ok(pool
@@ -1032,8 +1327,10 @@ impl<R> OsdpSession<R> {
             .collect())
     }
 
-    /// Shared preamble of the batch paths: derive the task (cached), debit
-    /// the whole batch, append the audit record, allocate the release index.
+    /// Shared preamble of the batch paths: capture the epoch, derive the
+    /// task (cached), debit the whole batch, append the audit record,
+    /// allocate the release index — re-deriving under the stamped epoch if a
+    /// transition raced the batch.
     fn begin_trials(
         &self,
         query: &SessionQuery<R>,
@@ -1043,39 +1340,218 @@ impl<R> OsdpSession<R> {
         if trials == 0 {
             return Err(OsdpError::InvalidInput("release_trials needs trials >= 1".into()));
         }
-        let task = self.cached_task(query)?;
+        let (task, policy_label, captured_version, rederive) = match &self.source {
+            Source::Records { epoch, .. } => {
+                let e = epoch.current();
+                (
+                    self.cached_task_under(query, &e.policy, &e.label, e.version)?,
+                    Arc::clone(&e.label),
+                    e.version,
+                    true,
+                )
+            }
+            Source::Bound { .. } => {
+                (self.cached_task(query)?, Arc::clone(&self.policy_label), 0, false)
+            }
+        };
         let guarantee = mechanism.guarantee();
         let mechanism_label = self.labels.get(mechanism.name());
         let query_label = self.labels.get(query.label());
         self.accountant
             .spend(
                 format!("{} x{}", mechanism.name(), trials),
-                &*self.policy_label,
+                &*policy_label,
                 guarantee.epsilon() * trials as f64,
                 guarantee.kind(),
             )
             .map_err(|e| {
                 self.wal_refused(mechanism.name(), guarantee.epsilon() * trials as f64, e)
             })?;
-        let index = self.audit.append_next(|index| AuditRecord {
-            index,
-            mechanism: mechanism_label,
-            policy: Arc::clone(&self.policy_label),
-            query: Arc::clone(&query_label),
-            bins: task.bins(),
+        let (index, version, label, stamped) = self.stamp_release(
+            captured_version,
+            rederive,
+            policy_label,
+            mechanism_label,
+            &query_label,
+            task.bins(),
             trials,
             guarantee,
-        });
+        );
+        let task = match &stamped {
+            Some(state) => {
+                self.cached_task_under(query, &state.policy, &state.label, state.version)?
+            }
+            None => task,
+        };
         self.wal_grant(GrantEvent {
             index,
             mechanism: mechanism.name(),
-            policy: &self.policy_label,
+            policy: &label,
             query: &query_label,
             bins: task.bins(),
             trials,
             guarantee,
+            policy_version: version,
         })?;
         Ok((task, index))
+    }
+
+    /// Transitions the session to a new policy epoch — the **slow path** of
+    /// the policy lifecycle (releases never take it).
+    ///
+    /// The transition is registered in the core lifecycle registry
+    /// ([`VersionedPolicy`]) with its declared [`EpochDirection`] (opt-out
+    /// and decay **tighten**; consent **relaxes**), the new epoch is
+    /// installed and the packed audit counter bumped — in that order, so the
+    /// epoch for any version a release ever observes is already resolvable —
+    /// then the derived-task and backend partition caches are atomically
+    /// invalidated and the transition is logged to the WAL (when durable) as
+    /// an epoch record. Returns the transition's audit metadata: its version
+    /// and its **boundary sequence number** (releases with index ≥ boundary
+    /// are stamped with the new version; earlier ones are not).
+    ///
+    /// Record-backed sessions only: histogram-backed sessions carry their
+    /// policy as the sampled `x_ns`, which has no lifecycle.
+    ///
+    /// # Errors
+    ///
+    /// Fails without side effects when the session is histogram-backed or
+    /// the 16-bit version space (65 535 transitions) is exhausted. A WAL
+    /// write failure is reported **after** the in-memory transition is live:
+    /// the new epoch is in force but not yet durable — harmless for
+    /// tightenings (recovery under-claims), surfaced so callers of a
+    /// relaxation can refuse to serve until the log heals.
+    pub fn set_policy_epoch(
+        &self,
+        policy: Arc<dyn Policy<R>>,
+        label: impl Into<String>,
+        direction: EpochDirection,
+    ) -> Result<EpochTransition> {
+        let Source::Records { backend, epoch } = &self.source else {
+            return Err(OsdpError::InvalidInput(
+                "histogram-backed sessions have a fixed sampled policy; epoch \
+                 transitions need a record-backed session"
+                    .into(),
+            ));
+        };
+        let label = self.labels.get(&label.into());
+        // Transitions serialize on the history lock, so the capacity check
+        // cannot race another bump.
+        let mut history = epoch.history.lock();
+        if self.audit.current_version() >= AuditLog::MAX_VERSION {
+            return Err(OsdpError::InvalidInput(
+                "policy epoch version space exhausted (65535 transitions)".into(),
+            ));
+        }
+        // 1. Register in the core lifecycle: tighten/relax ordering and the
+        //    cross-version minimum relaxation.
+        let registry_index =
+            history.registry.transition(Arc::clone(&policy), Arc::clone(&label), direction);
+        let version = history.base_version + registry_index;
+        // 2. Install the new state and swap the pointer BEFORE bumping the
+        //    counter: any (index, version) the counter hands out afterwards
+        //    can already resolve its epoch.
+        let state = Arc::new(EpochState {
+            policy: Arc::clone(&policy),
+            label: Arc::clone(&label),
+            version,
+        });
+        let ptr = Arc::as_ptr(&state) as *mut EpochState<R>;
+        history.states.push(state);
+        epoch.current.store(ptr, Ordering::Release);
+        // 3. Bump the packed counter: the boundary index is exact — stamps
+        //    split at it with no torn window.
+        let (bumped, boundary_seq) = self.audit.bump_version()?;
+        debug_assert_eq!(bumped, version, "registry and audit version numbering agree");
+        // 4. Atomically invalidate everything derived under earlier epochs:
+        //    the version-keyed task cache and the backend's policy-partition
+        //    cache. In-flight scans finish with the Arcs they hold (pure
+        //    caches — entries are recomputed, never wrong).
+        self.tasks.clear();
+        backend.invalidate_partitions();
+        // 5. The new policy joins the composed minimum relaxation
+        //    (Theorem 3.3 spans every policy the session released under).
+        self.remember_policy(&label, policy);
+        let transition = EpochTransition {
+            version,
+            boundary_seq,
+            relaxes: matches!(direction, EpochDirection::Relax),
+            label: label.to_string(),
+        };
+        history.transitions.push(transition.clone());
+        drop(history);
+        // 6. Durable hook: recovery replays epoch records into the exact
+        //    version history (bit-for-bit, including boundaries).
+        if let Some(wal) = &self.wal {
+            wal.log_epoch_transition(&EpochRecord {
+                version,
+                boundary_seq,
+                relaxes: transition.relaxes,
+                label: transition.label.clone(),
+            })?;
+        }
+        Ok(transition)
+    }
+
+    /// The policy version currently in force — the high bits of the packed
+    /// audit counter. `0` for sessions that never transitioned.
+    pub fn policy_version(&self) -> u64 {
+        self.audit.current_version()
+    }
+
+    /// The label of the policy epoch currently in force (the bound label
+    /// until the first [`OsdpSession::set_policy_epoch`]).
+    pub fn current_policy_label(&self) -> Arc<str> {
+        match self.current_epoch() {
+            Some(e) => Arc::clone(&e.label),
+            None => Arc::clone(&self.policy_label),
+        }
+    }
+
+    /// Every epoch transition this session has performed **or recovered**,
+    /// in version order — the history half of the stale-policy audit
+    /// ([`osdp_attack::verify_epoch_stamps`]). Empty for histogram-backed
+    /// and never-transitioned sessions.
+    pub fn epoch_transitions(&self) -> Vec<EpochTransition> {
+        match &self.source {
+            Source::Records { epoch, .. } => epoch.history.lock().transitions.clone(),
+            Source::Bound { .. } => Vec::new(),
+        }
+    }
+
+    /// The `(sequence number, stamped policy version)` pair of every audited
+    /// release — the stamp half of the stale-policy audit.
+    pub fn release_stamps(&self) -> Vec<ReleaseStamp> {
+        self.audit
+            .records()
+            .iter()
+            .map(|r| ReleaseStamp { seq: r.index, version: r.policy_version })
+            .collect()
+    }
+
+    /// Runs the full versioned ledger audit over this session's own records:
+    /// budget conservation ([`osdp_attack::verify_ledger`]) plus the
+    /// stale-policy and stamp-monotonicity checks. A session whose verdict
+    /// fails [`osdp_attack::LedgerVerdict::upholds_osdp`] served a release
+    /// it should not have.
+    pub fn verify_policy_lifecycle(&self, limit: Option<f64>) -> osdp_attack::LedgerVerdict {
+        osdp_attack::verify_ledger_versioned(
+            &self.audit_ledger(),
+            limit,
+            &self.release_stamps(),
+            &self.epoch_transitions(),
+        )
+    }
+
+    /// The minimum relaxation across the session's **epoch history**
+    /// (Definition 3.6 applied over time): the policy a guarantee composed
+    /// across transitions refers to. All-sensitive (empty) for
+    /// histogram-backed sessions.
+    pub fn lifecycle_minimum_relaxation(&self) -> MinimumRelaxation<R> {
+        match &self.source {
+            Source::Records { epoch, .. } => epoch.history.lock().registry.minimum_relaxation(),
+            Source::Bound { .. } => MinimumRelaxation::new(Vec::new()),
+        }
     }
 
     fn remember_policy(&self, label: &str, policy: Arc<dyn Policy<R>>) {
@@ -1094,7 +1570,7 @@ impl<R: Clone> OsdpSession<R> {
     /// `OsdpRR` (Algorithm 1) — the record-level front door. Debits ε and
     /// audits like every other release. Record-backed sessions only.
     pub fn release_records(&self, mechanism: &OsdpRr) -> Result<Database<R>> {
-        let Source::Records { backend, policy } = &self.source else {
+        let Source::Records { backend, epoch } = &self.source else {
             return Err(OsdpError::InvalidInput(
                 "release_records needs a record-backed session".into(),
             ));
@@ -1106,29 +1582,39 @@ impl<R: Clone> OsdpSession<R> {
                     .into(),
             ));
         };
+        let e = epoch.current();
+        let (mut policy, policy_label, captured_version) =
+            (Arc::clone(&e.policy), Arc::clone(&e.label), e.version);
         let guarantee = Guarantee::Osdp { eps: mechanism.epsilon() };
         let mechanism_label = self.labels.get("OsdpRR (records)");
         let query_label = self.labels.get("record-sample");
         self.accountant
-            .spend("OsdpRR (records)", &*self.policy_label, guarantee.epsilon(), guarantee.kind())
+            .spend("OsdpRR (records)", &*policy_label, guarantee.epsilon(), guarantee.kind())
             .map_err(|e| self.wal_refused("OsdpRR (records)", guarantee.epsilon(), e))?;
-        let index = self.audit.append_next(|index| AuditRecord {
-            index,
-            mechanism: mechanism_label,
-            policy: Arc::clone(&self.policy_label),
-            query: query_label,
-            bins: 0,
-            trials: 1,
+        let (index, version, label, stamped) = self.stamp_release(
+            captured_version,
+            true,
+            policy_label,
+            mechanism_label,
+            &query_label,
+            0,
+            1,
             guarantee,
-        });
+        );
+        if let Some(state) = stamped {
+            // A transition raced in: the sample must be drawn under the
+            // stamped epoch's policy, matching the record's stamp.
+            policy = Arc::clone(&state.policy);
+        }
         self.wal_grant(GrantEvent {
             index,
             mechanism: "OsdpRR (records)",
-            policy: &self.policy_label,
+            policy: &label,
             query: "record-sample",
             bins: 0,
             trials: 1,
             guarantee,
+            policy_version: version,
         })?;
         let mut rng = self.seeds.rng_for("release-records/OsdpRR", index);
         let sample = mechanism.release(db, policy.as_ref(), &mut rng);
@@ -1531,5 +2017,87 @@ mod tests {
         let ra = a.release(&mod8_query(), &mechanism).unwrap();
         let rb = b.release(&mod8_query(), &mechanism).unwrap();
         assert_eq!(ra.estimate, rb.estimate);
+    }
+
+    /// Values >= 25 are sensitive — strictly tighter than [`upper_half`].
+    fn upper_three_quarters() -> Arc<dyn Policy<u32>> {
+        Arc::new(ClosurePolicy::new("upper-3q", |&v: &u32| v >= 25))
+    }
+
+    #[test]
+    fn epoch_transition_invalidates_the_task_cache_and_stamps_releases() {
+        use osdp_core::policy::EpochDirection;
+        let session = records_session(None);
+        let mechanism = OsdpLaplaceL1::new(0.5).unwrap();
+        // Epoch 0: 50 of 100 codes are non-sensitive, and the derived task
+        // is cached.
+        session.release(&mod8_query(), &mechanism).unwrap();
+        assert_eq!(session.derive_task(&mod8_query()).unwrap().non_sensitive().total(), 50.0);
+        assert_eq!(session.policy_version(), 0);
+
+        let transition = session
+            .set_policy_epoch(upper_three_quarters(), "P25", EpochDirection::Tighten)
+            .unwrap();
+        assert_eq!(transition.version, 1);
+        assert_eq!(session.policy_version(), 1);
+        assert_eq!(&*session.current_policy_label(), "P25");
+
+        // The cached epoch-0 task must NOT survive the transition: the same
+        // query now derives under the tightened policy.
+        assert_eq!(session.derive_task(&mod8_query()).unwrap().non_sensitive().total(), 25.0);
+        session.release(&mod8_query(), &mechanism).unwrap();
+
+        let audit = session.audit_records();
+        let stamps: Vec<(u64, u64, String)> =
+            audit.iter().map(|r| (r.index, r.policy_version, r.policy.to_string())).collect();
+        assert_eq!(stamps, vec![(0, 0, "P50".into()), (1, 1, "P25".into())]);
+        assert!(session.verify_policy_lifecycle(None).upholds_osdp());
+        assert_eq!(session.epoch_transitions().len(), 1);
+    }
+
+    #[test]
+    fn relaxing_epochs_accumulate_minimum_relaxation_and_verify_clean() {
+        use osdp_core::policy::EpochDirection;
+        let session = records_session(None);
+        let mechanism = OsdpLaplaceL1::new(0.5).unwrap();
+        session.release(&mod8_query(), &mechanism).unwrap();
+        // Consent arrives: values >= 75 stay sensitive (strictly more
+        // permissive than the bound P50).
+        session
+            .set_policy_epoch(
+                Arc::new(ClosurePolicy::new("upper-q", |&v: &u32| v >= 75)),
+                "P75",
+                EpochDirection::Relax,
+            )
+            .unwrap();
+        session.release(&mod8_query(), &mechanism).unwrap();
+        // Releases under both epochs compose under the minimum relaxation of
+        // the epoch history: sensitive only where EVERY epoch agreed. 60 was
+        // freed by the consent epoch; 80 stayed sensitive under both.
+        let relaxation = session.lifecycle_minimum_relaxation();
+        assert_eq!(relaxation.len(), 2, "two epochs in the history");
+        assert!(relaxation.is_non_sensitive(&60));
+        assert!(!relaxation.is_non_sensitive(&80));
+        // An honest relax history passes the stale-policy check: release 0
+        // is stamped v0, and v0 was in force at seq 0.
+        assert!(session.verify_policy_lifecycle(None).upholds_osdp());
+    }
+
+    #[test]
+    fn bound_sessions_refuse_epoch_transitions() {
+        use osdp_core::policy::EpochDirection;
+        let full = Histogram::from_counts(vec![4.0, 2.0]);
+        let session =
+            histogram_session(full.clone(), full).policy_label("P-sampled").build().unwrap();
+        let err = session
+            .set_policy_epoch(
+                Arc::new(osdp_core::policy::NoneSensitive),
+                "later",
+                EpochDirection::Relax,
+            )
+            .unwrap_err();
+        assert!(matches!(err, OsdpError::InvalidInput(_)));
+        assert_eq!(session.policy_version(), 0);
+        assert!(session.epoch_transitions().is_empty());
     }
 }

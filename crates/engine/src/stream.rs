@@ -30,6 +30,33 @@
 //!   observation), or binary-tree aggregation
 //!   ([`StreamSession::range_query`]) where a range over `T` windows
 //!   debits `O(log T)` node releases instead of `O(T)` window releases.
+//!
+//! # One epoch per window
+//!
+//! When the wrapped session carries a **versioned policy lifecycle**
+//! ([`OsdpSession::set_policy_epoch`]), each window release uses exactly
+//! one well-defined epoch: the release path captures the current epoch
+//! once, derives the window's task under it, and the audit stamp
+//! re-derives under the stamped version if a transition raced the grant —
+//! so a window released mid-transition is attributed entirely to the epoch
+//! in force at its audit sequence number, never a blend of two. The two
+//! planes differ only in *retention*:
+//!
+//! * **Fixed / sliding budgets** hold no policy-derived state across
+//!   windows — every `ingest` scans fresh (the window swap invalidates the
+//!   task cache anyway), so a transition between windows simply means the
+//!   next window derives and stamps under the new epoch.
+//! * **Hierarchical budgets** retain per-window leaf tasks for later
+//!   dyadic node aggregation. A leaf is derived under the epoch current at
+//!   *ingestion* time; a later [`StreamSession::range_query`] releases
+//!   node aggregates through [`OsdpSession::release_task`], which stamps
+//!   the epoch in force at release time. The stamp is honest about *when*
+//!   the release happened; the ledger's stale-policy check
+//!   ([`OsdpSession::verify_policy_lifecycle`]) therefore holds, but
+//!   callers who tighten a policy mid-stream and need retained leaves
+//!   re-derived under the tightened epoch must re-ingest those windows —
+//!   the tree does not retro-actively re-scan history it has already
+//!   buffered.
 
 use crate::backend::{Backend, HistogramPair, QueryPlan, RowBackend};
 use crate::session::{OsdpSession, PoolRelease, Release, SessionBuilder, SessionQuery};
@@ -735,6 +762,74 @@ mod tests {
         assert_eq!(pattern, vec![true, false, true, false]);
         assert_eq!(stream.windows_ingested(), 4);
         assert!((stream.session().total_spent() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_transition_between_windows_restamps_subsequent_releases() {
+        use osdp_core::policy::EpochDirection;
+        // A policy transition between windows means every later window is
+        // derived and stamped under the new epoch — each window release
+        // uses exactly one epoch, and the versioned ledger check accepts
+        // the whole history.
+        let mut stream = stream_builder().build().unwrap();
+        let mechanism = OsdpLaplaceL1::new(0.5).unwrap();
+        stream.ingest(window(0, &[0, 1, 2, 3]), &mechanism).unwrap();
+        let transition = stream
+            .session()
+            .set_policy_epoch(
+                Arc::new(AttributePolicy::int_at_most(SYNTHETIC_FIELD, 0)),
+                "tightened",
+                EpochDirection::Tighten,
+            )
+            .unwrap();
+        assert_eq!(transition.version, 1);
+        stream.ingest(window(1, &[0, 1, 2, 3]), &mechanism).unwrap();
+        stream.ingest(window(2, &[0, 1, 2, 3]), &mechanism).unwrap();
+        let audit = stream.session().audit_records();
+        let stamps: Vec<(u64, u64, String)> =
+            audit.iter().map(|r| (r.index, r.policy_version, r.policy.to_string())).collect();
+        assert_eq!(
+            stamps,
+            vec![
+                (0, 0, "low-sensitive".into()),
+                (1, 1, "tightened".into()),
+                (2, 1, "tightened".into()),
+            ],
+            "windows before the transition carry epoch 0, windows after carry epoch 1"
+        );
+        let verdict = stream.session().verify_policy_lifecycle(None);
+        assert!(verdict.upholds_osdp(), "honest mid-stream transition must verify clean");
+    }
+
+    #[test]
+    fn hierarchical_node_releases_stamp_the_epoch_in_force_at_release_time() {
+        use osdp_core::policy::EpochDirection;
+        // Leaves buffered under epoch 0, tree nodes released after a
+        // tighten: the node release is an event under the *new* epoch and
+        // must be stamped as such (the stamp records when the release
+        // happened, not when the leaves were ingested).
+        let mut stream = stream_builder()
+            .stream_budget(StreamBudget::Hierarchical { levels: 2 })
+            .build()
+            .unwrap();
+        let mechanism = OsdpLaplaceL1::new(0.25).unwrap();
+        for i in 0..4u64 {
+            stream.ingest(window(i, &[0, 1, 2, 3]), &mechanism).unwrap();
+        }
+        stream
+            .session()
+            .set_policy_epoch(
+                Arc::new(AttributePolicy::int_at_most(SYNTHETIC_FIELD, 0)),
+                "tightened",
+                EpochDirection::Tighten,
+            )
+            .unwrap();
+        stream.range_query(0..4, &mechanism).unwrap();
+        let audit = stream.session().audit_records();
+        assert_eq!(audit.len(), 1, "aligned range 0..4 is a single node release");
+        assert_eq!(audit[0].policy_version, 1);
+        assert_eq!(&*audit[0].policy, "tightened");
+        assert!(stream.session().verify_policy_lifecycle(None).upholds_osdp());
     }
 
     #[test]

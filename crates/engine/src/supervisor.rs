@@ -593,6 +593,9 @@ impl<R: Send + Sync + 'static> PoolSupervisor<R> {
             }
         }
 
+        // Publish the incident state into the pool, so health_snapshot
+        // readers see it without holding a supervisor handle.
+        self.pool.set_incident(state.incident.clone());
         report.incident_open = state.incident.is_some();
         report
     }

@@ -389,6 +389,7 @@ fn commit_batch(shared: &Shared, rx: &Receiver<Submission>, batch: &mut Vec<Subm
                         WalRecord::Grant(g) => inner.mirror.apply_grant(g),
                         WalRecord::Refusal(_) => inner.mirror.apply_refusal(),
                         WalRecord::SnapshotMarker { .. } => {}
+                        WalRecord::EpochTransition(t) => inner.mirror.apply_transition(t),
                     }
                     inner.frames_since_rotation += 1;
                 }

@@ -35,7 +35,9 @@
 use crate::committer::{
     spawn, CommitterHandle, FrameSubmission, GroupCommitStats, GroupCounters, Submission, Waiter,
 };
-use crate::record::{GrantRecord, RecordRef, RefusalRecord, SnapshotCounters, WalRecord};
+use crate::record::{
+    EpochRecord, GrantRecord, RecordRef, RefusalRecord, SnapshotCounters, WalRecord,
+};
 use crate::snapshot::{marker_frame, MirrorState, SnapshotState};
 use crate::vfs::{persist_error, StdVfs, Vfs};
 use crate::wal::{encode_frame_into, replay, RetryPolicy, SyncPolicy, WalWriter};
@@ -256,6 +258,13 @@ pub struct RecoveredLedger {
     pub grants: Vec<GrantRecord>,
     /// Refusal records replayed from the WAL tail.
     pub refusals: Vec<RefusalRecord>,
+    /// Every policy epoch transition recovered, sorted by version and
+    /// deduplicated (rotation re-emits transitions into the fresh WAL, so
+    /// the same version can legitimately appear in more than one file
+    /// across a crash). Unlike grants, transitions are never collapsed
+    /// into the snapshot: the full version history is recovered
+    /// bit-for-bit for the stale-policy verifier.
+    pub transitions: Vec<EpochRecord>,
     /// Bytes discarded from a torn or corrupt WAL tail (0 after a clean
     /// shutdown).
     pub truncated_bytes: u64,
@@ -295,11 +304,19 @@ impl RecoveredLedger {
         self.base.counters.grants + self.grants.len() as u64
     }
 
+    /// The policy epoch version in force when the shard last served (the
+    /// highest recovered transition's version; 0 for a shard that never
+    /// transitioned).
+    pub fn current_policy_version(&self) -> u64 {
+        self.transitions.last().map_or(0, |t| t.version)
+    }
+
     /// Whether the shard had no durable history at all.
     pub fn is_fresh(&self) -> bool {
         self.base == SnapshotState::default()
             && self.grants.is_empty()
             && self.refusals.is_empty()
+            && self.transitions.is_empty()
             && self.truncated_bytes == 0
     }
 }
@@ -456,6 +473,9 @@ impl TenantLedger {
         for _ in &recovered.refusals {
             mirror.apply_refusal();
         }
+        for transition in &recovered.transitions {
+            mirror.apply_transition(transition);
+        }
         // The replayed tail counts against the auto-snapshot threshold, so
         // "recovery replays ≤ N frames" holds across reopen chains too.
         let frames_since_rotation = (recovered.grants.len() + recovered.refusals.len()) as u64;
@@ -537,6 +557,11 @@ impl TenantLedger {
         self.append(RecordRef::Refusal(refusal))
     }
 
+    /// Appends one policy epoch transition, durable per the sync policy.
+    pub fn append_epoch_transition(&self, transition: &EpochRecord) -> Result<()> {
+        self.append(RecordRef::Epoch(transition))
+    }
+
     fn append(&self, record: RecordRef<'_>) -> Result<()> {
         if let SyncPolicy::GroupCommit { max_batch, max_wait } = self.sync {
             return self.append_group(record, max_batch, max_wait);
@@ -548,6 +573,7 @@ impl TenantLedger {
         match record {
             RecordRef::Grant(g) => inner.mirror.apply_grant(g),
             RecordRef::Refusal(_) => inner.mirror.apply_refusal(),
+            RecordRef::Epoch(t) => inner.mirror.apply_transition(t),
             RecordRef::Marker { .. } => unreachable!("markers are written by rotation"),
         }
         inner.writer.buffer_record(record);
@@ -771,6 +797,9 @@ pub(crate) fn rotate_locked(shared: &Shared, inner: &mut Inner) -> Result<()> {
         base: snapshot,
         grants: Vec::new(),
         refusals: Vec::new(),
+        // Grants collapse into the snapshot; transitions do not — the
+        // fresh WAL re-carries the full version history.
+        transitions: inner.mirror.transitions.clone(),
         truncated_bytes: 0,
         degraded: false,
         report: RecoveryReport::default(),
@@ -804,8 +833,13 @@ fn wal_image(recovered: &RecoveredLedger) -> Vec<u8> {
         image.extend_from_slice(&marker_frame(recovered.base.generation, recovered.base.counters));
     }
     // Interleaving of the tail is unknown after a crash; grants-then-
-    // refusals preserves every total (replay is order-independent).
+    // refusals preserves every total (replay is order-independent), and
+    // transitions carry their own ordering (`version`, `boundary_seq`), so
+    // writing them first changes nothing either.
     let mut scratch = Vec::with_capacity(128);
+    for transition in &recovered.transitions {
+        encode_frame_into(&mut image, &mut scratch, RecordRef::Epoch(transition));
+    }
     for grant in &recovered.grants {
         encode_frame_into(&mut image, &mut scratch, RecordRef::Grant(grant));
     }
@@ -908,6 +942,7 @@ fn read_state(vfs: &dyn Vfs, dir: &Path, repair: bool) -> Result<RecoveredLedger
             base: base_or_default,
             grants: Vec::new(),
             refusals: Vec::new(),
+            transitions: Vec::new(),
             truncated_bytes: wal.len() as u64,
             degraded: false,
             report,
@@ -920,11 +955,21 @@ fn read_state(vfs: &dyn Vfs, dir: &Path, repair: bool) -> Result<RecoveredLedger
     let snapshot_generation = base_or_default.generation;
     if wal_generation < snapshot_generation {
         // Rotation crashed between the snapshot rename and the WAL rewrite:
-        // every WAL record is already collapsed into the snapshot.
+        // every grant/refusal in the WAL is already collapsed into the
+        // snapshot. Transitions are *not* collapsed, so they alone are
+        // harvested from the stale file — they carry their own ordering
+        // and version identity, so re-reading them can never double-count.
+        let transitions = sorted_transitions(
+            replay(&wal[WAL_HEADER..]).records.into_iter().filter_map(|record| match record {
+                WalRecord::EpochTransition(t) => Some(t),
+                _ => None,
+            }),
+        );
         return Ok(RecoveredLedger {
             base: base_or_default,
             grants: Vec::new(),
             refusals: Vec::new(),
+            transitions,
             truncated_bytes: (wal.len() - WAL_HEADER) as u64,
             degraded: false,
             report,
@@ -976,10 +1021,12 @@ fn read_state(vfs: &dyn Vfs, dir: &Path, repair: bool) -> Result<RecoveredLedger
     };
     let mut grants = Vec::new();
     let mut refusals = Vec::new();
+    let mut transitions = Vec::new();
     for record in records {
         match record {
             WalRecord::Grant(g) => grants.push(g),
             WalRecord::Refusal(r) => refusals.push(r),
+            WalRecord::EpochTransition(t) => transitions.push(t),
             WalRecord::SnapshotMarker { generation, counters } => {
                 // The rotation marker: must agree with the base it follows.
                 if generation != base.generation || counters != base.counters {
@@ -994,10 +1041,25 @@ fn read_state(vfs: &dyn Vfs, dir: &Path, repair: bool) -> Result<RecoveredLedger
         base,
         grants,
         refusals,
+        transitions: sorted_transitions(transitions),
         truncated_bytes: (wal.len() - WAL_HEADER - outcome.valid_len) as u64,
         degraded,
         report,
     })
+}
+
+/// Normalizes recovered transitions: sorted by version, duplicates (a
+/// rotation re-emit racing a crash) collapsed to the first occurrence.
+fn sorted_transitions(transitions: impl IntoIterator<Item = EpochRecord>) -> Vec<EpochRecord> {
+    let mut out: Vec<EpochRecord> = Vec::new();
+    for t in transitions {
+        if out.iter().any(|seen| seen.version == t.version) {
+            continue;
+        }
+        let at = out.partition_point(|seen| seen.version < t.version);
+        out.insert(at, t);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -1025,6 +1087,7 @@ mod tests {
             mechanism: "OsdpLaplaceL1".into(),
             policy: "P".into(),
             query: "q".into(),
+            policy_version: 0,
         }
     }
 
@@ -1053,6 +1116,42 @@ mod tests {
         assert_eq!(recovered.truncated_bytes, 0);
         assert!(!recovered.degraded);
         drop(ledger);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn epoch_transitions_survive_reopen_and_rotation() {
+        let dir = tmp_dir("epochs");
+        let t1 = EpochRecord { version: 1, boundary_seq: 2, relaxes: false, label: "P-v1".into() };
+        let t2 = EpochRecord { version: 2, boundary_seq: 4, relaxes: true, label: "P-v2".into() };
+        {
+            let (ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+            assert!(recovered.is_fresh());
+            assert_eq!(recovered.current_policy_version(), 0);
+            for i in 0..2 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            ledger.append_epoch_transition(&t1).unwrap();
+            for i in 2..4 {
+                ledger.append_grant(&grant(i, 100)).unwrap();
+            }
+            ledger.append_epoch_transition(&t2).unwrap();
+        }
+        // Reopen: the full version history comes back in version order.
+        {
+            let (ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+            assert_eq!(recovered.transitions, vec![t1.clone(), t2.clone()]);
+            assert_eq!(recovered.current_policy_version(), 2);
+            assert!(!recovered.is_fresh());
+            // Rotation collapses grants into the snapshot but must re-emit
+            // the transitions into the fresh WAL.
+            ledger.rotate_snapshot().unwrap();
+        }
+        let (_ledger, recovered) = TenantLedger::open(&dir, SyncPolicy::Always).unwrap();
+        assert!(recovered.grants.is_empty(), "grants collapsed by rotation");
+        assert_eq!(recovered.spent_units(), 400);
+        assert_eq!(recovered.transitions, vec![t1, t2], "transitions survive rotation verbatim");
+        assert_eq!(recovered.current_policy_version(), 2);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -87,8 +87,10 @@ pub mod wal;
 pub use committer::GroupCommitStats;
 pub use crc::crc32;
 pub use ledger::{force_unlock, LedgerOptions, RecoveredLedger, RecoveryReport, TenantLedger};
-pub use record::{GrantRecord, GuaranteeTag, RefusalRecord, SnapshotCounters, WalRecord};
-pub use scrub::{scrub_shard, ScrubFinding, ScrubReport};
+pub use record::{
+    EpochRecord, GrantRecord, GuaranteeTag, RefusalRecord, SnapshotCounters, WalRecord,
+};
+pub use scrub::{scrub_shard, ScrubFinding, ScrubReport, ScrubWarning};
 pub use snapshot::{AggregateRow, SnapshotState};
 pub use vfs::{
     classify, persist_error, FaultKind, FaultPlan, FaultRule, FaultVfs, StdVfs, Vfs, VfsFile,

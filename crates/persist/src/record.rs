@@ -13,6 +13,7 @@ use osdp_core::error::{OsdpError, Result};
 const TAG_GRANT: u8 = 1;
 const TAG_REFUSAL: u8 = 2;
 const TAG_MARKER: u8 = 3;
+const TAG_EPOCH: u8 = 4;
 
 /// The guarantee kind of a logged release, as a one-byte tag.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -70,6 +71,9 @@ pub struct GrantRecord {
     pub policy: String,
     /// Query label.
     pub query: String,
+    /// Policy epoch version the release was stamped with (0 for sessions
+    /// that never transition).
+    pub policy_version: u64,
 }
 
 impl GrantRecord {
@@ -109,6 +113,32 @@ pub struct SnapshotCounters {
     pub refusals: u64,
 }
 
+/// One policy epoch transition: the durable image of a
+/// `set_policy_epoch` call, carrying everything recovery needs to rebuild
+/// the version history bit-for-bit.
+///
+/// The record carries its own ordering (`version` is dense, and
+/// `boundary_seq` pins the transition to a position in the audit sequence),
+/// so its physical position in the WAL is irrelevant — snapshot rotation
+/// re-emits transitions into the fresh WAL in version order without
+/// changing their meaning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// The version the transition installed (dense, starting at 1; version
+    /// 0 is the session's initial epoch and is never logged).
+    pub version: u64,
+    /// The audit sequence number at which the version took force: every
+    /// release with index `>= boundary_seq` is stamped with this version
+    /// (until the next transition's boundary).
+    pub boundary_seq: u64,
+    /// `true` for a relax (consent), `false` for a tighten (opt-out,
+    /// decay) — the direction the stale-policy verifier orders
+    /// permissiveness by.
+    pub relaxes: bool,
+    /// The new epoch's policy label.
+    pub label: String,
+}
+
 /// One write-ahead ledger record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WalRecord {
@@ -126,6 +156,8 @@ pub enum WalRecord {
         /// The snapshot's counter block.
         counters: SnapshotCounters,
     },
+    /// A policy epoch transition.
+    EpochTransition(EpochRecord),
 }
 
 /// A borrowed view of an appendable record, so the hot append path can
@@ -145,6 +177,8 @@ pub(crate) enum RecordRef<'a> {
         /// The snapshot's counter block.
         counters: &'a SnapshotCounters,
     },
+    /// A borrowed epoch transition.
+    Epoch(&'a EpochRecord),
 }
 
 impl RecordRef<'_> {
@@ -162,6 +196,9 @@ impl RecordRef<'_> {
                 put_str(out, &g.mechanism);
                 put_str(out, &g.policy);
                 put_str(out, &g.query);
+                // Appended after the original layout so fixed offsets into
+                // the prefix (e.g. the guarantee byte at 41) stay put.
+                put_u64(out, g.policy_version);
             }
             RecordRef::Refusal(r) => {
                 out.push(TAG_REFUSAL);
@@ -173,6 +210,13 @@ impl RecordRef<'_> {
                 out.push(TAG_MARKER);
                 put_u64(out, generation);
                 put_counters(out, counters);
+            }
+            RecordRef::Epoch(t) => {
+                out.push(TAG_EPOCH);
+                put_u64(out, t.version);
+                put_u64(out, t.boundary_seq);
+                out.push(t.relaxes as u8);
+                put_str(out, &t.label);
             }
         }
     }
@@ -186,6 +230,7 @@ impl RecordRef<'_> {
             RecordRef::Marker { generation, counters } => {
                 WalRecord::SnapshotMarker { generation, counters: *counters }
             }
+            RecordRef::Epoch(t) => WalRecord::EpochTransition(t.clone()),
         }
     }
 }
@@ -199,6 +244,7 @@ impl WalRecord {
             WalRecord::SnapshotMarker { generation, counters } => {
                 RecordRef::Marker { generation: *generation, counters }
             }
+            WalRecord::EpochTransition(t) => RecordRef::Epoch(t),
         }
     }
 
@@ -221,6 +267,7 @@ impl WalRecord {
                 mechanism: r.string()?,
                 policy: r.string()?,
                 query: r.string()?,
+                policy_version: r.u64()?,
             }),
             TAG_REFUSAL => WalRecord::Refusal(RefusalRecord {
                 units: r.u64()?,
@@ -230,6 +277,12 @@ impl WalRecord {
             TAG_MARKER => {
                 WalRecord::SnapshotMarker { generation: r.u64()?, counters: read_counters(&mut r)? }
             }
+            TAG_EPOCH => WalRecord::EpochTransition(EpochRecord {
+                version: r.u64()?,
+                boundary_seq: r.u64()?,
+                relaxes: r.u8()? != 0,
+                label: r.string()?,
+            }),
             other => return Err(OsdpError::Persistence(format!("unknown record tag {other}"))),
         };
         r.finish()?;
@@ -360,6 +413,7 @@ mod tests {
             mechanism: "OsdpLaplaceL1".into(),
             policy: "P-stress".into(),
             query: "bound".into(),
+            policy_version: 2,
         })
     }
 
@@ -382,6 +436,18 @@ mod tests {
                     refusals: 2,
                 },
             },
+            WalRecord::EpochTransition(EpochRecord {
+                version: 1,
+                boundary_seq: 9,
+                relaxes: false,
+                label: "P-decay".into(),
+            }),
+            WalRecord::EpochTransition(EpochRecord {
+                version: 2,
+                boundary_seq: 14,
+                relaxes: true,
+                label: "P-consent".into(),
+            }),
         ];
         for original in originals {
             let mut bytes = Vec::new();

@@ -50,6 +50,10 @@ pub enum ScrubFinding {
         /// Frames that verified before the corrupt one — the prefix replay
         /// would keep.
         surviving_frames: u64,
+        /// Zero-based index of the corrupt frame in the WAL body — with
+        /// [`frame_file_offset`](ScrubFinding::frame_file_offset), enough
+        /// to locate the rot without re-walking the file.
+        frame_index: u64,
     },
     /// `wal.log` is long enough to hold a header but does not start with
     /// the WAL magic.
@@ -87,19 +91,31 @@ impl ScrubFinding {
         }
     }
 
+    /// For [`ScrubFinding::WalCorruption`], the zero-based index of the
+    /// corrupt frame in the WAL body.
+    pub fn frame_index(&self) -> Option<u64> {
+        match self {
+            ScrubFinding::WalCorruption { frame_index, .. } => Some(*frame_index),
+            _ => None,
+        }
+    }
+
     /// The finding as a typed persistence error — the shape the tenant
     /// health plane already consumes. Always [`PersistOp::Read`] +
     /// [`FaultClass::Permanent`]: rot does not heal on retry; the shard
     /// needs repair (reopen truncates the WAL at the rot boundary).
     pub fn to_persist_error(&self) -> PersistError {
         let detail = match self {
-            ScrubFinding::WalCorruption { corruption, surviving_frames, .. } => format!(
-                "scrub: wal frame at byte {} failed verification ({}); {} frames survive \
-                 before it",
-                corruption.offset + WAL_HEADER as u64,
-                corruption.defect,
-                surviving_frames
-            ),
+            ScrubFinding::WalCorruption { corruption, surviving_frames, frame_index, .. } => {
+                format!(
+                    "scrub: wal frame {} at byte {} failed verification ({}); {} frames \
+                     survive before it",
+                    frame_index,
+                    corruption.offset + WAL_HEADER as u64,
+                    corruption.defect,
+                    surviving_frames
+                )
+            }
             ScrubFinding::WalBadMagic { .. } => {
                 "scrub: wal.log does not start with the WAL magic".to_string()
             }
@@ -122,6 +138,33 @@ impl std::fmt::Display for ScrubFinding {
     }
 }
 
+/// A benign oddity the scrubber noticed, located precisely enough that an
+/// operator can inspect it without re-walking the WAL.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScrubWarning {
+    /// What was observed.
+    pub message: String,
+    /// Zero-based index of the WAL frame the warning is about (the torn
+    /// frame for a torn tail), when the warning locates a frame.
+    pub frame_index: Option<u64>,
+    /// Absolute byte offset in the file where the oddity starts, when the
+    /// warning has a position.
+    pub byte_offset: Option<u64>,
+}
+
+impl std::fmt::Display for ScrubWarning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)?;
+        if let Some(frame) = self.frame_index {
+            write!(f, " [frame {frame}]")?;
+        }
+        if let Some(offset) = self.byte_offset {
+            write!(f, " [byte {offset}]")?;
+        }
+        Ok(())
+    }
+}
+
 /// What one pass of [`scrub_shard`] observed.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScrubReport {
@@ -138,8 +181,9 @@ pub struct ScrubReport {
     /// Evidence of silent corruption. Empty on a healthy shard.
     pub findings: Vec<ScrubFinding>,
     /// Benign oddities worth logging but demanding no health transition
-    /// (torn tail, short header mid-rewrite, rotten `snapshot.prev`).
-    pub warnings: Vec<String>,
+    /// (torn tail, short header mid-rewrite, rotten `snapshot.prev`),
+    /// each carrying its frame index / byte offset when it has one.
+    pub warnings: Vec<ScrubWarning>,
 }
 
 impl ScrubReport {
@@ -184,11 +228,15 @@ fn scrub_wal(vfs: &dyn Vfs, dir: &Path, report: &mut ScrubReport) -> Result<(), 
     };
     if wal.len() < WAL_HEADER {
         if !wal.is_empty() {
-            report.warnings.push(format!(
-                "wal.log holds {} bytes — shorter than its header (interrupted rewrite; \
-                 the next open truncates it)",
-                wal.len()
-            ));
+            report.warnings.push(ScrubWarning {
+                message: format!(
+                    "wal.log holds {} bytes — shorter than its header (interrupted rewrite; \
+                     the next open truncates it)",
+                    wal.len()
+                ),
+                frame_index: None,
+                byte_offset: Some(0),
+            });
         }
         return Ok(());
     }
@@ -205,12 +253,17 @@ fn scrub_wal(vfs: &dyn Vfs, dir: &Path, report: &mut ScrubReport) -> Result<(), 
             path: wal_path,
             corruption,
             surviving_frames: v.frames,
+            frame_index: v.frames,
         });
     } else if v.torn_tail_bytes > 0 {
-        report.warnings.push(format!(
-            "wal.log ends in a {}-byte torn tail (in-flight append or crash residue)",
-            v.torn_tail_bytes
-        ));
+        report.warnings.push(ScrubWarning {
+            message: format!(
+                "wal.log ends in a {}-byte torn tail (in-flight append or crash residue)",
+                v.torn_tail_bytes
+            ),
+            frame_index: Some(v.frames),
+            byte_offset: Some(WAL_HEADER as u64 + v.valid_len as u64),
+        });
     }
     Ok(())
 }
@@ -240,10 +293,14 @@ fn scrub_snapshots(
     match vfs.read(&prev_path) {
         Ok(bytes) => {
             if let Err(e) = SnapshotState::decode(&bytes) {
-                report.warnings.push(format!(
-                    "snapshot.prev failed to decode ({e}); the fallback copy is unusable \
-                     until the next rotation rewrites it"
-                ));
+                report.warnings.push(ScrubWarning {
+                    message: format!(
+                        "snapshot.prev failed to decode ({e}); the fallback copy is unusable \
+                         until the next rotation rewrites it"
+                    ),
+                    frame_index: None,
+                    byte_offset: None,
+                });
             }
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -279,6 +336,7 @@ mod tests {
             mechanism: "M".into(),
             policy: "P".into(),
             query: "q".into(),
+            policy_version: 0,
         }
     }
 
@@ -320,6 +378,9 @@ mod tests {
         assert_eq!(report.wal_frames, 3);
         let finding = &report.findings[0];
         assert_eq!(finding.frame_file_offset(), Some((WAL_HEADER + 3 * frame) as u64));
+        assert_eq!(finding.frame_index(), Some(3), "the 4th frame (index 3) is the rotten one");
+        let detail = &report.to_persist_error().expect("finding maps to an error").detail;
+        assert!(detail.contains("frame 3"), "operators get the frame index: {detail}");
         let err = report.to_persist_error().expect("finding maps to an error");
         assert_eq!(err.op, PersistOp::Read);
         assert_eq!(err.class, FaultClass::Permanent);
@@ -340,6 +401,27 @@ mod tests {
         assert_eq!(report.wal_frames, 3);
         assert!(report.torn_tail_bytes > 0);
         assert_eq!(report.warnings.len(), 2, "warnings: {:?}", report.warnings);
+        // The torn-tail warning locates the torn frame: index 3 (the 4th
+        // frame), starting right after the verified prefix.
+        let torn = report.warnings.iter().find(|w| w.message.contains("torn tail")).unwrap();
+        assert_eq!(torn.frame_index, Some(3));
+        assert_eq!(torn.byte_offset, Some(WAL_HEADER as u64 + report.wal_bytes));
+        assert!(format!("{torn}").contains("[frame 3]"));
+        // The snapshot.prev warning has no WAL position.
+        let prev = report.warnings.iter().find(|w| w.message.contains("snapshot.prev")).unwrap();
+        assert_eq!((prev.frame_index, prev.byte_offset), (None, None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_header_warning_points_at_byte_zero() {
+        let dir = shard("shorthdr", 2);
+        std::fs::write(dir.join("wal.log"), b"OSDP").expect("truncate header");
+        let report = scrub_shard(&StdVfs, &dir).expect("scrub");
+        assert!(report.is_clean());
+        assert_eq!(report.warnings.len(), 1);
+        assert_eq!(report.warnings[0].byte_offset, Some(0));
+        assert_eq!(report.warnings[0].frame_index, None);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -9,7 +9,7 @@
 //! into place, so a torn snapshot write can never shadow a good one.
 
 use crate::record::{put_counters, put_str, put_u64, read_counters, GuaranteeTag, Reader};
-use crate::record::{GrantRecord, SnapshotCounters};
+use crate::record::{EpochRecord, GrantRecord, SnapshotCounters};
 use crate::wal::append_record;
 use crate::WalRecord;
 use osdp_core::error::{OsdpError, Result};
@@ -113,6 +113,11 @@ pub(crate) struct MirrorState {
     pub(crate) generation: u64,
     pub(crate) counters: SnapshotCounters,
     pub(crate) rows: BTreeMap<(String, String, GuaranteeTag), (u64, u64)>,
+    /// Every epoch transition logged so far, in version order. Unlike
+    /// grants, transitions are never collapsed into aggregate rows — the
+    /// stale-policy verifier needs the full version history — so rotation
+    /// re-emits them into the fresh WAL verbatim.
+    pub(crate) transitions: Vec<EpochRecord>,
 }
 
 impl MirrorState {
@@ -125,7 +130,7 @@ impl MirrorState {
                 (row.units, row.releases),
             );
         }
-        Self { generation: base.generation, counters: base.counters, rows }
+        Self { generation: base.generation, counters: base.counters, rows, transitions: Vec::new() }
     }
 
     /// Applies one grant.
@@ -143,6 +148,18 @@ impl MirrorState {
     /// Applies one refusal.
     pub(crate) fn apply_refusal(&mut self) {
         self.counters.refusals += 1;
+    }
+
+    /// Applies one epoch transition, keeping the history sorted by version
+    /// and free of duplicates (rotation re-emits transitions, and a crash
+    /// between the rewrite and the next append could otherwise double
+    /// them on replay).
+    pub(crate) fn apply_transition(&mut self, t: &EpochRecord) {
+        if self.transitions.iter().any(|seen| seen.version == t.version) {
+            return;
+        }
+        let at = self.transitions.partition_point(|seen| seen.version < t.version);
+        self.transitions.insert(at, t.clone());
     }
 
     /// The snapshot image of the mirror at generation `generation`.
@@ -239,6 +256,7 @@ mod tests {
             mechanism: "OsdpLaplaceL1".into(),
             policy: "P90".into(),
             query: "q".into(),
+            policy_version: 0,
         });
         mirror.apply_refusal();
         let snap = mirror.to_snapshot(3);

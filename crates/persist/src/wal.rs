@@ -572,6 +572,7 @@ mod tests {
             mechanism: "M".into(),
             policy: "P".into(),
             query: "q".into(),
+            policy_version: 0,
         })
     }
 

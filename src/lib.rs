@@ -114,8 +114,8 @@ pub mod prelude {
             PrivacyBudget, PrivacyGuarantee, StreamBudget, StreamBudgetState,
         },
         policy::{
-            AllSensitive, AttributePolicy, ClosurePolicy, MinimumRelaxation, NoneSensitive, Policy,
-            Sensitivity,
+            AllSensitive, AttributePolicy, ClosurePolicy, EpochDirection, MinimumRelaxation,
+            NoneSensitive, Policy, PolicyEpoch, Sensitivity, VersionedPolicy,
         },
         BinSpec, ColumnarFrame, Database, FaultClass, Histogram, Histogram2D, OsdpError,
         PersistError, PersistOp, PolicyMask, Record, SparseHistogram, Value,
@@ -123,12 +123,13 @@ pub mod prelude {
     pub use osdp_engine::{
         histogram_session, pair_query, pair_session, pool_from_names, pool_from_specs,
         windows_from_databases, AuditLog, AuditRecord, Backend, ColumnarBackend, DeviceIncident,
-        GroupCommitStats, HealOutcome, HealthPolicy, HistogramPair, LedgerOptions, ManualClock,
-        MechanismSpec, OsdpSession, PoolMaintenanceError, PoolRelease, PoolScrubReport,
-        PoolSupervisor, PoolVerdict, PoolWindowOutcome, QueryPlan, RecoveryReport, Release,
-        RetryPolicy, RowBackend, SessionBuilder, SessionPersistence, SessionPool, SessionQuery,
-        SessionWal, StreamSession, StreamSessionBuilder, SupervisorClock, SupervisorConfig,
-        SupervisorEvent, SupervisorHandle, SyncPolicy, SyntheticWindows, SystemClock, TenantHealth,
+        EpochTransition, EpochVerdict, GroupCommitStats, HealOutcome, HealthPolicy, HistogramPair,
+        LedgerOptions, LedgerVerdict, ManualClock, MechanismSpec, OsdpSession,
+        PoolMaintenanceError, PoolRelease, PoolScrubReport, PoolSupervisor, PoolVerdict,
+        PoolWindowOutcome, QueryPlan, RecoveryReport, Release, ReleaseStamp, RetryPolicy,
+        RowBackend, SessionBuilder, SessionPersistence, SessionPool, SessionQuery, SessionWal,
+        StreamSession, StreamSessionBuilder, SupervisorClock, SupervisorConfig, SupervisorEvent,
+        SupervisorHandle, SyncPolicy, SyntheticWindows, SystemClock, TenantHealth,
         TenantHealthReport, TenantVerdict, TickReport, Window, WindowOutcome, WindowSource,
     };
     pub use osdp_mechanisms::{

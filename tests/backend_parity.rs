@@ -46,6 +46,7 @@ fn plan_for(
         bin_spec: spec,
         policy,
         policy_label: policy_label.to_string(),
+        policy_version: 0,
     }
 }
 

@@ -58,6 +58,7 @@ fn grant(index: u64) -> GrantRecord {
         mechanism: "osdp-laplace".into(),
         policy: "P".into(),
         query: "q".into(),
+        policy_version: 0,
     }
 }
 

@@ -280,6 +280,13 @@ fn device_storm_opens_one_incident_and_heals_exactly_the_affected_tenants() {
         ["acme", "bravo", "casa"]
     );
     assert_eq!(&*incident.canary, "acme");
+    // The tick published the incident into the pool: the health snapshot
+    // now says not just *quarantined* but *why the probes stopped* —
+    // affected tenants report the open incident, bystanders do not.
+    for r in pool.health_snapshot() {
+        let affected = ["acme", "bravo", "casa"].contains(&&*r.tenant);
+        assert_eq!(r.in_open_incident, affected, "tenant {}", r.tenant);
+    }
     reports.push(report);
 
     // Every probe is past due, but the open incident collapses probing to
@@ -307,6 +314,8 @@ fn device_storm_opens_one_incident_and_heals_exactly_the_affected_tenants() {
     let mut healed: Vec<_> = report.healed.iter().map(|t| t.to_string()).collect();
     healed.sort();
     assert_eq!(healed, ["bravo", "casa"]);
+    // Incident closed and mirrored out of the pool: nobody reports it.
+    assert!(pool.health_snapshot().iter().all(|r| !r.in_open_incident));
     reports.push(report);
 
     // The incident opened exactly once across the whole storm.
